@@ -1,0 +1,23 @@
+//! # dc-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's §6 evaluation:
+//!
+//! * **Table 1** — expanded conditions derived for q1/q2 per rule,
+//! * **Figure 7(a,d)** — q1/q2 elapsed time vs. predicate selectivity for
+//!   the dirty baseline `q`, the expanded rewrite `q_e`, the join-back
+//!   rewrite `q_j`, and the naive rewrite `q_n`,
+//! * **Figure 7(b,c,e,f,g)** — execution plans,
+//! * **Figure 8** — q2′ with an EPC-uncorrelated predicate,
+//! * **Figure 9(a,b)** — scaling the number of rules (1–5),
+//! * **Figure 9(c,d)** — scaling the anomaly percentage (10–40 %).
+//!
+//! Absolute times differ from the paper's DB2-on-AIX testbed; the harness
+//! also reports machine-independent work counters (rows scanned/sorted,
+//! window work) so the *shapes* are auditable.
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use experiments::*;
+pub use harness::*;

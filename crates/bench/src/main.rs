@@ -1,0 +1,140 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|plans|ablations]
+//!       [--scale N] [--seed S] [--json]
+//! ```
+
+use dc_bench::experiments::{
+    ablation_joinback, ablation_order_sharing, eager_vs_deferred, fig7_selectivity, fig9_dirty,
+    fig9_rules, plans, table1, DEFAULT_SCALE, DEFAULT_SEED,
+};
+use dc_bench::report::{render_figure, render_table1};
+
+struct Args {
+    what: String,
+    scale: usize,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        what: "all".to_string(),
+        scale: DEFAULT_SCALE,
+        seed: DEFAULT_SEED,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it.next().and_then(|v| v.parse().ok()).expect("--scale N");
+            }
+            "--seed" => {
+                args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
+            }
+            "--json" => args.json = true,
+            other if !other.starts_with('-') => args.what = other.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn run_one(args: &Args, what: &str) {
+    let selectivities = [0.01, 0.05, 0.10, 0.20, 0.30, 0.40];
+    match what {
+        "table1" => {
+            let rows = table1(args.scale, args.seed);
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+            } else {
+                println!("== Table 1: expanded (context) conditions ==");
+                println!("{}", render_table1(&rows));
+            }
+        }
+        "fig7a" => {
+            let rows = fig7_selectivity("q1", args.scale, args.seed, &selectivities);
+            emit(args.json, "Figure 7(a): q1 vs selectivity (reader rule, db-10)", &rows);
+        }
+        "fig7d" => {
+            let rows = fig7_selectivity("q2", args.scale, args.seed, &selectivities);
+            emit(args.json, "Figure 7(d): q2 vs selectivity (reader rule, db-10)", &rows);
+        }
+        "fig8" => {
+            let rows = fig7_selectivity("q2prime", args.scale, args.seed, &selectivities);
+            emit(args.json, "Figure 8: q2' (uncorrelated predicate) vs selectivity", &rows);
+        }
+        "fig9ab" => {
+            let rows = fig9_rules("q1", args.scale, args.seed);
+            emit(args.json, "Figure 9(a): q1 vs number of rules (10% sel, db-10)", &rows);
+            let rows = fig9_rules("q2", args.scale, args.seed);
+            emit(args.json, "Figure 9(b): q2 vs number of rules (10% sel, db-10)", &rows);
+        }
+        "fig9cd" => {
+            let rows = fig9_dirty("q1", args.scale, args.seed);
+            emit(args.json, "Figure 9(c): q1 vs anomaly % (3 rules, 10% sel)", &rows);
+            let rows = fig9_dirty("q2", args.scale, args.seed);
+            emit(args.json, "Figure 9(d): q2 vs anomaly % (3 rules, 10% sel)", &rows);
+        }
+        "plans" => {
+            for (label, text) in plans(args.scale, args.seed) {
+                println!("== {label} ==\n{text}");
+            }
+        }
+        "ablations" => {
+            let (shared, unshared) = ablation_order_sharing(args.scale, args.seed);
+            println!("== Ablation: order sharing (q1_e) ==");
+            println!(
+                "with sharing   : {:>8.1}ms  sorts={} rows_sorted={}",
+                shared.millis, shared.sorts, shared.rows_sorted
+            );
+            println!(
+                "without sharing: {:>8.1}ms  sorts={} rows_sorted={}",
+                unshared.millis, unshared.sorts, unshared.rows_sorted
+            );
+            let (improved, plain) = ablation_joinback(args.scale, args.seed);
+            println!("== Ablation: improved vs plain join-back (q1_j) ==");
+            println!(
+                "improved (ec on outer arm): {:>8.1}ms  rows_sorted={} rows_scanned={}",
+                improved.millis, improved.rows_sorted, improved.rows_scanned
+            );
+            println!(
+                "plain (no ec on outer arm): {:>8.1}ms  rows_sorted={} rows_scanned={}",
+                plain.millis, plain.rows_sorted, plain.rows_scanned
+            );
+        }
+        "eager" => {
+            let c = eager_vs_deferred(args.scale, args.seed);
+            println!("== Eager vs deferred (q1, 3 rules, 10% sel) ==");
+            println!(
+                "eager: materialize {:.1}ms once ({} rows), then {:.1}ms per query",
+                c.materialize_ms, c.eager_rows, c.eager_query_ms
+            );
+            println!("deferred: {:.1}ms per query, nothing materialized", c.deferred_query_ms);
+        }
+        other => panic!("unknown experiment '{other}'"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.what == "all" {
+        for what in [
+            "table1", "plans", "fig7a", "fig7d", "fig8", "fig9ab", "fig9cd", "ablations", "eager",
+        ] {
+            run_one(&args, what);
+        }
+    } else {
+        run_one(&args, &args.what);
+    }
+}
+
+fn emit(json: bool, title: &str, rows: &[dc_bench::experiments::ExperimentRow]) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(rows).unwrap());
+    } else {
+        println!("{}", render_figure(title, rows));
+    }
+}

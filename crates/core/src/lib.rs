@@ -1,0 +1,38 @@
+//! # dc-core — the deferred cleansing system
+//!
+//! The public facade of the reproduction of *"A Deferred Cleansing Method
+//! for RFID Data Analytics"* (VLDB 2006). Wire a data catalog, define
+//! per-application cleansing rules in extended SQL-TS, and run SQL — the
+//! system rewrites each query so it is answered over *cleansed* data,
+//! cleansing only what the query needs.
+//!
+//! ```
+//! use dc_core::DeferredCleansingSystem;
+//! use dc_relational::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let catalog = Arc::new(Catalog::new());
+//! let schema = schema_ref(Schema::new(vec![
+//!     Field::new("epc", DataType::Str),
+//!     Field::new("rtime", DataType::Int),
+//!     Field::new("biz_loc", DataType::Str),
+//! ]));
+//! catalog.register(Table::new("caser", Batch::from_rows(schema, &[
+//!     vec![Value::str("e1"), Value::Int(0), Value::str("shelf")],
+//!     vec![Value::str("e1"), Value::Int(60), Value::str("shelf")], // duplicate
+//! ]).unwrap()));
+//!
+//! let sys = DeferredCleansingSystem::with_catalog(catalog);
+//! sys.define_rule("shelf-app",
+//!     "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime \
+//!      AS (A, B) WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins \
+//!      ACTION DELETE B").unwrap();
+//!
+//! let clean = sys.query("shelf-app", "select epc, rtime from caser").unwrap();
+//! assert_eq!(clean.num_rows(), 1); // the duplicate is gone — at query time
+//! ```
+
+pub mod system;
+
+pub use dc_rewrite::Strategy;
+pub use system::{DeferredCleansingSystem, QueryReport};

@@ -1,0 +1,361 @@
+//! The deferred-cleansing system facade — the paper's Figure 1 end to end.
+//!
+//! 1. Applications register cleansing rules in extended SQL-TS
+//!    ([`DeferredCleansingSystem::define_rule`]); the rule engine compiles
+//!    each to a SQL/OLAP template persisted in the rules table.
+//! 2. User SQL is intercepted ([`DeferredCleansingSystem::query`]), rewritten
+//!    against the application's rules by the rewrite engine, executed, and
+//!    cleansed results returned.
+
+use dc_relational::batch::Batch;
+use dc_relational::error::Result;
+use dc_relational::exec::{ExecStats, Executor};
+use dc_relational::plan::LogicalPlan;
+use dc_relational::sql::{parse_query, plan_query, plan_sql};
+use dc_relational::table::{Catalog, CatalogRef};
+use dc_rewrite::{Candidate, RewriteEngine, Strategy};
+use dc_rules::RuleCatalog;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Execution report for one deferred-cleansing query.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// Label of the rewrite the cost model selected.
+    pub chosen: String,
+    /// Every compiled candidate with its cost estimate (cheapest first).
+    pub candidates: Vec<Candidate>,
+    /// The expanded condition, as text, when one was derived.
+    pub expanded_condition: Option<String>,
+    /// Engine diagnostics (e.g. soundness fallbacks).
+    pub notes: Vec<String>,
+    /// Executor work counters of the final run.
+    pub stats: ExecStats,
+    /// Wall-clock time of rewrite + execution.
+    pub elapsed: Duration,
+    /// EXPLAIN rendering of the executed plan.
+    pub plan: String,
+    /// Result rows returned.
+    pub result_rows: usize,
+}
+
+/// The deferred cleansing system: data catalog + rules table + rewrite
+/// engine, exposed through a SQL front door.
+pub struct DeferredCleansingSystem {
+    catalog: CatalogRef,
+    rules: RuleCatalog,
+    engine: RwLock<RewriteEngine>,
+}
+
+impl Default for DeferredCleansingSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeferredCleansingSystem {
+    /// A system over a fresh, empty catalog.
+    pub fn new() -> Self {
+        Self::with_catalog(Arc::new(Catalog::new()))
+    }
+
+    /// A system over an existing catalog (e.g. one loaded by RFIDGen).
+    pub fn with_catalog(catalog: CatalogRef) -> Self {
+        DeferredCleansingSystem {
+            catalog,
+            rules: RuleCatalog::new(),
+            engine: RwLock::new(RewriteEngine::new()),
+        }
+    }
+
+    /// The underlying data catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The rules table.
+    pub fn rules(&self) -> &RuleCatalog {
+        &self.rules
+    }
+
+    /// Define a cleansing rule for an application (Figure 1, steps 1–2).
+    /// Returns the rule id.
+    pub fn define_rule(&self, application: &str, rule_text: &str) -> Result<u64> {
+        self.rules.define_rule(application, rule_text, &self.catalog)
+    }
+
+    /// Drop a rule by application and rule name.
+    pub fn drop_rule(&self, application: &str, name: &str) -> Result<()> {
+        self.rules.drop_rule(application, name)
+    }
+
+    /// Register the plan backing a derived rule input (a rule's FROM table
+    /// that is neither the reads table nor a materialized catalog table).
+    pub fn register_derived_input(&self, name: &str, plan: LogicalPlan) {
+        self.engine.write().register_derived_input(name, plan);
+    }
+
+    /// Run a query for an application over cleansed data (Figure 1,
+    /// steps 3–6), using the cost-based strategy choice.
+    pub fn query(&self, application: &str, sql: &str) -> Result<Batch> {
+        self.query_with_strategy(application, sql, Strategy::Auto)
+            .map(|(batch, _)| batch)
+    }
+
+    /// [`DeferredCleansingSystem::query`] with an explicit rewrite strategy
+    /// and a full execution report.
+    pub fn query_with_strategy(
+        &self,
+        application: &str,
+        sql: &str,
+        strategy: Strategy,
+    ) -> Result<(Batch, QueryReport)> {
+        let start = Instant::now();
+        let user_plan = plan_query(&parse_query(sql)?, &self.catalog)?;
+        let rules = self.rules.rules_for(application);
+        let rewritten =
+            self.engine
+                .read()
+                .rewrite_plan(&user_plan, &rules, &self.catalog, strategy)?;
+        let mut executor = Executor::new(&self.catalog);
+        let batch = executor.execute(&rewritten.plan)?;
+        let report = QueryReport {
+            chosen: rewritten.chosen,
+            candidates: rewritten.candidates,
+            expanded_condition: rewritten.expanded_condition.map(|e| e.to_string()),
+            notes: rewritten.notes,
+            stats: executor.stats,
+            elapsed: start.elapsed(),
+            plan: rewritten.plan.display_indent(),
+            result_rows: batch.num_rows(),
+        };
+        Ok((batch, report))
+    }
+
+    /// Run a query directly on the (dirty) data — the paper's baseline `q`.
+    /// The result is generally *not* the correct cleansed answer.
+    pub fn query_dirty(&self, sql: &str) -> Result<Batch> {
+        let plan = plan_sql(sql, &self.catalog)?;
+        Executor::new(&self.catalog).execute(&plan)
+    }
+
+    /// [`DeferredCleansingSystem::query_dirty`] with an execution report.
+    pub fn query_dirty_with_report(&self, sql: &str) -> Result<(Batch, QueryReport)> {
+        let start = Instant::now();
+        let plan = plan_sql(sql, &self.catalog)?;
+        let mut executor = Executor::new(&self.catalog);
+        let batch = executor.execute(&plan)?;
+        let report = QueryReport {
+            chosen: "dirty (no cleansing)".into(),
+            candidates: vec![],
+            expanded_condition: None,
+            notes: vec![],
+            stats: executor.stats,
+            elapsed: start.elapsed(),
+            plan: plan.display_indent(),
+            result_rows: batch.num_rows(),
+        };
+        Ok((batch, report))
+    }
+
+    /// EXPLAIN: the rewritten plan an application query would execute.
+    pub fn explain(&self, application: &str, sql: &str, strategy: Strategy) -> Result<String> {
+        let user_plan = plan_query(&parse_query(sql)?, &self.catalog)?;
+        let rules = self.rules.rules_for(application);
+        let rewritten =
+            self.engine
+                .read()
+                .rewrite_plan(&user_plan, &rules, &self.catalog, strategy)?;
+        let mut out = format!("-- chosen: {}\n", rewritten.chosen);
+        if let Some(ec) = &rewritten.expanded_condition {
+            out.push_str(&format!("-- expanded condition: {ec}\n"));
+        }
+        for c in &rewritten.candidates {
+            out.push_str(&format!("-- candidate: {} (cost {:.0})\n", c.label, c.cost));
+        }
+        out.push_str(&rewritten.plan.display_indent());
+        Ok(out)
+    }
+
+    /// Eager cleansing (the conventional approach the paper contrasts with,
+    /// §1/§6.1): materialize Φ over an application's rules into a new table.
+    /// Queries against the materialized table pay no cleansing overhead —
+    /// but every application would need its own copy, kept in sync as rules
+    /// evolve, and the raw data is no longer what regulation may require.
+    ///
+    /// Returns the number of rows in the cleansed table. Indexes matching
+    /// the source table's are rebuilt on the copy.
+    pub fn materialize_cleansed(&self, application: &str, target_table: &str) -> Result<usize> {
+        use dc_relational::table::Table;
+        let rules = self.rules.rules_for(application);
+        let Some(first) = rules.first() else {
+            return Err(dc_relational::error::Error::Plan(format!(
+                "application '{application}' has no rules to materialize"
+            )));
+        };
+        let source = first.def.on_table.clone();
+        let input = first.def.from_table.clone();
+        let rule_refs: Vec<&dc_rules::RuleTemplate> =
+            rules.iter().map(std::sync::Arc::as_ref).collect();
+        let phi = dc_rules::cleansing_plan(
+            LogicalPlan::scan(input),
+            &rule_refs,
+            &self.catalog,
+        )?;
+        let cleaned = Executor::new(&self.catalog).execute(&phi)?;
+        // Keep only the ON table's columns (MODIFY may have appended more,
+        // and a derived input carries extras like is_pallet).
+        let base = self.catalog.get(&source)?;
+        let cols: Vec<_> = base
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| {
+                cleaned
+                    .schema()
+                    .index_of(None, &f.name)
+                    .map(|i| cleaned.column(i).clone())
+            })
+            .collect::<Result<_>>()?;
+        let batch = dc_relational::batch::Batch::new(base.schema().clone(), cols)?;
+        let rows = batch.num_rows();
+        let mut table = Table::new(target_table, batch);
+        for col in base.indexed_columns() {
+            table.create_index(col)?;
+        }
+        self.catalog.register(table);
+        Ok(rows)
+    }
+
+    /// Persist the rules table to JSON.
+    pub fn rules_to_json(&self) -> String {
+        self.rules.to_json()
+    }
+
+    /// Restore the rules table from JSON (replacing the current one).
+    pub fn load_rules_from_json(&mut self, json: &str) -> Result<()> {
+        self.rules = RuleCatalog::from_json(json, &self.catalog)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_relational::batch::schema_ref;
+    use dc_relational::schema::{Field, Schema};
+    use dc_relational::table::Table;
+    use dc_relational::value::{DataType, Value};
+
+    fn system() -> DeferredCleansingSystem {
+        let catalog = Arc::new(Catalog::new());
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+            Field::new("biz_loc", DataType::Str),
+            Field::new("reader", DataType::Str),
+        ]));
+        let rows = vec![
+            vec![Value::str("e1"), Value::Int(100), Value::str("x"), Value::str("r1")],
+            vec![Value::str("e1"), Value::Int(200), Value::str("x"), Value::str("r1")],
+            vec![Value::str("e1"), Value::Int(5000), Value::str("y"), Value::str("r1")],
+            vec![Value::str("e2"), Value::Int(150), Value::str("z"), Value::str("r1")],
+        ];
+        let mut t = Table::new("caser", Batch::from_rows(schema, &rows).unwrap());
+        t.create_index("rtime").unwrap();
+        t.create_index("epc").unwrap();
+        catalog.register(t);
+        DeferredCleansingSystem::with_catalog(catalog)
+    }
+
+    const DUP: &str = "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+        WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B";
+
+    #[test]
+    fn end_to_end_flow() {
+        let sys = system();
+        sys.define_rule("app", DUP).unwrap();
+        // Dirty query sees 4 rows; cleansed sees 3 (one duplicate removed).
+        let dirty = sys.query_dirty("select epc, rtime from caser").unwrap();
+        assert_eq!(dirty.num_rows(), 4);
+        let clean = sys.query("app", "select epc, rtime from caser").unwrap();
+        assert_eq!(clean.num_rows(), 3);
+        // Another application without rules sees everything.
+        let other = sys.query("other_app", "select epc, rtime from caser").unwrap();
+        assert_eq!(other.num_rows(), 4);
+    }
+
+    #[test]
+    fn report_contains_candidates_and_stats() {
+        let sys = system();
+        sys.define_rule("app", DUP).unwrap();
+        let (_, report) = sys
+            .query_with_strategy("app", "select epc from caser where rtime < 300", Strategy::Auto)
+            .unwrap();
+        assert!(!report.candidates.is_empty());
+        assert!(report.stats.rows_scanned > 0);
+        assert!(report.plan.contains("Window"));
+    }
+
+    #[test]
+    fn explain_renders() {
+        let sys = system();
+        sys.define_rule("app", DUP).unwrap();
+        let out = sys
+            .explain("app", "select epc from caser where rtime < 300", Strategy::Auto)
+            .unwrap();
+        assert!(out.contains("-- chosen:"));
+        assert!(out.contains("Scan caser"));
+    }
+
+    #[test]
+    fn rules_json_roundtrip() {
+        let mut sys = system();
+        sys.define_rule("app", DUP).unwrap();
+        let json = sys.rules_to_json();
+        sys.load_rules_from_json(&json).unwrap();
+        assert_eq!(sys.rules().len(), 1);
+        let clean = sys.query("app", "select epc from caser").unwrap();
+        assert_eq!(clean.num_rows(), 3);
+    }
+
+    #[test]
+    fn drop_rule_restores_dirty_view() {
+        let sys = system();
+        sys.define_rule("app", DUP).unwrap();
+        sys.drop_rule("app", "duplicate").unwrap();
+        let out = sys.query("app", "select epc from caser").unwrap();
+        assert_eq!(out.num_rows(), 4);
+    }
+
+    #[test]
+    fn eager_materialization() {
+        let sys = system();
+        sys.define_rule("app", DUP).unwrap();
+        let rows = sys.materialize_cleansed("app", "caser_clean").unwrap();
+        assert_eq!(rows, 3);
+        // The eager copy answers directly, matching the deferred answer.
+        let eager = sys
+            .query_dirty("select epc, rtime from caser_clean")
+            .unwrap();
+        let deferred = sys.query("app", "select epc, rtime from caser").unwrap();
+        assert_eq!(eager.sorted_rows(), deferred.sorted_rows());
+        // Indexes were carried over.
+        assert!(sys
+            .catalog()
+            .get("caser_clean")
+            .unwrap()
+            .index("rtime")
+            .is_some());
+        // No rules -> nothing to materialize.
+        assert!(sys.materialize_cleansed("norules", "x").is_err());
+    }
+
+    #[test]
+    fn bad_sql_is_an_error() {
+        let sys = system();
+        assert!(sys.query("app", "select from").is_err());
+        assert!(sys.define_rule("app", "DEFINE nonsense").is_err());
+    }
+}

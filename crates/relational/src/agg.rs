@@ -1,0 +1,459 @@
+//! Grouped aggregation (hash aggregation).
+//!
+//! Supports the aggregate shapes the paper's analytics use: `count(*)`,
+//! `count(col)`, `count(distinct col)`, `sum`, `avg`, `min`, `max`, grouped
+//! by arbitrary scalar expressions. NULL group keys form their own group
+//! (SQL `GROUP BY` semantics); aggregate arguments skip NULLs.
+
+use crate::batch::Batch;
+use crate::column::{Column, ColumnBuilder};
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Aggregate function applied per group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggFunc {
+    CountStar,
+    Count(Expr),
+    CountDistinct(Expr),
+    Sum(Expr),
+    Avg(Expr),
+    Min(Expr),
+    Max(Expr),
+}
+
+impl AggFunc {
+    pub fn arg(&self) -> Option<&Expr> {
+        match self {
+            AggFunc::CountStar => None,
+            AggFunc::Count(e)
+            | AggFunc::CountDistinct(e)
+            | AggFunc::Sum(e)
+            | AggFunc::Avg(e)
+            | AggFunc::Min(e)
+            | AggFunc::Max(e) => Some(e),
+        }
+    }
+
+    pub fn output_type(&self, schema: &Schema) -> Result<DataType> {
+        match self {
+            AggFunc::CountStar | AggFunc::Count(_) | AggFunc::CountDistinct(_) => Ok(DataType::Int),
+            AggFunc::Avg(_) => Ok(DataType::Double),
+            AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) => e.data_type(schema),
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::CountStar => f.write_str("count(*)"),
+            AggFunc::Count(e) => write!(f, "count({e})"),
+            AggFunc::CountDistinct(e) => write!(f, "count(distinct {e})"),
+            AggFunc::Sum(e) => write!(f, "sum({e})"),
+            AggFunc::Avg(e) => write!(f, "avg({e})"),
+            AggFunc::Min(e) => write!(f, "min({e})"),
+            AggFunc::Max(e) => write!(f, "max({e})"),
+        }
+    }
+}
+
+/// A named aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    pub alias: String,
+}
+
+/// Per-group accumulator state.
+enum AggState {
+    Count(i64),
+    Distinct(HashSet<Value>),
+    SumInt(i64, bool),   // (sum, saw_any)
+    SumF64(f64, bool),
+    Avg(f64, i64),
+    MinMax(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: &AggFunc, arg_type: Option<DataType>) -> AggState {
+        match func {
+            AggFunc::CountStar | AggFunc::Count(_) => AggState::Count(0),
+            AggFunc::CountDistinct(_) => AggState::Distinct(HashSet::new()),
+            AggFunc::Sum(_) => match arg_type {
+                Some(DataType::Double) => AggState::SumF64(0.0, false),
+                _ => AggState::SumInt(0, false),
+            },
+            AggFunc::Avg(_) => AggState::Avg(0.0, 0),
+            AggFunc::Min(_) | AggFunc::Max(_) => AggState::MinMax(None),
+        }
+    }
+
+    fn update(&mut self, func: &AggFunc, v: Option<Value>) -> Result<()> {
+        match (self, func) {
+            (AggState::Count(c), AggFunc::CountStar) => *c += 1,
+            (AggState::Count(c), AggFunc::Count(_)) => {
+                if v.is_some() {
+                    *c += 1;
+                }
+            }
+            (AggState::Distinct(s), AggFunc::CountDistinct(_)) => {
+                if let Some(v) = v {
+                    s.insert(v);
+                }
+            }
+            (AggState::SumInt(s, any), AggFunc::Sum(_)) => {
+                if let Some(v) = v {
+                    let x = v.as_int().ok_or_else(|| {
+                        Error::Execution(format!("sum over non-integer value {v}"))
+                    })?;
+                    *s = s
+                        .checked_add(x)
+                        .ok_or_else(|| Error::Execution("sum overflow".into()))?;
+                    *any = true;
+                }
+            }
+            (AggState::SumF64(s, any), AggFunc::Sum(_)) => {
+                if let Some(v) = v {
+                    *s += v.as_double().ok_or_else(|| {
+                        Error::Execution(format!("sum over non-numeric value {v}"))
+                    })?;
+                    *any = true;
+                }
+            }
+            (AggState::Avg(s, n), AggFunc::Avg(_)) => {
+                if let Some(v) = v {
+                    *s += v.as_double().ok_or_else(|| {
+                        Error::Execution(format!("avg over non-numeric value {v}"))
+                    })?;
+                    *n += 1;
+                }
+            }
+            (AggState::MinMax(best), AggFunc::Min(_)) => {
+                if let Some(v) = v {
+                    let replace = best.as_ref().is_none_or(|b| v.total_cmp(b).is_lt());
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            (AggState::MinMax(best), AggFunc::Max(_)) => {
+                if let Some(v) = v {
+                    let replace = best.as_ref().is_none_or(|b| v.total_cmp(b).is_gt());
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            _ => return Err(Error::Internal("aggregate state/function mismatch".into())),
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(c),
+            AggState::Distinct(s) => Value::Int(s.len() as i64),
+            AggState::SumInt(s, any) => {
+                if any {
+                    Value::Int(s)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumF64(s, any) => {
+                if any {
+                    Value::Double(s)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg(s, n) => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(s / n as f64)
+                }
+            }
+            AggState::MinMax(best) => best.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Execute a hash aggregation. Output columns are the group expressions
+/// (named by `group_aliases`) followed by the aggregates.
+pub fn hash_aggregate(
+    input: &Batch,
+    group_by: &[(Expr, String)],
+    aggs: &[AggExpr],
+) -> Result<Batch> {
+    let n = input.num_rows();
+    let group_cols: Vec<Column> = group_by
+        .iter()
+        .map(|(e, _)| e.evaluate(input))
+        .collect::<Result<_>>()?;
+    let arg_cols: Vec<Option<Column>> = aggs
+        .iter()
+        .map(|a| a.func.arg().map(|e| e.evaluate(input)).transpose())
+        .collect::<Result<_>>()?;
+    let arg_types: Vec<Option<DataType>> =
+        arg_cols.iter().map(|c| c.as_ref().map(Column::data_type)).collect();
+
+    // group key -> (first-seen order, accumulator per aggregate)
+    let mut groups: HashMap<Vec<Value>, (usize, Vec<AggState>)> = HashMap::new();
+    let mut order = 0usize;
+    for i in 0..n {
+        let key: Vec<Value> = group_cols.iter().map(|c| c.value(i)).collect();
+        let entry = groups.entry(key).or_insert_with(|| {
+            let states = aggs
+                .iter()
+                .zip(&arg_types)
+                .map(|(a, t)| AggState::new(&a.func, *t))
+                .collect();
+            order += 1;
+            (order - 1, states)
+        });
+        for ((state, agg), arg) in entry.1.iter_mut().zip(aggs).zip(&arg_cols) {
+            let v = match arg {
+                None => None,
+                Some(c) => {
+                    if c.is_null(i) {
+                        None
+                    } else {
+                        Some(c.value(i))
+                    }
+                }
+            };
+            state.update(&agg.func, v)?;
+        }
+    }
+
+    // Global aggregation over an empty input yields one all-default row.
+    if groups.is_empty() && group_by.is_empty() {
+        let states: Vec<AggState> = aggs
+            .iter()
+            .zip(&arg_types)
+            .map(|(a, t)| AggState::new(&a.func, *t))
+            .collect();
+        groups.insert(vec![], (0, states));
+    }
+
+    // Output schema.
+    let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+    for ((e, alias), c) in group_by.iter().zip(&group_cols) {
+        let dt = if n == 0 {
+            e.data_type(input.schema()).unwrap_or(DataType::Int)
+        } else {
+            c.data_type()
+        };
+        fields.push(Field::new(alias.clone(), dt));
+    }
+    for a in aggs {
+        fields.push(Field::new(a.alias.clone(), a.func.output_type(input.schema())?));
+    }
+    let schema = Arc::new(Schema::new(fields));
+
+    // Emit groups in first-seen order for determinism.
+    #[allow(clippy::type_complexity)]
+    let mut entries: Vec<(Vec<Value>, (usize, Vec<AggState>))> = groups.into_iter().collect();
+    entries.sort_by_key(|(_, (ord, _))| *ord);
+
+    let mut builders: Vec<ColumnBuilder> = schema
+        .fields()
+        .iter()
+        .map(|f| ColumnBuilder::new(f.data_type, entries.len()))
+        .collect();
+    for (key, (_, states)) in entries {
+        for (b, v) in builders.iter_mut().zip(key.iter()) {
+            b.push(v)?;
+        }
+        for (b, s) in builders[group_by.len()..].iter_mut().zip(states) {
+            b.push(&s.finish())?;
+        }
+    }
+    Batch::new(schema, builders.into_iter().map(ColumnBuilder::finish).collect())
+}
+
+/// DISTINCT over whole rows.
+pub fn distinct(input: &Batch) -> Batch {
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    let mut keep = Vec::new();
+    for i in 0..input.num_rows() {
+        if seen.insert(input.row(i)) {
+            keep.push(i);
+        }
+    }
+    input.take(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::schema_ref;
+
+    fn batch() -> Batch {
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("mfr", DataType::Str),
+            Field::new("reader", DataType::Str),
+            Field::new("t", DataType::Int),
+        ]));
+        Batch::from_rows(
+            schema,
+            &[
+                vec![Value::str("m1"), Value::str("r1"), Value::Int(10)],
+                vec![Value::str("m1"), Value::str("r2"), Value::Int(20)],
+                vec![Value::str("m1"), Value::str("r1"), Value::Int(30)],
+                vec![Value::str("m2"), Value::str("r1"), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_distinct_and_avg() {
+        let out = hash_aggregate(
+            &batch(),
+            &[(Expr::col("mfr"), "mfr".into())],
+            &[
+                AggExpr {
+                    func: AggFunc::CountDistinct(Expr::col("reader")),
+                    alias: "readers".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Avg(Expr::col("t")),
+                    alias: "avg_t".into(),
+                },
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    alias: "n".into(),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        // first-seen order: m1 then m2
+        assert_eq!(out.row(0)[0], Value::str("m1"));
+        assert_eq!(out.row(0)[1], Value::Int(2));
+        assert_eq!(out.row(0)[2], Value::Double(20.0));
+        assert_eq!(out.row(0)[3], Value::Int(3));
+        // m2: avg over all-null -> NULL, count(*) = 1
+        assert_eq!(out.row(1)[2], Value::Null);
+        assert_eq!(out.row(1)[3], Value::Int(1));
+    }
+
+    #[test]
+    fn count_skips_nulls_count_star_does_not() {
+        let out = hash_aggregate(
+            &batch(),
+            &[],
+            &[
+                AggExpr {
+                    func: AggFunc::Count(Expr::col("t")),
+                    alias: "ct".into(),
+                },
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    alias: "cs".into(),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.row(0), vec![Value::Int(3), Value::Int(4)]);
+    }
+
+    #[test]
+    fn min_max_sum() {
+        let out = hash_aggregate(
+            &batch(),
+            &[],
+            &[
+                AggExpr {
+                    func: AggFunc::Min(Expr::col("t")),
+                    alias: "mn".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Max(Expr::col("t")),
+                    alias: "mx".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Sum(Expr::col("t")),
+                    alias: "s".into(),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            out.row(0),
+            vec![Value::Int(10), Value::Int(30), Value::Int(60)]
+        );
+    }
+
+    #[test]
+    fn empty_input_global_agg_yields_one_row() {
+        let b = batch().take(&[]);
+        let out = hash_aggregate(
+            &b,
+            &[],
+            &[AggExpr {
+                func: AggFunc::CountStar,
+                alias: "n".into(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0)[0], Value::Int(0));
+    }
+
+    #[test]
+    fn empty_input_grouped_agg_yields_zero_rows() {
+        let b = batch().take(&[]);
+        let out = hash_aggregate(
+            &b,
+            &[(Expr::col("mfr"), "mfr".into())],
+            &[AggExpr {
+                func: AggFunc::CountStar,
+                alias: "n".into(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn null_group_keys_group_together() {
+        let schema = schema_ref(Schema::new(vec![Field::new("k", DataType::Str)]));
+        let b = Batch::from_rows(
+            schema,
+            &[vec![Value::Null], vec![Value::Null], vec![Value::str("a")]],
+        )
+        .unwrap();
+        let out = hash_aggregate(
+            &b,
+            &[(Expr::col("k"), "k".into())],
+            &[AggExpr {
+                func: AggFunc::CountStar,
+                alias: "n".into(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.row(0), vec![Value::Null, Value::Int(2)]);
+    }
+
+    #[test]
+    fn distinct_rows() {
+        let schema = schema_ref(Schema::new(vec![Field::new("k", DataType::Str)]));
+        let b = Batch::from_rows(
+            schema,
+            &[vec![Value::str("a")], vec![Value::str("a")], vec![Value::Null], vec![Value::Null]],
+        )
+        .unwrap();
+        let d = distinct(&b);
+        assert_eq!(d.num_rows(), 2);
+    }
+}

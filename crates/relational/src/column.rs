@@ -1,0 +1,445 @@
+//! Columnar storage: typed value vectors with validity bitmaps.
+//!
+//! Operators exchange whole columns. Each `Column` is a typed vector plus an
+//! optional validity bitmap (absent means "no nulls"), so the common all-valid
+//! case pays nothing for null tracking.
+
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+use std::sync::Arc;
+
+/// A packed bitmap, one bit per row; bit set = valid (non-null).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` bits, all set to `value`.
+    pub fn new(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(64);
+        let fill = if value { u64::MAX } else { 0 };
+        let mut words = vec![fill; nwords];
+        if value {
+            // Clear the padding bits past `len` so popcount stays exact.
+            let rem = len % 64;
+            if rem != 0 {
+                if let Some(last) = words.last_mut() {
+                    *last &= (1u64 << rem) - 1;
+                }
+            }
+        }
+        Bitmap { words, len }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if value {
+            self.set(self.len - 1, true);
+        }
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if every bit is set.
+    pub fn all_set(&self) -> bool {
+        self.count_set() == self.len
+    }
+}
+
+/// The typed payload of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Bool(Vec<bool>),
+    Int(Vec<i64>),
+    Double(Vec<f64>),
+    Str(Vec<Arc<str>>),
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Double(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Double(_) => DataType::Double,
+            ColumnData::Str(_) => DataType::Str,
+        }
+    }
+
+    fn with_capacity(dt: DataType, cap: usize) -> ColumnData {
+        match dt {
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Double => ColumnData::Double(Vec::with_capacity(cap)),
+            DataType::Str => ColumnData::Str(Vec::with_capacity(cap)),
+        }
+    }
+}
+
+/// A column: typed data + optional validity bitmap (`None` = all valid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Bitmap>,
+}
+
+impl Column {
+    pub fn new(data: ColumnData, validity: Option<Bitmap>) -> Result<Self> {
+        if let Some(v) = &validity {
+            if v.len() != data.len() {
+                return Err(Error::Schema(format!(
+                    "validity length {} != data length {}",
+                    v.len(),
+                    data.len()
+                )));
+            }
+        }
+        Ok(Column { data, validity })
+    }
+
+    /// An all-valid column from raw data.
+    pub fn from_data(data: ColumnData) -> Self {
+        Column {
+            data,
+            validity: None,
+        }
+    }
+
+    /// Build a column of the given type from scalar values (NULLs allowed).
+    pub fn from_values(dt: DataType, values: &[Value]) -> Result<Self> {
+        let mut b = ColumnBuilder::new(dt, values.len());
+        for v in values {
+            b.push(v)?;
+        }
+        Ok(b.finish())
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.validity {
+            Some(b) => !b.get(i),
+            None => false,
+        }
+    }
+
+    pub fn null_count(&self) -> usize {
+        match &self.validity {
+            Some(b) => b.len() - b.count_set(),
+            None => 0,
+        }
+    }
+
+    /// The scalar value at row `i` (clones the payload — cheap for all types
+    /// because strings are `Arc`).
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Double(v) => Value::Double(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+        }
+    }
+
+    /// Non-null integer accessor (panics on wrong type; `None` for NULL).
+    #[inline]
+    pub fn int_at(&self, i: usize) -> Option<i64> {
+        if self.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[i]),
+            _ => panic!("int_at on non-int column"),
+        }
+    }
+
+    /// Non-null string accessor (panics on wrong type; `None` for NULL).
+    #[inline]
+    pub fn str_at(&self, i: usize) -> Option<&str> {
+        if self.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Str(v) => Some(&v[i]),
+            _ => panic!("str_at on non-str column"),
+        }
+    }
+
+    /// Gather rows by index ("take"): the output's row `k` is this column's
+    /// row `indices[k]`. The workhorse behind filter, sort, and join.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let validity = self.validity.as_ref().map(|v| {
+            let mut out = Bitmap::new(indices.len(), false);
+            for (k, &i) in indices.iter().enumerate() {
+                if v.get(i) {
+                    out.set(k, true);
+                }
+            }
+            out
+        });
+        let data = match &self.data {
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Double(v) => ColumnData::Double(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str(v) => {
+                ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
+            }
+        };
+        Column { data, validity }
+    }
+
+    /// Concatenate columns of the same type.
+    pub fn concat(parts: &[&Column]) -> Result<Column> {
+        let Some(first) = parts.first() else {
+            return Err(Error::Internal("concat of zero columns".into()));
+        };
+        let dt = first.data_type();
+        let total: usize = parts.iter().map(|c| c.len()).sum();
+        let mut b = ColumnBuilder::new(dt, total);
+        for c in parts {
+            if c.data_type() != dt {
+                return Err(Error::Schema(format!(
+                    "concat type mismatch: {} vs {dt}",
+                    c.data_type()
+                )));
+            }
+            for i in 0..c.len() {
+                b.push(&c.value(i))?;
+            }
+        }
+        Ok(b.finish())
+    }
+
+    /// Iterate scalar values.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+}
+
+/// Incremental column construction.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    data: ColumnData,
+    validity: Bitmap,
+    has_null: bool,
+}
+
+impl ColumnBuilder {
+    pub fn new(dt: DataType, capacity: usize) -> Self {
+        ColumnBuilder {
+            data: ColumnData::with_capacity(dt, capacity),
+            validity: Bitmap::new(0, false),
+            has_null: false,
+        }
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a value; NULL is always accepted, otherwise the value's type
+    /// must match (Int is widened to Double for Double columns).
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        match (&mut self.data, v) {
+            (_, Value::Null) => {
+                self.push_null_slot();
+                return Ok(());
+            }
+            (ColumnData::Bool(d), Value::Bool(x)) => d.push(*x),
+            (ColumnData::Int(d), Value::Int(x)) => d.push(*x),
+            (ColumnData::Double(d), Value::Double(x)) => d.push(*x),
+            (ColumnData::Double(d), Value::Int(x)) => d.push(*x as f64),
+            (ColumnData::Str(d), Value::Str(x)) => d.push(x.clone()),
+            (d, v) => {
+                return Err(Error::Schema(format!(
+                    "cannot append {v} to {} column",
+                    d.data_type()
+                )))
+            }
+        }
+        self.validity.push(true);
+        Ok(())
+    }
+
+    pub fn push_null(&mut self) {
+        self.push_null_slot();
+    }
+
+    fn push_null_slot(&mut self) {
+        match &mut self.data {
+            ColumnData::Bool(d) => d.push(false),
+            ColumnData::Int(d) => d.push(0),
+            ColumnData::Double(d) => d.push(0.0),
+            ColumnData::Str(d) => d.push(Arc::from("")),
+        }
+        self.validity.push(false);
+        self.has_null = true;
+    }
+
+    pub fn finish(self) -> Column {
+        Column {
+            data: self.data,
+            validity: if self.has_null {
+                Some(self.validity)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_basics() {
+        let mut b = Bitmap::new(130, true);
+        assert_eq!(b.count_set(), 130);
+        assert!(b.all_set());
+        b.set(129, false);
+        assert!(!b.get(129));
+        assert_eq!(b.count_set(), 129);
+        b.push(true);
+        assert_eq!(b.len(), 131);
+        assert!(b.get(130));
+    }
+
+    #[test]
+    fn bitmap_push_from_empty() {
+        let mut b = Bitmap::new(0, false);
+        for i in 0..200 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 200);
+        assert_eq!(b.count_set(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn builder_roundtrip_with_nulls() {
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(3)];
+        let c = Column::from_values(DataType::Int, &vals).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.value(0), Value::Int(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.int_at(1), None);
+        assert_eq!(c.int_at(2), Some(3));
+    }
+
+    #[test]
+    fn builder_type_mismatch_rejected() {
+        let mut b = ColumnBuilder::new(DataType::Int, 1);
+        assert!(b.push(&Value::str("x")).is_err());
+        assert!(b.push(&Value::Int(5)).is_ok());
+    }
+
+    #[test]
+    fn int_widens_to_double() {
+        let mut b = ColumnBuilder::new(DataType::Double, 2);
+        b.push(&Value::Int(2)).unwrap();
+        b.push(&Value::Double(0.5)).unwrap();
+        let c = b.finish();
+        assert_eq!(c.value(0), Value::Double(2.0));
+    }
+
+    #[test]
+    fn take_preserves_nulls() {
+        let c =
+            Column::from_values(DataType::Str, &[Value::str("a"), Value::Null, Value::str("c")])
+                .unwrap();
+        let t = c.take(&[2, 1, 1, 0]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.value(0), Value::str("c"));
+        assert!(t.is_null(1) && t.is_null(2));
+        assert_eq!(t.value(3), Value::str("a"));
+    }
+
+    #[test]
+    fn concat_columns() {
+        let a = Column::from_values(DataType::Int, &[Value::Int(1), Value::Null]).unwrap();
+        let b = Column::from_values(DataType::Int, &[Value::Int(3)]).unwrap();
+        let c = Column::concat(&[&a, &b]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(2), Value::Int(3));
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn all_valid_column_has_no_bitmap() {
+        let c = Column::from_values(DataType::Int, &[Value::Int(1), Value::Int(2)]).unwrap();
+        assert_eq!(c.null_count(), 0);
+        assert!(!c.is_null(0));
+    }
+}

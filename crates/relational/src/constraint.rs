@@ -1,0 +1,655 @@
+//! Normalization of comparison conjuncts into canonical constraint forms.
+//!
+//! Both the rule compiler (to derive window frame bounds from sequence-key
+//! conditions like `B.rtime - A.rtime < 5 mins`) and the rewrite engine's
+//! transitivity analysis (paper §5.2) need conjuncts in one of two shapes:
+//!
+//! * **difference constraint** — `x OP y + c` between two columns,
+//! * **constant constraint** — `x OP c` between a column and a literal.
+//!
+//! This module recognizes the syntactic variants (`x - y OP c`,
+//! `x OP y - c`, reversed operand order, ...) and normalizes them.
+
+use crate::expr::{BinaryOp, ColumnRef, Expr};
+use crate::value::Value;
+use std::fmt;
+
+/// Comparison operator of a normalized constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CmpOp {
+    pub fn from_binary(op: BinaryOp) -> Option<CmpOp> {
+        Some(match op {
+            BinaryOp::Eq => CmpOp::Eq,
+            BinaryOp::NotEq => CmpOp::NotEq,
+            BinaryOp::Lt => CmpOp::Lt,
+            BinaryOp::LtEq => CmpOp::LtEq,
+            BinaryOp::Gt => CmpOp::Gt,
+            BinaryOp::GtEq => CmpOp::GtEq,
+            _ => return None,
+        })
+    }
+
+    pub fn to_binary(self) -> BinaryOp {
+        match self {
+            CmpOp::Eq => BinaryOp::Eq,
+            CmpOp::NotEq => BinaryOp::NotEq,
+            CmpOp::Lt => BinaryOp::Lt,
+            CmpOp::LtEq => BinaryOp::LtEq,
+            CmpOp::Gt => BinaryOp::Gt,
+            CmpOp::GtEq => BinaryOp::GtEq,
+        }
+    }
+
+    /// Operator with operands swapped: `x OP y` ⇔ `y OP.swap() x`.
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::LtEq => CmpOp::GtEq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::GtEq => CmpOp::LtEq,
+            other => other,
+        }
+    }
+
+    /// Is this an upper bound on the left operand (`<` or `<=` or `=`)?
+    pub fn is_upper(self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::LtEq | CmpOp::Eq)
+    }
+
+    /// Is this a lower bound on the left operand (`>` or `>=` or `=`)?
+    pub fn is_lower(self) -> bool {
+        matches!(self, CmpOp::Gt | CmpOp::GtEq | CmpOp::Eq)
+    }
+
+    /// Is the bound strict?
+    pub fn is_strict(self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Gt)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_binary())
+    }
+}
+
+/// `x OP y + offset` between two columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffConstraint {
+    pub x: ColumnRef,
+    pub op: CmpOp,
+    pub y: ColumnRef,
+    pub offset: i64,
+}
+
+impl DiffConstraint {
+    /// The same constraint written with `y` on the left:
+    /// `x OP y + c` ⇔ `y OP.swap() x - c`.
+    pub fn swapped(&self) -> DiffConstraint {
+        DiffConstraint {
+            x: self.y.clone(),
+            op: self.op.swap(),
+            y: self.x.clone(),
+            offset: -self.offset,
+        }
+    }
+
+    /// Render back to an expression.
+    pub fn to_expr(&self) -> Expr {
+        let rhs = if self.offset == 0 {
+            Expr::Column(self.y.clone())
+        } else {
+            Expr::binary(
+                Expr::Column(self.y.clone()),
+                if self.offset > 0 {
+                    BinaryOp::Plus
+                } else {
+                    BinaryOp::Minus
+                },
+                Expr::lit(self.offset.abs()),
+            )
+        };
+        Expr::binary(Expr::Column(self.x.clone()), self.op.to_binary(), rhs)
+    }
+}
+
+impl fmt::Display for DiffConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_expr())
+    }
+}
+
+/// `x OP value` between a column and a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstConstraint {
+    pub x: ColumnRef,
+    pub op: CmpOp,
+    pub value: Value,
+}
+
+impl ConstConstraint {
+    pub fn to_expr(&self) -> Expr {
+        Expr::binary(
+            Expr::Column(self.x.clone()),
+            self.op.to_binary(),
+            Expr::Literal(self.value.clone()),
+        )
+    }
+
+    /// Shift an integer bound by `delta` (`x OP v` → `x OP v+delta`),
+    /// `None` for non-integer values.
+    pub fn shifted(&self, delta: i64) -> Option<ConstConstraint> {
+        let v = self.value.as_int()?;
+        Some(ConstConstraint {
+            x: self.x.clone(),
+            op: self.op,
+            value: Value::Int(v + delta),
+        })
+    }
+}
+
+impl fmt::Display for ConstConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_expr())
+    }
+}
+
+/// Result of normalizing one conjunct.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Normalized {
+    Diff(DiffConstraint),
+    Const(ConstConstraint),
+}
+
+/// `col ± literal` and bare `col` / bare literal recognition.
+fn as_col_plus_const(e: &Expr) -> Option<(ColumnRef, i64)> {
+    match e {
+        Expr::Column(c) => Some((c.clone(), 0)),
+        Expr::Binary { left, op, right } => {
+            let sign = match op {
+                BinaryOp::Plus => 1,
+                BinaryOp::Minus => -1,
+                _ => return None,
+            };
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(Value::Int(v))) => Some((c.clone(), sign * v)),
+                (Expr::Literal(Value::Int(v)), Expr::Column(c)) if *op == BinaryOp::Plus => {
+                    Some((c.clone(), *v))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// `colX - colY` recognition.
+fn as_col_minus_col(e: &Expr) -> Option<(ColumnRef, ColumnRef)> {
+    if let Expr::Binary {
+        left,
+        op: BinaryOp::Minus,
+        right,
+    } = e
+    {
+        if let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) {
+            return Some((a.clone(), b.clone()));
+        }
+    }
+    None
+}
+
+/// Normalize a single comparison conjunct. Returns `None` for conjuncts that
+/// are not a recognizable column/column±const or column/literal comparison.
+pub fn normalize_conjunct(e: &Expr) -> Option<Normalized> {
+    let Expr::Binary { left, op, right } = e else {
+        return None;
+    };
+    let op = CmpOp::from_binary(*op)?;
+
+    // col OP literal / literal OP col
+    if let (Expr::Column(c), Expr::Literal(v)) = (left.as_ref(), right.as_ref()) {
+        if !v.is_null() {
+            return Some(Normalized::Const(ConstConstraint {
+                x: c.clone(),
+                op,
+                value: v.clone(),
+            }));
+        }
+        return None;
+    }
+    if let (Expr::Literal(v), Expr::Column(c)) = (left.as_ref(), right.as_ref()) {
+        if !v.is_null() {
+            return Some(Normalized::Const(ConstConstraint {
+                x: c.clone(),
+                op: op.swap(),
+                value: v.clone(),
+            }));
+        }
+        return None;
+    }
+
+    // (x - y) OP c  =>  x OP y + c
+    if let (Some((x, y)), Expr::Literal(Value::Int(c))) = (as_col_minus_col(left), right.as_ref())
+    {
+        return Some(Normalized::Diff(DiffConstraint {
+            x,
+            op,
+            y,
+            offset: *c,
+        }));
+    }
+    // c OP (x - y)  =>  x OP.swap() y + c
+    if let (Expr::Literal(Value::Int(c)), Some((x, y))) = (left.as_ref(), as_col_minus_col(right))
+    {
+        return Some(Normalized::Diff(DiffConstraint {
+            x,
+            op: op.swap(),
+            y,
+            offset: *c,
+        }));
+    }
+
+    // (x ± a) OP (y ± b)  =>  x OP y + (b - a)
+    if let (Some((x, a)), Some((y, b))) = (as_col_plus_const(left), as_col_plus_const(right)) {
+        return Some(Normalized::Diff(DiffConstraint {
+            x,
+            op,
+            y,
+            offset: b - a,
+        }));
+    }
+    None
+}
+
+/// One-sided bound on a column: value plus inclusivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bound {
+    pub value: Value,
+    pub inclusive: bool,
+}
+
+/// A (possibly half-open) interval implied for one column.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Interval {
+    pub lower: Option<Bound>,
+    pub upper: Option<Bound>,
+}
+
+impl Interval {
+    fn from_const(c: &ConstConstraint) -> Option<Interval> {
+        let b = |inclusive| {
+            Some(Bound {
+                value: c.value.clone(),
+                inclusive,
+            })
+        };
+        Some(match c.op {
+            CmpOp::Eq => Interval {
+                lower: b(true),
+                upper: b(true),
+            },
+            CmpOp::Lt => Interval {
+                lower: None,
+                upper: b(false),
+            },
+            CmpOp::LtEq => Interval {
+                lower: None,
+                upper: b(true),
+            },
+            CmpOp::Gt => Interval {
+                lower: b(false),
+                upper: None,
+            },
+            CmpOp::GtEq => Interval {
+                lower: b(true),
+                upper: None,
+            },
+            CmpOp::NotEq => return None,
+        })
+    }
+
+    /// Intersection (both intervals hold — AND).
+    fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            lower: tighter(&self.lower, &other.lower, true),
+            upper: tighter(&self.upper, &other.upper, false),
+        }
+    }
+
+    /// Convex hull (either interval holds — OR). A side unbounded in either
+    /// branch is unbounded in the hull.
+    fn hull(&self, other: &Interval) -> Interval {
+        let weaker = |a: &Option<Bound>, b: &Option<Bound>, is_lower: bool| -> Option<Bound> {
+            let (a, b) = (a.as_ref()?, b.as_ref()?);
+            let ord = a.value.total_cmp(&b.value);
+            let pick_a = match (is_lower, ord) {
+                (true, std::cmp::Ordering::Less) => true,
+                (true, std::cmp::Ordering::Greater) => false,
+                (false, std::cmp::Ordering::Greater) => true,
+                (false, std::cmp::Ordering::Less) => false,
+                (_, std::cmp::Ordering::Equal) => a.inclusive || !b.inclusive,
+            };
+            Some(if pick_a { a.clone() } else { b.clone() })
+        };
+        Interval {
+            lower: weaker(&self.lower, &other.lower, true),
+            upper: weaker(&self.upper, &other.upper, false),
+        }
+    }
+
+    /// Render as conjuncts on `col`.
+    pub fn to_constraints(&self, col: &ColumnRef) -> Vec<ConstConstraint> {
+        let mut out = Vec::new();
+        if let Some(l) = &self.lower {
+            out.push(ConstConstraint {
+                x: col.clone(),
+                op: if l.inclusive { CmpOp::GtEq } else { CmpOp::Gt },
+                value: l.value.clone(),
+            });
+        }
+        if let Some(u) = &self.upper {
+            out.push(ConstConstraint {
+                x: col.clone(),
+                op: if u.inclusive { CmpOp::LtEq } else { CmpOp::Lt },
+                value: u.value.clone(),
+            });
+        }
+        out
+    }
+}
+
+fn tighter(a: &Option<Bound>, b: &Option<Bound>, is_lower: bool) -> Option<Bound> {
+    match (a, b) {
+        (None, x) | (x, None) => x.clone(),
+        (Some(a), Some(b)) => {
+            let ord = a.value.total_cmp(&b.value);
+            let pick_a = match (is_lower, ord) {
+                (true, std::cmp::Ordering::Greater) => true,
+                (true, std::cmp::Ordering::Less) => false,
+                (false, std::cmp::Ordering::Less) => true,
+                (false, std::cmp::Ordering::Greater) => false,
+                (_, std::cmp::Ordering::Equal) => !a.inclusive || b.inclusive,
+            };
+            Some(if pick_a { a.clone() } else { b.clone() })
+        }
+    }
+}
+
+/// Column bounds implied by an arbitrary boolean predicate.
+///
+/// Handles AND (intersection) and OR (convex hull: a column bounded in
+/// *every* disjunct keeps the weakest bound). This is how the paper's
+/// relaxation of the expanded condition to `rtime < T1 + 5 min` (§5.2)
+/// falls out: `(rtime ≤ T1) ∨ (reader = 'readerX' ∧ rtime < T1+5min)`
+/// implies `rtime < T1 + 5 min`, which an index range scan can use.
+pub fn implied_bounds(expr: &Expr) -> Vec<(ColumnRef, Interval)> {
+    use std::collections::HashMap;
+
+    fn walk(expr: &Expr) -> HashMap<ColumnRef, Interval> {
+        match expr {
+            Expr::Binary {
+                left,
+                op: crate::expr::BinaryOp::And,
+                right,
+            } => {
+                let mut a = walk(left);
+                for (col, i) in walk(right) {
+                    a.entry(col)
+                        .and_modify(|cur| *cur = cur.intersect(&i))
+                        .or_insert(i);
+                }
+                a
+            }
+            Expr::Binary {
+                left,
+                op: crate::expr::BinaryOp::Or,
+                right,
+            } => {
+                let a = walk(left);
+                let b = walk(right);
+                // Only columns bounded in BOTH branches survive, hulled.
+                let mut out = HashMap::new();
+                for (col, ia) in a {
+                    if let Some(ib) = b.get(&col) {
+                        let h = ia.hull(ib);
+                        if h.lower.is_some() || h.upper.is_some() {
+                            out.insert(col, h);
+                        }
+                    }
+                }
+                out
+            }
+            other => match normalize_conjunct(other) {
+                Some(Normalized::Const(c)) => match Interval::from_const(&c) {
+                    Some(i) => std::iter::once((c.x, i)).collect(),
+                    None => HashMap::new(),
+                },
+                _ => HashMap::new(),
+            },
+        }
+    }
+    let mut out: Vec<(ColumnRef, Interval)> = walk(expr).into_iter().collect();
+    out.sort_by_key(|a| a.0.flat_name());
+    out
+}
+
+/// [`implied_bounds`] with column references canonicalized against a schema,
+/// keyed by column *position*. `rtime` and `caser.rtime` referring to the
+/// same field merge correctly (important for expanded conditions, which mix
+/// qualification styles). Unresolvable references keep the predicate from
+/// contributing bounds for that column only.
+pub fn implied_bounds_resolved(
+    expr: &Expr,
+    schema: &crate::schema::Schema,
+) -> Vec<(usize, Interval)> {
+    // Rewrite every resolvable column to a canonical positional name.
+    let canon = expr.transform(&|node| match &node {
+        Expr::Column(c) => match schema.index_of(c.qualifier.as_deref(), &c.name) {
+            Ok(i) => Expr::Column(ColumnRef {
+                qualifier: None,
+                name: format!("__pos{i}"),
+            }),
+            Err(_) => node,
+        },
+        _ => node,
+    });
+    implied_bounds(&canon)
+        .into_iter()
+        .filter_map(|(c, i)| {
+            c.name
+                .strip_prefix("__pos")
+                .and_then(|p| p.parse::<usize>().ok())
+                .map(|p| (p, i))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(s: &str) -> Expr {
+        Expr::col(s)
+    }
+
+    #[test]
+    fn const_constraint_both_orders() {
+        let n = normalize_conjunct(&col("a.rtime").lt(Expr::lit(10i64))).unwrap();
+        let Normalized::Const(c) = n else { panic!() };
+        assert_eq!(c.op, CmpOp::Lt);
+        assert_eq!(c.value, Value::Int(10));
+
+        let n = normalize_conjunct(&Expr::lit(10i64).lt(col("a.rtime"))).unwrap();
+        let Normalized::Const(c) = n else { panic!() };
+        assert_eq!(c.op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn difference_form() {
+        // B.rtime - A.rtime < 300  =>  B.rtime < A.rtime + 300
+        let e = Expr::binary(
+            Expr::binary(col("b.rtime"), BinaryOp::Minus, col("a.rtime")),
+            BinaryOp::Lt,
+            Expr::lit(300i64),
+        );
+        let Normalized::Diff(d) = normalize_conjunct(&e).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.x.qualifier.as_deref(), Some("b"));
+        assert_eq!(d.op, CmpOp::Lt);
+        assert_eq!(d.offset, 300);
+    }
+
+    #[test]
+    fn reversed_difference() {
+        // 300 > B.rtime - A.rtime  =>  B.rtime < A.rtime + 300
+        let e = Expr::binary(
+            Expr::lit(300i64),
+            BinaryOp::Gt,
+            Expr::binary(col("b.rtime"), BinaryOp::Minus, col("a.rtime")),
+        );
+        let Normalized::Diff(d) = normalize_conjunct(&e).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.op, CmpOp::Lt);
+        assert_eq!(d.offset, 300);
+    }
+
+    #[test]
+    fn col_plus_const_forms() {
+        // x < y + 5
+        let e = col("x").lt(Expr::binary(col("y"), BinaryOp::Plus, Expr::lit(5i64)));
+        let Normalized::Diff(d) = normalize_conjunct(&e).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.offset, 5);
+        // x - 3 >= y  ==  x >= y + 3
+        let e = Expr::binary(col("x"), BinaryOp::Minus, Expr::lit(3i64)).gt_eq(col("y"));
+        let Normalized::Diff(d) = normalize_conjunct(&e).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.op, CmpOp::GtEq);
+        assert_eq!(d.offset, 3);
+    }
+
+    #[test]
+    fn plain_column_equality() {
+        let e = col("a.epc").eq(col("b.epc"));
+        let Normalized::Diff(d) = normalize_conjunct(&e).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.op, CmpOp::Eq);
+        assert_eq!(d.offset, 0);
+    }
+
+    #[test]
+    fn swapped_diff_is_equivalent() {
+        let e = col("x").lt(Expr::binary(col("y"), BinaryOp::Plus, Expr::lit(5i64)));
+        let Normalized::Diff(d) = normalize_conjunct(&e).unwrap() else {
+            panic!()
+        };
+        let s = d.swapped();
+        assert_eq!(s.op, CmpOp::Gt);
+        assert_eq!(s.offset, -5);
+        assert_eq!(s.swapped(), d);
+    }
+
+    #[test]
+    fn unrecognized_forms() {
+        assert!(normalize_conjunct(&col("a").and(col("b"))).is_none());
+        assert!(normalize_conjunct(&Expr::lit(1i64)).is_none());
+        // NULL literal comparisons are never useful constraints.
+        assert!(normalize_conjunct(&col("a").eq(Expr::Literal(Value::Null))).is_none());
+    }
+
+    #[test]
+    fn implied_bounds_through_and() {
+        let e = col("rtime")
+            .gt_eq(Expr::lit(5i64))
+            .and(col("rtime").lt(Expr::lit(100i64)))
+            .and(col("loc").eq(Expr::lit("x")));
+        let bounds = implied_bounds(&e);
+        assert_eq!(bounds.len(), 2);
+        let rtime = &bounds.iter().find(|(c, _)| c.name == "rtime").unwrap().1;
+        assert_eq!(rtime.lower.as_ref().unwrap().value, Value::Int(5));
+        assert!(rtime.lower.as_ref().unwrap().inclusive);
+        assert_eq!(rtime.upper.as_ref().unwrap().value, Value::Int(100));
+        assert!(!rtime.upper.as_ref().unwrap().inclusive);
+    }
+
+    #[test]
+    fn implied_bounds_through_or_take_hull() {
+        // The paper's ec1: (rtime <= T1) OR (reader='readerX' AND rtime < T1+300)
+        // implies rtime < T1+300.
+        let t1 = 1000i64;
+        let e = col("rtime").lt_eq(Expr::lit(t1)).or(col("reader")
+            .eq(Expr::lit("readerX"))
+            .and(col("rtime").lt(Expr::lit(t1 + 300))));
+        let bounds = implied_bounds(&e);
+        assert_eq!(bounds.len(), 1);
+        let (c, i) = &bounds[0];
+        assert_eq!(c.name, "rtime");
+        assert!(i.lower.is_none());
+        assert_eq!(i.upper.as_ref().unwrap().value, Value::Int(t1 + 300));
+        assert!(!i.upper.as_ref().unwrap().inclusive);
+    }
+
+    #[test]
+    fn or_drops_columns_missing_in_one_branch() {
+        let e = col("a").lt(Expr::lit(5i64)).or(col("b").lt(Expr::lit(9i64)));
+        assert!(implied_bounds(&e).is_empty());
+    }
+
+    #[test]
+    fn hull_prefers_inclusive_on_ties() {
+        let e = col("a")
+            .lt(Expr::lit(5i64))
+            .or(col("a").lt_eq(Expr::lit(5i64)));
+        let bounds = implied_bounds(&e);
+        assert!(bounds[0].1.upper.as_ref().unwrap().inclusive);
+    }
+
+    #[test]
+    fn interval_to_constraints_roundtrip() {
+        let e = col("rtime")
+            .gt(Expr::lit(5i64))
+            .and(col("rtime").lt_eq(Expr::lit(9i64)));
+        let bounds = implied_bounds(&e);
+        let cs = bounds[0].1.to_constraints(&ColumnRef::new("rtime"));
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].op, CmpOp::Gt);
+        assert_eq!(cs[1].op, CmpOp::LtEq);
+    }
+
+    #[test]
+    fn roundtrip_to_expr() {
+        let d = DiffConstraint {
+            x: ColumnRef::new("b.rtime"),
+            op: CmpOp::Lt,
+            y: ColumnRef::new("a.rtime"),
+            offset: 300,
+        };
+        let Normalized::Diff(d2) = normalize_conjunct(&d.to_expr()).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d, d2);
+        let c = ConstConstraint {
+            x: ColumnRef::new("b.rtime"),
+            op: CmpOp::LtEq,
+            value: Value::Int(7),
+        };
+        let Normalized::Const(c2) = normalize_conjunct(&c.to_expr()).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c, c2);
+    }
+}

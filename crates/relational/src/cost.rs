@@ -1,0 +1,535 @@
+//! Plan cost estimation.
+//!
+//! The rewrite engine generates several candidate rewrites (expanded with
+//! 0..m joins pushed below cleansing; join-back with 0..n semi-joins) and
+//! "compiles" each, picking the cheapest estimate — exactly the paper's
+//! §5.2/§5.3 protocol. This module provides the estimator: System-R-style
+//! selectivities from table statistics plus simple per-operator CPU costs.
+
+use crate::expr::{split_conjuncts, BinaryOp, Expr};
+use crate::plan::LogicalPlan;
+use crate::stats::ColumnStats;
+use crate::table::Catalog;
+
+/// Cost constants (arbitrary CPU units; only relative magnitudes matter).
+const COST_SCAN_ROW: f64 = 1.0;
+const COST_INDEX_FETCH_ROW: f64 = 2.0;
+const COST_FILTER_ROW: f64 = 0.2;
+const COST_SORT_ROW_FACTOR: f64 = 2.0;
+const COST_WINDOW_ROW_PER_EXPR: f64 = 1.5;
+const COST_JOIN_BUILD_ROW: f64 = 1.5;
+const COST_JOIN_PROBE_ROW: f64 = 1.0;
+const COST_AGG_ROW: f64 = 1.2;
+const COST_PROJECT_ROW: f64 = 0.3;
+
+/// Estimated cardinality and cumulative cost of a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    pub rows: f64,
+    pub cost: f64,
+}
+
+/// Estimate a plan's output cardinality and total cost.
+pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> Estimate {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            alias: _,
+            filter,
+        } => {
+            let Ok(t) = catalog.get(table) else {
+                return Estimate { rows: 0.0, cost: 0.0 };
+            };
+            let total = t.num_rows() as f64;
+            match filter {
+                None => Estimate {
+                    rows: total,
+                    cost: total * COST_SCAN_ROW,
+                },
+                Some(f) => {
+                    let sel = selectivity(f, plan, catalog);
+                    // If any indexed column is bounded by the filter, the
+                    // executor fetches only the index-selected rows.
+                    let index_sel = index_access_selectivity(&t, f);
+                    let cost = match index_sel {
+                        Some(isel) => {
+                            let fetched = total * isel;
+                            fetched * COST_INDEX_FETCH_ROW + fetched * COST_FILTER_ROW
+                        }
+                        None => total * COST_SCAN_ROW + total * COST_FILTER_ROW,
+                    };
+                    Estimate {
+                        rows: (total * sel).max(1.0),
+                        cost,
+                    }
+                }
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let e = estimate(input, catalog);
+            let sel = selectivity(predicate, input, catalog);
+            Estimate {
+                rows: (e.rows * sel).max(1.0),
+                cost: e.cost + e.rows * COST_FILTER_ROW,
+            }
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let e = estimate(input, catalog);
+            Estimate {
+                rows: e.rows,
+                cost: e.cost + e.rows * COST_PROJECT_ROW * exprs.len() as f64,
+            }
+        }
+        LogicalPlan::Sort { input, .. } => {
+            let e = estimate(input, catalog);
+            Estimate {
+                rows: e.rows,
+                cost: e.cost + sort_cost(e.rows),
+            }
+        }
+        LogicalPlan::Window {
+            input,
+            exprs,
+            presorted,
+            ..
+        } => {
+            let e = estimate(input, catalog);
+            let mut cost = e.cost + e.rows * COST_WINDOW_ROW_PER_EXPR * exprs.len().max(1) as f64;
+            if !presorted {
+                cost += sort_cost(e.rows);
+            }
+            Estimate { rows: e.rows, cost }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            join_type,
+            ..
+        } => {
+            let l = estimate(left, catalog);
+            let r = estimate(right, catalog);
+            let cost =
+                l.cost + r.cost + r.rows * COST_JOIN_BUILD_ROW + l.rows * COST_JOIN_PROBE_ROW;
+            let rows = match join_type {
+                crate::join::JoinType::Inner => {
+                    // n-to-1 reference joins: output ≈ left rows scaled by the
+                    // fraction of the right table that survived its filters.
+                    let r_base = base_table_rows(right, catalog);
+                    if r_base > 0.0 {
+                        (l.rows * (r.rows / r_base).min(1.0)).max(1.0)
+                    } else {
+                        l.rows.max(r.rows)
+                    }
+                }
+                crate::join::JoinType::LeftSemi => {
+                    // Fraction of left rows whose key appears on the right:
+                    // right distinct keys over left key NDV.
+                    let key_ndv = left_key_ndv(left, left_keys, catalog);
+                    let frac = match key_ndv {
+                        Some(ndv) if ndv > 0.0 => (r.rows / ndv).min(1.0),
+                        _ => 0.5,
+                    };
+                    (l.rows * frac).max(1.0)
+                }
+            };
+            Estimate { rows, cost }
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            let e = estimate(input, catalog);
+            let mut groups = 1.0f64;
+            for (g, _) in group_by {
+                groups *= column_ndv(g, input, catalog).unwrap_or_else(|| e.rows.sqrt());
+            }
+            let rows = if group_by.is_empty() {
+                1.0
+            } else {
+                groups.min(e.rows).max(1.0)
+            };
+            Estimate {
+                rows,
+                cost: e.cost + e.rows * COST_AGG_ROW,
+            }
+        }
+        LogicalPlan::Distinct { input } => {
+            let e = estimate(input, catalog);
+            let rows = distinct_rows(input, catalog).unwrap_or(e.rows * 0.5);
+            Estimate {
+                rows: rows.min(e.rows).max(1.0),
+                cost: e.cost + e.rows * COST_AGG_ROW,
+            }
+        }
+        LogicalPlan::Union { inputs } => {
+            let mut rows = 0.0;
+            let mut cost = 0.0;
+            for i in inputs {
+                let e = estimate(i, catalog);
+                rows += e.rows;
+                cost += e.cost;
+            }
+            Estimate { rows, cost }
+        }
+        LogicalPlan::Limit { input, fetch } => {
+            let e = estimate(input, catalog);
+            Estimate {
+                rows: e.rows.min(*fetch as f64),
+                cost: e.cost,
+            }
+        }
+        LogicalPlan::SubqueryAlias { input, .. } => estimate(input, catalog),
+    }
+}
+
+fn sort_cost(rows: f64) -> f64 {
+    let n = rows.max(2.0);
+    n * n.log2() * COST_SORT_ROW_FACTOR
+}
+
+/// Unfiltered row count of the base table under a chain of row-preserving
+/// nodes (used to turn a filtered dimension into a join selectivity).
+pub fn base_table_rows(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
+    match plan {
+        LogicalPlan::Scan { table, .. } => catalog
+            .get(table)
+            .map(|t| t.num_rows() as f64)
+            .unwrap_or(0.0),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::SubqueryAlias { input, .. } => base_table_rows(input, catalog),
+        _ => 0.0,
+    }
+}
+
+/// Resolve a column expression to its base-table statistics, walking through
+/// row-preserving operators.
+fn resolve_column_stats(
+    expr: &Expr,
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+) -> Option<ColumnStats> {
+    let Expr::Column(c) = expr else { return None };
+    match plan {
+        LogicalPlan::Scan { table, alias, .. } => {
+            let t = catalog.get(table).ok()?;
+            // Honour the alias: `c.rtime` resolves only if alias matches.
+            if let (Some(q), Some(a)) = (&c.qualifier, alias) {
+                if !q.eq_ignore_ascii_case(a) {
+                    return None;
+                }
+            } else if let (Some(q), None) = (&c.qualifier, alias) {
+                if !q.eq_ignore_ascii_case(table) {
+                    return None;
+                }
+            }
+            let i = t.schema().index_of(None, &c.name).ok()?;
+            t.stats().column(i).cloned()
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Window { input, .. }
+        | LogicalPlan::Limit { input, .. } => resolve_column_stats(expr, input, catalog),
+        LogicalPlan::Project { input, exprs } => {
+            // Follow pass-through or renamed columns.
+            let (src, _) = exprs.iter().find(|(_, a)| {
+                a.eq_ignore_ascii_case(&c.name) && c.qualifier.is_none()
+            })?;
+            resolve_column_stats(src, input, catalog)
+        }
+        LogicalPlan::Join { left, right, .. } => resolve_column_stats(expr, left, catalog)
+            .or_else(|| resolve_column_stats(expr, right, catalog)),
+        LogicalPlan::SubqueryAlias { input, alias } => {
+            // `alias.x` resolves to the inner plan's `x`.
+            match &c.qualifier {
+                Some(q) if q.eq_ignore_ascii_case(alias) => resolve_column_stats(
+                    &Expr::Column(crate::expr::ColumnRef {
+                        qualifier: None,
+                        name: c.name.clone(),
+                    }),
+                    input,
+                    catalog,
+                ),
+                None => resolve_column_stats(expr, input, catalog),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn column_ndv(expr: &Expr, plan: &LogicalPlan, catalog: &Catalog) -> Option<f64> {
+    resolve_column_stats(expr, plan, catalog).map(|s| s.ndv as f64)
+}
+
+fn left_key_ndv(left: &LogicalPlan, keys: &[Expr], catalog: &Catalog) -> Option<f64> {
+    if keys.len() != 1 {
+        return None;
+    }
+    column_ndv(&keys[0], left, catalog)
+}
+
+/// Output rows of DISTINCT over its input (NDV of a single projected column
+/// when resolvable).
+fn distinct_rows(input: &LogicalPlan, catalog: &Catalog) -> Option<f64> {
+    if let LogicalPlan::Project { input: inner, exprs } = input {
+        if exprs.len() == 1 {
+            return column_ndv(&exprs[0].0, inner, catalog);
+        }
+    }
+    None
+}
+
+/// Selectivity of a predicate against the given input plan.
+pub fn selectivity(expr: &Expr, input: &LogicalPlan, catalog: &Catalog) -> f64 {
+    let conjuncts = split_conjuncts(expr);
+    let mut sel = 1.0;
+    for c in conjuncts {
+        sel *= conjunct_selectivity(&c, input, catalog);
+    }
+    sel.clamp(0.0, 1.0)
+}
+
+const DEFAULT_SEL: f64 = 0.25;
+
+fn conjunct_selectivity(expr: &Expr, input: &LogicalPlan, catalog: &Catalog) -> f64 {
+    match expr {
+        Expr::Binary { left, op, right } => match op {
+            BinaryOp::Or => {
+                let a = conjunct_selectivity(left, input, catalog);
+                let b = conjunct_selectivity(right, input, catalog);
+                (a + b - a * b).clamp(0.0, 1.0)
+            }
+            BinaryOp::And => {
+                conjunct_selectivity(left, input, catalog)
+                    * conjunct_selectivity(right, input, catalog)
+            }
+            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt
+            | BinaryOp::GtEq => {
+                let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
+                    (Expr::Column(_), Expr::Literal(v)) => (left.as_ref(), v, *op),
+                    (Expr::Literal(v), Expr::Column(_)) => (right.as_ref(), v, op.swap()),
+                    _ => return DEFAULT_SEL,
+                };
+                let Some(stats) = resolve_column_stats(col, input, catalog) else {
+                    return DEFAULT_SEL;
+                };
+                match op {
+                    BinaryOp::Eq => stats.eq_selectivity(),
+                    BinaryOp::NotEq => (1.0 - stats.eq_selectivity()).max(0.0),
+                    BinaryOp::Lt | BinaryOp::LtEq => stats.range_selectivity(None, Some(lit)),
+                    BinaryOp::Gt | BinaryOp::GtEq => stats.range_selectivity(Some(lit), None),
+                    _ => DEFAULT_SEL,
+                }
+            }
+            _ => DEFAULT_SEL,
+        },
+        Expr::Not(inner) => (1.0 - conjunct_selectivity(inner, input, catalog)).clamp(0.0, 1.0),
+        Expr::InList { expr, list, negated } => {
+            in_selectivity(expr, list.len(), *negated, input, catalog)
+        }
+        Expr::InSet {
+            expr, set, negated, ..
+        } => in_selectivity(expr, set.len(), *negated, input, catalog),
+        Expr::IsNull { expr, negated } => {
+            let Some(stats) = resolve_column_stats(expr, input, catalog) else {
+                return if *negated { 0.9 } else { 0.1 };
+            };
+            let total = (stats.ndv + stats.null_count).max(1);
+            let frac = stats.null_count as f64 / total as f64;
+            if *negated {
+                1.0 - frac
+            } else {
+                frac
+            }
+        }
+        Expr::Literal(v) => match v.as_bool() {
+            Some(true) => 1.0,
+            Some(false) => 0.0,
+            None => DEFAULT_SEL,
+        },
+        _ => DEFAULT_SEL,
+    }
+}
+
+fn in_selectivity(
+    expr: &Expr,
+    list_len: usize,
+    negated: bool,
+    input: &LogicalPlan,
+    catalog: &Catalog,
+) -> f64 {
+    let sel = match resolve_column_stats(expr, input, catalog) {
+        Some(stats) if stats.ndv > 0 => (list_len as f64 / stats.ndv as f64).min(1.0),
+        _ => (DEFAULT_SEL * list_len as f64).min(1.0),
+    };
+    if negated {
+        1.0 - sel
+    } else {
+        sel
+    }
+}
+
+/// If the filter bounds an indexed column, the fraction of the table an index
+/// access would fetch (the most selective single-column access).
+fn index_access_selectivity(table: &crate::table::Table, filter: &Expr) -> Option<f64> {
+    let schema = table.schema();
+    let mut best: Option<f64> = None;
+    // Range bounds implied by the whole predicate (including across ORs),
+    // mirroring the executor's index-access analysis.
+    for (i, interval) in crate::constraint::implied_bounds_resolved(filter, schema) {
+        let Some(stats) = table.stats().column(i) else {
+            continue;
+        };
+        let lo = interval.lower.as_ref().map(|b| b.value.clone());
+        let hi = interval.upper.as_ref().map(|b| b.value.clone());
+        if lo.is_none() && hi.is_none() {
+            continue;
+        }
+        let sel = stats.range_selectivity(lo.as_ref(), hi.as_ref());
+        let col_name = &schema.field(i).name;
+        if table.index(col_name).is_some() && best.is_none_or(|b| sel < b) {
+            best = Some(sel);
+        }
+    }
+    for conj in split_conjuncts(filter) {
+        let (col_name, sel) = match &conj {
+            Expr::InList {
+                expr,
+                list,
+                negated: false,
+            } => {
+                let Expr::Column(c) = expr.as_ref() else {
+                    continue;
+                };
+                let Ok(i) = schema.index_of(None, &c.name) else {
+                    continue;
+                };
+                let Some(stats) = table.stats().column(i) else {
+                    continue;
+                };
+                let sel = if stats.ndv > 0 {
+                    (list.len() as f64 / stats.ndv as f64).min(1.0)
+                } else {
+                    1.0
+                };
+                (c.name.clone(), sel)
+            }
+            _ => continue,
+        };
+        if table.index(&col_name).is_some() && best.is_none_or(|b| sel < b) {
+            best = Some(sel);
+        }
+    }
+    best.filter(|&s| s < 0.95)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{schema_ref, Batch};
+    use crate::schema::{Field, Schema};
+    use crate::table::Table;
+    use crate::value::{DataType, Value};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+        ]));
+        let rows: Vec<Vec<Value>> = (0..1000)
+            .map(|i| vec![Value::str(format!("e{}", i % 100)), Value::Int(i)])
+            .collect();
+        let mut t = Table::new("r", Batch::from_rows(schema, &rows).unwrap());
+        t.create_index("rtime").unwrap();
+        cat.register(t);
+        cat
+    }
+
+    #[test]
+    fn scan_selectivity_interpolates() {
+        let cat = catalog();
+        let plan = LogicalPlan::Scan {
+            table: "r".into(),
+            alias: None,
+            filter: Some(Expr::col("rtime").lt(Expr::lit(100i64))),
+        };
+        let e = estimate(&plan, &cat);
+        assert!((e.rows - 100.0).abs() < 10.0, "rows = {}", e.rows);
+    }
+
+    #[test]
+    fn indexed_scan_cheaper_than_full() {
+        let cat = catalog();
+        let indexed = LogicalPlan::Scan {
+            table: "r".into(),
+            alias: None,
+            filter: Some(Expr::col("rtime").lt(Expr::lit(100i64))),
+        };
+        let full = LogicalPlan::Scan {
+            table: "r".into(),
+            alias: None,
+            filter: Some(Expr::col("epc").eq(Expr::lit("e1"))),
+        };
+        assert!(estimate(&indexed, &cat).cost < estimate(&full, &cat).cost);
+    }
+
+    #[test]
+    fn sort_dominates_for_large_inputs() {
+        let cat = catalog();
+        let scan = LogicalPlan::scan("r");
+        let sorted = LogicalPlan::scan("r").sort(vec![crate::sort::SortKey::asc(Expr::col("epc"))]);
+        assert!(estimate(&sorted, &cat).cost > 2.0 * estimate(&scan, &cat).cost);
+    }
+
+    #[test]
+    fn presorted_window_cheaper() {
+        let cat = catalog();
+        let mk = |presorted| LogicalPlan::Window {
+            input: Box::new(LogicalPlan::scan("r")),
+            partition_by: vec![Expr::col("epc")],
+            order_by: vec![crate::sort::SortKey::asc(Expr::col("rtime"))],
+            exprs: vec![],
+            presorted,
+        };
+        assert!(estimate(&mk(true), &cat).cost < estimate(&mk(false), &cat).cost);
+    }
+
+    #[test]
+    fn distinct_project_uses_ndv() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("r")
+            .project(vec![(Expr::col("epc"), "epc".into())])
+            .distinct();
+        let e = estimate(&plan, &cat);
+        assert!((e.rows - 100.0).abs() < 1.0, "rows = {}", e.rows);
+    }
+
+    #[test]
+    fn aggregate_group_rows_capped_by_input() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("r")
+            .filter(Expr::col("rtime").lt(Expr::lit(10i64)))
+            .aggregate(
+                vec![(Expr::col("epc"), "epc".into())],
+                vec![],
+            );
+        let e = estimate(&plan, &cat);
+        assert!(e.rows <= 11.0, "rows = {}", e.rows);
+    }
+
+    #[test]
+    fn or_selectivity_combines() {
+        let cat = catalog();
+        let input = LogicalPlan::scan("r");
+        let p = Expr::col("rtime")
+            .lt(Expr::lit(100i64))
+            .or(Expr::col("rtime").gt_eq(Expr::lit(900i64)));
+        let s = selectivity(&p, &input, &cat);
+        assert!(s > 0.15 && s < 0.3, "sel = {s}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types shared by every layer of the engine.
+
+use std::fmt;
+
+/// Result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Engine-wide error type.
+///
+/// The variants are deliberately coarse: callers dispatch on the broad class
+/// of failure (planning vs. execution vs. catalog), while the payload carries
+/// a human-readable description with enough context to debug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table, column, or index was not found, or a name clash occurred.
+    Catalog(String),
+    /// The SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// The query is syntactically valid but semantically ill-formed
+    /// (unknown column, type mismatch, unsupported construct, ...).
+    Plan(String),
+    /// A failure during plan execution (overflow, invalid cast, ...).
+    Execution(String),
+    /// A schema mismatch between batches or between a batch and a table.
+    Schema(String),
+    /// Internal invariant violation — always a bug in the engine.
+    Internal(String),
+}
+
+impl Error {
+    /// Short classifier used by tests and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Catalog(_) => "catalog",
+            Error::Parse(_) => "parse",
+            Error::Plan(_) => "plan",
+            Error::Execution(_) => "execution",
+            Error::Schema(_) => "schema",
+            Error::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message carried by this error.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Catalog(m)
+            | Error::Parse(m)
+            | Error::Plan(m)
+            | Error::Execution(m)
+            | Error::Schema(m)
+            | Error::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience constructor macros used across the crate.
+#[macro_export]
+macro_rules! plan_err {
+    ($($arg:tt)*) => {
+        Err($crate::error::Error::Plan(format!($($arg)*)))
+    };
+}
+
+#[macro_export]
+macro_rules! exec_err {
+    ($($arg:tt)*) => {
+        Err($crate::error::Error::Execution(format!($($arg)*)))
+    };
+}
+
+#[macro_export]
+macro_rules! internal_err {
+    ($($arg:tt)*) => {
+        Err($crate::error::Error::Internal(format!($($arg)*)))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_message_roundtrip() {
+        let e = Error::Plan("no such column x".into());
+        assert_eq!(e.kind(), "plan");
+        assert_eq!(e.message(), "no such column x");
+        assert_eq!(e.to_string(), "plan error: no such column x");
+    }
+
+    #[test]
+    fn macros_produce_expected_variants() {
+        fn f() -> Result<()> {
+            plan_err!("bad {}", 42)
+        }
+        match f() {
+            Err(Error::Plan(m)) => assert_eq!(m, "bad 42"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

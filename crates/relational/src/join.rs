@@ -1,0 +1,264 @@
+//! Hash joins: inner and left-semi.
+//!
+//! The paper's workloads join the reads table with *n-to-1 reference tables*
+//! (locations, steps, products) and use semi-joins to restrict the set of
+//! EPC sequences before cleansing (join-back rewrite, §5.3). NULL keys never
+//! match, per SQL semantics.
+
+use crate::batch::Batch;
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Supported join types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner equi-join; output schema is `left ++ right`.
+    Inner,
+    /// Left semi-join: left rows with at least one right match; left schema.
+    LeftSemi,
+}
+
+impl std::fmt::Display for JoinType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinType::Inner => f.write_str("INNER"),
+            JoinType::LeftSemi => f.write_str("LEFT SEMI"),
+        }
+    }
+}
+
+/// Evaluate key expressions into per-row key tuples; `None` if any key part
+/// is NULL (such rows never join).
+fn key_rows(batch: &Batch, keys: &[Expr]) -> Result<Vec<Option<Vec<Value>>>> {
+    let cols: Vec<_> = keys
+        .iter()
+        .map(|k| k.evaluate(batch))
+        .collect::<Result<Vec<_>>>()?;
+    let n = batch.num_rows();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if cols.iter().any(|c| c.is_null(i)) {
+            out.push(None);
+        } else {
+            out.push(Some(cols.iter().map(|c| c.value(i)).collect()));
+        }
+    }
+    Ok(out)
+}
+
+/// Hash join two batches on equi-key expressions.
+///
+/// The hash table is always built on the right input (the caller puts the
+/// smaller/reference side on the right, as the planner does for dimension
+/// tables). Returns the joined batch and the number of probe comparisons,
+/// which the executor accumulates as a work counter.
+pub fn hash_join(
+    left: &Batch,
+    right: &Batch,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    join_type: JoinType,
+) -> Result<(Batch, u64)> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(Error::Plan(format!(
+            "join requires matching non-empty key lists, got {} and {}",
+            left_keys.len(),
+            right_keys.len()
+        )));
+    }
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, key) in key_rows(right, right_keys)?.into_iter().enumerate() {
+        if let Some(k) = key {
+            table.entry(k).or_default().push(i);
+        }
+    }
+
+    let left_keys_eval = key_rows(left, left_keys)?;
+    let mut probes: u64 = 0;
+    match join_type {
+        JoinType::Inner => {
+            let mut li = Vec::new();
+            let mut ri = Vec::new();
+            for (i, key) in left_keys_eval.into_iter().enumerate() {
+                probes += 1;
+                let Some(k) = key else { continue };
+                if let Some(matches) = table.get(&k) {
+                    for &m in matches {
+                        li.push(i);
+                        ri.push(m);
+                    }
+                }
+            }
+            let lt = left.take(&li);
+            let rt = right.take(&ri);
+            let schema = Arc::new(lt.schema().join(rt.schema()));
+            let mut cols = lt.columns().to_vec();
+            cols.extend(rt.columns().iter().cloned());
+            Ok((Batch::new(schema, cols)?, probes))
+        }
+        JoinType::LeftSemi => {
+            let mut li = Vec::new();
+            for (i, key) in left_keys_eval.into_iter().enumerate() {
+                probes += 1;
+                let Some(k) = key else { continue };
+                if table.contains_key(&k) {
+                    li.push(i);
+                }
+            }
+            Ok((left.take(&li), probes))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::schema_ref;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn reads() -> Batch {
+        let schema = schema_ref(Schema::new(vec![
+            Field::qualified("c", "epc", DataType::Str),
+            Field::qualified("c", "biz_loc", DataType::Str),
+        ]));
+        Batch::from_rows(
+            schema,
+            &[
+                vec![Value::str("e1"), Value::str("l1")],
+                vec![Value::str("e2"), Value::str("l2")],
+                vec![Value::str("e3"), Value::Null],
+                vec![Value::str("e4"), Value::str("l1")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn locs() -> Batch {
+        let schema = schema_ref(Schema::new(vec![
+            Field::qualified("l", "gln", DataType::Str),
+            Field::qualified("l", "site", DataType::Str),
+        ]));
+        Batch::from_rows(
+            schema,
+            &[
+                vec![Value::str("l1"), Value::str("dc1")],
+                vec![Value::str("l3"), Value::str("dc2")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_basics() {
+        let (out, _) = hash_join(
+            &reads(),
+            &locs(),
+            &[Expr::col("c.biz_loc")],
+            &[Expr::col("l.gln")],
+            JoinType::Inner,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.num_columns(), 4);
+        let epcs: Vec<Value> = (0..2).map(|i| out.row(i)[0].clone()).collect();
+        assert_eq!(epcs, vec![Value::str("e1"), Value::str("e4")]);
+        assert_eq!(out.column_by_name("l.site").unwrap().value(0), Value::str("dc1"));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        // e3 has NULL biz_loc; even a NULL on the right must not match it.
+        let schema = schema_ref(Schema::new(vec![Field::new("gln", DataType::Str)]));
+        let right = Batch::from_rows(schema, &[vec![Value::Null]]).unwrap();
+        let (out, _) = hash_join(
+            &reads(),
+            &right,
+            &[Expr::col("c.biz_loc")],
+            &[Expr::col("gln")],
+            JoinType::Inner,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn semi_join_keeps_left_schema_and_dedupes() {
+        // Duplicate right keys must not duplicate left rows.
+        let schema = schema_ref(Schema::new(vec![Field::new("gln", DataType::Str)]));
+        let right = Batch::from_rows(
+            schema,
+            &[vec![Value::str("l1")], vec![Value::str("l1")]],
+        )
+        .unwrap();
+        let (out, _) = hash_join(
+            &reads(),
+            &right,
+            &[Expr::col("c.biz_loc")],
+            &[Expr::col("gln")],
+            JoinType::LeftSemi,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.num_columns(), 2);
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::Str),
+        ]));
+        let left = Batch::from_rows(
+            schema.clone(),
+            &[
+                vec![Value::str("x"), Value::str("1")],
+                vec![Value::str("x"), Value::str("2")],
+            ],
+        )
+        .unwrap();
+        let schema_r = schema_ref(Schema::new(vec![
+            Field::new("c", DataType::Str),
+            Field::new("d", DataType::Str),
+        ]));
+        let right =
+            Batch::from_rows(schema_r, &[vec![Value::str("x"), Value::str("2")]]).unwrap();
+        let (out, _) = hash_join(
+            &left,
+            &right,
+            &[Expr::col("a"), Expr::col("b")],
+            &[Expr::col("c"), Expr::col("d")],
+            JoinType::Inner,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0)[1], Value::str("2"));
+    }
+
+    #[test]
+    fn one_to_many_inner_multiplies() {
+        let schema = schema_ref(Schema::new(vec![Field::new("gln", DataType::Str)]));
+        let right = Batch::from_rows(
+            schema,
+            &[vec![Value::str("l1")], vec![Value::str("l1")]],
+        )
+        .unwrap();
+        let (out, _) = hash_join(
+            &reads(),
+            &right,
+            &[Expr::col("c.biz_loc")],
+            &[Expr::col("gln")],
+            JoinType::Inner,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 4); // e1 x2, e4 x2
+    }
+
+    #[test]
+    fn empty_key_list_rejected() {
+        assert!(hash_join(&reads(), &locs(), &[], &[], JoinType::Inner).is_err());
+    }
+}

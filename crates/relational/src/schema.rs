@@ -1,0 +1,273 @@
+//! Schemas: ordered collections of named, typed fields.
+//!
+//! Column resolution supports both bare names (`rtime`) and qualified names
+//! (`c.rtime`). A field stores its bare name plus an optional qualifier (a
+//! table name or alias); unqualified lookups match the bare name and are
+//! ambiguous if more than one field shares it.
+
+use crate::error::{Error, Result};
+use crate::value::DataType;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Optional qualifier (table name or alias), lowercase.
+    pub qualifier: Option<String>,
+    /// Bare column name, lowercase.
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            qualifier: None,
+            name: name.into().to_ascii_lowercase(),
+            data_type,
+        }
+    }
+
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        data_type: DataType,
+    ) -> Self {
+        Field {
+            qualifier: Some(qualifier.into().to_ascii_lowercase()),
+            name: name.into().to_ascii_lowercase(),
+            data_type,
+        }
+    }
+
+    /// Re-qualify this field (used when a table is aliased in a query).
+    pub fn with_qualifier(mut self, qualifier: impl Into<String>) -> Self {
+        self.qualifier = Some(qualifier.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Build a field from a flat name: `"c.epc"` becomes qualifier `c`,
+    /// name `epc`; a bare name stays unqualified. Lets projections emit
+    /// qualified output columns.
+    pub fn from_flat_name(flat: &str, data_type: DataType) -> Self {
+        match flat.split_once('.') {
+            Some((q, n)) => Field::qualified(q, n, data_type),
+            None => Field::new(flat, data_type),
+        }
+    }
+
+    /// Does `name` (optionally qualified) refer to this field?
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|fq| fq.eq_ignore_ascii_case(q)),
+        }
+    }
+
+    /// `qualifier.name` or bare `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.qualified_name(), self.data_type)
+    }
+}
+
+/// An ordered list of fields. Cheap to clone (`Arc` inside `SchemaRef`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Self {
+        Schema { fields: vec![] }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Resolve a possibly-qualified column name to its index.
+    ///
+    /// Unqualified names are ambiguous if they match several fields; qualified
+    /// names must match exactly one.
+    pub fn index_of(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(qualifier, name) {
+                if found.is_some() {
+                    return Err(Error::Plan(format!(
+                        "ambiguous column reference '{}{}'",
+                        qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
+                        name
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            Error::Plan(format!(
+                "no such column '{}{}' in schema [{}]",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
+                name,
+                self
+            ))
+        })
+    }
+
+    /// Parse `a.b` / `b` and resolve.
+    pub fn index_of_name(&self, name: &str) -> Result<usize> {
+        match name.split_once('.') {
+            Some((q, n)) => self.index_of(Some(q), n),
+            None => self.index_of(None, name),
+        }
+    }
+
+    /// Concatenate two schemas (for joins).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// A copy of this schema with every field re-qualified.
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| f.clone().with_qualifier(qualifier))
+                .collect(),
+        }
+    }
+
+    /// A copy with all qualifiers stripped (e.g. output of a derived table).
+    pub fn unqualified(&self) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| Field::new(f.name.clone(), f.data_type))
+                .collect(),
+        }
+    }
+
+    /// True if both schemas have the same types in the same positions
+    /// (names may differ) — the requirement for UNION inputs.
+    pub fn types_compatible(&self, other: &Schema) -> bool {
+        self.len() == other.len()
+            && self
+                .fields
+                .iter()
+                .zip(other.fields.iter())
+                .all(|(a, b)| a.data_type == b.data_type)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for field in &self.fields {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{field}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::qualified("c", "epc", DataType::Str),
+            Field::qualified("c", "rtime", DataType::Int),
+            Field::qualified("l", "gln", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn unqualified_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of(None, "rtime").unwrap(), 1);
+        assert_eq!(s.index_of_name("gln").unwrap(), 2);
+    }
+
+    #[test]
+    fn qualified_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of(Some("c"), "epc").unwrap(), 0);
+        assert_eq!(s.index_of_name("l.gln").unwrap(), 2);
+        assert!(s.index_of(Some("l"), "epc").is_err());
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        let s = Schema::new(vec![
+            Field::qualified("a", "x", DataType::Int),
+            Field::qualified("b", "x", DataType::Int),
+        ]);
+        assert!(s.index_of(None, "x").is_err());
+        assert_eq!(s.index_of(Some("b"), "x").unwrap(), 1);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of(Some("C"), "EPC").unwrap(), 0);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = schema();
+        let j = s.join(&Schema::new(vec![Field::new("y", DataType::Bool)]));
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.index_of_name("y").unwrap(), 3);
+    }
+
+    #[test]
+    fn union_type_compat() {
+        let a = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let b = Schema::new(vec![Field::new("z", DataType::Int)]);
+        let c = Schema::new(vec![Field::new("z", DataType::Str)]);
+        assert!(a.types_compatible(&b));
+        assert!(!a.types_compatible(&c));
+    }
+}

@@ -1,0 +1,206 @@
+//! Multi-key sorting.
+//!
+//! Sorting is the dominant cost of sequence processing (paper §6.2: "the
+//! sorting cost to produce the sequence order may be dominant"), so the
+//! executor counts sorted rows and the optimizer eliminates sorts whose
+//! ordering is already provided by an upstream operator (order sharing).
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::error::Result;
+use crate::expr::Expr;
+use std::cmp::Ordering;
+
+/// One sort key: an expression plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    pub expr: Expr,
+    pub ascending: bool,
+    /// SQL default: NULLs sort first when ascending, last when descending.
+    pub nulls_first: bool,
+}
+
+impl SortKey {
+    pub fn asc(expr: Expr) -> Self {
+        SortKey {
+            expr,
+            ascending: true,
+            nulls_first: true,
+        }
+    }
+
+    pub fn desc(expr: Expr) -> Self {
+        SortKey {
+            expr,
+            ascending: false,
+            nulls_first: false,
+        }
+    }
+}
+
+impl std::fmt::Display for SortKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}",
+            self.expr,
+            if self.ascending { "ASC" } else { "DESC" }
+        )
+    }
+}
+
+/// Compare row `a` to row `b` under the given key columns/directions.
+fn cmp_rows(key_cols: &[(Column, bool, bool)], a: usize, b: usize) -> Ordering {
+    for (col, ascending, nulls_first) in key_cols {
+        let an = col.is_null(a);
+        let bn = col.is_null(b);
+        let o = match (an, bn) {
+            (true, true) => Ordering::Equal,
+            (true, false) => {
+                if *nulls_first {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (false, true) => {
+                if *nulls_first {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, false) => {
+                let o = col.value(a).total_cmp(&col.value(b));
+                if *ascending {
+                    o
+                } else {
+                    o.reverse()
+                }
+            }
+        };
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Compute the stable sort permutation of `batch` under `keys`.
+pub fn sort_permutation(batch: &Batch, keys: &[SortKey]) -> Result<Vec<usize>> {
+    let key_cols: Vec<(Column, bool, bool)> = keys
+        .iter()
+        .map(|k| {
+            k.expr
+                .evaluate(batch)
+                .map(|c| (c, k.ascending, k.nulls_first))
+        })
+        .collect::<Result<_>>()?;
+    let mut perm: Vec<usize> = (0..batch.num_rows()).collect();
+    perm.sort_by(|&a, &b| cmp_rows(&key_cols, a, b));
+    Ok(perm)
+}
+
+/// Sort a batch, returning a new batch in key order.
+pub fn sort_batch(batch: &Batch, keys: &[SortKey]) -> Result<Batch> {
+    let perm = sort_permutation(batch, keys)?;
+    Ok(batch.take(&perm))
+}
+
+/// Check whether a batch is already sorted under `keys` (used by tests and
+/// by the optimizer's order-property verification in debug builds).
+pub fn is_sorted(batch: &Batch, keys: &[SortKey]) -> Result<bool> {
+    let key_cols: Vec<(Column, bool, bool)> = keys
+        .iter()
+        .map(|k| {
+            k.expr
+                .evaluate(batch)
+                .map(|c| (c, k.ascending, k.nulls_first))
+        })
+        .collect::<Result<_>>()?;
+    for i in 1..batch.num_rows() {
+        if cmp_rows(&key_cols, i - 1, i) == Ordering::Greater {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::schema_ref;
+    use crate::schema::{Field, Schema};
+    use crate::value::{DataType, Value};
+
+    fn batch() -> Batch {
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+        ]));
+        Batch::from_rows(
+            schema,
+            &[
+                vec![Value::str("e2"), Value::Int(30)],
+                vec![Value::str("e1"), Value::Int(20)],
+                vec![Value::str("e1"), Value::Int(10)],
+                vec![Value::str("e2"), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn two_key_sort() {
+        let b = sort_batch(
+            &batch(),
+            &[SortKey::asc(Expr::col("epc")), SortKey::asc(Expr::col("rtime"))],
+        )
+        .unwrap();
+        let rt: Vec<Value> = (0..4).map(|i| b.row(i)[1].clone()).collect();
+        assert_eq!(
+            rt,
+            vec![Value::Int(10), Value::Int(20), Value::Null, Value::Int(30)]
+        );
+    }
+
+    #[test]
+    fn descending_with_nulls_last() {
+        let b = sort_batch(&batch(), &[SortKey::desc(Expr::col("rtime"))]).unwrap();
+        assert_eq!(b.row(0)[1], Value::Int(30));
+        assert_eq!(b.row(3)[1], Value::Null);
+    }
+
+    #[test]
+    fn stability() {
+        // Equal keys keep input order.
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("seq", DataType::Int),
+        ]));
+        let b = Batch::from_rows(
+            schema,
+            &[
+                vec![Value::Int(1), Value::Int(0)],
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(0), Value::Int(2)],
+                vec![Value::Int(1), Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        let sorted = sort_batch(&b, &[SortKey::asc(Expr::col("k"))]).unwrap();
+        let seqs: Vec<Value> = (0..4).map(|i| sorted.row(i)[1].clone()).collect();
+        assert_eq!(
+            seqs,
+            vec![Value::Int(2), Value::Int(0), Value::Int(1), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn is_sorted_checks() {
+        let keys = [SortKey::asc(Expr::col("epc")), SortKey::asc(Expr::col("rtime"))];
+        assert!(!is_sorted(&batch(), &keys).unwrap());
+        let sorted = sort_batch(&batch(), &keys).unwrap();
+        assert!(is_sorted(&sorted, &keys).unwrap());
+    }
+}

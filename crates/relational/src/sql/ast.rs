@@ -1,0 +1,110 @@
+//! SQL abstract syntax tree.
+
+use crate::value::Value;
+
+/// A parsed query: optional CTEs plus a select body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub ctes: Vec<(String, Query)>,
+    pub body: Select,
+}
+
+/// A SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub order_by: Vec<(AstExpr, bool)>,
+    pub limit: Option<usize>,
+}
+
+/// One select-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
+}
+
+/// A table factor in FROM: `name [AS] alias`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this factor is referenced by in the query.
+    pub fn effective_alias(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Comparison / arithmetic / logical operators in the AST (mapped to
+/// [`crate::expr::BinaryOp`] at planning time).
+pub use crate::expr::BinaryOp as AstBinaryOp;
+
+/// Scalar expression AST as parsed (before name resolution).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Possibly-qualified column name (`a` / `t.a`).
+    Column(Option<String>, String),
+    Literal(Value),
+    Binary {
+        left: Box<AstExpr>,
+        op: AstBinaryOp,
+        right: Box<AstExpr>,
+    },
+    Not(Box<AstExpr>),
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<AstExpr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<AstExpr>,
+        low: Box<AstExpr>,
+        high: Box<AstExpr>,
+        negated: bool,
+    },
+    Case {
+        branches: Vec<(AstExpr, AstExpr)>,
+        else_expr: Option<Box<AstExpr>>,
+    },
+    /// Function call: aggregate (`count`, `sum`, `avg`, `min`, `max`),
+    /// possibly with DISTINCT, possibly windowed via OVER.
+    Function {
+        name: String,
+        /// `None` argument list means `f(*)`.
+        args: Option<Vec<AstExpr>>,
+        distinct: bool,
+        over: Option<WindowSpec>,
+    },
+}
+
+/// An OVER(...) specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSpec {
+    pub partition_by: Vec<AstExpr>,
+    pub order_by: Vec<(AstExpr, bool)>,
+    pub frame: Option<FrameSpec>,
+}
+
+/// Frame specification within OVER(...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameSpec {
+    pub units: crate::window::FrameUnits,
+    pub start: crate::window::FrameBound,
+    pub end: crate::window::FrameBound,
+}

@@ -1,0 +1,310 @@
+//! SQL tokenizer.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (case preserved; comparison is case-insensitive).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (quotes removed, `''` unescaped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Eof,
+}
+
+impl Token {
+    /// Is this token the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::Star => f.write_str("*"),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Slash => f.write_str("/"),
+            Token::Eq => f.write_str("="),
+            Token::NotEq => f.write_str("!="),
+            Token::Lt => f.write_str("<"),
+            Token::LtEq => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::GtEq => f.write_str(">="),
+            Token::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// Tokenize SQL text. Supports `--` line comments.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    let n = chars.len();
+    let mut out = Vec::new();
+    while i < n {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < n && chars[i + 1] == '-' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' if !(i + 1 < n && chars[i + 1].is_ascii_digit()
+                && matches!(out.last(), Some(Token::Word(_)))) =>
+            {
+                // `.5` after a non-word starts a float; `a.b` is a dot.
+                if i + 1 < n && chars[i + 1].is_ascii_digit()
+                    && !matches!(out.last(), Some(Token::Word(_)) | Some(Token::Int(_)))
+                {
+                    let (tok, next) = lex_number(&chars, i)?;
+                    out.push(tok);
+                    i = next;
+                } else {
+                    out.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(Error::Parse(format!("unexpected '!' at offset {i}")));
+                }
+            }
+            '<' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < n && chars[i + 1] == '>' {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= n {
+                        return Err(Error::Parse("unterminated string literal".into()));
+                    }
+                    if chars[i] == '\'' {
+                        if i + 1 < n && chars[i + 1] == '\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '"' => {
+                // Quoted identifier.
+                let mut s = String::new();
+                i += 1;
+                while i < n && chars[i] != '"' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= n {
+                    return Err(Error::Parse("unterminated quoted identifier".into()));
+                }
+                i += 1;
+                out.push(Token::Word(s));
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(&chars, i)?;
+                out.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                out.push(Token::Word(s));
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "unexpected character '{other}' at offset {i}"
+                )))
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+fn lex_number(chars: &[char], mut i: usize) -> Result<(Token, usize)> {
+    let start = i;
+    let n = chars.len();
+    while i < n && chars[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < n && chars[i] == '.' && i + 1 < n && chars[i + 1].is_ascii_digit() {
+        is_float = true;
+        i += 1;
+        while i < n && chars[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text: String = chars[start..i].iter().collect();
+    if is_float {
+        text.parse::<f64>()
+            .map(|v| (Token::Float(v), i))
+            .map_err(|e| Error::Parse(format!("bad float literal '{text}': {e}")))
+    } else {
+        text.parse::<i64>()
+            .map(|v| (Token::Int(v), i))
+            .map_err(|e| Error::Parse(format!("bad integer literal '{text}': {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("select a.b, 'it''s' from t where x >= 1.5 and y <> 2").unwrap();
+        assert!(toks.contains(&Token::Word("select".into())));
+        assert!(toks.contains(&Token::Str("it's".into())));
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::NotEq));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("select 1 -- comment\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("select".into()),
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(2),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_name_is_word_dot_word() {
+        let toks = tokenize("a.b").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("a".into()),
+                Token::Dot,
+                Token::Word("b".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a ; b").is_err());
+    }
+
+    #[test]
+    fn keyword_check_case_insensitive() {
+        let toks = tokenize("SELECT").unwrap();
+        assert!(toks[0].is_kw("select"));
+    }
+
+    #[test]
+    fn negative_handled_as_minus() {
+        let toks = tokenize("-5").unwrap();
+        assert_eq!(toks, vec![Token::Minus, Token::Int(5), Token::Eof]);
+    }
+}

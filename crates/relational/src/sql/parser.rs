@@ -1,0 +1,769 @@
+//! Recursive-descent SQL parser for the subset the paper's workloads use:
+//! `WITH`, `SELECT [DISTINCT]`, comma joins with aliases, `WHERE`,
+//! `GROUP BY`, `ORDER BY`, `LIMIT`, aggregates (with `DISTINCT`), window
+//! functions with `OVER (PARTITION BY ... ORDER BY ... ROWS|RANGE ...)`,
+//! `CASE`, `[NOT] IN`, `[NOT] BETWEEN`, `IS [NOT] NULL`.
+
+use super::ast::*;
+use super::lexer::{tokenize, Token};
+use crate::error::{Error, Result};
+use crate::expr::BinaryOp;
+use crate::value::Value;
+use crate::window::{FrameBound, FrameUnits};
+
+/// Words that terminate an expression / cannot be bare aliases.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "order", "limit", "and", "or", "not", "as", "on", "by",
+    "asc", "desc", "having", "union", "join", "inner", "with", "in", "is", "between", "case",
+    "when", "then", "else", "end", "over", "partition", "rows", "range", "distinct",
+];
+
+fn is_reserved(w: &str) -> bool {
+    RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r))
+}
+
+/// Parse a SQL query string.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.parse_query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a standalone scalar expression (used by the rule engine for rule
+/// conditions re-expressed in SQL syntax).
+pub fn parse_expr(sql: &str) -> Result<AstExpr> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected keyword {kw}, found {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected {t}, found {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "unexpected trailing token {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_word(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Word(w) => Ok(w),
+            other => Err(Error::Parse(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        let mut ctes = Vec::new();
+        if self.eat_kw("with") {
+            loop {
+                let name = self.expect_word()?;
+                self.expect_kw("as")?;
+                self.expect(&Token::LParen)?;
+                let q = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                ctes.push((name.to_ascii_lowercase(), q));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.parse_select()?;
+        Ok(Query { ctes, body })
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = self.parse_optional_alias();
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = Vec::new();
+        loop {
+            let name = self.expect_word()?;
+            if is_reserved(&name) {
+                return Err(Error::Parse(format!("unexpected keyword '{name}' in FROM")));
+            }
+            let alias = self.parse_optional_alias();
+            from.push(TableRef {
+                name: name.to_ascii_lowercase(),
+                alias,
+            });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.parse_expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Token::Int(v) if v >= 0 => Some(v as usize),
+                other => return Err(Error::Parse(format!("bad LIMIT value {other}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_optional_alias(&mut self) -> Option<String> {
+        if self.eat_kw("as") {
+            if let Token::Word(w) = self.peek().clone() {
+                self.pos += 1;
+                return Some(w.to_ascii_lowercase());
+            }
+        }
+        if let Token::Word(w) = self.peek().clone() {
+            if !is_reserved(&w) {
+                self.pos += 1;
+                return Some(w.to_ascii_lowercase());
+            }
+        }
+        None
+    }
+
+    pub(crate) fn parse_expr(&mut self) -> Result<AstExpr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = AstExpr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = AstExpr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<AstExpr> {
+        if self.eat_kw("not") {
+            Ok(AstExpr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_predicate()
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<AstExpr> {
+        let left = self.parse_additive()?;
+        // Comparison operators.
+        let op = match self.peek() {
+            Token::Eq => Some(BinaryOp::Eq),
+            Token::NotEq => Some(BinaryOp::NotEq),
+            Token::Lt => Some(BinaryOp::Lt),
+            Token::LtEq => Some(BinaryOp::LtEq),
+            Token::Gt => Some(BinaryOp::Gt),
+            Token::GtEq => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(AstExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] IN / [NOT] BETWEEN
+        let negated = if self.peek().is_kw("not") {
+            // Lookahead: only consume NOT if followed by IN or BETWEEN.
+            let next = self.tokens.get(self.pos + 1);
+            if next.is_some_and(|t| t.is_kw("in") || t.is_kw("between")) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if self.eat_kw("in") {
+            self.expect(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                match self.next() {
+                    Token::Int(v) => list.push(Value::Int(v)),
+                    Token::Float(v) => list.push(Value::Double(v)),
+                    Token::Str(s) => list.push(Value::str(s)),
+                    Token::Word(w) if w.eq_ignore_ascii_case("null") => list.push(Value::Null),
+                    other => {
+                        return Err(Error::Parse(format!(
+                            "IN list supports literals only, found {other}"
+                        )))
+                    }
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(AstExpr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("between") {
+            let low = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let high = self.parse_additive()?;
+            return Ok(AstExpr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(Error::Parse("dangling NOT".into()));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinaryOp::Plus,
+                Token::Minus => BinaryOp::Minus,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_term()?;
+            left = AstExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_term(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_factor()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinaryOp::Multiply,
+                Token::Slash => BinaryOp::Divide,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_factor()?;
+            left = AstExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_factor(&mut self) -> Result<AstExpr> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.pos += 1;
+                Ok(AstExpr::Literal(Value::Int(v)))
+            }
+            Token::Float(v) => {
+                self.pos += 1;
+                Ok(AstExpr::Literal(Value::Double(v)))
+            }
+            Token::Str(s) => {
+                self.pos += 1;
+                Ok(AstExpr::Literal(Value::str(s)))
+            }
+            Token::Minus => {
+                self.pos += 1;
+                let inner = self.parse_factor()?;
+                // Constant-fold negation of literals; otherwise 0 - x.
+                Ok(match inner {
+                    AstExpr::Literal(Value::Int(v)) => AstExpr::Literal(Value::Int(-v)),
+                    AstExpr::Literal(Value::Double(v)) => AstExpr::Literal(Value::Double(-v)),
+                    other => AstExpr::Binary {
+                        left: Box::new(AstExpr::Literal(Value::Int(0))),
+                        op: BinaryOp::Minus,
+                        right: Box::new(other),
+                    },
+                })
+            }
+            Token::LParen => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("case") => self.parse_case(),
+            Token::Word(w) if w.eq_ignore_ascii_case("null") => {
+                self.pos += 1;
+                Ok(AstExpr::Literal(Value::Null))
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("true") => {
+                self.pos += 1;
+                Ok(AstExpr::Literal(Value::Bool(true)))
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("false") => {
+                self.pos += 1;
+                Ok(AstExpr::Literal(Value::Bool(false)))
+            }
+            Token::Word(w) => {
+                self.pos += 1;
+                // Function call?
+                if self.peek() == &Token::LParen {
+                    return self.parse_function(w);
+                }
+                // Qualified column?
+                if self.eat(&Token::Dot) {
+                    let col = self.expect_word()?;
+                    return Ok(AstExpr::Column(
+                        Some(w.to_ascii_lowercase()),
+                        col.to_ascii_lowercase(),
+                    ));
+                }
+                Ok(AstExpr::Column(None, w.to_ascii_lowercase()))
+            }
+            other => Err(Error::Parse(format!(
+                "unexpected token {other} in expression"
+            ))),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<AstExpr> {
+        self.expect_kw("case")?;
+        let mut branches = Vec::new();
+        while self.eat_kw("when") {
+            let cond = self.parse_expr()?;
+            self.expect_kw("then")?;
+            let result = self.parse_expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(Error::Parse("CASE requires at least one WHEN".into()));
+        }
+        let else_expr = if self.eat_kw("else") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("end")?;
+        Ok(AstExpr::Case {
+            branches,
+            else_expr,
+        })
+    }
+
+    fn parse_function(&mut self, name: String) -> Result<AstExpr> {
+        self.expect(&Token::LParen)?;
+        let distinct = self.eat_kw("distinct");
+        let args = if self.eat(&Token::Star) {
+            None
+        } else {
+            let mut args = Vec::new();
+            if self.peek() != &Token::RParen {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            Some(args)
+        };
+        self.expect(&Token::RParen)?;
+        let over = if self.eat_kw("over") {
+            self.expect(&Token::LParen)?;
+            let spec = self.parse_window_spec()?;
+            self.expect(&Token::RParen)?;
+            Some(spec)
+        } else {
+            None
+        };
+        Ok(AstExpr::Function {
+            name: name.to_ascii_lowercase(),
+            args,
+            distinct,
+            over,
+        })
+    }
+
+    fn parse_window_spec(&mut self) -> Result<WindowSpec> {
+        let mut partition_by = Vec::new();
+        if self.eat_kw("partition") {
+            self.expect_kw("by")?;
+            loop {
+                partition_by.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.parse_expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let frame = if self.peek().is_kw("rows") || self.peek().is_kw("range") {
+            let units = if self.eat_kw("rows") {
+                FrameUnits::Rows
+            } else {
+                self.expect_kw("range")?;
+                FrameUnits::Range
+            };
+            if self.eat_kw("between") {
+                let start = self.parse_frame_bound()?;
+                self.expect_kw("and")?;
+                let end = self.parse_frame_bound()?;
+                Some(FrameSpec { units, start, end })
+            } else {
+                // `ROWS n PRECEDING` shorthand: frame is (bound, CURRENT ROW).
+                let start = self.parse_frame_bound()?;
+                Some(FrameSpec {
+                    units,
+                    start,
+                    end: FrameBound::CurrentRow,
+                })
+            }
+        } else {
+            None
+        };
+        Ok(WindowSpec {
+            partition_by,
+            order_by,
+            frame,
+        })
+    }
+
+    fn parse_frame_bound(&mut self) -> Result<FrameBound> {
+        if self.eat_kw("unbounded") {
+            if self.eat_kw("preceding") {
+                return Ok(FrameBound::UnboundedPreceding);
+            }
+            self.expect_kw("following")?;
+            return Ok(FrameBound::UnboundedFollowing);
+        }
+        if self.eat_kw("current") {
+            self.expect_kw("row")?;
+            return Ok(FrameBound::CurrentRow);
+        }
+        match self.next() {
+            Token::Int(v) if v >= 0 => {
+                if self.eat_kw("preceding") {
+                    Ok(FrameBound::Preceding(v))
+                } else {
+                    self.expect_kw("following")?;
+                    Ok(FrameBound::Following(v))
+                }
+            }
+            other => Err(Error::Parse(format!("bad frame bound {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_select() {
+        let q = parse_query("select a, b as bb from t where a > 1 and b = 'x' limit 5").unwrap();
+        assert_eq!(q.body.items.len(), 2);
+        assert_eq!(q.body.from[0].name, "t");
+        assert!(q.body.where_clause.is_some());
+        assert_eq!(q.body.limit, Some(5));
+    }
+
+    #[test]
+    fn parse_wildcard_and_distinct() {
+        let q = parse_query("select distinct * from t").unwrap();
+        assert!(q.body.distinct);
+        assert_eq!(q.body.items, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn parse_comma_join_with_aliases() {
+        let q = parse_query("select c.epc from caser c, locs l1, locs l2 where c.biz_loc = l1.gln")
+            .unwrap();
+        assert_eq!(q.body.from.len(), 3);
+        assert_eq!(q.body.from[1].effective_alias(), "l1");
+        assert_eq!(q.body.from[2].effective_alias(), "l2");
+    }
+
+    #[test]
+    fn parse_group_and_aggregates() {
+        let q = parse_query(
+            "select p.m, count(distinct s.type), avg(rtime - prev_time) from t group by p.m",
+        )
+        .unwrap();
+        assert_eq!(q.body.group_by.len(), 1);
+        let SelectItem::Expr { expr, .. } = &q.body.items[1] else {
+            panic!()
+        };
+        let AstExpr::Function { name, distinct, .. } = expr else {
+            panic!("not a function")
+        };
+        assert_eq!(name, "count");
+        assert!(distinct);
+    }
+
+    #[test]
+    fn parse_window_function() {
+        let q = parse_query(
+            "select max(biz_loc) over (partition by epc order by rtime asc \
+             rows between 1 preceding and 1 preceding) as prev_loc from r",
+        )
+        .unwrap();
+        let SelectItem::Expr { expr, alias } = &q.body.items[0] else {
+            panic!()
+        };
+        assert_eq!(alias.as_deref(), Some("prev_loc"));
+        let AstExpr::Function { over: Some(w), .. } = expr else {
+            panic!("expected window")
+        };
+        assert_eq!(w.partition_by.len(), 1);
+        let f = w.frame.as_ref().unwrap();
+        assert_eq!(f.start, FrameBound::Preceding(1));
+        assert_eq!(f.end, FrameBound::Preceding(1));
+    }
+
+    #[test]
+    fn parse_range_frame() {
+        let q = parse_query(
+            "select max(x) over (partition by epc order by rtime \
+             range between 1 following and 300 following) as h from r",
+        )
+        .unwrap();
+        let SelectItem::Expr { expr, .. } = &q.body.items[0] else {
+            panic!()
+        };
+        let AstExpr::Function { over: Some(w), .. } = expr else {
+            panic!()
+        };
+        let f = w.frame.as_ref().unwrap();
+        assert_eq!(f.units, FrameUnits::Range);
+        assert_eq!(f.end, FrameBound::Following(300));
+    }
+
+    #[test]
+    fn parse_with_clause() {
+        let q = parse_query(
+            "with v1 as (select * from r where rtime < 10) \
+             select * from v1 where rtime > 5",
+        )
+        .unwrap();
+        assert_eq!(q.ctes.len(), 1);
+        assert_eq!(q.ctes[0].0, "v1");
+    }
+
+    #[test]
+    fn parse_case_when() {
+        let e = parse_expr("case when reader = 'rX' then 1 else 0 end").unwrap();
+        let AstExpr::Case { branches, else_expr } = e else {
+            panic!()
+        };
+        assert_eq!(branches.len(), 1);
+        assert!(else_expr.is_some());
+    }
+
+    #[test]
+    fn parse_in_between_isnull() {
+        let e = parse_expr("a in (1, 2, 3)").unwrap();
+        assert!(matches!(e, AstExpr::InList { negated: false, .. }));
+        let e = parse_expr("a not in ('x')").unwrap();
+        assert!(matches!(e, AstExpr::InList { negated: true, .. }));
+        let e = parse_expr("a between 1 and 5").unwrap();
+        assert!(matches!(e, AstExpr::Between { negated: false, .. }));
+        let e = parse_expr("a is not null").unwrap();
+        assert!(matches!(e, AstExpr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn parse_precedence() {
+        // a = 1 or b = 2 and c = 3  ==  a = 1 or (b = 2 and c = 3)
+        let e = parse_expr("a = 1 or b = 2 and c = 3").unwrap();
+        let AstExpr::Binary { op, .. } = &e else { panic!() };
+        assert_eq!(*op, BinaryOp::Or);
+        // 1 + 2 * 3
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        let AstExpr::Binary { op, .. } = &e else { panic!() };
+        assert_eq!(*op, BinaryOp::Plus);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("select from t").is_err());
+        assert!(parse_query("select a t").is_err()); // missing FROM
+        assert!(parse_query("select a from").is_err());
+        assert!(parse_expr("a between 1").is_err());
+        assert!(parse_expr("case end").is_err());
+    }
+
+    #[test]
+    fn negative_literal() {
+        let e = parse_expr("a > -5").unwrap();
+        let AstExpr::Binary { right, .. } = e else { panic!() };
+        assert_eq!(*right, AstExpr::Literal(Value::Int(-5)));
+    }
+
+    #[test]
+    fn count_star() {
+        let e = parse_expr("count(*)").unwrap();
+        assert!(matches!(
+            e,
+            AstExpr::Function {
+                args: None,
+                distinct: false,
+                ..
+            }
+        ));
+    }
+}

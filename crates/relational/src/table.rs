@@ -1,0 +1,181 @@
+//! Tables and the catalog.
+//!
+//! A [`Table`] is an immutable batch plus its secondary indexes and
+//! statistics; the [`Catalog`] maps names to tables and is shared between the
+//! planner, the rewrite engine, and the executor.
+
+use crate::batch::Batch;
+use crate::error::{Error, Result};
+use crate::index::OrderedIndex;
+use crate::schema::SchemaRef;
+use crate::stats::TableStats;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable named table: data, indexes, statistics.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    data: Batch,
+    indexes: HashMap<String, OrderedIndex>,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Create a table, computing statistics immediately.
+    pub fn new(name: impl Into<String>, data: Batch) -> Self {
+        let stats = TableStats::compute(&data);
+        Table {
+            name: name.into().to_ascii_lowercase(),
+            data,
+            indexes: HashMap::new(),
+            stats,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        self.data.schema()
+    }
+
+    pub fn data(&self) -> &Batch {
+        &self.data
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.data.num_rows()
+    }
+
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Build (or rebuild) an ordered index on a column.
+    pub fn create_index(&mut self, column: &str) -> Result<()> {
+        let column = column.to_ascii_lowercase();
+        let ci = self.data.schema().index_of_name(&column)?;
+        let idx = OrderedIndex::build(self.data.column(ci));
+        self.indexes.insert(column, idx);
+        Ok(())
+    }
+
+    /// The index on `column`, if one exists.
+    pub fn index(&self, column: &str) -> Option<&OrderedIndex> {
+        self.indexes.get(&column.to_ascii_lowercase())
+    }
+
+    pub fn indexed_columns(&self) -> Vec<&str> {
+        let mut cols: Vec<&str> = self.indexes.keys().map(String::as_str).collect();
+        cols.sort_unstable();
+        cols
+    }
+}
+
+/// A thread-safe name → table map.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table, replacing any existing table of the same name.
+    pub fn register(&self, table: Table) -> Arc<Table> {
+        let t = Arc::new(table);
+        self.tables
+            .write()
+            .insert(t.name().to_string(), Arc::clone(&t));
+        t
+    }
+
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| Error::Catalog(format!("no such table '{name}'")))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| Error::Catalog(format!("no such table '{name}'")))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// Shared catalog handle.
+pub type CatalogRef = Arc<Catalog>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::schema_ref;
+    use crate::schema::{Field, Schema};
+    use crate::value::{DataType, Value};
+
+    fn sample_batch() -> Batch {
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+        ]));
+        Batch::from_rows(
+            schema,
+            &[
+                vec![Value::str("e1"), Value::Int(10)],
+                vec![Value::str("e2"), Value::Int(20)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_with_index_and_stats() {
+        let mut t = Table::new("CaseR", sample_batch());
+        assert_eq!(t.name(), "caser");
+        assert_eq!(t.stats().row_count, 2);
+        t.create_index("rtime").unwrap();
+        assert!(t.index("RTIME").is_some());
+        assert!(t.index("epc").is_none());
+        assert_eq!(t.indexed_columns(), vec!["rtime"]);
+        assert!(t.create_index("nope").is_err());
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let cat = Catalog::new();
+        cat.register(Table::new("caser", sample_batch()));
+        assert!(cat.contains("CASER"));
+        assert_eq!(cat.get("caser").unwrap().num_rows(), 2);
+        assert_eq!(cat.table_names(), vec!["caser"]);
+        cat.drop_table("caser").unwrap();
+        assert!(cat.get("caser").is_err());
+    }
+
+    #[test]
+    fn register_replaces() {
+        let cat = Catalog::new();
+        cat.register(Table::new("t", sample_batch()));
+        let b2 = sample_batch().take(&[0]);
+        cat.register(Table::new("t", b2));
+        assert_eq!(cat.get("t").unwrap().num_rows(), 1);
+    }
+}

@@ -1,0 +1,606 @@
+//! SQL/OLAP window functions.
+//!
+//! This module is the engine's implementation of the SQL99 OLAP amendment
+//! subset the paper relies on: scalar aggregates over `PARTITION BY ...
+//! ORDER BY ...` windows with `ROWS` or `RANGE` frames, e.g.
+//!
+//! ```sql
+//! max(biz_loc) OVER (PARTITION BY epc ORDER BY rtime ASC
+//!                    ROWS BETWEEN 1 PRECEDING AND 1 PRECEDING)
+//! ```
+//!
+//! The input batch must already be sorted by (partition keys, order keys);
+//! the [`crate::plan::LogicalPlan::Window`] node inserts a sort when needed
+//! and the optimizer removes it when the ordering is already available —
+//! the "order sharing" effect central to the paper's §6.2 analysis.
+
+use crate::batch::Batch;
+use crate::column::{Column, ColumnBuilder};
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::value::{DataType, Value};
+use std::fmt;
+
+/// Frame bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameBound {
+    UnboundedPreceding,
+    /// `n PRECEDING` (rows or range units).
+    Preceding(i64),
+    CurrentRow,
+    /// `n FOLLOWING` (rows or range units).
+    Following(i64),
+    UnboundedFollowing,
+}
+
+impl fmt::Display for FrameBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameBound::UnboundedPreceding => f.write_str("UNBOUNDED PRECEDING"),
+            FrameBound::Preceding(n) => write!(f, "{n} PRECEDING"),
+            FrameBound::CurrentRow => f.write_str("CURRENT ROW"),
+            FrameBound::Following(n) => write!(f, "{n} FOLLOWING"),
+            FrameBound::UnboundedFollowing => f.write_str("UNBOUNDED FOLLOWING"),
+        }
+    }
+}
+
+/// Frame units: physical rows or logical range over the order key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameUnits {
+    Rows,
+    Range,
+}
+
+/// A window frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub units: FrameUnits,
+    pub start: FrameBound,
+    pub end: FrameBound,
+}
+
+impl Frame {
+    pub fn rows(start: FrameBound, end: FrameBound) -> Self {
+        Frame {
+            units: FrameUnits::Rows,
+            start,
+            end,
+        }
+    }
+
+    pub fn range(start: FrameBound, end: FrameBound) -> Self {
+        Frame {
+            units: FrameUnits::Range,
+            start,
+            end,
+        }
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} BETWEEN {} AND {}",
+            match self.units {
+                FrameUnits::Rows => "ROWS",
+                FrameUnits::Range => "RANGE",
+            },
+            self.start,
+            self.end
+        )
+    }
+}
+
+/// Aggregate function kinds usable over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowFuncKind {
+    Max,
+    Min,
+    Sum,
+    /// `count(expr)` — counts non-null frame rows; with no argument, `count(*)`.
+    Count,
+    Avg,
+}
+
+impl fmt::Display for WindowFuncKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WindowFuncKind::Max => "max",
+            WindowFuncKind::Min => "min",
+            WindowFuncKind::Sum => "sum",
+            WindowFuncKind::Count => "count",
+            WindowFuncKind::Avg => "avg",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One window aggregate: `func(arg) OVER (<shared partition/order> frame)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowExpr {
+    pub func: WindowFuncKind,
+    /// `None` means `count(*)`.
+    pub arg: Option<Expr>,
+    pub frame: Frame,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl fmt::Display for WindowExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(a) => write!(f, "{}({a}) OVER ({}) AS {}", self.func, self.frame, self.alias),
+            None => write!(f, "{}(*) OVER ({}) AS {}", self.func, self.frame, self.alias),
+        }
+    }
+}
+
+impl WindowExpr {
+    /// Result type of this window aggregate.
+    pub fn data_type(&self, schema: &crate::schema::Schema) -> Result<DataType> {
+        match self.func {
+            WindowFuncKind::Count => Ok(DataType::Int),
+            WindowFuncKind::Avg => Ok(DataType::Double),
+            WindowFuncKind::Sum => {
+                let arg = self.arg.as_ref().ok_or_else(|| {
+                    Error::Plan("sum() requires an argument".into())
+                })?;
+                Ok(arg.data_type(schema)?)
+            }
+            WindowFuncKind::Max | WindowFuncKind::Min => {
+                let arg = self.arg.as_ref().ok_or_else(|| {
+                    Error::Plan(format!("{}() requires an argument", self.func))
+                })?;
+                Ok(arg.data_type(schema)?)
+            }
+        }
+    }
+}
+
+/// Find partition boundaries: ranges of rows with equal partition-key values
+/// (NULLs compare equal for partitioning, per SQL).
+fn partition_ranges(cols: &[Column], n: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return vec![];
+    }
+    if cols.is_empty() {
+        return vec![(0, n)];
+    }
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    for i in 1..n {
+        let boundary = cols.iter().any(|c| c.value(i) != c.value(i - 1));
+        if boundary {
+            ranges.push((start, i));
+            start = i;
+        }
+    }
+    ranges.push((start, n));
+    ranges
+}
+
+/// Compute the inclusive frame `[lo, hi]` for row `i` inside partition
+/// `[p_lo, p_hi)`. Returns `None` for an empty frame.
+fn frame_rows(
+    frame: &Frame,
+    i: usize,
+    p_lo: usize,
+    p_hi: usize,
+    order_key: Option<&Column>,
+) -> Result<Option<(usize, usize)>> {
+    match frame.units {
+        FrameUnits::Rows => {
+            let lo = match frame.start {
+                FrameBound::UnboundedPreceding => p_lo as i64,
+                FrameBound::Preceding(k) => i as i64 - k,
+                FrameBound::CurrentRow => i as i64,
+                FrameBound::Following(k) => i as i64 + k,
+                FrameBound::UnboundedFollowing => {
+                    return Err(Error::Plan(
+                        "frame start cannot be UNBOUNDED FOLLOWING".into(),
+                    ))
+                }
+            };
+            let hi = match frame.end {
+                FrameBound::UnboundedPreceding => {
+                    return Err(Error::Plan(
+                        "frame end cannot be UNBOUNDED PRECEDING".into(),
+                    ))
+                }
+                FrameBound::Preceding(k) => i as i64 - k,
+                FrameBound::CurrentRow => i as i64,
+                FrameBound::Following(k) => i as i64 + k,
+                FrameBound::UnboundedFollowing => p_hi as i64 - 1,
+            };
+            let lo = lo.max(p_lo as i64);
+            let hi = hi.min(p_hi as i64 - 1);
+            if lo > hi {
+                Ok(None)
+            } else {
+                Ok(Some((lo as usize, hi as usize)))
+            }
+        }
+        FrameUnits::Range => {
+            let key = order_key.ok_or_else(|| {
+                Error::Plan("RANGE frame requires exactly one numeric ORDER BY key".into())
+            })?;
+            let Some(v) = key_num(key, i) else {
+                // NULL order key: the frame is the NULL peer group; for our
+                // workloads this does not arise — return empty.
+                return Ok(None);
+            };
+            // partition_point over the sorted keys within the partition.
+            let first_ge = |threshold: i64| -> usize {
+                let mut lo = p_lo;
+                let mut hi = p_hi;
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if key_num(key, mid).is_some_and(|k| k < threshold) {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            };
+            let last_le = |threshold: i64| -> Option<usize> {
+                let p = first_ge(threshold + 1);
+                if p == p_lo {
+                    None
+                } else {
+                    Some(p - 1)
+                }
+            };
+            let lo = match frame.start {
+                FrameBound::UnboundedPreceding => p_lo,
+                FrameBound::Preceding(k) => first_ge(v - k),
+                FrameBound::CurrentRow => first_ge(v),
+                FrameBound::Following(k) => first_ge(v + k),
+                FrameBound::UnboundedFollowing => {
+                    return Err(Error::Plan(
+                        "frame start cannot be UNBOUNDED FOLLOWING".into(),
+                    ))
+                }
+            };
+            let hi = match frame.end {
+                FrameBound::UnboundedPreceding => {
+                    return Err(Error::Plan(
+                        "frame end cannot be UNBOUNDED PRECEDING".into(),
+                    ))
+                }
+                FrameBound::Preceding(k) => last_le(v - k),
+                FrameBound::CurrentRow => last_le(v),
+                FrameBound::Following(k) => last_le(v + k),
+                FrameBound::UnboundedFollowing => Some(p_hi - 1),
+            };
+            match hi {
+                Some(hi) if lo <= hi && lo < p_hi => Ok(Some((lo, hi))),
+                _ => Ok(None),
+            }
+        }
+    }
+}
+
+#[inline]
+fn key_num(c: &Column, i: usize) -> Option<i64> {
+    if c.is_null(i) {
+        None
+    } else {
+        match c.value(i) {
+            Value::Int(v) => Some(v),
+            Value::Double(v) => Some(v as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluate window aggregates over a batch **already sorted** by
+/// (partition keys, order keys). Returns one output column per `WindowExpr`,
+/// plus the number of aggregate evaluations performed (a work counter).
+pub fn evaluate_window(
+    batch: &Batch,
+    partition_by: &[Expr],
+    order_by_key: Option<&Expr>,
+    exprs: &[WindowExpr],
+) -> Result<(Vec<Column>, u64)> {
+    let n = batch.num_rows();
+    let part_cols: Vec<Column> = partition_by
+        .iter()
+        .map(|e| e.evaluate(batch))
+        .collect::<Result<_>>()?;
+    let order_col = order_by_key.map(|e| e.evaluate(batch)).transpose()?;
+    let ranges = partition_ranges(&part_cols, n);
+
+    let mut work: u64 = 0;
+    let mut outputs = Vec::with_capacity(exprs.len());
+    for we in exprs {
+        let arg_col = we.arg.as_ref().map(|a| a.evaluate(batch)).transpose()?;
+        let out_dt = we.data_type(batch.schema())?;
+        let mut b = ColumnBuilder::new(out_dt, n);
+        for &(p_lo, p_hi) in &ranges {
+            for i in p_lo..p_hi {
+                let frame = frame_rows(&we.frame, i, p_lo, p_hi, order_col.as_ref())?;
+                let v = match frame {
+                    None => match we.func {
+                        WindowFuncKind::Count => Value::Int(0),
+                        _ => Value::Null,
+                    },
+                    Some((lo, hi)) => {
+                        work += (hi - lo + 1) as u64;
+                        accumulate(we.func, arg_col.as_ref(), lo, hi)?
+                    }
+                };
+                b.push(&v)?;
+            }
+        }
+        outputs.push(b.finish());
+    }
+    Ok((outputs, work))
+}
+
+fn accumulate(
+    func: WindowFuncKind,
+    arg: Option<&Column>,
+    lo: usize,
+    hi: usize,
+) -> Result<Value> {
+    match func {
+        WindowFuncKind::Count => {
+            let c = match arg {
+                None => (hi - lo + 1) as i64,
+                Some(col) => (lo..=hi).filter(|&i| !col.is_null(i)).count() as i64,
+            };
+            Ok(Value::Int(c))
+        }
+        WindowFuncKind::Max | WindowFuncKind::Min => {
+            let col = arg.ok_or_else(|| Error::Plan("max/min need an argument".into()))?;
+            let mut best: Option<Value> = None;
+            for i in lo..=hi {
+                if col.is_null(i) {
+                    continue;
+                }
+                let v = col.value(i);
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = if func == WindowFuncKind::Max {
+                            v.total_cmp(&b).is_gt()
+                        } else {
+                            v.total_cmp(&b).is_lt()
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        WindowFuncKind::Sum | WindowFuncKind::Avg => {
+            let col = arg.ok_or_else(|| Error::Plan("sum/avg need an argument".into()))?;
+            let mut sum_i: i64 = 0;
+            let mut sum_f: f64 = 0.0;
+            let mut is_float = col.data_type() == DataType::Double;
+            let mut count = 0i64;
+            for i in lo..=hi {
+                if col.is_null(i) {
+                    continue;
+                }
+                match col.value(i) {
+                    Value::Int(v) => {
+                        sum_i = sum_i.checked_add(v).ok_or_else(|| {
+                            Error::Execution("sum overflow in window aggregate".into())
+                        })?;
+                    }
+                    Value::Double(v) => {
+                        is_float = true;
+                        sum_f += v;
+                    }
+                    other => {
+                        return Err(Error::Execution(format!(
+                            "sum/avg over non-numeric value {other}"
+                        )))
+                    }
+                }
+                count += 1;
+            }
+            if count == 0 {
+                return Ok(Value::Null);
+            }
+            let total = sum_f + sum_i as f64;
+            match func {
+                WindowFuncKind::Sum => {
+                    if is_float {
+                        Ok(Value::Double(total))
+                    } else {
+                        Ok(Value::Int(sum_i))
+                    }
+                }
+                WindowFuncKind::Avg => Ok(Value::Double(total / count as f64)),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::schema_ref;
+    use crate::schema::{Field, Schema};
+
+    /// epc-sorted reads: (epc, rtime, loc)
+    fn reads() -> Batch {
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+            Field::new("loc", DataType::Str),
+        ]));
+        Batch::from_rows(
+            schema,
+            &[
+                vec![Value::str("e1"), Value::Int(10), Value::str("a")],
+                vec![Value::str("e1"), Value::Int(20), Value::str("a")],
+                vec![Value::str("e1"), Value::Int(50), Value::str("b")],
+                vec![Value::str("e2"), Value::Int(5), Value::str("c")],
+                vec![Value::str("e2"), Value::Int(90), Value::str("d")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn prev_loc_expr() -> WindowExpr {
+        WindowExpr {
+            func: WindowFuncKind::Max,
+            arg: Some(Expr::col("loc")),
+            frame: Frame::rows(FrameBound::Preceding(1), FrameBound::Preceding(1)),
+            alias: "loc_before".into(),
+        }
+    }
+
+    #[test]
+    fn rows_one_preceding_is_lag() {
+        let (cols, _) = evaluate_window(
+            &reads(),
+            &[Expr::col("epc")],
+            Some(&Expr::col("rtime")),
+            &[prev_loc_expr()],
+        )
+        .unwrap();
+        let c = &cols[0];
+        // First row of each partition has an empty frame -> NULL.
+        assert!(c.is_null(0));
+        assert_eq!(c.value(1), Value::str("a"));
+        assert_eq!(c.value(2), Value::str("a"));
+        assert!(c.is_null(3));
+        assert_eq!(c.value(4), Value::str("c"));
+    }
+
+    #[test]
+    fn range_following_window() {
+        // has_b_within_30s_after: max(case loc='b') over range (1 following, 30 following)
+        let case = Expr::Case {
+            branches: vec![(Expr::col("loc").eq(Expr::lit("b")), Expr::lit(1i64))],
+            else_expr: Some(Box::new(Expr::lit(0i64))),
+        };
+        let we = WindowExpr {
+            func: WindowFuncKind::Max,
+            arg: Some(case),
+            frame: Frame::range(FrameBound::Following(1), FrameBound::Following(30)),
+            alias: "has_b_after".into(),
+        };
+        let (cols, _) = evaluate_window(
+            &reads(),
+            &[Expr::col("epc")],
+            Some(&Expr::col("rtime")),
+            &[we],
+        )
+        .unwrap();
+        let c = &cols[0];
+        // e1@10: window (11..=40] contains rtime=20 (loc=a) -> 0
+        assert_eq!(c.value(0), Value::Int(0));
+        // e1@20: window (21..=50] contains rtime=50 (loc=b) -> 1
+        assert_eq!(c.value(1), Value::Int(1));
+        // e1@50: nothing after -> empty frame -> NULL
+        assert!(c.is_null(2));
+        // e2@5: window contains nothing within 30 -> empty -> NULL
+        assert!(c.is_null(3));
+    }
+
+    #[test]
+    fn count_star_over_partition() {
+        let we = WindowExpr {
+            func: WindowFuncKind::Count,
+            arg: None,
+            frame: Frame::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing),
+            alias: "n".into(),
+        };
+        let (cols, _) =
+            evaluate_window(&reads(), &[Expr::col("epc")], Some(&Expr::col("rtime")), &[we])
+                .unwrap();
+        let c = &cols[0];
+        assert_eq!(c.value(0), Value::Int(3));
+        assert_eq!(c.value(4), Value::Int(2));
+    }
+
+    #[test]
+    fn empty_count_frame_is_zero() {
+        let we = WindowExpr {
+            func: WindowFuncKind::Count,
+            arg: None,
+            frame: Frame::rows(FrameBound::Preceding(1), FrameBound::Preceding(1)),
+            alias: "n".into(),
+        };
+        let (cols, _) =
+            evaluate_window(&reads(), &[Expr::col("epc")], Some(&Expr::col("rtime")), &[we])
+                .unwrap();
+        assert_eq!(cols[0].value(0), Value::Int(0));
+        assert_eq!(cols[0].value(1), Value::Int(1));
+    }
+
+    #[test]
+    fn sum_and_avg() {
+        let sum = WindowExpr {
+            func: WindowFuncKind::Sum,
+            arg: Some(Expr::col("rtime")),
+            frame: Frame::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow),
+            alias: "s".into(),
+        };
+        let avg = WindowExpr {
+            func: WindowFuncKind::Avg,
+            arg: Some(Expr::col("rtime")),
+            frame: Frame::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing),
+            alias: "a".into(),
+        };
+        let (cols, _) = evaluate_window(
+            &reads(),
+            &[Expr::col("epc")],
+            Some(&Expr::col("rtime")),
+            &[sum, avg],
+        )
+        .unwrap();
+        assert_eq!(cols[0].value(2), Value::Int(80));
+        assert_eq!(cols[1].value(3), Value::Double(47.5));
+    }
+
+    #[test]
+    fn no_partition_is_single_sequence() {
+        let we = prev_loc_expr();
+        let (cols, _) = evaluate_window(&reads(), &[], Some(&Expr::col("rtime")), &[we]).unwrap();
+        // With no partitioning, row 3 sees row 2's loc.
+        assert_eq!(cols[0].value(3), Value::str("b"));
+    }
+
+    #[test]
+    fn work_counter_counts_frame_rows() {
+        let we = WindowExpr {
+            func: WindowFuncKind::Count,
+            arg: None,
+            frame: Frame::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing),
+            alias: "n".into(),
+        };
+        let (_, work) =
+            evaluate_window(&reads(), &[Expr::col("epc")], Some(&Expr::col("rtime")), &[we])
+                .unwrap();
+        // e1 partition: 3 rows x frame 3 = 9; e2: 2 x 2 = 4.
+        assert_eq!(work, 13);
+    }
+
+    #[test]
+    fn invalid_frames_rejected() {
+        let we = WindowExpr {
+            func: WindowFuncKind::Max,
+            arg: Some(Expr::col("loc")),
+            frame: Frame::rows(FrameBound::UnboundedFollowing, FrameBound::CurrentRow),
+            alias: "x".into(),
+        };
+        assert!(
+            evaluate_window(&reads(), &[Expr::col("epc")], Some(&Expr::col("rtime")), &[we])
+                .is_err()
+        );
+    }
+}

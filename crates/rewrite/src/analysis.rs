@@ -1,0 +1,489 @@
+//! Correlation and transitivity analysis (paper §5.2, Figure 4, lines 1–10).
+//!
+//! For each context reference X of a cleansing rule, assemble the
+//! *correlation condition* `cr` — the rule conjuncts mentioning X plus the
+//! conjuncts implied by the pattern on the cluster key (`X.ckey = T.ckey`)
+//! and the sequence key (`X.skey ≤/≥ T.skey`). For *position-based*
+//! (non-`*`) references only the **position-preserving** subset is kept
+//! (Observation 1): the ckey equality and sequence-key difference
+//! constraints; correlations on any other column would let selected context
+//! rows shift relative positions and are discarded.
+//!
+//! Transitivity between `cr` and the query condition *s* (bound to the
+//! target reference) then derives the *context condition* on X: constant
+//! bounds propagate through difference constraints
+//! (`B.rtime < A.rtime + 300 ∧ A.rtime ≤ T1 ⟹ B.rtime < T1 + 300`),
+//! memberships propagate through equalities, and X-only rule conjuncts
+//! (`B.reader = 'readerX'`) pass through directly.
+
+use dc_relational::constraint::{normalize_conjunct, CmpOp, ConstConstraint, Normalized};
+use dc_relational::expr::{split_conjuncts, ColumnRef, Expr};
+use dc_relational::value::Value;
+use dc_rules::RuleTemplate;
+use dc_sqlts::PatternRef;
+
+/// The context condition derived for one context reference: a conjunction of
+/// predicates over X's columns (qualifier = the reference name). `None`
+/// means no condition could be derived — the expanded rewrite is infeasible
+/// for this rule (Figure 4 line 9).
+pub type ContextCondition = Option<Vec<Expr>>;
+
+/// Which pattern references does this expression mention?
+fn refs_of(expr: &Expr) -> Vec<String> {
+    let mut cols = Vec::new();
+    expr.referenced_columns(&mut cols);
+    let mut refs: Vec<String> = cols.iter().filter_map(|c| c.qualifier.clone()).collect();
+    refs.sort_unstable();
+    refs.dedup();
+    refs
+}
+
+/// If `c` is `count(inner) CMP k` (either orientation), return `inner`.
+fn count_threshold_inner(c: &Expr) -> Option<Expr> {
+    let Expr::Binary { left, op, right } = c else {
+        return None;
+    };
+    if !op.is_comparison() {
+        return None;
+    }
+    match (left.as_ref(), right.as_ref()) {
+        (Expr::CountIf(inner), Expr::Literal(_)) | (Expr::Literal(_), Expr::CountIf(inner)) => {
+            Some((**inner).clone())
+        }
+        _ => None,
+    }
+}
+
+/// Assemble the correlation condition between context reference `x` and the
+/// rule's target, as conjunct expressions (qualifiers are reference names).
+pub fn correlation_condition(rule: &RuleTemplate, x: &PatternRef) -> Vec<Expr> {
+    let def = &rule.def;
+    let target = def.target().to_string();
+    let mut cr: Vec<Expr> = Vec::new();
+
+    // Explicit conjuncts of the rule condition referring to X.
+    for c in split_conjuncts(&def.condition) {
+        if refs_of(&c).iter().any(|r| r == &x.name) {
+            cr.push(c);
+        }
+    }
+
+    // Implied: same sequence (cluster-key equality).
+    cr.push(
+        Expr::Column(ColumnRef::qualified(x.name.clone(), def.cluster_by.clone())).eq(
+            Expr::Column(ColumnRef::qualified(target.clone(), def.cluster_by.clone())),
+        ),
+    );
+
+    // Implied: sequence-key order from the pattern position. Non-strict (≤ /
+    // ≥): sequence ties on the key are ordered arbitrarily, so the safe
+    // implication is inclusive — slightly weaker context conditions, never
+    // incorrect ones.
+    let xi = def.pattern.position_of(&x.name);
+    let ti = def.pattern.position_of(&target);
+    if let (Some(xi), Some(ti)) = (xi, ti) {
+        let xk = Expr::Column(ColumnRef::qualified(x.name.clone(), def.sequence_by.clone()));
+        let tk = Expr::Column(ColumnRef::qualified(target.clone(), def.sequence_by.clone()));
+        if xi < ti {
+            cr.push(xk.lt_eq(tk));
+        } else {
+            cr.push(xk.gt_eq(tk));
+        }
+    }
+
+    if !x.is_set {
+        // Position-based reference: keep only position-preserving conjuncts.
+        cr.retain(|c| is_position_preserving(c, &x.name, &target, def));
+    }
+    cr
+}
+
+/// Observation 1: position-preserving correlation conjuncts are the ckey
+/// equality and sequence-key difference constraints between X and the target.
+fn is_position_preserving(
+    conjunct: &Expr,
+    x: &str,
+    target: &str,
+    def: &dc_sqlts::RuleDef,
+) -> bool {
+    let Some(Normalized::Diff(d)) = normalize_conjunct(conjunct) else {
+        return false;
+    };
+    let between = |a: &ColumnRef, b: &ColumnRef| {
+        a.qualifier.as_deref() == Some(x) && b.qualifier.as_deref() == Some(target)
+            || a.qualifier.as_deref() == Some(target) && b.qualifier.as_deref() == Some(x)
+    };
+    if !between(&d.x, &d.y) {
+        return false;
+    }
+    // ckey equality...
+    if d.op == CmpOp::Eq
+        && d.offset == 0
+        && d.x.name == def.cluster_by
+        && d.y.name == def.cluster_by
+    {
+        return true;
+    }
+    // ... or any skey range constraint.
+    d.x.name == def.sequence_by
+        && d.y.name == def.sequence_by
+        && matches!(d.op, CmpOp::Lt | CmpOp::LtEq | CmpOp::Gt | CmpOp::GtEq | CmpOp::Eq)
+}
+
+/// Derive the context condition for context reference `x` by transitivity
+/// between its correlation condition and the query conjuncts `s` (which the
+/// caller has re-qualified to the rule's *target* reference name).
+///
+/// Returns `None` when nothing can be derived (Figure 4 line 9).
+pub fn context_condition(rule: &RuleTemplate, x: &PatternRef, s_on_target: &[Expr]) -> ContextCondition {
+    let cr = correlation_condition(rule, x);
+    let mut derived: Vec<Expr> = Vec::new();
+
+    // Direct pass-through: correlation conjuncts referring to X only.
+    // A count-threshold conjunct (`count(inner) >= k`) is not a per-row
+    // predicate; only rows satisfying `inner` influence the count, so the
+    // inner predicate passes through instead.
+    for c in &cr {
+        let refs = refs_of(c);
+        if refs.len() == 1 && refs[0] == x.name {
+            match count_threshold_inner(c) {
+                Some(inner) => derived.push(inner),
+                None if !dc_rules::compile::contains_count_if(c) => derived.push(c.clone()),
+                None => {}
+            }
+        }
+    }
+
+    // Normalize the query conjuncts on the target.
+    let mut s_consts: Vec<ConstConstraint> = Vec::new();
+    let mut s_inlists: Vec<(ColumnRef, Vec<Value>)> = Vec::new();
+    for sc in s_on_target {
+        match normalize_conjunct(sc) {
+            Some(Normalized::Const(c)) => s_consts.push(c),
+            _ => {
+                if let Expr::InList {
+                    expr,
+                    list,
+                    negated: false,
+                } = sc
+                {
+                    if let Expr::Column(c) = expr.as_ref() {
+                        s_inlists.push((c.clone(), list.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    // Propagate bounds through difference constraints.
+    for c in &cr {
+        let Some(Normalized::Diff(d)) = normalize_conjunct(c) else {
+            continue;
+        };
+        // Orient with X on the left.
+        let candidates = [d.clone(), d.swapped()];
+        let Some(d) = candidates
+            .into_iter()
+            .find(|d| d.x.qualifier.as_deref() == Some(x.name.as_str()))
+        else {
+            continue;
+        };
+        // X.colx OP T.coly + offset — the right side must be the target.
+        if d.y.qualifier.as_deref() != Some(rule.def.target()) {
+            continue;
+        }
+        for sc in &s_consts {
+            if sc.x != d.y {
+                continue;
+            }
+            let derived_op = match d.op {
+                // X = T.col + c: any bound on T.col transfers as-is.
+                CmpOp::Eq => Some(sc.op),
+                // X < T.col + c ∧ T.col ≤/=/< v  ⟹  X </≤ v + c.
+                CmpOp::Lt | CmpOp::LtEq if sc.op.is_upper() => {
+                    Some(if d.op.is_strict() || sc.op.is_strict() {
+                        CmpOp::Lt
+                    } else {
+                        CmpOp::LtEq
+                    })
+                }
+                // X > T.col + c ∧ T.col ≥/=/> v  ⟹  X >/≥ v + c.
+                CmpOp::Gt | CmpOp::GtEq if sc.op.is_lower() => {
+                    Some(if d.op.is_strict() || sc.op.is_strict() {
+                        CmpOp::Gt
+                    } else {
+                        CmpOp::GtEq
+                    })
+                }
+                _ => None,
+            };
+            let Some(op) = derived_op else { continue };
+            // Shift the bound by the offset (integer bounds only, unless 0).
+            let shifted = if d.offset == 0 {
+                Some(ConstConstraint {
+                    x: d.x.clone(),
+                    op,
+                    value: sc.value.clone(),
+                })
+            } else {
+                sc.value.as_int().map(|v| ConstConstraint {
+                    x: d.x.clone(),
+                    op,
+                    value: Value::Int(v + d.offset),
+                })
+            };
+            if let Some(cc) = shifted {
+                derived.push(cc.to_expr());
+            }
+        }
+        // Membership propagates through exact equalities.
+        if d.op == CmpOp::Eq && d.offset == 0 {
+            for (col, list) in &s_inlists {
+                if *col == d.y {
+                    derived.push(Expr::InList {
+                        expr: Box::new(Expr::Column(d.x.clone())),
+                        list: list.clone(),
+                        negated: false,
+                    });
+                }
+            }
+        }
+    }
+
+    // Dedupe (syntactic).
+    let mut seen: Vec<Expr> = Vec::new();
+    for d in derived {
+        if !seen.contains(&d) {
+            seen.push(d);
+        }
+    }
+    if seen.is_empty() {
+        None
+    } else {
+        Some(seen)
+    }
+}
+
+/// Re-qualify conjuncts on the reads alias to the rule's target reference
+/// (binding *s* to T, Figure 4 line 6). Unqualified columns also bind to the
+/// target: `s` comes from the reads scan's pushed filter, so every column in
+/// it is a reads column whether the SQL text qualified it or not.
+pub fn bind_to_target(s: &[Expr], alias: &str, target: &str) -> Vec<Expr> {
+    let alias = alias.to_string();
+    let target = target.to_string();
+    s.iter()
+        .map(|e| {
+            e.transform(&|node| match node {
+                Expr::Column(c)
+                    if c.qualifier.is_none()
+                        || c.qualifier.as_deref() == Some(alias.as_str()) =>
+                {
+                    Expr::Column(ColumnRef::qualified(target.clone(), c.name))
+                }
+                other => other,
+            })
+        })
+        .collect()
+}
+
+/// Re-qualify conjuncts from one qualifier to another (columns with other
+/// qualifiers are left alone).
+pub fn requalify(e: &Expr, from: &str, to: &str) -> Expr {
+    let from = from.to_string();
+    let to = to.to_string();
+    e.transform(&|node| match node {
+        Expr::Column(c) if c.qualifier.as_deref() == Some(from.as_str()) => {
+            Expr::Column(ColumnRef::qualified(to.clone(), c.name))
+        }
+        other => other,
+    })
+}
+
+/// Does the rule's IN-style join key on column `key` propagate to every
+/// context reference (i.e. is `X.key = T.key` position-preserving-correlated
+/// for all X)? This decides whether a dimension join may be pushed below
+/// cleansing (paper §5.2, join query support). The cluster key always
+/// qualifies.
+pub fn join_key_propagates(rule: &RuleTemplate, key: &str) -> bool {
+    if key.eq_ignore_ascii_case(&rule.def.cluster_by) {
+        return true;
+    }
+    let target = rule.def.target().to_string();
+    rule.def
+        .context_refs()
+        .iter()
+        .all(|x| {
+            correlation_condition(rule, x).iter().any(|c| {
+                matches!(
+                    normalize_conjunct(c),
+                    Some(Normalized::Diff(d))
+                        if d.op == CmpOp::Eq
+                            && d.offset == 0
+                            && d.x.name.eq_ignore_ascii_case(key)
+                            && d.y.name.eq_ignore_ascii_case(key)
+                            && ((d.x.qualifier.as_deref() == Some(x.name.as_str())
+                                && d.y.qualifier.as_deref() == Some(target.as_str()))
+                                || (d.y.qualifier.as_deref() == Some(x.name.as_str())
+                                    && d.x.qualifier.as_deref() == Some(target.as_str())))
+                )
+            })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_rules::compile_rule;
+    use dc_sqlts::parse_rule;
+
+    fn rule(text: &str) -> RuleTemplate {
+        compile_rule(&parse_rule(text).unwrap()).unwrap()
+    }
+
+    const READER: &str = "DEFINE reader ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+        WHERE B.reader = 'readerX' and B.rtime - A.rtime < 5 mins ACTION DELETE A";
+    const DUP: &str = "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+        WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B";
+    const CYCLE: &str = "DEFINE cycle ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B, C) \
+        WHERE A.biz_loc = C.biz_loc and A.biz_loc != B.biz_loc ACTION DELETE B";
+
+    fn ctx<'a>(r: &'a RuleTemplate, name: &str) -> &'a PatternRef {
+        r.def.pattern.get(name).unwrap()
+    }
+
+    #[test]
+    fn reader_rule_q1_matches_paper_cc1() {
+        // s: A.rtime <= T1 (T1 = 10000). Expect the paper's cc1:
+        // B.rtime < T1 + 5min (strict, from the rule's `<`) and
+        // B.reader = 'readerX'.
+        let r = rule(READER);
+        let s = vec![Expr::col("a.rtime").lt_eq(Expr::lit(10_000i64))];
+        let cc = context_condition(&r, ctx(&r, "b"), &s).unwrap();
+        let rendered: Vec<String> = cc.iter().map(|e| e.to_string()).collect();
+        assert!(
+            rendered.iter().any(|s| s.contains("reader") && s.contains("readerX")),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered.iter().any(|s| s.contains("b.rtime < 10300")),
+            "{rendered:?}"
+        );
+    }
+
+    #[test]
+    fn reader_rule_q2_lower_bound() {
+        // s: A.rtime >= T2: B.rtime >= T2 via the implied B.skey >= A.skey.
+        let r = rule(READER);
+        let s = vec![Expr::col("a.rtime").gt_eq(Expr::lit(5_000i64))];
+        let cc = context_condition(&r, ctx(&r, "b"), &s).unwrap();
+        let rendered: Vec<String> = cc.iter().map(|e| e.to_string()).collect();
+        assert!(
+            rendered.iter().any(|s| s.contains("b.rtime >= 5000")),
+            "{rendered:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_rule_drops_biz_loc_correlation() {
+        // Position-based context A: the A.biz_loc = B.biz_loc correlation is
+        // NOT position-preserving and must be discarded (Observation 1b).
+        let r = rule(DUP);
+        let cr = correlation_condition(&r, ctx(&r, "a"));
+        assert!(
+            !cr.iter().any(|c| c.to_string().contains("biz_loc")),
+            "{cr:?}"
+        );
+        // ckey equality and both skey constraints survive.
+        assert!(cr.iter().any(|c| c.to_string().contains("a.epc = b.epc")));
+        assert_eq!(cr.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_rule_q1_upper_bound() {
+        let r = rule(DUP);
+        let s = vec![Expr::col("b.rtime").lt_eq(Expr::lit(10_000i64))];
+        let cc = context_condition(&r, ctx(&r, "a"), &s).unwrap();
+        // Table 1 (c2): rtime <= T1.
+        assert!(cc
+            .iter()
+            .any(|c| c.to_string().contains("a.rtime <= 10000")));
+    }
+
+    #[test]
+    fn duplicate_rule_q2_sound_lower_bound() {
+        // Paper Table 1 prints "rtime >= T2+10min" for this cell; the sound
+        // derivation is rtime > T2 - t1 through A.rtime > B.rtime - 300.
+        let r = rule(DUP);
+        let s = vec![Expr::col("b.rtime").gt_eq(Expr::lit(5_000i64))];
+        let cc = context_condition(&r, ctx(&r, "a"), &s).unwrap();
+        assert!(
+            cc.iter().any(|c| c.to_string().contains("a.rtime > 4700")),
+            "{cc:?}"
+        );
+    }
+
+    #[test]
+    fn cycle_rule_q1_infeasible_via_c() {
+        // Context C follows the target with no bound; an upper-bound query
+        // derives nothing on C (Table 1: {}).
+        let r = rule(CYCLE);
+        let s = vec![Expr::col("b.rtime").lt_eq(Expr::lit(10_000i64))];
+        assert!(context_condition(&r, ctx(&r, "c"), &s).is_none());
+        // ...but context A does derive a bound.
+        assert!(context_condition(&r, ctx(&r, "a"), &s).is_some());
+    }
+
+    #[test]
+    fn membership_propagates_through_ckey() {
+        let r = rule(READER);
+        let s = vec![Expr::InList {
+            expr: Box::new(Expr::col("a.epc")),
+            list: vec![Value::str("e1"), Value::str("e2")],
+            negated: false,
+        }];
+        let cc = context_condition(&r, ctx(&r, "b"), &s).unwrap();
+        assert!(cc
+            .iter()
+            .any(|c| matches!(c, Expr::InList { expr, .. }
+                if expr.to_string() == "b.epc")));
+    }
+
+    #[test]
+    fn string_equality_propagates() {
+        let r = rule(READER);
+        let s = vec![Expr::col("a.epc").eq(Expr::lit("e42"))];
+        let cc = context_condition(&r, ctx(&r, "b"), &s).unwrap();
+        assert!(cc.iter().any(|c| c.to_string().contains("b.epc = 'e42'")));
+    }
+
+    #[test]
+    fn join_key_propagation() {
+        let r = rule(READER);
+        assert!(join_key_propagates(&r, "epc")); // cluster key
+        assert!(!join_key_propagates(&r, "biz_loc"));
+        assert!(!join_key_propagates(&r, "biz_step"));
+        let d = rule(DUP);
+        assert!(join_key_propagates(&d, "epc"));
+        // The biz_loc equality was discarded as non-position-preserving.
+        assert!(!join_key_propagates(&d, "biz_loc"));
+    }
+
+    #[test]
+    fn bind_and_requalify() {
+        let s = vec![Expr::col("c.rtime").lt(Expr::lit(5i64))];
+        let bound = bind_to_target(&s, "c", "a");
+        assert_eq!(bound[0].to_string(), "(a.rtime < 5)");
+    }
+
+    #[test]
+    fn no_derivation_returns_none() {
+        let r = rule(READER);
+        // Query constrains a column with no correlation at all.
+        let s = vec![Expr::col("a.biz_step").eq(Expr::lit("s1"))];
+        // B still gets its direct conjunct (reader='readerX'), so feasible...
+        assert!(context_condition(&r, ctx(&r, "b"), &s).is_some());
+        // ...whereas a cycle-rule context with nothing derivable is None.
+        let c = rule(CYCLE);
+        assert!(context_condition(&c, ctx(&c, "c"), &s).is_none());
+    }
+}

@@ -1,0 +1,494 @@
+//! Query-shape analysis: decomposing a user plan around the reads table.
+//!
+//! The rewrite engine (paper §3, step 3) intercepts the user's query and
+//! needs, from its plan: the scan of the reads table R, the local condition
+//! *s* on R, the dimension joins `R ⋈ D_i` directly around it, and the rest
+//! of the query (the *consumer* — aggregations, OLAP windows, projections —
+//! which is preserved verbatim above the rewritten island).
+
+use dc_relational::error::{Error, Result};
+use dc_relational::expr::{split_conjuncts, Expr};
+use dc_relational::join::JoinType;
+use dc_relational::optimizer::{optimize, OptimizerConfig};
+use dc_relational::plan::LogicalPlan;
+use dc_relational::table::Catalog;
+
+/// Marker table name standing for the island inside the consumer plan.
+pub const HOLE: &str = "__rewrite_hole__";
+
+/// One dimension join hanging off the island.
+#[derive(Debug, Clone)]
+pub struct DimJoin {
+    /// The dimension subplan (with its local predicates pushed down).
+    pub plan: LogicalPlan,
+    /// Join keys on the island side (R or an earlier dimension).
+    pub left_keys: Vec<Expr>,
+    /// Join keys on the dimension side.
+    pub right_keys: Vec<Expr>,
+    /// True when every island-side key is a column of R itself. Only such
+    /// dims participate in the paper's push-below-cleansing / semi-join
+    /// machinery; chained dims (joined through another dimension, like
+    /// `product` through `epc_info` in q2) are always re-joined above.
+    pub direct: bool,
+}
+
+/// The decomposed query.
+#[derive(Debug, Clone)]
+pub struct QueryShape {
+    /// The consumer plan with a `Scan(__rewrite_hole__)` where the island was.
+    pub consumer: LogicalPlan,
+    /// The reads table name.
+    pub table: String,
+    /// The alias under which R's columns appear in the query.
+    pub alias: String,
+    /// Conjuncts of the query condition local to R (alias-qualified).
+    pub s: Vec<Expr>,
+    /// Dimension joins in original join order.
+    pub dims: Vec<DimJoin>,
+    /// Island filter conjuncts that span R and dimensions.
+    pub leftover: Vec<Expr>,
+}
+
+impl QueryShape {
+    /// The conjoined `s` condition (TRUE when empty).
+    pub fn s_expr(&self) -> Option<Expr> {
+        dc_relational::expr::conjoin(self.s.clone())
+    }
+
+    /// Substitute `replacement` for the hole in the consumer.
+    pub fn splice(&self, replacement: LogicalPlan) -> LogicalPlan {
+        replace_hole(self.consumer.clone(), &replacement)
+    }
+
+    /// Re-join dimensions above `base`, in original order, skipping indexes
+    /// in `skip` (already joined below), then apply the leftover filter.
+    pub fn rejoin_dims(&self, base: LogicalPlan, skip: &[usize]) -> LogicalPlan {
+        let mut plan = base;
+        for (i, d) in self.dims.iter().enumerate() {
+            if skip.contains(&i) {
+                continue;
+            }
+            plan = plan.join(
+                d.plan.clone(),
+                d.left_keys.clone(),
+                d.right_keys.clone(),
+                JoinType::Inner,
+            );
+        }
+        match dc_relational::expr::conjoin(self.leftover.clone()) {
+            Some(p) => plan.filter(p),
+            None => plan,
+        }
+    }
+}
+
+fn replace_hole(plan: LogicalPlan, replacement: &LogicalPlan) -> LogicalPlan {
+    if let LogicalPlan::Scan { table, .. } = &plan {
+        if table == HOLE {
+            return replacement.clone();
+        }
+    }
+    // Rebuild with children replaced.
+    map_children(plan, &mut |c| replace_hole(c, replacement))
+}
+
+fn map_children(plan: LogicalPlan, f: &mut impl FnMut(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { .. } => plan,
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(f(*input)),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(f(*input)),
+            exprs,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(f(*input)),
+            keys,
+        },
+        LogicalPlan::Window {
+            input,
+            partition_by,
+            order_by,
+            exprs,
+            presorted,
+        } => LogicalPlan::Window {
+            input: Box::new(f(*input)),
+            partition_by,
+            order_by,
+            exprs,
+            presorted,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => LogicalPlan::Join {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            left_keys,
+            right_keys,
+            join_type,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(f(*input)),
+            group_by,
+            aggs,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)),
+        },
+        LogicalPlan::Union { inputs } => LogicalPlan::Union {
+            inputs: inputs.into_iter().map(f).collect(),
+        },
+        LogicalPlan::Limit { input, fetch } => LogicalPlan::Limit {
+            input: Box::new(f(*input)),
+            fetch,
+        },
+        LogicalPlan::SubqueryAlias { input, alias } => LogicalPlan::SubqueryAlias {
+            input: Box::new(f(*input)),
+            alias,
+        },
+    }
+}
+
+/// Does this subtree contain a scan of `table`?
+fn contains_scan(plan: &LogicalPlan, table: &str) -> bool {
+    if let LogicalPlan::Scan { table: t, .. } = plan {
+        if t.eq_ignore_ascii_case(table) {
+            return true;
+        }
+    }
+    plan.inputs().iter().any(|c| contains_scan(c, table))
+}
+
+fn count_scans(plan: &LogicalPlan, table: &str) -> usize {
+    let here = matches!(plan, LogicalPlan::Scan { table: t, .. } if t.eq_ignore_ascii_case(table))
+        as usize;
+    here + plan
+        .inputs()
+        .iter()
+        .map(|c| count_scans(c, table))
+        .sum::<usize>()
+}
+
+/// Decompose a user plan around its (single) scan of `reads_table`.
+///
+/// The plan is first normalized by predicate pushdown so that single-table
+/// conjuncts sit in the scans. The *island* is the maximal chain of
+/// `Filter`/`Inner Join` nodes directly above the R scan; everything above
+/// becomes the consumer.
+pub fn analyze(plan: &LogicalPlan, reads_table: &str, catalog: &Catalog) -> Result<QueryShape> {
+    match count_scans(plan, reads_table) {
+        0 => {
+            return Err(Error::Plan(format!(
+                "query does not reference the reads table '{reads_table}'"
+            )))
+        }
+        1 => {}
+        n => {
+            return Err(Error::Plan(format!(
+                "query references '{reads_table}' {n} times — deferred-cleansing \
+                 rewrites currently require a single reference"
+            )))
+        }
+    }
+    // Normalize: push single-table predicates into scans (no order sharing
+    // yet — the rewritten plan is re-optimized at the end).
+    let cfg = OptimizerConfig {
+        enable_pushdown: true,
+        enable_order_sharing: false,
+    };
+    let plan = optimize(plan.clone(), catalog, &cfg);
+
+    let mut shape: Option<QueryShape> = None;
+    let consumer = carve(plan, reads_table, &mut shape)?;
+    let mut shape = shape.ok_or_else(|| Error::Internal("island not found".into()))?;
+    shape.consumer = consumer;
+
+    // Mark dims as direct when every island-side key is an R column.
+    let alias = shape.alias.clone();
+    for d in &mut shape.dims {
+        d.direct = d.left_keys.iter().all(|k| {
+            matches!(k, Expr::Column(c) if c.qualifier.as_deref() == Some(alias.as_str()))
+        });
+    }
+    Ok(shape)
+}
+
+/// Walk down to the island root; replace it with the hole and record parts.
+fn carve(
+    plan: LogicalPlan,
+    reads_table: &str,
+    out: &mut Option<QueryShape>,
+) -> Result<LogicalPlan> {
+    if is_island_root(&plan, reads_table) {
+        let mut s = Vec::new();
+        let mut dims = Vec::new();
+        let mut leftover = Vec::new();
+        let mut alias = None;
+        decompose_island(plan, reads_table, &mut s, &mut dims, &mut leftover, &mut alias)?;
+        let alias = alias.ok_or_else(|| Error::Internal("reads scan not found".into()))?;
+        *out = Some(QueryShape {
+            consumer: LogicalPlan::scan(HOLE), // placeholder; caller overwrites
+            table: reads_table.to_string(),
+            alias,
+            s,
+            dims,
+            leftover,
+        });
+        return Ok(LogicalPlan::scan(HOLE));
+    }
+    map_children_fallible(plan, &mut |c| {
+        if contains_scan(&c, reads_table) {
+            carve(c, reads_table, out)
+        } else {
+            Ok(c)
+        }
+    })
+}
+
+fn map_children_fallible(
+    plan: LogicalPlan,
+    f: &mut impl FnMut(LogicalPlan) -> Result<LogicalPlan>,
+) -> Result<LogicalPlan> {
+    // Reuse map_children but propagate errors via a captured slot.
+    let mut err: Option<Error> = None;
+    let rebuilt = map_children(plan, &mut |c| match f(c) {
+        Ok(p) => p,
+        Err(e) => {
+            err = Some(e);
+            LogicalPlan::scan(HOLE)
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(rebuilt),
+    }
+}
+
+/// The island root: the highest node that is the R scan itself or a
+/// Filter/Inner-Join chain over it — i.e. this node is "in the island" and
+/// its parent (caller) is not a Filter/Join containing R.
+fn is_island_node(plan: &LogicalPlan, reads_table: &str) -> bool {
+    match plan {
+        LogicalPlan::Scan { table, .. } => table.eq_ignore_ascii_case(reads_table),
+        LogicalPlan::Filter { input, .. } => is_island_node(input, reads_table),
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type: JoinType::Inner,
+            ..
+        } => {
+            // R must be in exactly one side; the other side must be R-free.
+            (is_island_node(left, reads_table) && !contains_scan(right, reads_table))
+                || (is_island_node(right, reads_table) && !contains_scan(left, reads_table))
+        }
+        _ => false,
+    }
+}
+
+fn is_island_root(plan: &LogicalPlan, reads_table: &str) -> bool {
+    is_island_node(plan, reads_table)
+}
+
+fn decompose_island(
+    plan: LogicalPlan,
+    reads_table: &str,
+    s: &mut Vec<Expr>,
+    dims: &mut Vec<DimJoin>,
+    leftover: &mut Vec<Expr>,
+    alias: &mut Option<String>,
+) -> Result<()> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            alias: a,
+            filter,
+        } if table.eq_ignore_ascii_case(reads_table) => {
+            *alias = Some(a.unwrap_or(table));
+            if let Some(f) = filter {
+                s.extend(split_conjuncts(&f));
+            }
+            Ok(())
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            decompose_island(*input, reads_table, s, dims, leftover, alias)?;
+            leftover.extend(split_conjuncts(&predicate));
+            Ok(())
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type: JoinType::Inner,
+        } => {
+            // Identify which side carries R.
+            let (r_side, d_side, island_keys, dim_keys) = if contains_scan(&left, reads_table) {
+                (*left, *right, left_keys, right_keys)
+            } else {
+                (*right, *left, right_keys, left_keys)
+            };
+            decompose_island(r_side, reads_table, s, dims, leftover, alias)?;
+            dims.push(DimJoin {
+                plan: d_side,
+                left_keys: island_keys,
+                right_keys: dim_keys,
+                direct: false, // fixed up by `analyze`
+            });
+            Ok(())
+        }
+        other => Err(Error::Internal(format!(
+            "unexpected island node: {}",
+            other.node_label()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_relational::batch::{schema_ref, Batch};
+    use dc_relational::schema::{Field, Schema};
+    use dc_relational::sql::{parse_query, plan_query};
+    use dc_relational::table::Table;
+    use dc_relational::value::DataType;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        let reads = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+            Field::new("biz_loc", DataType::Str),
+            Field::new("biz_step", DataType::Str),
+        ]));
+        cat.register(Table::new("caser", Batch::empty(reads)));
+        let locs = schema_ref(Schema::new(vec![
+            Field::new("gln", DataType::Str),
+            Field::new("site", DataType::Str),
+        ]));
+        cat.register(Table::new("locs", Batch::empty(locs)));
+        let info = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("product", DataType::Str),
+        ]));
+        cat.register(Table::new("epc_info", Batch::empty(info)));
+        let product = schema_ref(Schema::new(vec![
+            Field::new("product", DataType::Str),
+            Field::new("manufacturer", DataType::Str),
+        ]));
+        cat.register(Table::new("product", Batch::empty(product)));
+        cat
+    }
+
+    fn shape_of(sql: &str) -> QueryShape {
+        let cat = catalog();
+        let plan = plan_query(&parse_query(sql).unwrap(), &cat).unwrap();
+        analyze(&plan, "caser", &cat).unwrap()
+    }
+
+    #[test]
+    fn simple_selection() {
+        let sh = shape_of("select epc from caser where rtime < 100");
+        assert_eq!(sh.alias, "caser");
+        assert_eq!(sh.s.len(), 1);
+        assert!(sh.dims.is_empty());
+        assert!(sh.leftover.is_empty());
+        // Consumer keeps the projection, hole below it.
+        assert!(matches!(sh.consumer, LogicalPlan::Project { .. }));
+    }
+
+    #[test]
+    fn aliased_scan_and_multiple_conjuncts() {
+        let sh = shape_of("select c.epc from caser c where c.rtime < 100 and c.biz_loc = 'x'");
+        assert_eq!(sh.alias, "c");
+        assert_eq!(sh.s.len(), 2);
+    }
+
+    #[test]
+    fn star_query_with_dims() {
+        let sh = shape_of(
+            "select p.manufacturer, count(*) as n \
+             from caser c, locs l, epc_info i, product p \
+             where c.biz_loc = l.gln and c.epc = i.epc and i.product = p.product \
+               and c.rtime >= 50 and l.site = 'dc2' \
+             group by p.manufacturer",
+        );
+        assert_eq!(sh.alias, "c");
+        assert_eq!(sh.s.len(), 1); // rtime >= 50
+        assert_eq!(sh.dims.len(), 3);
+        // locs and epc_info join R directly; product joins through epc_info.
+        let direct: Vec<bool> = sh.dims.iter().map(|d| d.direct).collect();
+        assert_eq!(direct.iter().filter(|d| **d).count(), 2);
+        assert!(!sh.dims.last().unwrap().direct);
+        // The locs dim carries its local predicate.
+        let locs_dim = &sh.dims[0];
+        assert!(matches!(&locs_dim.plan, LogicalPlan::Scan { filter: Some(_), .. }));
+    }
+
+    #[test]
+    fn splice_and_rejoin_roundtrip() {
+        let sh = shape_of(
+            "select count(*) as n from caser c, locs l \
+             where c.biz_loc = l.gln and c.rtime < 100",
+        );
+        // Rebuild the island as-is and splice: executing both the original
+        // and rebuilt plans over data must agree (see engine tests); here we
+        // just check structure.
+        let island = sh.rejoin_dims(
+            LogicalPlan::scan_as("caser", sh.alias.clone()).filter(sh.s_expr().unwrap()),
+            &[],
+        );
+        let whole = sh.splice(island);
+        let rendered = whole.display_indent();
+        assert!(rendered.contains("Aggregate"));
+        assert!(rendered.contains("Join"));
+        assert!(!rendered.contains(HOLE));
+    }
+
+    #[test]
+    fn window_query_island_is_scan_only() {
+        let sh = shape_of(
+            "select max(rtime) over (partition by epc order by rtime \
+               rows between 1 preceding and 1 preceding) as prev \
+             from caser where rtime <= 500",
+        );
+        assert!(sh.dims.is_empty());
+        assert_eq!(sh.s.len(), 1);
+        assert!(matches!(sh.consumer, LogicalPlan::Project { .. }));
+    }
+
+    #[test]
+    fn missing_reads_table_rejected() {
+        let cat = catalog();
+        let plan = plan_query(
+            &parse_query("select gln from locs").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        assert!(analyze(&plan, "caser", &cat).is_err());
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let cat = catalog();
+        let plan = plan_query(
+            &parse_query(
+                "select a.epc from caser a, caser b where a.epc = b.epc and a.rtime < 5",
+            )
+            .unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let err = analyze(&plan, "caser", &cat).unwrap_err();
+        assert!(err.to_string().contains("2 times"));
+    }
+}

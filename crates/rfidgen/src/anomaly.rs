@@ -1,0 +1,259 @@
+//! Anomaly injection (paper §6.1): "We add five types of anomalies ... by
+//! reversing the action of the cleansing rules", distributed evenly over the
+//! types, on case reads only (pallets read reliably).
+
+use crate::config::GenConfig;
+use crate::gen::{CleanData, Read, ReaderId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How many injections of each type were performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnomalyCounts {
+    pub duplicate: usize,
+    pub reader: usize,
+    pub replacing: usize,
+    pub cycle: usize,
+    pub missing: usize,
+}
+
+impl AnomalyCounts {
+    pub fn total(&self) -> usize {
+        self.duplicate + self.reader + self.replacing + self.cycle + self.missing
+    }
+}
+
+/// Locations reserved for the replacing-rule scenario: reads at `loc2` that
+/// are followed by a read at `loc_a` are cross reads whose true location is
+/// `loc1` (paper Example 3). The injector uses the *last* three locations of
+/// the last store so they rarely collide with organic traffic.
+#[derive(Debug, Clone)]
+pub struct SpecialLocations {
+    pub loc1: usize,
+    pub loc2: usize,
+    pub loc_a: usize,
+}
+
+impl SpecialLocations {
+    pub fn pick(data: &CleanData) -> SpecialLocations {
+        let n = data.topology.glns.len();
+        assert!(n >= 3, "topology too small");
+        SpecialLocations {
+            loc1: n - 3,
+            loc2: n - 2,
+            loc_a: n - 1,
+        }
+    }
+}
+
+/// Inject anomalies into the case traces, in place. Returns the injection
+/// counts. `data.cases[..].reads` stay sorted by `rtime`.
+pub fn inject_anomalies(
+    cfg: &GenConfig,
+    data: &mut CleanData,
+    special: &SpecialLocations,
+    rng: &mut StdRng,
+) -> AnomalyCounts {
+    let clean_reads: usize = data.cases.iter().map(|c| c.reads.len()).sum();
+    let total = ((cfg.anomaly_pct / 100.0) * clean_reads as f64).round() as usize;
+    let per_type = total / 5;
+    let mut counts = AnomalyCounts::default();
+    if data.cases.is_empty() {
+        return counts;
+    }
+
+    let n_cases = data.cases.len();
+    let pick_case_stop = |rng: &mut StdRng, data: &CleanData, min_len: usize| {
+        // Reads never shrink below 2, so this terminates.
+        loop {
+            let ci = rng.gen_range(0..n_cases);
+            let len = data.cases[ci].reads.len();
+            if len >= min_len {
+                return (ci, rng.gen_range(0..len));
+            }
+        }
+    };
+
+    // 1. Duplicate reads: a second read at the same location < t1 later.
+    for _ in 0..per_type {
+        let (ci, si) = pick_case_stop(rng, data, 2);
+        let base = data.cases[ci].reads[si].clone();
+        let dup = Read {
+            rtime: base.rtime + rng.gen_range(1..300),
+            ..base
+        };
+        insert_sorted(&mut data.cases[ci].reads, dup);
+        counts.duplicate += 1;
+    }
+
+    // 2. Reader anomalies: a spurious read shortly before a forklift
+    //    (readerX) read — the forklift carried the case past another reader.
+    for _ in 0..per_type {
+        let (ci, si) = pick_case_stop(rng, data, 2);
+        let reads = &mut data.cases[ci].reads;
+        reads[si].reader = ReaderId::ReaderX;
+        let anchor = reads[si].clone();
+        let other_loc = rng.gen_range(0..data.topology.glns.len());
+        let spurious = Read {
+            rtime: (anchor.rtime - rng.gen_range(30..300)).max(0),
+            loc: other_loc,
+            reader: ReaderId::Location(other_loc),
+            step: anchor.step,
+        };
+        insert_sorted(reads, spurious);
+        counts.reader += 1;
+    }
+
+    // 3. Replacing (cross reads): a pair [loc2@t, locA@t+<t3] where the loc2
+    //    read's true location is loc1.
+    for _ in 0..per_type {
+        let (ci, si) = pick_case_stop(rng, data, 2);
+        let reads = &mut data.cases[ci].reads;
+        let t = reads[si].rtime + 1;
+        let step = reads[si].step;
+        let cross = Read {
+            rtime: t,
+            loc: special.loc2,
+            reader: ReaderId::Location(special.loc2),
+            step,
+        };
+        let confirm = Read {
+            rtime: t + rng.gen_range(1..1200),
+            loc: special.loc_a,
+            reader: ReaderId::Location(special.loc_a),
+            step,
+        };
+        insert_sorted(reads, cross);
+        insert_sorted(reads, confirm);
+        counts.replacing += 1;
+    }
+
+    // 4. Cycles: after a read at X, bounce to Y and back to X.
+    for _ in 0..per_type {
+        let (ci, si) = pick_case_stop(rng, data, 2);
+        let reads = &mut data.cases[ci].reads;
+        let x = reads[si].clone();
+        let next_t = reads.get(si + 1).map(|r| r.rtime).unwrap_or(x.rtime + 3600);
+        let gap = ((next_t - x.rtime) / 3).max(2);
+        let other_loc = (x.loc + 1) % data.topology.glns.len();
+        let y = Read {
+            rtime: x.rtime + gap,
+            loc: other_loc,
+            reader: ReaderId::Location(other_loc),
+            step: x.step,
+        };
+        let x2 = Read {
+            rtime: x.rtime + 2 * gap,
+            loc: x.loc,
+            reader: ReaderId::Location(x.loc),
+            step: x.step,
+        };
+        insert_sorted(reads, y);
+        insert_sorted(reads, x2);
+        counts.cycle += 1;
+    }
+
+    // 5. Missing reads: drop a case read at a non-final stop (the pallet
+    //    read remains, so the missing rule can compensate).
+    for _ in 0..per_type {
+        loop {
+            let ci = rng.gen_range(0..n_cases);
+            let len = data.cases[ci].reads.len();
+            if len >= 3 {
+                let si = rng.gen_range(0..len - 1);
+                data.cases[ci].reads.remove(si);
+                counts.missing += 1;
+                break;
+            }
+        }
+    }
+
+    counts
+}
+
+fn insert_sorted(reads: &mut Vec<Read>, read: Read) {
+    let pos = reads.partition_point(|r| r.rtime <= read.rtime);
+    reads.insert(pos, read);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_clean;
+    use rand::SeedableRng;
+
+    fn prepared(pct: f64, seed: u64) -> (GenConfig, CleanData, AnomalyCounts) {
+        let cfg = GenConfig::tiny(3, pct, seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut data = generate_clean(&cfg, &mut rng);
+        let special = SpecialLocations::pick(&data);
+        let counts = inject_anomalies(&cfg, &mut data, &special, &mut rng);
+        (cfg, data, counts)
+    }
+
+    #[test]
+    fn counts_match_percentage() {
+        let (_, data, counts) = prepared(20.0, 3);
+        let clean: usize = data
+            .cases
+            .iter()
+            .map(|_| 30usize)
+            .sum();
+        let expected_per_type = (clean as f64 * 0.2 / 5.0) as usize;
+        // Each type within rounding of the even split.
+        for c in [
+            counts.duplicate,
+            counts.reader,
+            counts.replacing,
+            counts.cycle,
+            counts.missing,
+        ] {
+            assert!(
+                (c as i64 - expected_per_type as i64).abs() <= 1,
+                "{counts:?} vs per-type {expected_per_type}"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_remain_sorted() {
+        let (_, data, _) = prepared(40.0, 9);
+        for c in &data.cases {
+            assert!(c.reads.windows(2).all(|w| w[0].rtime <= w[1].rtime));
+        }
+    }
+
+    #[test]
+    fn zero_percent_changes_nothing() {
+        let (_, data, counts) = prepared(0.0, 5);
+        assert_eq!(counts.total(), 0);
+        for c in &data.cases {
+            assert_eq!(c.reads.len(), 30);
+        }
+    }
+
+    #[test]
+    fn missing_reduces_and_insertions_grow() {
+        let (_, data, counts) = prepared(30.0, 21);
+        let total_reads: usize = data.cases.iter().map(|c| c.reads.len()).sum();
+        let clean = data.cases.len() * 30;
+        // duplicates + reader + 2*replacing + 2*cycle added, missing removed.
+        let expected = clean + counts.duplicate + counts.reader + 2 * counts.replacing
+            + 2 * counts.cycle
+            - counts.missing;
+        assert_eq!(total_reads, expected);
+    }
+
+    #[test]
+    fn readerx_reads_present_after_reader_injection() {
+        let (_, data, counts) = prepared(25.0, 8);
+        let readerx = data
+            .cases
+            .iter()
+            .flat_map(|c| &c.reads)
+            .filter(|r| r.reader == ReaderId::ReaderX)
+            .count();
+        // Later missing-injections may remove a few readerX anchors.
+        assert!(readerx * 2 >= counts.reader, "{readerx} vs {counts:?}");
+    }
+}

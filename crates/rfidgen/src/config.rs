@@ -1,0 +1,120 @@
+//! Generator configuration (paper §6.1).
+
+/// Configuration for RFIDGen. Defaults follow the paper's description of a
+/// retailer *W*: goods flow through a distribution center, a warehouse, and
+/// a retail store; every site has 100 readers/locations; every shipment is
+/// read 10 times per site (30 reads total); consecutive reads are 1–36 h
+/// apart; the first read falls in a 5-year window; a pallet carries 20–80
+/// cases; 1,000 products from 50 manufacturers; 100 business steps in 10
+/// types.
+///
+/// Note on the location count: the paper says both "1,000 retail stores"
+/// and "the location table stores all 13,000 distinct locations". With 100
+/// locations per site, 13,000 locations correspond to 5 + 25 + 100 sites, so
+/// the defaults use 100 stores (the numbers cannot all hold at once; we keep
+/// the *location-table cardinality*, which the evaluation depends on).
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Scale factor s = number of pallet EPCs (the paper's "s").
+    pub scale: usize,
+    /// Percentage of anomalies to inject over the clean case reads (the
+    /// paper's D: 10, 20, 30, 40), split evenly over the five types.
+    pub anomaly_pct: f64,
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+
+    pub num_dcs: usize,
+    pub num_warehouses: usize,
+    pub num_stores: usize,
+    pub locations_per_site: usize,
+    /// Reads per site on a shipment's path (3 sites ⇒ 3× this many reads).
+    pub reads_per_site: usize,
+
+    pub min_cases_per_pallet: usize,
+    pub max_cases_per_pallet: usize,
+
+    /// First-read window in seconds (5 years).
+    pub time_window_secs: i64,
+    /// Latency between consecutive reads of one shipment, in seconds.
+    pub min_latency_secs: i64,
+    pub max_latency_secs: i64,
+    /// A case is read within this many seconds after its pallet.
+    pub max_case_offset_secs: i64,
+
+    pub num_products: usize,
+    pub num_manufacturers: usize,
+    pub num_steps: usize,
+    pub num_step_types: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            scale: 100,
+            anomaly_pct: 10.0,
+            seed: 42,
+            num_dcs: 5,
+            num_warehouses: 25,
+            num_stores: 100,
+            locations_per_site: 100,
+            reads_per_site: 10,
+            min_cases_per_pallet: 20,
+            max_cases_per_pallet: 80,
+            time_window_secs: 5 * 365 * 24 * 3600,
+            min_latency_secs: 3600,
+            max_latency_secs: 36 * 3600,
+            max_case_offset_secs: 599,
+            num_products: 1000,
+            num_manufacturers: 50,
+            num_steps: 100,
+            num_step_types: 10,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A small configuration for unit tests: ~`scale * 50 * 30` case reads.
+    pub fn tiny(scale: usize, anomaly_pct: f64, seed: u64) -> Self {
+        GenConfig {
+            scale,
+            anomaly_pct,
+            seed,
+            num_stores: 10,
+            num_warehouses: 5,
+            num_dcs: 2,
+            locations_per_site: 10,
+            ..GenConfig::default()
+        }
+    }
+
+    /// Total number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.num_dcs + self.num_warehouses + self.num_stores
+    }
+
+    /// Total number of locations (= rows of the locs table).
+    pub fn num_locations(&self) -> usize {
+        self.num_sites() * self.locations_per_site
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = GenConfig::default();
+        assert_eq!(c.num_sites(), 130);
+        assert_eq!(c.num_locations(), 13_000);
+        assert_eq!(c.reads_per_site * 3, 30);
+        assert_eq!(c.time_window_secs, 157_680_000);
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let c = GenConfig::tiny(2, 0.0, 1);
+        assert!(c.num_locations() < 200);
+        assert_eq!(c.scale, 2);
+    }
+}

@@ -1,0 +1,317 @@
+//! Clean-data generation: supply-chain topology and shipment traces.
+
+use crate::config::GenConfig;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One site in the three-level distribution topology.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub name: String,
+    /// Global location ids of this site's locations (indexes into
+    /// `Topology::glns`).
+    pub locations: Vec<usize>,
+}
+
+/// The full topology: DCs, warehouses, stores, and the location table rows.
+#[derive(Debug)]
+pub struct Topology {
+    pub sites: Vec<Site>,
+    /// Index ranges within `sites`: DCs, then warehouses, then stores.
+    pub num_dcs: usize,
+    pub num_warehouses: usize,
+    pub num_stores: usize,
+    /// 13-character Global Location Numbers, indexed by location id.
+    pub glns: Vec<String>,
+    /// Human-readable location descriptions, parallel to `glns`.
+    pub loc_descs: Vec<String>,
+    /// Site name per location id.
+    pub loc_sites: Vec<String>,
+    /// warehouse -> dc, store -> warehouse assignments (site indexes).
+    pub warehouse_dc: Vec<usize>,
+    pub store_warehouse: Vec<usize>,
+}
+
+impl Topology {
+    pub fn build(cfg: &GenConfig, rng: &mut StdRng) -> Topology {
+        let mut sites = Vec::with_capacity(cfg.num_sites());
+        let mut glns = Vec::with_capacity(cfg.num_locations());
+        let mut loc_descs = Vec::with_capacity(cfg.num_locations());
+        let mut loc_sites = Vec::with_capacity(cfg.num_locations());
+        let add_site = |name: String,
+                            glns: &mut Vec<String>,
+                            loc_descs: &mut Vec<String>,
+                            loc_sites: &mut Vec<String>| {
+            let mut locations = Vec::with_capacity(cfg.locations_per_site);
+            for j in 0..cfg.locations_per_site {
+                let id = glns.len();
+                glns.push(format!("{id:013}"));
+                loc_descs.push(format!("{name} location {j}"));
+                loc_sites.push(name.clone());
+                locations.push(id);
+            }
+            Site { name, locations }
+        };
+        for i in 0..cfg.num_dcs {
+            sites.push(add_site(
+                format!("distribution center {i}"),
+                &mut glns,
+                &mut loc_descs,
+                &mut loc_sites,
+            ));
+        }
+        for i in 0..cfg.num_warehouses {
+            sites.push(add_site(
+                format!("warehouse {i}"),
+                &mut glns,
+                &mut loc_descs,
+                &mut loc_sites,
+            ));
+        }
+        for i in 0..cfg.num_stores {
+            sites.push(add_site(
+                format!("store {i}"),
+                &mut glns,
+                &mut loc_descs,
+                &mut loc_sites,
+            ));
+        }
+        // Each warehouse receives from one DC; each store from one warehouse.
+        let warehouse_dc = (0..cfg.num_warehouses)
+            .map(|_| rng.gen_range(0..cfg.num_dcs))
+            .collect();
+        let store_warehouse = (0..cfg.num_stores)
+            .map(|_| rng.gen_range(0..cfg.num_warehouses))
+            .collect();
+        Topology {
+            sites,
+            num_dcs: cfg.num_dcs,
+            num_warehouses: cfg.num_warehouses,
+            num_stores: cfg.num_stores,
+            glns,
+            loc_descs,
+            loc_sites,
+            warehouse_dc,
+            store_warehouse,
+        }
+    }
+
+    /// Site index of a store / warehouse / dc in `sites`.
+    pub fn store_site(&self, store: usize) -> usize {
+        self.num_dcs + self.num_warehouses + store
+    }
+
+    pub fn warehouse_site(&self, wh: usize) -> usize {
+        self.num_dcs + wh
+    }
+
+    pub fn dc_site(&self, dc: usize) -> usize {
+        dc
+    }
+}
+
+/// One RFID read (indexes rather than strings; resolved on batch build).
+#[derive(Debug, Clone)]
+pub struct Read {
+    pub rtime: i64,
+    /// Location id (index into `Topology::glns`).
+    pub loc: usize,
+    /// Reader id; one reader per location, so this equals the location id
+    /// unless an anomaly overrides it with the forklift reader.
+    pub reader: ReaderId,
+    /// Business step index.
+    pub step: usize,
+}
+
+/// Reader attribution of a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReaderId {
+    Location(usize),
+    /// The forklift reader of the reader-rule scenario ("readerX").
+    ReaderX,
+}
+
+/// One case trace: its pallet, and its reads (kept sorted by rtime).
+#[derive(Debug)]
+pub struct CaseTrace {
+    pub pallet: usize,
+    pub reads: Vec<Read>,
+}
+
+/// One pallet trace.
+#[derive(Debug)]
+pub struct PalletTrace {
+    pub reads: Vec<Read>,
+    /// Case indexes (into `CleanData::cases`) contained in this pallet.
+    pub cases: Vec<usize>,
+}
+
+/// Everything generated before anomaly injection.
+#[derive(Debug)]
+pub struct CleanData {
+    pub topology: Topology,
+    pub pallets: Vec<PalletTrace>,
+    pub cases: Vec<CaseTrace>,
+    /// Product index per case.
+    pub case_product: Vec<usize>,
+    /// Manufacturer index per product.
+    pub product_manufacturer: Vec<usize>,
+}
+
+/// Generate clean traces for `cfg.scale` pallets.
+pub fn generate_clean(cfg: &GenConfig, rng: &mut StdRng) -> CleanData {
+    let topology = Topology::build(cfg, rng);
+    let product_manufacturer: Vec<usize> = (0..cfg.num_products)
+        .map(|_| rng.gen_range(0..cfg.num_manufacturers))
+        .collect();
+
+    let mut pallets = Vec::with_capacity(cfg.scale);
+    let mut cases = Vec::new();
+    let mut case_product = Vec::new();
+
+    for _ in 0..cfg.scale {
+        // Route: DC -> warehouse -> store.
+        let store = rng.gen_range(0..topology.num_stores);
+        let wh = topology.store_warehouse[store];
+        let dc = topology.warehouse_dc[wh];
+        let path_sites = [
+            topology.dc_site(dc),
+            topology.warehouse_site(wh),
+            topology.store_site(store),
+        ];
+
+        // Pallet stops: reads_per_site random locations per site, in order.
+        let mut stops: Vec<(i64, usize)> = Vec::with_capacity(3 * cfg.reads_per_site);
+        let mut t = rng.gen_range(0..cfg.time_window_secs);
+        for &site in &path_sites {
+            for _ in 0..cfg.reads_per_site {
+                let locs = &topology.sites[site].locations;
+                let loc = locs[rng.gen_range(0..locs.len())];
+                stops.push((t, loc));
+                t += rng.gen_range(cfg.min_latency_secs..=cfg.max_latency_secs);
+            }
+        }
+
+        let pallet_reads: Vec<Read> = stops
+            .iter()
+            .map(|&(t, loc)| Read {
+                rtime: t,
+                loc,
+                reader: ReaderId::Location(loc),
+                step: rng.gen_range(0..cfg.num_steps),
+            })
+            .collect();
+
+        let n_cases = rng.gen_range(cfg.min_cases_per_pallet..=cfg.max_cases_per_pallet);
+        let mut case_ids = Vec::with_capacity(n_cases);
+        for _ in 0..n_cases {
+            let reads: Vec<Read> = stops
+                .iter()
+                .map(|&(t, loc)| Read {
+                    rtime: t + rng.gen_range(1..=cfg.max_case_offset_secs),
+                    loc,
+                    reader: ReaderId::Location(loc),
+                    step: rng.gen_range(0..cfg.num_steps),
+                })
+                .collect();
+            case_ids.push(cases.len());
+            cases.push(CaseTrace {
+                pallet: pallets.len(),
+                reads,
+            });
+            case_product.push(rng.gen_range(0..cfg.num_products));
+        }
+        pallets.push(PalletTrace {
+            reads: pallet_reads,
+            cases: case_ids,
+        });
+    }
+
+    CleanData {
+        topology,
+        pallets,
+        cases,
+        case_product,
+        product_manufacturer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn data(seed: u64) -> CleanData {
+        let cfg = GenConfig::tiny(3, 0.0, seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        generate_clean(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn trace_shape() {
+        let cfg = GenConfig::tiny(3, 0.0, 7);
+        let d = data(7);
+        assert_eq!(d.pallets.len(), 3);
+        for p in &d.pallets {
+            assert_eq!(p.reads.len(), 3 * cfg.reads_per_site);
+            assert!(p.cases.len() >= cfg.min_cases_per_pallet);
+            assert!(p.cases.len() <= cfg.max_cases_per_pallet);
+        }
+        for c in &d.cases {
+            assert_eq!(c.reads.len(), 30);
+            // Case reads strictly increase in time (latency >> case offset).
+            assert!(c.reads.windows(2).all(|w| w[0].rtime < w[1].rtime));
+        }
+    }
+
+    #[test]
+    fn cases_travel_with_pallet() {
+        let d = data(11);
+        for (ci, c) in d.cases.iter().enumerate() {
+            let p = &d.pallets[c.pallet];
+            assert!(p.cases.contains(&ci));
+            for (cr, pr) in c.reads.iter().zip(&p.reads) {
+                assert_eq!(cr.loc, pr.loc);
+                let dt = cr.rtime - pr.rtime;
+                assert!((1..=599).contains(&dt), "case offset {dt}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_follows_topology_levels() {
+        let d = data(13);
+        let topo = &d.topology;
+        for p in &d.pallets {
+            let site_of = |loc: usize| topo.loc_sites[loc].clone();
+            let first = site_of(p.reads[0].loc);
+            let mid = site_of(p.reads[10].loc);
+            let last = site_of(p.reads[20].loc);
+            assert!(first.starts_with("distribution center"));
+            assert!(mid.starts_with("warehouse"));
+            assert!(last.starts_with("store"));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = data(5);
+        let b = data(5);
+        assert_eq!(a.cases.len(), b.cases.len());
+        assert_eq!(a.cases[0].reads[0].rtime, b.cases[0].reads[0].rtime);
+        let c = data(6);
+        assert!(
+            a.cases.len() != c.cases.len()
+                || a.cases[0].reads[0].rtime != c.cases[0].reads[0].rtime
+        );
+    }
+
+    #[test]
+    fn gln_format() {
+        let d = data(1);
+        for g in &d.topology.glns {
+            assert_eq!(g.len(), 13);
+            assert!(g.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+}

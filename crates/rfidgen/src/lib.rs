@@ -1,0 +1,34 @@
+//! # dc-rfidgen — RFIDGen, the synthetic RFID workload generator
+//!
+//! Reimplements the paper's RFIDGen (§6.1): a retailer's supply chain where
+//! every shipment flows through a distribution center, a warehouse, and a
+//! retail store, producing 30 reads per EPC; pallets carry 20–80 cases; case
+//! reads trail their pallet's by under ten minutes. Five anomaly types
+//! (duplicate, reader, replacing/cross-read, cycle, missing) are injected by
+//! reversing the cleansing rules' actions, split evenly over a configured
+//! percentage.
+//!
+//! [`generate_into`] loads the seven-table schema of Figure 5 — caseR,
+//! palletR, parent, EPC_info, product, steps, locs — into a catalog with the
+//! paper's indexes; the returned [`Dataset`] provides the benchmark rules,
+//! queries (q1, q2, q2′), selectivity quantiles, and the derived input for
+//! the missing rule.
+//!
+//! ```
+//! use dc_relational::table::Catalog;
+//! use dc_rfidgen::{generate_into, GenConfig};
+//!
+//! let catalog = Catalog::new();
+//! let ds = generate_into(&catalog, GenConfig::tiny(2, 10.0, 42)).unwrap();
+//! assert!(ds.case_reads > 0);
+//! assert!(catalog.contains("caser"));
+//! ```
+
+pub mod anomaly;
+pub mod config;
+pub mod dataset;
+pub mod gen;
+
+pub use anomaly::{AnomalyCounts, SpecialLocations};
+pub use config::GenConfig;
+pub use dataset::{generate_into, Dataset};

@@ -1,0 +1,293 @@
+//! The rules table (paper §3, step 2): persistent storage of cleansing
+//! rules, grouped per application, ordered by creation time.
+
+use crate::compile::{compile_rule, RuleTemplate};
+use crate::template::render_sql_template;
+use dc_relational::error::{Error, Result};
+use dc_relational::table::Catalog;
+use dc_sqlts::{parse_rule, validate_rule_against_catalog};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One stored rule: definition text, compiled template, creation order.
+#[derive(Debug, Clone)]
+pub struct StoredRule {
+    pub id: u64,
+    /// Application the rule belongs to; rules are applied per application.
+    pub application: String,
+    /// The original extended SQL-TS text (the persisted source of truth).
+    pub text: String,
+    /// Compiled SQL/OLAP template.
+    pub template: Arc<RuleTemplate>,
+    /// The rendered SQL/OLAP statement (for inspection / the paper's
+    /// "SQL/OLAP template is persisted in the rules table").
+    pub sql_template: String,
+}
+
+/// Serialized form (only the durable fields; templates recompile from text).
+#[derive(Debug, Serialize, Deserialize)]
+struct PersistedRule {
+    id: u64,
+    application: String,
+    text: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct PersistedCatalog {
+    next_id: u64,
+    rules: Vec<PersistedRule>,
+}
+
+/// The rule catalog: thread-safe, creation-ordered per application.
+#[derive(Debug, Default)]
+pub struct RuleCatalog {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    next_id: u64,
+    rules: Vec<StoredRule>,
+}
+
+impl RuleCatalog {
+    pub fn new() -> Self {
+        RuleCatalog::default()
+    }
+
+    /// Parse, validate (against the data catalog), compile, and store a rule
+    /// for an application. Returns the rule id.
+    pub fn define_rule(
+        &self,
+        application: &str,
+        text: &str,
+        data_catalog: &Catalog,
+    ) -> Result<u64> {
+        let def = parse_rule(text)?;
+        validate_rule_against_catalog(&def, data_catalog)?;
+        let template = compile_rule(&def)?;
+        let sql_template = render_sql_template(&template, &def.from_table);
+        let mut inner = self.inner.write();
+        if inner
+            .rules
+            .iter()
+            .any(|r| r.application == application && r.template.def.name == def.name)
+        {
+            return Err(Error::Catalog(format!(
+                "application '{application}' already defines rule '{}'",
+                def.name
+            )));
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.rules.push(StoredRule {
+            id,
+            application: application.to_string(),
+            text: text.to_string(),
+            template: Arc::new(template),
+            sql_template,
+        });
+        Ok(id)
+    }
+
+    /// Drop a rule by application and name.
+    pub fn drop_rule(&self, application: &str, name: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let before = inner.rules.len();
+        inner
+            .rules
+            .retain(|r| !(r.application == application && r.template.def.name == name));
+        if inner.rules.len() == before {
+            return Err(Error::Catalog(format!(
+                "no rule '{name}' for application '{application}'"
+            )));
+        }
+        Ok(())
+    }
+
+    /// All rules for an application, in creation order (paper §4.4: "rules
+    /// are ordered by their creation time and applied in this order").
+    pub fn rules_for(&self, application: &str) -> Vec<Arc<RuleTemplate>> {
+        let inner = self.inner.read();
+        let mut rules: Vec<&StoredRule> = inner
+            .rules
+            .iter()
+            .filter(|r| r.application == application)
+            .collect();
+        rules.sort_by_key(|r| r.id);
+        rules.iter().map(|r| Arc::clone(&r.template)).collect()
+    }
+
+    /// Stored entries for an application (for inspection).
+    pub fn entries_for(&self, application: &str) -> Vec<StoredRule> {
+        let inner = self.inner.read();
+        let mut rules: Vec<StoredRule> = inner
+            .rules
+            .iter()
+            .filter(|r| r.application == application)
+            .cloned()
+            .collect();
+        rules.sort_by_key(|r| r.id);
+        rules
+    }
+
+    pub fn applications(&self) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut apps: Vec<String> = inner.rules.iter().map(|r| r.application.clone()).collect();
+        apps.sort_unstable();
+        apps.dedup();
+        apps
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize the catalog to JSON (rule texts + ids).
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.read();
+        let persisted = PersistedCatalog {
+            next_id: inner.next_id,
+            rules: inner
+                .rules
+                .iter()
+                .map(|r| PersistedRule {
+                    id: r.id,
+                    application: r.application.clone(),
+                    text: r.text.clone(),
+                })
+                .collect(),
+        };
+        serde_json::to_string_pretty(&persisted).expect("serialization cannot fail")
+    }
+
+    /// Restore a catalog from JSON, recompiling every rule against the data
+    /// catalog.
+    pub fn from_json(json: &str, data_catalog: &Catalog) -> Result<Self> {
+        let persisted: PersistedCatalog = serde_json::from_str(json)
+            .map_err(|e| Error::Catalog(format!("bad rule catalog JSON: {e}")))?;
+        let mut rules = Vec::with_capacity(persisted.rules.len());
+        for p in persisted.rules {
+            let def = parse_rule(&p.text)?;
+            validate_rule_against_catalog(&def, data_catalog)?;
+            let template = compile_rule(&def)?;
+            let sql_template = render_sql_template(&template, &def.from_table);
+            rules.push(StoredRule {
+                id: p.id,
+                application: p.application,
+                text: p.text,
+                template: Arc::new(template),
+                sql_template,
+            });
+        }
+        Ok(RuleCatalog {
+            inner: RwLock::new(Inner {
+                next_id: persisted.next_id,
+                rules,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_relational::batch::{schema_ref, Batch};
+    use dc_relational::schema::{Field, Schema};
+    use dc_relational::table::Table;
+    use dc_relational::value::DataType;
+
+    fn data_catalog() -> Catalog {
+        let cat = Catalog::new();
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+            Field::new("biz_loc", DataType::Str),
+            Field::new("reader", DataType::Str),
+        ]));
+        cat.register(Table::new("caser", Batch::empty(schema)));
+        cat
+    }
+
+    const DUP: &str = "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+        WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B";
+    const READER: &str = "DEFINE reader ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+        WHERE B.reader = 'readerX' and B.rtime - A.rtime < 10 mins ACTION DELETE A";
+
+    #[test]
+    fn define_and_order() {
+        let data = data_catalog();
+        let rc = RuleCatalog::new();
+        rc.define_rule("app1", DUP, &data).unwrap();
+        rc.define_rule("app1", READER, &data).unwrap();
+        rc.define_rule("app2", READER, &data).unwrap();
+        let rules = rc.rules_for("app1");
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].def.name, "duplicate");
+        assert_eq!(rules[1].def.name, "reader");
+        assert_eq!(rc.rules_for("app2").len(), 1);
+        assert_eq!(rc.applications(), vec!["app1", "app2"]);
+    }
+
+    #[test]
+    fn duplicate_name_rejected_per_app() {
+        let data = data_catalog();
+        let rc = RuleCatalog::new();
+        rc.define_rule("app1", DUP, &data).unwrap();
+        assert!(rc.define_rule("app1", DUP, &data).is_err());
+        // ... but allowed for another application.
+        rc.define_rule("app2", DUP, &data).unwrap();
+    }
+
+    #[test]
+    fn invalid_rule_rejected() {
+        let data = data_catalog();
+        let rc = RuleCatalog::new();
+        let bad = "DEFINE x ON nosuch CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+            WHERE A.rtime = B.rtime ACTION DELETE B";
+        assert!(rc.define_rule("app1", bad, &data).is_err());
+        assert!(rc.is_empty());
+    }
+
+    #[test]
+    fn drop_rule() {
+        let data = data_catalog();
+        let rc = RuleCatalog::new();
+        rc.define_rule("app1", DUP, &data).unwrap();
+        rc.drop_rule("app1", "duplicate").unwrap();
+        assert!(rc.rules_for("app1").is_empty());
+        assert!(rc.drop_rule("app1", "duplicate").is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let data = data_catalog();
+        let rc = RuleCatalog::new();
+        rc.define_rule("app1", DUP, &data).unwrap();
+        rc.define_rule("app1", READER, &data).unwrap();
+        let json = rc.to_json();
+        let rc2 = RuleCatalog::from_json(&json, &data).unwrap();
+        assert_eq!(rc2.len(), 2);
+        let rules = rc2.rules_for("app1");
+        assert_eq!(rules[0].def.name, "duplicate");
+        // Ids keep advancing after restore.
+        rc2.define_rule("app1", "DEFINE third ON caseR CLUSTER BY epc SEQUENCE BY rtime \
+            AS (A, B) WHERE A.biz_loc != B.biz_loc ACTION DELETE B", &data)
+            .unwrap();
+        assert_eq!(rc2.rules_for("app1").len(), 3);
+    }
+
+    #[test]
+    fn sql_template_stored() {
+        let data = data_catalog();
+        let rc = RuleCatalog::new();
+        rc.define_rule("app1", DUP, &data).unwrap();
+        let entries = rc.entries_for("app1");
+        assert!(entries[0].sql_template.contains("partition by epc"));
+    }
+}

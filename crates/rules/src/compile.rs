@@ -1,0 +1,784 @@
+//! Compilation of extended SQL-TS rules into SQL/OLAP templates (paper §4.2).
+//!
+//! The conversion follows the paper exactly:
+//!
+//! * A **singleton context reference** at relative pattern offset *d* from the
+//!   target becomes, per referenced column, one scalar aggregate over a
+//!   one-row window: `max(col) OVER (ROWS BETWEEN d PRECEDING AND d
+//!   PRECEDING)` (or FOLLOWING). Border rows get NULL, which the SQL
+//!   three-valued condition handles.
+//! * A **set context reference** (`*B`) becomes a window over the rows before
+//!   or after the target. Sequence-key conjuncts linking the set to the
+//!   target (`B.rtime - A.rtime < t`) are folded into RANGE frame bounds
+//!   (the paper's "we construct the window by exploiting the constraint on
+//!   the sequence key"); each maximal condition subtree referencing only the
+//!   set reference becomes `max(CASE WHEN <subtree> THEN 1 ELSE 0 END)` —
+//!   the existential semantics of SQL-TS set conditions.
+//! * The rewritten condition then drives the action: `KEEP` filters on it,
+//!   `DELETE` filters on its Kleene negation (NULL ⇒ keep), and `MODIFY`
+//!   becomes CASE expressions in a projection.
+
+use dc_relational::constraint::{normalize_conjunct, CmpOp, Normalized};
+use dc_relational::error::{Error, Result};
+use dc_relational::expr::{conjoin, split_conjuncts, ColumnRef, Expr};
+use dc_relational::sort::SortKey;
+use dc_relational::window::{Frame, FrameBound, WindowExpr, WindowFuncKind};
+use dc_sqlts::{validate_rule, Action, RuleDef};
+use std::collections::HashMap;
+
+/// A compiled rule: the SQL/OLAP template the rewrite engine plugs into
+/// queries at rewrite time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleTemplate {
+    /// The original rule definition (kept for the rewrite engine's
+    /// correlation analysis and for persistence).
+    pub def: RuleDef,
+    /// `PARTITION BY` — the cluster key.
+    pub partition_by: Vec<Expr>,
+    /// `ORDER BY` — the sequence key, ascending.
+    pub order_by: Vec<SortKey>,
+    /// Scalar aggregates over windows, one per context column / existential
+    /// subcondition. Aliases are `__`-prefixed internals.
+    pub windows: Vec<WindowExpr>,
+    /// The rule condition rewritten over (input columns + window aliases),
+    /// evaluated per target row.
+    pub condition: Expr,
+    /// The action (from the definition).
+    pub action: Action,
+}
+
+/// Compile a validated rule definition into its SQL/OLAP template.
+pub fn compile_rule(def: &RuleDef) -> Result<RuleTemplate> {
+    validate_rule(def)?;
+    let target = def.target().to_string();
+    let skey = def.sequence_by.clone();
+
+    // Relative offsets of singleton references (positions counted among
+    // singletons only — set references sit outside the adjacency chain).
+    let singletons: Vec<&str> = def
+        .pattern
+        .refs
+        .iter()
+        .filter(|r| !r.is_set)
+        .map(|r| r.name.as_str())
+        .collect();
+    let target_idx = singletons
+        .iter()
+        .position(|s| *s == target)
+        .ok_or_else(|| Error::Internal("target must be a singleton".into()))?;
+    let mut singleton_offset: HashMap<String, i64> = HashMap::new();
+    for (i, s) in singletons.iter().enumerate() {
+        singleton_offset.insert((*s).to_string(), i as i64 - target_idx as i64);
+    }
+
+    // Set references: before (pattern start) or after (pattern end).
+    let mut set_before: HashMap<String, bool> = HashMap::new();
+    let n = def.pattern.refs.len();
+    for (i, r) in def.pattern.refs.iter().enumerate() {
+        if r.is_set {
+            set_before.insert(r.name.clone(), i == 0);
+        }
+        let _ = n;
+    }
+
+    let mut ctx = CompileCtx {
+        target: target.clone(),
+        skey: skey.clone(),
+        singleton_offset,
+        set_before,
+        frames: HashMap::new(),
+        windows: Vec::new(),
+        window_ids: HashMap::new(),
+    };
+
+    // 1. Extract top-level sequence-key conjuncts between each set reference
+    //    and the target; they become frame bounds.
+    let conjuncts = split_conjuncts(&def.condition);
+    let mut frames: HashMap<String, (Option<i64>, Option<i64>)> = HashMap::new(); // name -> (lo_extra, hi_extra) offsets vs skey
+    let mut remaining: Vec<Expr> = Vec::new();
+    for c in &conjuncts {
+        if let Some(set_name) = ctx.frame_conjunct_target(c) {
+            let entry = frames.entry(set_name.clone()).or_insert((None, None));
+            ctx.apply_frame_conjunct(c, &set_name, entry)?;
+        } else {
+            remaining.push(c.clone());
+        }
+    }
+    ctx.frames = frames;
+
+    // 2. Rewrite the remaining condition tree.
+    let rebuilt = conjoin(remaining).unwrap_or(Expr::lit(true));
+    let mut used_sets: Vec<String> = Vec::new();
+    let condition = ctx.rewrite(&rebuilt, &mut used_sets)?;
+
+    // 3. Any set reference constrained only through its frame still needs an
+    //    existence test (`∃ row in window`).
+    let mut condition = condition;
+    for set_name in ctx.set_before.keys().cloned().collect::<Vec<_>>() {
+        if !used_sets.contains(&set_name) && ctx.frames.contains_key(&set_name) {
+            let alias = ctx.alias_for(&set_name, "__exists");
+            let frame = ctx.frame_for(&set_name)?;
+            ctx.windows.push(WindowExpr {
+                func: WindowFuncKind::Count,
+                arg: None,
+                frame,
+                alias: alias.clone(),
+            });
+            condition = condition.and(Expr::col(alias).gt_eq(Expr::lit(1i64)));
+        }
+    }
+
+    Ok(RuleTemplate {
+        def: def.clone(),
+        partition_by: vec![Expr::col(def.cluster_by.clone())],
+        order_by: vec![SortKey::asc(Expr::col(def.sequence_by.clone()))],
+        windows: ctx.windows,
+        condition,
+        action: def.action.clone(),
+    })
+}
+
+struct CompileCtx {
+    target: String,
+    skey: String,
+    singleton_offset: HashMap<String, i64>,
+    set_before: HashMap<String, bool>,
+    frames: HashMap<String, (Option<i64>, Option<i64>)>,
+    windows: Vec<WindowExpr>,
+    /// (ref, kind/column) -> alias, to deduplicate window expressions.
+    window_ids: HashMap<(String, String), String>,
+}
+
+impl CompileCtx {
+    fn default_frames() -> (Option<i64>, Option<i64>) {
+        (None, None)
+    }
+
+    /// If `conjunct` is a sequence-key constraint between a *set* reference
+    /// and the target, return the set reference's name.
+    fn frame_conjunct_target(&self, conjunct: &Expr) -> Option<String> {
+        let Some(Normalized::Diff(d)) = normalize_conjunct(conjunct) else {
+            return None;
+        };
+        for d in [d.clone(), d.swapped()] {
+            let xq = d.x.qualifier.as_deref()?;
+            let yq = d.y.qualifier.as_deref()?;
+            if self.set_before.contains_key(xq)
+                && yq == self.target
+                && d.x.name == self.skey
+                && d.y.name == self.skey
+            {
+                return Some(xq.to_string());
+            }
+        }
+        None
+    }
+
+    /// Fold a sequence-key conjunct into the (lo, hi) extra bounds of a set
+    /// reference's frame. Bounds are expressed as offsets of `X.skey`
+    /// relative to `T.skey` (inclusive).
+    fn apply_frame_conjunct(
+        &self,
+        conjunct: &Expr,
+        set_name: &str,
+        entry: &mut (Option<i64>, Option<i64>),
+    ) -> Result<()> {
+        let Some(Normalized::Diff(d)) = normalize_conjunct(conjunct) else {
+            return Err(Error::Internal("frame conjunct vanished".into()));
+        };
+        // Put the set reference on the left.
+        let d = if d.x.qualifier.as_deref() == Some(set_name) {
+            d
+        } else {
+            d.swapped()
+        };
+        // X.skey OP T.skey + c
+        match d.op {
+            CmpOp::Lt => tighten_upper(entry, d.offset - 1),
+            CmpOp::LtEq => tighten_upper(entry, d.offset),
+            CmpOp::Gt => tighten_lower(entry, d.offset + 1),
+            CmpOp::GtEq => tighten_lower(entry, d.offset),
+            CmpOp::Eq => {
+                tighten_lower(entry, d.offset);
+                tighten_upper(entry, d.offset);
+            }
+            CmpOp::NotEq => {
+                return Err(Error::Plan(format!(
+                    "!= sequence-key constraints on set reference '{set_name}' are unsupported"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// The RANGE frame for a set reference, combining the implied position
+    /// (strictly before / strictly after the target) with extracted bounds.
+    fn frame_for(&self, set_name: &str) -> Result<Frame> {
+        let before = *self
+            .set_before
+            .get(set_name)
+            .ok_or_else(|| Error::Internal(format!("unknown set ref {set_name}")))?;
+        let (lo, hi) = self
+            .frames
+            .get(set_name)
+            .copied()
+            .unwrap_or_else(Self::default_frames);
+        // Implied: strictly after (>= +1) or strictly before (<= -1) in
+        // sequence-key units (granularity 1; the paper's "1 microsec").
+        let (lo, hi) = if before {
+            (lo, Some(hi.unwrap_or(-1).min(-1)))
+        } else {
+            (Some(lo.unwrap_or(1).max(1)), hi)
+        };
+        let bound = |v: Option<i64>, is_start: bool| match v {
+            None if is_start => FrameBound::UnboundedPreceding,
+            None => FrameBound::UnboundedFollowing,
+            Some(v) if v < 0 => FrameBound::Preceding(-v),
+            Some(v) => FrameBound::Following(v),
+        };
+        let start = bound(lo, true);
+        let end = bound(hi, false);
+        Ok(Frame::range(start, end))
+    }
+
+    fn alias_for(&mut self, ref_name: &str, suffix: &str) -> String {
+        let base = format!("__{ref_name}{suffix}");
+        let mut alias = base.clone();
+        let mut k = 1;
+        while self.windows.iter().any(|w| w.alias == alias) {
+            alias = format!("{base}{k}");
+            k += 1;
+        }
+        alias
+    }
+
+    /// Which pattern references does this subtree mention?
+    fn refs_of(expr: &Expr) -> Vec<String> {
+        let mut cols = Vec::new();
+        expr.referenced_columns(&mut cols);
+        let mut refs: Vec<String> = cols.iter().filter_map(|c| c.qualifier.clone()).collect();
+        refs.sort_unstable();
+        refs.dedup();
+        refs
+    }
+
+    /// Is this node boolean-valued (a predicate)?
+    fn is_boolean(expr: &Expr) -> bool {
+        matches!(
+            expr,
+            Expr::Binary { op, .. } if op.is_comparison() || matches!(op, dc_relational::expr::BinaryOp::And | dc_relational::expr::BinaryOp::Or)
+        ) || matches!(
+            expr,
+            Expr::Not(_) | Expr::IsNull { .. } | Expr::InList { .. } | Expr::InSet { .. }
+        )
+    }
+
+    /// Lower `count(inner) CMP k` (the §4.3 count() extension) when `inner`
+    /// references exactly one set reference: the count of qualifying rows in
+    /// the set's window, compared against the threshold. Returns `None` when
+    /// the expression is not of that shape.
+    fn try_count_threshold(
+        &mut self,
+        expr: &Expr,
+        used_sets: &mut Vec<String>,
+    ) -> Result<Option<Expr>> {
+        let Expr::Binary { left, op, right } = expr else {
+            return Ok(None);
+        };
+        if !op.is_comparison() {
+            return Ok(None);
+        }
+        let (count, cmp_op, threshold) = match (left.as_ref(), right.as_ref()) {
+            (Expr::CountIf(inner), Expr::Literal(v)) => (inner, *op, v.clone()),
+            (Expr::Literal(v), Expr::CountIf(inner)) => (inner, op.swap(), v.clone()),
+            _ => return Ok(None),
+        };
+        let refs = Self::refs_of(count);
+        if refs.len() != 1 || !self.set_before.contains_key(&refs[0]) {
+            return Err(Error::Plan(format!(
+                "count(<predicate>) must reference exactly one set pattern \
+                 reference, found [{}]",
+                refs.join(", ")
+            )));
+        }
+        let set_name = refs[0].clone();
+        let sn = set_name.clone();
+        let inner = count.transform(&|e| match e {
+            Expr::Column(c) if c.qualifier.as_deref() == Some(sn.as_str()) => {
+                Expr::Column(ColumnRef {
+                    qualifier: None,
+                    name: c.name,
+                })
+            }
+            other => other,
+        });
+        let alias = self.alias_for(&set_name, "_count");
+        let frame = self.frame_for(&set_name)?;
+        // count(CASE WHEN inner THEN 1 END) counts qualifying rows; an empty
+        // window yields 0 (not NULL), so thresholds behave arithmetically.
+        self.windows.push(WindowExpr {
+            func: WindowFuncKind::Count,
+            arg: Some(Expr::Case {
+                branches: vec![(inner, Expr::lit(1i64))],
+                else_expr: None,
+            }),
+            frame,
+            alias: alias.clone(),
+        });
+        if !used_sets.contains(&set_name) {
+            used_sets.push(set_name);
+        }
+        Ok(Some(Expr::binary(
+            Expr::col(alias),
+            cmp_op,
+            Expr::Literal(threshold),
+        )))
+    }
+
+    /// Rewrite the condition tree: target columns become bare columns,
+    /// singleton-context columns become window-aggregate aliases, and
+    /// maximal set-only boolean subtrees become existential window tests.
+    fn rewrite(&mut self, expr: &Expr, used_sets: &mut Vec<String>) -> Result<Expr> {
+        // Count thresholds take precedence over the existential lowering.
+        if let Some(lowered) = self.try_count_threshold(expr, used_sets)? {
+            return Ok(lowered);
+        }
+        // Maximal subtree referencing exactly one set reference and nothing
+        // else, in a boolean position → existential aggregate. (Subtrees
+        // containing count() are handled by the threshold lowering instead.)
+        let refs = Self::refs_of(expr);
+        if refs.len() == 1
+            && self.set_before.contains_key(&refs[0])
+            && Self::is_boolean(expr)
+            && !contains_count_if(expr)
+        {
+            let set_name = refs[0].clone();
+            // The CASE condition is the subtree with `X.col` → bare `col`
+            // (evaluated per window row).
+            let sn = set_name.clone();
+            let inner = expr.transform(&|e| match e {
+                Expr::Column(c) if c.qualifier.as_deref() == Some(sn.as_str()) => {
+                    Expr::Column(ColumnRef {
+                        qualifier: None,
+                        name: c.name,
+                    })
+                }
+                other => other,
+            });
+            let alias = self.alias_for(&set_name, "_exists");
+            let frame = self.frame_for(&set_name)?;
+            self.windows.push(WindowExpr {
+                func: WindowFuncKind::Max,
+                arg: Some(Expr::Case {
+                    branches: vec![(inner, Expr::lit(1i64))],
+                    else_expr: Some(Box::new(Expr::lit(0i64))),
+                }),
+                frame,
+                alias: alias.clone(),
+            });
+            if !used_sets.contains(&set_name) {
+                used_sets.push(set_name);
+            }
+            return Ok(Expr::col(alias).eq(Expr::lit(1i64)));
+        }
+
+        match expr {
+            Expr::Column(c) => {
+                let Some(q) = &c.qualifier else {
+                    return Err(Error::Plan(format!(
+                        "unqualified column '{}' in rule condition",
+                        c.name
+                    )));
+                };
+                if q == &self.target {
+                    return Ok(Expr::col(c.name.clone()));
+                }
+                if let Some(&offset) = self.singleton_offset.get(q) {
+                    let key = (q.clone(), c.name.clone());
+                    if let Some(alias) = self.window_ids.get(&key) {
+                        return Ok(Expr::col(alias.clone()));
+                    }
+                    let alias = self.alias_for(q, &format!("_{}", c.name));
+                    let frame = if offset < 0 {
+                        Frame::rows(FrameBound::Preceding(-offset), FrameBound::Preceding(-offset))
+                    } else {
+                        Frame::rows(FrameBound::Following(offset), FrameBound::Following(offset))
+                    };
+                    self.windows.push(WindowExpr {
+                        func: WindowFuncKind::Max,
+                        arg: Some(Expr::col(c.name.clone())),
+                        frame,
+                        alias: alias.clone(),
+                    });
+                    self.window_ids.insert(key, alias.clone());
+                    return Ok(Expr::col(alias));
+                }
+                Err(Error::Plan(format!(
+                    "set reference '{q}' used outside a set-only boolean subcondition \
+                     (its columns cannot be compared directly with other references \
+                     except on the sequence key)"
+                )))
+            }
+            Expr::Literal(_) => Ok(expr.clone()),
+            Expr::CountIf(_) => Err(Error::Plan(
+                "count(<predicate>) must be compared against an integer \
+                 threshold, e.g. count(B.reader = 'readerX') >= 2"
+                    .into(),
+            )),
+            Expr::Binary { left, op, right } => Ok(Expr::Binary {
+                left: Box::new(self.rewrite(left, used_sets)?),
+                op: *op,
+                right: Box::new(self.rewrite(right, used_sets)?),
+            }),
+            Expr::Not(e) => Ok(Expr::Not(Box::new(self.rewrite(e, used_sets)?))),
+            Expr::IsNull { expr, negated } => Ok(Expr::IsNull {
+                expr: Box::new(self.rewrite(expr, used_sets)?),
+                negated: *negated,
+            }),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Ok(Expr::InList {
+                expr: Box::new(self.rewrite(expr, used_sets)?),
+                list: list.clone(),
+                negated: *negated,
+            }),
+            Expr::InSet {
+                expr,
+                set,
+                negated,
+                label,
+            } => Ok(Expr::InSet {
+                expr: Box::new(self.rewrite(expr, used_sets)?),
+                set: set.clone(),
+                negated: *negated,
+                label: label.clone(),
+            }),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => Ok(Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| {
+                        Ok((self.rewrite(c, used_sets)?, self.rewrite(r, used_sets)?))
+                    })
+                    .collect::<Result<_>>()?,
+                else_expr: else_expr
+                    .as_ref()
+                    .map(|e| self.rewrite(e, used_sets).map(Box::new))
+                    .transpose()?,
+            }),
+        }
+    }
+}
+
+/// Does the expression contain a `count()` node anywhere?
+pub fn contains_count_if(expr: &Expr) -> bool {
+    let mut found = false;
+    fn walk(e: &Expr, found: &mut bool) {
+        match e {
+            Expr::CountIf(_) => *found = true,
+            Expr::Binary { left, right, .. } => {
+                walk(left, found);
+                walk(right, found);
+            }
+            Expr::Not(i) => walk(i, found),
+            Expr::IsNull { expr, .. } | Expr::InList { expr, .. } | Expr::InSet { expr, .. } => {
+                walk(expr, found)
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    walk(c, found);
+                    walk(r, found);
+                }
+                if let Some(e) = else_expr {
+                    walk(e, found);
+                }
+            }
+            _ => {}
+        }
+    }
+    walk(expr, &mut found);
+    found
+}
+
+fn tighten_upper(entry: &mut (Option<i64>, Option<i64>), v: i64) {
+    entry.1 = Some(match entry.1 {
+        None => v,
+        Some(cur) => cur.min(v),
+    });
+}
+
+fn tighten_lower(entry: &mut (Option<i64>, Option<i64>), v: i64) {
+    entry.0 = Some(match entry.0 {
+        None => v,
+        Some(cur) => cur.max(v),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_sqlts::parse_rule;
+
+    fn compile(text: &str) -> RuleTemplate {
+        compile_rule(&parse_rule(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn duplicate_rule_template() {
+        let t = compile(
+            "DEFINE duplicate ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B",
+        );
+        // Context A is one row before target B: two one-row-preceding windows.
+        assert_eq!(t.windows.len(), 2);
+        for w in &t.windows {
+            assert_eq!(
+                w.frame,
+                Frame::rows(FrameBound::Preceding(1), FrameBound::Preceding(1))
+            );
+            assert_eq!(w.func, WindowFuncKind::Max);
+        }
+        let c = t.condition.to_string();
+        assert!(c.contains("__a_biz_loc"), "condition: {c}");
+        assert!(c.contains("__a_rtime"), "condition: {c}");
+    }
+
+    #[test]
+    fn reader_rule_folds_skey_into_range_frame() {
+        let t = compile(
+            "DEFINE reader ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+             WHERE B.reader = 'readerX' and B.rtime - A.rtime < 10 mins ACTION DELETE A",
+        );
+        assert_eq!(t.windows.len(), 1);
+        let w = &t.windows[0];
+        // B strictly after A, within < 600s  =>  RANGE [+1, +599].
+        assert_eq!(
+            w.frame,
+            Frame::range(FrameBound::Following(1), FrameBound::Following(599))
+        );
+        // Existential: max(case when reader='readerX' then 1 else 0 end).
+        assert!(w.arg.as_ref().unwrap().to_string().contains("readerx") ||
+                w.arg.as_ref().unwrap().to_string().contains("readerX"));
+        assert!(t.condition.to_string().contains("__b_exists"));
+    }
+
+    #[test]
+    fn cycle_rule_two_singleton_contexts() {
+        let t = compile(
+            "DEFINE cycle ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B, C) \
+             WHERE A.biz_loc = C.biz_loc and A.biz_loc != B.biz_loc ACTION DELETE B",
+        );
+        // A at -1 (preceding), C at +1 (following); A.biz_loc deduplicated.
+        assert_eq!(t.windows.len(), 2);
+        let frames: Vec<&Frame> = t.windows.iter().map(|w| &w.frame).collect();
+        assert!(frames.contains(&&Frame::rows(FrameBound::Preceding(1), FrameBound::Preceding(1))));
+        assert!(frames.contains(&&Frame::rows(FrameBound::Following(1), FrameBound::Following(1))));
+    }
+
+    #[test]
+    fn replacing_rule_modify() {
+        let t = compile(
+            "DEFINE replacing ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.biz_loc = 'loc2' and B.biz_loc = 'locA' and B.rtime - A.rtime < 20 mins \
+             ACTION MODIFY A.biz_loc = 'loc1'",
+        );
+        // Target is A; context B is one row after.
+        assert!(matches!(t.action, Action::Modify { .. }));
+        for w in &t.windows {
+            assert_eq!(
+                w.frame,
+                Frame::rows(FrameBound::Following(1), FrameBound::Following(1))
+            );
+        }
+    }
+
+    #[test]
+    fn set_with_or_condition_keeps_structure() {
+        // Paper's missing rule r2.
+        let t = compile(
+            "DEFINE r2 ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+             WHERE A.is_pallet = 0 or (A.has_case_nearby = 0 and B.has_case_nearby = 1) \
+             ACTION KEEP A",
+        );
+        assert_eq!(t.windows.len(), 1);
+        // No skey constraint: unbounded following window starting at +1.
+        assert_eq!(
+            t.windows[0].frame,
+            Frame::range(FrameBound::Following(1), FrameBound::UnboundedFollowing)
+        );
+        let c = t.condition.to_string();
+        assert!(c.contains("OR"), "structure preserved: {c}");
+        assert!(c.contains("is_pallet"));
+    }
+
+    #[test]
+    fn set_before_target() {
+        let t = compile(
+            "DEFINE w ON R CLUSTER BY epc SEQUENCE BY rtime AS (*X, A) \
+             WHERE X.reader = 'r9' and A.rtime - X.rtime < 2 mins ACTION DELETE A",
+        );
+        assert_eq!(
+            t.windows[0].frame,
+            // X.rtime > A.rtime - 120  =>  >= -119; strictly before => <= -1.
+            Frame::range(FrameBound::Preceding(119), FrameBound::Preceding(1))
+        );
+    }
+
+    #[test]
+    fn frame_only_set_gets_existence_test() {
+        // "Delete A if any read follows within 5 minutes."
+        let t = compile(
+            "DEFINE trailing ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+             WHERE B.rtime - A.rtime < 5 mins ACTION DELETE A",
+        );
+        assert_eq!(t.windows.len(), 1);
+        assert_eq!(t.windows[0].func, WindowFuncKind::Count);
+        assert!(t.condition.to_string().contains("__b__exists"));
+    }
+
+    #[test]
+    fn missing_rule_r1_compiles() {
+        let t = compile(
+            "DEFINE r1 ON R CLUSTER BY epc SEQUENCE BY rtime AS (X, A, Y) \
+             WHERE A.is_pallet = 1 and \
+               ((X.is_pallet = 0 and A.biz_loc = X.biz_loc and A.rtime - X.rtime < 5 mins) or \
+                (Y.is_pallet = 0 and A.biz_loc = Y.biz_loc and Y.rtime - A.rtime < 5 mins)) \
+             ACTION MODIFY A.has_case_nearby = 1",
+        );
+        // X: -1 window for is_pallet, biz_loc, rtime; Y: +1 for the same.
+        assert_eq!(t.windows.len(), 6);
+    }
+
+    #[test]
+    fn set_column_compared_to_target_nonskey_rejected() {
+        let err = compile_rule(
+            &parse_rule(
+                "DEFINE bad ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+                 WHERE B.biz_loc = A.biz_loc ACTION DELETE A",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("set reference"));
+    }
+
+    #[test]
+    fn partition_and_order_from_keys() {
+        let t = compile(
+            "DEFINE d ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.biz_loc = B.biz_loc ACTION DELETE B",
+        );
+        assert_eq!(t.partition_by, vec![Expr::col("epc")]);
+        assert_eq!(t.order_by, vec![SortKey::asc(Expr::col("rtime"))]);
+    }
+
+    #[test]
+    fn invalid_rule_rejected_at_compile() {
+        let def = parse_rule(
+            "DEFINE bad ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+             WHERE B.x = 1 ACTION DELETE B",
+        )
+        .unwrap();
+        assert!(compile_rule(&def).is_err());
+    }
+}
+
+#[cfg(test)]
+mod count_extension_tests {
+    use super::*;
+    use dc_sqlts::parse_rule;
+
+    const COUNT_RULE: &str = "DEFINE reader2 ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+        WHERE count(B.reader = 'readerX') >= 2 and B.rtime - A.rtime < 5 mins ACTION DELETE A";
+
+    #[test]
+    fn count_threshold_lowers_to_count_window() {
+        let t = compile_rule(&parse_rule(COUNT_RULE).unwrap()).unwrap();
+        assert_eq!(t.windows.len(), 1);
+        let w = &t.windows[0];
+        assert_eq!(w.func, WindowFuncKind::Count);
+        assert_eq!(
+            w.frame,
+            Frame::range(FrameBound::Following(1), FrameBound::Following(299))
+        );
+        // count(CASE WHEN reader='readerX' THEN 1 END) — no ELSE, so only
+        // qualifying rows are counted.
+        let arg = w.arg.as_ref().unwrap().to_string();
+        assert!(arg.contains("CASE WHEN"), "{arg}");
+        assert!(!arg.contains("ELSE"), "{arg}");
+        assert!(t.condition.to_string().contains("__b_count >= 2"));
+    }
+
+    #[test]
+    fn count_compared_from_the_left_and_right() {
+        let r = "DEFINE r ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+            WHERE 3 <= count(B.reader = 'rX') ACTION DELETE A";
+        let t = compile_rule(&parse_rule(r).unwrap()).unwrap();
+        assert!(t.condition.to_string().contains(">= 3"));
+    }
+
+    #[test]
+    fn bare_count_rejected() {
+        let r = "DEFINE r ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+            WHERE count(B.reader = 'rX') ACTION DELETE A";
+        let err = compile_rule(&parse_rule(r).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("threshold"), "{err}");
+    }
+
+    #[test]
+    fn count_over_singleton_rejected() {
+        let r = "DEFINE r ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+            WHERE count(B.reader = 'rX') >= 1 ACTION DELETE A";
+        let err = compile_rule(&parse_rule(r).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("set pattern"), "{err}");
+    }
+
+    #[test]
+    fn count_rule_executes() {
+        use dc_relational::batch::{schema_ref, Batch};
+        use dc_relational::exec::Executor;
+        use dc_relational::plan::LogicalPlan;
+        use dc_relational::schema::{Field, Schema};
+        use dc_relational::table::{Catalog, Table};
+        use dc_relational::value::{DataType, Value};
+
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+            Field::new("reader", DataType::Str),
+        ]));
+        // e1: followed by TWO readerX reads within 5 min -> deleted.
+        // e2: followed by only ONE -> kept.
+        let rows = vec![
+            vec![Value::str("e1"), Value::Int(0), Value::str("r0")],
+            vec![Value::str("e1"), Value::Int(100), Value::str("readerX")],
+            vec![Value::str("e1"), Value::Int(200), Value::str("readerX")],
+            vec![Value::str("e2"), Value::Int(0), Value::str("r0")],
+            vec![Value::str("e2"), Value::Int(100), Value::str("readerX")],
+        ];
+        let cat = Catalog::new();
+        cat.register(Table::new("r", Batch::from_rows(schema, &rows).unwrap()));
+        let rule = "DEFINE reader2 ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+            WHERE count(B.reader = 'readerX') >= 2 and B.rtime - A.rtime < 5 mins \
+            ACTION DELETE A";
+        let t = compile_rule(&parse_rule(rule).unwrap()).unwrap();
+        let plan = crate::apply::apply_rule(LogicalPlan::scan("r"), &t, &cat).unwrap();
+        let out = Executor::new(&cat).execute(&plan).unwrap();
+        // Only e1@0 is deleted (the readerX reads themselves have <2 readerX
+        // reads after them).
+        assert_eq!(out.num_rows(), 4);
+        let has_e1_t0 = (0..out.num_rows())
+            .any(|i| out.row(i)[0] == Value::str("e1") && out.row(i)[1] == Value::Int(0));
+        assert!(!has_e1_t0);
+        let has_e2_t0 = (0..out.num_rows())
+            .any(|i| out.row(i)[0] == Value::str("e2") && out.row(i)[1] == Value::Int(0));
+        assert!(has_e2_t0);
+    }
+}

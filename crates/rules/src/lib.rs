@@ -1,0 +1,43 @@
+//! # dc-rules — the cleansing rule engine
+//!
+//! Implements the paper's Cleansing Rule engine (§3 steps 1–2 and §4):
+//!
+//! * [`compile`] turns an extended SQL-TS [`dc_sqlts::RuleDef`] into a
+//!   **SQL/OLAP template** — scalar aggregates over `PARTITION BY ckey ORDER
+//!   BY skey` windows plus a rewritten condition — evaluable in one sorted
+//!   pass per rule (one sorted pass per *chain* after order sharing).
+//! * [`apply`] builds the `Φ_C` cleansing plans: `Window → Filter/Project`
+//!   for DELETE/KEEP/MODIFY actions, and chains rules in creation order.
+//! * [`template`] renders the equivalent SQL/OLAP statement text.
+//! * [`catalog`] is the persistent rules table, grouped per application.
+//!
+//! ```
+//! use dc_relational::prelude::*;
+//! use dc_rules::{compile_rule, apply_rule};
+//! use dc_sqlts::parse_rule;
+//!
+//! # let catalog = Catalog::new();
+//! # let schema = schema_ref(Schema::new(vec![
+//! #     Field::new("epc", DataType::Str),
+//! #     Field::new("rtime", DataType::Int),
+//! #     Field::new("biz_loc", DataType::Str),
+//! # ]));
+//! # catalog.register(Table::new("caser", Batch::empty(schema)));
+//! let rule = parse_rule(
+//!     "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime \
+//!      AS (A, B) WHERE A.biz_loc = B.biz_loc ACTION DELETE B").unwrap();
+//! let template = compile_rule(&rule).unwrap();
+//! let phi = apply_rule(LogicalPlan::scan("caser"), &template, &catalog).unwrap();
+//! let cleaned = Executor::new(&catalog).execute(&phi).unwrap();
+//! assert_eq!(cleaned.num_rows(), 0);
+//! ```
+
+pub mod apply;
+pub mod catalog;
+pub mod compile;
+pub mod template;
+
+pub use apply::{apply_rule, apply_rule_qualified, cleansing_plan, cleansing_plan_qualified, validate_chain};
+pub use catalog::{RuleCatalog, StoredRule};
+pub use compile::{compile_rule, RuleTemplate};
+pub use template::render_sql_template;

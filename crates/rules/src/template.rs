@@ -1,0 +1,130 @@
+//! Rendering compiled rules as SQL/OLAP text.
+//!
+//! The paper's rule engine "generates a SQL/OLAP template for each rule"
+//! (§3 step 1) and persists it in the rules table. Our engine executes the
+//! structured [`RuleTemplate`] directly, but renders the equivalent SQL text
+//! for persistence, EXPLAIN output, and documentation — it is exactly the
+//! statement a SQL99 DBMS would run for Φ_C.
+
+use crate::compile::RuleTemplate;
+use dc_sqlts::Action;
+use std::fmt::Write as _;
+
+/// Render the SQL/OLAP statement implementing `Φ_C(<input>)`.
+///
+/// `input_sql` is the FROM source (a table name or a parenthesized subquery).
+pub fn render_sql_template(template: &RuleTemplate, input_sql: &str) -> String {
+    let mut sql = String::new();
+    let over_clause = |frame: &dc_relational::window::Frame| {
+        format!(
+            "over (partition by {} order by {} asc {})",
+            template.def.cluster_by, template.def.sequence_by, frame
+        )
+        .to_ascii_lowercase()
+    };
+
+    // Inner block: input columns plus the window scalar aggregates.
+    let _ = write!(sql, "with __w as (\n  select t.*");
+    for w in &template.windows {
+        let arg = match &w.arg {
+            Some(a) => a.to_string(),
+            None => "*".to_string(),
+        };
+        let _ = write!(
+            sql,
+            ",\n    {}({}) {} as {}",
+            w.func,
+            arg,
+            over_clause(&w.frame),
+            w.alias
+        );
+    }
+    let _ = write!(sql, "\n  from {input_sql} t\n)\n");
+
+    // Outer block: apply the action.
+    match &template.action {
+        Action::Keep(_) => {
+            let _ = write!(sql, "select * from __w\nwhere {}", template.condition);
+        }
+        Action::Delete(_) => {
+            let _ = write!(
+                sql,
+                "select * from __w\nwhere case when {} then false else true end",
+                template.condition
+            );
+        }
+        Action::Modify {
+            assignments,
+            target,
+        } => {
+            let _ = write!(sql, "select *");
+            for (col, val) in assignments {
+                let _ = write!(
+                    sql,
+                    ",\n  case when {} then {} else {} end as {}",
+                    template.condition,
+                    val,
+                    col,
+                    col
+                );
+                let _ = target;
+            }
+            let _ = write!(sql, "\nfrom __w");
+        }
+    }
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_rule;
+    use dc_sqlts::parse_rule;
+
+    #[test]
+    fn duplicate_template_text() {
+        let t = compile_rule(
+            &parse_rule(
+                "DEFINE duplicate ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+                 WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let sql = render_sql_template(&t, "caser");
+        assert!(sql.contains("partition by epc"));
+        assert!(sql.contains("order by rtime"));
+        assert!(sql.contains("rows between 1 preceding and 1 preceding"));
+        assert!(sql.contains("from caser"));
+        assert!(sql.contains("case when"));
+    }
+
+    #[test]
+    fn reader_template_has_range_window() {
+        let t = compile_rule(
+            &parse_rule(
+                "DEFINE reader ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+                 WHERE B.reader = 'readerX' and B.rtime - A.rtime < 5 mins ACTION DELETE A",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let sql = render_sql_template(&t, "caser");
+        assert!(sql.contains("range between 1 following and 299 following"));
+    }
+
+    #[test]
+    fn modify_template_emits_case_projection() {
+        let t = compile_rule(
+            &parse_rule(
+                "DEFINE rep ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+                 WHERE A.biz_loc = 'loc2' and B.biz_loc = 'locA' \
+                 ACTION MODIFY A.biz_loc = 'loc1'",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let sql = render_sql_template(&t, "caser");
+        assert!(sql.contains("end as biz_loc"));
+    }
+}

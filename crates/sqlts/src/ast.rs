@@ -1,0 +1,181 @@
+//! AST for the extended SQL-TS cleansing-rule language (paper §4.2).
+//!
+//! ```text
+//! DEFINE      <rule name>
+//! ON          <table name>
+//! [FROM       <table name>]          -- defaults to the ON table
+//! CLUSTER BY  <cluster key>          -- typically epc
+//! SEQUENCE BY <sequence key>         -- typically rtime
+//! AS          (<pattern>)            -- e.g. (A, B) or (A, *B)
+//! WHERE       <condition>
+//! ACTION      DELETE r | KEEP r | MODIFY r.col = expr [, r.col = expr]...
+//! ```
+//!
+//! Conditions are ordinary scalar expressions ([`dc_relational::expr::Expr`])
+//! in which a column's *qualifier* names a pattern reference: `b.rtime`
+//! is "column rtime of the row(s) bound to reference B". Time-unit literals
+//! (`5 mins`) are folded to seconds at parse time.
+
+use dc_relational::expr::Expr;
+use std::fmt;
+
+/// One reference in a rule pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternRef {
+    /// Reference name, lowercase.
+    pub name: String,
+    /// `true` for a `*`-designated set reference.
+    pub is_set: bool,
+}
+
+impl fmt::Display for PatternRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_set {
+            write!(f, "*{}", self.name.to_ascii_uppercase())
+        } else {
+            write!(f, "{}", self.name.to_ascii_uppercase())
+        }
+    }
+}
+
+/// An ordered pattern of references; adjacency between singletons implies
+/// consecutive sequence positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    pub refs: Vec<PatternRef>,
+}
+
+impl Pattern {
+    /// Position of a reference by name.
+    pub fn position_of(&self, name: &str) -> Option<usize> {
+        self.refs
+            .iter()
+            .position(|r| r.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn get(&self, name: &str) -> Option<&PatternRef> {
+        self.refs
+            .iter()
+            .find(|r| r.name.eq_ignore_ascii_case(name))
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, r) in self.refs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// The ACTION clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Remove the rows bound to the named singleton reference when the
+    /// condition holds.
+    Delete(String),
+    /// Keep *only* the rows bound to the named reference for which the
+    /// condition holds (everything else is dropped).
+    Keep(String),
+    /// Set columns of the rows bound to the named reference when the
+    /// condition holds. Assigning to a column that does not exist creates it
+    /// on the fly (initialized to 0 / NULL elsewhere).
+    Modify {
+        target: String,
+        assignments: Vec<(String, Expr)>,
+    },
+}
+
+impl Action {
+    /// The *target reference* of the rule (paper Definition 1): the
+    /// reference the action applies to.
+    pub fn target(&self) -> &str {
+        match self {
+            Action::Delete(r) | Action::Keep(r) => r,
+            Action::Modify { target, .. } => target,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Delete(r) => write!(f, "DELETE {}", r.to_ascii_uppercase()),
+            Action::Keep(r) => write!(f, "KEEP {}", r.to_ascii_uppercase()),
+            Action::Modify {
+                target,
+                assignments,
+            } => {
+                f.write_str("MODIFY ")?;
+                for (i, (col, e)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}.{col} = {e}", target.to_ascii_uppercase())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A complete cleansing rule definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleDef {
+    pub name: String,
+    /// Table the rule is defined ON (anomaly target; always the reads table
+    /// in the paper).
+    pub on_table: String,
+    /// Table (or registered derived input) the rule reads FROM. Must include
+    /// all columns of `on_table` and may add extra ones (paper §4.2).
+    pub from_table: String,
+    /// Cluster key (`partition by`), typically `epc`.
+    pub cluster_by: String,
+    /// Sequence key (`order by`), typically `rtime`.
+    pub sequence_by: String,
+    pub pattern: Pattern,
+    pub condition: Expr,
+    pub action: Action,
+}
+
+impl RuleDef {
+    /// The target reference name.
+    pub fn target(&self) -> &str {
+        self.action.target()
+    }
+
+    /// Context references (every pattern reference except the target),
+    /// in pattern order.
+    pub fn context_refs(&self) -> Vec<&PatternRef> {
+        self.pattern
+            .refs
+            .iter()
+            .filter(|r| !r.name.eq_ignore_ascii_case(self.target()))
+            .collect()
+    }
+
+    /// Is `name` declared in the pattern?
+    pub fn has_ref(&self, name: &str) -> bool {
+        self.pattern.position_of(name).is_some()
+    }
+}
+
+impl fmt::Display for RuleDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DEFINE {}", self.name)?;
+        writeln!(f, "ON {}", self.on_table)?;
+        if self.from_table != self.on_table {
+            writeln!(f, "FROM {}", self.from_table)?;
+        }
+        writeln!(f, "CLUSTER BY {}", self.cluster_by)?;
+        writeln!(f, "SEQUENCE BY {}", self.sequence_by)?;
+        writeln!(f, "AS {}", self.pattern)?;
+        writeln!(f, "WHERE {}", self.condition)?;
+        write!(f, "ACTION {}", self.action)
+    }
+}

@@ -1,0 +1,35 @@
+//! # dc-sqlts — the extended SQL-TS cleansing-rule language
+//!
+//! The paper (§4.2) extends SQL-TS — a declarative sequence-pattern language —
+//! with an `ACTION` clause (`DELETE` / `MODIFY` / `KEEP`) and a separate
+//! `FROM` input table, yielding a compact way to express RFID cleansing
+//! rules:
+//!
+//! ```
+//! use dc_sqlts::parse_rule;
+//!
+//! let rule = parse_rule(
+//!     "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime \
+//!      AS (A, B) \
+//!      WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins \
+//!      ACTION DELETE B",
+//! ).unwrap();
+//! assert_eq!(rule.target(), "b");
+//! ```
+//!
+//! A pattern `(A, B)` binds two *adjacent* rows of an EPC sequence; a
+//! star reference (`*B`, only at either end) binds the set of rows before or
+//! after the adjacent singletons, with existential condition semantics.
+//! Conditions are ordinary scalar expressions whose column qualifiers name
+//! pattern references; time-unit literals (`5 mins`) fold to seconds.
+//!
+//! The companion crate `dc-rules` compiles these definitions into SQL/OLAP
+//! window-function templates for execution.
+
+pub mod ast;
+pub mod parser;
+pub mod validate;
+
+pub use ast::{Action, Pattern, PatternRef, RuleDef};
+pub use parser::{parse_condition, parse_rule};
+pub use validate::{validate_rule, validate_rule_against_catalog};

@@ -1,0 +1,516 @@
+//! Parser for the extended SQL-TS rule language.
+//!
+//! Reuses the relational crate's SQL tokenizer; conditions follow SQL
+//! expression grammar extended with time-unit literals (`5 mins`, `2 hours`)
+//! which fold to integer seconds.
+
+use crate::ast::{Action, Pattern, PatternRef, RuleDef};
+use dc_relational::error::{Error, Result};
+use dc_relational::expr::{BinaryOp, ColumnRef, Expr};
+use dc_relational::sql::lexer::{tokenize, Token};
+use dc_relational::value::Value;
+
+/// Parse one rule definition.
+pub fn parse_rule(text: &str) -> Result<RuleDef> {
+    let tokens = tokenize(text)?;
+    let mut p = RuleParser { tokens, pos: 0 };
+    let rule = p.parse_rule()?;
+    p.expect_eof()?;
+    Ok(rule)
+}
+
+/// Parse a rule condition on its own (useful for tests and tooling).
+pub fn parse_condition(text: &str) -> Result<Expr> {
+    let tokens = tokenize(text)?;
+    let mut p = RuleParser { tokens, pos: 0 };
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Seconds multiplier for a time-unit word.
+fn time_unit_seconds(word: &str) -> Option<i64> {
+    match word.to_ascii_lowercase().as_str() {
+        "sec" | "secs" | "second" | "seconds" => Some(1),
+        "min" | "mins" | "minute" | "minutes" => Some(60),
+        "hour" | "hours" => Some(3600),
+        "day" | "days" => Some(86400),
+        _ => None,
+    }
+}
+
+struct RuleParser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl RuleParser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected keyword {kw}, found {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "unexpected trailing token {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_word(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Word(w) => Ok(w),
+            other => Err(Error::Parse(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn parse_rule(&mut self) -> Result<RuleDef> {
+        self.expect_kw("define")?;
+        let name = self.expect_word()?.to_ascii_lowercase();
+        self.expect_kw("on")?;
+        let on_table = self.expect_word()?.to_ascii_lowercase();
+        let from_table = if self.eat_kw("from") {
+            self.expect_word()?.to_ascii_lowercase()
+        } else {
+            on_table.clone()
+        };
+        self.expect_kw("cluster")?;
+        self.expect_kw("by")?;
+        let cluster_by = self.expect_word()?.to_ascii_lowercase();
+        self.expect_kw("sequence")?;
+        self.expect_kw("by")?;
+        let sequence_by = self.expect_word()?.to_ascii_lowercase();
+        self.expect_kw("as")?;
+        let pattern = self.parse_pattern()?;
+        self.expect_kw("where")?;
+        let condition = self.parse_expr()?;
+        self.expect_kw("action")?;
+        let action = self.parse_action()?;
+        Ok(RuleDef {
+            name,
+            on_table,
+            from_table,
+            cluster_by,
+            sequence_by,
+            pattern,
+            condition,
+            action,
+        })
+    }
+
+    fn parse_pattern(&mut self) -> Result<Pattern> {
+        self.expect(&Token::LParen)?;
+        let mut refs = Vec::new();
+        loop {
+            let is_set = self.eat(&Token::Star);
+            let name = self.expect_word()?.to_ascii_lowercase();
+            refs.push(PatternRef { name, is_set });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Pattern { refs })
+    }
+
+    fn parse_action(&mut self) -> Result<Action> {
+        if self.eat_kw("delete") {
+            return Ok(Action::Delete(self.expect_word()?.to_ascii_lowercase()));
+        }
+        if self.eat_kw("keep") {
+            return Ok(Action::Keep(self.expect_word()?.to_ascii_lowercase()));
+        }
+        self.expect_kw("modify")?;
+        let mut target: Option<String> = None;
+        let mut assignments = Vec::new();
+        loop {
+            let r = self.expect_word()?.to_ascii_lowercase();
+            self.expect(&Token::Dot)?;
+            let col = self.expect_word()?.to_ascii_lowercase();
+            self.expect(&Token::Eq)?;
+            let value = self.parse_additive()?;
+            match &target {
+                None => target = Some(r),
+                Some(t) if *t == r => {}
+                Some(t) => {
+                    return Err(Error::Parse(format!(
+                        "MODIFY must target a single reference, found both {t} and {r}"
+                    )))
+                }
+            }
+            assignments.push((col, value));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Action::Modify {
+            target: target.expect("at least one assignment parsed"),
+            assignments,
+        })
+    }
+
+    // --- condition expression grammar (subset of SQL + time units) ---
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            left = left.or(self.parse_and()?);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            left = left.and(self.parse_not()?);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_predicate()
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Token::Eq => Some(BinaryOp::Eq),
+            Token::NotEq => Some(BinaryOp::NotEq),
+            Token::Lt => Some(BinaryOp::Lt),
+            Token::LtEq => Some(BinaryOp::LtEq),
+            Token::Gt => Some(BinaryOp::Gt),
+            Token::GtEq => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(left, op, right));
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = if self.peek().is_kw("not") {
+            let next = self.tokens.get(self.pos + 1);
+            if next.is_some_and(|t| t.is_kw("in")) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if self.eat_kw("in") {
+            self.expect(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                match self.next() {
+                    Token::Int(v) => list.push(Value::Int(v)),
+                    Token::Float(v) => list.push(Value::Double(v)),
+                    Token::Str(s) => list.push(Value::str(s)),
+                    other => {
+                        return Err(Error::Parse(format!(
+                            "IN list supports literals only, found {other}"
+                        )))
+                    }
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinaryOp::Plus,
+                Token::Minus => BinaryOp::Minus,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_term()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr> {
+        let mut left = self.parse_factor()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinaryOp::Multiply,
+                Token::Slash => BinaryOp::Divide,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_factor()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.pos += 1;
+                // Time-unit suffix?
+                if let Token::Word(w) = self.peek().clone() {
+                    if let Some(mult) = time_unit_seconds(&w) {
+                        self.pos += 1;
+                        return Ok(Expr::lit(v * mult));
+                    }
+                }
+                Ok(Expr::lit(v))
+            }
+            Token::Float(v) => {
+                self.pos += 1;
+                if let Token::Word(w) = self.peek().clone() {
+                    if let Some(mult) = time_unit_seconds(&w) {
+                        self.pos += 1;
+                        return Ok(Expr::lit((v * mult as f64) as i64));
+                    }
+                }
+                Ok(Expr::lit(v))
+            }
+            Token::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::lit(s.as_str()))
+            }
+            Token::Minus => {
+                self.pos += 1;
+                let inner = self.parse_factor()?;
+                Ok(match inner {
+                    Expr::Literal(Value::Int(v)) => Expr::lit(-v),
+                    Expr::Literal(Value::Double(v)) => Expr::lit(-v),
+                    other => Expr::binary(Expr::lit(0i64), BinaryOp::Minus, other),
+                })
+            }
+            Token::LParen => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("null") => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Null))
+            }
+            // The §4.3 count() extension: count(<predicate over a set ref>).
+            Token::Word(w)
+                if w.eq_ignore_ascii_case("count")
+                    && self.tokens.get(self.pos + 1) == Some(&Token::LParen) =>
+            {
+                self.pos += 2; // consume `count` and `(`
+                let inner = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(Expr::CountIf(Box::new(inner)))
+            }
+            Token::Word(w) => {
+                self.pos += 1;
+                if self.eat(&Token::Dot) {
+                    let col = self.expect_word()?;
+                    Ok(Expr::Column(ColumnRef::qualified(w, col)))
+                } else {
+                    Ok(Expr::Column(ColumnRef::new(w)))
+                }
+            }
+            other => Err(Error::Parse(format!(
+                "unexpected token {other} in rule condition"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DUP_RULE: &str = "\
+        DEFINE duplicate ON R CLUSTER BY epc SEQUENCE BY rtime \
+        AS (A, B) \
+        WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins \
+        ACTION DELETE B";
+
+    #[test]
+    fn parse_duplicate_rule() {
+        let r = parse_rule(DUP_RULE).unwrap();
+        assert_eq!(r.name, "duplicate");
+        assert_eq!(r.on_table, "r");
+        assert_eq!(r.from_table, "r");
+        assert_eq!(r.cluster_by, "epc");
+        assert_eq!(r.sequence_by, "rtime");
+        assert_eq!(r.pattern.refs.len(), 2);
+        assert!(!r.pattern.refs[0].is_set);
+        assert_eq!(r.target(), "b");
+        assert_eq!(r.context_refs().len(), 1);
+        assert_eq!(r.context_refs()[0].name, "a");
+    }
+
+    #[test]
+    fn time_units_fold_to_seconds() {
+        let e = parse_condition("B.rtime - A.rtime < 5 mins").unwrap();
+        assert!(e.to_string().contains("300"));
+        let e = parse_condition("x < 2 hours").unwrap();
+        assert!(e.to_string().contains("7200"));
+        let e = parse_condition("x < 30 secs").unwrap();
+        assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn star_reference() {
+        let r = parse_rule(
+            "DEFINE reader ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+             WHERE B.reader = 'readerX' and B.rtime - A.rtime < 10 mins ACTION DELETE A",
+        )
+        .unwrap();
+        assert!(r.pattern.refs[1].is_set);
+        assert_eq!(r.target(), "a");
+    }
+
+    #[test]
+    fn modify_action_with_multiple_assignments() {
+        let r = parse_rule(
+            "DEFINE fix ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.biz_loc = 'loc2' ACTION MODIFY A.biz_loc = 'loc1', A.fixed = 1",
+        )
+        .unwrap();
+        let Action::Modify {
+            target,
+            assignments,
+        } = &r.action
+        else {
+            panic!()
+        };
+        assert_eq!(target, "a");
+        assert_eq!(assignments.len(), 2);
+        assert_eq!(assignments[0].0, "biz_loc");
+    }
+
+    #[test]
+    fn modify_two_targets_rejected() {
+        let err = parse_rule(
+            "DEFINE bad ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.x = 1 ACTION MODIFY A.x = 1, B.y = 2",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("single reference"));
+    }
+
+    #[test]
+    fn from_clause_defaults_to_on() {
+        let r = parse_rule(
+            "DEFINE m ON R FROM r_with_pallets CLUSTER BY epc SEQUENCE BY rtime \
+             AS (A, *B) WHERE A.is_pallet = 0 ACTION KEEP A",
+        )
+        .unwrap();
+        assert_eq!(r.on_table, "r");
+        assert_eq!(r.from_table, "r_with_pallets");
+    }
+
+    #[test]
+    fn keep_action() {
+        let r = parse_rule(
+            "DEFINE k ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+             WHERE A.is_pallet = 0 or (A.x = 0 and B.x = 1) ACTION KEEP A",
+        )
+        .unwrap();
+        assert!(matches!(r.action, Action::Keep(ref t) if t == "a"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let r = parse_rule(DUP_RULE).unwrap();
+        let r2 = parse_rule(&r.to_string()).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_rule("DEFINE x ON t AS (A) WHERE 1 ACTION DELETE A").is_err()); // no cluster by
+        assert!(parse_rule(
+            "DEFINE x ON t CLUSTER BY epc SEQUENCE BY rtime AS () WHERE 1=1 ACTION DELETE A"
+        )
+        .is_err()); // empty pattern
+        assert!(parse_condition("a.b <").is_err());
+    }
+
+    #[test]
+    fn condition_qualifiers_are_ref_names() {
+        let e = parse_condition("A.rtime < B.rtime").unwrap();
+        let mut cols = vec![];
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols[0].qualifier.as_deref(), Some("a"));
+        assert_eq!(cols[1].qualifier.as_deref(), Some("b"));
+    }
+}

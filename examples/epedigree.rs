@@ -1,0 +1,85 @@
+//! E-pedigree: the paper's motivating case for *deferred* cleansing.
+//!
+//! Pharmaceutical pedigree laws require preserving every raw tracking
+//! record, which rules out eager (destructive) cleansing. With deferred
+//! cleansing the raw reads stay untouched while different applications see
+//! differently-cleansed views of the same table:
+//!
+//! * `compliance` must see every read, including back-and-forth cycles;
+//! * `logistics` wants cycles collapsed and forklift cross-reads removed;
+//! * `shelf-planning` wants to see the cycles (they indicate shelf-space
+//!   churn) but not duplicate reads.
+//!
+//! Run with: `cargo run --example epedigree`
+
+use deferred_cleansing::relational::prelude::*;
+use deferred_cleansing::DeferredCleansingSystem;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    let catalog = Arc::new(Catalog::new());
+    let schema = schema_ref(Schema::new(vec![
+        Field::new("epc", DataType::Str),
+        Field::new("rtime", DataType::Int),
+        Field::new("biz_loc", DataType::Str),
+        Field::new("reader", DataType::Str),
+    ]));
+    // A lot of drug packages moving between back-room and store floor, with
+    // a duplicate read and a forklift cross-read mixed in.
+    let rows: &[(&str, i64, &str, &str)] = &[
+        ("drug1", 0, "backroom", "r1"),
+        ("drug1", 60, "backroom", "r1"),   // duplicate read
+        ("drug1", 3600, "floor", "r2"),
+        ("drug1", 7200, "backroom", "r1"), // cycle: floor -> backroom -> floor
+        ("drug1", 10800, "floor", "r2"),
+        ("drug2", 0, "dock", "r3"),        // cross-read while on forklift
+        ("drug2", 120, "vault", "readerX"),
+    ];
+    let data: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|(e, t, l, r)| vec![Value::str(*e), Value::Int(*t), Value::str(*l), Value::str(*r)])
+        .collect();
+    catalog.register(Table::new("caser", Batch::from_rows(schema, &data)?));
+
+    let system = DeferredCleansingSystem::with_catalog(catalog);
+
+    // logistics: remove duplicates, forklift cross-reads, and cycles.
+    for rule in [
+        "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+         WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B",
+        "DEFINE forklift ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+         WHERE B.reader = 'readerX' and B.rtime - A.rtime < 5 mins ACTION DELETE A",
+        "DEFINE cycle ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B, C) \
+         WHERE A.biz_loc = C.biz_loc and A.biz_loc != B.biz_loc ACTION DELETE B",
+    ] {
+        system.define_rule("logistics", rule)?;
+    }
+    // shelf-planning: only duplicates are noise; cycles are signal.
+    system.define_rule(
+        "shelf-planning",
+        "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+         WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B",
+    )?;
+
+    let sql = "select epc, rtime, biz_loc from caser order by epc, rtime";
+
+    // compliance has no rules: the full, legally mandated pedigree.
+    let pedigree = system.query("compliance", sql)?;
+    println!("-- compliance (raw pedigree, {} rows) --\n{}",
+        pedigree.num_rows(), pedigree.to_pretty_string(20));
+
+    let logistics = system.query("logistics", sql)?;
+    println!("-- logistics ({} rows) --\n{}", logistics.num_rows(),
+        logistics.to_pretty_string(20));
+
+    let shelf = system.query("shelf-planning", sql)?;
+    println!("-- shelf-planning ({} rows) --\n{}", shelf.num_rows(),
+        shelf.to_pretty_string(20));
+
+    // The raw table is never modified: compliance always sees everything.
+    assert_eq!(pedigree.num_rows(), 7);
+    assert!(logistics.num_rows() < shelf.num_rows());
+    assert!(shelf.num_rows() < pedigree.num_rows());
+    println!("ok: three applications, three views, one untouched pedigree table.");
+    Ok(())
+}

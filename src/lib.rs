@@ -1,0 +1,28 @@
+//! # deferred-cleansing
+//!
+//! A Rust reproduction of *"A Deferred Cleansing Method for RFID Data
+//! Analytics"* (VLDB 2006): application-specific, query-time cleansing of
+//! RFID read data through declarative sequence rules and automatic query
+//! rewriting.
+//!
+//! This root crate re-exports the public API of the workspace crates:
+//!
+//! * [`relational`] — the in-memory DBMS substrate (SQL subset, SQL/OLAP
+//!   window functions, indexes, optimizer, cost model),
+//! * [`sqlts`] — the extended SQL-TS cleansing-rule language,
+//! * [`rules`] — rule compilation to SQL/OLAP templates and Φ execution,
+//! * [`rewrite`] — the expanded and join-back query rewrites,
+//! * [`rfidgen`] — the RFIDGen synthetic workload generator,
+//! * [`core`] — the [`core::DeferredCleansingSystem`] facade tying it all
+//!   together.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use dc_core as core;
+pub use dc_relational as relational;
+pub use dc_rewrite as rewrite;
+pub use dc_rfidgen as rfidgen;
+pub use dc_rules as rules;
+pub use dc_sqlts as sqlts;
+
+pub use dc_core::DeferredCleansingSystem;

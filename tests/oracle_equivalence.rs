@@ -1,0 +1,206 @@
+//! The correctness contract of the whole system: for generated RFID data,
+//! any query, any rule chain, and any rewrite strategy, the answer equals
+//! the gold standard — the query run over a fully materialized Φ(R).
+
+use deferred_cleansing::relational::batch::Batch;
+use deferred_cleansing::relational::exec::Executor;
+use deferred_cleansing::relational::plan::LogicalPlan;
+use deferred_cleansing::relational::sql::{parse_query, plan_query};
+use deferred_cleansing::relational::table::{Catalog, Table};
+use deferred_cleansing::relational::value::Value;
+use deferred_cleansing::rewrite::Strategy;
+use deferred_cleansing::rfidgen::{generate_into, GenConfig};
+use deferred_cleansing::rules::{cleansing_plan, RuleTemplate};
+use deferred_cleansing::DeferredCleansingSystem;
+use std::sync::Arc;
+
+/// Materialize Φ(R) over `reads_table` and swap it into a catalog copy.
+fn gold_catalog(catalog: &Catalog, rule_texts: &[String], reads_table: &str) -> Catalog {
+    let templates: Vec<RuleTemplate> = rule_texts
+        .iter()
+        .map(|t| {
+            deferred_cleansing::rules::compile_rule(
+                &deferred_cleansing::sqlts::parse_rule(t).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let refs: Vec<&RuleTemplate> = templates.iter().collect();
+    let input = templates
+        .first()
+        .map(|t| t.def.from_table.clone())
+        .unwrap_or_else(|| reads_table.to_string());
+    let phi = cleansing_plan(LogicalPlan::scan(input), &refs, catalog).unwrap();
+    let cleaned = Executor::new(catalog).execute(&phi).unwrap();
+
+    let out = Catalog::new();
+    for name in catalog.table_names() {
+        if name != reads_table {
+            let t = catalog.get(&name).unwrap();
+            out.register(Table::new(&name, t.data().clone()));
+        }
+    }
+    // Project the cleansed output down to the reads schema.
+    let base = catalog.get(reads_table).unwrap();
+    let n = base.schema().len();
+    let cols: Vec<_> = (0..n).map(|i| cleaned.column(i).clone()).collect();
+    let projected = Batch::new(base.schema().clone(), cols).unwrap();
+    out.register(Table::new(reads_table, projected));
+    out
+}
+
+fn gold_answer(catalog: &Catalog, sql: &str) -> Vec<Vec<Value>> {
+    let plan = plan_query(&parse_query(sql).unwrap(), catalog).unwrap();
+    Executor::new(catalog).execute(&plan).unwrap().sorted_rows()
+}
+
+fn check(sys: &DeferredCleansingSystem, app: &str, sql: &str, expect: &[Vec<Value>]) {
+    for strategy in [Strategy::Auto, Strategy::Naive, Strategy::JoinBack, Strategy::Expanded] {
+        match sys.query_with_strategy(app, sql, strategy) {
+            Ok((batch, report)) => {
+                assert_eq!(
+                    batch.sorted_rows(),
+                    expect,
+                    "strategy {strategy:?} (chosen {}) diverges for:\n{sql}\nplan:\n{}",
+                    report.chosen,
+                    report.plan
+                );
+            }
+            Err(e) => {
+                assert!(
+                    matches!(strategy, Strategy::Expanded),
+                    "only Expanded may be infeasible; {strategy:?} failed: {e}"
+                );
+            }
+        }
+    }
+}
+
+/// Build a system over generated data with the first `n` benchmark rules.
+fn prepared(scale: usize, pct: f64, seed: u64, n_rules: usize) -> (DeferredCleansingSystem, Catalog, Vec<String>) {
+    let catalog = Arc::new(Catalog::new());
+    let ds = generate_into(&catalog, GenConfig::tiny(scale, pct, seed)).unwrap();
+    ds.materialize_missing_input(&catalog).unwrap();
+    let rules = ds.benchmark_rules(n_rules);
+    let sys = DeferredCleansingSystem::with_catalog(Arc::clone(&catalog));
+    for r in &rules {
+        sys.define_rule("app", r).unwrap();
+    }
+    let gold = gold_catalog(&catalog, &rules, "caser");
+    (sys, gold, rules)
+}
+
+#[test]
+fn selection_queries_match_gold_across_seeds() {
+    for seed in [1, 2, 3] {
+        let (sys, gold, _) = prepared(2, 25.0, seed, 3);
+        let caser = sys.catalog().get("caser").unwrap();
+        let tmin = caser.stats().column(1).unwrap().min.clone().unwrap();
+        let tmax = caser.stats().column(1).unwrap().max.clone().unwrap();
+        let (tmin, tmax) = (tmin.as_int().unwrap(), tmax.as_int().unwrap());
+        let mid = (tmin + tmax) / 2;
+        for sql in [
+            format!("select epc, rtime, biz_loc from caser where rtime <= {mid}"),
+            format!("select epc, rtime, biz_loc from caser where rtime >= {mid}"),
+            format!("select epc, rtime from caser where rtime >= {} and rtime <= {}",
+                tmin + (tmax - tmin) / 4, mid),
+            "select epc, count(*) as n from caser group by epc".to_string(),
+        ] {
+            check(&sys, "app", &sql, &gold_answer(&gold, &sql));
+        }
+    }
+}
+
+#[test]
+fn join_queries_match_gold() {
+    let (sys, gold, _) = prepared(2, 30.0, 11, 2);
+    let caser = sys.catalog().get("caser").unwrap();
+    let tmax = caser.stats().column(1).unwrap().max.clone().unwrap();
+    let t = tmax.as_int().unwrap() / 2;
+    let sql = format!(
+        "select l.site, count(distinct c.epc) as n \
+         from caser c, locs l where c.biz_loc = l.gln and c.rtime <= {t} \
+         group by l.site"
+    );
+    check(&sys, "app", &sql, &gold_answer(&gold, &sql));
+
+    // Star query shaped like q2.
+    let sql = format!(
+        "select p.manufacturer, count(distinct c.reader) as readers \
+         from caser c, epc_info i, product p \
+         where c.epc = i.epc and i.product = p.product and c.rtime >= {t} \
+         group by p.manufacturer"
+    );
+    check(&sys, "app", &sql, &gold_answer(&gold, &sql));
+}
+
+#[test]
+fn olap_window_query_matches_gold() {
+    let (sys, gold, _) = prepared(2, 20.0, 5, 3);
+    let caser = sys.catalog().get("caser").unwrap();
+    let tmax = caser.stats().column(1).unwrap().max.clone().unwrap();
+    let t = tmax.as_int().unwrap() * 3 / 4;
+    // q1 shape: dwell analysis.
+    let sql = format!(
+        "with v1 as (select biz_loc as cur, rtime, \
+           max(rtime) over (partition by epc order by rtime \
+             rows between 1 preceding and 1 preceding) as prev \
+         from caser where rtime <= {t}) \
+         select cur, avg(rtime - prev) as dwell from v1 \
+         where prev is not null group by cur order by cur limit 20"
+    );
+    check(&sys, "app", &sql, &gold_answer(&gold, &sql));
+}
+
+#[test]
+fn five_rule_chain_with_derived_input_matches_gold() {
+    let (sys, gold, _) = prepared(2, 25.0, 7, 5);
+    let caser = sys.catalog().get("caser").unwrap();
+    let stats = caser.stats().column(1).unwrap();
+    let t = (stats.min.clone().unwrap().as_int().unwrap()
+        + stats.max.clone().unwrap().as_int().unwrap())
+        / 2;
+    // NOTE: the gold catalog's cleansed caseR was computed over the SAME
+    // derived input (r_with_pallets), so this validates the whole missing-
+    // rule pipeline including compensation.
+    let sql = format!("select epc, rtime, biz_loc from caser where rtime <= {t}");
+    check(&sys, "app", &sql, &gold_answer(&gold, &sql));
+    let sql = format!("select biz_loc, count(*) as n from caser where rtime >= {t} group by biz_loc");
+    check(&sys, "app", &sql, &gold_answer(&gold, &sql));
+}
+
+#[test]
+fn anomaly_percentages_do_not_break_equivalence() {
+    for pct in [0.0, 10.0, 40.0] {
+        let (sys, gold, _) = prepared(2, pct, 13, 4);
+        let caser = sys.catalog().get("caser").unwrap();
+        let tmax = caser.stats().column(1).unwrap().max.clone().unwrap();
+        let t = tmax.as_int().unwrap() / 3;
+        let sql = format!("select epc, rtime from caser where rtime <= {t}");
+        check(&sys, "app", &sql, &gold_answer(&gold, &sql));
+    }
+}
+
+#[test]
+fn cleansing_actually_removes_injected_anomalies() {
+    // With the duplicate rule alone: cleansed row count is strictly below the
+    // dirty count when duplicates were injected.
+    let catalog = Arc::new(Catalog::new());
+    let ds = generate_into(&catalog, GenConfig::tiny(2, 20.0, 3)).unwrap();
+    assert!(ds.counts.duplicate > 0);
+    let sys = DeferredCleansingSystem::with_catalog(Arc::clone(&catalog));
+    sys.define_rule("app", &ds.benchmark_rules(2)[1]).unwrap();
+    let dirty = sys.query_dirty("select count(*) as n from caser").unwrap();
+    let clean = sys.query("app", "select count(*) as n from caser").unwrap();
+    let d = dirty.row(0)[0].as_int().unwrap();
+    let c = clean.row(0)[0].as_int().unwrap();
+    assert!(c < d, "cleansed {c} !< dirty {d}");
+    // Most injected duplicates are removed (other injections occasionally
+    // land between a duplicate pair and break its adjacency).
+    assert!(
+        (d - c) as f64 >= 0.5 * ds.counts.duplicate as f64,
+        "removed {} of {} injected duplicates",
+        d - c,
+        ds.counts.duplicate
+    );
+}

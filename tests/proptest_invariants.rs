@@ -1,0 +1,316 @@
+//! Property-based tests on the engine's core invariants:
+//!
+//! * window lag agrees with a reference implementation on random sequences,
+//! * index range scans agree with naive filtering,
+//! * implied bounds are sound over-approximations of arbitrary predicates,
+//! * Φ for the duplicate rule agrees with a reference imperative cleaner,
+//! * and the crown jewel: expanded / join-back / naive rewrites all agree
+//!   with the materialized-Φ gold standard on random reads tables, random
+//!   rules, and random threshold queries.
+
+use deferred_cleansing::relational::prelude::*;
+use deferred_cleansing::rewrite::Strategy;
+use deferred_cleansing::DeferredCleansingSystem;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use std::sync::Arc;
+
+fn reads_schema() -> SchemaRef {
+    schema_ref(Schema::new(vec![
+        Field::new("epc", DataType::Str),
+        Field::new("rtime", DataType::Int),
+        Field::new("biz_loc", DataType::Str),
+        Field::new("reader", DataType::Str),
+    ]))
+}
+
+/// Strategy generating a small reads table: up to 4 EPCs, up to 12 reads
+/// each, small time/location domains so anomalies and boundary collisions
+/// are frequent.
+fn arb_reads() -> impl proptest::strategy::Strategy<Value = Vec<(String, i64, String, String)>> {
+    proptest::collection::vec(
+        (
+            0u8..4,                    // epc
+            0i64..2000,                // rtime
+            0u8..3,                    // biz_loc
+            prop::bool::ANY,           // readerX?
+        ),
+        1..40,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(e, t, l, rx)| {
+                (
+                    format!("e{e}"),
+                    t,
+                    format!("loc{l}"),
+                    if rx { "readerX".into() } else { "r0".to_string() },
+                )
+            })
+            .collect()
+    })
+}
+
+fn catalog_from(rows: &[(String, i64, String, String)]) -> Catalog {
+    let data: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|(e, t, l, r)| {
+            vec![
+                Value::str(e.as_str()),
+                Value::Int(*t),
+                Value::str(l.as_str()),
+                Value::str(r.as_str()),
+            ]
+        })
+        .collect();
+    let cat = Catalog::new();
+    let mut t = Table::new("caser", Batch::from_rows(reads_schema(), &data).unwrap());
+    t.create_index("rtime").unwrap();
+    t.create_index("epc").unwrap();
+    cat.register(t);
+    cat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Window "previous row" aggregates agree with a scan-based reference.
+    #[test]
+    fn window_lag_matches_reference(rows in arb_reads()) {
+        let cat = catalog_from(&rows);
+        let plan = LogicalPlan::scan("caser").window(
+            vec![Expr::col("epc")],
+            vec![SortKey::asc(Expr::col("rtime"))],
+            vec![WindowExpr {
+                func: WindowFuncKind::Max,
+                arg: Some(Expr::col("rtime")),
+                frame: Frame::rows(FrameBound::Preceding(1), FrameBound::Preceding(1)),
+                alias: "prev".into(),
+            }],
+        );
+        let out = Executor::new(&cat).execute(&plan).unwrap();
+
+        // Reference: sort rows by (epc, rtime) stably and compute lags.
+        let mut sorted: Vec<(String, i64)> = rows
+            .iter()
+            .map(|(e, t, _, _)| (e.clone(), *t))
+            .collect();
+        sorted.sort();
+        let mut expect: Vec<(String, i64, Option<i64>)> = Vec::new();
+        for (i, (e, t)) in sorted.iter().enumerate() {
+            let prev = if i > 0 && &sorted[i - 1].0 == e {
+                Some(sorted[i - 1].1)
+            } else {
+                None
+            };
+            expect.push((e.clone(), *t, prev));
+        }
+        let mut got: Vec<(String, i64, Option<i64>)> = (0..out.num_rows())
+            .map(|i| {
+                let r = out.row(i);
+                (
+                    r[0].as_str().unwrap().to_string(),
+                    r[1].as_int().unwrap(),
+                    r[4].as_int(),
+                )
+            })
+            .collect();
+        got.sort();
+        expect.sort();
+        // Ties on (epc, rtime) make prev ambiguous; compare only when the
+        // sorted keys are unique.
+        let mut keys: Vec<(String, i64)> = sorted.clone();
+        keys.dedup();
+        if keys.len() == sorted.len() {
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// RANGE window frames agree with a brute-force reference: for each row,
+    /// the count of same-sequence rows with skey in (t+1 ..= t+W).
+    #[test]
+    fn range_window_matches_reference(rows in arb_reads(), window in 1i64..500) {
+        let cat = catalog_from(&rows);
+        let plan = LogicalPlan::scan("caser").window(
+            vec![Expr::col("epc")],
+            vec![SortKey::asc(Expr::col("rtime"))],
+            vec![WindowExpr {
+                func: WindowFuncKind::Count,
+                arg: None,
+                frame: Frame::range(FrameBound::Following(1), FrameBound::Following(window)),
+                alias: "n_after".into(),
+            }],
+        );
+        let out = Executor::new(&cat).execute(&plan).unwrap();
+        for i in 0..out.num_rows() {
+            let r = out.row(i);
+            let (epc, t) = (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap());
+            let expect = rows
+                .iter()
+                .filter(|(e, rt, _, _)| *e == epc && *rt > t && *rt <= t + window)
+                .count() as i64;
+            // Empty frames yield count 0 in our engine.
+            let got = r[4].as_int().unwrap_or(0);
+            prop_assert_eq!(got, expect, "epc {} t {} window {}", epc, t, window);
+        }
+    }
+
+    /// Index range scans return exactly the rows a full filter would.
+    #[test]
+    fn index_scan_equals_filter(rows in arb_reads(), lo in 0i64..2000, width in 1i64..800) {
+        let cat = catalog_from(&rows);
+        let hi = lo + width;
+        let pred = Expr::col("rtime")
+            .gt_eq(Expr::lit(lo))
+            .and(Expr::col("rtime").lt(Expr::lit(hi)));
+        // Through the index (pushed filter)...
+        let indexed = LogicalPlan::Scan {
+            table: "caser".into(),
+            alias: None,
+            filter: Some(pred.clone()),
+        };
+        let mut ex = Executor::new(&cat);
+        let a = ex.execute(&indexed).unwrap();
+        // ...vs a full-scan filter.
+        let full = LogicalPlan::scan("caser").filter(pred);
+        let cfg = OptimizerConfig { enable_pushdown: false, enable_order_sharing: false };
+        let b = Executor::new(&cat)
+            .execute(&optimize(full, &cat, &cfg))
+            .unwrap();
+        prop_assert_eq!(a.sorted_rows(), b.sorted_rows());
+    }
+
+    /// `implied_bounds` is a sound over-approximation: every row satisfying
+    /// the predicate also satisfies every implied bound.
+    #[test]
+    fn implied_bounds_sound(rows in arb_reads(), t1 in 0i64..2000, t2 in 0i64..2000) {
+        let cat = catalog_from(&rows);
+        let pred = Expr::col("rtime")
+            .lt_eq(Expr::lit(t1))
+            .or(Expr::col("reader")
+                .eq(Expr::lit("readerX"))
+                .and(Expr::col("rtime").lt(Expr::lit(t2))));
+        let table = cat.get("caser").unwrap();
+        let batch = table.data();
+        let sat = pred.filter_indices(batch).unwrap();
+        for (ci, interval) in
+            deferred_cleansing::relational::constraint::implied_bounds_resolved(
+                &pred,
+                batch.schema(),
+            )
+        {
+            for conj in interval.to_constraints(&ColumnRef::new(batch.schema().field(ci).name.clone())) {
+                let keep = conj.to_expr().filter_indices(batch).unwrap();
+                for i in &sat {
+                    prop_assert!(keep.contains(i), "row {i} satisfies pred but not bound {conj}");
+                }
+            }
+        }
+    }
+
+    /// Φ for the timed duplicate rule agrees with an imperative reference.
+    #[test]
+    fn duplicate_rule_matches_reference(rows in arb_reads()) {
+        // Skip inputs with (epc, rtime) ties — adjacency is ambiguous.
+        let mut keys: Vec<(&String, i64)> = rows.iter().map(|(e, t, _, _)| (e, *t)).collect();
+        keys.sort();
+        let unique = keys.windows(2).all(|w| w[0] != w[1]);
+        prop_assume!(unique);
+
+        let cat = catalog_from(&rows);
+        let sys = DeferredCleansingSystem::with_catalog(Arc::new(Catalog::new()));
+        drop(sys); // (facade unused here; direct rule application below)
+
+        let template = deferred_cleansing::rules::compile_rule(
+            &deferred_cleansing::sqlts::parse_rule(
+                "DEFINE dup ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+                 WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let phi = deferred_cleansing::rules::apply_rule(
+            LogicalPlan::scan("caser"),
+            &template,
+            &cat,
+        )
+        .unwrap();
+        let got = Executor::new(&cat).execute(&phi).unwrap();
+
+        // Reference: sort per epc; drop a row if its predecessor has the
+        // same biz_loc and is < 300 s earlier (single simultaneous pass).
+        let mut sorted = rows.clone();
+        sorted.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        let mut expect = 0usize;
+        for (i, r) in sorted.iter().enumerate() {
+            let dup = i > 0
+                && sorted[i - 1].0 == r.0
+                && sorted[i - 1].2 == r.2
+                && r.1 - sorted[i - 1].1 < 300;
+            if !dup {
+                expect += 1;
+            }
+        }
+        prop_assert_eq!(got.num_rows(), expect);
+    }
+
+    /// All rewrite strategies agree with the materialized gold standard for
+    /// a random rule pick and a random threshold query.
+    #[test]
+    fn rewrites_agree_with_gold(
+        rows in arb_reads(),
+        threshold in 0i64..2000,
+        upper in prop::bool::ANY,
+        rule_pick in 0usize..5,
+    ) {
+        let rules = [
+            "DEFINE reader ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+             WHERE B.reader = 'readerX' and B.rtime - A.rtime < 5 mins ACTION DELETE A",
+            "DEFINE dup ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B",
+            "DEFINE dup_untimed ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+             WHERE A.biz_loc = B.biz_loc ACTION DELETE B",
+            "DEFINE cycle ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B, C) \
+             WHERE A.biz_loc = C.biz_loc and A.biz_loc != B.biz_loc ACTION DELETE B",
+            // The §4.3 count() extension: two readerX reads required.
+            "DEFINE reader2 ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) \
+             WHERE count(B.reader = 'readerX') >= 2 and B.rtime - A.rtime < 5 mins \
+             ACTION DELETE A",
+        ];
+        let catalog = Arc::new(catalog_from(&rows));
+        let sys = DeferredCleansingSystem::with_catalog(Arc::clone(&catalog));
+        sys.define_rule("app", rules[rule_pick]).unwrap();
+
+        // Gold: materialize Φ(R) and run the query on it.
+        let template = deferred_cleansing::rules::compile_rule(
+            &deferred_cleansing::sqlts::parse_rule(rules[rule_pick]).unwrap(),
+        )
+        .unwrap();
+        let phi = deferred_cleansing::rules::apply_rule(
+            LogicalPlan::scan("caser"),
+            &template,
+            &catalog,
+        )
+        .unwrap();
+        let cleaned = Executor::new(&catalog).execute(&phi).unwrap();
+        let gold_cat = Catalog::new();
+        gold_cat.register(Table::new("caser", cleaned));
+        let op = if upper { "<=" } else { ">=" };
+        let sql = format!("select epc, rtime, biz_loc from caser where rtime {op} {threshold}");
+        let expect = deferred_cleansing::relational::sql::run_sql(&sql, &gold_cat)
+            .unwrap()
+            .sorted_rows();
+
+        for strategy in [Strategy::Auto, Strategy::Naive, Strategy::JoinBack, Strategy::Expanded] {
+            match sys.query_with_strategy("app", &sql, strategy) {
+                Ok((batch, report)) => prop_assert_eq!(
+                    batch.sorted_rows(),
+                    expect.clone(),
+                    "strategy {:?} (chosen {}) diverged for rule {} query {}",
+                    strategy, report.chosen, rule_pick, sql
+                ),
+                Err(_) => prop_assert!(matches!(strategy, Strategy::Expanded)),
+            }
+        }
+    }
+}

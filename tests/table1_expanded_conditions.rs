@@ -1,0 +1,90 @@
+//! Table 1 of the paper, asserted programmatically: the expanded (context)
+//! conditions derived for q1 and q2 with respect to each of the five rules.
+//!
+//! Paper values (with t1 = 5, t2 = 5, t3 = 20 minutes; see DESIGN.md for the
+//! t2 discrepancy in the paper):
+//!
+//! | rule      | q1                    | q2                       |
+//! |-----------|-----------------------|--------------------------|
+//! | reader    | rtime <= T1 + 5 min   | rtime >= T2              |
+//! | duplicate | rtime <= T1           | rtime >= T2 - 5 min (*)  |
+//! | replacing | rtime <= T1 + 20 min  | rtime >= T2              |
+//! | cycle     | {}                    | {}                       |
+//! | missing   | {}                    | rtime >= T2 (**)         |
+//!
+//! (*) the paper prints "T2+10min", which cannot be a sound lower bound for
+//! a context preceding the target; we assert the sound derivation.
+//! (**) the paper's missing rule gets its q2 condition from sub-rule r2; our
+//! analysis derives exactly that for r2 and is conservatively infeasible for
+//! r1 (its sequence-key constraint sits under an OR — see DESIGN.md).
+
+use dc_bench::experiments::table1;
+
+#[test]
+fn table1_matches_paper() {
+    let rows = table1(3, 2006);
+    let find = |name: &str| rows.iter().find(|r| r.rule == name).unwrap();
+
+    // reader / q1: rtime < T1 + 300 AND reader = 'readerX'.
+    let reader = find("reader");
+    let q1 = reader.q1_condition.as_ref().unwrap();
+    assert!(q1.contains("readerX"), "{q1}");
+    assert!(q1.contains("rtime <"), "{q1}");
+    // reader / q2: rtime >= T2 (plus the reader conjunct).
+    let q2 = reader.q2_condition.as_ref().unwrap();
+    assert!(q2.contains("rtime >="), "{q2}");
+
+    // duplicate / q1: rtime <= T1.
+    let dup = find("duplicate");
+    assert!(dup.q1_condition.as_ref().unwrap().contains("rtime <="));
+    // duplicate / q2: rtime > T2 - 300 (sound version of the paper's cell).
+    assert!(dup.q2_condition.as_ref().unwrap().contains("rtime >"));
+
+    // replacing: bounded on both sides.
+    let rep = find("replacing");
+    assert!(rep.q1_condition.is_some());
+    assert!(rep.q2_condition.is_some());
+
+    // cycle: infeasible for both (the context following the target is
+    // unbounded for q1; the one preceding it is unbounded for q2).
+    let cycle = find("cycle");
+    assert!(cycle.q1_condition.is_none());
+    assert!(cycle.q2_condition.is_none());
+
+    // missing r2: infeasible for q1, rtime >= T2 for q2.
+    let r2 = find("missing_r2");
+    assert!(r2.q1_condition.is_none());
+    assert!(r2.q2_condition.as_ref().unwrap().contains("rtime >="));
+}
+
+#[test]
+fn offsets_match_rule_constants() {
+    // Verify the numeric offsets: reader expands by exactly t2 = 300 s and
+    // replacing by t3 = 1200 s beyond T1.
+    let rows = table1(3, 7);
+    let reader_q1 = rows
+        .iter()
+        .find(|r| r.rule == "reader")
+        .unwrap()
+        .q1_condition
+        .as_ref()
+        .unwrap()
+        .clone();
+    let replacing_q1 = rows
+        .iter()
+        .find(|r| r.rule == "replacing")
+        .unwrap()
+        .q1_condition
+        .as_ref()
+        .unwrap()
+        .clone();
+    let extract = |s: &str| -> i64 {
+        s.split(['<', '='])
+            .filter_map(|t| t.trim().trim_end_matches(')').parse::<i64>().ok())
+            .next_back()
+            .unwrap()
+    };
+    let t_reader = extract(&reader_q1);
+    let t_replacing = extract(&replacing_q1);
+    assert_eq!(t_replacing - t_reader, 1200 - 300);
+}
