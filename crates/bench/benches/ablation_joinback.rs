@@ -1,19 +1,10 @@
 //! Ablation: improved join-back (expanded condition on the outer arm,
 //! paper §5.3) vs plain join-back.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dc_bench::experiments::ablation_joinback;
+use dc_bench::microbench::BenchGroup;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_joinback");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("q1_j_improved_vs_plain", |b| {
-        b.iter(|| ablation_joinback(4, 1));
-    });
-    group.finish();
+fn main() {
+    let group = BenchGroup::new("ablation_joinback");
+    group.case("q1_j_improved_vs_plain", || ablation_joinback(4, 1));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

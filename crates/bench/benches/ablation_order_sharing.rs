@@ -1,19 +1,12 @@
 //! Ablation: the optimizer's order sharing (redundant-sort elimination),
 //! the mechanism behind q1_e paying for a single sort (paper §6.2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dc_bench::experiments::ablation_order_sharing;
+use dc_bench::microbench::BenchGroup;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_order_sharing");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("q1_e_with_and_without_sharing", |b| {
-        b.iter(|| ablation_order_sharing(4, 1));
+fn main() {
+    let group = BenchGroup::new("ablation_order_sharing");
+    group.case("q1_e_with_and_without_sharing", || {
+        ablation_order_sharing(4, 1)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,32 +2,25 @@
 //! the reader rule on db-10, for the dirty baseline, expanded, join-back,
 //! and naive rewrites.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_bench::microbench::BenchGroup;
 use dc_bench::{run_variant, setup, Variant};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let env = setup(8, 10.0, 1);
-    let mut group = c.benchmark_group("fig7");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    let group = BenchGroup::new("fig7");
     for (qname, sel) in [("q1", 0.10), ("q1", 0.40), ("q2", 0.10), ("q2", 0.40)] {
         let sql = match qname {
             "q1" => env.dataset.q1(env.dataset.rtime_quantile(sel)),
             _ => env.dataset.q2(env.dataset.rtime_quantile(1.0 - sel), 2),
         };
-        for variant in [Variant::Dirty, Variant::Expanded, Variant::JoinBack, Variant::Naive] {
-            let id = BenchmarkId::new(
-                format!("{qname}/{}", variant.label()),
-                format!("{:.0}%", sel * 100.0),
-            );
-            group.bench_function(id, |b| {
-                b.iter(|| run_variant(&env, 1, &sql, variant));
-            });
+        for variant in [
+            Variant::Dirty,
+            Variant::Expanded,
+            Variant::JoinBack,
+            Variant::Naive,
+        ] {
+            let id = format!("{qname}/{}@{:.0}%", variant.label(), sel * 100.0);
+            group.case(&id, || run_variant(&env, 1, &sql, variant));
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,29 +2,19 @@
 //! that is uncorrelated with EPCs, so join-back's sequence-set reduction
 //! loses its advantage over expanded.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_bench::microbench::BenchGroup;
 use dc_bench::{run_variant, setup, Variant};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let env = setup(8, 10.0, 1);
-    let mut group = c.benchmark_group("fig8");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    let group = BenchGroup::new("fig8");
     for sel in [0.10, 0.40] {
-        let sql = env.dataset.q2_prime(env.dataset.rtime_quantile(1.0 - sel), 3);
+        let sql = env
+            .dataset
+            .q2_prime(env.dataset.rtime_quantile(1.0 - sel), 3);
         for variant in [Variant::Expanded, Variant::JoinBack, Variant::Naive] {
-            let id = BenchmarkId::new(
-                format!("q2prime/{}", variant.label()),
-                format!("{:.0}%", sel * 100.0),
-            );
-            group.bench_function(id, |b| {
-                b.iter(|| run_variant(&env, 1, &sql, variant));
-            });
+            let id = format!("q2prime/{}@{:.0}%", variant.label(), sel * 100.0);
+            group.case(&id, || run_variant(&env, 1, &sql, variant));
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,14 +1,11 @@
 //! Figure 9(c)/(d): scaling the anomaly percentage from 10% to 40% with the
 //! first three rules at 10% selectivity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_bench::microbench::BenchGroup;
 use dc_bench::{run_variant, setup, Variant};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_dirty");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let group = BenchGroup::new("fig9_dirty");
     for pct in [10.0f64, 40.0] {
         let env = setup(8, pct, 1);
         for qname in ["q1", "q2"] {
@@ -17,18 +14,9 @@ fn bench(c: &mut Criterion) {
                 _ => env.dataset.q2(env.dataset.rtime_quantile(0.90), 2),
             };
             for variant in [Variant::Expanded, Variant::JoinBack] {
-                let id = BenchmarkId::new(
-                    format!("{qname}/{}", variant.label()),
-                    format!("{pct:.0}%"),
-                );
-                group.bench_function(id, |b| {
-                    b.iter(|| run_variant(&env, 3, &sql, variant));
-                });
+                let id = format!("{qname}/{}@{pct:.0}%", variant.label());
+                group.case(&id, || run_variant(&env, 3, &sql, variant));
             }
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,15 +2,12 @@
 //! (the fifth brings in the missing rule over the caseR ∪ palletR-derived
 //! input) at 10% selectivity on db-10.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_bench::microbench::BenchGroup;
 use dc_bench::{run_variant, setup, Variant};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let env = setup(8, 10.0, 1);
-    let mut group = c.benchmark_group("fig9_rules");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    let group = BenchGroup::new("fig9_rules");
     for qname in ["q1", "q2"] {
         let sql = match qname {
             "q1" => env.dataset.q1(env.dataset.rtime_quantile(0.10)),
@@ -22,15 +19,9 @@ fn bench(c: &mut Criterion) {
                 if variant == Variant::Expanded && n >= 4 {
                     continue;
                 }
-                let id = BenchmarkId::new(format!("{qname}/{}", variant.label()), n);
-                group.bench_function(id, |b| {
-                    b.iter(|| run_variant(&env, n, &sql, variant));
-                });
+                let id = format!("{qname}/{}@{n}", variant.label());
+                group.case(&id, || run_variant(&env, n, &sql, variant));
             }
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

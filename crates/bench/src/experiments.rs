@@ -1,12 +1,12 @@
 //! Experiment drivers, one per table/figure of the paper.
 
-use crate::harness::{run_variant, setup, BenchEnv, Measurement, Variant};
+use crate::harness::{run_variant, setup, setup_with_parallelism, BenchEnv, Measurement, Variant};
 use dc_core::Strategy;
+use dc_json::Json;
 use dc_relational::sql::{parse_query, plan_query};
 use dc_rewrite::{analyze, RewriteEngine};
 use dc_rules::compile_rule;
 use dc_sqlts::parse_rule;
-use serde::Serialize;
 
 /// Default scale for the repro binary: s pallets ⇒ ~s·50·30 case reads.
 pub const DEFAULT_SCALE: usize = 40;
@@ -21,7 +21,7 @@ pub const VARIANTS: [Variant; 4] = [
 ];
 
 /// One (x-axis point, variant) measurement row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRow {
     /// x-axis label: selectivity %, rule count, or anomaly %.
     pub x: String,
@@ -30,12 +30,34 @@ pub struct ExperimentRow {
     pub variant: &'static str,
 }
 
+impl ExperimentRow {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("x", self.x.as_str())
+            .set("query", self.query)
+            .set("variant", self.variant)
+            .set(
+                "measurement",
+                self.measurement.as_ref().map(|m| m.to_json()),
+            )
+    }
+}
+
 /// Table 1: the derived expanded (context) conditions for q1/q2 per rule.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     pub rule: String,
     pub q1_condition: Option<String>,
     pub q2_condition: Option<String>,
+}
+
+impl Table1Row {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("rule", self.rule.as_str())
+            .set("q1_condition", self.q1_condition.as_deref())
+            .set("q2_condition", self.q2_condition.as_deref())
+    }
 }
 
 /// Reproduce Table 1 against a generated dataset.
@@ -85,8 +107,9 @@ pub fn fig7_selectivity(
     scale: usize,
     seed: u64,
     selectivities: &[f64],
+    threads: usize,
 ) -> Vec<ExperimentRow> {
-    let env = setup(scale, 10.0, seed);
+    let env = setup_with_parallelism(scale, 10.0, seed, threads);
     let mut rows = Vec::new();
     for &sel in selectivities {
         let sql = query_at_selectivity(&env, which, sel);
@@ -117,8 +140,13 @@ fn query_at_selectivity(env: &BenchEnv, which: &str, sel: f64) -> String {
 
 /// Figure 9(a)/(b): vary the number of rules (1–5) at 10 % selectivity on
 /// db-10.
-pub fn fig9_rules(which: &'static str, scale: usize, seed: u64) -> Vec<ExperimentRow> {
-    let env = setup(scale, 10.0, seed);
+pub fn fig9_rules(
+    which: &'static str,
+    scale: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<ExperimentRow> {
+    let env = setup_with_parallelism(scale, 10.0, seed, threads);
     let sql = query_at_selectivity(&env, which, 0.10);
     let mut rows = Vec::new();
     for n in 1..=5 {
@@ -137,10 +165,15 @@ pub fn fig9_rules(which: &'static str, scale: usize, seed: u64) -> Vec<Experimen
 
 /// Figure 9(c)/(d): vary the anomaly percentage (10–40 %) with the first
 /// three rules at 10 % selectivity.
-pub fn fig9_dirty(which: &'static str, scale: usize, seed: u64) -> Vec<ExperimentRow> {
+pub fn fig9_dirty(
+    which: &'static str,
+    scale: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<ExperimentRow> {
     let mut rows = Vec::new();
     for pct in [10.0, 20.0, 30.0, 40.0] {
-        let env = setup(scale, pct, seed);
+        let env = setup_with_parallelism(scale, pct, seed, threads);
         let sql = query_at_selectivity(&env, which, 0.10);
         for v in VARIANTS {
             let m = run_variant(&env, 3, &sql, v);
@@ -285,6 +318,9 @@ pub fn ablation_order_sharing(scale: usize, seed: u64) -> (Measurement, Measurem
             sorts: ex.stats.sorts_performed,
             window_work: ex.stats.window_agg_work,
             join_probes: ex.stats.join_probes,
+            partitions: ex.stats.partitions_executed,
+            window_eval_ms: ex.window_eval_nanos as f64 / 1e6,
+            parallelism: 1,
             chosen: rewritten.chosen.clone(),
         }
     };
@@ -327,6 +363,9 @@ pub fn ablation_joinback(scale: usize, seed: u64) -> (Measurement, Measurement) 
             sorts: ex.stats.sorts_performed,
             window_work: ex.stats.window_agg_work,
             join_probes: ex.stats.join_probes,
+            partitions: ex.stats.partitions_executed,
+            window_eval_ms: ex.window_eval_nanos as f64 / 1e6,
+            parallelism: 1,
             chosen: label,
         }
     };
@@ -419,7 +458,7 @@ mod tests {
 
     #[test]
     fn fig7_rows_complete() {
-        let rows = fig7_selectivity("q1", 3, 7, &[0.05, 0.2]);
+        let rows = fig7_selectivity("q1", 3, 7, &[0.05, 0.2], 1);
         assert_eq!(rows.len(), 8);
         // All four variants feasible for the reader rule.
         assert!(rows.iter().all(|r| r.measurement.is_some()));

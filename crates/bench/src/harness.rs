@@ -1,15 +1,14 @@
 //! Benchmark setup and single-run measurement.
 
 use dc_core::{DeferredCleansingSystem, Strategy};
-use dc_relational::exec::ExecStats;
+use dc_json::Json;
 use dc_relational::table::Catalog;
 use dc_rfidgen::{generate_into, Dataset, GenConfig};
-use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Which query variant to run (the paper's q / q_e / q_j / q_n).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Variant {
     /// The original query on dirty data (baseline; wrong answers).
     Dirty,
@@ -36,7 +35,7 @@ impl Variant {
 }
 
 /// One measured execution.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     pub variant: &'static str,
     pub millis: f64,
@@ -46,8 +45,33 @@ pub struct Measurement {
     pub sorts: u64,
     pub window_work: u64,
     pub join_probes: u64,
+    /// Window partitions evaluated (identical at any parallelism).
+    pub partitions: u64,
+    /// Wall-clock spent in window evaluation — the Φ_C hot path, and the
+    /// quantity `--threads` is expected to improve.
+    pub window_eval_ms: f64,
+    /// Parallelism the run used.
+    pub parallelism: usize,
     /// The rewrite the engine picked (for Auto / reporting).
     pub chosen: String,
+}
+
+impl Measurement {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("variant", self.variant)
+            .set("millis", Json::Num(self.millis))
+            .set("result_rows", self.result_rows)
+            .set("rows_scanned", self.rows_scanned)
+            .set("rows_sorted", self.rows_sorted)
+            .set("sorts", self.sorts)
+            .set("window_work", self.window_work)
+            .set("join_probes", self.join_probes)
+            .set("partitions", self.partitions)
+            .set("window_eval_ms", Json::Num(self.window_eval_ms))
+            .set("parallelism", self.parallelism)
+            .set("chosen", self.chosen.as_str())
+    }
 }
 
 /// A prepared benchmark environment: one generated database plus a system
@@ -61,6 +85,17 @@ pub struct BenchEnv {
 /// Generate database `db-<anomaly_pct>` at scale `s` and register the
 /// benchmark rule sets.
 pub fn setup(scale: usize, anomaly_pct: f64, seed: u64) -> BenchEnv {
+    setup_with_parallelism(scale, anomaly_pct, seed, 1)
+}
+
+/// [`setup`] with partition-parallel cleansing enabled. Parallelism changes
+/// wall-clock only — results and work counters are identical.
+pub fn setup_with_parallelism(
+    scale: usize,
+    anomaly_pct: f64,
+    seed: u64,
+    parallelism: usize,
+) -> BenchEnv {
     let catalog = Arc::new(Catalog::new());
     let cfg = GenConfig {
         scale,
@@ -72,7 +107,8 @@ pub fn setup(scale: usize, anomaly_pct: f64, seed: u64) -> BenchEnv {
     dataset
         .materialize_missing_input(&catalog)
         .expect("missing-input materialization");
-    let system = DeferredCleansingSystem::with_catalog(catalog);
+    let mut system = DeferredCleansingSystem::with_catalog(catalog);
+    system.set_parallelism(parallelism);
     for n in 1..=5 {
         let app = format!("rules-{n}");
         for text in dataset.benchmark_rules(n) {
@@ -94,26 +130,26 @@ pub fn run_variant(
     variant: Variant,
 ) -> Option<Measurement> {
     let app = format!("rules-{n_rules}");
-    let to_measurement = |millis: f64,
-                          rows: usize,
-                          stats: ExecStats,
-                          chosen: String| Measurement {
+    let to_measurement = |millis: f64, rows: usize, report: &dc_core::QueryReport| Measurement {
         variant: variant.label(),
         millis,
         result_rows: rows,
-        rows_scanned: stats.rows_scanned,
-        rows_sorted: stats.rows_sorted,
-        sorts: stats.sorts_performed,
-        window_work: stats.window_agg_work,
-        join_probes: stats.join_probes,
-        chosen,
+        rows_scanned: report.stats.rows_scanned,
+        rows_sorted: report.stats.rows_sorted,
+        sorts: report.stats.sorts_performed,
+        window_work: report.stats.window_agg_work,
+        join_probes: report.stats.join_probes,
+        partitions: report.stats.partitions_executed,
+        window_eval_ms: report.window_eval_nanos as f64 / 1e6,
+        parallelism: report.parallelism,
+        chosen: report.chosen.clone(),
     };
     match variant {
         Variant::Dirty => {
             let start = Instant::now();
             let (batch, report) = env.system.query_dirty_with_report(sql).ok()?;
             let ms = start.elapsed().as_secs_f64() * 1e3;
-            Some(to_measurement(ms, batch.num_rows(), report.stats, report.chosen))
+            Some(to_measurement(ms, batch.num_rows(), &report))
         }
         other => {
             let strategy = match other {
@@ -127,7 +163,7 @@ pub fn run_variant(
             match env.system.query_with_strategy(&app, sql, strategy) {
                 Ok((batch, report)) => {
                     let ms = start.elapsed().as_secs_f64() * 1e3;
-                    Some(to_measurement(ms, batch.num_rows(), report.stats, report.chosen))
+                    Some(to_measurement(ms, batch.num_rows(), &report))
                 }
                 Err(_) => None,
             }

@@ -17,6 +17,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 pub mod report;
 
 pub use experiments::*;

@@ -1,20 +1,29 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|plans|ablations]
-//!       [--scale N] [--seed S] [--json]
+//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|plans|ablations|eager]
+//!       [--scale N] [--seed S] [--threads N] [--json]
 //! ```
+//!
+//! Besides the console rendering, every run writes `BENCH_repro.json` — a
+//! machine-readable record of per-figure wall-clock, the deterministic work
+//! counters of every measurement, and the parallelism used. `--threads N`
+//! enables partition-parallel Φ_C cleansing: window wall-clock improves with
+//! N while every work counter stays identical.
 
 use dc_bench::experiments::{
     ablation_joinback, ablation_order_sharing, eager_vs_deferred, fig7_selectivity, fig9_dirty,
-    fig9_rules, plans, table1, DEFAULT_SCALE, DEFAULT_SEED,
+    fig9_rules, plans, table1, ExperimentRow, DEFAULT_SCALE, DEFAULT_SEED,
 };
 use dc_bench::report::{render_figure, render_table1};
+use dc_json::Json;
+use std::time::Instant;
 
 struct Args {
     what: String,
     scale: usize,
     seed: u64,
+    threads: usize,
     json: bool,
 }
 
@@ -23,6 +32,7 @@ fn parse_args() -> Args {
         what: "all".to_string(),
         scale: DEFAULT_SCALE,
         seed: DEFAULT_SEED,
+        threads: 1,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -34,6 +44,15 @@ fn parse_args() -> Args {
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
             }
+            "--threads" => {
+                // The engine clamps parallelism to >= 1; clamp here too so the
+                // BENCH_repro.json header agrees with the per-run reports.
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(|n: usize| n.max(1))
+                    .expect("--threads N");
+            }
             "--json" => args.json = true,
             other if !other.starts_with('-') => args.what = other.to_string(),
             other => panic!("unknown flag {other}"),
@@ -42,46 +61,89 @@ fn parse_args() -> Args {
     args
 }
 
-fn run_one(args: &Args, what: &str) {
+fn rows_json(rows: &[ExperimentRow]) -> Json {
+    Json::Arr(rows.iter().map(|r| r.to_json()).collect())
+}
+
+/// Run one experiment: print it, and return its machine-readable record(s)
+/// for `BENCH_repro.json` (figure name → result rows).
+fn run_one(args: &Args, what: &str) -> Vec<(String, Json)> {
     let selectivities = [0.01, 0.05, 0.10, 0.20, 0.30, 0.40];
+    let emit = |title: &str, rows: &[ExperimentRow]| {
+        if args.json {
+            println!("{}", rows_json(rows).pretty());
+        } else {
+            println!("{}", render_figure(title, rows));
+        }
+    };
     match what {
         "table1" => {
             let rows = table1(args.scale, args.seed);
+            let json = Json::Arr(rows.iter().map(|r| r.to_json()).collect());
             if args.json {
-                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                println!("{}", json.pretty());
             } else {
                 println!("== Table 1: expanded (context) conditions ==");
                 println!("{}", render_table1(&rows));
             }
+            vec![("table1".into(), json)]
         }
         "fig7a" => {
-            let rows = fig7_selectivity("q1", args.scale, args.seed, &selectivities);
-            emit(args.json, "Figure 7(a): q1 vs selectivity (reader rule, db-10)", &rows);
+            let rows = fig7_selectivity("q1", args.scale, args.seed, &selectivities, args.threads);
+            emit("Figure 7(a): q1 vs selectivity (reader rule, db-10)", &rows);
+            vec![("fig7a".into(), rows_json(&rows))]
         }
         "fig7d" => {
-            let rows = fig7_selectivity("q2", args.scale, args.seed, &selectivities);
-            emit(args.json, "Figure 7(d): q2 vs selectivity (reader rule, db-10)", &rows);
+            let rows = fig7_selectivity("q2", args.scale, args.seed, &selectivities, args.threads);
+            emit("Figure 7(d): q2 vs selectivity (reader rule, db-10)", &rows);
+            vec![("fig7d".into(), rows_json(&rows))]
         }
         "fig8" => {
-            let rows = fig7_selectivity("q2prime", args.scale, args.seed, &selectivities);
-            emit(args.json, "Figure 8: q2' (uncorrelated predicate) vs selectivity", &rows);
+            let rows = fig7_selectivity(
+                "q2prime",
+                args.scale,
+                args.seed,
+                &selectivities,
+                args.threads,
+            );
+            emit(
+                "Figure 8: q2' (uncorrelated predicate) vs selectivity",
+                &rows,
+            );
+            vec![("fig8".into(), rows_json(&rows))]
         }
         "fig9ab" => {
-            let rows = fig9_rules("q1", args.scale, args.seed);
-            emit(args.json, "Figure 9(a): q1 vs number of rules (10% sel, db-10)", &rows);
-            let rows = fig9_rules("q2", args.scale, args.seed);
-            emit(args.json, "Figure 9(b): q2 vs number of rules (10% sel, db-10)", &rows);
+            let a = fig9_rules("q1", args.scale, args.seed, args.threads);
+            emit("Figure 9(a): q1 vs number of rules (10% sel, db-10)", &a);
+            let b = fig9_rules("q2", args.scale, args.seed, args.threads);
+            emit("Figure 9(b): q2 vs number of rules (10% sel, db-10)", &b);
+            vec![
+                ("fig9a".into(), rows_json(&a)),
+                ("fig9b".into(), rows_json(&b)),
+            ]
         }
         "fig9cd" => {
-            let rows = fig9_dirty("q1", args.scale, args.seed);
-            emit(args.json, "Figure 9(c): q1 vs anomaly % (3 rules, 10% sel)", &rows);
-            let rows = fig9_dirty("q2", args.scale, args.seed);
-            emit(args.json, "Figure 9(d): q2 vs anomaly % (3 rules, 10% sel)", &rows);
+            let c = fig9_dirty("q1", args.scale, args.seed, args.threads);
+            emit("Figure 9(c): q1 vs anomaly % (3 rules, 10% sel)", &c);
+            let d = fig9_dirty("q2", args.scale, args.seed, args.threads);
+            emit("Figure 9(d): q2 vs anomaly % (3 rules, 10% sel)", &d);
+            vec![
+                ("fig9c".into(), rows_json(&c)),
+                ("fig9d".into(), rows_json(&d)),
+            ]
         }
         "plans" => {
-            for (label, text) in plans(args.scale, args.seed) {
+            let ps = plans(args.scale, args.seed);
+            let mut arr = Vec::new();
+            for (label, text) in &ps {
                 println!("== {label} ==\n{text}");
+                arr.push(
+                    Json::obj()
+                        .set("label", label.as_str())
+                        .set("plan", text.as_str()),
+                );
             }
+            vec![("plans".into(), Json::Arr(arr))]
         }
         "ablations" => {
             let (shared, unshared) = ablation_order_sharing(args.scale, args.seed);
@@ -104,6 +166,12 @@ fn run_one(args: &Args, what: &str) {
                 "plain (no ec on outer arm): {:>8.1}ms  rows_sorted={} rows_scanned={}",
                 plain.millis, plain.rows_sorted, plain.rows_scanned
             );
+            let json = Json::obj()
+                .set("order_sharing_on", shared.to_json())
+                .set("order_sharing_off", unshared.to_json())
+                .set("joinback_improved", improved.to_json())
+                .set("joinback_plain", plain.to_json());
+            vec![("ablations".into(), json)]
         }
         "eager" => {
             let c = eager_vs_deferred(args.scale, args.seed);
@@ -112,7 +180,16 @@ fn run_one(args: &Args, what: &str) {
                 "eager: materialize {:.1}ms once ({} rows), then {:.1}ms per query",
                 c.materialize_ms, c.eager_rows, c.eager_query_ms
             );
-            println!("deferred: {:.1}ms per query, nothing materialized", c.deferred_query_ms);
+            println!(
+                "deferred: {:.1}ms per query, nothing materialized",
+                c.deferred_query_ms
+            );
+            let json = Json::obj()
+                .set("materialize_ms", Json::Num(c.materialize_ms))
+                .set("eager_rows", c.eager_rows)
+                .set("eager_query_ms", Json::Num(c.eager_query_ms))
+                .set("deferred_query_ms", Json::Num(c.deferred_query_ms));
+            vec![("eager".into(), json)]
         }
         other => panic!("unknown experiment '{other}'"),
     }
@@ -120,21 +197,45 @@ fn run_one(args: &Args, what: &str) {
 
 fn main() {
     let args = parse_args();
-    if args.what == "all" {
-        for what in [
-            "table1", "plans", "fig7a", "fig7d", "fig8", "fig9ab", "fig9cd", "ablations", "eager",
-        ] {
-            run_one(&args, what);
-        }
+    let whats: Vec<&str> = if args.what == "all" {
+        vec![
+            "table1",
+            "plans",
+            "fig7a",
+            "fig7d",
+            "fig8",
+            "fig9ab",
+            "fig9cd",
+            "ablations",
+            "eager",
+        ]
     } else {
-        run_one(&args, &args.what);
-    }
-}
+        vec![args.what.as_str()]
+    };
 
-fn emit(json: bool, title: &str, rows: &[dc_bench::experiments::ExperimentRow]) {
-    if json {
-        println!("{}", serde_json::to_string_pretty(rows).unwrap());
-    } else {
-        println!("{}", render_figure(title, rows));
+    let mut figures = Vec::new();
+    for what in whats {
+        let start = Instant::now();
+        let records = run_one(&args, what);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        for (name, rows) in records {
+            figures.push(
+                Json::obj()
+                    .set("name", name)
+                    .set("wall_clock_ms", Json::Num(wall_ms))
+                    .set("rows", rows),
+            );
+        }
+    }
+
+    let record = Json::obj()
+        .set("scale", args.scale)
+        .set("seed", args.seed)
+        .set("parallelism", args.threads)
+        .set("figures", Json::Arr(figures));
+    let path = "BENCH_repro.json";
+    match std::fs::write(path, record.pretty()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

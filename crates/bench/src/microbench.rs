@@ -1,0 +1,79 @@
+//! A small wall-clock micro-benchmark runner used by the `benches/`
+//! binaries (the offline build has no criterion; `harness = false` bench
+//! targets drive this instead).
+//!
+//! Each case warms up, runs a bounded number of timed iterations, and prints
+//! min / median / max per-iteration wall-clock.
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmark cases with shared run settings.
+pub struct BenchGroup {
+    name: String,
+    /// Upper bound on timed iterations per case.
+    pub sample_size: usize,
+    /// Warm-up budget per case.
+    pub warm_up_time: Duration,
+    /// Measurement budget per case (stop early once exhausted).
+    pub measurement_time: Duration,
+}
+
+impl BenchGroup {
+    pub fn new(name: &str) -> Self {
+        BenchGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Run one case: warm up, then time up to `sample_size` iterations or
+    /// until the measurement budget is used, whichever comes first.
+    pub fn case<R>(&self, id: &str, mut f: impl FnMut() -> R) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            std::hint::black_box(f());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        while samples.len() < self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            samples.push(start.elapsed());
+            if Instant::now() >= deadline && !samples.is_empty() {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        println!(
+            "{}/{id:<40} n={:<3} min={:>9.3}ms median={:>9.3}ms max={:>9.3}ms",
+            self.name,
+            samples.len(),
+            ms(samples[0]),
+            ms(samples[samples.len() / 2]),
+            ms(*samples.last().unwrap()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_least_one_sample() {
+        let mut g = BenchGroup::new("t");
+        g.sample_size = 3;
+        g.warm_up_time = Duration::from_millis(1);
+        g.measurement_time = Duration::from_millis(5);
+        let mut count = 0u32;
+        g.case("noop", || count += 1);
+        assert!(count >= 1);
+    }
+}

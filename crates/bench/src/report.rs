@@ -110,6 +110,9 @@ mod tests {
                 sorts: 1,
                 window_work: 2,
                 join_probes: 0,
+                partitions: 3,
+                window_eval_ms: 0.1,
+                parallelism: 1,
                 chosen: "x".into(),
             }),
         }

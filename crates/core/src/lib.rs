@@ -34,5 +34,6 @@
 
 pub mod system;
 
+pub use dc_relational::physical::ExecOptions;
 pub use dc_rewrite::Strategy;
 pub use system::{DeferredCleansingSystem, QueryReport};

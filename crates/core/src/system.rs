@@ -10,6 +10,7 @@
 use dc_relational::batch::Batch;
 use dc_relational::error::Result;
 use dc_relational::exec::{ExecStats, Executor};
+use dc_relational::physical::ExecOptions;
 use dc_relational::plan::LogicalPlan;
 use dc_relational::sql::{parse_query, plan_query, plan_sql};
 use dc_relational::table::{Catalog, CatalogRef};
@@ -38,6 +39,11 @@ pub struct QueryReport {
     pub plan: String,
     /// Result rows returned.
     pub result_rows: usize,
+    /// Wall-clock nanoseconds spent in window evaluation (the Φ_C hot
+    /// path) — the one quantity that should improve with parallelism.
+    pub window_eval_nanos: u64,
+    /// Parallelism the query ran with.
+    pub parallelism: usize,
 }
 
 /// The deferred cleansing system: data catalog + rules table + rewrite
@@ -46,6 +52,7 @@ pub struct DeferredCleansingSystem {
     catalog: CatalogRef,
     rules: RuleCatalog,
     engine: RwLock<RewriteEngine>,
+    exec_options: ExecOptions,
 }
 
 impl Default for DeferredCleansingSystem {
@@ -66,7 +73,19 @@ impl DeferredCleansingSystem {
             catalog,
             rules: RuleCatalog::new(),
             engine: RwLock::new(RewriteEngine::new()),
+            exec_options: ExecOptions::default(),
         }
+    }
+
+    /// Set the number of worker threads for partition-parallel cleansing.
+    /// Results and work counters are identical at any parallelism.
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.exec_options = ExecOptions::with_parallelism(parallelism);
+    }
+
+    /// The execution options queries run with.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec_options
     }
 
     /// The underlying data catalog.
@@ -82,7 +101,8 @@ impl DeferredCleansingSystem {
     /// Define a cleansing rule for an application (Figure 1, steps 1–2).
     /// Returns the rule id.
     pub fn define_rule(&self, application: &str, rule_text: &str) -> Result<u64> {
-        self.rules.define_rule(application, rule_text, &self.catalog)
+        self.rules
+            .define_rule(application, rule_text, &self.catalog)
     }
 
     /// Drop a rule by application and rule name.
@@ -118,33 +138,34 @@ impl DeferredCleansingSystem {
             self.engine
                 .read()
                 .rewrite_plan(&user_plan, &rules, &self.catalog, strategy)?;
-        let mut executor = Executor::new(&self.catalog);
-        let batch = executor.execute(&rewritten.plan)?;
+        let run = rewritten.execute(&self.catalog, self.exec_options)?;
         let report = QueryReport {
             chosen: rewritten.chosen,
             candidates: rewritten.candidates,
             expanded_condition: rewritten.expanded_condition.map(|e| e.to_string()),
             notes: rewritten.notes,
-            stats: executor.stats,
+            stats: run.stats,
             elapsed: start.elapsed(),
             plan: rewritten.plan.display_indent(),
-            result_rows: batch.num_rows(),
+            result_rows: run.batch.num_rows(),
+            window_eval_nanos: run.window_eval_nanos,
+            parallelism: self.exec_options.parallelism,
         };
-        Ok((batch, report))
+        Ok((run.batch, report))
     }
 
     /// Run a query directly on the (dirty) data — the paper's baseline `q`.
     /// The result is generally *not* the correct cleansed answer.
     pub fn query_dirty(&self, sql: &str) -> Result<Batch> {
         let plan = plan_sql(sql, &self.catalog)?;
-        Executor::new(&self.catalog).execute(&plan)
+        Executor::with_options(&self.catalog, self.exec_options).execute(&plan)
     }
 
     /// [`DeferredCleansingSystem::query_dirty`] with an execution report.
     pub fn query_dirty_with_report(&self, sql: &str) -> Result<(Batch, QueryReport)> {
         let start = Instant::now();
         let plan = plan_sql(sql, &self.catalog)?;
-        let mut executor = Executor::new(&self.catalog);
+        let mut executor = Executor::with_options(&self.catalog, self.exec_options);
         let batch = executor.execute(&plan)?;
         let report = QueryReport {
             chosen: "dirty (no cleansing)".into(),
@@ -155,6 +176,8 @@ impl DeferredCleansingSystem {
             elapsed: start.elapsed(),
             plan: plan.display_indent(),
             result_rows: batch.num_rows(),
+            window_eval_nanos: executor.window_eval_nanos,
+            parallelism: self.exec_options.parallelism,
         };
         Ok((batch, report))
     }
@@ -198,12 +221,12 @@ impl DeferredCleansingSystem {
         let input = first.def.from_table.clone();
         let rule_refs: Vec<&dc_rules::RuleTemplate> =
             rules.iter().map(std::sync::Arc::as_ref).collect();
-        let phi = dc_rules::cleansing_plan(
+        let (cleaned, _stats) = dc_rules::materialize_phi(
             LogicalPlan::scan(input),
             &rule_refs,
             &self.catalog,
+            self.exec_options,
         )?;
-        let cleaned = Executor::new(&self.catalog).execute(&phi)?;
         // Keep only the ON table's columns (MODIFY may have appended more,
         // and a derived input carries extras like is_pallet).
         let base = self.catalog.get(&source)?;
@@ -257,10 +280,30 @@ mod tests {
             Field::new("reader", DataType::Str),
         ]));
         let rows = vec![
-            vec![Value::str("e1"), Value::Int(100), Value::str("x"), Value::str("r1")],
-            vec![Value::str("e1"), Value::Int(200), Value::str("x"), Value::str("r1")],
-            vec![Value::str("e1"), Value::Int(5000), Value::str("y"), Value::str("r1")],
-            vec![Value::str("e2"), Value::Int(150), Value::str("z"), Value::str("r1")],
+            vec![
+                Value::str("e1"),
+                Value::Int(100),
+                Value::str("x"),
+                Value::str("r1"),
+            ],
+            vec![
+                Value::str("e1"),
+                Value::Int(200),
+                Value::str("x"),
+                Value::str("r1"),
+            ],
+            vec![
+                Value::str("e1"),
+                Value::Int(5000),
+                Value::str("y"),
+                Value::str("r1"),
+            ],
+            vec![
+                Value::str("e2"),
+                Value::Int(150),
+                Value::str("z"),
+                Value::str("r1"),
+            ],
         ];
         let mut t = Table::new("caser", Batch::from_rows(schema, &rows).unwrap());
         t.create_index("rtime").unwrap();
@@ -282,7 +325,9 @@ mod tests {
         let clean = sys.query("app", "select epc, rtime from caser").unwrap();
         assert_eq!(clean.num_rows(), 3);
         // Another application without rules sees everything.
-        let other = sys.query("other_app", "select epc, rtime from caser").unwrap();
+        let other = sys
+            .query("other_app", "select epc, rtime from caser")
+            .unwrap();
         assert_eq!(other.num_rows(), 4);
     }
 
@@ -291,7 +336,11 @@ mod tests {
         let sys = system();
         sys.define_rule("app", DUP).unwrap();
         let (_, report) = sys
-            .query_with_strategy("app", "select epc from caser where rtime < 300", Strategy::Auto)
+            .query_with_strategy(
+                "app",
+                "select epc from caser where rtime < 300",
+                Strategy::Auto,
+            )
             .unwrap();
         assert!(!report.candidates.is_empty());
         assert!(report.stats.rows_scanned > 0);
@@ -303,7 +352,11 @@ mod tests {
         let sys = system();
         sys.define_rule("app", DUP).unwrap();
         let out = sys
-            .explain("app", "select epc from caser where rtime < 300", Strategy::Auto)
+            .explain(
+                "app",
+                "select epc from caser where rtime < 300",
+                Strategy::Auto,
+            )
             .unwrap();
         assert!(out.contains("-- chosen:"));
         assert!(out.contains("Scan caser"));
@@ -350,6 +403,28 @@ mod tests {
             .is_some());
         // No rules -> nothing to materialize.
         assert!(sys.materialize_cleansed("norules", "x").is_err());
+    }
+
+    #[test]
+    fn parallelism_is_transparent() {
+        let sys = system();
+        sys.define_rule("app", DUP).unwrap();
+        let (serial, serial_report) = sys
+            .query_with_strategy("app", "select epc, rtime from caser", Strategy::Auto)
+            .unwrap();
+        for p in [2, 8] {
+            let mut par_sys = system();
+            par_sys.define_rule("app", DUP).unwrap();
+            par_sys.set_parallelism(p);
+            assert_eq!(par_sys.exec_options().parallelism, p);
+            let (par, par_report) = par_sys
+                .query_with_strategy("app", "select epc, rtime from caser", Strategy::Auto)
+                .unwrap();
+            assert_eq!(par.sorted_rows(), serial.sorted_rows());
+            assert_eq!(par_report.stats, serial_report.stats);
+            assert_eq!(par_report.chosen, serial_report.chosen);
+            assert_eq!(par_report.parallelism, p);
+        }
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub struct AggExpr {
 enum AggState {
     Count(i64),
     Distinct(HashSet<Value>),
-    SumInt(i64, bool),   // (sum, saw_any)
+    SumInt(i64, bool), // (sum, saw_any)
     SumF64(f64, bool),
     Avg(f64, i64),
     MinMax(Option<Value>),
@@ -201,8 +201,10 @@ pub fn hash_aggregate(
         .iter()
         .map(|a| a.func.arg().map(|e| e.evaluate(input)).transpose())
         .collect::<Result<_>>()?;
-    let arg_types: Vec<Option<DataType>> =
-        arg_cols.iter().map(|c| c.as_ref().map(Column::data_type)).collect();
+    let arg_types: Vec<Option<DataType>> = arg_cols
+        .iter()
+        .map(|c| c.as_ref().map(Column::data_type))
+        .collect();
 
     // group key -> (first-seen order, accumulator per aggregate)
     let mut groups: HashMap<Vec<Value>, (usize, Vec<AggState>)> = HashMap::new();
@@ -254,7 +256,10 @@ pub fn hash_aggregate(
         fields.push(Field::new(alias.clone(), dt));
     }
     for a in aggs {
-        fields.push(Field::new(a.alias.clone(), a.func.output_type(input.schema())?));
+        fields.push(Field::new(
+            a.alias.clone(),
+            a.func.output_type(input.schema())?,
+        ));
     }
     let schema = Arc::new(Schema::new(fields));
 
@@ -276,7 +281,10 @@ pub fn hash_aggregate(
             b.push(&s.finish())?;
         }
     }
-    Batch::new(schema, builders.into_iter().map(ColumnBuilder::finish).collect())
+    Batch::new(
+        schema,
+        builders.into_iter().map(ColumnBuilder::finish).collect(),
+    )
 }
 
 /// DISTINCT over whole rows.
@@ -450,7 +458,12 @@ mod tests {
         let schema = schema_ref(Schema::new(vec![Field::new("k", DataType::Str)]));
         let b = Batch::from_rows(
             schema,
-            &[vec![Value::str("a")], vec![Value::str("a")], vec![Value::Null], vec![Value::Null]],
+            &[
+                vec![Value::str("a")],
+                vec![Value::str("a")],
+                vec![Value::Null],
+                vec![Value::Null],
+            ],
         )
         .unwrap();
         let d = distinct(&b);

@@ -81,7 +81,10 @@ impl Batch {
                 b.push(v)?;
             }
         }
-        Batch::new(schema, builders.into_iter().map(ColumnBuilder::finish).collect())
+        Batch::new(
+            schema,
+            builders.into_iter().map(ColumnBuilder::finish).collect(),
+        )
     }
 
     pub fn schema(&self) -> &SchemaRef {
@@ -199,7 +202,11 @@ impl Batch {
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
         for r in 0..shown {
-            let row: Vec<String> = self.columns.iter().map(|c| c.value(r).to_string()).collect();
+            let row: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| c.value(r).to_string())
+                .collect();
             for (w, cell) in widths.iter_mut().zip(&row) {
                 *w = (*w).max(cell.len());
             }

@@ -244,9 +244,7 @@ impl Column {
             ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Double(v) => ColumnData::Double(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Str(v) => {
-                ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
-            }
+            ColumnData::Str(v) => ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect()),
         };
         Column { data, validity }
     }
@@ -416,9 +414,11 @@ mod tests {
 
     #[test]
     fn take_preserves_nulls() {
-        let c =
-            Column::from_values(DataType::Str, &[Value::str("a"), Value::Null, Value::str("c")])
-                .unwrap();
+        let c = Column::from_values(
+            DataType::Str,
+            &[Value::str("a"), Value::Null, Value::str("c")],
+        )
+        .unwrap();
         let t = c.take(&[2, 1, 1, 0]);
         assert_eq!(t.len(), 4);
         assert_eq!(t.value(0), Value::str("c"));

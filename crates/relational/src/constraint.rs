@@ -238,8 +238,7 @@ pub fn normalize_conjunct(e: &Expr) -> Option<Normalized> {
     }
 
     // (x - y) OP c  =>  x OP y + c
-    if let (Some((x, y)), Expr::Literal(Value::Int(c))) = (as_col_minus_col(left), right.as_ref())
-    {
+    if let (Some((x, y)), Expr::Literal(Value::Int(c))) = (as_col_minus_col(left), right.as_ref()) {
         return Some(Normalized::Diff(DiffConstraint {
             x,
             op,
@@ -248,8 +247,7 @@ pub fn normalize_conjunct(e: &Expr) -> Option<Normalized> {
         }));
     }
     // c OP (x - y)  =>  x OP.swap() y + c
-    if let (Expr::Literal(Value::Int(c)), Some((x, y))) = (left.as_ref(), as_col_minus_col(right))
-    {
+    if let (Expr::Literal(Value::Int(c)), Some((x, y))) = (left.as_ref(), as_col_minus_col(right)) {
         return Some(Normalized::Diff(DiffConstraint {
             x,
             op: op.swap(),
@@ -605,7 +603,9 @@ mod tests {
 
     #[test]
     fn or_drops_columns_missing_in_one_branch() {
-        let e = col("a").lt(Expr::lit(5i64)).or(col("b").lt(Expr::lit(9i64)));
+        let e = col("a")
+            .lt(Expr::lit(5i64))
+            .or(col("b").lt(Expr::lit(9i64)));
         assert!(implied_bounds(&e).is_empty());
     }
 

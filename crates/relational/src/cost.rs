@@ -38,7 +38,10 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> Estimate {
             filter,
         } => {
             let Ok(t) = catalog.get(table) else {
-                return Estimate { rows: 0.0, cost: 0.0 };
+                return Estimate {
+                    rows: 0.0,
+                    cost: 0.0,
+                };
             };
             let total = t.num_rows() as f64;
             match filter {
@@ -206,11 +209,7 @@ pub fn base_table_rows(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
 
 /// Resolve a column expression to its base-table statistics, walking through
 /// row-preserving operators.
-fn resolve_column_stats(
-    expr: &Expr,
-    plan: &LogicalPlan,
-    catalog: &Catalog,
-) -> Option<ColumnStats> {
+fn resolve_column_stats(expr: &Expr, plan: &LogicalPlan, catalog: &Catalog) -> Option<ColumnStats> {
     let Expr::Column(c) = expr else { return None };
     match plan {
         LogicalPlan::Scan { table, alias, .. } => {
@@ -235,9 +234,9 @@ fn resolve_column_stats(
         | LogicalPlan::Limit { input, .. } => resolve_column_stats(expr, input, catalog),
         LogicalPlan::Project { input, exprs } => {
             // Follow pass-through or renamed columns.
-            let (src, _) = exprs.iter().find(|(_, a)| {
-                a.eq_ignore_ascii_case(&c.name) && c.qualifier.is_none()
-            })?;
+            let (src, _) = exprs
+                .iter()
+                .find(|(_, a)| a.eq_ignore_ascii_case(&c.name) && c.qualifier.is_none())?;
             resolve_column_stats(src, input, catalog)
         }
         LogicalPlan::Join { left, right, .. } => resolve_column_stats(expr, left, catalog)
@@ -275,7 +274,11 @@ fn left_key_ndv(left: &LogicalPlan, keys: &[Expr], catalog: &Catalog) -> Option<
 /// Output rows of DISTINCT over its input (NDV of a single projected column
 /// when resolvable).
 fn distinct_rows(input: &LogicalPlan, catalog: &Catalog) -> Option<f64> {
-    if let LogicalPlan::Project { input: inner, exprs } = input {
+    if let LogicalPlan::Project {
+        input: inner,
+        exprs,
+    } = input
+    {
         if exprs.len() == 1 {
             return column_ndv(&exprs[0].0, inner, catalog);
         }
@@ -307,7 +310,11 @@ fn conjunct_selectivity(expr: &Expr, input: &LogicalPlan, catalog: &Catalog) -> 
                 conjunct_selectivity(left, input, catalog)
                     * conjunct_selectivity(right, input, catalog)
             }
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt
+            BinaryOp::Eq
+            | BinaryOp::NotEq
+            | BinaryOp::Lt
+            | BinaryOp::LtEq
+            | BinaryOp::Gt
             | BinaryOp::GtEq => {
                 let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
                     (Expr::Column(_), Expr::Literal(v)) => (left.as_ref(), v, *op),
@@ -328,9 +335,11 @@ fn conjunct_selectivity(expr: &Expr, input: &LogicalPlan, catalog: &Catalog) -> 
             _ => DEFAULT_SEL,
         },
         Expr::Not(inner) => (1.0 - conjunct_selectivity(inner, input, catalog)).clamp(0.0, 1.0),
-        Expr::InList { expr, list, negated } => {
-            in_selectivity(expr, list.len(), *negated, input, catalog)
-        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => in_selectivity(expr, list.len(), *negated, input, catalog),
         Expr::InSet {
             expr, set, negated, ..
         } => in_selectivity(expr, set.len(), *negated, input, catalog),
@@ -514,10 +523,7 @@ mod tests {
         let cat = catalog();
         let plan = LogicalPlan::scan("r")
             .filter(Expr::col("rtime").lt(Expr::lit(10i64)))
-            .aggregate(
-                vec![(Expr::col("epc"), "epc".into())],
-                vec![],
-            );
+            .aggregate(vec![(Expr::col("epc"), "epc".into())], vec![]);
         let e = estimate(&plan, &cat);
         assert!(e.rows <= 11.0, "rows = {}", e.rows);
     }

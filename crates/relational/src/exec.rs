@@ -1,25 +1,20 @@
-//! Plan execution.
+//! Plan execution facade.
 //!
-//! The executor walks a [`LogicalPlan`] bottom-up, fully materializing each
-//! operator's output. It keeps *work counters* (rows scanned, rows sorted,
-//! window-aggregate work, join probes) so experiments can report
-//! machine-independent effort alongside wall-clock time — the quantities the
-//! paper's §6.2 plan analysis reasons about.
+//! [`Executor`] is the stable entry point: it lowers a [`LogicalPlan`] to a
+//! [`PhysicalOperator`](crate::physical::PhysicalOperator) tree (see
+//! [`crate::physical::lower`]) and runs it against an
+//! [`ExecContext`](crate::physical::ExecContext). It keeps *work counters*
+//! (rows scanned, rows sorted, window-aggregate work, join probes) so
+//! experiments can report machine-independent effort alongside wall-clock
+//! time — the quantities the paper's §6.2 plan analysis reasons about.
+//! Counters are deterministic: identical at any
+//! [`ExecOptions::parallelism`].
 
-use crate::agg::{distinct, hash_aggregate};
 use crate::batch::Batch;
-use crate::column::Column;
 use crate::error::Result;
-use crate::expr::{split_conjuncts, Expr};
-use crate::index::ScanBound;
-use crate::join::hash_join;
-use crate::plan::{window_sort_keys, LogicalPlan};
-use crate::schema::{Field, Schema};
-use crate::sort::{sort_batch, sort_permutation};
+use crate::physical::{lower, ExecContext, ExecOptions};
+use crate::plan::LogicalPlan;
 use crate::table::Catalog;
-use crate::value::Value;
-use crate::window::evaluate_window;
-use std::sync::Arc;
 
 /// Deterministic work counters accumulated during execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,319 +33,70 @@ pub struct ExecStats {
     pub window_agg_work: u64,
     /// Hash-join probe operations.
     pub join_probes: u64,
+    /// Window partitions evaluated (the unit of Φ_C parallel distribution;
+    /// counted identically at any parallelism).
+    pub partitions_executed: u64,
 }
 
 impl ExecStats {
     pub fn add(&mut self, other: &ExecStats) {
-        self.rows_scanned += other.rows_scanned;
-        self.index_scans += other.index_scans;
-        self.full_scans += other.full_scans;
-        self.rows_sorted += other.rows_sorted;
-        self.sorts_performed += other.sorts_performed;
-        self.window_agg_work += other.window_agg_work;
-        self.join_probes += other.join_probes;
+        // Exhaustive destructuring: adding a counter without merging it here
+        // is a compile error, not a silently dropped statistic.
+        let ExecStats {
+            rows_scanned,
+            index_scans,
+            full_scans,
+            rows_sorted,
+            sorts_performed,
+            window_agg_work,
+            join_probes,
+            partitions_executed,
+        } = other;
+        self.rows_scanned += rows_scanned;
+        self.index_scans += index_scans;
+        self.full_scans += full_scans;
+        self.rows_sorted += rows_sorted;
+        self.sorts_performed += sorts_performed;
+        self.window_agg_work += window_agg_work;
+        self.join_probes += join_probes;
+        self.partitions_executed += partitions_executed;
     }
 }
 
 /// Executes logical plans against a catalog.
 pub struct Executor<'a> {
     catalog: &'a Catalog,
+    options: ExecOptions,
     pub stats: ExecStats,
+    /// Wall-clock nanoseconds spent in window evaluation across all plans
+    /// this executor ran. Not part of [`ExecStats`]: timings vary with
+    /// parallelism, counters must not.
+    pub window_eval_nanos: u64,
 }
 
 impl<'a> Executor<'a> {
     pub fn new(catalog: &'a Catalog) -> Self {
+        Self::with_options(catalog, ExecOptions::default())
+    }
+
+    pub fn with_options(catalog: &'a Catalog, options: ExecOptions) -> Self {
         Executor {
             catalog,
+            options,
             stats: ExecStats::default(),
+            window_eval_nanos: 0,
         }
     }
 
-    /// Execute a plan to a fully materialized batch.
+    /// Execute a plan to a fully materialized batch: lower to a physical
+    /// operator tree, then run it.
     pub fn execute(&mut self, plan: &LogicalPlan) -> Result<Batch> {
-        match plan {
-            LogicalPlan::Scan {
-                table,
-                alias,
-                filter,
-            } => self.execute_scan(table, alias.as_deref(), filter.as_ref()),
-            LogicalPlan::Filter { input, predicate } => {
-                let b = self.execute(input)?;
-                let keep = predicate.filter_indices(&b)?;
-                Ok(b.take(&keep))
-            }
-            LogicalPlan::Project { input, exprs } => {
-                let b = self.execute(input)?;
-                let mut cols = Vec::with_capacity(exprs.len());
-                let mut fields = Vec::with_capacity(exprs.len());
-                for (e, alias) in exprs {
-                    let c = e.evaluate(&b)?;
-                    fields.push(Field::from_flat_name(alias, c.data_type()));
-                    cols.push(c);
-                }
-                Batch::new(Arc::new(Schema::new(fields)), cols)
-            }
-            LogicalPlan::Sort { input, keys } => {
-                let b = self.execute(input)?;
-                self.stats.rows_sorted += b.num_rows() as u64;
-                self.stats.sorts_performed += 1;
-                sort_batch(&b, keys)
-            }
-            LogicalPlan::Window {
-                input,
-                partition_by,
-                order_by,
-                exprs,
-                presorted,
-            } => {
-                let mut b = self.execute(input)?;
-                if !presorted {
-                    let keys = window_sort_keys(partition_by, order_by);
-                    self.stats.rows_sorted += b.num_rows() as u64;
-                    self.stats.sorts_performed += 1;
-                    let perm = sort_permutation(&b, &keys)?;
-                    b = b.take(&perm);
-                }
-                let order_key_expr = if order_by.len() == 1 {
-                    Some(&order_by[0].expr)
-                } else {
-                    None
-                };
-                let (wcols, work) =
-                    evaluate_window(&b, partition_by, order_key_expr, exprs)?;
-                self.stats.window_agg_work += work;
-                let mut fields = b.schema().fields().to_vec();
-                let mut cols: Vec<Column> = b.columns().to_vec();
-                for (we, c) in exprs.iter().zip(wcols) {
-                    fields.push(Field::new(we.alias.clone(), c.data_type()));
-                    cols.push(c);
-                }
-                Batch::new(Arc::new(Schema::new(fields)), cols)
-            }
-            LogicalPlan::Join {
-                left,
-                right,
-                left_keys,
-                right_keys,
-                join_type,
-            } => {
-                let l = self.execute(left)?;
-                let r = self.execute(right)?;
-                let (out, probes) = hash_join(&l, &r, left_keys, right_keys, *join_type)?;
-                self.stats.join_probes += probes;
-                Ok(out)
-            }
-            LogicalPlan::Aggregate {
-                input,
-                group_by,
-                aggs,
-            } => {
-                let b = self.execute(input)?;
-                hash_aggregate(&b, group_by, aggs)
-            }
-            LogicalPlan::Distinct { input } => {
-                let b = self.execute(input)?;
-                Ok(distinct(&b))
-            }
-            LogicalPlan::Union { inputs } => {
-                let batches: Vec<Batch> = inputs
-                    .iter()
-                    .map(|p| self.execute(p))
-                    .collect::<Result<_>>()?;
-                let out = Batch::concat(&batches)?;
-                // UNION output columns lose their source qualifiers.
-                let schema = Arc::new(out.schema().unqualified());
-                out.with_schema(schema)
-            }
-            LogicalPlan::Limit { input, fetch } => {
-                let b = self.execute(input)?;
-                let n = b.num_rows().min(*fetch);
-                let idx: Vec<usize> = (0..n).collect();
-                Ok(b.take(&idx))
-            }
-            LogicalPlan::SubqueryAlias { input, alias } => {
-                let b = self.execute(input)?;
-                let schema = Arc::new(b.schema().with_qualifier(alias));
-                b.with_schema(schema)
-            }
-        }
-    }
-
-    /// Scan a base table, using an ordered index to narrow the fetch when the
-    /// pushed-down filter has a usable conjunct; the full filter is then
-    /// re-applied as a residual.
-    fn execute_scan(
-        &mut self,
-        table: &str,
-        alias: Option<&str>,
-        filter: Option<&Expr>,
-    ) -> Result<Batch> {
-        let t = self.catalog.get(table)?;
-        let out_schema: Arc<Schema> = match alias {
-            Some(a) => Arc::new(t.schema().with_qualifier(a)),
-            None => t.schema().clone(),
-        };
-
-        let Some(filter) = filter else {
-            self.stats.rows_scanned += t.num_rows() as u64;
-            self.stats.full_scans += 1;
-            return t.data().clone().with_schema(out_schema);
-        };
-
-        // Find the most selective single-index access among the conjuncts.
-        let access = best_index_access(&t, &out_schema, filter);
-        let base = match access {
-            Some(rows) => {
-                self.stats.index_scans += 1;
-                self.stats.rows_scanned += rows.len() as u64;
-                t.data().take(&rows)
-            }
-            None => {
-                self.stats.full_scans += 1;
-                self.stats.rows_scanned += t.num_rows() as u64;
-                t.data().clone()
-            }
-        };
-        let base = base.with_schema(out_schema)?;
-        let keep = filter.filter_indices(&base)?;
-        Ok(base.take(&keep))
-    }
-}
-
-/// Range bounds accumulated for one column.
-#[derive(Default)]
-struct ColBounds {
-    lower: Option<(Value, bool)>, // (value, inclusive)
-    upper: Option<(Value, bool)>,
-    in_values: Option<Vec<Value>>,
-}
-
-impl ColBounds {
-    fn tighten_lower(&mut self, v: Value, inclusive: bool) {
-        let replace = match &self.lower {
-            None => true,
-            Some((cur, cur_inc)) => match v.total_cmp(cur) {
-                std::cmp::Ordering::Greater => true,
-                std::cmp::Ordering::Equal => *cur_inc && !inclusive,
-                std::cmp::Ordering::Less => false,
-            },
-        };
-        if replace {
-            self.lower = Some((v, inclusive));
-        }
-    }
-
-    fn tighten_upper(&mut self, v: Value, inclusive: bool) {
-        let replace = match &self.upper {
-            None => true,
-            Some((cur, cur_inc)) => match v.total_cmp(cur) {
-                std::cmp::Ordering::Less => true,
-                std::cmp::Ordering::Equal => *cur_inc && !inclusive,
-                std::cmp::Ordering::Greater => false,
-            },
-        };
-        if replace {
-            self.upper = Some((v, inclusive));
-        }
-    }
-
-    fn lower_bound(&self) -> ScanBound {
-        match &self.lower {
-            None => ScanBound::Unbounded,
-            Some((v, true)) => ScanBound::Inclusive(v.clone()),
-            Some((v, false)) => ScanBound::Exclusive(v.clone()),
-        }
-    }
-
-    fn upper_bound(&self) -> ScanBound {
-        match &self.upper {
-            None => ScanBound::Unbounded,
-            Some((v, true)) => ScanBound::Inclusive(v.clone()),
-            Some((v, false)) => ScanBound::Exclusive(v.clone()),
-        }
-    }
-}
-
-/// Choose the most selective single-index access for `filter`, returning the
-/// matching row ids, or `None` if no index helps (or the best access would
-/// fetch nearly the whole table anyway).
-fn best_index_access(
-    table: &crate::table::Table,
-    scan_schema: &Schema,
-    filter: &Expr,
-) -> Option<Vec<usize>> {
-    use std::collections::HashMap;
-    let mut bounds: HashMap<usize, ColBounds> = HashMap::new();
-    // Range bounds implied by the whole predicate, including bounds that
-    // every OR branch shares (the paper's §5.2 "relaxed" expanded condition
-    // becomes index-usable through this).
-    for (ci, interval) in crate::constraint::implied_bounds_resolved(filter, scan_schema) {
-        let b = bounds.entry(ci).or_default();
-        if let Some(l) = &interval.lower {
-            b.tighten_lower(l.value.clone(), l.inclusive);
-        }
-        if let Some(u) = &interval.upper {
-            b.tighten_upper(u.value.clone(), u.inclusive);
-        }
-    }
-    for conj in split_conjuncts(filter) {
-        if let Expr::InList {
-            expr,
-            list,
-            negated: false,
-        } = &conj
-        {
-            if let Expr::Column(c) = expr.as_ref() {
-                if let Ok(ci) = scan_schema.index_of(c.qualifier.as_deref(), &c.name) {
-                    bounds.entry(ci).or_default().in_values = Some(list.clone());
-                }
-            }
-        } else if let Expr::InSet {
-            expr,
-            set,
-            negated: false,
-            ..
-        } = &conj
-        {
-            if let Expr::Column(c) = expr.as_ref() {
-                if let Ok(ci) = scan_schema.index_of(c.qualifier.as_deref(), &c.name) {
-                    bounds.entry(ci).or_default().in_values =
-                        Some(set.iter().cloned().collect());
-                }
-            }
-        }
-    }
-
-    let total = table.num_rows().max(1) as f64;
-    let mut best: Option<(f64, Vec<usize>)> = None;
-    for (ci, b) in &bounds {
-        // Scan schema is positionally identical to the table schema.
-        let col_name = &table.schema().field(*ci).name;
-        let Some(idx) = table.index(col_name) else {
-            continue;
-        };
-        let rows = if let Some(vals) = &b.in_values {
-            let mut rows: Vec<usize> = vals
-                .iter()
-                .flat_map(|v| idx.lookup(v).iter().map(|&r| r as usize))
-                .collect();
-            rows.sort_unstable();
-            rows.dedup();
-            rows
-        } else if b.lower.is_some() || b.upper.is_some() {
-            idx.range_scan(&b.lower_bound(), &b.upper_bound())
-        } else {
-            continue;
-        };
-        let sel = rows.len() as f64 / total;
-        if best.as_ref().is_none_or(|(s, _)| sel < *s) {
-            best = Some((sel, rows));
-        }
-    }
-    // An access that fetches (almost) everything is not worth the gather.
-    match best {
-        Some((sel, rows)) if sel < 0.95 => Some(rows),
-        _ => None,
+        let physical = lower(plan, self.catalog)?;
+        let mut ctx = ExecContext::new(self.catalog, self.options);
+        let out = physical.execute(&mut ctx)?;
+        self.stats.add(&ctx.stats);
+        self.window_eval_nanos += ctx.window_eval_nanos;
+        Ok(out)
     }
 }
 
@@ -359,11 +105,13 @@ mod tests {
     use super::*;
     use crate::agg::{AggExpr, AggFunc};
     use crate::batch::schema_ref;
+    use crate::expr::{BinaryOp, Expr};
     use crate::join::JoinType;
-    use crate::expr::BinaryOp;
+    use crate::physical::display_physical;
+    use crate::schema::{Field, Schema};
     use crate::sort::SortKey;
     use crate::table::Table;
-    use crate::value::DataType;
+    use crate::value::{DataType, Value};
     use crate::window::{Frame, FrameBound, WindowExpr, WindowFuncKind};
 
     fn catalog() -> Catalog {
@@ -477,10 +225,8 @@ mod tests {
         assert_eq!(ex.stats.index_scans, 1);
     }
 
-    #[test]
-    fn window_sorts_unless_presorted() {
-        let cat = catalog();
-        let w = |presorted| LogicalPlan::Window {
+    fn count_window(presorted: bool) -> LogicalPlan {
+        LogicalPlan::Window {
             input: Box::new(if presorted {
                 LogicalPlan::scan("r").sort(vec![
                     SortKey::asc(Expr::col("epc")),
@@ -498,15 +244,95 @@ mod tests {
                 alias: "n".into(),
             }],
             presorted,
-        };
+        }
+    }
+
+    #[test]
+    fn window_sorts_unless_presorted() {
+        let cat = catalog();
         let mut ex = Executor::new(&cat);
-        ex.execute(&w(false)).unwrap();
+        ex.execute(&count_window(false)).unwrap();
         assert_eq!(ex.stats.sorts_performed, 1);
 
         let mut ex2 = Executor::new(&cat);
-        ex2.execute(&w(true)).unwrap();
+        ex2.execute(&count_window(true)).unwrap();
         // One explicit sort; the window node itself does not re-sort.
         assert_eq!(ex2.stats.sorts_performed, 1);
+    }
+
+    #[test]
+    fn window_counts_partitions() {
+        let cat = catalog();
+        let mut ex = Executor::new(&cat);
+        ex.execute(&count_window(false)).unwrap();
+        // 10 distinct epc values → 10 partitions, at any parallelism.
+        assert_eq!(ex.stats.partitions_executed, 10);
+
+        let mut par = Executor::with_options(&cat, ExecOptions::with_parallelism(4));
+        par.execute(&count_window(false)).unwrap();
+        assert_eq!(par.stats, ex.stats);
+    }
+
+    #[test]
+    fn parallel_window_matches_serial() {
+        fn rows_of(b: &Batch) -> Vec<Vec<Value>> {
+            (0..b.num_rows()).map(|i| b.row(i)).collect()
+        }
+        let cat = catalog();
+        let mut serial = Executor::new(&cat);
+        let expected = serial.execute(&count_window(false)).unwrap();
+        for p in [2, 3, 8, 64] {
+            let mut par = Executor::with_options(&cat, ExecOptions::with_parallelism(p));
+            let got = par.execute(&count_window(false)).unwrap();
+            assert_eq!(rows_of(&got), rows_of(&expected), "parallelism {p}");
+            assert_eq!(par.stats, serial.stats, "parallelism {p}");
+        }
+    }
+
+    #[test]
+    fn lowered_plan_shape() {
+        let cat = catalog();
+        // Unsorted window input → explicit SortExec under the WindowExec.
+        let physical = lower(&count_window(false), &cat).unwrap();
+        let shown = display_physical(physical.as_ref());
+        let names: Vec<&str> = shown.lines().map(|l| l.trim()).collect();
+        assert!(names[0].starts_with("WindowExec"), "{shown}");
+        assert!(names[1].starts_with("SortExec"), "{shown}");
+        assert!(names[2].starts_with("ScanExec"), "{shown}");
+
+        // Presorted window input → no extra sort inserted.
+        let physical = lower(&count_window(true), &cat).unwrap();
+        let shown = display_physical(physical.as_ref());
+        assert_eq!(
+            shown.lines().filter(|l| l.contains("SortExec")).count(),
+            1,
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn scan_carries_index_candidates() {
+        let cat = catalog();
+        let plan = LogicalPlan::Scan {
+            table: "r".into(),
+            alias: None,
+            filter: Some(
+                Expr::col("rtime")
+                    .lt(Expr::lit(10i64))
+                    .and(Expr::col("biz_loc").eq(Expr::lit("locA"))),
+            ),
+        };
+        let physical = lower(&plan, &cat).unwrap();
+        // biz_loc equality also yields a candidate bound; rtime is listed
+        // first (column-position order). Only rtime is actually indexed —
+        // the runtime pick is data-dependent.
+        assert!(
+            physical
+                .label()
+                .contains("index_candidates=[rtime, biz_loc]"),
+            "{}",
+            physical.label()
+        );
     }
 
     #[test]
@@ -532,8 +358,7 @@ mod tests {
     fn join_and_semi_join() {
         let cat = catalog();
         let dim_schema = schema_ref(Schema::new(vec![Field::new("gln", DataType::Str)]));
-        let dim =
-            Batch::from_rows(dim_schema, &[vec![Value::str("locA")]]).unwrap();
+        let dim = Batch::from_rows(dim_schema, &[vec![Value::str("locA")]]).unwrap();
         cat.register(Table::new("locs", dim));
         let plan = LogicalPlan::scan_as("r", "c").join(
             LogicalPlan::scan_as("locs", "l"),

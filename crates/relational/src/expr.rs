@@ -250,8 +250,7 @@ impl Expr {
                             "arithmetic '{op}' requires numeric operands, got {lt} and {rt}"
                         )));
                     }
-                    if lt == DataType::Double || rt == DataType::Double || *op == BinaryOp::Divide
-                    {
+                    if lt == DataType::Double || rt == DataType::Double || *op == BinaryOp::Divide {
                         Ok(DataType::Double)
                     } else {
                         Ok(DataType::Int)
@@ -292,9 +291,7 @@ impl Expr {
         let n = batch.num_rows();
         match self {
             Expr::Column(c) => {
-                let i = batch
-                    .schema()
-                    .index_of(c.qualifier.as_deref(), &c.name)?;
+                let i = batch.schema().index_of(c.qualifier.as_deref(), &c.name)?;
                 Ok(batch.column(i).clone())
             }
             Expr::Literal(v) => {
@@ -364,10 +361,7 @@ impl Expr {
                     .iter()
                     .map(|(_, r)| r.evaluate(batch))
                     .collect::<Result<_>>()?;
-                let else_col = else_expr
-                    .as_ref()
-                    .map(|e| e.evaluate(batch))
-                    .transpose()?;
+                let else_col = else_expr.as_ref().map(|e| e.evaluate(batch)).transpose()?;
                 let mut b = ColumnBuilder::new(dt, n);
                 'row: for i in 0..n {
                     for (c, r) in conds.iter().zip(&results) {
@@ -415,9 +409,7 @@ impl Expr {
             }
             Expr::Not(e) => e.referenced_columns(out),
             Expr::IsNull { expr, .. } => expr.referenced_columns(out),
-            Expr::InList { expr, .. } | Expr::InSet { expr, .. } => {
-                expr.referenced_columns(out)
-            }
+            Expr::InList { expr, .. } | Expr::InSet { expr, .. } => expr.referenced_columns(out),
             Expr::CountIf(inner) => inner.referenced_columns(out),
             Expr::Case {
                 branches,
@@ -497,7 +489,13 @@ fn eval_in(c: &Column, set: &HashSet<Value>, negated: bool) -> Result<Column> {
     Ok(b.finish())
 }
 
-fn eval_binary(l: &Column, op: BinaryOp, r: &Column, _schema: &Schema, ctx: &Expr) -> Result<Column> {
+fn eval_binary(
+    l: &Column,
+    op: BinaryOp,
+    r: &Column,
+    _schema: &Schema,
+    ctx: &Expr,
+) -> Result<Column> {
     let n = l.len();
     if op.is_comparison() {
         let mut b = ColumnBuilder::new(DataType::Bool, n);
@@ -526,8 +524,16 @@ fn eval_binary(l: &Column, op: BinaryOp, r: &Column, _schema: &Schema, ctx: &Exp
         BinaryOp::And | BinaryOp::Or => {
             let mut b = ColumnBuilder::new(DataType::Bool, n);
             for i in 0..n {
-                let lv = if l.is_null(i) { None } else { l.value(i).as_bool() };
-                let rv = if r.is_null(i) { None } else { r.value(i).as_bool() };
+                let lv = if l.is_null(i) {
+                    None
+                } else {
+                    l.value(i).as_bool()
+                };
+                let rv = if r.is_null(i) {
+                    None
+                } else {
+                    r.value(i).as_bool()
+                };
                 // Kleene three-valued logic.
                 let out = if op == BinaryOp::And {
                     match (lv, rv) {
@@ -806,10 +812,7 @@ mod tests {
     fn case_expression() {
         let b = batch();
         let e = Expr::Case {
-            branches: vec![(
-                Expr::col("s").eq(Expr::lit("x")),
-                Expr::lit(1i64),
-            )],
+            branches: vec![(Expr::col("s").eq(Expr::lit("x")), Expr::lit(1i64))],
             else_expr: Some(Box::new(Expr::lit(0i64))),
         };
         let c = e.evaluate(&b).unwrap();

@@ -187,10 +187,7 @@ mod tests {
     #[test]
     fn selectivity_is_exact() {
         let idx = OrderedIndex::build(&col());
-        let s = idx.range_selectivity(
-            &ScanBound::Inclusive(Value::Int(5)),
-            &ScanBound::Unbounded,
-        );
+        let s = idx.range_selectivity(&ScanBound::Inclusive(Value::Int(5)), &ScanBound::Unbounded);
         assert!((s - 0.75).abs() < 1e-12);
     }
 

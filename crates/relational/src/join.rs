@@ -166,7 +166,10 @@ mod tests {
         assert_eq!(out.num_columns(), 4);
         let epcs: Vec<Value> = (0..2).map(|i| out.row(i)[0].clone()).collect();
         assert_eq!(epcs, vec![Value::str("e1"), Value::str("e4")]);
-        assert_eq!(out.column_by_name("l.site").unwrap().value(0), Value::str("dc1"));
+        assert_eq!(
+            out.column_by_name("l.site").unwrap().value(0),
+            Value::str("dc1")
+        );
     }
 
     #[test]
@@ -189,11 +192,8 @@ mod tests {
     fn semi_join_keeps_left_schema_and_dedupes() {
         // Duplicate right keys must not duplicate left rows.
         let schema = schema_ref(Schema::new(vec![Field::new("gln", DataType::Str)]));
-        let right = Batch::from_rows(
-            schema,
-            &[vec![Value::str("l1")], vec![Value::str("l1")]],
-        )
-        .unwrap();
+        let right =
+            Batch::from_rows(schema, &[vec![Value::str("l1")], vec![Value::str("l1")]]).unwrap();
         let (out, _) = hash_join(
             &reads(),
             &right,
@@ -224,8 +224,7 @@ mod tests {
             Field::new("c", DataType::Str),
             Field::new("d", DataType::Str),
         ]));
-        let right =
-            Batch::from_rows(schema_r, &[vec![Value::str("x"), Value::str("2")]]).unwrap();
+        let right = Batch::from_rows(schema_r, &[vec![Value::str("x"), Value::str("2")]]).unwrap();
         let (out, _) = hash_join(
             &left,
             &right,
@@ -241,11 +240,8 @@ mod tests {
     #[test]
     fn one_to_many_inner_multiplies() {
         let schema = schema_ref(Schema::new(vec![Field::new("gln", DataType::Str)]));
-        let right = Batch::from_rows(
-            schema,
-            &[vec![Value::str("l1")], vec![Value::str("l1")]],
-        )
-        .unwrap();
+        let right =
+            Batch::from_rows(schema, &[vec![Value::str("l1")], vec![Value::str("l1")]]).unwrap();
         let (out, _) = hash_join(
             &reads(),
             &right,

@@ -12,8 +12,10 @@
 //!   ([`sort`], [`join`], [`agg`], [`window`]),
 //! * logical plans with output-ordering properties ([`plan`]), an optimizer
 //!   that pushes predicates into index scans and shares sort orders
-//!   ([`optimizer`]), a statistics-driven cost estimator ([`cost`]), and an
-//!   executor with deterministic work counters ([`exec`]),
+//!   ([`optimizer`]), a statistics-driven cost estimator ([`cost`]), a
+//!   lowering pass to explicit physical operator trees with
+//!   partition-parallel window evaluation ([`physical`]), and an executor
+//!   facade with deterministic work counters ([`exec`]),
 //! * a SQL subset front end (WITH, select-project-join, GROUP BY, OLAP
 //!   windows) sufficient for the paper's benchmark queries ([`sql`]).
 //!
@@ -51,6 +53,7 @@ pub mod expr;
 pub mod index;
 pub mod join;
 pub mod optimizer;
+pub mod physical;
 pub mod plan;
 pub mod schema;
 pub mod sort;
@@ -65,13 +68,18 @@ pub mod prelude {
     pub use crate::agg::{AggExpr, AggFunc};
     pub use crate::batch::{schema_ref, Batch};
     pub use crate::column::{Column, ColumnBuilder, ColumnData};
-    pub use crate::constraint::{normalize_conjunct, CmpOp, ConstConstraint, DiffConstraint, Normalized};
+    pub use crate::constraint::{
+        normalize_conjunct, CmpOp, ConstConstraint, DiffConstraint, Normalized,
+    };
     pub use crate::cost::{estimate, Estimate};
     pub use crate::error::{Error, Result};
     pub use crate::exec::{ExecStats, Executor};
     pub use crate::expr::{conjoin, disjoin, split_conjuncts, BinaryOp, ColumnRef, Expr};
     pub use crate::join::JoinType;
     pub use crate::optimizer::{optimize, optimize_default, OptimizerConfig};
+    pub use crate::physical::{
+        display_physical, lower, ExecContext, ExecOptions, PhysicalOperator,
+    };
     pub use crate::plan::{ordering_satisfies, window_sort_keys, LogicalPlan};
     pub use crate::schema::{Field, Schema, SchemaRef};
     pub use crate::sort::SortKey;

@@ -406,7 +406,9 @@ mod tests {
         let plan = LogicalPlan::scan("r").filter(Expr::col("rtime").lt(Expr::lit(5i64)));
         let opt = optimize_default(plan, &cat);
         match opt {
-            LogicalPlan::Scan { filter: Some(_), .. } => {}
+            LogicalPlan::Scan {
+                filter: Some(_), ..
+            } => {}
             other => panic!("expected pushed scan, got:\n{other}"),
         }
     }
@@ -419,7 +421,9 @@ mod tests {
             .filter(Expr::col("biz_loc").eq(Expr::lit("x")));
         let opt = optimize_default(plan, &cat);
         match &opt {
-            LogicalPlan::Scan { filter: Some(f), .. } => {
+            LogicalPlan::Scan {
+                filter: Some(f), ..
+            } => {
                 assert_eq!(split_conjuncts(f).len(), 2);
             }
             other => panic!("expected pushed scan, got:\n{other}"),
@@ -445,8 +449,20 @@ mod tests {
         let LogicalPlan::Join { left, right, .. } = &opt else {
             panic!("expected join at root, got:\n{opt}");
         };
-        assert!(matches!(left.as_ref(), LogicalPlan::Scan { filter: Some(_), .. }));
-        assert!(matches!(right.as_ref(), LogicalPlan::Scan { filter: Some(_), .. }));
+        assert!(matches!(
+            left.as_ref(),
+            LogicalPlan::Scan {
+                filter: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            right.as_ref(),
+            LogicalPlan::Scan {
+                filter: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -464,7 +480,13 @@ mod tests {
         let LogicalPlan::Join { left, .. } = &opt else {
             panic!("expected join at root, got:\n{opt}");
         };
-        assert!(matches!(left.as_ref(), LogicalPlan::Scan { filter: Some(_), .. }));
+        assert!(matches!(
+            left.as_ref(),
+            LogicalPlan::Scan {
+                filter: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -510,11 +532,18 @@ mod tests {
                 vec![we("b")],
             );
         let opt = optimize_default(plan, &cat);
-        let LogicalPlan::Window { presorted, input, .. } = &opt else {
+        let LogicalPlan::Window {
+            presorted, input, ..
+        } = &opt
+        else {
             panic!("expected window at root");
         };
         assert!(*presorted);
-        let LogicalPlan::Window { presorted: inner_ps, .. } = input.as_ref() else {
+        let LogicalPlan::Window {
+            presorted: inner_ps,
+            ..
+        } = input.as_ref()
+        else {
             panic!("expected inner window");
         };
         assert!(!inner_ps);

@@ -1,0 +1,43 @@
+//! Inner hash join (build right, probe left).
+
+use super::{ExecContext, PhysicalOperator};
+use crate::batch::Batch;
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::join::{hash_join, JoinType};
+
+#[derive(Debug)]
+pub struct PhysicalHashJoin {
+    pub left: Box<dyn PhysicalOperator>,
+    pub right: Box<dyn PhysicalOperator>,
+    pub left_keys: Vec<Expr>,
+    pub right_keys: Vec<Expr>,
+}
+
+impl PhysicalOperator for PhysicalHashJoin {
+    fn name(&self) -> &'static str {
+        "HashJoinExec"
+    }
+
+    fn label(&self) -> String {
+        let pairs: Vec<String> = self
+            .left_keys
+            .iter()
+            .zip(&self.right_keys)
+            .map(|(l, r)| format!("{l} = {r}"))
+            .collect();
+        format!("HashJoinExec: on [{}]", pairs.join(", "))
+    }
+
+    fn children(&self) -> Vec<&dyn PhysicalOperator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+
+    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+        let l = self.left.execute(ctx)?;
+        let r = self.right.execute(ctx)?;
+        let (out, probes) = hash_join(&l, &r, &self.left_keys, &self.right_keys, JoinType::Inner)?;
+        ctx.stats.join_probes += probes;
+        Ok(out)
+    }
+}

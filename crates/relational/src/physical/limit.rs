@@ -1,0 +1,32 @@
+//! Row-count truncation.
+
+use super::{ExecContext, PhysicalOperator};
+use crate::batch::Batch;
+use crate::error::Result;
+
+#[derive(Debug)]
+pub struct PhysicalLimit {
+    pub input: Box<dyn PhysicalOperator>,
+    pub fetch: usize,
+}
+
+impl PhysicalOperator for PhysicalLimit {
+    fn name(&self) -> &'static str {
+        "LimitExec"
+    }
+
+    fn label(&self) -> String {
+        format!("LimitExec: fetch={}", self.fetch)
+    }
+
+    fn children(&self) -> Vec<&dyn PhysicalOperator> {
+        vec![self.input.as_ref()]
+    }
+
+    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+        let b = self.input.execute(ctx)?;
+        let n = b.num_rows().min(self.fetch);
+        let idx: Vec<usize> = (0..n).collect();
+        Ok(b.take(&idx))
+    }
+}

@@ -1,0 +1,132 @@
+//! Physical query plans.
+//!
+//! [`crate::plan::LogicalPlan`] is the optimizer's currency: a declarative
+//! tree that says *what* to compute. This module is the execution layer: a
+//! tree of operator structs behind the [`PhysicalOperator`] trait that says
+//! *how* — every optimizer decision is baked in explicitly by the
+//! [`lower::lower`] pass rather than re-derived at runtime:
+//!
+//! * index-bound candidates for scans ([`scan::PhysicalScan`] carries the
+//!   derived per-column range/IN bounds),
+//! * redundant-sort elimination (a window whose input is already ordered
+//!   lowers *without* a [`sort::PhysicalSort`] in front; one is inserted
+//!   otherwise — the physical window operator itself never sorts),
+//! * partition-parallel window evaluation ([`window::PhysicalWindow`]
+//!   hash-splits the cleansing path's `PARTITION BY` (cluster-key)
+//!   partitions across a scoped thread pool when
+//!   [`ExecOptions::parallelism`] > 1, with byte-identical results and
+//!   identical merged [`ExecStats`] at any parallelism).
+//!
+//! Operators execute against an [`ExecContext`], which carries the catalog,
+//! the execution options, the deterministic work counters, and a separate
+//! wall-clock channel for window evaluation (timings may differ across
+//! parallelism; counters must not).
+
+pub mod aggregate;
+pub mod distinct;
+pub mod filter;
+pub mod hash_join;
+pub mod limit;
+pub mod lower;
+pub mod project;
+pub mod scan;
+pub mod semi_join;
+pub mod sort;
+pub mod subquery_alias;
+pub mod union;
+pub mod window;
+
+pub use lower::lower;
+
+use crate::batch::Batch;
+use crate::error::Result;
+use crate::exec::ExecStats;
+use crate::table::Catalog;
+use std::fmt::Write as _;
+
+/// Execution knobs threaded from the system facade down to the operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Number of worker threads for partition-parallel operators (the Φ_C
+    /// cleansing window path). `1` means serial. Parallelism never changes
+    /// results or work counters — only wall-clock.
+    pub parallelism: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { parallelism: 1 }
+    }
+}
+
+impl ExecOptions {
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        ExecOptions {
+            parallelism: parallelism.max(1),
+        }
+    }
+}
+
+/// Per-execution state handed to every operator.
+pub struct ExecContext<'a> {
+    pub catalog: &'a Catalog,
+    pub options: ExecOptions,
+    /// Deterministic work counters — identical at any parallelism.
+    pub stats: ExecStats,
+    /// Wall-clock nanoseconds spent evaluating window aggregates (the Φ_C
+    /// hot path). Deliberately *not* part of [`ExecStats`]: timings change
+    /// with parallelism, counters must not.
+    pub window_eval_nanos: u64,
+}
+
+impl<'a> ExecContext<'a> {
+    pub fn new(catalog: &'a Catalog, options: ExecOptions) -> Self {
+        ExecContext {
+            catalog,
+            options,
+            stats: ExecStats::default(),
+            window_eval_nanos: 0,
+        }
+    }
+}
+
+/// A fully-lowered physical operator: executes to a materialized batch.
+///
+/// Contract:
+/// * `execute` materializes this operator's full output, recursively
+///   executing children; all work is accounted in `ctx.stats` using the
+///   same counter semantics at any `ctx.options.parallelism`.
+/// * Operators perform no plan-level decisions at runtime — what to do
+///   (index bounds, sort placement, projections) was fixed by `lower()`;
+///   only data-dependent choices (e.g. *which* candidate index bound is
+///   most selective on the actual table) remain.
+/// * `children` exposes the operator tree for display/inspection and must
+///   match the inputs `execute` consumes.
+pub trait PhysicalOperator: std::fmt::Debug {
+    /// Operator name for plan rendering, e.g. `"WindowExec"`.
+    fn name(&self) -> &'static str;
+
+    /// One-line description including operator-specific detail.
+    fn label(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Child operators, in execution order.
+    fn children(&self) -> Vec<&dyn PhysicalOperator>;
+
+    /// Execute to a fully materialized batch.
+    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch>;
+}
+
+/// Multi-line EXPLAIN-style rendering of a physical operator tree.
+pub fn display_physical(op: &dyn PhysicalOperator) -> String {
+    fn walk(op: &dyn PhysicalOperator, depth: usize, out: &mut String) {
+        let _ = writeln!(out, "{}{}", "  ".repeat(depth), op.label());
+        for c in op.children() {
+            walk(c, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    walk(op, 0, &mut out);
+    out
+}

@@ -1,0 +1,128 @@
+//! Base-table scan with optional index narrowing.
+//!
+//! The *candidate* index accesses (which columns, what bounds) were derived
+//! by `lower()` from the pushed-down filter; the only decision left at
+//! runtime is data-dependent: which candidate fetches the fewest rows on
+//! the actual table, and whether even the best one beats a full scan.
+
+use super::{ExecContext, PhysicalOperator};
+use crate::batch::Batch;
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::index::ScanBound;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// One index access the scan may use, fixed at lowering time.
+#[derive(Debug, Clone)]
+pub struct IndexCandidate {
+    /// Table column whose ordered index would answer the access.
+    pub column: String,
+    pub lower: ScanBound,
+    pub upper: ScanBound,
+    /// Positive IN-list; takes precedence over the range bounds.
+    pub in_values: Option<Vec<Value>>,
+}
+
+#[derive(Debug)]
+pub struct PhysicalScan {
+    pub table: String,
+    pub alias: Option<String>,
+    /// Full pushed-down predicate, re-applied as a residual after the fetch.
+    pub filter: Option<Expr>,
+    /// Candidate index accesses in deterministic (column-position) order.
+    pub candidates: Vec<IndexCandidate>,
+}
+
+impl PhysicalOperator for PhysicalScan {
+    fn name(&self) -> &'static str {
+        "ScanExec"
+    }
+
+    fn label(&self) -> String {
+        let mut s = format!("ScanExec: {}", self.table);
+        if let Some(a) = &self.alias {
+            s.push_str(&format!(" AS {a}"));
+        }
+        if !self.candidates.is_empty() {
+            let cols: Vec<&str> = self.candidates.iter().map(|c| c.column.as_str()).collect();
+            s.push_str(&format!(" index_candidates=[{}]", cols.join(", ")));
+        }
+        if let Some(f) = &self.filter {
+            s.push_str(&format!(" filter={f}"));
+        }
+        s
+    }
+
+    fn children(&self) -> Vec<&dyn PhysicalOperator> {
+        vec![]
+    }
+
+    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+        let t = ctx.catalog.get(&self.table)?;
+        let out_schema: Arc<Schema> = match &self.alias {
+            Some(a) => Arc::new(t.schema().with_qualifier(a)),
+            None => t.schema().clone(),
+        };
+
+        let Some(filter) = &self.filter else {
+            ctx.stats.rows_scanned += t.num_rows() as u64;
+            ctx.stats.full_scans += 1;
+            return t.data().clone().with_schema(out_schema);
+        };
+
+        let base = match best_index_access(&t, &self.candidates) {
+            Some(rows) => {
+                ctx.stats.index_scans += 1;
+                ctx.stats.rows_scanned += rows.len() as u64;
+                t.data().take(&rows)
+            }
+            None => {
+                ctx.stats.full_scans += 1;
+                ctx.stats.rows_scanned += t.num_rows() as u64;
+                t.data().clone()
+            }
+        };
+        let base = base.with_schema(out_schema)?;
+        let keep = filter.filter_indices(&base)?;
+        Ok(base.take(&keep))
+    }
+}
+
+/// Pick the most selective candidate on the actual table, returning matching
+/// row ids, or `None` if no candidate's column is indexed (or the best
+/// access would fetch nearly the whole table anyway).
+fn best_index_access(table: &Table, candidates: &[IndexCandidate]) -> Option<Vec<usize>> {
+    let total = table.num_rows().max(1) as f64;
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for cand in candidates {
+        let Some(idx) = table.index(&cand.column) else {
+            continue;
+        };
+        let rows = if let Some(vals) = &cand.in_values {
+            let mut rows: Vec<usize> = vals
+                .iter()
+                .flat_map(|v| idx.lookup(v).iter().map(|&r| r as usize))
+                .collect();
+            rows.sort_unstable();
+            rows.dedup();
+            rows
+        } else if cand.lower != ScanBound::Unbounded || cand.upper != ScanBound::Unbounded {
+            idx.range_scan(&cand.lower, &cand.upper)
+        } else {
+            continue;
+        };
+        let sel = rows.len() as f64 / total;
+        // Strict `<` keeps the first (lowest column position) on ties.
+        if best.as_ref().is_none_or(|(s, _)| sel < *s) {
+            best = Some((sel, rows));
+        }
+    }
+    // An access that fetches (almost) everything is not worth the gather.
+    match best {
+        Some((sel, rows)) if sel < 0.95 => Some(rows),
+        _ => None,
+    }
+}

@@ -1,0 +1,36 @@
+//! Explicit sort. Every sort in a physical plan is one of these nodes —
+//! placed either by the logical plan or by `lower()` in front of a window
+//! whose input order was not already shared.
+
+use super::{ExecContext, PhysicalOperator};
+use crate::batch::Batch;
+use crate::error::Result;
+use crate::sort::{sort_batch, SortKey};
+
+#[derive(Debug)]
+pub struct PhysicalSort {
+    pub input: Box<dyn PhysicalOperator>,
+    pub keys: Vec<SortKey>,
+}
+
+impl PhysicalOperator for PhysicalSort {
+    fn name(&self) -> &'static str {
+        "SortExec"
+    }
+
+    fn label(&self) -> String {
+        let keys: Vec<String> = self.keys.iter().map(|k| k.to_string()).collect();
+        format!("SortExec: [{}]", keys.join(", "))
+    }
+
+    fn children(&self) -> Vec<&dyn PhysicalOperator> {
+        vec![self.input.as_ref()]
+    }
+
+    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+        let b = self.input.execute(ctx)?;
+        ctx.stats.rows_sorted += b.num_rows() as u64;
+        ctx.stats.sorts_performed += 1;
+        sort_batch(&b, &self.keys)
+    }
+}

@@ -258,7 +258,9 @@ impl LogicalPlan {
     /// order, and pass-through projections).
     pub fn output_ordering(&self) -> Vec<SortKey> {
         match self {
-            LogicalPlan::Scan { .. } | LogicalPlan::Union { .. } | LogicalPlan::Aggregate { .. } => {
+            LogicalPlan::Scan { .. }
+            | LogicalPlan::Union { .. }
+            | LogicalPlan::Aggregate { .. } => {
                 vec![]
             }
             LogicalPlan::Sort { keys, .. } => keys.clone(),
@@ -356,10 +358,7 @@ impl LogicalPlan {
             }
             LogicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
             LogicalPlan::Project { exprs, .. } => {
-                let cols: Vec<String> = exprs
-                    .iter()
-                    .map(|(e, a)| format!("{e} AS {a}"))
-                    .collect();
+                let cols: Vec<String> = exprs.iter().map(|(e, a)| format!("{e} AS {a}")).collect();
                 format!("Project [{}]", cols.join(", "))
             }
             LogicalPlan::Sort { keys, .. } => {
@@ -380,7 +379,11 @@ impl LogicalPlan {
                     "Window partition=[{}] order=[{}]{} [{}]",
                     parts.join(", "),
                     ords.join(", "),
-                    if *presorted { " (order shared)" } else { " (sorts input)" },
+                    if *presorted {
+                        " (order shared)"
+                    } else {
+                        " (sorts input)"
+                    },
                     ws.join("; ")
                 )
             }
@@ -398,12 +401,19 @@ impl LogicalPlan {
                 format!("{join_type} Join on [{}]", pairs.join(" AND "))
             }
             LogicalPlan::Aggregate { group_by, aggs, .. } => {
-                let gs: Vec<String> = group_by.iter().map(|(e, a)| format!("{e} AS {a}")).collect();
+                let gs: Vec<String> = group_by
+                    .iter()
+                    .map(|(e, a)| format!("{e} AS {a}"))
+                    .collect();
                 let as_: Vec<String> = aggs
                     .iter()
                     .map(|a| format!("{} AS {}", a.func, a.alias))
                     .collect();
-                format!("Aggregate group=[{}] aggs=[{}]", gs.join(", "), as_.join(", "))
+                format!(
+                    "Aggregate group=[{}] aggs=[{}]",
+                    gs.join(", "),
+                    as_.join(", ")
+                )
             }
             LogicalPlan::Distinct { .. } => "Distinct".to_string(),
             LogicalPlan::Union { inputs } => format!("Union ({} inputs)", inputs.len()),
@@ -497,7 +507,10 @@ mod tests {
 
     #[test]
     fn ordering_propagates_through_filter() {
-        let keys = vec![SortKey::asc(Expr::col("epc")), SortKey::asc(Expr::col("rtime"))];
+        let keys = vec![
+            SortKey::asc(Expr::col("epc")),
+            SortKey::asc(Expr::col("rtime")),
+        ];
         let plan = LogicalPlan::scan("r")
             .sort(keys.clone())
             .filter(Expr::col("rtime").gt(Expr::lit(0i64)));

@@ -154,7 +154,10 @@ mod tests {
     fn two_key_sort() {
         let b = sort_batch(
             &batch(),
-            &[SortKey::asc(Expr::col("epc")), SortKey::asc(Expr::col("rtime"))],
+            &[
+                SortKey::asc(Expr::col("epc")),
+                SortKey::asc(Expr::col("rtime")),
+            ],
         )
         .unwrap();
         let rt: Vec<Value> = (0..4).map(|i| b.row(i)[1].clone()).collect();
@@ -198,7 +201,10 @@ mod tests {
 
     #[test]
     fn is_sorted_checks() {
-        let keys = [SortKey::asc(Expr::col("epc")), SortKey::asc(Expr::col("rtime"))];
+        let keys = [
+            SortKey::asc(Expr::col("epc")),
+            SortKey::asc(Expr::col("rtime")),
+        ];
         assert!(!is_sorted(&batch(), &keys).unwrap());
         let sorted = sort_batch(&batch(), &keys).unwrap();
         assert!(is_sorted(&sorted, &keys).unwrap());

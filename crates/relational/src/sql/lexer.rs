@@ -91,11 +91,13 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 out.push(Token::Comma);
                 i += 1;
             }
-            '.' if !(i + 1 < n && chars[i + 1].is_ascii_digit()
+            '.' if !(i + 1 < n
+                && chars[i + 1].is_ascii_digit()
                 && matches!(out.last(), Some(Token::Word(_)))) =>
             {
                 // `.5` after a non-word starts a float; `a.b` is a dot.
-                if i + 1 < n && chars[i + 1].is_ascii_digit()
+                if i + 1 < n
+                    && chars[i + 1].is_ascii_digit()
                     && !matches!(out.last(), Some(Token::Word(_)) | Some(Token::Int(_)))
                 {
                     let (tok, next) = lex_number(&chars, i)?;

@@ -59,9 +59,11 @@ mod tests {
         t.create_index("rtime").unwrap();
         cat.register(t);
 
-        let (out, stats) =
-            run_sql_with_stats("select epc, count(*) as n from r where rtime < 4 group by epc", &cat)
-                .unwrap();
+        let (out, stats) = run_sql_with_stats(
+            "select epc, count(*) as n from r where rtime < 4 group by epc",
+            &cat,
+        )
+        .unwrap();
         assert_eq!(out.num_rows(), 2);
         // Pushdown + index: only 4 rows fetched.
         assert_eq!(stats.rows_scanned, 4);

@@ -13,9 +13,38 @@ use crate::window::{FrameBound, FrameUnits};
 
 /// Words that terminate an expression / cannot be bare aliases.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "order", "limit", "and", "or", "not", "as", "on", "by",
-    "asc", "desc", "having", "union", "join", "inner", "with", "in", "is", "between", "case",
-    "when", "then", "else", "end", "over", "partition", "rows", "range", "distinct",
+    "select",
+    "from",
+    "where",
+    "group",
+    "order",
+    "limit",
+    "and",
+    "or",
+    "not",
+    "as",
+    "on",
+    "by",
+    "asc",
+    "desc",
+    "having",
+    "union",
+    "join",
+    "inner",
+    "with",
+    "in",
+    "is",
+    "between",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "over",
+    "partition",
+    "rows",
+    "range",
+    "distinct",
 ];
 
 fn is_reserved(w: &str) -> bool {
@@ -92,10 +121,7 @@ impl Parser {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(Error::Parse(format!(
-                "expected {t}, found {}",
-                self.peek()
-            )))
+            Err(Error::Parse(format!("expected {t}, found {}", self.peek())))
         }
     }
 
@@ -707,7 +733,11 @@ mod tests {
     #[test]
     fn parse_case_when() {
         let e = parse_expr("case when reader = 'rX' then 1 else 0 end").unwrap();
-        let AstExpr::Case { branches, else_expr } = e else {
+        let AstExpr::Case {
+            branches,
+            else_expr,
+        } = e
+        else {
             panic!()
         };
         assert_eq!(branches.len(), 1);
@@ -730,11 +760,15 @@ mod tests {
     fn parse_precedence() {
         // a = 1 or b = 2 and c = 3  ==  a = 1 or (b = 2 and c = 3)
         let e = parse_expr("a = 1 or b = 2 and c = 3").unwrap();
-        let AstExpr::Binary { op, .. } = &e else { panic!() };
+        let AstExpr::Binary { op, .. } = &e else {
+            panic!()
+        };
         assert_eq!(*op, BinaryOp::Or);
         // 1 + 2 * 3
         let e = parse_expr("1 + 2 * 3").unwrap();
-        let AstExpr::Binary { op, .. } = &e else { panic!() };
+        let AstExpr::Binary { op, .. } = &e else {
+            panic!()
+        };
         assert_eq!(*op, BinaryOp::Plus);
     }
 
@@ -750,7 +784,9 @@ mod tests {
     #[test]
     fn negative_literal() {
         let e = parse_expr("a > -5").unwrap();
-        let AstExpr::Binary { right, .. } = e else { panic!() };
+        let AstExpr::Binary { right, .. } = e else {
+            panic!()
+        };
         assert_eq!(*right, AstExpr::Literal(Value::Int(-5)));
     }
 

@@ -145,7 +145,9 @@ fn extract_windows(
             over: Some(spec),
         } => {
             if *distinct {
-                return Err(Error::Plan("DISTINCT in window functions unsupported".into()));
+                return Err(Error::Plan(
+                    "DISTINCT in window functions unsupported".into(),
+                ));
             }
             let func = window_func_kind(name)?;
             let arg = match args {
@@ -261,9 +263,7 @@ fn extract_aggregates(
             *counter += 1;
             let func = match (name.as_str(), args, distinct) {
                 ("count", None, false) => AggFunc::CountStar,
-                ("count", Some(a), false) if a.len() == 1 => {
-                    AggFunc::Count(to_scalar_expr(&a[0])?)
-                }
+                ("count", Some(a), false) if a.len() == 1 => AggFunc::Count(to_scalar_expr(&a[0])?),
                 ("count", Some(a), true) if a.len() == 1 => {
                     AggFunc::CountDistinct(to_scalar_expr(&a[0])?)
                 }
@@ -271,11 +271,7 @@ fn extract_aggregates(
                 ("avg", Some(a), false) if a.len() == 1 => AggFunc::Avg(to_scalar_expr(&a[0])?),
                 ("min", Some(a), false) if a.len() == 1 => AggFunc::Min(to_scalar_expr(&a[0])?),
                 ("max", Some(a), false) if a.len() == 1 => AggFunc::Max(to_scalar_expr(&a[0])?),
-                _ => {
-                    return Err(Error::Plan(format!(
-                        "unsupported aggregate call '{name}'"
-                    )))
-                }
+                _ => return Err(Error::Plan(format!("unsupported aggregate call '{name}'"))),
             };
             aggs.push(AggExpr {
                 func,
@@ -317,9 +313,9 @@ fn contains_function(ast: &AstExpr) -> bool {
         AstExpr::Not(e) => contains_function(e),
         AstExpr::IsNull { expr, .. } => contains_function(expr),
         AstExpr::InList { expr, .. } => contains_function(expr),
-        AstExpr::Between { expr, low, high, .. } => {
-            contains_function(expr) || contains_function(low) || contains_function(high)
-        }
+        AstExpr::Between {
+            expr, low, high, ..
+        } => contains_function(expr) || contains_function(low) || contains_function(high),
         AstExpr::Case {
             branches,
             else_expr,
@@ -359,10 +355,7 @@ fn plan_select(
         } else if catalog.contains(&tref.name) {
             LogicalPlan::scan_as(&tref.name, &alias)
         } else {
-            return Err(Error::Plan(format!(
-                "unknown table or CTE '{}'",
-                tref.name
-            )));
+            return Err(Error::Plan(format!("unknown table or CTE '{}'", tref.name)));
         };
         let schema = plan.schema(catalog)?;
         factors.push((plan, schema));
@@ -541,11 +534,9 @@ fn plan_select(
                 .items
                 .iter()
                 .find_map(|item| match item {
-                    SelectItem::Expr { expr, alias } if expr == g => Some(
-                        alias
-                            .clone()
-                            .unwrap_or_else(|| default_name(&gexpr, gi)),
-                    ),
+                    SelectItem::Expr { expr, alias } if expr == g => {
+                        Some(alias.clone().unwrap_or_else(|| default_name(&gexpr, gi)))
+                    }
                     _ => None,
                 })
                 .unwrap_or_else(|| default_name(&gexpr, gi));
@@ -706,10 +697,8 @@ mod tests {
 
     #[test]
     fn joins_by_where_equality() {
-        let out = run(
-            "select c.epc, l.site from r c, locs l \
-             where c.biz_loc = l.gln and l.site = 's1'",
-        );
+        let out = run("select c.epc, l.site from r c, locs l \
+             where c.biz_loc = l.gln and l.site = 's1'");
         assert!(out.num_rows() > 0);
         for i in 0..out.num_rows() {
             assert_eq!(out.row(i)[1], Value::str("s1"));
@@ -718,10 +707,8 @@ mod tests {
 
     #[test]
     fn self_join_with_two_aliases() {
-        let out = run(
-            "select a.epc from r a, r b \
-             where a.epc = b.epc and a.rtime = 0 and b.rtime = 4",
-        );
+        let out = run("select a.epc from r a, r b \
+             where a.epc = b.epc and a.rtime = 0 and b.rtime = 4");
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.row(0)[0], Value::str("e0"));
     }
@@ -741,10 +728,8 @@ mod tests {
 
     #[test]
     fn cte_and_requalification() {
-        let out = run(
-            "with v1 as (select epc, rtime from r where rtime < 10) \
-             select v1.epc, count(*) as n from v1 group by v1.epc",
-        );
+        let out = run("with v1 as (select epc, rtime from r where rtime < 10) \
+             select v1.epc, count(*) as n from v1 group by v1.epc");
         assert_eq!(out.num_rows(), 4);
     }
 
@@ -798,10 +783,8 @@ mod tests {
     #[test]
     fn or_predicate_stays_above_join_sides() {
         // An OR spanning two tables cannot be pushed to either side.
-        let out = run(
-            "select c.epc from r c, locs l \
-             where c.biz_loc = l.gln and (c.rtime < 2 or l.site = 's2')",
-        );
+        let out = run("select c.epc from r c, locs l \
+             where c.biz_loc = l.gln and (c.rtime < 2 or l.site = 's2')");
         assert!(out.num_rows() > 0);
     }
 }

@@ -10,7 +10,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// The data types supported by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Bool,
     /// 64-bit signed integer. Timestamps are integers (seconds).

@@ -131,8 +131,16 @@ pub struct WindowExpr {
 impl fmt::Display for WindowExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.arg {
-            Some(a) => write!(f, "{}({a}) OVER ({}) AS {}", self.func, self.frame, self.alias),
-            None => write!(f, "{}(*) OVER ({}) AS {}", self.func, self.frame, self.alias),
+            Some(a) => write!(
+                f,
+                "{}({a}) OVER ({}) AS {}",
+                self.func, self.frame, self.alias
+            ),
+            None => write!(
+                f,
+                "{}(*) OVER ({}) AS {}",
+                self.func, self.frame, self.alias
+            ),
         }
     }
 }
@@ -144,15 +152,17 @@ impl WindowExpr {
             WindowFuncKind::Count => Ok(DataType::Int),
             WindowFuncKind::Avg => Ok(DataType::Double),
             WindowFuncKind::Sum => {
-                let arg = self.arg.as_ref().ok_or_else(|| {
-                    Error::Plan("sum() requires an argument".into())
-                })?;
+                let arg = self
+                    .arg
+                    .as_ref()
+                    .ok_or_else(|| Error::Plan("sum() requires an argument".into()))?;
                 Ok(arg.data_type(schema)?)
             }
             WindowFuncKind::Max | WindowFuncKind::Min => {
-                let arg = self.arg.as_ref().ok_or_else(|| {
-                    Error::Plan(format!("{}() requires an argument", self.func))
-                })?;
+                let arg = self
+                    .arg
+                    .as_ref()
+                    .ok_or_else(|| Error::Plan(format!("{}() requires an argument", self.func)))?;
                 Ok(arg.data_type(schema)?)
             }
         }
@@ -161,7 +171,7 @@ impl WindowExpr {
 
 /// Find partition boundaries: ranges of rows with equal partition-key values
 /// (NULLs compare equal for partitioning, per SQL).
-fn partition_ranges(cols: &[Column], n: usize) -> Vec<(usize, usize)> {
+pub fn partition_ranges(cols: &[Column], n: usize) -> Vec<(usize, usize)> {
     if n == 0 {
         return vec![];
     }
@@ -296,32 +306,83 @@ fn key_num(c: &Column, i: usize) -> Option<i64> {
     }
 }
 
-/// Evaluate window aggregates over a batch **already sorted** by
-/// (partition keys, order keys). Returns one output column per `WindowExpr`,
-/// plus the number of aggregate evaluations performed (a work counter).
-pub fn evaluate_window(
-    batch: &Batch,
-    partition_by: &[Expr],
-    order_by_key: Option<&Expr>,
-    exprs: &[WindowExpr],
-) -> Result<(Vec<Column>, u64)> {
-    let n = batch.num_rows();
-    let part_cols: Vec<Column> = partition_by
-        .iter()
-        .map(|e| e.evaluate(batch))
-        .collect::<Result<_>>()?;
-    let order_col = order_by_key.map(|e| e.evaluate(batch)).transpose()?;
-    let ranges = partition_ranges(&part_cols, n);
+/// Prepared state for evaluating a set of window aggregates over one batch
+/// **already sorted** by (partition keys, order keys).
+///
+/// All expression evaluation against the batch happens in [`prepare`]
+/// (partition keys, order key, aggregate arguments), so per-partition
+/// evaluation afterwards is a pure read-only computation — this is what lets
+/// the physical window operator farm partitions out to worker threads.
+///
+/// [`prepare`]: WindowEval::prepare
+pub struct WindowEval<'a> {
+    exprs: &'a [WindowExpr],
+    order_col: Option<Column>,
+    /// Evaluated argument column per expression (`None` for `count(*)`).
+    arg_cols: Vec<Option<Column>>,
+    out_types: Vec<DataType>,
+    /// Partition key columns (kept for shard assignment by the caller).
+    part_cols: Vec<Column>,
+    ranges: Vec<(usize, usize)>,
+}
 
-    let mut work: u64 = 0;
-    let mut outputs = Vec::with_capacity(exprs.len());
-    for we in exprs {
-        let arg_col = we.arg.as_ref().map(|a| a.evaluate(batch)).transpose()?;
-        let out_dt = we.data_type(batch.schema())?;
-        let mut b = ColumnBuilder::new(out_dt, n);
-        for &(p_lo, p_hi) in &ranges {
+impl<'a> WindowEval<'a> {
+    pub fn prepare(
+        batch: &Batch,
+        partition_by: &[Expr],
+        order_by_key: Option<&Expr>,
+        exprs: &'a [WindowExpr],
+    ) -> Result<Self> {
+        let n = batch.num_rows();
+        let part_cols: Vec<Column> = partition_by
+            .iter()
+            .map(|e| e.evaluate(batch))
+            .collect::<Result<_>>()?;
+        let order_col = order_by_key.map(|e| e.evaluate(batch)).transpose()?;
+        let arg_cols = exprs
+            .iter()
+            .map(|we| we.arg.as_ref().map(|a| a.evaluate(batch)).transpose())
+            .collect::<Result<_>>()?;
+        let out_types = exprs
+            .iter()
+            .map(|we| we.data_type(batch.schema()))
+            .collect::<Result<_>>()?;
+        let ranges = partition_ranges(&part_cols, n);
+        Ok(WindowEval {
+            exprs,
+            order_col,
+            arg_cols,
+            out_types,
+            part_cols,
+            ranges,
+        })
+    }
+
+    /// The partition ranges, in input (sorted) order.
+    pub fn partitions(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Result type per window expression.
+    pub fn output_types(&self) -> &[DataType] {
+        &self.out_types
+    }
+
+    /// The evaluated partition-key columns.
+    pub fn partition_cols(&self) -> &[Column] {
+        &self.part_cols
+    }
+
+    /// Evaluate all window expressions over one partition `[p_lo, p_hi)`.
+    /// Returns one value vector per expression (row-aligned with the
+    /// partition) plus the frame rows visited (the work counter).
+    pub fn eval_partition(&self, (p_lo, p_hi): (usize, usize)) -> Result<(Vec<Vec<Value>>, u64)> {
+        let mut work: u64 = 0;
+        let mut outputs = Vec::with_capacity(self.exprs.len());
+        for (we, arg_col) in self.exprs.iter().zip(&self.arg_cols) {
+            let mut vals = Vec::with_capacity(p_hi - p_lo);
             for i in p_lo..p_hi {
-                let frame = frame_rows(&we.frame, i, p_lo, p_hi, order_col.as_ref())?;
+                let frame = frame_rows(&we.frame, i, p_lo, p_hi, self.order_col.as_ref())?;
                 let v = match frame {
                     None => match we.func {
                         WindowFuncKind::Count => Value::Int(0),
@@ -332,20 +393,50 @@ pub fn evaluate_window(
                         accumulate(we.func, arg_col.as_ref(), lo, hi)?
                     }
                 };
-                b.push(&v)?;
+                vals.push(v);
             }
+            outputs.push(vals);
         }
-        outputs.push(b.finish());
+        Ok((outputs, work))
     }
-    Ok((outputs, work))
 }
 
-fn accumulate(
-    func: WindowFuncKind,
-    arg: Option<&Column>,
-    lo: usize,
-    hi: usize,
-) -> Result<Value> {
+/// Evaluate window aggregates over a batch **already sorted** by
+/// (partition keys, order keys). Returns one output column per `WindowExpr`,
+/// plus the number of aggregate evaluations performed (a work counter).
+///
+/// This is the serial path; the physical window operator uses [`WindowEval`]
+/// directly so it can distribute partitions across threads.
+pub fn evaluate_window(
+    batch: &Batch,
+    partition_by: &[Expr],
+    order_by_key: Option<&Expr>,
+    exprs: &[WindowExpr],
+) -> Result<(Vec<Column>, u64)> {
+    let n = batch.num_rows();
+    let ev = WindowEval::prepare(batch, partition_by, order_by_key, exprs)?;
+    let mut work: u64 = 0;
+    let mut builders: Vec<ColumnBuilder> = ev
+        .output_types()
+        .iter()
+        .map(|&dt| ColumnBuilder::new(dt, n))
+        .collect();
+    for &range in ev.partitions() {
+        let (vals, w) = ev.eval_partition(range)?;
+        work += w;
+        for (b, vs) in builders.iter_mut().zip(&vals) {
+            for v in vs {
+                b.push(v)?;
+            }
+        }
+    }
+    Ok((
+        builders.into_iter().map(ColumnBuilder::finish).collect(),
+        work,
+    ))
+}
+
+fn accumulate(func: WindowFuncKind, arg: Option<&Column>, lo: usize, hi: usize) -> Result<Value> {
     match func {
         WindowFuncKind::Count => {
             let c = match arg {
@@ -516,12 +607,19 @@ mod tests {
         let we = WindowExpr {
             func: WindowFuncKind::Count,
             arg: None,
-            frame: Frame::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing),
+            frame: Frame::rows(
+                FrameBound::UnboundedPreceding,
+                FrameBound::UnboundedFollowing,
+            ),
             alias: "n".into(),
         };
-        let (cols, _) =
-            evaluate_window(&reads(), &[Expr::col("epc")], Some(&Expr::col("rtime")), &[we])
-                .unwrap();
+        let (cols, _) = evaluate_window(
+            &reads(),
+            &[Expr::col("epc")],
+            Some(&Expr::col("rtime")),
+            &[we],
+        )
+        .unwrap();
         let c = &cols[0];
         assert_eq!(c.value(0), Value::Int(3));
         assert_eq!(c.value(4), Value::Int(2));
@@ -535,9 +633,13 @@ mod tests {
             frame: Frame::rows(FrameBound::Preceding(1), FrameBound::Preceding(1)),
             alias: "n".into(),
         };
-        let (cols, _) =
-            evaluate_window(&reads(), &[Expr::col("epc")], Some(&Expr::col("rtime")), &[we])
-                .unwrap();
+        let (cols, _) = evaluate_window(
+            &reads(),
+            &[Expr::col("epc")],
+            Some(&Expr::col("rtime")),
+            &[we],
+        )
+        .unwrap();
         assert_eq!(cols[0].value(0), Value::Int(0));
         assert_eq!(cols[0].value(1), Value::Int(1));
     }
@@ -553,7 +655,10 @@ mod tests {
         let avg = WindowExpr {
             func: WindowFuncKind::Avg,
             arg: Some(Expr::col("rtime")),
-            frame: Frame::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing),
+            frame: Frame::rows(
+                FrameBound::UnboundedPreceding,
+                FrameBound::UnboundedFollowing,
+            ),
             alias: "a".into(),
         };
         let (cols, _) = evaluate_window(
@@ -580,12 +685,19 @@ mod tests {
         let we = WindowExpr {
             func: WindowFuncKind::Count,
             arg: None,
-            frame: Frame::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing),
+            frame: Frame::rows(
+                FrameBound::UnboundedPreceding,
+                FrameBound::UnboundedFollowing,
+            ),
             alias: "n".into(),
         };
-        let (_, work) =
-            evaluate_window(&reads(), &[Expr::col("epc")], Some(&Expr::col("rtime")), &[we])
-                .unwrap();
+        let (_, work) = evaluate_window(
+            &reads(),
+            &[Expr::col("epc")],
+            Some(&Expr::col("rtime")),
+            &[we],
+        )
+        .unwrap();
         // e1 partition: 3 rows x frame 3 = 9; e2: 2 x 2 = 4.
         assert_eq!(work, 13);
     }
@@ -598,9 +710,12 @@ mod tests {
             frame: Frame::rows(FrameBound::UnboundedFollowing, FrameBound::CurrentRow),
             alias: "x".into(),
         };
-        assert!(
-            evaluate_window(&reads(), &[Expr::col("epc")], Some(&Expr::col("rtime")), &[we])
-                .is_err()
-        );
+        assert!(evaluate_window(
+            &reads(),
+            &[Expr::col("epc")],
+            Some(&Expr::col("rtime")),
+            &[we]
+        )
+        .is_err());
     }
 }

@@ -82,8 +82,14 @@ pub fn correlation_condition(rule: &RuleTemplate, x: &PatternRef) -> Vec<Expr> {
     let xi = def.pattern.position_of(&x.name);
     let ti = def.pattern.position_of(&target);
     if let (Some(xi), Some(ti)) = (xi, ti) {
-        let xk = Expr::Column(ColumnRef::qualified(x.name.clone(), def.sequence_by.clone()));
-        let tk = Expr::Column(ColumnRef::qualified(target.clone(), def.sequence_by.clone()));
+        let xk = Expr::Column(ColumnRef::qualified(
+            x.name.clone(),
+            def.sequence_by.clone(),
+        ));
+        let tk = Expr::Column(ColumnRef::qualified(
+            target.clone(),
+            def.sequence_by.clone(),
+        ));
         if xi < ti {
             cr.push(xk.lt_eq(tk));
         } else {
@@ -100,12 +106,7 @@ pub fn correlation_condition(rule: &RuleTemplate, x: &PatternRef) -> Vec<Expr> {
 
 /// Observation 1: position-preserving correlation conjuncts are the ckey
 /// equality and sequence-key difference constraints between X and the target.
-fn is_position_preserving(
-    conjunct: &Expr,
-    x: &str,
-    target: &str,
-    def: &dc_sqlts::RuleDef,
-) -> bool {
+fn is_position_preserving(conjunct: &Expr, x: &str, target: &str, def: &dc_sqlts::RuleDef) -> bool {
     let Some(Normalized::Diff(d)) = normalize_conjunct(conjunct) else {
         return false;
     };
@@ -127,7 +128,10 @@ fn is_position_preserving(
     // ... or any skey range constraint.
     d.x.name == def.sequence_by
         && d.y.name == def.sequence_by
-        && matches!(d.op, CmpOp::Lt | CmpOp::LtEq | CmpOp::Gt | CmpOp::GtEq | CmpOp::Eq)
+        && matches!(
+            d.op,
+            CmpOp::Lt | CmpOp::LtEq | CmpOp::Gt | CmpOp::GtEq | CmpOp::Eq
+        )
 }
 
 /// Derive the context condition for context reference `x` by transitivity
@@ -135,7 +139,11 @@ fn is_position_preserving(
 /// caller has re-qualified to the rule's *target* reference name).
 ///
 /// Returns `None` when nothing can be derived (Figure 4 line 9).
-pub fn context_condition(rule: &RuleTemplate, x: &PatternRef, s_on_target: &[Expr]) -> ContextCondition {
+pub fn context_condition(
+    rule: &RuleTemplate,
+    x: &PatternRef,
+    s_on_target: &[Expr],
+) -> ContextCondition {
     let cr = correlation_condition(rule, x);
     let mut derived: Vec<Expr> = Vec::new();
 
@@ -275,8 +283,7 @@ pub fn bind_to_target(s: &[Expr], alias: &str, target: &str) -> Vec<Expr> {
         .map(|e| {
             e.transform(&|node| match node {
                 Expr::Column(c)
-                    if c.qualifier.is_none()
-                        || c.qualifier.as_deref() == Some(alias.as_str()) =>
+                    if c.qualifier.is_none() || c.qualifier.as_deref() == Some(alias.as_str()) =>
                 {
                     Expr::Column(ColumnRef::qualified(target.clone(), c.name))
                 }
@@ -309,25 +316,22 @@ pub fn join_key_propagates(rule: &RuleTemplate, key: &str) -> bool {
         return true;
     }
     let target = rule.def.target().to_string();
-    rule.def
-        .context_refs()
-        .iter()
-        .all(|x| {
-            correlation_condition(rule, x).iter().any(|c| {
-                matches!(
-                    normalize_conjunct(c),
-                    Some(Normalized::Diff(d))
-                        if d.op == CmpOp::Eq
-                            && d.offset == 0
-                            && d.x.name.eq_ignore_ascii_case(key)
-                            && d.y.name.eq_ignore_ascii_case(key)
-                            && ((d.x.qualifier.as_deref() == Some(x.name.as_str())
-                                && d.y.qualifier.as_deref() == Some(target.as_str()))
-                                || (d.y.qualifier.as_deref() == Some(x.name.as_str())
-                                    && d.x.qualifier.as_deref() == Some(target.as_str())))
-                )
-            })
+    rule.def.context_refs().iter().all(|x| {
+        correlation_condition(rule, x).iter().any(|c| {
+            matches!(
+                normalize_conjunct(c),
+                Some(Normalized::Diff(d))
+                    if d.op == CmpOp::Eq
+                        && d.offset == 0
+                        && d.x.name.eq_ignore_ascii_case(key)
+                        && d.y.name.eq_ignore_ascii_case(key)
+                        && ((d.x.qualifier.as_deref() == Some(x.name.as_str())
+                            && d.y.qualifier.as_deref() == Some(target.as_str()))
+                            || (d.y.qualifier.as_deref() == Some(x.name.as_str())
+                                && d.x.qualifier.as_deref() == Some(target.as_str())))
+            )
         })
+    })
 }
 
 #[cfg(test)]
@@ -361,7 +365,9 @@ mod tests {
         let cc = context_condition(&r, ctx(&r, "b"), &s).unwrap();
         let rendered: Vec<String> = cc.iter().map(|e| e.to_string()).collect();
         assert!(
-            rendered.iter().any(|s| s.contains("reader") && s.contains("readerX")),
+            rendered
+                .iter()
+                .any(|s| s.contains("reader") && s.contains("readerX")),
             "{rendered:?}"
         );
         assert!(
@@ -442,9 +448,7 @@ mod tests {
             negated: false,
         }];
         let cc = context_condition(&r, ctx(&r, "b"), &s).unwrap();
-        assert!(cc
-            .iter()
-            .any(|c| matches!(c, Expr::InList { expr, .. }
+        assert!(cc.iter().any(|c| matches!(c, Expr::InList { expr, .. }
                 if expr.to_string() == "b.epc")));
     }
 

@@ -20,9 +20,11 @@ use crate::analysis::{bind_to_target, context_condition, join_key_propagates, re
 use crate::shape::{analyze, QueryShape};
 use dc_relational::cost::{base_table_rows, estimate};
 use dc_relational::error::{Error, Result};
+use dc_relational::exec::Executor;
 use dc_relational::expr::{conjoin, disjoin, ColumnRef, Expr};
 use dc_relational::join::JoinType;
 use dc_relational::optimizer::optimize_default;
+use dc_relational::physical::ExecOptions;
 use dc_relational::plan::LogicalPlan;
 use dc_relational::table::Catalog;
 use dc_rules::{cleansing_plan_qualified, validate_chain, RuleTemplate};
@@ -69,6 +71,33 @@ pub struct Rewritten {
     pub notes: Vec<String>,
 }
 
+/// A fully executed rewrite: the result batch plus the run's accounting.
+#[derive(Debug, Clone)]
+pub struct Executed {
+    pub batch: dc_relational::batch::Batch,
+    /// Deterministic work counters — identical at any parallelism.
+    pub stats: dc_relational::exec::ExecStats,
+    /// Wall-clock nanoseconds spent in window evaluation (the Φ_C hot
+    /// path) — the quantity parallelism is expected to improve.
+    pub window_eval_nanos: u64,
+}
+
+impl Rewritten {
+    /// Execute the chosen plan. `options` controls partition-parallel
+    /// window evaluation; the strategy choice (cost estimates, candidate
+    /// ranking) is unaffected by it, and results and work counters are
+    /// identical at any parallelism.
+    pub fn execute(&self, catalog: &Catalog, options: ExecOptions) -> Result<Executed> {
+        let mut ex = Executor::with_options(catalog, options);
+        let batch = ex.execute(&self.plan)?;
+        Ok(Executed {
+            batch,
+            stats: ex.stats,
+            window_eval_nanos: ex.window_eval_nanos,
+        })
+    }
+}
+
 /// The rewrite engine. Holds registered derived inputs — plans backing rule
 /// `FROM` tables that are not base tables (e.g. the union of case reads and
 /// expected reads for the missing rule, paper §4.3 Example 5 / §6.3).
@@ -92,11 +121,7 @@ impl RewriteEngine {
 
     /// The per-rule context condition for a query shape — the contents of the
     /// paper's Table 1. `None` = expanded rewrite infeasible for this rule.
-    pub fn rule_context_condition(
-        &self,
-        rule: &RuleTemplate,
-        shape: &QueryShape,
-    ) -> Option<Expr> {
+    pub fn rule_context_condition(&self, rule: &RuleTemplate, shape: &QueryShape) -> Option<Expr> {
         let target = rule.def.target().to_string();
         let s_bound = bind_to_target(&shape.s, &shape.alias, &target);
         let mut per_ref: Vec<Expr> = Vec::new();
@@ -171,8 +196,8 @@ impl RewriteEngine {
         // Unqualified references in s come from R's pushed scan filter, so
         // they are R columns; qualified ones must match the alias.
         let is_modified_reads_col = |c: &ColumnRef| {
-            let is_reads_col = c.qualifier.is_none()
-                || c.qualifier.as_deref() == Some(shape.alias.as_str());
+            let is_reads_col =
+                c.qualifier.is_none() || c.qualifier.as_deref() == Some(shape.alias.as_str());
             is_reads_col && modified.iter().any(|m| m.eq_ignore_ascii_case(&c.name))
         };
         // (a) s itself constrains a modified column: both ec pushdown and the
@@ -249,9 +274,9 @@ impl RewriteEngine {
                     .s
                     .iter()
                     .filter(|q| {
-                        !disjuncts.iter().all(|d| {
-                            dc_relational::expr::split_conjuncts(d).contains(q)
-                        })
+                        !disjuncts
+                            .iter()
+                            .all(|d| dc_relational::expr::split_conjuncts(d).contains(q))
                     })
                     .cloned()
                     .collect()
@@ -276,14 +301,8 @@ impl RewriteEngine {
                 let ordered = order_by_selectivity(&shape, &eligible, catalog);
                 for k in 0..=ordered.len() {
                     let label = format!("expanded({k} joins below cleansing)");
-                    let plan = self.expanded(
-                        &shape,
-                        &rule_refs,
-                        catalog,
-                        ec,
-                        &s_prime,
-                        &ordered[..k],
-                    )?;
+                    let plan =
+                        self.expanded(&shape, &rule_refs, catalog, ec, &s_prime, &ordered[..k])?;
                     candidates.push((label, plan));
                 }
             } else if matches!(strategy, Strategy::Expanded) {
@@ -564,7 +583,12 @@ mod tests {
         ]));
         let mut rows: Vec<Vec<Value>> = Vec::new();
         let mut push = |e: &str, t: i64, l: &str, r: &str| {
-            rows.push(vec![Value::str(e), Value::Int(t), Value::str(l), Value::str(r)]);
+            rows.push(vec![
+                Value::str(e),
+                Value::Int(t),
+                Value::str(l),
+                Value::str(r),
+            ]);
         };
         // Deterministic pseudo-random-ish mixture around the boundary T=1000.
         for i in 0..8 {
@@ -572,7 +596,12 @@ mod tests {
             let base = 100 * i as i64;
             push(&e, base, "locA", "r1");
             push(&e, base + 120, "locA", "r1"); // duplicate
-            push(&e, base + 200, "locB", if i % 2 == 0 { "readerX" } else { "r2" });
+            push(
+                &e,
+                base + 200,
+                "locB",
+                if i % 2 == 0 { "readerX" } else { "r2" },
+            );
             push(&e, base + 400, "locA", "r1"); // cycle member
             push(&e, base + 700, "loc2", "r3"); // cross-read candidate
             push(&e, base + 900, "locA", "r1");
@@ -610,7 +639,10 @@ mod tests {
         let info_rows: Vec<Vec<Value>> = (0..8)
             .map(|i| vec![Value::str(format!("e{i}")), Value::Int(i % 3)])
             .collect();
-        cat.register(Table::new("epc_info", Batch::from_rows(info, &info_rows).unwrap()));
+        cat.register(Table::new(
+            "epc_info",
+            Batch::from_rows(info, &info_rows).unwrap(),
+        ));
         cat
     }
 
@@ -638,10 +670,7 @@ mod tests {
         };
         cat2.register(Table::new("caser", projected));
         let plan = plan_query(&parse_query(sql).unwrap(), &cat2).unwrap();
-        Executor::new(&cat2)
-            .execute(&plan)
-            .unwrap()
-            .sorted_rows()
+        Executor::new(&cat2).execute(&plan).unwrap().sorted_rows()
     }
 
     fn check_all_strategies(sql: &str, rule_texts: &[&str]) {
@@ -650,7 +679,12 @@ mod tests {
         let expect = gold(sql, &cat, &rules);
         let engine = RewriteEngine::new();
         let user_plan = plan_query(&parse_query(sql).unwrap(), &cat).unwrap();
-        for strategy in [Strategy::Auto, Strategy::Naive, Strategy::JoinBack, Strategy::Expanded] {
+        for strategy in [
+            Strategy::Auto,
+            Strategy::Naive,
+            Strategy::JoinBack,
+            Strategy::Expanded,
+        ] {
             let rw = match engine.rewrite_plan(&user_plan, &rules, &cat, strategy) {
                 Ok(rw) => rw,
                 Err(e) if strategy == Strategy::Expanded => {
@@ -662,10 +696,7 @@ mod tests {
                 }
                 Err(e) => panic!("{strategy:?} failed: {e}"),
             };
-            let got = Executor::new(&cat)
-                .execute(&rw.plan)
-                .unwrap()
-                .sorted_rows();
+            let got = Executor::new(&cat).execute(&rw.plan).unwrap().sorted_rows();
             assert_eq!(
                 got, expect,
                 "strategy {strategy:?} (chosen: {}) diverges from gold for {sql}\nplan:\n{}",
@@ -704,10 +735,7 @@ mod tests {
     fn untimed_duplicate_rule_fig3_c2() {
         // Fig. 3(b): duplicates arbitrarily far apart -> expanded infeasible,
         // join-back required.
-        check_all_strategies(
-            "select epc, rtime from caser where rtime > 800",
-            &[DUP],
-        );
+        check_all_strategies("select epc, rtime from caser where rtime > 800", &[DUP]);
     }
 
     #[test]
@@ -785,8 +813,18 @@ mod tests {
             Batch::from_rows(
                 reads,
                 &[
-                    vec![Value::str("e1"), Value::Int(t1 - 120), Value::str("l"), Value::str("readerY")],
-                    vec![Value::str("e1"), Value::Int(t1 + 120), Value::str("l"), Value::str("readerX")],
+                    vec![
+                        Value::str("e1"),
+                        Value::Int(t1 - 120),
+                        Value::str("l"),
+                        Value::str("readerY"),
+                    ],
+                    vec![
+                        Value::str("e1"),
+                        Value::Int(t1 + 120),
+                        Value::str("l"),
+                        Value::str("readerX"),
+                    ],
                 ],
             )
             .unwrap(),
@@ -826,8 +864,18 @@ mod tests {
             Batch::from_rows(
                 reads,
                 &[
-                    vec![Value::str("e2"), Value::Int(t2 - 120), Value::str("locZ"), Value::str("r")],
-                    vec![Value::str("e2"), Value::Int(t2 + 120), Value::str("locZ"), Value::str("r")],
+                    vec![
+                        Value::str("e2"),
+                        Value::Int(t2 - 120),
+                        Value::str("locZ"),
+                        Value::str("r"),
+                    ],
+                    vec![
+                        Value::str("e2"),
+                        Value::Int(t2 + 120),
+                        Value::str("locZ"),
+                        Value::str("r"),
+                    ],
                 ],
             )
             .unwrap(),
@@ -866,10 +914,16 @@ mod tests {
         // epc_info is not referenced; locs is direct but biz_loc does not
         // propagate -> expanded variants: only k=0. Join-back: k=0 and k=1.
         let labels: Vec<&str> = rw.candidates.iter().map(|c| c.label.as_str()).collect();
-        assert!(labels.contains(&"expanded(0 joins below cleansing)"), "{labels:?}");
+        assert!(
+            labels.contains(&"expanded(0 joins below cleansing)"),
+            "{labels:?}"
+        );
         assert!(labels.contains(&"join-back(0 semi-joins)"), "{labels:?}");
         assert!(labels.contains(&"join-back(1 semi-joins)"), "{labels:?}");
-        assert!(!labels.contains(&"expanded(1 joins below cleansing)"), "{labels:?}");
+        assert!(
+            !labels.contains(&"expanded(1 joins below cleansing)"),
+            "{labels:?}"
+        );
         assert!(rw.expanded_condition.is_some());
         // Costs sorted ascending.
         let costs: Vec<f64> = rw.candidates.iter().map(|c| c.cost).collect();
@@ -882,7 +936,9 @@ mod tests {
         let engine = RewriteEngine::new();
         let sql = "select epc from caser where rtime < 500";
         let user_plan = plan_query(&parse_query(sql).unwrap(), &cat).unwrap();
-        let rw = engine.rewrite_plan(&user_plan, &[], &cat, Strategy::Auto).unwrap();
+        let rw = engine
+            .rewrite_plan(&user_plan, &[], &cat, Strategy::Auto)
+            .unwrap();
         assert!(rw.chosen.contains("original"));
     }
 

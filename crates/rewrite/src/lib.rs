@@ -22,8 +22,6 @@ pub mod analysis;
 pub mod engine;
 pub mod shape;
 
-pub use analysis::{
-    bind_to_target, context_condition, correlation_condition, join_key_propagates,
-};
-pub use engine::{Candidate, RewriteEngine, Rewritten, Strategy};
+pub use analysis::{bind_to_target, context_condition, correlation_condition, join_key_propagates};
+pub use engine::{Candidate, Executed, RewriteEngine, Rewritten, Strategy};
 pub use shape::{analyze, DimJoin, QueryShape};

@@ -216,9 +216,9 @@ pub fn analyze(plan: &LogicalPlan, reads_table: &str, catalog: &Catalog) -> Resu
     // Mark dims as direct when every island-side key is an R column.
     let alias = shape.alias.clone();
     for d in &mut shape.dims {
-        d.direct = d.left_keys.iter().all(|k| {
-            matches!(k, Expr::Column(c) if c.qualifier.as_deref() == Some(alias.as_str()))
-        });
+        d.direct = d.left_keys.iter().all(
+            |k| matches!(k, Expr::Column(c) if c.qualifier.as_deref() == Some(alias.as_str())),
+        );
     }
     Ok(shape)
 }
@@ -234,7 +234,14 @@ fn carve(
         let mut dims = Vec::new();
         let mut leftover = Vec::new();
         let mut alias = None;
-        decompose_island(plan, reads_table, &mut s, &mut dims, &mut leftover, &mut alias)?;
+        decompose_island(
+            plan,
+            reads_table,
+            &mut s,
+            &mut dims,
+            &mut leftover,
+            &mut alias,
+        )?;
         let alias = alias.ok_or_else(|| Error::Internal("reads scan not found".into()))?;
         *out = Some(QueryShape {
             consumer: LogicalPlan::scan(HOLE), // placeholder; caller overwrites
@@ -431,7 +438,13 @@ mod tests {
         assert!(!sh.dims.last().unwrap().direct);
         // The locs dim carries its local predicate.
         let locs_dim = &sh.dims[0];
-        assert!(matches!(&locs_dim.plan, LogicalPlan::Scan { filter: Some(_), .. }));
+        assert!(matches!(
+            &locs_dim.plan,
+            LogicalPlan::Scan {
+                filter: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -469,11 +482,7 @@ mod tests {
     #[test]
     fn missing_reads_table_rejected() {
         let cat = catalog();
-        let plan = plan_query(
-            &parse_query("select gln from locs").unwrap(),
-            &cat,
-        )
-        .unwrap();
+        let plan = plan_query(&parse_query("select gln from locs").unwrap(), &cat).unwrap();
         assert!(analyze(&plan, "caser", &cat).is_err());
     }
 
@@ -481,10 +490,8 @@ mod tests {
     fn self_join_rejected() {
         let cat = catalog();
         let plan = plan_query(
-            &parse_query(
-                "select a.epc from caser a, caser b where a.epc = b.epc and a.rtime < 5",
-            )
-            .unwrap(),
+            &parse_query("select a.epc from caser a, caser b where a.epc = b.epc and a.rtime < 5")
+                .unwrap(),
             &cat,
         )
         .unwrap();

@@ -194,11 +194,7 @@ mod tests {
     #[test]
     fn counts_match_percentage() {
         let (_, data, counts) = prepared(20.0, 3);
-        let clean: usize = data
-            .cases
-            .iter()
-            .map(|_| 30usize)
-            .sum();
+        let clean: usize = data.cases.iter().map(|_| 30usize).sum();
         let expected_per_type = (clean as f64 * 0.2 / 5.0) as usize;
         // Each type within rounding of the even split.
         for c in [
@@ -238,9 +234,9 @@ mod tests {
         let total_reads: usize = data.cases.iter().map(|c| c.reads.len()).sum();
         let clean = data.cases.len() * 30;
         // duplicates + reader + 2*replacing + 2*cycle added, missing removed.
-        let expected = clean + counts.duplicate + counts.reader + 2 * counts.replacing
-            + 2 * counts.cycle
-            - counts.missing;
+        let expected =
+            clean + counts.duplicate + counts.reader + 2 * counts.replacing + 2 * counts.cycle
+                - counts.missing;
         assert_eq!(total_reads, expected);
     }
 

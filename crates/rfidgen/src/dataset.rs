@@ -80,11 +80,7 @@ pub fn generate_into(catalog: &Catalog, config: GenConfig) -> Result<Dataset> {
     Ok(dataset)
 }
 
-fn read_row(
-    data: &CleanData,
-    epc: &str,
-    r: &crate::gen::Read,
-) -> Vec<Value> {
+fn read_row(data: &CleanData, epc: &str, r: &crate::gen::Read) -> Vec<Value> {
     let reader = match r.reader {
         ReaderId::Location(l) => format!("rdr:{}", data.topology.glns[l]),
         ReaderId::ReaderX => "readerX".to_string(),
@@ -190,7 +186,12 @@ fn load_tables(
         .product_manufacturer
         .iter()
         .enumerate()
-        .map(|(i, &m)| vec![Value::str(format!("prod{i:04}")), Value::str(format!("mfr{m:02}"))])
+        .map(|(i, &m)| {
+            vec![
+                Value::str(format!("prod{i:04}")),
+                Value::str(format!("mfr{m:02}")),
+            ]
+        })
         .collect();
     let mut product = Table::new("product", Batch::from_rows(product_schema, &product_rows)?);
     product.create_index("product")?;
@@ -464,7 +465,10 @@ mod tests {
         assert_eq!(cat.get("epc_info").unwrap().num_rows(), n_cases);
         assert_eq!(cat.get("product").unwrap().num_rows(), 1000);
         assert_eq!(cat.get("steps").unwrap().num_rows(), 100);
-        assert_eq!(cat.get("locs").unwrap().num_rows(), ds.config.num_locations());
+        assert_eq!(
+            cat.get("locs").unwrap().num_rows(),
+            ds.config.num_locations()
+        );
     }
 
     #[test]
@@ -490,7 +494,10 @@ mod tests {
         // Roughly 10% of reads at or below the 10% quantile.
         let (cat, ds) = small();
         let out = run_sql(
-            &format!("select count(*) as n from caser where rtime <= {}", ds.rtime_quantile(0.1)),
+            &format!(
+                "select count(*) as n from caser where rtime <= {}",
+                ds.rtime_quantile(0.1)
+            ),
             &cat,
         )
         .unwrap();

@@ -39,9 +39,9 @@ impl Topology {
         let mut loc_descs = Vec::with_capacity(cfg.num_locations());
         let mut loc_sites = Vec::with_capacity(cfg.num_locations());
         let add_site = |name: String,
-                            glns: &mut Vec<String>,
-                            loc_descs: &mut Vec<String>,
-                            loc_sites: &mut Vec<String>| {
+                        glns: &mut Vec<String>,
+                        loc_descs: &mut Vec<String>,
+                        loc_sites: &mut Vec<String>| {
             let mut locations = Vec::with_capacity(cfg.locations_per_site);
             for j in 0..cfg.locations_per_site {
                 let id = glns.len();

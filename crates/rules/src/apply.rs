@@ -15,7 +15,9 @@
 
 use crate::compile::RuleTemplate;
 use dc_relational::error::{Error, Result};
+use dc_relational::exec::Executor;
 use dc_relational::expr::{ColumnRef, Expr};
+use dc_relational::physical::ExecOptions;
 use dc_relational::plan::LogicalPlan;
 use dc_relational::schema::Schema;
 use dc_relational::sort::SortKey;
@@ -230,6 +232,22 @@ pub fn cleansing_plan_qualified(
     Ok(plan)
 }
 
+/// Build and *execute* `Φ_{Cn}(…Φ_{C1}(input))`, materializing the cleansed
+/// relation. `options` controls partition-parallel window evaluation —
+/// results and work counters are identical at any parallelism, so callers
+/// may freely raise it. Returns the batch plus the executor's stats.
+pub fn materialize_phi(
+    input: LogicalPlan,
+    templates: &[&RuleTemplate],
+    catalog: &Catalog,
+    options: ExecOptions,
+) -> Result<(dc_relational::batch::Batch, dc_relational::exec::ExecStats)> {
+    let phi = cleansing_plan(input, templates, catalog)?;
+    let mut ex = Executor::with_options(catalog, options);
+    let batch = ex.execute(&phi)?;
+    Ok((batch, ex.stats))
+}
+
 /// Validate that a chain of rules is applicable together: same ON table and
 /// identical cluster/sequence keys and FROM input (paper §4.4 / §5.4).
 pub fn validate_chain(templates: &[&RuleTemplate]) -> Result<()> {
@@ -283,7 +301,12 @@ mod tests {
         let data: Vec<Vec<Value>> = rows
             .iter()
             .map(|(e, t, l, r)| {
-                vec![Value::str(*e), Value::Int(*t), Value::str(*l), Value::str(*r)]
+                vec![
+                    Value::str(*e),
+                    Value::Int(*t),
+                    Value::str(*l),
+                    Value::str(*r),
+                ]
             })
             .collect();
         let cat = Catalog::new();
@@ -314,9 +337,9 @@ mod tests {
     fn duplicate_rule_keeps_first_read() {
         let cat = catalog(&[
             ("e1", 0, "x", "r1"),
-            ("e1", 100, "x", "r1"),   // dup of t=0 (within 300s)
-            ("e1", 200, "x", "r1"),   // dup of t=100
-            ("e1", 1000, "x", "r1"),  // not a dup (>300s gap)
+            ("e1", 100, "x", "r1"),  // dup of t=0 (within 300s)
+            ("e1", 200, "x", "r1"),  // dup of t=100
+            ("e1", 1000, "x", "r1"), // not a dup (>300s gap)
             ("e2", 50, "y", "r1"),
         ]);
         let out = clean(&cat, &[DUP]);
@@ -378,9 +401,9 @@ mod tests {
             WHERE A.biz_loc = 'loc2' and B.biz_loc = 'locA' and B.rtime - A.rtime < 20 mins \
             ACTION MODIFY A.biz_loc = 'loc1'";
         let cat = catalog(&[
-            ("e1", 0, "loc2", "r"),    // cross read: becomes loc1
+            ("e1", 0, "loc2", "r"), // cross read: becomes loc1
             ("e1", 600, "locA", "r"),
-            ("e2", 0, "loc2", "r"),    // no locA follow-up: stays loc2
+            ("e2", 0, "loc2", "r"), // no locA follow-up: stays loc2
             ("e2", 600, "locB", "r"),
         ]);
         let out = clean(&cat, &[replacing]);
@@ -403,12 +426,7 @@ mod tests {
         let flagged = out.column_by_name("flagged").unwrap();
         // First read has a duplicate after it at the same loc -> flagged.
         let by_time: Vec<(i64, i64)> = (0..2)
-            .map(|i| {
-                (
-                    out.row(i)[1].as_int().unwrap(),
-                    flagged.int_at(i).unwrap(),
-                )
-            })
+            .map(|i| (out.row(i)[1].as_int().unwrap(), flagged.int_at(i).unwrap()))
             .collect();
         assert!(by_time.contains(&(0, 1)));
         assert!(by_time.contains(&(10, 0))); // default 0, not NULL
@@ -420,7 +438,11 @@ mod tests {
         // duplicate-then-cycle gives [X X] (no time constraint on dup here).
         let dup_nolimit = "DEFINE dup ON R CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
             WHERE A.biz_loc = B.biz_loc ACTION DELETE B";
-        let rows = [("e1", 0, "X", "r"), ("e1", 10, "Y", "r"), ("e1", 20, "X", "r")];
+        let rows = [
+            ("e1", 0, "X", "r"),
+            ("e1", 10, "Y", "r"),
+            ("e1", 20, "X", "r"),
+        ];
 
         let cat = catalog(&rows);
         let out = clean(&cat, &[CYCLE, dup_nolimit]);
@@ -437,8 +459,7 @@ mod tests {
         let cat = catalog(&[("e1", 0, "x", "r"), ("e1", 10, "x", "r")]);
         let t1 = compile_rule(&parse_rule(DUP).unwrap()).unwrap();
         let t2 = compile_rule(&parse_rule(CYCLE).unwrap()).unwrap();
-        let plan =
-            cleansing_plan(LogicalPlan::scan("r"), &[&t1, &t2], &cat).unwrap();
+        let plan = cleansing_plan(LogicalPlan::scan("r"), &[&t1, &t2], &cat).unwrap();
         let plan = optimize_default(plan, &cat);
         let mut ex = Executor::new(&cat);
         ex.execute(&plan).unwrap();
@@ -473,8 +494,8 @@ mod tests {
             WHERE A.keepme = 1 or B.keepme = 1 ACTION KEEP A";
         let cat = catalog(&[
             ("e1", 0, "x", "r"),
-            ("e1", 10, "x", "r"),  // same loc as prev: t=0 flagged
-            ("e1", 20, "y", "r"),  // not flagged, nothing flagged after -> dropped
+            ("e1", 10, "x", "r"), // same loc as prev: t=0 flagged
+            ("e1", 20, "y", "r"), // not flagged, nothing flagged after -> dropped
         ]);
         let out = clean(&cat, &[flag, keep]);
         let times: Vec<i64> = out
@@ -493,13 +514,8 @@ mod tests {
             ("e2", 50, "y", "r1"),
         ]);
         let t = compile_rule(&parse_rule(DUP).unwrap()).unwrap();
-        let plan = apply_rule_qualified(
-            LogicalPlan::scan_as("r", "c"),
-            &t,
-            &cat,
-            Some("c"),
-        )
-        .unwrap();
+        let plan =
+            apply_rule_qualified(LogicalPlan::scan_as("r", "c"), &t, &cat, Some("c")).unwrap();
         let plan = optimize_default(plan, &cat);
         let out = Executor::new(&cat).execute(&plan).unwrap();
         assert_eq!(out.num_rows(), 2);
@@ -556,11 +572,7 @@ mod tests {
         let out = Executor::new(&cat)
             .execute(&optimize_default(plan, &cat))
             .unwrap();
-        let locs: Vec<Value> = out
-            .column_by_name("c.biz_loc")
-            .unwrap()
-            .iter()
-            .collect();
+        let locs: Vec<Value> = out.column_by_name("c.biz_loc").unwrap().iter().collect();
         assert!(locs.contains(&Value::str("loc1")));
         assert!(!locs.contains(&Value::str("loc2")));
     }

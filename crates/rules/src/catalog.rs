@@ -3,11 +3,11 @@
 
 use crate::compile::{compile_rule, RuleTemplate};
 use crate::template::render_sql_template;
+use dc_json::Json;
 use dc_relational::error::{Error, Result};
 use dc_relational::table::Catalog;
 use dc_sqlts::{parse_rule, validate_rule_against_catalog};
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One stored rule: definition text, compiled template, creation order.
@@ -26,17 +26,69 @@ pub struct StoredRule {
 }
 
 /// Serialized form (only the durable fields; templates recompile from text).
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct PersistedRule {
     id: u64,
     application: String,
     text: String,
 }
 
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct PersistedCatalog {
     next_id: u64,
     rules: Vec<PersistedRule>,
+}
+
+impl PersistedCatalog {
+    fn to_json(&self) -> Json {
+        Json::obj().set("next_id", self.next_id).set(
+            "rules",
+            Json::Arr(
+                self.rules
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .set("id", r.id)
+                            .set("application", r.application.as_str())
+                            .set("text", r.text.as_str())
+                    })
+                    .collect(),
+            ),
+        )
+    }
+
+    fn from_json(v: &Json) -> Result<Self> {
+        let field_err = |f: &str| Error::Catalog(format!("bad rule catalog JSON: missing '{f}'"));
+        let next_id = v
+            .get("next_id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| field_err("next_id"))?;
+        let rules = v
+            .get("rules")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| field_err("rules"))?
+            .iter()
+            .map(|r| {
+                Ok(PersistedRule {
+                    id: r
+                        .get("id")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| field_err("id"))?,
+                    application: r
+                        .get("application")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| field_err("application"))?
+                        .to_string(),
+                    text: r
+                        .get("text")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| field_err("text"))?
+                        .to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(PersistedCatalog { next_id, rules })
+    }
 }
 
 /// The rule catalog: thread-safe, creation-ordered per application.
@@ -163,14 +215,15 @@ impl RuleCatalog {
                 })
                 .collect(),
         };
-        serde_json::to_string_pretty(&persisted).expect("serialization cannot fail")
+        persisted.to_json().pretty()
     }
 
     /// Restore a catalog from JSON, recompiling every rule against the data
     /// catalog.
     pub fn from_json(json: &str, data_catalog: &Catalog) -> Result<Self> {
-        let persisted: PersistedCatalog = serde_json::from_str(json)
+        let value = dc_json::parse(json)
             .map_err(|e| Error::Catalog(format!("bad rule catalog JSON: {e}")))?;
+        let persisted = PersistedCatalog::from_json(&value)?;
         let mut rules = Vec::with_capacity(persisted.rules.len());
         for p in persisted.rules {
             let def = parse_rule(&p.text)?;
@@ -276,9 +329,13 @@ mod tests {
         let rules = rc2.rules_for("app1");
         assert_eq!(rules[0].def.name, "duplicate");
         // Ids keep advancing after restore.
-        rc2.define_rule("app1", "DEFINE third ON caseR CLUSTER BY epc SEQUENCE BY rtime \
-            AS (A, B) WHERE A.biz_loc != B.biz_loc ACTION DELETE B", &data)
-            .unwrap();
+        rc2.define_rule(
+            "app1",
+            "DEFINE third ON caseR CLUSTER BY epc SEQUENCE BY rtime \
+            AS (A, B) WHERE A.biz_loc != B.biz_loc ACTION DELETE B",
+            &data,
+        )
+        .unwrap();
         assert_eq!(rc2.rules_for("app1").len(), 3);
     }
 

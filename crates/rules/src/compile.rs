@@ -400,7 +400,10 @@ impl CompileCtx {
                     }
                     let alias = self.alias_for(q, &format!("_{}", c.name));
                     let frame = if offset < 0 {
-                        Frame::rows(FrameBound::Preceding(-offset), FrameBound::Preceding(-offset))
+                        Frame::rows(
+                            FrameBound::Preceding(-offset),
+                            FrameBound::Preceding(-offset),
+                        )
                     } else {
                         Frame::rows(FrameBound::Following(offset), FrameBound::Following(offset))
                     };
@@ -461,9 +464,7 @@ impl CompileCtx {
             } => Ok(Expr::Case {
                 branches: branches
                     .iter()
-                    .map(|(c, r)| {
-                        Ok((self.rewrite(c, used_sets)?, self.rewrite(r, used_sets)?))
-                    })
+                    .map(|(c, r)| Ok((self.rewrite(c, used_sets)?, self.rewrite(r, used_sets)?)))
                     .collect::<Result<_>>()?,
                 else_expr: else_expr
                     .as_ref()
@@ -564,8 +565,10 @@ mod tests {
             Frame::range(FrameBound::Following(1), FrameBound::Following(599))
         );
         // Existential: max(case when reader='readerX' then 1 else 0 end).
-        assert!(w.arg.as_ref().unwrap().to_string().contains("readerx") ||
-                w.arg.as_ref().unwrap().to_string().contains("readerX"));
+        assert!(
+            w.arg.as_ref().unwrap().to_string().contains("readerx")
+                || w.arg.as_ref().unwrap().to_string().contains("readerX")
+        );
         assert!(t.condition.to_string().contains("__b_exists"));
     }
 
@@ -578,8 +581,14 @@ mod tests {
         // A at -1 (preceding), C at +1 (following); A.biz_loc deduplicated.
         assert_eq!(t.windows.len(), 2);
         let frames: Vec<&Frame> = t.windows.iter().map(|w| &w.frame).collect();
-        assert!(frames.contains(&&Frame::rows(FrameBound::Preceding(1), FrameBound::Preceding(1))));
-        assert!(frames.contains(&&Frame::rows(FrameBound::Following(1), FrameBound::Following(1))));
+        assert!(frames.contains(&&Frame::rows(
+            FrameBound::Preceding(1),
+            FrameBound::Preceding(1)
+        )));
+        assert!(frames.contains(&&Frame::rows(
+            FrameBound::Following(1),
+            FrameBound::Following(1)
+        )));
     }
 
     #[test]

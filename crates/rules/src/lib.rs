@@ -37,7 +37,10 @@ pub mod catalog;
 pub mod compile;
 pub mod template;
 
-pub use apply::{apply_rule, apply_rule_qualified, cleansing_plan, cleansing_plan_qualified, validate_chain};
+pub use apply::{
+    apply_rule, apply_rule_qualified, cleansing_plan, cleansing_plan_qualified, materialize_phi,
+    validate_chain,
+};
 pub use catalog::{RuleCatalog, StoredRule};
 pub use compile::{compile_rule, RuleTemplate};
 pub use template::render_sql_template;

@@ -62,10 +62,7 @@ pub fn render_sql_template(template: &RuleTemplate, input_sql: &str) -> String {
                 let _ = write!(
                     sql,
                     ",\n  case when {} then {} else {} end as {}",
-                    template.condition,
-                    val,
-                    col,
-                    col
+                    template.condition, val, col, col
                 );
                 let _ = target;
             }

@@ -1,0 +1,205 @@
+//! Minimal, dependency-free stand-in for the parts of the `rand` crate this
+//! workspace uses. The build environment has no access to crates.io, so the
+//! workspace vendors this shim and points the `rand` workspace dependency at
+//! it.
+//!
+//! Only the API surface used by `dc-rfidgen` and the tests is provided:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256** generator,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen_range`] over integer `Range` / `RangeInclusive`,
+//!   [`Rng::gen_bool`], and [`Rng::gen`] for a raw `u64`.
+//!
+//! The stream differs from upstream `rand`'s ChaCha-based `StdRng`, which is
+//! fine here: generated datasets only need to be *deterministic per seed*,
+//! not bit-compatible with any external implementation.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    fn sample_range(rng: &mut impl RngCore, lo: Self, hi_inclusive: Self) -> Self;
+}
+
+/// The raw generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Range argument for [`Rng::gen_range`]: half-open or inclusive.
+pub trait SampleRange<T> {
+    fn bounds(self) -> (T, T);
+    fn is_empty_range(&self) -> bool;
+}
+
+impl<T: SampleUniform + PartialOrd + Dec> SampleRange<T> for Range<T> {
+    fn bounds(self) -> (T, T) {
+        (self.start, self.end.dec())
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start() > self.end()
+    }
+}
+
+/// Decrement helper so `a..b` can be turned into the inclusive `[a, b-1]`.
+pub trait Dec {
+    fn dec(self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl Dec for $t {
+            fn dec(self) -> Self {
+                self - 1
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut impl RngCore, lo: Self, hi_inclusive: Self) -> Self {
+                debug_assert!(lo <= hi_inclusive);
+                // Unbiased-enough modulo draw over the span; spans here are
+                // tiny relative to 2^64 so modulo bias is negligible for the
+                // synthetic-data use case.
+                let span = (hi_inclusive as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let draw = rng.next_u64() % (span + 1);
+                ((lo as $wide).wrapping_add(draw as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int! {
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+}
+
+/// The user-facing sampling interface (blanket-implemented over [`RngCore`]).
+pub trait Rng: RngCore {
+    fn gen_range<T: SampleUniform + PartialOrd, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        assert!(!range.is_empty_range(), "gen_range called with empty range");
+        let (lo, hi) = range.bounds();
+        T::sample_range(self, lo, hi)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 uniform mantissa bits -> [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// A raw uniform `u64`.
+    fn gen(&mut self) -> u64
+    where
+        Self: Sized,
+    {
+        self.next_u64()
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen_range(0u64..1000)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen_range(0u64..1000)).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::seed_from_u64(43);
+        let zs: Vec<u64> = (0..16).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3i64..10);
+            assert!((3..10).contains(&v));
+            let w = r.gen_range(5usize..=9);
+            assert!((5..=9).contains(&w));
+        }
+        // Degenerate inclusive range.
+        assert_eq!(r.gen_range(4i64..=4), 4);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!(0..100).map(|_| r.gen_bool(0.0)).any(|b| b));
+        assert!((0..100).map(|_| r.gen_bool(1.0)).all(|b| b));
+    }
+}

@@ -54,9 +54,7 @@ impl Pattern {
     }
 
     pub fn get(&self, name: &str) -> Option<&PatternRef> {
-        self.refs
-            .iter()
-            .find(|r| r.name.eq_ignore_ascii_case(name))
+        self.refs.iter().find(|r| r.name.eq_ignore_ascii_case(name))
     }
 }
 

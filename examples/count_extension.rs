@@ -54,7 +54,10 @@ fn main() -> Result<()> {
     let sql = "select epc, rtime, reader from caser order by epc, rtime";
     let strict = system.query("strict", sql)?;
     let lenient = system.query("lenient", sql)?;
-    println!("-- strict (any readerX read) --\n{}", strict.to_pretty_string(10));
+    println!(
+        "-- strict (any readerX read) --\n{}",
+        strict.to_pretty_string(10)
+    );
     println!(
         "-- lenient (count(readerX) >= 2) --\n{}",
         lenient.to_pretty_string(10)

@@ -24,9 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ds = generate_into(&catalog, cfg)?;
     println!(
         "generated {} case reads ({} pallets), anomalies: {:?}",
-        ds.case_reads,
-        ds.config.scale,
-        ds.counts
+        ds.case_reads, ds.config.scale, ds.counts
     );
 
     let system = DeferredCleansingSystem::with_catalog(catalog);

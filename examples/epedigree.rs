@@ -28,16 +28,23 @@ fn main() -> Result<()> {
     // a duplicate read and a forklift cross-read mixed in.
     let rows: &[(&str, i64, &str, &str)] = &[
         ("drug1", 0, "backroom", "r1"),
-        ("drug1", 60, "backroom", "r1"),   // duplicate read
+        ("drug1", 60, "backroom", "r1"), // duplicate read
         ("drug1", 3600, "floor", "r2"),
         ("drug1", 7200, "backroom", "r1"), // cycle: floor -> backroom -> floor
         ("drug1", 10800, "floor", "r2"),
-        ("drug2", 0, "dock", "r3"),        // cross-read while on forklift
+        ("drug2", 0, "dock", "r3"), // cross-read while on forklift
         ("drug2", 120, "vault", "readerX"),
     ];
     let data: Vec<Vec<Value>> = rows
         .iter()
-        .map(|(e, t, l, r)| vec![Value::str(*e), Value::Int(*t), Value::str(*l), Value::str(*r)])
+        .map(|(e, t, l, r)| {
+            vec![
+                Value::str(*e),
+                Value::Int(*t),
+                Value::str(*l),
+                Value::str(*r),
+            ]
+        })
         .collect();
     catalog.register(Table::new("caser", Batch::from_rows(schema, &data)?));
 
@@ -65,16 +72,25 @@ fn main() -> Result<()> {
 
     // compliance has no rules: the full, legally mandated pedigree.
     let pedigree = system.query("compliance", sql)?;
-    println!("-- compliance (raw pedigree, {} rows) --\n{}",
-        pedigree.num_rows(), pedigree.to_pretty_string(20));
+    println!(
+        "-- compliance (raw pedigree, {} rows) --\n{}",
+        pedigree.num_rows(),
+        pedigree.to_pretty_string(20)
+    );
 
     let logistics = system.query("logistics", sql)?;
-    println!("-- logistics ({} rows) --\n{}", logistics.num_rows(),
-        logistics.to_pretty_string(20));
+    println!(
+        "-- logistics ({} rows) --\n{}",
+        logistics.num_rows(),
+        logistics.to_pretty_string(20)
+    );
 
     let shelf = system.query("shelf-planning", sql)?;
-    println!("-- shelf-planning ({} rows) --\n{}", shelf.num_rows(),
-        shelf.to_pretty_string(20));
+    println!(
+        "-- shelf-planning ({} rows) --\n{}",
+        shelf.num_rows(),
+        shelf.to_pretty_string(20)
+    );
 
     // The raw table is never modified: compliance always sees everything.
     assert_eq!(pedigree.num_rows(), 7);

@@ -50,19 +50,28 @@ fn main() -> Result<()> {
     let sql = "select epc, count(*) as reads from caser group by epc order by epc";
 
     let dirty = system.query_dirty(sql)?;
-    println!("-- dirty (what is stored) --\n{}", dirty.to_pretty_string(10));
+    println!(
+        "-- dirty (what is stored) --\n{}",
+        dirty.to_pretty_string(10)
+    );
 
     let (clean, report) = system.query_with_strategy(
         "shelf-analytics",
         sql,
         deferred_cleansing::core::Strategy::Auto,
     )?;
-    println!("-- cleansed (what shelf-analytics sees) --\n{}", clean.to_pretty_string(10));
+    println!(
+        "-- cleansed (what shelf-analytics sees) --\n{}",
+        clean.to_pretty_string(10)
+    );
 
     // 4. The rewrite machinery at work.
     println!("rewrite chosen : {}", report.chosen);
     for c in &report.candidates {
-        println!("  candidate    : {} (estimated cost {:.0})", c.label, c.cost);
+        println!(
+            "  candidate    : {} (estimated cost {:.0})",
+            c.label, c.cost
+        );
     }
     println!("executed plan  :\n{}", report.plan);
 

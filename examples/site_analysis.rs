@@ -31,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for sel in [0.05, 0.40] {
         let t2 = ds.rtime_quantile(1.0 - sel);
         let q2 = ds.q2(t2, 2);
-        println!(
-            "\n== q2 at {:.0}% selectivity (T2 = {t2}) ==",
-            sel * 100.0
-        );
+        println!("\n== q2 at {:.0}% selectivity (T2 = {t2}) ==", sel * 100.0);
         let (result, auto) = system.query_with_strategy("site", &q2, Strategy::Auto)?;
         println!(
             "cost-based choice: {} ({} manufacturer groups, {:?})",

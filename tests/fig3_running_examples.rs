@@ -19,7 +19,14 @@ fn reads_table(rows: &[(&str, i64, &str, &str)]) -> Table {
     ]));
     let data: Vec<Vec<Value>> = rows
         .iter()
-        .map(|(e, t, l, r)| vec![Value::str(*e), Value::Int(*t), Value::str(*l), Value::str(*r)])
+        .map(|(e, t, l, r)| {
+            vec![
+                Value::str(*e),
+                Value::Int(*t),
+                Value::str(*l),
+                Value::str(*r),
+            ]
+        })
         .collect();
     Table::new("caser", Batch::from_rows(schema, &data).unwrap())
 }
@@ -44,7 +51,12 @@ fn fig3a_c1_q1() {
     let q1 = format!("select epc, rtime from caser where rtime < {t1}");
     // Applying C1 on R1 removes r1 (readerX read follows within 5 min), so
     // the correct answer to Q1[C1] is {}.
-    for strategy in [Strategy::Auto, Strategy::Expanded, Strategy::JoinBack, Strategy::Naive] {
+    for strategy in [
+        Strategy::Auto,
+        Strategy::Expanded,
+        Strategy::JoinBack,
+        Strategy::Naive,
+    ] {
         let (batch, _) = sys.query_with_strategy("app", &q1, strategy).unwrap();
         assert_eq!(batch.num_rows(), 0, "{strategy:?}");
     }

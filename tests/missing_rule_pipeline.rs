@@ -31,7 +31,10 @@ fn catalog() -> Arc<Catalog> {
         vec![Value::str("c2"), Value::Int(5_020), Value::str("L2")],
         vec![Value::str("c2"), Value::Int(9_020), Value::str("L3")],
     ];
-    let mut caser = Table::new("caser", Batch::from_rows(reads_schema(), &case_rows).unwrap());
+    let mut caser = Table::new(
+        "caser",
+        Batch::from_rows(reads_schema(), &case_rows).unwrap(),
+    );
     caser.create_index("rtime").unwrap();
     caser.create_index("epc").unwrap();
     catalog.register(caser);
@@ -41,8 +44,10 @@ fn catalog() -> Arc<Catalog> {
         vec![Value::str("p1"), Value::Int(5_000), Value::str("L2")],
         vec![Value::str("p1"), Value::Int(9_000), Value::str("L3")],
     ];
-    let mut palletr =
-        Table::new("palletr", Batch::from_rows(reads_schema(), &pallet_rows).unwrap());
+    let mut palletr = Table::new(
+        "palletr",
+        Batch::from_rows(reads_schema(), &pallet_rows).unwrap(),
+    );
     palletr.create_index("rtime").unwrap();
     catalog.register(palletr);
 

@@ -106,20 +106,29 @@ fn rule_validation_errors_are_actionable() {
     let sys = DeferredCleansingSystem::with_catalog(catalog());
     // Unknown table.
     let err = sys
-        .define_rule("app", "DEFINE r ON nosuch CLUSTER BY epc SEQUENCE BY rtime \
-            AS (A, B) WHERE A.rtime = B.rtime ACTION DELETE B")
+        .define_rule(
+            "app",
+            "DEFINE r ON nosuch CLUSTER BY epc SEQUENCE BY rtime \
+            AS (A, B) WHERE A.rtime = B.rtime ACTION DELETE B",
+        )
         .unwrap_err();
     assert!(err.to_string().contains("nosuch"));
     // Set reference in the middle.
     let err = sys
-        .define_rule("app", "DEFINE r ON caseR CLUSTER BY epc SEQUENCE BY rtime \
-            AS (A, *B, C) WHERE A.rtime = C.rtime ACTION DELETE A")
+        .define_rule(
+            "app",
+            "DEFINE r ON caseR CLUSTER BY epc SEQUENCE BY rtime \
+            AS (A, *B, C) WHERE A.rtime = C.rtime ACTION DELETE A",
+        )
         .unwrap_err();
     assert!(err.to_string().contains("beginning or end"));
     // Unknown key column.
     let err = sys
-        .define_rule("app", "DEFINE r ON caseR CLUSTER BY tag SEQUENCE BY rtime \
-            AS (A, B) WHERE A.rtime = B.rtime ACTION DELETE B")
+        .define_rule(
+            "app",
+            "DEFINE r ON caseR CLUSTER BY tag SEQUENCE BY rtime \
+            AS (A, B) WHERE A.rtime = B.rtime ACTION DELETE B",
+        )
         .unwrap_err();
     assert!(err.to_string().contains("tag"));
     assert!(sys.rules().is_empty());

@@ -55,7 +55,12 @@ fn gold_answer(catalog: &Catalog, sql: &str) -> Vec<Vec<Value>> {
 }
 
 fn check(sys: &DeferredCleansingSystem, app: &str, sql: &str, expect: &[Vec<Value>]) {
-    for strategy in [Strategy::Auto, Strategy::Naive, Strategy::JoinBack, Strategy::Expanded] {
+    for strategy in [
+        Strategy::Auto,
+        Strategy::Naive,
+        Strategy::JoinBack,
+        Strategy::Expanded,
+    ] {
         match sys.query_with_strategy(app, sql, strategy) {
             Ok((batch, report)) => {
                 assert_eq!(
@@ -77,7 +82,12 @@ fn check(sys: &DeferredCleansingSystem, app: &str, sql: &str, expect: &[Vec<Valu
 }
 
 /// Build a system over generated data with the first `n` benchmark rules.
-fn prepared(scale: usize, pct: f64, seed: u64, n_rules: usize) -> (DeferredCleansingSystem, Catalog, Vec<String>) {
+fn prepared(
+    scale: usize,
+    pct: f64,
+    seed: u64,
+    n_rules: usize,
+) -> (DeferredCleansingSystem, Catalog, Vec<String>) {
     let catalog = Arc::new(Catalog::new());
     let ds = generate_into(&catalog, GenConfig::tiny(scale, pct, seed)).unwrap();
     ds.materialize_missing_input(&catalog).unwrap();
@@ -102,8 +112,11 @@ fn selection_queries_match_gold_across_seeds() {
         for sql in [
             format!("select epc, rtime, biz_loc from caser where rtime <= {mid}"),
             format!("select epc, rtime, biz_loc from caser where rtime >= {mid}"),
-            format!("select epc, rtime from caser where rtime >= {} and rtime <= {}",
-                tmin + (tmax - tmin) / 4, mid),
+            format!(
+                "select epc, rtime from caser where rtime >= {} and rtime <= {}",
+                tmin + (tmax - tmin) / 4,
+                mid
+            ),
             "select epc, count(*) as n from caser group by epc".to_string(),
         ] {
             check(&sys, "app", &sql, &gold_answer(&gold, &sql));
@@ -165,7 +178,8 @@ fn five_rule_chain_with_derived_input_matches_gold() {
     // rule pipeline including compensation.
     let sql = format!("select epc, rtime, biz_loc from caser where rtime <= {t}");
     check(&sys, "app", &sql, &gold_answer(&gold, &sql));
-    let sql = format!("select biz_loc, count(*) as n from caser where rtime >= {t} group by biz_loc");
+    let sql =
+        format!("select biz_loc, count(*) as n from caser where rtime >= {t} group by biz_loc");
     check(&sys, "app", &sql, &gold_answer(&gold, &sql));
 }
 

@@ -1,0 +1,251 @@
+//! Serial vs partition-parallel equivalence.
+//!
+//! Partition-parallel Φ_C cleansing must be *transparent*: at any
+//! parallelism the result batches are byte-identical (same rows, same
+//! order) and the merged [`ExecStats`] — including window work, sort
+//! counts, and `partitions_executed` — are equal to the serial run. This
+//! suite checks that for every repro workload and for randomly generated
+//! window plans.
+
+use dc_bench::harness::setup_with_parallelism;
+use dc_core::Strategy;
+use dc_relational::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PARALLELISMS: [usize; 3] = [1, 2, 8];
+
+fn rows_of(b: &Batch) -> Vec<Vec<Value>> {
+    (0..b.num_rows()).map(|i| b.row(i)).collect()
+}
+
+/// Every repro workload (q1/q2/q2' × every strategy) produces byte-identical
+/// batches and identical stats at parallelism 1, 2, and 8.
+#[test]
+fn repro_workloads_equivalent_across_parallelism() {
+    // The same (scale, anomaly, seed) generates the same database, so the
+    // three environments differ only in parallelism.
+    let envs: Vec<_> = PARALLELISMS
+        .iter()
+        .map(|&p| setup_with_parallelism(3, 10.0, 7, p))
+        .collect();
+    let ds = &envs[0].dataset;
+    let workloads = [
+        ("q1@10%", ds.q1(ds.rtime_quantile(0.10))),
+        ("q2@10%", ds.q2(ds.rtime_quantile(0.90), 2)),
+        ("q2'@10%", ds.q2_prime(ds.rtime_quantile(0.90), 3)),
+    ];
+    let strategies = [
+        Strategy::Auto,
+        Strategy::Expanded,
+        Strategy::JoinBack,
+        Strategy::Naive,
+    ];
+    for (name, sql) in &workloads {
+        for n_rules in [1, 3] {
+            let app = format!("rules-{n_rules}");
+            for strategy in strategies {
+                let mut outcomes = Vec::new();
+                for (env, &p) in envs.iter().zip(&PARALLELISMS) {
+                    match env.system.query_with_strategy(&app, sql, strategy) {
+                        Ok((batch, report)) => {
+                            assert_eq!(report.parallelism, p, "{name} {app} {strategy:?}");
+                            outcomes.push(Some((rows_of(&batch), report.stats)));
+                        }
+                        Err(_) => outcomes.push(None),
+                    }
+                }
+                // Feasibility, results, and stats must not depend on P.
+                let (first, rest) = outcomes.split_first().unwrap();
+                for (got, &p) in rest.iter().zip(&PARALLELISMS[1..]) {
+                    assert_eq!(
+                        got.is_some(),
+                        first.is_some(),
+                        "{name} {app} {strategy:?}: feasibility differs at P={p}"
+                    );
+                    if let (Some((rows, stats)), Some((rows1, stats1))) = (got, first) {
+                        assert_eq!(rows, rows1, "{name} {app} {strategy:?}: rows at P={p}");
+                        assert_eq!(stats, stats1, "{name} {app} {strategy:?}: stats at P={p}");
+                    }
+                }
+            }
+        }
+        // The dirty baseline too (its window-free path must also be stable).
+        let dirty: Vec<_> = envs
+            .iter()
+            .map(|env| {
+                let (b, r) = env.system.query_dirty_with_report(sql).unwrap();
+                (rows_of(&b), r.stats)
+            })
+            .collect();
+        assert!(dirty.windows(2).all(|w| w[0] == w[1]), "{name} dirty");
+    }
+}
+
+/// Eager materialization (Φ over the whole reads table) is also identical
+/// across parallelism.
+#[test]
+fn materialization_equivalent_across_parallelism() {
+    let mut results = Vec::new();
+    for &p in &PARALLELISMS {
+        let env = setup_with_parallelism(2, 20.0, 11, p);
+        let rows = env
+            .system
+            .materialize_cleansed("rules-3", "caser_clean")
+            .unwrap();
+        let batch = env
+            .system
+            .query_dirty("select epc, rtime, biz_loc from caser_clean")
+            .unwrap();
+        results.push((rows, rows_of(&batch)));
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random window plans.
+// ---------------------------------------------------------------------------
+
+const CASES: u64 = 48;
+
+/// Run `property` for `CASES` deterministic seeds, reporting the failing
+/// seed on panic (mirrors tests/proptest_invariants.rs).
+fn check(name: &str, mut property: impl FnMut(&mut StdRng)) {
+    for case in 0..CASES {
+        let seed = 0xDCA7_0000 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut rng);
+        }));
+        if let Err(e) = result {
+            eprintln!("property '{name}' failed at case {case} (seed {seed:#x})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+fn random_catalog(rng: &mut StdRng) -> Catalog {
+    let schema = schema_ref(Schema::new(vec![
+        Field::new("epc", DataType::Str),
+        Field::new("rtime", DataType::Int),
+        Field::new("biz_loc", DataType::Str),
+        Field::new("weight", DataType::Double),
+    ]));
+    let n = rng.gen_range(1..=60usize);
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|_| {
+            vec![
+                Value::str(format!("e{}", rng.gen_range(0..5u32))),
+                Value::Int(rng.gen_range(0..500i64)),
+                Value::str(format!("loc{}", rng.gen_range(0..3u32))),
+                if rng.gen_bool(0.1) {
+                    Value::Null
+                } else {
+                    Value::Double(rng.gen_range(0..1000i64) as f64 / 10.0)
+                },
+            ]
+        })
+        .collect();
+    let b = Batch::from_rows(schema, &rows).unwrap();
+    let mut t = Table::new("r", b);
+    if rng.gen_bool(0.5) {
+        t.create_index("rtime").unwrap();
+    }
+    let cat = Catalog::new();
+    cat.register(t);
+    cat
+}
+
+fn random_frame(rng: &mut StdRng) -> Frame {
+    let bound = |rng: &mut StdRng, start: bool| match rng.gen_range(0..4u32) {
+        0 => {
+            if start {
+                FrameBound::UnboundedPreceding
+            } else {
+                FrameBound::UnboundedFollowing
+            }
+        }
+        1 => FrameBound::Preceding(rng.gen_range(0..20i64)),
+        2 => FrameBound::CurrentRow,
+        _ => FrameBound::Following(rng.gen_range(0..20i64)),
+    };
+    // Retry until the frame is well-formed (start not after end).
+    loop {
+        let (s, e) = (bound(rng, true), bound(rng, false));
+        let order = |b: &FrameBound| match b {
+            FrameBound::UnboundedPreceding => (0, 0),
+            FrameBound::Preceding(n) => (1, -n),
+            FrameBound::CurrentRow => (2, 0),
+            FrameBound::Following(n) => (3, *n),
+            FrameBound::UnboundedFollowing => (4, 0),
+        };
+        if order(&s) <= order(&e) {
+            return if rng.gen_bool(0.5) {
+                Frame::rows(s, e)
+            } else {
+                Frame::range(s, e)
+            };
+        }
+    }
+}
+
+fn random_window_plan(rng: &mut StdRng) -> LogicalPlan {
+    let input = if rng.gen_bool(0.5) {
+        LogicalPlan::scan("r").filter(Expr::col("rtime").lt(Expr::lit(rng.gen_range(50..500i64))))
+    } else {
+        LogicalPlan::scan("r")
+    };
+    let partition_by = if rng.gen_bool(0.3) {
+        vec![Expr::col("epc"), Expr::col("biz_loc")]
+    } else {
+        vec![Expr::col("epc")]
+    };
+    let n_exprs = rng.gen_range(1..=3usize);
+    let exprs: Vec<WindowExpr> = (0..n_exprs)
+        .map(|i| {
+            let (func, arg) = match rng.gen_range(0..6u32) {
+                0 => (WindowFuncKind::Count, None),
+                1 => (WindowFuncKind::Count, Some(Expr::col("weight"))),
+                2 => (WindowFuncKind::Sum, Some(Expr::col("rtime"))),
+                3 => (WindowFuncKind::Max, Some(Expr::col("biz_loc"))),
+                4 => (WindowFuncKind::Min, Some(Expr::col("rtime"))),
+                _ => (WindowFuncKind::Avg, Some(Expr::col("weight"))),
+            };
+            WindowExpr {
+                func,
+                arg,
+                frame: random_frame(rng),
+                alias: format!("w{i}"),
+            }
+        })
+        .collect();
+    LogicalPlan::Window {
+        input: Box::new(input),
+        partition_by,
+        order_by: vec![SortKey::asc(Expr::col("rtime"))],
+        exprs,
+        presorted: false,
+    }
+}
+
+/// Random window plans produce byte-identical batches and identical stats
+/// at parallelism 1, 2, and 8.
+#[test]
+fn random_plans_equivalent_across_parallelism() {
+    check("parallel window equivalence", |rng| {
+        let cat = random_catalog(rng);
+        let plan = random_window_plan(rng);
+        let mut baseline: Option<(Vec<Vec<Value>>, ExecStats)> = None;
+        for &p in &PARALLELISMS {
+            let mut ex = Executor::with_options(&cat, ExecOptions::with_parallelism(p));
+            let batch = ex.execute(&plan).unwrap();
+            match &baseline {
+                None => baseline = Some((rows_of(&batch), ex.stats)),
+                Some((rows, stats)) => {
+                    assert_eq!(&rows_of(&batch), rows, "rows differ at P={p}");
+                    assert_eq!(&ex.stats, stats, "stats differ at P={p}");
+                }
+            }
+        }
+    });
+}

@@ -80,9 +80,14 @@ fn order_by_desc_with_limit() {
 #[test]
 fn limit_zero_and_oversized() {
     let cat = catalog();
-    assert_eq!(run_sql("select * from r limit 0", &cat).unwrap().num_rows(), 0);
     assert_eq!(
-        run_sql("select * from r limit 999", &cat).unwrap().num_rows(),
+        run_sql("select * from r limit 0", &cat).unwrap().num_rows(),
+        0
+    );
+    assert_eq!(
+        run_sql("select * from r limit 999", &cat)
+            .unwrap()
+            .num_rows(),
         4
     );
 }
@@ -138,8 +143,11 @@ fn two_windows_one_partition_share_one_node() {
 #[test]
 fn division_produces_double_and_div_by_zero_is_null() {
     let cat = catalog();
-    let out = run_sql("select rtime / 4 as q, rtime / 0 as z from r where rtime = 10", &cat)
-        .unwrap();
+    let out = run_sql(
+        "select rtime / 4 as q, rtime / 0 as z from r where rtime = 10",
+        &cat,
+    )
+    .unwrap();
     assert_eq!(out.row(0)[0], Value::Double(2.5));
     assert_eq!(out.row(0)[1], Value::Null);
 }
@@ -172,11 +180,7 @@ fn useful_parse_and_plan_errors() {
     let err = run_sql("select epc from missing_table", &cat).unwrap_err();
     assert!(err.to_string().contains("missing_table"));
     // Ambiguity across a self-join must be reported, not guessed.
-    let err = run_sql(
-        "select epc from r a, r b where a.rtime = b.rtime",
-        &cat,
-    )
-    .unwrap_err();
+    let err = run_sql("select epc from r a, r b where a.rtime = b.rtime", &cat).unwrap_err();
     assert!(err.to_string().contains("ambiguous"), "{err}");
 }
 
