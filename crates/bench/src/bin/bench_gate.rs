@@ -1,0 +1,54 @@
+//! `bench-gate` — fail CI when a deterministic work counter regresses.
+//!
+//! ```text
+//! bench-gate [BASELINE] [CURRENT] [--tolerance PCT]
+//! ```
+//!
+//! Defaults to `BENCH_baseline.json` (committed) vs `BENCH_repro.json`
+//! (produced by the `repro` binary). Exits non-zero when any gated counter
+//! grew beyond the tolerance or the two runs are not comparable.
+
+use dc_bench::gate::{compare, DEFAULT_TOLERANCE};
+
+fn load(path: &str) -> dc_json::Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench-gate: cannot read {path}: {e}"));
+    dc_json::parse(&text).unwrap_or_else(|e| panic!("bench-gate: cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let mut baseline = "BENCH_baseline.json".to_string();
+    let mut current = "BENCH_repro.json".to_string();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut positional = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let pct: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance PCT");
+                tolerance = pct / 100.0;
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => panic!("bench-gate: unknown flag {other}"),
+        }
+    }
+    let mut positional = positional.into_iter();
+    if let Some(p) = positional.next() {
+        baseline = p;
+    }
+    if let Some(p) = positional.next() {
+        current = p;
+    }
+
+    let report = compare(&load(&baseline), &load(&current), tolerance);
+    print!(
+        "comparing {current} against baseline {baseline}\n{}",
+        report.render()
+    );
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}

@@ -216,6 +216,26 @@ pub fn plans(scale: usize, seed: u64) -> Vec<(String, String)> {
     out
 }
 
+/// EXPLAIN ANALYZE of the Figure-7 queries (q1 and q2 at 10 % selectivity)
+/// under the reader rule with the cost-based strategy: the rewrite decision
+/// trace (chosen candidate, every cost estimate, derived conditions) and
+/// the executed physical plan annotated with per-operator row counts.
+pub fn explains(scale: usize, seed: u64, threads: usize) -> Vec<(String, dc_core::ExplainReport)> {
+    let env = setup_with_parallelism(scale, 10.0, seed, threads);
+    let ds = &env.dataset;
+    let q1 = ds.q1(ds.rtime_quantile(0.10));
+    let q2 = ds.q2(ds.rtime_quantile(0.90), 2);
+    let mut out = Vec::new();
+    for (label, sql) in [("Fig 7(a): q1 @ 10%", &q1), ("Fig 7(d): q2 @ 10%", &q2)] {
+        let report = env
+            .system
+            .explain_report("rules-1", sql, Strategy::Auto, true)
+            .unwrap_or_else(|e| panic!("explain analyze of {label}: {e}"));
+        out.push((label.to_string(), report));
+    }
+    out
+}
+
 /// Ablation: order sharing on/off for the expanded rewrite of q1. Returns
 /// (sorts with sharing, sorts without sharing) work counters.
 pub fn ablation_order_sharing(scale: usize, seed: u64) -> (Measurement, Measurement) {
@@ -470,6 +490,20 @@ mod tests {
                 .map(|r| r.measurement.as_ref().unwrap().result_rows)
                 .collect();
             assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn explains_carry_trace_and_metrics() {
+        let reports = explains(2, 3, 1);
+        assert_eq!(reports.len(), 2);
+        for (label, rep) in &reports {
+            assert!(!rep.trace.candidates.is_empty(), "{label}: no candidates");
+            let m = rep.metrics.as_ref().unwrap_or_else(|| panic!("{label}"));
+            assert!(m.rows_out > 0 || rep.result_rows == Some(0), "{label}");
+            let text = rep.text();
+            assert!(text.contains("-- chosen:"), "{label}");
+            assert!(text.contains("rows_out="), "{label}");
         }
     }
 

@@ -1,0 +1,356 @@
+//! Deterministic perf-regression gate over `BENCH_repro.json`.
+//!
+//! The repro harness separates *work counters* (rows scanned/sorted, window
+//! work, join probes, …) from *wall-clock*. Counters are identical for a
+//! given (scale, seed) at any parallelism, so CI can diff them exactly: a
+//! counter that grows more than the tolerance against the committed
+//! `BENCH_baseline.json` means a plan or rewrite silently got more
+//! expensive. Wall-clock keys are compared too but never gate — machine
+//! noise is reported, not failed on.
+
+use dc_json::Json;
+
+/// Counter growth tolerated before the gate fails (5%).
+pub const DEFAULT_TOLERANCE: f64 = 0.05;
+
+/// Keys whose numeric values are deterministic work counters — gated.
+pub const GATING_KEYS: &[&str] = &[
+    "result_rows",
+    "rows_scanned",
+    "rows_sorted",
+    "sorts",
+    "window_work",
+    "join_probes",
+    "partitions",
+    "eager_rows",
+];
+
+/// Keys that must match exactly between baseline and current run —
+/// comparing counters from different configurations is meaningless.
+pub const EXACT_KEYS: &[&str] = &["scale", "seed", "parallelism"];
+
+/// Wall-clock keys: reported, never gating.
+fn is_timing_key(key: &str) -> bool {
+    key == "millis" || key.ends_with("_ms")
+}
+
+/// Outcome of one baseline/current comparison.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Gating counter increases beyond tolerance — each one fails the gate.
+    pub regressions: Vec<String>,
+    /// Structural problems (config mismatch, missing figures/keys, type
+    /// changes) — each one fails the gate.
+    pub errors: Vec<String>,
+    /// Gating counters that *decreased* (informational).
+    pub improvements: Vec<String>,
+    /// Non-gating observations: string changes, new keys, timing drift.
+    pub notes: Vec<String>,
+    /// How many gating counter values were compared.
+    pub counters_checked: usize,
+    /// How many wall-clock values were compared (non-gating).
+    pub timing_compared: usize,
+}
+
+impl GateReport {
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.errors.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "bench gate: {} work counters compared, {} wall-clock values (non-gating)\n",
+            self.counters_checked, self.timing_compared
+        );
+        for (title, lines) in [("error", &self.errors), ("regression", &self.regressions)] {
+            for line in lines {
+                out.push_str(&format!("{title}: {line}\n"));
+            }
+        }
+        for line in &self.improvements {
+            out.push_str(&format!("improved: {line}\n"));
+        }
+        for line in &self.notes {
+            out.push_str(&format!("note: {line}\n"));
+        }
+        out.push_str(if self.passed() {
+            "gate: PASS\n"
+        } else {
+            "gate: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Compare a current `BENCH_repro.json` against a committed baseline.
+///
+/// Figures are matched by `name` (order-insensitive); within a figure the
+/// row arrays are positional, since the harness emits them deterministically.
+pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> GateReport {
+    let mut rep = GateReport::default();
+
+    for key in EXACT_KEYS {
+        let b = baseline.get(key);
+        let c = current.get(key);
+        if b != c {
+            rep.errors.push(format!(
+                "config key '{key}' differs: baseline {} vs current {} \
+                 (counters are only comparable for identical configs)",
+                render_leaf(b),
+                render_leaf(c)
+            ));
+        }
+    }
+
+    let base_figs = figures_by_name(baseline);
+    let cur_figs = figures_by_name(current);
+    for (name, base_fig) in &base_figs {
+        match cur_figs.iter().find(|(n, _)| n == name) {
+            Some((_, cur_fig)) => walk(name, None, base_fig, cur_fig, tolerance, &mut rep),
+            None => rep
+                .errors
+                .push(format!("figure '{name}' missing from current run")),
+        }
+    }
+    for (name, _) in &cur_figs {
+        if !base_figs.iter().any(|(n, _)| n == name) {
+            rep.notes.push(format!(
+                "figure '{name}' is new in current run (not gated; refresh the baseline)"
+            ));
+        }
+    }
+    rep
+}
+
+fn figures_by_name(doc: &Json) -> Vec<(String, &Json)> {
+    doc.get("figures")
+        .and_then(Json::as_arr)
+        .map(|figs| {
+            figs.iter()
+                .map(|f| {
+                    let name = f
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("<unnamed>")
+                        .to_string();
+                    (name, f)
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn walk(path: &str, key: Option<&str>, base: &Json, cur: &Json, tol: f64, rep: &mut GateReport) {
+    match (base, cur) {
+        (Json::Obj(members), Json::Obj(cur_members)) => {
+            for (k, bv) in members {
+                let child = format!("{path}.{k}");
+                match cur.get(k) {
+                    Some(cv) => walk(&child, Some(k), bv, cv, tol, rep),
+                    None => rep
+                        .errors
+                        .push(format!("{child}: missing from current run")),
+                }
+            }
+            for (k, _) in cur_members {
+                if base.get(k).is_none() {
+                    rep.notes
+                        .push(format!("{path}.{k}: new key in current run (not gated)"));
+                }
+            }
+        }
+        (Json::Arr(bs), Json::Arr(cs)) => {
+            if bs.len() != cs.len() {
+                rep.errors.push(format!(
+                    "{path}: {} entries in baseline vs {} in current",
+                    bs.len(),
+                    cs.len()
+                ));
+            }
+            for (i, (bv, cv)) in bs.iter().zip(cs).enumerate() {
+                walk(&format!("{path}[{i}]"), key, bv, cv, tol, rep);
+            }
+        }
+        (Json::Num(b), Json::Num(c)) => compare_number(path, key, *b, *c, tol, rep),
+        (Json::Str(b), Json::Str(c)) => {
+            if b != c {
+                rep.notes
+                    .push(format!("{path}: '{b}' became '{c}' (not gated)"));
+            }
+        }
+        _ => {
+            if base != cur {
+                rep.errors.push(format!(
+                    "{path}: value kind changed ({} vs {})",
+                    render_leaf(Some(base)),
+                    render_leaf(Some(cur))
+                ));
+            }
+        }
+    }
+}
+
+fn compare_number(
+    path: &str,
+    key: Option<&str>,
+    base: f64,
+    cur: f64,
+    tol: f64,
+    rep: &mut GateReport,
+) {
+    let key = key.unwrap_or("");
+    if is_timing_key(key) {
+        rep.timing_compared += 1;
+        return; // wall-clock: counted, never judged
+    }
+    if EXACT_KEYS.contains(&key) {
+        if base != cur {
+            rep.errors
+                .push(format!("{path}: config value {base} became {cur}"));
+        }
+        return;
+    }
+    if GATING_KEYS.contains(&key) {
+        rep.counters_checked += 1;
+        let limit = base * (1.0 + tol);
+        if cur > limit {
+            let pct = if base > 0.0 {
+                format!("{:+.1}%", (cur / base - 1.0) * 100.0)
+            } else {
+                "was 0".to_string()
+            };
+            let tol_pct = tol * 100.0;
+            rep.regressions.push(format!(
+                "{path}: {base} -> {cur} ({pct}, tolerance {tol_pct:.0}%)"
+            ));
+        } else if cur < base {
+            rep.improvements.push(format!("{path}: {base} -> {cur}"));
+        }
+        return;
+    }
+    // Unclassified numeric key: a silent change here would dodge the gate,
+    // so any drift is an error until the key is classified above.
+    if base != cur {
+        rep.errors.push(format!(
+            "{path}: unclassified counter '{key}' changed {base} -> {cur} \
+             (add it to GATING_KEYS or the timing set)"
+        ));
+    }
+}
+
+fn render_leaf(v: Option<&Json>) -> String {
+    v.map_or_else(|| "<absent>".to_string(), Json::compact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_json::parse;
+
+    fn doc(rows_scanned: u64, millis: f64) -> Json {
+        Json::obj()
+            .set("scale", 2usize)
+            .set("seed", 2006u64)
+            .set("parallelism", 2usize)
+            .set(
+                "figures",
+                Json::Arr(vec![Json::obj().set("name", "fig7a").set(
+                    "rows",
+                    Json::Arr(vec![Json::obj()
+                        .set("variant", "q_e")
+                        .set("rows_scanned", rows_scanned)
+                        .set("millis", Json::Num(millis))]),
+                )]),
+            )
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let rep = compare(&doc(1000, 12.0), &doc(1000, 99.0), DEFAULT_TOLERANCE);
+        assert!(rep.passed(), "{}", rep.render());
+        assert_eq!(rep.counters_checked, 1);
+        assert_eq!(rep.timing_compared, 1);
+        assert!(rep.render().contains("PASS"));
+    }
+
+    #[test]
+    fn counter_regression_fails_but_small_growth_passes() {
+        // +10% > 5% tolerance: fail.
+        let rep = compare(&doc(1000, 12.0), &doc(1100, 12.0), DEFAULT_TOLERANCE);
+        assert!(!rep.passed());
+        assert_eq!(rep.regressions.len(), 1);
+        assert!(rep.render().contains("FAIL"));
+        // +4% within tolerance: pass.
+        let rep = compare(&doc(1000, 12.0), &doc(1040, 12.0), DEFAULT_TOLERANCE);
+        assert!(rep.passed(), "{}", rep.render());
+    }
+
+    #[test]
+    fn improvement_is_informational() {
+        let rep = compare(&doc(1000, 12.0), &doc(900, 12.0), DEFAULT_TOLERANCE);
+        assert!(rep.passed());
+        assert_eq!(rep.improvements.len(), 1);
+    }
+
+    #[test]
+    fn config_mismatch_is_an_error() {
+        let mut other = doc(1000, 12.0);
+        if let Json::Obj(members) = &mut other {
+            members[0].1 = Json::from(4usize); // scale
+        }
+        let rep = compare(&doc(1000, 12.0), &other, DEFAULT_TOLERANCE);
+        assert!(!rep.passed());
+        assert!(rep.errors.iter().any(|e| e.contains("scale")));
+    }
+
+    #[test]
+    fn missing_figure_fails_and_new_figure_notes() {
+        let empty = parse(r#"{"scale":2,"seed":2006,"parallelism":2,"figures":[]}"#).unwrap();
+        let rep = compare(&doc(1000, 12.0), &empty, DEFAULT_TOLERANCE);
+        assert!(!rep.passed());
+        assert!(rep.errors.iter().any(|e| e.contains("fig7a")));
+
+        let rep = compare(&empty, &doc(1000, 12.0), DEFAULT_TOLERANCE);
+        assert!(rep.passed());
+        assert!(rep.notes.iter().any(|n| n.contains("new in current")));
+    }
+
+    #[test]
+    fn regression_from_zero_baseline_fails() {
+        let base = doc(0, 12.0);
+        let rep = compare(&base, &doc(5, 12.0), DEFAULT_TOLERANCE);
+        assert!(!rep.passed());
+    }
+
+    #[test]
+    fn unclassified_counter_drift_is_an_error() {
+        let mk = |v: u64| {
+            Json::obj()
+                .set("scale", 2usize)
+                .set("seed", 2006u64)
+                .set("parallelism", 1usize)
+                .set(
+                    "figures",
+                    Json::Arr(vec![Json::obj()
+                        .set("name", "x")
+                        .set("rows", Json::Arr(vec![Json::obj().set("mystery", v)]))]),
+                )
+        };
+        let rep = compare(&mk(1), &mk(2), DEFAULT_TOLERANCE);
+        assert!(!rep.passed());
+        assert!(rep.errors.iter().any(|e| e.contains("mystery")));
+        // unchanged unclassified keys are fine
+        assert!(compare(&mk(1), &mk(1), DEFAULT_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn string_change_is_informational() {
+        let mut other = doc(1000, 12.0);
+        // flip variant q_e -> q_j
+        let s = other.pretty().replace("q_e", "q_j");
+        other = parse(&s).unwrap();
+        let rep = compare(&doc(1000, 12.0), &other, DEFAULT_TOLERANCE);
+        assert!(rep.passed());
+        assert!(rep.notes.iter().any(|n| n.contains("q_j")));
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|plans|ablations|eager]
-//!       [--scale N] [--seed S] [--threads N] [--json]
+//!       [--scale N] [--seed S] [--threads N] [--json] [--explain]
 //! ```
 //!
 //! Besides the console rendering, every run writes `BENCH_repro.json` — a
@@ -10,10 +10,16 @@
 //! counters of every measurement, and the parallelism used. `--threads N`
 //! enables partition-parallel Φ_C cleansing: window wall-clock improves with
 //! N while every work counter stays identical.
+//!
+//! `--explain` switches to EXPLAIN ANALYZE mode instead: it runs the
+//! Figure-7 queries under the cost-based strategy, prints each one's
+//! rewrite decision (chosen candidate, all cost estimates, derived
+//! conditions) and executed physical plan with per-operator row counts,
+//! and writes the machine-readable trees to `EXPLAIN_repro.json`.
 
 use dc_bench::experiments::{
-    ablation_joinback, ablation_order_sharing, eager_vs_deferred, fig7_selectivity, fig9_dirty,
-    fig9_rules, plans, table1, ExperimentRow, DEFAULT_SCALE, DEFAULT_SEED,
+    ablation_joinback, ablation_order_sharing, eager_vs_deferred, explains, fig7_selectivity,
+    fig9_dirty, fig9_rules, plans, table1, ExperimentRow, DEFAULT_SCALE, DEFAULT_SEED,
 };
 use dc_bench::report::{render_figure, render_table1};
 use dc_json::Json;
@@ -25,6 +31,7 @@ struct Args {
     seed: u64,
     threads: usize,
     json: bool,
+    explain: bool,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +41,7 @@ fn parse_args() -> Args {
         seed: DEFAULT_SEED,
         threads: 1,
         json: false,
+        explain: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,6 +62,7 @@ fn parse_args() -> Args {
                     .expect("--threads N");
             }
             "--json" => args.json = true,
+            "--explain" => args.explain = true,
             other if !other.starts_with('-') => args.what = other.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -195,8 +204,41 @@ fn run_one(args: &Args, what: &str) -> Vec<(String, Json)> {
     }
 }
 
+/// EXPLAIN ANALYZE mode: print the Figure-7 rewrite decisions and executed
+/// plans, and write `EXPLAIN_repro.json`.
+fn run_explain(args: &Args) {
+    let reports = explains(args.scale, args.seed, args.threads);
+    let mut arr = Vec::new();
+    for (label, rep) in &reports {
+        if args.json {
+            println!("{}", rep.to_json().pretty());
+        } else {
+            println!("== EXPLAIN ANALYZE {label} ==\n{}", rep.text());
+        }
+        arr.push(
+            Json::obj()
+                .set("label", label.as_str())
+                .set("report", rep.to_json()),
+        );
+    }
+    let record = Json::obj()
+        .set("scale", args.scale)
+        .set("seed", args.seed)
+        .set("parallelism", args.threads)
+        .set("explains", Json::Arr(arr));
+    let path = "EXPLAIN_repro.json";
+    match std::fs::write(path, record.pretty()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.explain {
+        run_explain(&args);
+        return;
+    }
     let whats: Vec<&str> = if args.what == "all" {
         vec![
             "table1",

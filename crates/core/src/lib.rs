@@ -34,6 +34,6 @@
 
 pub mod system;
 
-pub use dc_relational::physical::ExecOptions;
-pub use dc_rewrite::Strategy;
-pub use system::{DeferredCleansingSystem, QueryReport};
+pub use dc_relational::physical::{ExecOptions, OperatorMetrics};
+pub use dc_rewrite::{DecisionTrace, Strategy};
+pub use system::{DeferredCleansingSystem, ExplainReport, QueryReport};

@@ -7,14 +7,16 @@
 //!    against the application's rules by the rewrite engine, executed, and
 //!    cleansed results returned.
 
+use dc_json::Json;
 use dc_relational::batch::Batch;
 use dc_relational::error::Result;
 use dc_relational::exec::{ExecStats, Executor};
-use dc_relational::physical::ExecOptions;
+use dc_relational::explain::{logical_to_json, physical_to_json};
+use dc_relational::physical::{display_physical, lower, ExecOptions, OperatorMetrics};
 use dc_relational::plan::LogicalPlan;
 use dc_relational::sql::{parse_query, plan_query, plan_sql};
 use dc_relational::table::{Catalog, CatalogRef};
-use dc_rewrite::{Candidate, RewriteEngine, Strategy};
+use dc_rewrite::{Candidate, DecisionTrace, RewriteEngine, Strategy};
 use dc_rules::RuleCatalog;
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -23,12 +25,16 @@ use std::time::{Duration, Instant};
 /// Execution report for one deferred-cleansing query.
 #[derive(Debug, Clone)]
 pub struct QueryReport {
+    /// Strategy the rewrite ran with (`"Auto"`, `"Expanded"`, …).
+    pub strategy: String,
     /// Label of the rewrite the cost model selected.
     pub chosen: String,
     /// Every compiled candidate with its cost estimate (cheapest first).
     pub candidates: Vec<Candidate>,
     /// The expanded condition, as text, when one was derived.
     pub expanded_condition: Option<String>,
+    /// The overall context condition, as text, when one was derived.
+    pub context_condition: Option<String>,
     /// Engine diagnostics (e.g. soundness fallbacks).
     pub notes: Vec<String>,
     /// Executor work counters of the final run.
@@ -44,6 +50,86 @@ pub struct QueryReport {
     pub window_eval_nanos: u64,
     /// Parallelism the query ran with.
     pub parallelism: usize,
+    /// Per-operator metrics tree of the executed physical plan.
+    pub metrics: Option<OperatorMetrics>,
+}
+
+impl QueryReport {
+    /// The rewrite decision trace of this run.
+    pub fn decision_trace(&self) -> DecisionTrace {
+        DecisionTrace {
+            strategy: self.strategy.clone(),
+            chosen: self.chosen.clone(),
+            candidates: self.candidates.clone(),
+            expanded_condition: self.expanded_condition.clone(),
+            context_condition: self.context_condition.clone(),
+            notes: self.notes.clone(),
+        }
+    }
+}
+
+/// The result of `EXPLAIN` / `EXPLAIN ANALYZE` on one application query:
+/// the rewrite decision trace, the chosen logical and physical plans, and
+/// — in analyze mode — the executed plan's per-operator metrics.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// Why this rewrite: strategy, candidates with costs, conditions.
+    pub trace: DecisionTrace,
+    /// The chosen, optimized logical plan.
+    pub plan: LogicalPlan,
+    /// Indented text of the lowered physical operator tree.
+    pub physical_text: String,
+    /// JSON tree of the lowered physical operator tree.
+    pub physical_json: Json,
+    /// Executed per-operator metrics (`EXPLAIN ANALYZE` only).
+    pub metrics: Option<OperatorMetrics>,
+    /// Result row count (`EXPLAIN ANALYZE` only).
+    pub result_rows: Option<usize>,
+}
+
+impl ExplainReport {
+    /// Text rendering. The header lines carry the decision trace (prefixed
+    /// `--` so the whole block stays valid SQL commentary); then the logical
+    /// plan, and the physical plan — annotated per-operator with rows and
+    /// work counters when the query was actually executed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for line in self.trace.render_text().lines() {
+            out.push_str("-- ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        if let Some(rows) = self.result_rows {
+            out.push_str(&format!("-- result rows: {rows}\n"));
+        }
+        out.push_str(&self.plan.display_indent());
+        out.push_str("-- physical plan:\n");
+        match &self.metrics {
+            Some(m) => out.push_str(&m.render_text(false)),
+            None => out.push_str(&self.physical_text),
+        }
+        out
+    }
+
+    /// Machine-readable form: decision trace + logical/physical plan trees
+    /// (+ executed metrics in analyze mode). Deterministic — per-operator
+    /// timings are deliberately omitted so snapshots stay byte-stable.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("trace", self.trace.to_json())
+            .set("logical_plan", logical_to_json(&self.plan))
+            .set("physical_plan", self.physical_json.clone())
+            .set(
+                "metrics",
+                self.metrics
+                    .as_ref()
+                    .map_or(Json::Null, |m| m.to_json(false)),
+            )
+            .set(
+                "result_rows",
+                self.result_rows.map_or(Json::Null, Json::from),
+            )
+    }
 }
 
 /// The deferred cleansing system: data catalog + rules table + rewrite
@@ -140,9 +226,11 @@ impl DeferredCleansingSystem {
                 .rewrite_plan(&user_plan, &rules, &self.catalog, strategy)?;
         let run = rewritten.execute(&self.catalog, self.exec_options)?;
         let report = QueryReport {
+            strategy: format!("{strategy:?}"),
             chosen: rewritten.chosen,
             candidates: rewritten.candidates,
             expanded_condition: rewritten.expanded_condition.map(|e| e.to_string()),
+            context_condition: rewritten.context_condition.map(|e| e.to_string()),
             notes: rewritten.notes,
             stats: run.stats,
             elapsed: start.elapsed(),
@@ -150,6 +238,7 @@ impl DeferredCleansingSystem {
             result_rows: run.batch.num_rows(),
             window_eval_nanos: run.window_eval_nanos,
             parallelism: self.exec_options.parallelism,
+            metrics: run.metrics,
         };
         Ok((run.batch, report))
     }
@@ -168,9 +257,11 @@ impl DeferredCleansingSystem {
         let mut executor = Executor::with_options(&self.catalog, self.exec_options);
         let batch = executor.execute(&plan)?;
         let report = QueryReport {
+            strategy: "Dirty".into(),
             chosen: "dirty (no cleansing)".into(),
             candidates: vec![],
             expanded_condition: None,
+            context_condition: None,
             notes: vec![],
             stats: executor.stats,
             elapsed: start.elapsed(),
@@ -178,27 +269,56 @@ impl DeferredCleansingSystem {
             result_rows: batch.num_rows(),
             window_eval_nanos: executor.window_eval_nanos,
             parallelism: self.exec_options.parallelism,
+            metrics: executor.metrics,
         };
         Ok((batch, report))
     }
 
-    /// EXPLAIN: the rewritten plan an application query would execute.
+    /// EXPLAIN: the rewritten plan an application query would execute,
+    /// rendered as text. Shorthand for [`Self::explain_report`]`.text()`
+    /// without executing the query.
     pub fn explain(&self, application: &str, sql: &str, strategy: Strategy) -> Result<String> {
+        Ok(self
+            .explain_report(application, sql, strategy, false)?
+            .text())
+    }
+
+    /// EXPLAIN / EXPLAIN ANALYZE: rewrite an application query and report
+    /// the decision trace, the chosen logical plan, and the lowered
+    /// physical plan. With `analyze` the query is also executed and the
+    /// report carries per-operator metrics (rows in/out, comparisons,
+    /// partitions) for every physical operator.
+    pub fn explain_report(
+        &self,
+        application: &str,
+        sql: &str,
+        strategy: Strategy,
+        analyze: bool,
+    ) -> Result<ExplainReport> {
         let user_plan = plan_query(&parse_query(sql)?, &self.catalog)?;
         let rules = self.rules.rules_for(application);
         let rewritten =
             self.engine
                 .read()
                 .rewrite_plan(&user_plan, &rules, &self.catalog, strategy)?;
-        let mut out = format!("-- chosen: {}\n", rewritten.chosen);
-        if let Some(ec) = &rewritten.expanded_condition {
-            out.push_str(&format!("-- expanded condition: {ec}\n"));
-        }
-        for c in &rewritten.candidates {
-            out.push_str(&format!("-- candidate: {} (cost {:.0})\n", c.label, c.cost));
-        }
-        out.push_str(&rewritten.plan.display_indent());
-        Ok(out)
+        let trace = rewritten.decision_trace(strategy);
+        let physical = lower(&rewritten.plan, &self.catalog)?;
+        let physical_text = display_physical(physical.as_ref());
+        let physical_json = physical_to_json(physical.as_ref());
+        let (metrics, result_rows) = if analyze {
+            let run = rewritten.execute(&self.catalog, self.exec_options)?;
+            (run.metrics, Some(run.batch.num_rows()))
+        } else {
+            (None, None)
+        };
+        Ok(ExplainReport {
+            trace,
+            plan: rewritten.plan,
+            physical_text,
+            physical_json,
+            metrics,
+            result_rows,
+        })
     }
 
     /// Eager cleansing (the conventional approach the paper contrasts with,
@@ -360,6 +480,70 @@ mod tests {
             .unwrap();
         assert!(out.contains("-- chosen:"));
         assert!(out.contains("Scan caser"));
+    }
+
+    #[test]
+    fn explain_analyze_reports_metrics() {
+        let sys = system();
+        sys.define_rule("app", DUP).unwrap();
+        let rep = sys
+            .explain_report(
+                "app",
+                "select epc from caser where rtime < 300",
+                Strategy::Auto,
+                true,
+            )
+            .unwrap();
+        // The trace carries the decision with costs.
+        assert!(!rep.trace.candidates.is_empty());
+        assert_eq!(rep.trace.chosen, rep.trace.candidates[0].label);
+        // Analyze mode executed the plan: metrics tree + result count.
+        let m = rep.metrics.as_ref().expect("analyze records metrics");
+        assert!(m.node_count() > 1);
+        assert!(rep.result_rows.is_some());
+        let text = rep.text();
+        assert!(text.contains("-- chosen:"));
+        assert!(text.contains("rows_out="));
+        // JSON form is complete and deterministic (no timings).
+        let j = rep.to_json();
+        assert!(j.get("trace").is_some());
+        assert!(j.get("logical_plan").is_some());
+        assert!(j.get("physical_plan").is_some());
+        assert!(j.get("metrics").and_then(|m| m.get("rows_out")).is_some());
+        assert!(!j.pretty().contains("time_ms"));
+
+        // Plain EXPLAIN does not execute: no metrics, physical tree shown.
+        let rep = sys
+            .explain_report(
+                "app",
+                "select epc from caser where rtime < 300",
+                Strategy::Auto,
+                false,
+            )
+            .unwrap();
+        assert!(rep.metrics.is_none());
+        assert!(rep.text().contains("WindowExec"));
+    }
+
+    #[test]
+    fn query_report_carries_metrics_tree() {
+        let sys = system();
+        sys.define_rule("app", DUP).unwrap();
+        let (_, report) = sys
+            .query_with_strategy("app", "select epc from caser", Strategy::Auto)
+            .unwrap();
+        let m = report.metrics.as_ref().expect("execution records metrics");
+        // The flat counters and the metrics tree agree on window partitions.
+        let mut partitions = 0;
+        fn sum_partitions(m: &dc_relational::physical::OperatorMetrics, acc: &mut u64) {
+            *acc += m.partitions;
+            for c in &m.children {
+                sum_partitions(c, acc);
+            }
+        }
+        sum_partitions(m, &mut partitions);
+        assert_eq!(partitions, report.stats.partitions_executed);
+        assert_eq!(report.decision_trace().chosen, report.chosen);
     }
 
     #[test]

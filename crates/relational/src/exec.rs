@@ -12,7 +12,7 @@
 
 use crate::batch::Batch;
 use crate::error::Result;
-use crate::physical::{lower, ExecContext, ExecOptions};
+use crate::physical::{lower, ExecContext, ExecOptions, OperatorMetrics};
 use crate::plan::LogicalPlan;
 use crate::table::Catalog;
 
@@ -72,6 +72,10 @@ pub struct Executor<'a> {
     /// this executor ran. Not part of [`ExecStats`]: timings vary with
     /// parallelism, counters must not.
     pub window_eval_nanos: u64,
+    /// Per-operator metrics tree of the *most recent* plan this executor
+    /// ran (EXPLAIN ANALYZE data source). Unlike `stats`, which accumulates
+    /// across plans, each `execute` replaces this.
+    pub metrics: Option<OperatorMetrics>,
 }
 
 impl<'a> Executor<'a> {
@@ -85,6 +89,7 @@ impl<'a> Executor<'a> {
             options,
             stats: ExecStats::default(),
             window_eval_nanos: 0,
+            metrics: None,
         }
     }
 
@@ -93,10 +98,11 @@ impl<'a> Executor<'a> {
     pub fn execute(&mut self, plan: &LogicalPlan) -> Result<Batch> {
         let physical = lower(plan, self.catalog)?;
         let mut ctx = ExecContext::new(self.catalog, self.options);
-        let out = physical.execute(&mut ctx)?;
+        let out = physical.execute(&mut ctx);
         self.stats.add(&ctx.stats);
         self.window_eval_nanos += ctx.window_eval_nanos;
-        Ok(out)
+        self.metrics = ctx.metrics.finish();
+        out
     }
 }
 

@@ -1,0 +1,107 @@
+//! Machine-readable EXPLAIN renderings.
+//!
+//! [`LogicalPlan::display_indent`] and
+//! [`display_physical`](crate::physical::display_physical) already render
+//! plans as indented text; this module adds the JSON forms consumed by
+//! `repro --explain` snapshots and CI artifacts. Shapes:
+//!
+//! ```text
+//! logical:  {"node": <variant>, "label": <one-line>, "children": [...]}
+//! physical: {"operator": <name>, "label": <one-line>, "children": [...]}
+//! ```
+//!
+//! Executed-plan metrics (`EXPLAIN ANALYZE`) are rendered separately by
+//! [`OperatorMetrics::to_json`](crate::physical::OperatorMetrics::to_json) —
+//! same tree shape, annotated with per-operator counters.
+
+use crate::physical::PhysicalOperator;
+use crate::plan::LogicalPlan;
+use dc_json::Json;
+
+/// The variant name of a logical node, without its operator-specific detail.
+fn variant_name(plan: &LogicalPlan) -> &'static str {
+    match plan {
+        LogicalPlan::Scan { .. } => "Scan",
+        LogicalPlan::Filter { .. } => "Filter",
+        LogicalPlan::Project { .. } => "Project",
+        LogicalPlan::Sort { .. } => "Sort",
+        LogicalPlan::Window { .. } => "Window",
+        LogicalPlan::Join { .. } => "Join",
+        LogicalPlan::Aggregate { .. } => "Aggregate",
+        LogicalPlan::Distinct { .. } => "Distinct",
+        LogicalPlan::Union { .. } => "Union",
+        LogicalPlan::Limit { .. } => "Limit",
+        LogicalPlan::SubqueryAlias { .. } => "SubqueryAlias",
+    }
+}
+
+/// JSON tree of a logical plan.
+pub fn logical_to_json(plan: &LogicalPlan) -> Json {
+    Json::obj()
+        .set("node", variant_name(plan))
+        .set("label", plan.node_label())
+        .set(
+            "children",
+            Json::Arr(plan.inputs().into_iter().map(logical_to_json).collect()),
+        )
+}
+
+/// JSON tree of a physical operator plan (pre-execution — no metrics).
+pub fn physical_to_json(op: &dyn PhysicalOperator) -> Json {
+    Json::obj()
+        .set("operator", op.name())
+        .set("label", op.label())
+        .set(
+            "children",
+            Json::Arr(op.children().into_iter().map(physical_to_json).collect()),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{schema_ref, Batch};
+    use crate::expr::Expr;
+    use crate::physical::lower;
+    use crate::schema::{Field, Schema};
+    use crate::table::{Catalog, Table};
+    use crate::value::{DataType, Value};
+
+    fn catalog() -> Catalog {
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+        ]));
+        let b = Batch::from_rows(schema, &[vec![Value::str("e1"), Value::Int(1)]]).unwrap();
+        let cat = Catalog::new();
+        cat.register(Table::new("r", b));
+        cat
+    }
+
+    #[test]
+    fn logical_json_mirrors_tree() {
+        let plan = LogicalPlan::scan("r").filter(Expr::col("rtime").lt(Expr::lit(10i64)));
+        let j = logical_to_json(&plan);
+        assert_eq!(j.get("node").and_then(Json::as_str), Some("Filter"));
+        let children = j.get("children").and_then(Json::as_arr).unwrap();
+        assert_eq!(children.len(), 1);
+        assert_eq!(children[0].get("node").and_then(Json::as_str), Some("Scan"));
+        assert!(children[0]
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("Scan r"));
+    }
+
+    #[test]
+    fn physical_json_mirrors_tree() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("r").filter(Expr::col("rtime").lt(Expr::lit(10i64)));
+        let physical = lower(&plan, &cat).unwrap();
+        let j = physical_to_json(physical.as_ref());
+        // The pushed-down filter folds into the scan during lowering; the
+        // root here is whatever lower() produced — check shape, not names.
+        assert!(j.get("operator").and_then(Json::as_str).is_some());
+        assert!(j.get("children").and_then(Json::as_arr).is_some());
+    }
+}

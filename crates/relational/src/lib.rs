@@ -49,6 +49,7 @@ pub mod constraint;
 pub mod cost;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod expr;
 pub mod index;
 pub mod join;
@@ -74,11 +75,13 @@ pub mod prelude {
     pub use crate::cost::{estimate, Estimate};
     pub use crate::error::{Error, Result};
     pub use crate::exec::{ExecStats, Executor};
+    pub use crate::explain::{logical_to_json, physical_to_json};
     pub use crate::expr::{conjoin, disjoin, split_conjuncts, BinaryOp, ColumnRef, Expr};
     pub use crate::join::JoinType;
     pub use crate::optimizer::{optimize, optimize_default, OptimizerConfig};
     pub use crate::physical::{
-        display_physical, lower, ExecContext, ExecOptions, PhysicalOperator,
+        display_physical, lower, DeterministicMetrics, ExecContext, ExecOptions, MetricsCollector,
+        OperatorMetrics, PhysicalOperator,
     };
     pub use crate::plan::{ordering_satisfies, window_sort_keys, LogicalPlan};
     pub use crate::schema::{Field, Schema, SchemaRef};

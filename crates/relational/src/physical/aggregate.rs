@@ -27,8 +27,10 @@ impl PhysicalOperator for PhysicalAggregate {
         vec![self.input.as_ref()]
     }
 
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let b = self.input.execute(ctx)?;
+        // Each input row is hashed into a group once.
+        ctx.metrics.add_comparisons(b.num_rows() as u64);
         hash_aggregate(&b, &self.group_by, &self.aggs)
     }
 }

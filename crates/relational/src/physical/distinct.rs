@@ -19,8 +19,10 @@ impl PhysicalOperator for PhysicalDistinct {
         vec![self.input.as_ref()]
     }
 
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let b = self.input.execute(ctx)?;
+        // Each input row is hashed against the seen-set once.
+        ctx.metrics.add_comparisons(b.num_rows() as u64);
         Ok(distinct(&b))
     }
 }

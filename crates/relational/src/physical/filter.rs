@@ -24,8 +24,10 @@ impl PhysicalOperator for PhysicalFilter {
         vec![self.input.as_ref()]
     }
 
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let b = self.input.execute(ctx)?;
+        // One predicate evaluation per input row.
+        ctx.metrics.add_comparisons(b.num_rows() as u64);
         let keep = self.predicate.filter_indices(&b)?;
         Ok(b.take(&keep))
     }

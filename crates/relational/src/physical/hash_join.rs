@@ -33,11 +33,12 @@ impl PhysicalOperator for PhysicalHashJoin {
         vec![self.left.as_ref(), self.right.as_ref()]
     }
 
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let l = self.left.execute(ctx)?;
         let r = self.right.execute(ctx)?;
         let (out, probes) = hash_join(&l, &r, &self.left_keys, &self.right_keys, JoinType::Inner)?;
         ctx.stats.join_probes += probes;
+        ctx.metrics.add_comparisons(probes);
         Ok(out)
     }
 }

@@ -23,7 +23,7 @@ impl PhysicalOperator for PhysicalLimit {
         vec![self.input.as_ref()]
     }
 
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let b = self.input.execute(ctx)?;
         let n = b.num_rows().min(self.fetch);
         let idx: Vec<usize> = (0..n).collect();

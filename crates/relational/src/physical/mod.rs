@@ -28,6 +28,7 @@ pub mod filter;
 pub mod hash_join;
 pub mod limit;
 pub mod lower;
+pub mod metrics;
 pub mod project;
 pub mod scan;
 pub mod semi_join;
@@ -37,12 +38,14 @@ pub mod union;
 pub mod window;
 
 pub use lower::lower;
+pub use metrics::{DeterministicMetrics, MetricsCollector, OperatorMetrics};
 
 use crate::batch::Batch;
 use crate::error::Result;
 use crate::exec::ExecStats;
 use crate::table::Catalog;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Execution knobs threaded from the system facade down to the operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +80,10 @@ pub struct ExecContext<'a> {
     /// hot path). Deliberately *not* part of [`ExecStats`]: timings change
     /// with parallelism, counters must not.
     pub window_eval_nanos: u64,
+    /// Per-operator metrics tree under construction (see
+    /// [`metrics::MetricsCollector`]); driven by the instrumented
+    /// [`PhysicalOperator::execute`] wrapper around every operator.
+    pub metrics: MetricsCollector,
 }
 
 impl<'a> ExecContext<'a> {
@@ -86,6 +93,7 @@ impl<'a> ExecContext<'a> {
             options,
             stats: ExecStats::default(),
             window_eval_nanos: 0,
+            metrics: MetricsCollector::new(),
         }
     }
 }
@@ -93,15 +101,19 @@ impl<'a> ExecContext<'a> {
 /// A fully-lowered physical operator: executes to a materialized batch.
 ///
 /// Contract:
-/// * `execute` materializes this operator's full output, recursively
-///   executing children; all work is accounted in `ctx.stats` using the
-///   same counter semantics at any `ctx.options.parallelism`.
+/// * `execute_op` materializes this operator's full output, recursively
+///   executing children (via their instrumented [`execute`]); all work is
+///   accounted in `ctx.stats` using the same counter semantics at any
+///   `ctx.options.parallelism`, and node-local work (comparisons,
+///   partitions) additionally into `ctx.metrics` against the current frame.
 /// * Operators perform no plan-level decisions at runtime — what to do
 ///   (index bounds, sort placement, projections) was fixed by `lower()`;
 ///   only data-dependent choices (e.g. *which* candidate index bound is
 ///   most selective on the actual table) remain.
 /// * `children` exposes the operator tree for display/inspection and must
-///   match the inputs `execute` consumes.
+///   match the inputs `execute_op` consumes.
+///
+/// [`execute`]: PhysicalOperator::execute
 pub trait PhysicalOperator: std::fmt::Debug {
     /// Operator name for plan rendering, e.g. `"WindowExec"`.
     fn name(&self) -> &'static str;
@@ -114,8 +126,24 @@ pub trait PhysicalOperator: std::fmt::Debug {
     /// Child operators, in execution order.
     fn children(&self) -> Vec<&dyn PhysicalOperator>;
 
-    /// Execute to a fully materialized batch.
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch>;
+    /// Operator body: execute to a fully materialized batch. Implementations
+    /// recurse through the children's `execute`, never `execute_op`.
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch>;
+
+    /// Instrumented entry point: opens a [`metrics::MetricsCollector`]
+    /// frame, runs [`execute_op`](PhysicalOperator::execute_op), and closes
+    /// the frame with the produced row count and the operator's inclusive
+    /// wall-clock. Callers (the executor and parent operators) always go
+    /// through this; operators implement `execute_op`.
+    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+        ctx.metrics.enter(self.name(), self.label());
+        let start = Instant::now();
+        let result = self.execute_op(ctx);
+        let nanos = start.elapsed().as_nanos() as u64;
+        let rows_out = result.as_ref().map(|b| b.num_rows() as u64).unwrap_or(0);
+        ctx.metrics.exit(rows_out, nanos);
+        result
+    }
 }
 
 /// Multi-line EXPLAIN-style rendering of a physical operator tree.

@@ -60,7 +60,7 @@ impl PhysicalOperator for PhysicalScan {
         vec![]
     }
 
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let t = ctx.catalog.get(&self.table)?;
         let out_schema: Arc<Schema> = match &self.alias {
             Some(a) => Arc::new(t.schema().with_qualifier(a)),
@@ -70,6 +70,8 @@ impl PhysicalOperator for PhysicalScan {
         let Some(filter) = &self.filter else {
             ctx.stats.rows_scanned += t.num_rows() as u64;
             ctx.stats.full_scans += 1;
+            ctx.metrics.set_rows_in(t.num_rows() as u64);
+            ctx.metrics.add_comparisons(t.num_rows() as u64);
             return t.data().clone().with_schema(out_schema);
         };
 
@@ -85,6 +87,11 @@ impl PhysicalOperator for PhysicalScan {
                 t.data().clone()
             }
         };
+        // A scan is a leaf: rows_in is what it fetched from the table
+        // (post index narrowing, pre residual filter) — each fetched row is
+        // one unit of work.
+        ctx.metrics.set_rows_in(base.num_rows() as u64);
+        ctx.metrics.add_comparisons(base.num_rows() as u64);
         let base = base.with_schema(out_schema)?;
         let keep = filter.filter_indices(&base)?;
         Ok(base.take(&keep))

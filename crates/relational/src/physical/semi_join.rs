@@ -34,7 +34,7 @@ impl PhysicalOperator for PhysicalSemiJoin {
         vec![self.left.as_ref(), self.right.as_ref()]
     }
 
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let l = self.left.execute(ctx)?;
         let r = self.right.execute(ctx)?;
         let (out, probes) = hash_join(
@@ -45,6 +45,7 @@ impl PhysicalOperator for PhysicalSemiJoin {
             JoinType::LeftSemi,
         )?;
         ctx.stats.join_probes += probes;
+        ctx.metrics.add_comparisons(probes);
         Ok(out)
     }
 }

@@ -27,10 +27,11 @@ impl PhysicalOperator for PhysicalSort {
         vec![self.input.as_ref()]
     }
 
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let b = self.input.execute(ctx)?;
         ctx.stats.rows_sorted += b.num_rows() as u64;
         ctx.stats.sorts_performed += 1;
+        ctx.metrics.add_comparisons(b.num_rows() as u64);
         sort_batch(&b, &self.keys)
     }
 }

@@ -24,7 +24,7 @@ impl PhysicalOperator for PhysicalSubqueryAlias {
         vec![self.input.as_ref()]
     }
 
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let b = self.input.execute(ctx)?;
         let schema = Arc::new(b.schema().with_qualifier(&self.alias));
         b.with_schema(schema)

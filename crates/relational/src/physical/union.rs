@@ -19,7 +19,7 @@ impl PhysicalOperator for PhysicalUnion {
         self.inputs.iter().map(|b| b.as_ref()).collect()
     }
 
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let batches: Vec<Batch> = self
             .inputs
             .iter()

@@ -60,13 +60,14 @@ impl PhysicalOperator for PhysicalWindow {
         vec![self.input.as_ref()]
     }
 
-    fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let b = self.input.execute(ctx)?;
         let start = Instant::now();
 
         let ev = WindowEval::prepare(&b, &self.partition_by, self.order_key.as_ref(), &self.exprs)?;
         let parts: Vec<(usize, usize)> = ev.partitions().to_vec();
         ctx.stats.partitions_executed += parts.len() as u64;
+        ctx.metrics.add_partitions(parts.len() as u64);
 
         let p = ctx.options.parallelism.min(parts.len()).max(1);
         let mut work: u64 = 0;
@@ -141,6 +142,7 @@ impl PhysicalOperator for PhysicalWindow {
         }
 
         ctx.stats.window_agg_work += work;
+        ctx.metrics.add_comparisons(work);
         let mut fields = b.schema().fields().to_vec();
         let mut cols: Vec<Column> = b.columns().to_vec();
         for (we, c) in self

@@ -80,6 +80,9 @@ pub struct Executed {
     /// Wall-clock nanoseconds spent in window evaluation (the Φ_C hot
     /// path) — the quantity parallelism is expected to improve.
     pub window_eval_nanos: u64,
+    /// Per-operator metrics tree of the executed physical plan (the
+    /// EXPLAIN ANALYZE data source).
+    pub metrics: Option<dc_relational::physical::OperatorMetrics>,
 }
 
 impl Rewritten {
@@ -94,6 +97,7 @@ impl Rewritten {
             batch,
             stats: ex.stats,
             window_eval_nanos: ex.window_eval_nanos,
+            metrics: ex.metrics,
         })
     }
 }

@@ -21,7 +21,9 @@
 pub mod analysis;
 pub mod engine;
 pub mod shape;
+pub mod trace;
 
 pub use analysis::{bind_to_target, context_condition, correlation_condition, join_key_propagates};
 pub use engine::{Candidate, Executed, RewriteEngine, Rewritten, Strategy};
 pub use shape::{analyze, DimJoin, QueryShape};
+pub use trace::DecisionTrace;

@@ -1,0 +1,117 @@
+//! EXPLAIN snapshot tests.
+//!
+//! The rendered EXPLAIN text of every repro workload (q1/q2/q2' under each
+//! rewrite strategy) is pinned against committed snapshots in
+//! `tests/snapshots/`. The text is fully deterministic — the decision trace,
+//! derived conditions, logical plan, and physical plan carry no wall-clock —
+//! so any drift means a rewrite, costing, or lowering change that must be
+//! reviewed. Run with `UPDATE_SNAPSHOTS=1` to regenerate after an
+//! intentional change.
+
+use dc_bench::harness::{setup_with_parallelism, BenchEnv};
+use dc_core::Strategy;
+use std::path::{Path, PathBuf};
+
+const STRATEGIES: [Strategy; 4] = [
+    Strategy::Auto,
+    Strategy::Expanded,
+    Strategy::JoinBack,
+    Strategy::Naive,
+];
+
+fn snapshot_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(name)
+}
+
+fn assert_snapshot(name: &str, actual: &str) {
+    let path = snapshot_path(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing snapshot {} — run `UPDATE_SNAPSHOTS=1 cargo test --test explain_snapshots` \
+             to create it",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff_at = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
+        panic!(
+            "snapshot {} is stale (first differing line {}).\n\
+             --- expected ---\n{expected}\n--- actual ---\n{actual}\n\
+             If the plan change is intentional, regenerate with \
+             `UPDATE_SNAPSHOTS=1 cargo test --test explain_snapshots`.",
+            path.display(),
+            diff_at + 1
+        );
+    }
+}
+
+fn env() -> BenchEnv {
+    // Same small deterministic database as tests/parallel_equivalence.rs.
+    setup_with_parallelism(3, 10.0, 7, 1)
+}
+
+/// EXPLAIN every strategy for one workload, concatenated into one document.
+fn explain_all_strategies(env: &BenchEnv, sql: &str) -> String {
+    let mut out = String::new();
+    for strategy in STRATEGIES {
+        out.push_str(&format!("== strategy {strategy:?} ==\n"));
+        match env.system.explain("rules-3", sql, strategy) {
+            Ok(text) => out.push_str(&text),
+            Err(e) => out.push_str(&format!("error: {e}")),
+        }
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn q1_explain_snapshot() {
+    let env = env();
+    let sql = env.dataset.q1(env.dataset.rtime_quantile(0.10));
+    assert_snapshot("explain_q1.txt", &explain_all_strategies(&env, &sql));
+}
+
+#[test]
+fn q2_explain_snapshot() {
+    let env = env();
+    let sql = env.dataset.q2(env.dataset.rtime_quantile(0.90), 2);
+    assert_snapshot("explain_q2.txt", &explain_all_strategies(&env, &sql));
+}
+
+#[test]
+fn q2_prime_explain_snapshot() {
+    let env = env();
+    let sql = env.dataset.q2_prime(env.dataset.rtime_quantile(0.90), 3);
+    assert_snapshot("explain_q2_prime.txt", &explain_all_strategies(&env, &sql));
+}
+
+/// EXPLAIN ANALYZE is deterministic too once timing is excluded: the
+/// per-operator row counts come from a fixed (scale, seed) database.
+#[test]
+fn q1_explain_analyze_snapshot() {
+    let env = env();
+    let sql = env.dataset.q1(env.dataset.rtime_quantile(0.10));
+    let report = env
+        .system
+        .explain_report("rules-3", &sql, Strategy::Auto, true)
+        .unwrap();
+    let mut text = report.text();
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    assert_snapshot("explain_analyze_q1.txt", &text);
+}

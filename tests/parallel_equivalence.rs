@@ -50,7 +50,14 @@ fn repro_workloads_equivalent_across_parallelism() {
                     match env.system.query_with_strategy(&app, sql, strategy) {
                         Ok((batch, report)) => {
                             assert_eq!(report.parallelism, p, "{name} {app} {strategy:?}");
-                            outcomes.push(Some((rows_of(&batch), report.stats)));
+                            // The timing-free view of the operator metrics
+                            // tree is part of the deterministic contract too.
+                            let metrics = report.metrics.as_ref().map(|m| m.deterministic());
+                            assert!(
+                                metrics.is_some(),
+                                "{name} {app} {strategy:?}: no metrics at P={p}"
+                            );
+                            outcomes.push(Some((rows_of(&batch), report.stats, metrics)));
                         }
                         Err(_) => outcomes.push(None),
                     }
@@ -63,9 +70,15 @@ fn repro_workloads_equivalent_across_parallelism() {
                         first.is_some(),
                         "{name} {app} {strategy:?}: feasibility differs at P={p}"
                     );
-                    if let (Some((rows, stats)), Some((rows1, stats1))) = (got, first) {
+                    if let (Some((rows, stats, metrics)), Some((rows1, stats1, metrics1))) =
+                        (got, first)
+                    {
                         assert_eq!(rows, rows1, "{name} {app} {strategy:?}: rows at P={p}");
                         assert_eq!(stats, stats1, "{name} {app} {strategy:?}: stats at P={p}");
+                        assert_eq!(
+                            metrics, metrics1,
+                            "{name} {app} {strategy:?}: per-operator metrics at P={p}"
+                        );
                     }
                 }
             }
@@ -75,7 +88,8 @@ fn repro_workloads_equivalent_across_parallelism() {
             .iter()
             .map(|env| {
                 let (b, r) = env.system.query_dirty_with_report(sql).unwrap();
-                (rows_of(&b), r.stats)
+                let metrics = r.metrics.as_ref().map(|m| m.deterministic());
+                (rows_of(&b), r.stats, metrics)
             })
             .collect();
         assert!(dirty.windows(2).all(|w| w[0] == w[1]), "{name} dirty");
@@ -235,15 +249,17 @@ fn random_plans_equivalent_across_parallelism() {
     check("parallel window equivalence", |rng| {
         let cat = random_catalog(rng);
         let plan = random_window_plan(rng);
-        let mut baseline: Option<(Vec<Vec<Value>>, ExecStats)> = None;
+        let mut baseline: Option<(Vec<Vec<Value>>, ExecStats, Option<DeterministicMetrics>)> = None;
         for &p in &PARALLELISMS {
             let mut ex = Executor::with_options(&cat, ExecOptions::with_parallelism(p));
             let batch = ex.execute(&plan).unwrap();
+            let metrics = ex.metrics.as_ref().map(|m| m.deterministic());
             match &baseline {
-                None => baseline = Some((rows_of(&batch), ex.stats)),
-                Some((rows, stats)) => {
+                None => baseline = Some((rows_of(&batch), ex.stats, metrics)),
+                Some((rows, stats, metrics1)) => {
                     assert_eq!(&rows_of(&batch), rows, "rows differ at P={p}");
                     assert_eq!(&ex.stats, stats, "stats differ at P={p}");
+                    assert_eq!(&metrics, metrics1, "operator metrics differ at P={p}");
                 }
             }
         }
