@@ -6,9 +6,12 @@
 //!
 //! Defaults to `BENCH_baseline.json` (committed) vs `BENCH_repro.json`
 //! (produced by the `repro` binary). Exits non-zero when any gated counter
-//! grew beyond the tolerance or the two runs are not comparable.
+//! grew beyond the tolerance or the two runs are not comparable. When
+//! `$GITHUB_STEP_SUMMARY` is set, a markdown verdict — with the worst
+//! regressions ranked first — is appended to it.
 
 use dc_bench::gate::{compare, DEFAULT_TOLERANCE};
+use std::io::Write;
 
 fn load(path: &str) -> dc_json::Json {
     let text = std::fs::read_to_string(path)
@@ -48,6 +51,28 @@ fn main() {
         "comparing {current} against baseline {baseline}\n{}",
         report.render()
     );
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        let summary = if report.passed() {
+            format!(
+                "Bench gate: PASS — {} work counters compared against {baseline}.\n",
+                report.counters_checked
+            )
+        } else {
+            report.markdown_summary()
+        };
+        match std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(summary.as_bytes()) {
+                    eprintln!("bench-gate: cannot write step summary: {e}");
+                }
+            }
+            Err(e) => eprintln!("bench-gate: cannot open {path}: {e}"),
+        }
+    }
     if !report.passed() {
         std::process::exit(1);
     }

@@ -342,6 +342,12 @@ pub fn ablation_order_sharing(scale: usize, seed: u64) -> (Measurement, Measurem
             window_eval_ms: ex.window_eval_nanos as f64 / 1e6,
             parallelism: 1,
             chosen: rewritten.chosen.clone(),
+            segments_total: ex.stats.segments_total,
+            segments_pruned: ex.stats.segments_pruned,
+            segments_scanned: ex.stats.segments_scanned,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_invalidations: 0,
         }
     };
     let shared = measure(OptimizerConfig {
@@ -387,6 +393,12 @@ pub fn ablation_joinback(scale: usize, seed: u64) -> (Measurement, Measurement) 
             window_eval_ms: ex.window_eval_nanos as f64 / 1e6,
             parallelism: 1,
             chosen: label,
+            segments_total: ex.stats.segments_total,
+            segments_pruned: ex.stats.segments_pruned,
+            segments_scanned: ex.stats.segments_scanned,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_invalidations: 0,
         }
     };
 
@@ -403,6 +415,80 @@ pub fn ablation_joinback(scale: usize, seed: u64) -> (Measurement, Measurement) 
         .unwrap();
     let plain = measure(&plain_plan.plan, "plain join-back (no ec)".into());
     (improved, plain)
+}
+
+/// Storage subsystem demonstration. Four rows:
+///
+/// * `prune-epc` — a point query on one case EPC; caseR is loaded in
+///   case order, so zone maps confine the scan to the few segments
+///   holding that case (`segments_pruned > 0`).
+/// * `cache-cold` / `cache-warm` — the q1 join-back twice; the second
+///   run answers every cleansed sequence from the cache.
+/// * `cache-append` — one read appended for a queried EPC; exactly that
+///   sequence is invalidated and recleansed, the rest still hit.
+pub fn storage_cache(scale: usize, seed: u64, threads: usize) -> Vec<ExperimentRow> {
+    use dc_relational::batch::Batch;
+    use dc_relational::value::Value;
+
+    let env = setup_with_parallelism(scale, 10.0, seed, threads);
+    let ds = &env.dataset;
+    let mut rows = Vec::new();
+
+    let epc = ds.case_epc_urn(0);
+    let point = format!("select epc, rtime, biz_loc from caser where epc = '{epc}'");
+    rows.push(ExperimentRow {
+        x: "prune-epc".into(),
+        query: "storage",
+        variant: Variant::Dirty.label(),
+        measurement: run_variant(&env, 1, &point, Variant::Dirty),
+    });
+
+    let t1 = ds.rtime_quantile(0.10);
+    let q1 = ds.q1(t1);
+    for x in ["cache-cold", "cache-warm"] {
+        rows.push(ExperimentRow {
+            x: x.into(),
+            query: "storage",
+            variant: Variant::JoinBack.label(),
+            measurement: run_variant(&env, 1, &q1, Variant::JoinBack),
+        });
+    }
+
+    // Append one read for an EPC the query cleanses, so its cached
+    // sequence goes stale while every other sequence stays valid.
+    let victim = env
+        .system
+        .query_dirty(&format!(
+            "select epc from caser where rtime <= {t1} limit 1"
+        ))
+        .expect("probe query");
+    let victim = victim.row(0)[0]
+        .as_str()
+        .expect("epc is a string")
+        .to_string();
+    let caser = env.system.catalog().get("caser").expect("caser exists");
+    let extra = Batch::from_rows(
+        caser.schema().clone(),
+        &[vec![
+            Value::str(victim.as_str()),
+            Value::Int(t1),
+            Value::str("rdr:appended"),
+            Value::str("gln:appended"),
+            Value::str("step000"),
+        ]],
+    )
+    .expect("appended batch");
+    env.system
+        .catalog()
+        .append("caser", extra)
+        .expect("append to caser");
+    rows.push(ExperimentRow {
+        x: "cache-append".into(),
+        query: "storage",
+        variant: Variant::JoinBack.label(),
+        measurement: run_variant(&env, 1, &q1, Variant::JoinBack),
+    });
+    rows
 }
 
 /// Eager vs deferred (§6.1: "the cost of eager cleansing should be
@@ -534,6 +620,38 @@ mod tests {
         // Querying the eager copy is at most as expensive as the deferred
         // query (it pays no cleansing at query time).
         assert!(c.eager_query_ms <= c.deferred_query_ms * 3.0);
+    }
+
+    #[test]
+    fn storage_cache_rows_demonstrate_pruning_and_caching() {
+        let rows = storage_cache(3, 7, 1);
+        assert_eq!(rows.len(), 4);
+        let by_x: std::collections::HashMap<&str, &Measurement> = rows
+            .iter()
+            .map(|r| (r.x.as_str(), r.measurement.as_ref().unwrap()))
+            .collect();
+
+        let prune = by_x["prune-epc"];
+        assert!(
+            prune.segments_total >= 2,
+            "{} segments",
+            prune.segments_total
+        );
+        assert!(prune.segments_pruned > 0);
+        assert!(prune.segments_scanned < prune.segments_total);
+
+        let cold = by_x["cache-cold"];
+        assert!(cold.cache_misses > 0);
+        assert_eq!(cold.cache_hits, 0);
+
+        let warm = by_x["cache-warm"];
+        assert!(warm.cache_hits > 0);
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.result_rows, cold.result_rows);
+
+        let appended = by_x["cache-append"];
+        assert!(appended.cache_invalidations >= 1);
+        assert!(appended.cache_hits > 0, "unaffected sequences still hit");
     }
 
     #[test]

@@ -23,6 +23,19 @@ pub const GATING_KEYS: &[&str] = &[
     "join_probes",
     "partitions",
     "eager_rows",
+    "segments_scanned",
+    "cache_misses",
+];
+
+/// Deterministic keys that are reported when they drift but never gate:
+/// their "good" direction is context-dependent (more pruning and more
+/// cache hits are better), so the gate watches the costly siblings
+/// (`segments_scanned`, `cache_misses`) instead.
+pub const INFORMATIONAL_KEYS: &[&str] = &[
+    "segments_total",
+    "segments_pruned",
+    "cache_hits",
+    "cache_invalidations",
 ];
 
 /// Keys that must match exactly between baseline and current run —
@@ -34,11 +47,53 @@ fn is_timing_key(key: &str) -> bool {
     key == "millis" || key.ends_with("_ms")
 }
 
+/// One gating counter that grew beyond tolerance.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// JSON path of the counter (`figure.rows[i].key`).
+    pub path: String,
+    /// The gated key that regressed.
+    pub key: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Tolerance the comparison ran with (fraction, e.g. 0.05).
+    pub tolerance: f64,
+}
+
+impl Regression {
+    /// Relative growth in percent; infinite when the baseline was zero.
+    pub fn pct(&self) -> f64 {
+        if self.baseline > 0.0 {
+            (self.current / self.baseline - 1.0) * 100.0
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pct = if self.baseline > 0.0 {
+            format!("{:+.1}%", self.pct())
+        } else {
+            "was 0".to_string()
+        };
+        write!(
+            f,
+            "{}: {} -> {} ({pct}, tolerance {:.0}%)",
+            self.path,
+            self.baseline,
+            self.current,
+            self.tolerance * 100.0
+        )
+    }
+}
+
 /// Outcome of one baseline/current comparison.
 #[derive(Debug, Default)]
 pub struct GateReport {
     /// Gating counter increases beyond tolerance — each one fails the gate.
-    pub regressions: Vec<String>,
+    pub regressions: Vec<Regression>,
     /// Structural problems (config mismatch, missing figures/keys, type
     /// changes) — each one fails the gate.
     pub errors: Vec<String>,
@@ -57,15 +112,28 @@ impl GateReport {
         self.regressions.is_empty() && self.errors.is_empty()
     }
 
+    /// The regressions ranked worst first: by relative growth, then by
+    /// absolute increase (so a zero-baseline jump outranks a small drift).
+    pub fn ranked_regressions(&self) -> Vec<&Regression> {
+        let mut ranked: Vec<&Regression> = self.regressions.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.pct()
+                .total_cmp(&a.pct())
+                .then_with(|| (b.current - b.baseline).total_cmp(&(a.current - a.baseline)))
+        });
+        ranked
+    }
+
     pub fn render(&self) -> String {
         let mut out = format!(
             "bench gate: {} work counters compared, {} wall-clock values (non-gating)\n",
             self.counters_checked, self.timing_compared
         );
-        for (title, lines) in [("error", &self.errors), ("regression", &self.regressions)] {
-            for line in lines {
-                out.push_str(&format!("{title}: {line}\n"));
-            }
+        for line in &self.errors {
+            out.push_str(&format!("error: {line}\n"));
+        }
+        for r in self.ranked_regressions() {
+            out.push_str(&format!("regression: {r}\n"));
         }
         for line in &self.improvements {
             out.push_str(&format!("improved: {line}\n"));
@@ -78,6 +146,42 @@ impl GateReport {
         } else {
             "gate: FAIL\n"
         });
+        out
+    }
+
+    /// Markdown rendering for CI step summaries: verdict, then the worst
+    /// regressions as a table, then structural errors.
+    pub fn markdown_summary(&self) -> String {
+        let mut out = format!(
+            "### Bench gate: {}\n\n{} work counters compared, {} wall-clock values (non-gating).\n\n",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.counters_checked,
+            self.timing_compared
+        );
+        if !self.regressions.is_empty() {
+            out.push_str("Worst regressions first:\n\n");
+            out.push_str("| counter | baseline | current | Δ |\n");
+            out.push_str("|---|---:|---:|---:|\n");
+            for r in self.ranked_regressions() {
+                let pct = if r.baseline > 0.0 {
+                    format!("{:+.1}%", r.pct())
+                } else {
+                    "was 0".to_string()
+                };
+                out.push_str(&format!(
+                    "| `{}` | {} | {} | {pct} |\n",
+                    r.path, r.baseline, r.current
+                ));
+            }
+            out.push('\n');
+        }
+        if !self.errors.is_empty() {
+            out.push_str("Errors:\n\n");
+            for e in &self.errors {
+                out.push_str(&format!("- {e}\n"));
+            }
+            out.push('\n');
+        }
         out
     }
 }
@@ -214,17 +318,23 @@ fn compare_number(
         rep.counters_checked += 1;
         let limit = base * (1.0 + tol);
         if cur > limit {
-            let pct = if base > 0.0 {
-                format!("{:+.1}%", (cur / base - 1.0) * 100.0)
-            } else {
-                "was 0".to_string()
-            };
-            let tol_pct = tol * 100.0;
-            rep.regressions.push(format!(
-                "{path}: {base} -> {cur} ({pct}, tolerance {tol_pct:.0}%)"
-            ));
+            rep.regressions.push(Regression {
+                path: path.to_string(),
+                key: key.to_string(),
+                baseline: base,
+                current: cur,
+                tolerance: tol,
+            });
         } else if cur < base {
             rep.improvements.push(format!("{path}: {base} -> {cur}"));
+        }
+        return;
+    }
+    if INFORMATIONAL_KEYS.contains(&key) {
+        if base != cur {
+            rep.notes.push(format!(
+                "{path}: {base} -> {cur} (informational, not gated)"
+            ));
         }
         return;
     }
@@ -341,6 +451,73 @@ mod tests {
         assert!(rep.errors.iter().any(|e| e.contains("mystery")));
         // unchanged unclassified keys are fine
         assert!(compare(&mk(1), &mk(1), DEFAULT_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn regressions_ranked_worst_first_and_rendered_as_markdown() {
+        let mk = |scanned: u64, probes: u64| {
+            Json::obj()
+                .set("scale", 2usize)
+                .set("seed", 2006u64)
+                .set("parallelism", 1usize)
+                .set(
+                    "figures",
+                    Json::Arr(vec![Json::obj().set("name", "fig7a").set(
+                        "rows",
+                        Json::Arr(vec![Json::obj()
+                            .set("rows_scanned", scanned)
+                            .set("join_probes", probes)]),
+                    )]),
+                )
+        };
+        // rows_scanned +10%, join_probes +100%: probes must rank first.
+        let rep = compare(&mk(1000, 100), &mk(1100, 200), DEFAULT_TOLERANCE);
+        assert!(!rep.passed());
+        assert_eq!(rep.regressions.len(), 2);
+        let ranked = rep.ranked_regressions();
+        assert_eq!(ranked[0].key, "join_probes");
+        assert_eq!(ranked[1].key, "rows_scanned");
+        let render = rep.render();
+        let probes_at = render.find("join_probes").unwrap();
+        let scanned_at = render.find("rows_scanned").unwrap();
+        assert!(probes_at < scanned_at, "{render}");
+        // Old line format preserved.
+        assert!(render.contains("100 -> 200 (+100.0%, tolerance 5%)"));
+
+        let md = rep.markdown_summary();
+        assert!(md.contains("### Bench gate: FAIL"));
+        assert!(md.contains("| counter | baseline | current |"));
+        assert!(md.contains("| +100.0% |"));
+        assert!(compare(&mk(1, 1), &mk(1, 1), DEFAULT_TOLERANCE)
+            .markdown_summary()
+            .contains("PASS"));
+    }
+
+    #[test]
+    fn informational_keys_note_but_never_gate() {
+        let mk = |pruned: u64, hits: u64| {
+            Json::obj()
+                .set("scale", 2usize)
+                .set("seed", 2006u64)
+                .set("parallelism", 1usize)
+                .set(
+                    "figures",
+                    Json::Arr(vec![Json::obj().set("name", "storage").set(
+                        "rows",
+                        Json::Arr(vec![Json::obj()
+                            .set("segments_pruned", pruned)
+                            .set("cache_hits", hits)]),
+                    )]),
+                )
+        };
+        // Drift in either direction is a note, not a failure.
+        let rep = compare(&mk(9, 50), &mk(2, 80), DEFAULT_TOLERANCE);
+        assert!(rep.passed(), "{}", rep.render());
+        assert_eq!(rep.notes.len(), 2);
+        assert!(rep.notes.iter().all(|n| n.contains("informational")));
+        assert!(compare(&mk(9, 50), &mk(9, 50), DEFAULT_TOLERANCE)
+            .notes
+            .is_empty());
     }
 
     #[test]

@@ -54,6 +54,14 @@ pub struct Measurement {
     pub parallelism: usize,
     /// The rewrite the engine picked (for Auto / reporting).
     pub chosen: String,
+    /// Storage segments considered / zone-map pruned / scanned.
+    pub segments_total: u64,
+    pub segments_pruned: u64,
+    pub segments_scanned: u64,
+    /// Cleansed-sequence cache activity of this run.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_invalidations: u64,
 }
 
 impl Measurement {
@@ -71,6 +79,12 @@ impl Measurement {
             .set("window_eval_ms", Json::Num(self.window_eval_ms))
             .set("parallelism", self.parallelism)
             .set("chosen", self.chosen.as_str())
+            .set("segments_total", self.segments_total)
+            .set("segments_pruned", self.segments_pruned)
+            .set("segments_scanned", self.segments_scanned)
+            .set("cache_hits", self.cache_hits)
+            .set("cache_misses", self.cache_misses)
+            .set("cache_invalidations", self.cache_invalidations)
     }
 }
 
@@ -109,6 +123,10 @@ pub fn setup_with_parallelism(
         .expect("missing-input materialization");
     let mut system = DeferredCleansingSystem::with_catalog(catalog);
     system.set_parallelism(parallelism);
+    // The cleansed-sequence cache is on for every benchmark environment.
+    // Each environment runs an identical query sequence, so the hit/miss
+    // counters are deterministic and safe to gate on.
+    system.enable_cleanse_cache(4096);
     for n in 1..=5 {
         let app = format!("rules-{n}");
         for text in dataset.benchmark_rules(n) {
@@ -143,6 +161,12 @@ pub fn run_variant(
         window_eval_ms: report.window_eval_nanos as f64 / 1e6,
         parallelism: report.parallelism,
         chosen: report.chosen.clone(),
+        segments_total: report.stats.segments_total,
+        segments_pruned: report.stats.segments_pruned,
+        segments_scanned: report.stats.segments_scanned,
+        cache_hits: report.stats.seq_cache_hits,
+        cache_misses: report.stats.seq_cache_misses,
+        cache_invalidations: report.stats.seq_cache_invalidations,
     };
     match variant {
         Variant::Dirty => {

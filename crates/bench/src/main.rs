@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|plans|ablations|eager]
+//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|storage|plans|ablations|eager]
 //!       [--scale N] [--seed S] [--threads N] [--json] [--explain]
 //! ```
 //!
@@ -19,7 +19,8 @@
 
 use dc_bench::experiments::{
     ablation_joinback, ablation_order_sharing, eager_vs_deferred, explains, fig7_selectivity,
-    fig9_dirty, fig9_rules, plans, table1, ExperimentRow, DEFAULT_SCALE, DEFAULT_SEED,
+    fig9_dirty, fig9_rules, plans, storage_cache, table1, ExperimentRow, DEFAULT_SCALE,
+    DEFAULT_SEED,
 };
 use dc_bench::report::{render_figure, render_table1};
 use dc_json::Json;
@@ -182,6 +183,11 @@ fn run_one(args: &Args, what: &str) -> Vec<(String, Json)> {
                 .set("joinback_plain", plain.to_json());
             vec![("ablations".into(), json)]
         }
+        "storage" => {
+            let rows = storage_cache(args.scale, args.seed, args.threads);
+            emit("Storage: zone-map pruning + cleansed-sequence cache", &rows);
+            vec![("storage".into(), rows_json(&rows))]
+        }
         "eager" => {
             let c = eager_vs_deferred(args.scale, args.seed);
             println!("== Eager vs deferred (q1, 3 rules, 10% sel) ==");
@@ -248,6 +254,7 @@ fn main() {
             "fig8",
             "fig9ab",
             "fig9cd",
+            "storage",
             "ablations",
             "eager",
         ]

@@ -114,6 +114,12 @@ mod tests {
                 window_eval_ms: 0.1,
                 parallelism: 1,
                 chosen: "x".into(),
+                segments_total: 0,
+                segments_pruned: 0,
+                segments_scanned: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_invalidations: 0,
             }),
         }
     }

@@ -35,5 +35,5 @@
 pub mod system;
 
 pub use dc_relational::physical::{ExecOptions, OperatorMetrics};
-pub use dc_rewrite::{DecisionTrace, Strategy};
-pub use system::{DeferredCleansingSystem, ExplainReport, QueryReport};
+pub use dc_rewrite::{CacheStats, DecisionTrace, Strategy};
+pub use system::{CacheActivity, DeferredCleansingSystem, ExplainReport, QueryReport};

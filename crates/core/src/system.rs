@@ -16,7 +16,10 @@ use dc_relational::physical::{display_physical, lower, ExecOptions, OperatorMetr
 use dc_relational::plan::LogicalPlan;
 use dc_relational::sql::{parse_query, plan_query, plan_sql};
 use dc_relational::table::{Catalog, CatalogRef};
-use dc_rewrite::{Candidate, DecisionTrace, RewriteEngine, Strategy};
+use dc_rewrite::{
+    CacheStats, Candidate, CleanseCache, DecisionTrace, Executed, RewriteEngine, Rewritten,
+    Strategy,
+};
 use dc_rules::RuleCatalog;
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -68,6 +71,18 @@ impl QueryReport {
     }
 }
 
+/// Cleansed-sequence cache activity of one executed query (join-back
+/// rewrites only; the counters are per-run, not cache lifetime totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheActivity {
+    /// Sequences answered from the cache.
+    pub hits: u64,
+    /// Sequences that had to be cleansed.
+    pub misses: u64,
+    /// Stale entries evicted because their covering segments changed.
+    pub invalidations: u64,
+}
+
 /// The result of `EXPLAIN` / `EXPLAIN ANALYZE` on one application query:
 /// the rewrite decision trace, the chosen logical and physical plans, and
 /// — in analyze mode — the executed plan's per-operator metrics.
@@ -85,6 +100,9 @@ pub struct ExplainReport {
     pub metrics: Option<OperatorMetrics>,
     /// Result row count (`EXPLAIN ANALYZE` only).
     pub result_rows: Option<usize>,
+    /// Cleansed-sequence cache activity (`EXPLAIN ANALYZE` with the cache
+    /// enabled and a cacheable join-back plan only).
+    pub cache: Option<CacheActivity>,
 }
 
 impl ExplainReport {
@@ -101,6 +119,12 @@ impl ExplainReport {
         }
         if let Some(rows) = self.result_rows {
             out.push_str(&format!("-- result rows: {rows}\n"));
+        }
+        if let Some(c) = &self.cache {
+            out.push_str(&format!(
+                "-- cleanse cache: hits={} misses={} invalidations={}\n",
+                c.hits, c.misses, c.invalidations
+            ));
         }
         out.push_str(&self.plan.display_indent());
         out.push_str("-- physical plan:\n");
@@ -129,6 +153,15 @@ impl ExplainReport {
                 "result_rows",
                 self.result_rows.map_or(Json::Null, Json::from),
             )
+            .set(
+                "cleanse_cache",
+                self.cache.map_or(Json::Null, |c| {
+                    Json::obj()
+                        .set("hits", Json::from(c.hits))
+                        .set("misses", Json::from(c.misses))
+                        .set("invalidations", Json::from(c.invalidations))
+                }),
+            )
     }
 }
 
@@ -139,6 +172,7 @@ pub struct DeferredCleansingSystem {
     rules: RuleCatalog,
     engine: RwLock<RewriteEngine>,
     exec_options: ExecOptions,
+    cleanse_cache: Option<CleanseCache>,
 }
 
 impl Default for DeferredCleansingSystem {
@@ -160,6 +194,33 @@ impl DeferredCleansingSystem {
             rules: RuleCatalog::new(),
             engine: RwLock::new(RewriteEngine::new()),
             exec_options: ExecOptions::default(),
+            cleanse_cache: None,
+        }
+    }
+
+    /// Enable the cleansed-sequence cache with room for `capacity` cached
+    /// sequences. Join-back rewrites then memoize Φ output per
+    /// (rule-set fingerprint, cluster key, covering segments); appends to
+    /// the reads table invalidate exactly the touched keys. Results are
+    /// byte-identical to uncached execution.
+    pub fn enable_cleanse_cache(&mut self, capacity: usize) {
+        self.cleanse_cache = Some(CleanseCache::new(capacity));
+    }
+
+    /// Lifetime counters of the cleansed-sequence cache, when enabled.
+    pub fn cleanse_cache_stats(&self) -> Option<CacheStats> {
+        self.cleanse_cache.as_ref().map(CleanseCache::stats)
+    }
+
+    /// Execute a rewritten plan, routing through the cleansed-sequence
+    /// cache when it is enabled and the rewrite produced a cacheable
+    /// join-back plan.
+    fn run_rewritten(&self, rewritten: &Rewritten) -> Result<Executed> {
+        match &self.cleanse_cache {
+            Some(cache) if rewritten.cache_spec.is_some() => {
+                rewritten.execute_cached(&self.catalog, self.exec_options, cache)
+            }
+            _ => rewritten.execute(&self.catalog, self.exec_options),
         }
     }
 
@@ -224,7 +285,7 @@ impl DeferredCleansingSystem {
             self.engine
                 .read()
                 .rewrite_plan(&user_plan, &rules, &self.catalog, strategy)?;
-        let run = rewritten.execute(&self.catalog, self.exec_options)?;
+        let run = self.run_rewritten(&rewritten)?;
         let report = QueryReport {
             strategy: format!("{strategy:?}"),
             chosen: rewritten.chosen,
@@ -305,11 +366,17 @@ impl DeferredCleansingSystem {
         let physical = lower(&rewritten.plan, &self.catalog)?;
         let physical_text = display_physical(physical.as_ref());
         let physical_json = physical_to_json(physical.as_ref());
-        let (metrics, result_rows) = if analyze {
-            let run = rewritten.execute(&self.catalog, self.exec_options)?;
-            (run.metrics, Some(run.batch.num_rows()))
+        let (metrics, result_rows, cache) = if analyze {
+            let cached = self.cleanse_cache.is_some() && rewritten.cache_spec.is_some();
+            let run = self.run_rewritten(&rewritten)?;
+            let cache = cached.then_some(CacheActivity {
+                hits: run.stats.seq_cache_hits,
+                misses: run.stats.seq_cache_misses,
+                invalidations: run.stats.seq_cache_invalidations,
+            });
+            (run.metrics, Some(run.batch.num_rows()), cache)
         } else {
-            (None, None)
+            (None, None, None)
         };
         Ok(ExplainReport {
             trace,
@@ -318,6 +385,7 @@ impl DeferredCleansingSystem {
             physical_json,
             metrics,
             result_rows,
+            cache,
         })
     }
 
@@ -609,6 +677,96 @@ mod tests {
             assert_eq!(par_report.chosen, serial_report.chosen);
             assert_eq!(par_report.parallelism, p);
         }
+    }
+
+    #[test]
+    fn cleanse_cache_end_to_end() {
+        let mut sys = system();
+        sys.define_rule("app", DUP).unwrap();
+        sys.enable_cleanse_cache(64);
+        let sql = "select epc, rtime from caser where rtime < 300";
+
+        let (cold, cold_rep) = sys
+            .query_with_strategy("app", sql, Strategy::JoinBack)
+            .unwrap();
+        assert!(cold_rep.stats.seq_cache_misses > 0);
+        assert_eq!(cold_rep.stats.seq_cache_hits, 0);
+
+        let (warm, warm_rep) = sys
+            .query_with_strategy("app", sql, Strategy::JoinBack)
+            .unwrap();
+        assert!(warm_rep.stats.seq_cache_hits > 0);
+        assert_eq!(warm_rep.stats.seq_cache_misses, 0);
+        assert_eq!(warm.sorted_rows(), cold.sorted_rows());
+
+        // An uncached system agrees byte for byte.
+        let plain_sys = system();
+        plain_sys.define_rule("app", DUP).unwrap();
+        let plain = plain_sys.query("app", sql).unwrap();
+        assert_eq!(warm.sorted_rows(), plain.sorted_rows());
+
+        // Appending a read for e1 invalidates exactly that sequence.
+        let schema = sys.catalog().get("caser").unwrap().schema().clone();
+        let extra = Batch::from_rows(
+            schema,
+            &[vec![
+                Value::str("e1"),
+                Value::Int(120),
+                Value::str("x"),
+                Value::str("r1"),
+            ]],
+        )
+        .unwrap();
+        sys.catalog().append("caser", extra).unwrap();
+        let (after, after_rep) = sys
+            .query_with_strategy("app", sql, Strategy::JoinBack)
+            .unwrap();
+        assert!(after_rep.stats.seq_cache_invalidations >= 1);
+        let fresh = system();
+        fresh.define_rule("app", DUP).unwrap();
+        let extra2 = Batch::from_rows(
+            fresh.catalog().get("caser").unwrap().schema().clone(),
+            &[vec![
+                Value::str("e1"),
+                Value::Int(120),
+                Value::str("x"),
+                Value::str("r1"),
+            ]],
+        )
+        .unwrap();
+        fresh.catalog().append("caser", extra2).unwrap();
+        let expect = fresh.query("app", sql).unwrap();
+        assert_eq!(after.sorted_rows(), expect.sorted_rows());
+
+        // Lifetime counters accumulate across runs.
+        let total = sys.cleanse_cache_stats().unwrap();
+        assert!(total.hits >= warm_rep.stats.seq_cache_hits);
+        assert!(total.invalidations >= 1);
+    }
+
+    #[test]
+    fn explain_analyze_reports_cache_line() {
+        let mut sys = system();
+        sys.define_rule("app", DUP).unwrap();
+        sys.enable_cleanse_cache(64);
+        let sql = "select epc, rtime from caser where rtime < 300";
+        let rep = sys
+            .explain_report("app", sql, Strategy::JoinBack, true)
+            .unwrap();
+        let c = rep.cache.expect("cache activity recorded");
+        assert!(c.misses > 0);
+        assert!(rep.text().contains("-- cleanse cache: hits=0 misses="));
+        assert!(rep
+            .to_json()
+            .get("cleanse_cache")
+            .and_then(|j| j.get("misses"))
+            .is_some());
+        // Without analyze, no cache activity is recorded.
+        let rep = sys
+            .explain_report("app", sql, Strategy::JoinBack, false)
+            .unwrap();
+        assert!(rep.cache.is_none());
+        assert!(!rep.text().contains("cleanse cache"));
     }
 
     #[test]

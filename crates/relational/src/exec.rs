@@ -2,8 +2,8 @@
 //!
 //! [`Executor`] is the stable entry point: it lowers a [`LogicalPlan`] to a
 //! [`PhysicalOperator`](crate::physical::PhysicalOperator) tree (see
-//! [`crate::physical::lower`]) and runs it against an
-//! [`ExecContext`](crate::physical::ExecContext). It keeps *work counters*
+//! [`crate::physical::lower()`]) and runs it against an
+//! [`crate::physical::ExecContext`]. It keeps *work counters*
 //! (rows scanned, rows sorted, window-aggregate work, join probes) so
 //! experiments can report machine-independent effort alongside wall-clock
 //! time — the quantities the paper's §6.2 plan analysis reasons about.
@@ -36,6 +36,18 @@ pub struct ExecStats {
     /// Window partitions evaluated (the unit of Φ_C parallel distribution;
     /// counted identically at any parallelism).
     pub partitions_executed: u64,
+    /// Segments considered by zone-map pruning across filtered scans.
+    pub segments_total: u64,
+    /// Segments skipped because their zone maps exclude the scan predicate.
+    pub segments_pruned: u64,
+    /// Segments that survived pruning (total − pruned).
+    pub segments_scanned: u64,
+    /// Cleansed-sequence cache hits (join-back rewrite with caching on).
+    pub seq_cache_hits: u64,
+    /// Cleansed-sequence cache misses.
+    pub seq_cache_misses: u64,
+    /// Cleansed-sequence cache entries invalidated by appends.
+    pub seq_cache_invalidations: u64,
 }
 
 impl ExecStats {
@@ -51,6 +63,12 @@ impl ExecStats {
             window_agg_work,
             join_probes,
             partitions_executed,
+            segments_total,
+            segments_pruned,
+            segments_scanned,
+            seq_cache_hits,
+            seq_cache_misses,
+            seq_cache_invalidations,
         } = other;
         self.rows_scanned += rows_scanned;
         self.index_scans += index_scans;
@@ -60,6 +78,12 @@ impl ExecStats {
         self.window_agg_work += window_agg_work;
         self.join_probes += join_probes;
         self.partitions_executed += partitions_executed;
+        self.segments_total += segments_total;
+        self.segments_pruned += segments_pruned;
+        self.segments_scanned += segments_scanned;
+        self.seq_cache_hits += seq_cache_hits;
+        self.seq_cache_misses += seq_cache_misses;
+        self.seq_cache_invalidations += seq_cache_invalidations;
     }
 }
 
@@ -158,6 +182,60 @@ mod tests {
         assert_eq!(ex.stats.rows_scanned, 10);
         assert_eq!(ex.stats.index_scans, 1);
         assert_eq!(ex.stats.full_scans, 0);
+    }
+
+    #[test]
+    fn segmented_scan_prunes_by_zone_map() {
+        // Same data as `catalog()` but sealed into 10-row segments. rtime is
+        // monotone, so `rtime < 10` admits exactly one segment — and no
+        // index exists, so the fetch itself is segment-pruned.
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+        ]));
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::str(format!("e{}", i % 10)), Value::Int(i)])
+            .collect();
+        let b = Batch::from_rows(schema, &rows).unwrap();
+        let cat = Catalog::new();
+        cat.register(Table::with_segment_rows("r", b, 10));
+        let plan = LogicalPlan::Scan {
+            table: "r".into(),
+            alias: None,
+            filter: Some(Expr::col("rtime").lt(Expr::lit(10i64))),
+        };
+        let mut ex = Executor::new(&cat);
+        let out = ex.execute(&plan).unwrap();
+        assert_eq!(out.num_rows(), 10);
+        assert_eq!(ex.stats.full_scans, 1);
+        assert_eq!(
+            ex.stats.rows_scanned, 10,
+            "only the surviving segment is fetched"
+        );
+        assert_eq!(ex.stats.segments_total, 10);
+        assert_eq!(ex.stats.segments_pruned, 9);
+        assert_eq!(ex.stats.segments_scanned, 1);
+        let m = ex.metrics.as_ref().unwrap();
+        assert!(m
+            .render_text(false)
+            .contains("segments_total=10 segments_pruned=9 segments_scanned=1"));
+    }
+
+    #[test]
+    fn monolithic_table_never_prunes() {
+        // A single-segment table with a filtered scan: counters record the
+        // decision (1 segment considered, 0 pruned), results unchanged.
+        let cat = catalog();
+        let plan = LogicalPlan::Scan {
+            table: "r".into(),
+            alias: None,
+            filter: Some(Expr::col("rtime").lt(Expr::lit(10i64))),
+        };
+        let mut ex = Executor::new(&cat);
+        ex.execute(&plan).unwrap();
+        assert_eq!(ex.stats.segments_total, 1);
+        assert_eq!(ex.stats.segments_pruned, 0);
+        assert_eq!(ex.stats.segments_scanned, 1);
     }
 
     #[test]

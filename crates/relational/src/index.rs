@@ -57,31 +57,45 @@ impl ScanBound {
 
 /// An ordered index over a single column. NULLs are not indexed (SQL
 /// predicates never match them).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OrderedIndex {
     entries: BTreeMap<IndexKey, Vec<u32>>,
     indexed_rows: usize,
+    /// Rows examined so far (nulls included) — the append watermark.
+    /// [`OrderedIndex::extend`] resumes from here, so ingest batches extend
+    /// the index incrementally instead of rebuilding it.
+    covered_rows: usize,
 }
 
 impl OrderedIndex {
     /// Build an index over a column.
     pub fn build(column: &Column) -> Self {
-        let mut entries: BTreeMap<IndexKey, Vec<u32>> = BTreeMap::new();
-        let mut indexed_rows = 0;
-        for i in 0..column.len() {
+        let mut idx = OrderedIndex::default();
+        idx.extend(column);
+        idx
+    }
+
+    /// Index the rows appended since the last `build`/`extend` — those at
+    /// positions `covered_rows..column.len()`. Appending in row order pushes
+    /// ascending row ids per key, so an extended index is identical to one
+    /// rebuilt from scratch.
+    pub fn extend(&mut self, column: &Column) {
+        for i in self.covered_rows..column.len() {
             if column.is_null(i) {
                 continue;
             }
-            entries
+            self.entries
                 .entry(IndexKey(column.value(i)))
                 .or_default()
                 .push(i as u32);
-            indexed_rows += 1;
+            self.indexed_rows += 1;
         }
-        OrderedIndex {
-            entries,
-            indexed_rows,
-        }
+        self.covered_rows = column.len();
+    }
+
+    /// Rows examined so far (the append watermark).
+    pub fn covered_rows(&self) -> usize {
+        self.covered_rows
     }
 
     /// Number of distinct keys.
@@ -189,6 +203,22 @@ mod tests {
         let idx = OrderedIndex::build(&col());
         let s = idx.range_selectivity(&ScanBound::Inclusive(Value::Int(5)), &ScanBound::Unbounded);
         assert!((s - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_matches_full_rebuild() {
+        let all = col();
+        // Build over a prefix, then extend with the appended rows.
+        let prefix = all.take(&[0, 1]);
+        let mut incremental = OrderedIndex::build(&prefix);
+        assert_eq!(incremental.covered_rows(), 2);
+        incremental.extend(&all);
+        assert_eq!(incremental, OrderedIndex::build(&all));
+        assert_eq!(incremental.covered_rows(), 5);
+        // Extending again is a no-op.
+        let before = incremental.clone();
+        incremental.extend(&all);
+        assert_eq!(incremental, before);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod optimizer;
 pub mod physical;
 pub mod plan;
 pub mod schema;
+pub mod segment;
 pub mod sort;
 pub mod sql;
 pub mod stats;

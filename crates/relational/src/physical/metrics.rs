@@ -42,6 +42,13 @@ pub struct OperatorMetrics {
     pub comparisons: u64,
     /// Window partitions evaluated (0 for non-window operators).
     pub partitions: u64,
+    /// Segments considered by zone-map pruning (0 for non-scan operators
+    /// and unfiltered scans).
+    pub segments_total: u64,
+    /// Segments skipped by zone-map pruning.
+    pub segments_pruned: u64,
+    /// Segments that survived pruning.
+    pub segments_scanned: u64,
     /// Inclusive wall-clock (children included). Timing, not a counter:
     /// excluded from [`OperatorMetrics::deterministic`].
     pub wall_nanos: u64,
@@ -59,6 +66,9 @@ pub struct DeterministicMetrics {
     pub rows_out: u64,
     pub comparisons: u64,
     pub partitions: u64,
+    pub segments_total: u64,
+    pub segments_pruned: u64,
+    pub segments_scanned: u64,
     pub children: Vec<DeterministicMetrics>,
 }
 
@@ -72,6 +82,9 @@ impl OperatorMetrics {
             rows_out: self.rows_out,
             comparisons: self.comparisons,
             partitions: self.partitions,
+            segments_total: self.segments_total,
+            segments_pruned: self.segments_pruned,
+            segments_scanned: self.segments_scanned,
             children: self.children.iter().map(Self::deterministic).collect(),
         }
     }
@@ -107,6 +120,13 @@ impl OperatorMetrics {
             if m.partitions > 0 {
                 let _ = write!(out, " partitions={}", m.partitions);
             }
+            if m.segments_total > 0 {
+                let _ = write!(
+                    out,
+                    " segments_total={} segments_pruned={} segments_scanned={}",
+                    m.segments_total, m.segments_pruned, m.segments_scanned
+                );
+            }
             if with_timing {
                 let _ = write!(out, " time={:.3}ms", m.wall_nanos as f64 / 1e6);
             }
@@ -129,7 +149,10 @@ impl OperatorMetrics {
             .set("rows_in", self.rows_in)
             .set("rows_out", self.rows_out)
             .set("comparisons", self.comparisons)
-            .set("partitions", self.partitions);
+            .set("partitions", self.partitions)
+            .set("segments_total", self.segments_total)
+            .set("segments_pruned", self.segments_pruned)
+            .set("segments_scanned", self.segments_scanned);
         if with_timing {
             obj = obj.set("time_ms", Json::Num(self.wall_nanos as f64 / 1e6));
         }
@@ -155,6 +178,9 @@ struct PendingNode {
     rows_in: Option<u64>,
     comparisons: u64,
     partitions: u64,
+    segments_total: u64,
+    segments_pruned: u64,
+    segments_scanned: u64,
     children: Vec<OperatorMetrics>,
 }
 
@@ -182,6 +208,9 @@ impl MetricsCollector {
             rows_in: None,
             comparisons: 0,
             partitions: 0,
+            segments_total: 0,
+            segments_pruned: 0,
+            segments_scanned: 0,
             children: Vec::new(),
         });
     }
@@ -203,6 +232,9 @@ impl MetricsCollector {
             rows_out,
             comparisons: node.comparisons,
             partitions: node.partitions,
+            segments_total: node.segments_total,
+            segments_pruned: node.segments_pruned,
+            segments_scanned: node.segments_scanned,
             wall_nanos,
             children: node.children,
         };
@@ -231,6 +263,16 @@ impl MetricsCollector {
     pub fn set_rows_in(&mut self, n: u64) {
         if let Some(top) = self.stack.last_mut() {
             top.rows_in = Some(n);
+        }
+    }
+
+    /// Record a zone-map pruning decision against the operator currently
+    /// executing (scans only).
+    pub fn add_segments(&mut self, total: u64, pruned: u64, scanned: u64) {
+        if let Some(top) = self.stack.last_mut() {
+            top.segments_total += total;
+            top.segments_pruned += pruned;
+            top.segments_scanned += scanned;
         }
     }
 
@@ -296,6 +338,28 @@ mod tests {
         let child = &j.get("children").and_then(Json::as_arr).unwrap()[0];
         assert_eq!(child.get("comparisons").and_then(Json::as_u64), Some(100));
         assert!(m.to_json(true).get("time_ms").is_some());
+    }
+
+    #[test]
+    fn segment_counters_render_only_when_present() {
+        let mut c = MetricsCollector::new();
+        c.enter("ScanExec", "ScanExec: caser".into());
+        c.add_segments(8, 6, 2);
+        c.exit(10, 100);
+        let m = c.finish().unwrap();
+        assert_eq!(m.segments_total, 8);
+        assert_eq!(m.deterministic().segments_pruned, 6);
+        let text = m.render_text(false);
+        assert!(text.contains("segments_total=8 segments_pruned=6 segments_scanned=2"));
+        assert_eq!(
+            m.to_json(false)
+                .get("segments_pruned")
+                .and_then(Json::as_u64),
+            Some(6)
+        );
+        // Operators with no pruning activity keep their old rendering.
+        let plain = sample().render_text(false);
+        assert!(!plain.contains("segments_total"));
     }
 
     #[test]

@@ -11,8 +11,10 @@ use crate::error::Result;
 use crate::expr::Expr;
 use crate::index::ScanBound;
 use crate::schema::Schema;
+use crate::segment::candidate_zone_predicate;
 use crate::table::Table;
 use crate::value::Value;
+use dc_storage::{Segment, ZonePredicate};
 use std::sync::Arc;
 
 /// One index access the scan may use, fixed at lowering time.
@@ -75,9 +77,34 @@ impl PhysicalOperator for PhysicalScan {
             return t.data().clone().with_schema(out_schema);
         };
 
+        // Zone-map pruning: the candidates' bounds are necessary conditions
+        // of `filter`, so segments whose zones exclude them cannot hold
+        // matching rows. The decision (and its counters) is a pure function
+        // of plan + data — recorded before the access-path choice so the
+        // counters describe prunability regardless of which path runs.
+        let survivors = prune_segments(&t, &self.candidates);
+        let total_segs = t.segments().len();
+        if !self.candidates.is_empty() && total_segs > 0 {
+            let scanned = survivors.len() as u64;
+            let pruned = total_segs as u64 - scanned;
+            ctx.stats.segments_total += total_segs as u64;
+            ctx.stats.segments_pruned += pruned;
+            ctx.stats.segments_scanned += scanned;
+            ctx.metrics.add_segments(total_segs as u64, pruned, scanned);
+        }
+
         let base = match best_index_access(&t, &self.candidates) {
             Some(rows) => {
                 ctx.stats.index_scans += 1;
+                ctx.stats.rows_scanned += rows.len() as u64;
+                t.data().take(&rows)
+            }
+            None if survivors.len() < total_segs => {
+                // Fetch only the surviving segments' contiguous row ranges;
+                // the residual filter below keeps results identical to a
+                // full scan.
+                let rows: Vec<usize> = survivors.iter().flat_map(|s| s.start..s.end()).collect();
+                ctx.stats.full_scans += 1;
                 ctx.stats.rows_scanned += rows.len() as u64;
                 t.data().take(&rows)
             }
@@ -96,6 +123,29 @@ impl PhysicalOperator for PhysicalScan {
         let keep = filter.filter_indices(&base)?;
         Ok(base.take(&keep))
     }
+}
+
+/// Segments whose zone maps admit every candidate constraint (AND
+/// semantics), in row order. With no usable constraints every segment
+/// survives.
+fn prune_segments<'t>(table: &'t Table, candidates: &[IndexCandidate]) -> Vec<&'t Segment<Value>> {
+    let preds: Vec<ZonePredicate<Value>> = candidates
+        .iter()
+        .filter_map(|c| {
+            candidate_zone_predicate(
+                table.schema(),
+                &c.column,
+                &c.lower,
+                &c.upper,
+                c.in_values.as_deref(),
+            )
+        })
+        .collect();
+    table
+        .segments()
+        .iter()
+        .filter(|s| s.may_match_all(&preds))
+        .collect()
 }
 
 /// Pick the most selective candidate on the actual table, returning matching

@@ -1,0 +1,182 @@
+//! Glue between [`dc_storage`]'s generic zone-map machinery and this
+//! engine's [`Value`] type.
+//!
+//! `dc-storage` knows nothing about the relational layer; this module
+//! instantiates its generics: [`ZoneValue`] for [`Value`] (via the engine's
+//! `total_cmp`, the same order indexes and sorts use — a requirement for
+//! pruning soundness), segment sealing over a [`Batch`] row range, and the
+//! conversion from the scan's [`IndexCandidate`](crate::physical::scan::IndexCandidate) bounds to
+//! [`ZonePredicate`]s.
+
+use crate::batch::Batch;
+use crate::index::ScanBound;
+use crate::schema::SchemaRef;
+use crate::value::Value;
+use dc_storage::{Segment, ZoneBound, ZoneMap, ZonePredicate, ZoneValue};
+use std::cmp::Ordering;
+
+impl ZoneValue for Value {
+    fn zcmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+/// Seal the rows `[start, data.num_rows())` of a batch into segments of at
+/// most `target_rows` rows (`None` = one segment), assigning ids from
+/// `next_id`. Returns an empty vector when there is nothing to seal.
+pub fn seal_segments(
+    data: &Batch,
+    start: usize,
+    next_id: u64,
+    target_rows: Option<usize>,
+) -> Vec<Segment<Value>> {
+    let total = data.num_rows();
+    if start >= total {
+        return Vec::new();
+    }
+    let chunk = target_rows.unwrap_or(total - start).max(1);
+    let mut out = Vec::new();
+    let mut id = next_id;
+    let mut lo = start;
+    while lo < total {
+        let hi = (lo + chunk).min(total);
+        out.push(seal_one(data, id, lo, hi));
+        id += 1;
+        lo = hi;
+    }
+    out
+}
+
+fn seal_one(data: &Batch, id: u64, lo: usize, hi: usize) -> Segment<Value> {
+    let zones = (0..data.schema().fields().len())
+        .map(|ci| {
+            let col = data.column(ci);
+            let mut z = ZoneMap::new();
+            for i in lo..hi {
+                if col.is_null(i) {
+                    z.observe_null();
+                } else {
+                    z.observe(&col.value(i));
+                }
+            }
+            z
+        })
+        .collect();
+    Segment {
+        id,
+        start: lo,
+        rows: hi - lo,
+        zones,
+    }
+}
+
+fn to_zone_bound(b: &ScanBound) -> ZoneBound<Value> {
+    match b {
+        ScanBound::Unbounded => ZoneBound::Unbounded,
+        ScanBound::Inclusive(v) => ZoneBound::Inclusive(v.clone()),
+        ScanBound::Exclusive(v) => ZoneBound::Exclusive(v.clone()),
+    }
+}
+
+/// Convert one scan candidate (column name + range bounds + optional
+/// IN-list) to a zone predicate over a schema's column position. Returns
+/// `None` when the column is absent or the candidate carries no constraint.
+///
+/// Candidates are *necessary* conditions of the scan's residual filter
+/// (`derive_index_candidates` extracts only bounds implied by the whole
+/// filter), so applying them conjunctively to prune segments is sound.
+pub fn candidate_zone_predicate(
+    schema: &SchemaRef,
+    column: &str,
+    lower: &ScanBound,
+    upper: &ScanBound,
+    in_values: Option<&[Value]>,
+) -> Option<ZonePredicate<Value>> {
+    let ci = schema
+        .fields()
+        .iter()
+        .position(|f| f.name.eq_ignore_ascii_case(column))?;
+    let p = ZonePredicate {
+        column: ci,
+        lower: to_zone_bound(lower),
+        upper: to_zone_bound(upper),
+        in_values: in_values.map(<[Value]>::to_vec),
+    };
+    (!p.is_trivial()).then_some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::schema_ref;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn batch() -> Batch {
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+        ]));
+        Batch::from_rows(
+            schema,
+            &[
+                vec![Value::str("e1"), Value::Int(10)],
+                vec![Value::str("e1"), Value::Int(20)],
+                vec![Value::str("e2"), Value::Null],
+                vec![Value::str("e3"), Value::Int(40)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn seal_chunks_and_summarizes() {
+        let b = batch();
+        let segs = seal_segments(&b, 0, 0, Some(2));
+        assert_eq!(segs.len(), 2);
+        assert_eq!((segs[0].start, segs[0].rows), (0, 2));
+        assert_eq!((segs[1].start, segs[1].rows), (2, 2));
+        assert_eq!(segs[1].id, 1);
+        let z = segs[1].zone(1).unwrap();
+        assert_eq!(z.min, Some(Value::Int(40)));
+        assert_eq!(z.null_count, 1);
+        // Sealing from an offset with fresh ids.
+        let more = seal_segments(&b, 3, 7, None);
+        assert_eq!(more.len(), 1);
+        assert_eq!((more[0].id, more[0].start, more[0].rows), (7, 3, 1));
+        assert!(seal_segments(&b, 4, 9, None).is_empty());
+    }
+
+    #[test]
+    fn candidate_conversion_prunes() {
+        let b = batch();
+        let segs = seal_segments(&b, 0, 0, Some(2));
+        let p = candidate_zone_predicate(
+            b.schema(),
+            "RTIME",
+            &ScanBound::Inclusive(Value::Int(30)),
+            &ScanBound::Unbounded,
+            None,
+        )
+        .unwrap();
+        assert!(!segs[0].may_match_all(std::slice::from_ref(&p)));
+        assert!(segs[1].may_match_all(std::slice::from_ref(&p)));
+        // Unknown column or no constraint -> no predicate.
+        assert!(candidate_zone_predicate(
+            b.schema(),
+            "nope",
+            &ScanBound::Unbounded,
+            &ScanBound::Unbounded,
+            None
+        )
+        .is_none());
+        assert!(candidate_zone_predicate(
+            b.schema(),
+            "rtime",
+            &ScanBound::Unbounded,
+            &ScanBound::Unbounded,
+            None
+        )
+        .is_none());
+    }
+}

@@ -1,36 +1,69 @@
 //! Tables and the catalog.
 //!
-//! A [`Table`] is an immutable batch plus its secondary indexes and
-//! statistics; the [`Catalog`] maps names to tables and is shared between the
-//! planner, the rewrite engine, and the executor.
+//! A [`Table`] is a batch plus its secondary indexes, statistics, and
+//! segment metadata; the [`Catalog`] maps names to tables and is shared
+//! between the planner, the rewrite engine, and the executor.
+//!
+//! Tables are immutable once registered — readers always see a consistent
+//! snapshot — but grow through [`Catalog::append`], which clones the table,
+//! appends a batch (sealing new segments and extending indexes
+//! incrementally), and swaps the catalog entry. Readers holding an old
+//! `Arc<Table>` keep their snapshot.
 
 use crate::batch::Batch;
 use crate::error::{Error, Result};
 use crate::index::OrderedIndex;
 use crate::schema::SchemaRef;
+use crate::segment::seal_segments;
 use crate::stats::TableStats;
+use crate::value::Value;
+use dc_storage::Segment;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// An immutable named table: data, indexes, statistics.
-#[derive(Debug)]
+/// A named table: data, indexes, statistics, and sealed segments.
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     data: Batch,
     indexes: HashMap<String, OrderedIndex>,
     stats: TableStats,
+    /// Sealed row groups with per-column zone maps, covering all rows in
+    /// order. A freshly created non-empty table is one segment.
+    segments: Vec<Segment<Value>>,
+    /// Target rows per segment for bulk loads and appends (`None` = one
+    /// segment per creation/append).
+    segment_rows: Option<usize>,
 }
 
 impl Table {
-    /// Create a table, computing statistics immediately.
+    /// Create a table, computing statistics immediately. Non-empty data is
+    /// sealed as a single segment.
     pub fn new(name: impl Into<String>, data: Batch) -> Self {
+        Self::with_segment_rows_opt(name, data, None)
+    }
+
+    /// Create a table whose data is sealed into segments of at most
+    /// `segment_rows` rows; later [`Table::append`]s use the same target.
+    pub fn with_segment_rows(name: impl Into<String>, data: Batch, segment_rows: usize) -> Self {
+        Self::with_segment_rows_opt(name, data, Some(segment_rows.max(1)))
+    }
+
+    fn with_segment_rows_opt(
+        name: impl Into<String>,
+        data: Batch,
+        segment_rows: Option<usize>,
+    ) -> Self {
         let stats = TableStats::compute(&data);
+        let segments = seal_segments(&data, 0, 0, segment_rows);
         Table {
             name: name.into().to_ascii_lowercase(),
             data,
             indexes: HashMap::new(),
             stats,
+            segments,
+            segment_rows,
         }
     }
 
@@ -54,12 +87,44 @@ impl Table {
         &self.stats
     }
 
-    /// Build (or rebuild) an ordered index on a column.
+    /// The sealed segments, in row order.
+    pub fn segments(&self) -> &[Segment<Value>] {
+        &self.segments
+    }
+
+    /// Append a batch: concatenate the rows, seal them as new segment(s),
+    /// recompute statistics, and extend every existing index incrementally
+    /// (no rebuild — see [`OrderedIndex::extend`]).
+    pub fn append(&mut self, batch: Batch) -> Result<()> {
+        if batch.num_rows() == 0 {
+            return Ok(());
+        }
+        let start = self.data.num_rows();
+        let next_id = self.segments.last().map_or(0, |s| s.id + 1);
+        self.data = Batch::concat(&[self.data.clone(), batch])?;
+        self.segments
+            .extend(seal_segments(&self.data, start, next_id, self.segment_rows));
+        self.stats = TableStats::compute(&self.data);
+        for (column, idx) in &mut self.indexes {
+            let ci = self.data.schema().index_of_name(column)?;
+            idx.extend(self.data.column(ci));
+        }
+        Ok(())
+    }
+
+    /// Build an ordered index on a column. When the index already exists it
+    /// is only extended over rows appended since it was last built — never
+    /// silently rebuilt from scratch.
     pub fn create_index(&mut self, column: &str) -> Result<()> {
         let column = column.to_ascii_lowercase();
         let ci = self.data.schema().index_of_name(&column)?;
-        let idx = OrderedIndex::build(self.data.column(ci));
-        self.indexes.insert(column, idx);
+        match self.indexes.get_mut(&column) {
+            Some(idx) => idx.extend(self.data.column(ci)),
+            None => {
+                let idx = OrderedIndex::build(self.data.column(ci));
+                self.indexes.insert(column, idx);
+            }
+        }
         Ok(())
     }
 
@@ -72,6 +137,26 @@ impl Table {
         let mut cols: Vec<&str> = self.indexes.keys().map(String::as_str).collect();
         cols.sort_unstable();
         cols
+    }
+
+    /// Ids of the segments whose zone range on `column` admits `v` — the
+    /// segments that *could* hold rows with that value. Ascending (segments
+    /// are stored in seal order). Used as the validity token of the
+    /// cleansed-sequence cache: appending rows for a key changes its
+    /// covering set, which invalidates exactly that key.
+    pub fn covering_segments(&self, column: &str, v: &Value) -> Vec<u64> {
+        let Ok(ci) = self
+            .data
+            .schema()
+            .index_of_name(&column.to_ascii_lowercase())
+        else {
+            return Vec::new();
+        };
+        self.segments
+            .iter()
+            .filter(|s| s.zone(ci).is_some_and(|z| z.contains(v)))
+            .map(|s| s.id)
+            .collect()
     }
 }
 
@@ -119,6 +204,32 @@ impl Catalog {
         let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
         names.sort_unstable();
         names
+    }
+
+    /// Append a batch to a registered table. The table is cloned, mutated,
+    /// and swapped in under the write lock (copy-on-write): queries holding
+    /// the old `Arc<Table>` keep a consistent snapshot, new lookups see the
+    /// appended rows, fresh segments, and extended indexes.
+    pub fn append(&self, name: &str, batch: Batch) -> Result<Arc<Table>> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        let current = tables
+            .get(&key)
+            .ok_or_else(|| Error::Catalog(format!("no such table '{name}'")))?;
+        let mut t = Table::clone(current);
+        t.append(batch)?;
+        let t = Arc::new(t);
+        tables.insert(key, Arc::clone(&t));
+        Ok(t)
+    }
+
+    /// A shallow copy of the catalog: same `Arc<Table>` entries, independent
+    /// map. Used to register transient tables (e.g. cache-assembled
+    /// cleansed rows) without them leaking into the shared catalog.
+    pub fn overlay(&self) -> Catalog {
+        Catalog {
+            tables: RwLock::new(self.tables.read().clone()),
+        }
     }
 }
 
@@ -177,5 +288,79 @@ mod tests {
         let b2 = sample_batch().take(&[0]);
         cat.register(Table::new("t", b2));
         assert_eq!(cat.get("t").unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn new_table_is_one_segment() {
+        let t = Table::new("t", sample_batch());
+        assert_eq!(t.segments().len(), 1);
+        assert_eq!(t.segments()[0].rows, 2);
+        // An empty table has no segments.
+        let empty = Table::new("e", sample_batch().take(&[]));
+        assert!(empty.segments().is_empty());
+    }
+
+    #[test]
+    fn append_seals_segments_and_extends_indexes() {
+        let mut t = Table::with_segment_rows("t", sample_batch(), 2);
+        t.create_index("rtime").unwrap();
+        t.append(sample_batch()).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.segments().len(), 2);
+        assert_eq!(t.segments()[1].id, 1);
+        assert_eq!(t.segments()[1].start, 2);
+        assert_eq!(t.stats().row_count, 4);
+        // The index was extended over the appended rows without a rebuild,
+        // and matches a from-scratch build.
+        let idx = t.index("rtime").unwrap();
+        assert_eq!(idx.covered_rows(), 4);
+        assert_eq!(idx.lookup(&Value::Int(10)), &[0, 2]);
+        assert_eq!(*idx, OrderedIndex::build(t.data().column(1)));
+        // create_index after append is incremental (watermark already
+        // current -> no-op).
+        let before = idx.clone();
+        t.create_index("rtime").unwrap();
+        assert_eq!(*t.index("rtime").unwrap(), before);
+    }
+
+    #[test]
+    fn covering_segments_tracks_zone_ranges() {
+        let mut t = Table::with_segment_rows("t", sample_batch(), 2);
+        assert_eq!(t.covering_segments("epc", &Value::str("e1")), vec![0]);
+        t.append(
+            Batch::from_rows(
+                sample_batch().schema().clone(),
+                &[vec![Value::str("e1"), Value::Int(99)]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // The appended segment's epc zone is [e1, e1]: e1's covering set
+        // changed, e2's did not.
+        assert_eq!(t.covering_segments("epc", &Value::str("e1")), vec![0, 1]);
+        assert_eq!(t.covering_segments("epc", &Value::str("e2")), vec![0]);
+        assert!(t.covering_segments("nope", &Value::str("e1")).is_empty());
+    }
+
+    #[test]
+    fn catalog_append_is_copy_on_write() {
+        let cat = Catalog::new();
+        cat.register(Table::new("t", sample_batch()));
+        let snapshot = cat.get("t").unwrap();
+        cat.append("t", sample_batch().take(&[0])).unwrap();
+        assert_eq!(snapshot.num_rows(), 2, "old handle keeps its snapshot");
+        assert_eq!(cat.get("t").unwrap().num_rows(), 3);
+        assert!(cat.append("nope", sample_batch()).is_err());
+    }
+
+    #[test]
+    fn overlay_is_independent() {
+        let cat = Catalog::new();
+        cat.register(Table::new("t", sample_batch()));
+        let overlay = cat.overlay();
+        overlay.register(Table::new("extra", sample_batch()));
+        assert!(overlay.contains("t"));
+        assert!(overlay.contains("extra"));
+        assert!(!cat.contains("extra"));
     }
 }

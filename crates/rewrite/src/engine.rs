@@ -17,6 +17,7 @@
 //! estimate is selected").
 
 use crate::analysis::{bind_to_target, context_condition, join_key_propagates, requalify};
+use crate::cache::JoinBackCacheSpec;
 use crate::shape::{analyze, QueryShape};
 use dc_relational::cost::{base_table_rows, estimate};
 use dc_relational::error::{Error, Result};
@@ -69,6 +70,11 @@ pub struct Rewritten {
     pub context_condition: Option<Expr>,
     /// Diagnostics (soundness fallbacks etc.).
     pub notes: Vec<String>,
+    /// When the winning candidate is a join-back over a base reads table,
+    /// everything [`Rewritten::execute_cached`] needs to run it through the
+    /// cleansed-sequence cache. `None` = cached execution falls back to
+    /// [`Rewritten::execute`].
+    pub cache_spec: Option<JoinBackCacheSpec>,
 }
 
 /// A fully executed rewrite: the result batch plus the run's accounting.
@@ -176,6 +182,7 @@ impl RewriteEngine {
                 expanded_condition: None,
                 context_condition: None,
                 notes: vec![],
+                cache_spec: None,
             });
         }
         let rule_refs: Vec<&RuleTemplate> = rules.iter().map(Arc::as_ref).collect();
@@ -250,6 +257,7 @@ impl RewriteEngine {
                 expanded_condition: None,
                 context_condition: None,
                 notes,
+                cache_spec: None,
             });
         }
 
@@ -367,6 +375,30 @@ impl RewriteEngine {
             .into_iter()
             .next()
             .ok_or_else(|| Error::Internal("no rewrite candidates generated".into()))?;
+
+        // When a join-back won, build the cleansed-sequence cache spec for
+        // the exact candidate chosen (same semi-join set, same ec/reapply).
+        let cache_spec = match chosen
+            .strip_prefix("join-back(")
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|k| k.parse::<usize>().ok())
+        {
+            Some(k) => {
+                let direct: Vec<usize> = shape
+                    .dims
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, d)| d.direct && !tainted_dims.contains(i))
+                    .map(|(i, _)| i)
+                    .collect();
+                let ordered = order_by_selectivity(&shape, &direct, catalog);
+                let jb_ec = if improved_joinback { ec.as_ref() } else { None };
+                let reapply = if jb_ec.is_some() { &s_prime } else { &shape.s };
+                self.joinback_cache_spec(&shape, rules, catalog, jb_ec, reapply, &ordered[..k])
+            }
+            None => None,
+        };
+
         Ok(Rewritten {
             plan,
             chosen,
@@ -374,6 +406,7 @@ impl RewriteEngine {
             expanded_condition: ec,
             context_condition: cc,
             notes,
+            cache_spec,
         })
     }
 
@@ -506,6 +539,93 @@ impl RewriteEngine {
             None => cleansed,
         };
         Ok(shape.splice(shape.rejoin_dims(filtered, &[])))
+    }
+
+    /// Build the cleansed-sequence cache spec mirroring a chosen join-back
+    /// candidate, or `None` when caching would be unsound or impossible:
+    /// the rules read a derived input (no base-table segment metadata to
+    /// validate against), or a MODIFY rule rewrites the cluster key itself
+    /// (per-sequence grouping of Φ output would not match pre-cleansing
+    /// keys).
+    fn joinback_cache_spec(
+        &self,
+        shape: &QueryShape,
+        rules: &[Arc<RuleTemplate>],
+        catalog: &Catalog,
+        ec: Option<&Expr>,
+        reapply: &[Expr],
+        semi_dims: &[usize],
+    ) -> Option<JoinBackCacheSpec> {
+        let from = &rules[0].def.from_table;
+        if !from.eq_ignore_ascii_case(&shape.table) || !catalog.contains(&shape.table) {
+            return None;
+        }
+        let ckey = rules[0].def.cluster_by.clone();
+        let modifies_ckey = rules.iter().any(|r| match &r.action {
+            Action::Modify { assignments, .. } => assignments
+                .iter()
+                .any(|(c, _)| c.eq_ignore_ascii_case(&ckey)),
+            _ => false,
+        });
+        if modifies_ckey {
+            return None;
+        }
+
+        // The sequence set, exactly as the candidate's inner arm builds it.
+        let r_ckey = Expr::Column(ColumnRef::qualified(shape.alias.clone(), ckey.clone()));
+        let mut inner = LogicalPlan::scan_as(&shape.table, &shape.alias);
+        if let Some(s) = shape.s_expr() {
+            inner = inner.filter(s);
+        }
+        for &i in semi_dims {
+            let d = &shape.dims[i];
+            inner = inner.join(
+                d.plan.clone(),
+                d.left_keys.clone(),
+                d.right_keys.clone(),
+                JoinType::Inner,
+            );
+        }
+        let seqset = optimize_default(
+            inner.project(vec![(r_ckey, ckey.clone())]).distinct(),
+            catalog,
+        );
+
+        // Fingerprint: rule chain + pushed-down ec + qualification. The ec
+        // shapes the cleansing *input*, so sequences cleansed under
+        // different conditions never share entries.
+        let mut h = dc_storage::Fnv1a::new();
+        for r in rules {
+            h.write(format!("{:?}", r.def).as_bytes());
+            h.write(b"|");
+        }
+        if let Some(ec) = ec {
+            h.write(format!("{ec}").as_bytes());
+        }
+        h.write(shape.alias.as_bytes());
+        h.write(shape.table.as_bytes());
+
+        // The tail: reapply s′ over the assembled cleansed rows, then the
+        // dimension re-joins and the original consumer.
+        let placeholder = format!("__cleansed__{}", shape.table);
+        let tail_src = LogicalPlan::scan(&placeholder);
+        let filtered = match conjoin(reapply.to_vec()) {
+            Some(s) => tail_src.filter(s),
+            None => tail_src,
+        };
+        let tail = shape.splice(shape.rejoin_dims(filtered, &[]));
+
+        Some(JoinBackCacheSpec {
+            fingerprint: h.finish(),
+            reads_table: shape.table.clone(),
+            alias: shape.alias.clone(),
+            ckey,
+            seqset,
+            ec: ec.cloned(),
+            placeholder,
+            tail,
+            rules: rules.to_vec(),
+        })
     }
 }
 
@@ -967,5 +1087,67 @@ mod tests {
         let expect = gold(sql, &cat, &rules);
         let got = Executor::new(&cat).execute(&rw.plan).unwrap().sorted_rows();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn execute_cached_matches_execute_and_invalidates_on_append() {
+        use crate::cache::CleanseCache;
+
+        fn all_rows(b: &Batch) -> Vec<Vec<Value>> {
+            (0..b.num_rows()).map(|i| b.row(i)).collect()
+        }
+
+        // Re-register caser segmented so covering-segment validation is
+        // meaningful (several segments, appends create new ones).
+        let cat = catalog();
+        {
+            let base = cat.get("caser").unwrap();
+            let mut t = Table::with_segment_rows("caser", base.data().clone(), 16);
+            t.create_index("rtime").unwrap();
+            t.create_index("epc").unwrap();
+            cat.register(t);
+        }
+        let rules = templates(&[DUP]);
+        let engine = RewriteEngine::new();
+        let sql = "select epc, rtime from caser where rtime > 800";
+        let user_plan = plan_query(&parse_query(sql).unwrap(), &cat).unwrap();
+        let rw = engine
+            .rewrite_plan(&user_plan, &rules, &cat, Strategy::JoinBack)
+            .unwrap();
+        let spec = rw.cache_spec.as_ref().expect("join-back produces a spec");
+        assert_eq!(spec.ckey, "epc");
+
+        let opts = ExecOptions::default;
+        let plain = rw.execute(&cat, opts()).unwrap();
+        let cache = CleanseCache::new(64);
+        let cold = rw.execute_cached(&cat, opts(), &cache).unwrap();
+        assert_eq!(all_rows(&cold.batch), all_rows(&plain.batch));
+        assert!(cold.stats.seq_cache_misses > 0);
+        assert_eq!(cold.stats.seq_cache_hits, 0);
+
+        let warm = rw.execute_cached(&cat, opts(), &cache).unwrap();
+        assert_eq!(all_rows(&warm.batch), all_rows(&plain.batch));
+        assert!(warm.stats.seq_cache_hits > 0);
+        assert_eq!(warm.stats.seq_cache_misses, 0);
+
+        // Appending a read for e1 extends its covering segments: the stale
+        // entry is invalidated and recomputed; other ckeys stay cached.
+        let schema = cat.get("caser").unwrap().schema().clone();
+        let extra = Batch::from_rows(
+            schema,
+            &[vec![
+                Value::str("e1"),
+                Value::Int(950),
+                Value::str("locZ"),
+                Value::str("r9"),
+            ]],
+        )
+        .unwrap();
+        cat.append("caser", extra).unwrap();
+        let refreshed = rw.execute_cached(&cat, opts(), &cache).unwrap();
+        assert!(refreshed.stats.seq_cache_invalidations >= 1);
+        assert!(refreshed.stats.seq_cache_hits > 0, "unaffected ckeys hit");
+        let plain2 = rw.execute(&cat, opts()).unwrap();
+        assert_eq!(all_rows(&refreshed.batch), all_rows(&plain2.batch));
     }
 }

@@ -19,11 +19,14 @@
 //! result multiset as the naive gold standard `Q(Φ_{Cₙ}(…Φ_{C₁}(R)))`.
 
 pub mod analysis;
+pub mod cache;
 pub mod engine;
 pub mod shape;
 pub mod trace;
 
 pub use analysis::{bind_to_target, context_condition, correlation_condition, join_key_propagates};
+pub use cache::{CleanseCache, JoinBackCacheSpec};
+pub use dc_storage::CacheStats;
 pub use engine::{Candidate, Executed, RewriteEngine, Rewritten, Strategy};
 pub use shape::{analyze, DimJoin, QueryShape};
 pub use trace::DecisionTrace;

@@ -45,6 +45,12 @@ pub struct GenConfig {
     pub num_manufacturers: usize,
     pub num_steps: usize,
     pub num_step_types: usize,
+
+    /// Target rows per caseR storage segment. The loader creates the
+    /// table's indexes first and then appends reads in chunks of this
+    /// size, so ingest exercises segment sealing, zone-map construction,
+    /// and incremental index extension.
+    pub segment_rows: usize,
 }
 
 impl Default for GenConfig {
@@ -68,6 +74,7 @@ impl Default for GenConfig {
             num_manufacturers: 50,
             num_steps: 100,
             num_step_types: 10,
+            segment_rows: 1024,
         }
     }
 }

@@ -1,0 +1,208 @@
+//! A size-bounded cache with deterministic LRU eviction and explicit
+//! invalidation, used to memoize cleansed sequences (Φ_C output per
+//! cluster key) for the join-back rewrite.
+//!
+//! Determinism matters more than raw speed here: the benchmark gate diffs
+//! hit/miss/eviction counts across runs, so the cache must behave
+//! identically for an identical operation sequence. Entries live in a
+//! `BTreeMap` (ordered, hash-free) and eviction removes the
+//! least-recently-used entry by an explicit logical clock.
+
+use std::collections::BTreeMap;
+
+/// Cumulative counters for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Entries removed to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries removed because their validity check failed (stale data).
+    pub invalidations: u64,
+}
+
+/// Outcome of a validated lookup.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CacheLookup<V> {
+    /// Present and valid.
+    Hit(V),
+    /// Absent.
+    Miss,
+    /// Present but stale: the entry was removed and returned.
+    Stale(V),
+}
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    value: V,
+    /// Last-touch logical time, for LRU eviction.
+    tick: u64,
+}
+
+/// The bounded cache. `K` needs only a total order (no hashing), which is
+/// what lets callers key it with values ordered by a custom comparison.
+#[derive(Debug, Clone)]
+pub struct SeqCache<K: Ord + Clone, V> {
+    capacity: usize,
+    map: BTreeMap<K, Entry<V>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl<K: Ord + Clone, V: Clone> SeqCache<K, V> {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        SeqCache {
+            capacity: capacity.max(1),
+            map: BTreeMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Look up `key`, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.lookup_where(key, |_| true) {
+            CacheLookup::Hit(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Look up `key` with a validity check. A present-but-invalid entry is
+    /// removed (counted as an invalidation *and* a miss, so hits + misses
+    /// equals the number of lookups) and returned as [`CacheLookup::Stale`].
+    pub fn lookup_where(&mut self, key: &K, valid: impl FnOnce(&V) -> bool) -> CacheLookup<V> {
+        let tick = self.tick();
+        match self.map.get_mut(key) {
+            None => {
+                self.stats.misses += 1;
+                CacheLookup::Miss
+            }
+            Some(entry) if valid(&entry.value) => {
+                entry.tick = tick;
+                self.stats.hits += 1;
+                CacheLookup::Hit(entry.value.clone())
+            }
+            Some(_) => {
+                let entry = self.map.remove(key).expect("entry just observed");
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                CacheLookup::Stale(entry.value)
+            }
+        }
+    }
+
+    /// Insert or replace `key`, evicting least-recently-used entries as
+    /// needed to stay within capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        let tick = self.tick();
+        self.map.insert(key, Entry { value, tick });
+        while self.map.len() > self.capacity {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty while over capacity");
+            self.map.remove(&lru);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Remove `key` if present, counting an invalidation.
+    pub fn invalidate(&mut self, key: &K) -> Option<V> {
+        let removed = self.map.remove(key);
+        if removed.is_some() {
+            self.stats.invalidations += 1;
+        }
+        removed.map(|e| e.value)
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_counting() {
+        let mut c: SeqCache<u32, &str> = SeqCache::new(4);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one");
+        assert_eq!(c.get(&1), Some("one"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_is_lru_and_counted() {
+        let mut c: SeqCache<u32, u32> = SeqCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.get(&1); // 2 is now least recently used
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None, "LRU entry evicted");
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn stale_entries_are_removed_and_counted() {
+        let mut c: SeqCache<u32, u32> = SeqCache::new(4);
+        c.insert(1, 10);
+        assert_eq!(c.lookup_where(&1, |v| *v > 99), CacheLookup::Stale(10));
+        assert_eq!(c.get(&1), None);
+        let s = c.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.hits + s.misses, 2, "every lookup is a hit or a miss");
+    }
+
+    #[test]
+    fn explicit_invalidation() {
+        let mut c: SeqCache<u32, u32> = SeqCache::new(4);
+        c.insert(1, 10);
+        assert_eq!(c.invalidate(&1), Some(10));
+        assert_eq!(c.invalidate(&1), None);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut c: SeqCache<u32, u32> = SeqCache::new(3);
+            for i in 0..10 {
+                c.get(&(i % 4));
+                c.insert(i % 5, i);
+            }
+            c.stats()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,90 @@
+//! `dc-storage` — segmented storage primitives.
+//!
+//! The paper's deferred-cleansing bet (§5) is that σ_ec(R) touches a small
+//! slice of the reads table. This crate supplies the storage-side machinery
+//! that makes "small slice" cheap in practice, deliberately free of any
+//! dependency on the relational layer so it can sit below it:
+//!
+//! * [`zone`] — per-column [`ZoneMap`]s (min/max, null count, row count)
+//!   and [`ZonePredicate`]s that conservatively decide whether a segment
+//!   can contain matching rows;
+//! * [`segment`] — [`Segment`] metadata describing one sealed row group of
+//!   a table (contiguous row range + one zone map per column);
+//! * [`cache`] — a size-bounded, deterministically evicting [`SeqCache`]
+//!   used to memoize Φ_C output per cleansing sequence, with hit/miss/
+//!   invalidation/eviction counters.
+//!
+//! Everything is generic over the value type through [`ZoneValue`] (a total
+//! order), so `dc-relational` can plug its `Value` in without this crate
+//! knowing about it.
+
+pub mod cache;
+pub mod segment;
+pub mod zone;
+
+pub use cache::{CacheLookup, CacheStats, SeqCache};
+pub use segment::Segment;
+pub use zone::{ZoneBound, ZoneMap, ZonePredicate, ZoneValue};
+
+/// A 64-bit FNV-1a hasher with a stable, documented algorithm.
+///
+/// Used for rule-set fingerprints in cache keys: unlike
+/// `std::collections::hash_map::DefaultHasher`, the output is specified and
+/// stable across Rust releases and processes, so fingerprints recorded in
+/// benchmark artifacts stay comparable.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv1a_streaming_matches_oneshot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Segment metadata: one sealed row group of a table.
+//!
+//! A table's data is a sequence of segments, each covering a contiguous row
+//! range `[start, start + rows)` with one [`ZoneMap`] per column computed at
+//! seal time. Segments are immutable once sealed; ingest appends new ones.
+//! Ids are assigned in seal order and never reused, so a set of segment ids
+//! identifies a specific snapshot of the rows covering a key — which is what
+//! the cleansed-sequence cache uses for invalidation.
+
+use crate::zone::{ZoneMap, ZonePredicate, ZoneValue};
+
+/// Metadata for one sealed segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment<V: ZoneValue> {
+    /// Seal-order id, unique within the table and never reused.
+    pub id: u64,
+    /// First row of the segment in table row order.
+    pub start: usize,
+    /// Number of rows in the segment.
+    pub rows: usize,
+    /// One zone map per table column, in schema order.
+    pub zones: Vec<ZoneMap<V>>,
+}
+
+impl<V: ZoneValue> Segment<V> {
+    /// The zone map for a column position, if the segment summarizes it.
+    pub fn zone(&self, column: usize) -> Option<&ZoneMap<V>> {
+        self.zones.get(column)
+    }
+
+    /// One past the last row of the segment.
+    pub fn end(&self) -> usize {
+        self.start + self.rows
+    }
+
+    /// Whether every predicate admits this segment (AND semantics). An
+    /// unknown column position admits conservatively.
+    pub fn may_match_all(&self, predicates: &[ZonePredicate<V>]) -> bool {
+        predicates
+            .iter()
+            .all(|p| self.zone(p.column).is_none_or(|z| p.may_match(z)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::ZoneBound;
+
+    fn seg(id: u64, start: usize, vals: &[i64]) -> Segment<i64> {
+        let mut z = ZoneMap::new();
+        for v in vals {
+            z.observe(v);
+        }
+        Segment {
+            id,
+            start,
+            rows: vals.len(),
+            zones: vec![z],
+        }
+    }
+
+    #[test]
+    fn may_match_all_is_conjunctive() {
+        let s = seg(0, 0, &[10, 20]);
+        let admit = ZonePredicate::range(0, ZoneBound::Inclusive(15), ZoneBound::Unbounded);
+        let reject = ZonePredicate::range(0, ZoneBound::Inclusive(25), ZoneBound::Unbounded);
+        assert!(s.may_match_all(std::slice::from_ref(&admit)));
+        assert!(!s.may_match_all(&[admit, reject]));
+        assert!(s.may_match_all(&[]));
+    }
+
+    #[test]
+    fn unknown_column_admits() {
+        let s = seg(0, 0, &[10, 20]);
+        let p = ZonePredicate::range(7, ZoneBound::Inclusive(999), ZoneBound::Unbounded);
+        assert!(s.may_match_all(&[p]));
+        assert_eq!(s.end(), 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! Zone maps: per-column min/max summaries over a row range, and the
+//! conservative predicates that consult them.
+//!
+//! A zone map never proves a segment *does* contain matching rows — it only
+//! proves, sometimes, that it *cannot*. [`ZonePredicate::may_match`] is the
+//! pruning test: `false` means every row of the segment is guaranteed to
+//! fail the predicate, so the scan may skip the whole segment without
+//! changing its result. `true` means "fetch and let the residual filter
+//! decide", which is always safe.
+
+use std::cmp::Ordering;
+
+/// A value a zone map can summarize: anything with a total order.
+///
+/// The order must agree with the order the execution engine uses for
+/// comparisons on the same values (for `dc-relational` that is
+/// `Value::total_cmp`), otherwise pruning would be unsound.
+pub trait ZoneValue: Clone + std::fmt::Debug {
+    fn zcmp(&self, other: &Self) -> Ordering;
+}
+
+impl ZoneValue for i64 {
+    fn zcmp(&self, other: &Self) -> Ordering {
+        self.cmp(other)
+    }
+}
+
+impl ZoneValue for String {
+    fn zcmp(&self, other: &Self) -> Ordering {
+        self.cmp(other)
+    }
+}
+
+/// Min/max + null/row counts for one column over one segment.
+///
+/// `min`/`max` are `None` iff the segment has no non-null values in the
+/// column (all-null or zero rows) — such a segment can never satisfy a
+/// value predicate on that column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneMap<V: ZoneValue> {
+    pub min: Option<V>,
+    pub max: Option<V>,
+    pub null_count: u64,
+    pub row_count: u64,
+}
+
+impl<V: ZoneValue> Default for ZoneMap<V> {
+    fn default() -> Self {
+        ZoneMap {
+            min: None,
+            max: None,
+            null_count: 0,
+            row_count: 0,
+        }
+    }
+}
+
+impl<V: ZoneValue> ZoneMap<V> {
+    pub fn new() -> Self {
+        ZoneMap::default()
+    }
+
+    /// Fold one non-null value into the summary.
+    pub fn observe(&mut self, v: &V) {
+        self.row_count += 1;
+        match &self.min {
+            Some(m) if v.zcmp(m) != Ordering::Less => {}
+            _ => self.min = Some(v.clone()),
+        }
+        match &self.max {
+            Some(m) if v.zcmp(m) != Ordering::Greater => {}
+            _ => self.max = Some(v.clone()),
+        }
+    }
+
+    /// Fold one null into the summary.
+    pub fn observe_null(&mut self) {
+        self.row_count += 1;
+        self.null_count += 1;
+    }
+
+    /// Whether `v` falls within `[min, max]`. `false` when the segment has
+    /// no non-null values.
+    pub fn contains(&self, v: &V) -> bool {
+        match (&self.min, &self.max) {
+            (Some(min), Some(max)) => {
+                v.zcmp(min) != Ordering::Less && v.zcmp(max) != Ordering::Greater
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One end of a range constraint, mirroring the executor's scan bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneBound<V: ZoneValue> {
+    Unbounded,
+    Inclusive(V),
+    Exclusive(V),
+}
+
+/// A conservative per-column predicate against zone maps: an optional range
+/// plus an optional IN-list, both of which must admit the segment.
+///
+/// The constraint must be a *necessary* condition of the row-level filter
+/// (every row the filter accepts satisfies it); `may_match` then soundly
+/// skips segments whose zone ranges exclude it entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZonePredicate<V: ZoneValue> {
+    /// Column position the zone maps are indexed by.
+    pub column: usize,
+    pub lower: ZoneBound<V>,
+    pub upper: ZoneBound<V>,
+    pub in_values: Option<Vec<V>>,
+}
+
+impl<V: ZoneValue> ZonePredicate<V> {
+    /// A pure range predicate.
+    pub fn range(column: usize, lower: ZoneBound<V>, upper: ZoneBound<V>) -> Self {
+        ZonePredicate {
+            column,
+            lower,
+            upper,
+            in_values: None,
+        }
+    }
+
+    /// A pure IN-list predicate.
+    pub fn in_list(column: usize, values: Vec<V>) -> Self {
+        ZonePredicate {
+            column,
+            lower: ZoneBound::Unbounded,
+            upper: ZoneBound::Unbounded,
+            in_values: Some(values),
+        }
+    }
+
+    /// Whether the predicate carries any constraint at all.
+    pub fn is_trivial(&self) -> bool {
+        matches!(self.lower, ZoneBound::Unbounded)
+            && matches!(self.upper, ZoneBound::Unbounded)
+            && self.in_values.is_none()
+    }
+
+    /// `false` = no row in a segment with this zone map can satisfy the
+    /// row-level filter; the segment may be skipped.
+    pub fn may_match(&self, zone: &ZoneMap<V>) -> bool {
+        let (Some(min), Some(max)) = (&zone.min, &zone.max) else {
+            // No non-null values: a range or IN constraint on this column
+            // (a necessary condition of the filter) cannot be met.
+            return self.is_trivial();
+        };
+        let lower_ok = match &self.lower {
+            ZoneBound::Unbounded => true,
+            ZoneBound::Inclusive(l) => l.zcmp(max) != Ordering::Greater,
+            ZoneBound::Exclusive(l) => l.zcmp(max) == Ordering::Less,
+        };
+        let upper_ok = match &self.upper {
+            ZoneBound::Unbounded => true,
+            ZoneBound::Inclusive(u) => u.zcmp(min) != Ordering::Less,
+            ZoneBound::Exclusive(u) => u.zcmp(min) == Ordering::Greater,
+        };
+        let in_ok = match &self.in_values {
+            None => true,
+            Some(vals) => vals.iter().any(|v| zone.contains(v)),
+        };
+        lower_ok && upper_ok && in_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone(vals: &[i64], nulls: u64) -> ZoneMap<i64> {
+        let mut z = ZoneMap::new();
+        for v in vals {
+            z.observe(v);
+        }
+        for _ in 0..nulls {
+            z.observe_null();
+        }
+        z
+    }
+
+    #[test]
+    fn observe_tracks_min_max_and_counts() {
+        let z = zone(&[5, 1, 9, 3], 2);
+        assert_eq!(z.min, Some(1));
+        assert_eq!(z.max, Some(9));
+        assert_eq!(z.null_count, 2);
+        assert_eq!(z.row_count, 6);
+        assert!(z.contains(&5));
+        assert!(!z.contains(&10));
+    }
+
+    #[test]
+    fn range_predicate_prunes_disjoint_zones() {
+        let z = zone(&[10, 20], 0);
+        // [25, ∞) vs [10,20]: disjoint.
+        let p = ZonePredicate::range(0, ZoneBound::Inclusive(25), ZoneBound::Unbounded);
+        assert!(!p.may_match(&z));
+        // (20, ∞): still disjoint — exclusive bound at the max.
+        let p = ZonePredicate::range(0, ZoneBound::Exclusive(20), ZoneBound::Unbounded);
+        assert!(!p.may_match(&z));
+        // [20, ∞): touches.
+        let p = ZonePredicate::range(0, ZoneBound::Inclusive(20), ZoneBound::Unbounded);
+        assert!(p.may_match(&z));
+        // (-∞, 10) excludes, (-∞, 10] touches.
+        let p = ZonePredicate::range(0, ZoneBound::Unbounded, ZoneBound::Exclusive(10));
+        assert!(!p.may_match(&z));
+        let p = ZonePredicate::range(0, ZoneBound::Unbounded, ZoneBound::Inclusive(10));
+        assert!(p.may_match(&z));
+    }
+
+    #[test]
+    fn in_list_predicate_checks_membership_range() {
+        let z = zone(&[10, 20], 0);
+        assert!(ZonePredicate::in_list(0, vec![15]).may_match(&z));
+        assert!(!ZonePredicate::in_list(0, vec![1, 2, 30]).may_match(&z));
+    }
+
+    #[test]
+    fn all_null_zone_is_prunable_by_any_constraint() {
+        let z = zone(&[], 4);
+        assert!(
+            !ZonePredicate::range(0, ZoneBound::Inclusive(0), ZoneBound::Unbounded).may_match(&z)
+        );
+        assert!(!ZonePredicate::in_list(0, vec![0]).may_match(&z));
+        // ...but a trivial predicate keeps it.
+        assert!(
+            ZonePredicate::<i64>::range(0, ZoneBound::Unbounded, ZoneBound::Unbounded)
+                .may_match(&z)
+        );
+    }
+
+    #[test]
+    fn string_zones_work() {
+        let mut z = ZoneMap::new();
+        z.observe(&"case-003".to_string());
+        z.observe(&"case-007".to_string());
+        assert!(z.contains(&"case-005".to_string()));
+        assert!(!z.contains(&"case-100".to_string()));
+    }
+}

@@ -99,6 +99,30 @@ fn q2_prime_explain_snapshot() {
     assert_snapshot("explain_q2_prime.txt", &explain_all_strategies(&env, &sql));
 }
 
+/// The cleansed-sequence cache is visible in EXPLAIN ANALYZE: a cold
+/// join-back run records only misses, the warm rerun answers every
+/// sequence from the cache.
+#[test]
+fn q1_joinback_cache_snapshot() {
+    let env = env();
+    let sql = env.dataset.q1(env.dataset.rtime_quantile(0.10));
+    let mut out = String::new();
+    for pass in ["cold", "warm"] {
+        let report = env
+            .system
+            .explain_report("rules-3", &sql, Strategy::JoinBack, true)
+            .unwrap();
+        out.push_str(&format!("== {pass} ==\n"));
+        out.push_str(&report.text());
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    assert!(out.contains("cleanse cache: hits="), "{out}");
+    assert_snapshot("explain_analyze_q1_cache.txt", &out);
+}
+
 /// EXPLAIN ANALYZE is deterministic too once timing is excluded: the
 /// per-operator row counts come from a fixed (scale, seed) database.
 #[test]
