@@ -336,7 +336,10 @@ pub fn ablation_order_sharing(scale: usize, seed: u64) -> (Measurement, Measurem
             rows_scanned: ex.stats.rows_scanned,
             rows_sorted: ex.stats.rows_sorted,
             sorts: ex.stats.sorts_performed,
-            window_work: ex.stats.window_agg_work,
+            sort_comparisons: ex.stats.sort_comparisons,
+            sorts_elided: ex.stats.sorts_elided,
+            merge_runs_used: ex.stats.merge_runs_used,
+            window_accumulator_ops: ex.stats.window_accumulator_ops,
             join_probes: ex.stats.join_probes,
             partitions: ex.stats.partitions_executed,
             window_eval_ms: ex.window_eval_nanos as f64 / 1e6,
@@ -387,7 +390,10 @@ pub fn ablation_joinback(scale: usize, seed: u64) -> (Measurement, Measurement) 
             rows_scanned: ex.stats.rows_scanned,
             rows_sorted: ex.stats.rows_sorted,
             sorts: ex.stats.sorts_performed,
-            window_work: ex.stats.window_agg_work,
+            sort_comparisons: ex.stats.sort_comparisons,
+            sorts_elided: ex.stats.sorts_elided,
+            merge_runs_used: ex.stats.merge_runs_used,
+            window_accumulator_ops: ex.stats.window_accumulator_ops,
             join_probes: ex.stats.join_probes,
             partitions: ex.stats.partitions_executed,
             window_eval_ms: ex.window_eval_nanos as f64 / 1e6,

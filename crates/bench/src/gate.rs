@@ -19,7 +19,8 @@ pub const GATING_KEYS: &[&str] = &[
     "rows_scanned",
     "rows_sorted",
     "sorts",
-    "window_work",
+    "sort_comparisons",
+    "window_accumulator_ops",
     "join_probes",
     "partitions",
     "eager_rows",
@@ -36,6 +37,10 @@ pub const INFORMATIONAL_KEYS: &[&str] = &[
     "segments_pruned",
     "cache_hits",
     "cache_invalidations",
+    // More elided sorts / more merged runs are generally good; the costly
+    // sibling `sort_comparisons` is what gates.
+    "sorts_elided",
+    "merge_runs_used",
 ];
 
 /// Keys that must match exactly between baseline and current run —

@@ -43,7 +43,15 @@ pub struct Measurement {
     pub rows_scanned: u64,
     pub rows_sorted: u64,
     pub sorts: u64,
-    pub window_work: u64,
+    /// Sort comparisons actually performed (run detection + merging).
+    pub sort_comparisons: u64,
+    /// Sorts skipped entirely because the input was a single run.
+    pub sorts_elided: u64,
+    /// Pre-sorted runs consumed by merging (non-elided) sorts.
+    pub merge_runs_used: u64,
+    /// Window accumulator ops: frame positions entering or leaving an
+    /// aggregate state. Frame-width independent for incremental kernels.
+    pub window_accumulator_ops: u64,
     pub join_probes: u64,
     /// Window partitions evaluated (identical at any parallelism).
     pub partitions: u64,
@@ -73,7 +81,10 @@ impl Measurement {
             .set("rows_scanned", self.rows_scanned)
             .set("rows_sorted", self.rows_sorted)
             .set("sorts", self.sorts)
-            .set("window_work", self.window_work)
+            .set("sort_comparisons", self.sort_comparisons)
+            .set("sorts_elided", self.sorts_elided)
+            .set("merge_runs_used", self.merge_runs_used)
+            .set("window_accumulator_ops", self.window_accumulator_ops)
             .set("join_probes", self.join_probes)
             .set("partitions", self.partitions)
             .set("window_eval_ms", Json::Num(self.window_eval_ms))
@@ -155,7 +166,10 @@ pub fn run_variant(
         rows_scanned: report.stats.rows_scanned,
         rows_sorted: report.stats.rows_sorted,
         sorts: report.stats.sorts_performed,
-        window_work: report.stats.window_agg_work,
+        sort_comparisons: report.stats.sort_comparisons,
+        sorts_elided: report.stats.sorts_elided,
+        merge_runs_used: report.stats.merge_runs_used,
+        window_accumulator_ops: report.stats.window_accumulator_ops,
         join_probes: report.stats.join_probes,
         partitions: report.stats.partitions_executed,
         window_eval_ms: report.window_eval_nanos as f64 / 1e6,

@@ -108,7 +108,10 @@ mod tests {
                 rows_scanned: 10,
                 rows_sorted: 5,
                 sorts: 1,
-                window_work: 2,
+                sort_comparisons: 4,
+                sorts_elided: 0,
+                merge_runs_used: 0,
+                window_accumulator_ops: 2,
                 join_probes: 0,
                 partitions: 3,
                 window_eval_ms: 0.1,

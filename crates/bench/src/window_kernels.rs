@@ -1,0 +1,222 @@
+//! Kernel-level ablation for the Φ_C hot path: naive per-row frame
+//! recomputation vs the incremental sliding kernels, and run-aware merge
+//! sort vs a from-scratch full sort.
+//!
+//! Unlike the figure experiments this does not go through SQL — it drives
+//! [`WindowEval`] and [`sort_batch_runs`] directly so the two sides differ
+//! *only* in the kernel under test. Work counters are deterministic; the
+//! bench binary gates on them and reports wall-clock as colour.
+
+use dc_relational::batch::{schema_ref, Batch};
+use dc_relational::expr::Expr;
+use dc_relational::schema::{Field, Schema};
+use dc_relational::sort::{sort_batch_runs, SortKey};
+use dc_relational::value::{DataType, Value};
+use dc_relational::window::{Frame, FrameBound, WindowEval, WindowExpr, WindowFuncKind};
+use std::time::Instant;
+
+/// One frame width measured both ways over the same data.
+#[derive(Debug, Clone)]
+pub struct KernelPoint {
+    pub width: usize,
+    /// Accumulator ops of the incremental path (frame positions entering or
+    /// leaving aggregate state) — frame-width independent by design.
+    pub incremental_ops: u64,
+    /// Frame rows visited by the naive path — grows linearly with width.
+    pub naive_work: u64,
+    pub incremental_ms: f64,
+    pub naive_ms: f64,
+}
+
+#[derive(Debug, Clone)]
+pub struct KernelAblation {
+    pub rows: usize,
+    pub partitions: usize,
+    pub points: Vec<KernelPoint>,
+}
+
+impl KernelAblation {
+    /// Counter growth of the incremental path from the narrowest to the
+    /// widest measured frame. The acceptance bar is ≤ 1.2×; the naive
+    /// path's equivalent ratio tracks the width ratio itself.
+    pub fn incremental_growth(&self) -> f64 {
+        let first = self.points.first().map_or(1, |p| p.incremental_ops);
+        let last = self.points.last().map_or(1, |p| p.incremental_ops);
+        last as f64 / first.max(1) as f64
+    }
+}
+
+fn reads_like_batch(rows: usize, partitions: usize) -> Batch {
+    let schema = schema_ref(Schema::new(vec![
+        Field::new("epc", DataType::Int),
+        Field::new("v", DataType::Int),
+    ]));
+    let per = rows.div_ceil(partitions.max(1));
+    // Deterministic pseudo-random values (no RNG dependency): a fixed
+    // multiplicative hash of the row index.
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33;
+            vec![Value::Int((i / per) as i64), Value::Int((h % 1000) as i64)]
+        })
+        .collect();
+    Batch::from_rows(schema, &data).expect("bench batch")
+}
+
+fn bench_exprs(width: usize) -> Vec<WindowExpr> {
+    let frame = Frame::rows(
+        FrameBound::Preceding(width as i64 - 1),
+        FrameBound::CurrentRow,
+    );
+    [
+        (WindowFuncKind::Sum, "s"),
+        (WindowFuncKind::Min, "m"),
+        (WindowFuncKind::Count, "c"),
+    ]
+    .into_iter()
+    .map(|(func, alias)| WindowExpr {
+        func,
+        arg: Some(Expr::col("v")),
+        frame: frame.clone(),
+        alias: alias.to_string(),
+    })
+    .collect()
+}
+
+/// Evaluate every partition with `eval`, returning (total work, elapsed ms,
+/// per-expression outputs concatenated in partition order).
+fn run_eval(
+    ev: &WindowEval<'_>,
+    eval: impl Fn(&WindowEval<'_>, (usize, usize)) -> (Vec<Vec<Value>>, u64),
+) -> (u64, f64, Vec<Vec<Value>>) {
+    let start = Instant::now();
+    let mut work = 0u64;
+    let mut outs: Vec<Vec<Value>> = vec![Vec::new(); ev.output_types().len()];
+    for &range in ev.partitions() {
+        let (cols, w) = eval(ev, range);
+        work += w;
+        for (acc, col) in outs.iter_mut().zip(cols) {
+            acc.extend(col);
+        }
+    }
+    (work, start.elapsed().as_secs_f64() * 1e3, outs)
+}
+
+/// Measure naive vs incremental window evaluation at each frame width over
+/// one fixed dataset. Panics if the two paths ever disagree on a value —
+/// the bench doubles as an end-to-end equivalence check.
+pub fn kernel_ablation(rows: usize, partitions: usize, widths: &[usize]) -> KernelAblation {
+    let batch = reads_like_batch(rows, partitions);
+    let points = widths
+        .iter()
+        .map(|&width| {
+            let exprs = bench_exprs(width);
+            let ev = WindowEval::prepare(&batch, &[Expr::col("epc")], None, &exprs)
+                .expect("prepare window eval");
+            let (inc_ops, inc_ms, inc_out) =
+                run_eval(&ev, |ev, r| ev.eval_partition(r).expect("incremental"));
+            let (naive_work, naive_ms, naive_out) =
+                run_eval(&ev, |ev, r| ev.eval_partition_naive(r).expect("naive"));
+            assert_eq!(inc_out, naive_out, "kernel mismatch at width {width}");
+            KernelPoint {
+                width,
+                incremental_ops: inc_ops,
+                naive_work,
+                incremental_ms: inc_ms,
+                naive_ms,
+            }
+        })
+        .collect();
+    KernelAblation {
+        rows,
+        partitions,
+        points,
+    }
+}
+
+/// Run-aware sort vs full sort over the same segmented-append-shaped data.
+#[derive(Debug, Clone)]
+pub struct SortAblation {
+    pub rows: usize,
+    /// Pre-sorted runs merged (one per simulated segment append).
+    pub runs: u64,
+    /// Comparisons with segment-metadata run hints (no detection pass).
+    pub hinted_comparisons: u64,
+    /// Comparisons with data-driven run detection (detection + merge).
+    pub detected_comparisons: u64,
+    /// Comparisons a from-scratch stable sort of the same rows performs.
+    pub full_sort_comparisons: u64,
+    /// A fully-sorted input skipped its sort entirely.
+    pub sorted_input_elided: bool,
+}
+
+/// Build `k` runs of `per_run` ascending keys with overlapping value ranges
+/// — the shape of a table assembled from time-ordered segment appends —
+/// then sort it three ways: hinted merge, detected merge, and a counted
+/// from-scratch stable sort. Panics if the merge output ever differs from
+/// the full sort's.
+pub fn sort_ablation(per_run: usize, k: usize) -> SortAblation {
+    let schema = schema_ref(Schema::new(vec![Field::new("t", DataType::Int)]));
+    let mut keys: Vec<i64> = Vec::with_capacity(per_run * k);
+    let mut run_starts = Vec::with_capacity(k);
+    for run in 0..k {
+        run_starts.push(keys.len());
+        // Each run overlaps half of its neighbour's range.
+        let base = (run * per_run / 2) as i64;
+        keys.extend((0..per_run).map(|i| base + i as i64));
+    }
+    let rows: Vec<Vec<Value>> = keys.iter().map(|&t| vec![Value::Int(t)]).collect();
+    let batch = Batch::from_rows(schema, &rows).expect("bench batch");
+    let sort_keys = [SortKey::asc(Expr::col("t"))];
+
+    let (hinted, h_eff) =
+        sort_batch_runs(&batch, &sort_keys, Some(&run_starts)).expect("hinted sort");
+    let (detected, d_eff) = sort_batch_runs(&batch, &sort_keys, None).expect("detected sort");
+
+    // Counted reference: the full-sort path this engine would otherwise
+    // take (stable comparison sort of row indices on the key).
+    let mut full_sort_comparisons = 0u64;
+    let mut perm: Vec<usize> = (0..keys.len()).collect();
+    perm.sort_by(|&a, &b| {
+        full_sort_comparisons += 1;
+        keys[a].cmp(&keys[b])
+    });
+    let reference = batch.take(&perm);
+    let same =
+        |b: &Batch| (0..b.num_rows()).all(|i| b.column(0).value(i) == reference.column(0).value(i));
+    assert!(same(&hinted) && same(&detected), "merge mismatch");
+
+    let (_, sorted_eff) =
+        sort_batch_runs(&reference, &sort_keys, None).expect("sort of sorted input");
+
+    SortAblation {
+        rows: keys.len(),
+        runs: h_eff.runs,
+        hinted_comparisons: h_eff.comparisons,
+        detected_comparisons: d_eff.comparisons,
+        full_sort_comparisons,
+        sorted_input_elided: sorted_eff.elided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_ops_are_width_independent() {
+        let ka = kernel_ablation(512, 4, &[16, 64]);
+        assert!(ka.incremental_growth() <= 1.2, "{ka:?}");
+        // The naive side really does pay per frame row.
+        assert!(ka.points[1].naive_work > 2 * ka.points[0].naive_work);
+    }
+
+    #[test]
+    fn merge_beats_full_sort_on_append_shaped_data() {
+        let sa = sort_ablation(256, 4);
+        assert_eq!(sa.runs, 4);
+        assert!(sa.hinted_comparisons < sa.full_sort_comparisons);
+        assert!(sa.hinted_comparisons < sa.detected_comparisons);
+        assert!(sa.sorted_input_elided);
+    }
+}

@@ -29,8 +29,22 @@ pub struct ExecStats {
     pub rows_sorted: u64,
     /// Number of sort operations performed.
     pub sorts_performed: u64,
-    /// Window frame rows visited while computing scalar aggregates.
-    pub window_agg_work: u64,
+    /// Key comparisons performed by sorts (run detection/verification plus
+    /// merging) — the machine-independent sort cost the run-aware pipeline
+    /// shrinks.
+    pub sort_comparisons: u64,
+    /// Sorts whose input turned out to be a single non-descending run and
+    /// was passed through unchanged.
+    pub sorts_elided: u64,
+    /// Pre-sorted runs consumed by k-way merges (sum of k over merging
+    /// sorts; elided and fully-degenerate sorts contribute 0 and n).
+    pub merge_runs_used: u64,
+    /// Window accumulator operations: values entering or leaving a sliding
+    /// aggregate state (plus per-frame recomputation work on the fallback
+    /// path). Amortized O(1) per row for the incremental kernels, so this
+    /// grows with partition size, not frame width. Identical at any
+    /// parallelism.
+    pub window_accumulator_ops: u64,
     /// Hash-join probe operations.
     pub join_probes: u64,
     /// Window partitions evaluated (the unit of Φ_C parallel distribution;
@@ -60,7 +74,10 @@ impl ExecStats {
             full_scans,
             rows_sorted,
             sorts_performed,
-            window_agg_work,
+            sort_comparisons,
+            sorts_elided,
+            merge_runs_used,
+            window_accumulator_ops,
             join_probes,
             partitions_executed,
             segments_total,
@@ -75,7 +92,10 @@ impl ExecStats {
         self.full_scans += full_scans;
         self.rows_sorted += rows_sorted;
         self.sorts_performed += sorts_performed;
-        self.window_agg_work += window_agg_work;
+        self.sort_comparisons += sort_comparisons;
+        self.sorts_elided += sorts_elided;
+        self.merge_runs_used += merge_runs_used;
+        self.window_accumulator_ops += window_accumulator_ops;
         self.join_probes += join_probes;
         self.partitions_executed += partitions_executed;
         self.segments_total += segments_total;

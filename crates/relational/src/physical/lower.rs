@@ -78,6 +78,7 @@ pub fn lower(plan: &LogicalPlan, catalog: &Catalog) -> Result<Box<dyn PhysicalOp
         LogicalPlan::Sort { input, keys } => Box::new(PhysicalSort {
             input: lower(input, catalog)?,
             keys: keys.clone(),
+            run_hint_table: table_order_source(input),
         }),
         LogicalPlan::Window {
             input,
@@ -94,6 +95,7 @@ pub fn lower(plan: &LogicalPlan, catalog: &Catalog) -> Result<Box<dyn PhysicalOp
                 child = Box::new(PhysicalSort {
                     input: child,
                     keys: window_sort_keys(partition_by, order_by),
+                    run_hint_table: table_order_source(input),
                 });
             }
             // RANGE frames need the single order key for binary searches.
@@ -160,6 +162,23 @@ pub fn lower(plan: &LogicalPlan, catalog: &Catalog) -> Result<Box<dyn PhysicalOp
             alias: alias.clone(),
         }),
     })
+}
+
+/// The catalog table whose rows a sort placed directly above `input` would
+/// receive *in table row order*, if any. Only an unfiltered scan qualifies:
+/// a filtered scan may answer through an index (index order, not table
+/// order), and any other operator reshapes or reorders rows. Used to attach
+/// segment-metadata run hints to [`PhysicalSort`].
+fn table_order_source(input: &LogicalPlan) -> Option<String> {
+    match input {
+        LogicalPlan::Scan {
+            table,
+            filter: None,
+            ..
+        } => Some(table.clone()),
+        LogicalPlan::SubqueryAlias { input, .. } => table_order_source(input),
+        _ => None,
+    }
 }
 
 /// Range bounds accumulated for one column while deriving candidates.

@@ -8,7 +8,7 @@
 //!
 //! * **deterministic counters** — rows in/out, comparisons (the operator's
 //!   elementary work unit: rows fetched, predicate evaluations, sort rows,
-//!   join probes, window frame rows), and window partition counts. These
+//!   join probes, window accumulator ops), and window partition counts. These
 //!   are pure functions of plan + data: identical at any
 //!   [`ExecOptions::parallelism`](super::ExecOptions), and the quantities
 //!   the CI perf-regression gate diffs;
@@ -37,8 +37,8 @@ pub struct OperatorMetrics {
     /// Rows produced by this operator.
     pub rows_out: u64,
     /// Elementary work units: rows fetched for scans, predicate evaluations
-    /// for filters, rows sorted for sorts, probes for joins, frame rows
-    /// visited for windows, input rows for aggregations.
+    /// for filters, comparisons performed for sorts, probes for joins,
+    /// accumulator ops for windows, input rows for aggregations.
     pub comparisons: u64,
     /// Window partitions evaluated (0 for non-window operators).
     pub partitions: u64,

@@ -141,7 +141,7 @@ impl PhysicalOperator for PhysicalWindow {
             }
         }
 
-        ctx.stats.window_agg_work += work;
+        ctx.stats.window_accumulator_ops += work;
         ctx.metrics.add_comparisons(work);
         let mut fields = b.schema().fields().to_vec();
         let mut cols: Vec<Column> = b.columns().to_vec();

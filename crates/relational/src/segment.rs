@@ -24,11 +24,22 @@ impl ZoneValue for Value {
 /// Seal the rows `[start, data.num_rows())` of a batch into segments of at
 /// most `target_rows` rows (`None` = one segment), assigning ids from
 /// `next_id`. Returns an empty vector when there is nothing to seal.
+///
+/// `order_hint` names column positions the caller *expects* each segment to
+/// be lexicographically non-descending on (e.g. the table's declared
+/// sequence order). Sealing verifies the longest prefix of the hint that
+/// actually holds for the segment's rows — under the same NULLs-first
+/// `total_cmp` order the engine's sorts use — and records it in
+/// [`Segment::sorted_by`]. Zone-map-style soundness: the metadata is
+/// computed from the sealed, immutable rows themselves, so a later sort may
+/// trust it (treating the segment as a pre-sorted run) without any
+/// possibility of changing results.
 pub fn seal_segments(
     data: &Batch,
     start: usize,
     next_id: u64,
     target_rows: Option<usize>,
+    order_hint: &[usize],
 ) -> Vec<Segment<Value>> {
     let total = data.num_rows();
     if start >= total {
@@ -40,14 +51,14 @@ pub fn seal_segments(
     let mut lo = start;
     while lo < total {
         let hi = (lo + chunk).min(total);
-        out.push(seal_one(data, id, lo, hi));
+        out.push(seal_one(data, id, lo, hi, order_hint));
         id += 1;
         lo = hi;
     }
     out
 }
 
-fn seal_one(data: &Batch, id: u64, lo: usize, hi: usize) -> Segment<Value> {
+fn seal_one(data: &Batch, id: u64, lo: usize, hi: usize, order_hint: &[usize]) -> Segment<Value> {
     let zones = (0..data.schema().fields().len())
         .map(|ci| {
             let col = data.column(ci);
@@ -62,12 +73,52 @@ fn seal_one(data: &Batch, id: u64, lo: usize, hi: usize) -> Segment<Value> {
             z
         })
         .collect();
+    let verified = verified_order_prefix(data, lo, hi, order_hint);
     Segment {
         id,
         start: lo,
         rows: hi - lo,
         zones,
+        sorted_by: order_hint[..verified].to_vec(),
     }
+}
+
+/// Compare rows `a`, `b` on column `ci`, ascending with NULLs first — the
+/// exact order `sort::cmp_rows` uses for `SortKey::asc`, which is what makes
+/// trusting the recorded prefix sound for run detection.
+fn cmp_on(data: &Batch, ci: usize, a: usize, b: usize) -> Ordering {
+    let col = data.column(ci);
+    match (col.is_null(a), col.is_null(b)) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => col.value(a).total_cmp(&col.value(b)),
+    }
+}
+
+/// Length of the longest prefix of `hint` under which rows `[lo, hi)` are
+/// lexicographically non-descending. One pass: a pair whose first differing
+/// hint column compares `Greater` at depth `d` violates every prefix longer
+/// than `d` (prefixes of length ≤ d see the pair as equal), so the answer is
+/// the minimum such depth over all adjacent pairs.
+pub(crate) fn verified_order_prefix(data: &Batch, lo: usize, hi: usize, hint: &[usize]) -> usize {
+    let mut verified = hint.len();
+    for i in lo + 1..hi {
+        for (depth, &ci) in hint.iter().enumerate().take(verified) {
+            match cmp_on(data, ci, i - 1, i) {
+                Ordering::Less => break,
+                Ordering::Equal => continue,
+                Ordering::Greater => {
+                    verified = depth;
+                    break;
+                }
+            }
+        }
+        if verified == 0 {
+            break;
+        }
+    }
+    verified
 }
 
 fn to_zone_bound(b: &ScanBound) -> ZoneBound<Value> {
@@ -132,7 +183,7 @@ mod tests {
     #[test]
     fn seal_chunks_and_summarizes() {
         let b = batch();
-        let segs = seal_segments(&b, 0, 0, Some(2));
+        let segs = seal_segments(&b, 0, 0, Some(2), &[]);
         assert_eq!(segs.len(), 2);
         assert_eq!((segs[0].start, segs[0].rows), (0, 2));
         assert_eq!((segs[1].start, segs[1].rows), (2, 2));
@@ -141,16 +192,60 @@ mod tests {
         assert_eq!(z.min, Some(Value::Int(40)));
         assert_eq!(z.null_count, 1);
         // Sealing from an offset with fresh ids.
-        let more = seal_segments(&b, 3, 7, None);
+        let more = seal_segments(&b, 3, 7, None, &[]);
         assert_eq!(more.len(), 1);
         assert_eq!((more[0].id, more[0].start, more[0].rows), (7, 3, 1));
-        assert!(seal_segments(&b, 4, 9, None).is_empty());
+        assert!(seal_segments(&b, 4, 9, None, &[]).is_empty());
+    }
+
+    #[test]
+    fn seal_verifies_longest_order_prefix() {
+        // batch() is (epc, rtime)-sorted: every adjacent pair already
+        // differs on epc, so the NULL rtime never has to carry the order.
+        let b = batch();
+        let segs = seal_segments(&b, 0, 0, None, &[0, 1]);
+        assert_eq!(segs[0].sorted_by, vec![0, 1]);
+        // Reversed rows: not sorted on epc at all.
+        let rev = b.take(&[3, 2, 1, 0]);
+        let segs = seal_segments(&rev, 0, 0, None, &[0, 1]);
+        assert!(segs[0].sorted_by.is_empty());
+        // Sorted on epc but with rtime descending within e1: prefix = [0].
+        let shuffled = Batch::from_rows(
+            b.schema().clone(),
+            &[
+                vec![Value::str("e1"), Value::Int(20)],
+                vec![Value::str("e1"), Value::Int(10)],
+                vec![Value::str("e2"), Value::Int(5)],
+            ],
+        )
+        .unwrap();
+        let segs = seal_segments(&shuffled, 0, 0, None, &[0, 1]);
+        assert_eq!(segs[0].sorted_by, vec![0]);
+        // NULLs-first: a NULL rtime before a non-null one within a group is
+        // in order; after it is not.
+        let nulls = Batch::from_rows(
+            b.schema().clone(),
+            &[
+                vec![Value::str("e1"), Value::Null],
+                vec![Value::str("e1"), Value::Int(10)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            seal_segments(&nulls, 0, 0, None, &[0, 1])[0].sorted_by,
+            [0, 1]
+        );
+        let nulls_last = nulls.take(&[1, 0]);
+        assert_eq!(
+            seal_segments(&nulls_last, 0, 0, None, &[0, 1])[0].sorted_by,
+            [0]
+        );
     }
 
     #[test]
     fn candidate_conversion_prunes() {
         let b = batch();
-        let segs = seal_segments(&b, 0, 0, Some(2));
+        let segs = seal_segments(&b, 0, 0, Some(2), &[]);
         let p = candidate_zone_predicate(
             b.schema(),
             "RTIME",

@@ -35,6 +35,12 @@ pub struct Table {
     /// Target rows per segment for bulk loads and appends (`None` = one
     /// segment per creation/append).
     segment_rows: Option<usize>,
+    /// Declared sequence order (column positions, e.g. `(ckey, skey)`): the
+    /// order future appends are *expected* to arrive in. Sealing verifies it
+    /// per segment and records the verified prefix in
+    /// [`Segment::sorted_by`]; the declaration itself never asserts
+    /// anything about the data.
+    seq_order: Vec<usize>,
 }
 
 impl Table {
@@ -56,7 +62,7 @@ impl Table {
         segment_rows: Option<usize>,
     ) -> Self {
         let stats = TableStats::compute(&data);
-        let segments = seal_segments(&data, 0, 0, segment_rows);
+        let segments = seal_segments(&data, 0, 0, segment_rows, &[]);
         Table {
             name: name.into().to_ascii_lowercase(),
             data,
@@ -64,7 +70,49 @@ impl Table {
             stats,
             segments,
             segment_rows,
+            seq_order: Vec::new(),
         }
+    }
+
+    /// Declare the table's sequence order (e.g. `("epc", "rtime")` for RFID
+    /// reads). Already-sealed segments are re-verified against the new
+    /// order; future appends verify it at seal time, making sortedness a
+    /// metadata property on the append path.
+    pub fn set_sequence_order(&mut self, columns: &[&str]) -> Result<()> {
+        self.seq_order = columns
+            .iter()
+            .map(|c| self.data.schema().index_of_name(&c.to_ascii_lowercase()))
+            .collect::<Result<_>>()?;
+        for s in &mut self.segments {
+            let verified = crate::segment::verified_order_prefix(
+                &self.data,
+                s.start,
+                s.end(),
+                &self.seq_order,
+            );
+            s.sorted_by = self.seq_order[..verified].to_vec();
+        }
+        Ok(())
+    }
+
+    /// The declared sequence order as column positions (empty = undeclared).
+    pub fn sequence_order(&self) -> &[usize] {
+        &self.seq_order
+    }
+
+    /// Metadata-only run cover: if *every* segment is verified sorted on
+    /// `columns` (a prefix of its recorded order), the table's rows are a
+    /// concatenation of sorted runs whose start offsets this returns — no
+    /// data inspection needed. `None` when any segment lacks the order or
+    /// the table is empty.
+    pub fn segment_runs(&self, columns: &[usize]) -> Option<Vec<usize>> {
+        if self.segments.is_empty() || columns.is_empty() {
+            return None;
+        }
+        self.segments
+            .iter()
+            .all(|s| s.covers_order(columns))
+            .then(|| self.segments.iter().map(|s| s.start).collect())
     }
 
     pub fn name(&self) -> &str {
@@ -102,8 +150,13 @@ impl Table {
         let start = self.data.num_rows();
         let next_id = self.segments.last().map_or(0, |s| s.id + 1);
         self.data = Batch::concat(&[self.data.clone(), batch])?;
-        self.segments
-            .extend(seal_segments(&self.data, start, next_id, self.segment_rows));
+        self.segments.extend(seal_segments(
+            &self.data,
+            start,
+            next_id,
+            self.segment_rows,
+            &self.seq_order,
+        ));
         self.stats = TableStats::compute(&self.data);
         for (column, idx) in &mut self.indexes {
             let ci = self.data.schema().index_of_name(column)?;
@@ -340,6 +393,27 @@ mod tests {
         assert_eq!(t.covering_segments("epc", &Value::str("e1")), vec![0, 1]);
         assert_eq!(t.covering_segments("epc", &Value::str("e2")), vec![0]);
         assert!(t.covering_segments("nope", &Value::str("e1")).is_empty());
+    }
+
+    #[test]
+    fn sequence_order_is_verified_per_segment() {
+        let mut t = Table::new("t", sample_batch());
+        // No declared order -> no metadata runs.
+        assert!(t.segment_runs(&[0]).is_none());
+        assert!(t.set_sequence_order(&["nope"]).is_err());
+        t.set_sequence_order(&["EPC", "rtime"]).unwrap();
+        assert_eq!(t.sequence_order(), &[0, 1]);
+        // The existing segment was re-verified against the new order.
+        assert_eq!(t.segment_runs(&[0]), Some(vec![0]));
+        assert_eq!(t.segment_runs(&[0, 1]), Some(vec![0]));
+        // A sorted append seals a segment that covers the order: two runs.
+        t.append(sample_batch()).unwrap();
+        assert_eq!(t.segment_runs(&[0, 1]), Some(vec![0, 2]));
+        // An unsorted append (epc descending) covers no prefix, so the
+        // whole-table metadata cover disappears.
+        t.append(sample_batch().take(&[1, 0])).unwrap();
+        assert!(t.segment_runs(&[0]).is_none());
+        assert!(t.segment_runs(&[]).is_none());
     }
 
     #[test]

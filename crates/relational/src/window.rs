@@ -19,6 +19,7 @@ use crate::column::{Column, ColumnBuilder};
 use crate::error::{Error, Result};
 use crate::expr::Expr;
 use crate::value::{DataType, Value};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Frame bound.
@@ -236,14 +237,23 @@ fn frame_rows(
             let key = order_key.ok_or_else(|| {
                 Error::Plan("RANGE frame requires exactly one numeric ORDER BY key".into())
             })?;
-            let Some(v) = key_num(key, i) else {
-                // NULL order key: the frame is the NULL peer group; for our
-                // workloads this does not arise — return empty.
-                return Ok(None);
-            };
-            // partition_point over the sorted keys within the partition.
+            // Sorted input puts NULL order keys first within the partition.
+            // Binary searches must stay inside the non-NULL subrange:
+            // `key_num` maps NULL to `None`, so a predicate over the whole
+            // partition would not be monotone once NULLs are present.
+            let nn_lo = p_lo + null_prefix_len(key, p_lo, p_hi);
+            if key.is_null(i) {
+                // NULL order key: NULLs are peers of each other and of no
+                // non-NULL row, so the frame is the NULL peer group —
+                // nonempty, since row `i` itself is in it.
+                return Ok(Some((p_lo, nn_lo - 1)));
+            }
+            let v = key_num(key, i).ok_or_else(|| {
+                Error::Execution("RANGE frame requires a numeric ORDER BY key".into())
+            })?;
+            // partition_point over the sorted non-NULL keys.
             let first_ge = |threshold: i64| -> usize {
-                let mut lo = p_lo;
+                let mut lo = nn_lo;
                 let mut hi = p_hi;
                 while lo < hi {
                     let mid = (lo + hi) / 2;
@@ -257,7 +267,7 @@ fn frame_rows(
             };
             let last_le = |threshold: i64| -> Option<usize> {
                 let p = first_ge(threshold + 1);
-                if p == p_lo {
+                if p == nn_lo {
                     None
                 } else {
                     Some(p - 1)
@@ -304,6 +314,23 @@ fn key_num(c: &Column, i: usize) -> Option<i64> {
             _ => None,
         }
     }
+}
+
+/// Number of leading NULL order keys in partition `[p_lo, p_hi)`. The input
+/// is sorted with NULLs first, so the NULLs form a prefix and a binary
+/// search finds its length.
+fn null_prefix_len(key: &Column, p_lo: usize, p_hi: usize) -> usize {
+    let mut lo = p_lo;
+    let mut hi = p_hi;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if key.is_null(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo - p_lo
 }
 
 /// Prepared state for evaluating a set of window aggregates over one batch
@@ -373,10 +400,35 @@ impl<'a> WindowEval<'a> {
         &self.part_cols
     }
 
-    /// Evaluate all window expressions over one partition `[p_lo, p_hi)`.
-    /// Returns one value vector per expression (row-aligned with the
-    /// partition) plus the frame rows visited (the work counter).
+    /// Evaluate all window expressions over one partition `[p_lo, p_hi)`
+    /// with the incremental sliding kernels. Returns one value vector per
+    /// expression (row-aligned with the partition) plus the number of
+    /// accumulator operations performed (the work counter: one per frame
+    /// position entering or leaving an aggregate state — amortized O(1) per
+    /// row, independent of frame width — plus per-frame recomputation work
+    /// on the floating-point fallback path).
+    ///
+    /// Results are byte-identical to [`eval_partition_naive`]; the counter
+    /// is a pure function of the data, identical at any parallelism.
+    ///
+    /// [`eval_partition_naive`]: WindowEval::eval_partition_naive
     pub fn eval_partition(&self, (p_lo, p_hi): (usize, usize)) -> Result<(Vec<Vec<Value>>, u64)> {
+        let mut ops: u64 = 0;
+        let mut outputs = Vec::with_capacity(self.exprs.len());
+        for (we, arg_col) in self.exprs.iter().zip(&self.arg_cols) {
+            outputs.push(self.eval_expr_incremental(we, arg_col.as_ref(), p_lo, p_hi, &mut ops)?);
+        }
+        Ok((outputs, ops))
+    }
+
+    /// Reference implementation: recompute every row's frame from scratch
+    /// (O(n·w) per partition). Kept as the oracle for the kernel
+    /// equivalence property test and the naive side of the ablation
+    /// microbench. The work counter here is frame rows visited.
+    pub fn eval_partition_naive(
+        &self,
+        (p_lo, p_hi): (usize, usize),
+    ) -> Result<(Vec<Vec<Value>>, u64)> {
         let mut work: u64 = 0;
         let mut outputs = Vec::with_capacity(self.exprs.len());
         for (we, arg_col) in self.exprs.iter().zip(&self.arg_cols) {
@@ -384,10 +436,7 @@ impl<'a> WindowEval<'a> {
             for i in p_lo..p_hi {
                 let frame = frame_rows(&we.frame, i, p_lo, p_hi, self.order_col.as_ref())?;
                 let v = match frame {
-                    None => match we.func {
-                        WindowFuncKind::Count => Value::Int(0),
-                        _ => Value::Null,
-                    },
+                    None => empty_frame_value(we.func),
                     Some((lo, hi)) => {
                         work += (hi - lo + 1) as u64;
                         accumulate(we.func, arg_col.as_ref(), lo, hi)?
@@ -398,6 +447,470 @@ impl<'a> WindowEval<'a> {
             outputs.push(vals);
         }
         Ok((outputs, work))
+    }
+
+    /// Incremental evaluation of one expression over one partition, writing
+    /// into a preallocated output vector.
+    fn eval_expr_incremental(
+        &self,
+        we: &WindowExpr,
+        arg: Option<&Column>,
+        p_lo: usize,
+        p_hi: usize,
+        ops: &mut u64,
+    ) -> Result<Vec<Value>> {
+        let mut out = vec![Value::Null; p_hi - p_lo];
+        match we.frame.units {
+            FrameUnits::Rows => {
+                let bounds = RowsBounds::validate(&we.frame)?;
+                slide(
+                    we,
+                    arg,
+                    p_lo,
+                    p_hi,
+                    p_lo,
+                    &mut out,
+                    ops,
+                    |i| bounds.window(i, p_lo, p_hi).into(),
+                    |_| false,
+                )?;
+            }
+            FrameUnits::Range => {
+                let key = self.order_col.as_ref().ok_or_else(|| {
+                    Error::Plan("RANGE frame requires exactly one numeric ORDER BY key".into())
+                })?;
+                let nn = null_prefix_len(key, p_lo, p_hi);
+                let nn_lo = p_lo + nn;
+                if nn > 0 {
+                    // NULL peer group: every NULL-key row shares the frame
+                    // `[p_lo, nn_lo)` — compute its aggregate once.
+                    let v = accumulate(we.func, arg, p_lo, nn_lo - 1)?;
+                    *ops += nn as u64;
+                    for slot in &mut out[..nn] {
+                        *slot = v.clone();
+                    }
+                }
+                if nn_lo < p_hi {
+                    let mut range = RangeBounds::validate(&we.frame, key, p_lo, p_hi, nn_lo)?;
+                    let unbounded_start = we.frame.start == FrameBound::UnboundedPreceding;
+                    slide(
+                        we,
+                        arg,
+                        nn_lo,
+                        p_hi,
+                        p_lo,
+                        &mut out,
+                        ops,
+                        |i| range.window(i).into(),
+                        // UNBOUNDED PRECEDING start with a bounded end whose
+                        // threshold admits no non-NULL key: the frame is
+                        // empty per `frame_rows`, even though the coverage
+                        // window spans the NULL prefix.
+                        |th| unbounded_start && nn > 0 && th == nn_lo,
+                    )?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The value of an aggregate over an empty frame.
+fn empty_frame_value(func: WindowFuncKind) -> Value {
+    match func {
+        WindowFuncKind::Count => Value::Int(0),
+        _ => Value::Null,
+    }
+}
+
+/// Positional (ROWS) frame bounds, validated once per partition.
+struct RowsBounds {
+    start: FrameBound,
+    end: FrameBound,
+}
+
+impl RowsBounds {
+    fn validate(frame: &Frame) -> Result<Self> {
+        if frame.start == FrameBound::UnboundedFollowing {
+            return Err(Error::Plan(
+                "frame start cannot be UNBOUNDED FOLLOWING".into(),
+            ));
+        }
+        if frame.end == FrameBound::UnboundedPreceding {
+            return Err(Error::Plan(
+                "frame end cannot be UNBOUNDED PRECEDING".into(),
+            ));
+        }
+        Ok(RowsBounds {
+            start: frame.start,
+            end: frame.end,
+        })
+    }
+
+    /// Half-open target window `[lo, hi_ex)` for row `i`; both ends are
+    /// nondecreasing in `i`, which is what lets the kernels slide.
+    fn window(&self, i: usize, p_lo: usize, p_hi: usize) -> (usize, usize) {
+        let clamp = |x: i64| x.clamp(p_lo as i64, p_hi as i64) as usize;
+        let lo = clamp(match self.start {
+            FrameBound::UnboundedPreceding => p_lo as i64,
+            FrameBound::Preceding(k) => i as i64 - k,
+            FrameBound::CurrentRow => i as i64,
+            FrameBound::Following(k) => i as i64 + k,
+            FrameBound::UnboundedFollowing => unreachable!("rejected by validate"),
+        });
+        let hi_ex = clamp(match self.end {
+            FrameBound::UnboundedPreceding => unreachable!("rejected by validate"),
+            FrameBound::Preceding(k) => i as i64 - k + 1,
+            FrameBound::CurrentRow => i as i64 + 1,
+            FrameBound::Following(k) => i as i64 + k + 1,
+            FrameBound::UnboundedFollowing => p_hi as i64,
+        });
+        (lo, hi_ex.max(lo))
+    }
+}
+
+/// RANGE frame bounds as two monotone pointers over the sorted non-NULL
+/// keys: because the current row's key is nondecreasing, the `first key ≥
+/// start-threshold` and `first key > end-threshold` positions only ever move
+/// forward, so each is advanced incrementally instead of binary-searched —
+/// the same two-pointer structure the accumulators rely on.
+struct RangeBounds<'c> {
+    start: FrameBound,
+    end: FrameBound,
+    key: &'c Column,
+    p_lo: usize,
+    p_hi: usize,
+    lo_ptr: usize,
+    hi_ptr: usize,
+}
+
+impl<'c> RangeBounds<'c> {
+    fn validate(
+        frame: &Frame,
+        key: &'c Column,
+        p_lo: usize,
+        p_hi: usize,
+        nn_lo: usize,
+    ) -> Result<Self> {
+        if frame.start == FrameBound::UnboundedFollowing {
+            return Err(Error::Plan(
+                "frame start cannot be UNBOUNDED FOLLOWING".into(),
+            ));
+        }
+        if frame.end == FrameBound::UnboundedPreceding {
+            return Err(Error::Plan(
+                "frame end cannot be UNBOUNDED PRECEDING".into(),
+            ));
+        }
+        Ok(RangeBounds {
+            start: frame.start,
+            end: frame.end,
+            key,
+            p_lo,
+            p_hi,
+            lo_ptr: nn_lo,
+            hi_ptr: nn_lo,
+        })
+    }
+
+    fn window(&mut self, i: usize) -> Result<(usize, usize)> {
+        let v = key_num(self.key, i).ok_or_else(|| {
+            Error::Execution("RANGE frame requires a numeric ORDER BY key".into())
+        })?;
+        let lo = match self.start {
+            FrameBound::UnboundedPreceding => self.p_lo,
+            FrameBound::Preceding(k) => self.advance_lo(v - k),
+            FrameBound::CurrentRow => self.advance_lo(v),
+            FrameBound::Following(k) => self.advance_lo(v + k),
+            FrameBound::UnboundedFollowing => unreachable!("rejected by validate"),
+        };
+        let hi_ex = match self.end {
+            FrameBound::UnboundedPreceding => unreachable!("rejected by validate"),
+            FrameBound::Preceding(k) => self.advance_hi(v - k),
+            FrameBound::CurrentRow => self.advance_hi(v),
+            FrameBound::Following(k) => self.advance_hi(v + k),
+            FrameBound::UnboundedFollowing => self.p_hi,
+        };
+        Ok((lo, hi_ex.max(lo)))
+    }
+
+    /// First position whose key is ≥ `threshold`.
+    fn advance_lo(&mut self, threshold: i64) -> usize {
+        while self.lo_ptr < self.p_hi
+            && key_num(self.key, self.lo_ptr).is_some_and(|k| k < threshold)
+        {
+            self.lo_ptr += 1;
+        }
+        self.lo_ptr
+    }
+
+    /// One past the last position whose key is ≤ `threshold`.
+    fn advance_hi(&mut self, threshold: i64) -> usize {
+        while self.hi_ptr < self.p_hi
+            && key_num(self.key, self.hi_ptr).is_some_and(|k| k <= threshold)
+        {
+            self.hi_ptr += 1;
+        }
+        self.hi_ptr
+    }
+}
+
+/// Slide an accumulator over rows `[it_lo, p_hi)`, writing `out[i - out_lo]`
+/// for each row `i`. `target` yields the row's half-open frame window (both
+/// ends nondecreasing); `force_empty`, given the window's raw end pointer,
+/// marks frames `frame_rows` would call empty even though the coverage
+/// window is not (the RANGE NULL-prefix corner). `ops` counts every frame
+/// position entering or leaving the accumulator state.
+#[allow(clippy::too_many_arguments)]
+fn slide<W, F>(
+    we: &WindowExpr,
+    arg: Option<&Column>,
+    it_lo: usize,
+    p_hi: usize,
+    out_lo: usize,
+    out: &mut [Value],
+    ops: &mut u64,
+    mut target: W,
+    force_empty: F,
+) -> Result<()>
+where
+    W: FnMut(usize) -> WindowResult,
+    F: Fn(usize) -> bool,
+{
+    let mut kernel = Kernel::for_expr(we, arg)?;
+    if let Kernel::Recompute { func } = &kernel {
+        let func = *func;
+        // Floating-point fallback: recompute each frame so the result stays
+        // bit-identical to the naive path (FP addition is not associative,
+        // so subtract-on-evict could drift). Ops degrade to frame size.
+        for i in it_lo..p_hi {
+            let (lo, hi_ex) = target(i).into_result()?;
+            out[i - out_lo] = if hi_ex <= lo || force_empty(hi_ex) {
+                empty_frame_value(func)
+            } else {
+                *ops += (hi_ex - lo) as u64;
+                accumulate(func, arg, lo, hi_ex - 1)?
+            };
+        }
+        return Ok(());
+    }
+    // Coverage window `[cov_lo, cov_hi)`: the positions currently in the
+    // accumulator. Both target ends are monotone, so positions enter and
+    // leave at most once each — ≤ 2 ops per row amortized. Coverage starts
+    // at the first frame's own start, which may precede `it_lo` (a RANGE
+    // frame with an UNBOUNDED PRECEDING start spans the NULL prefix even
+    // though iteration begins at the first non-NULL row).
+    let mut cov_lo = usize::MAX;
+    let mut cov_hi = usize::MAX;
+    for i in it_lo..p_hi {
+        let (lo, hi_ex) = target(i).into_result()?;
+        if cov_lo == usize::MAX {
+            (cov_lo, cov_hi) = (lo, lo);
+        }
+        while cov_lo < cov_hi && cov_lo < lo {
+            kernel.evict(cov_lo);
+            cov_lo += 1;
+            *ops += 1;
+        }
+        if cov_hi < lo {
+            // The window jumped past the old coverage: nothing in
+            // `[cov_hi, lo)` was ever entered.
+            cov_lo = lo;
+            cov_hi = lo;
+        }
+        while cov_hi < hi_ex {
+            kernel.enter(cov_hi)?;
+            cov_hi += 1;
+            *ops += 1;
+        }
+        out[i - out_lo] = if cov_hi == cov_lo || force_empty(hi_ex) {
+            empty_frame_value(we.func)
+        } else {
+            kernel.emit(cov_hi - cov_lo)?
+        };
+    }
+    Ok(())
+}
+
+/// Either an infallible (ROWS) or fallible (RANGE) target window — lets
+/// `slide` take both closures without boxing.
+enum WindowResult {
+    Ok((usize, usize)),
+    Err(Error),
+}
+
+impl WindowResult {
+    fn into_result(self) -> Result<(usize, usize)> {
+        match self {
+            WindowResult::Ok(w) => Ok(w),
+            WindowResult::Err(e) => Err(e),
+        }
+    }
+}
+
+impl From<(usize, usize)> for WindowResult {
+    fn from(w: (usize, usize)) -> Self {
+        WindowResult::Ok(w)
+    }
+}
+
+impl From<Result<(usize, usize)>> for WindowResult {
+    fn from(r: Result<(usize, usize)>) -> Self {
+        match r {
+            Ok(w) => WindowResult::Ok(w),
+            Err(e) => WindowResult::Err(e),
+        }
+    }
+}
+
+/// Per-expression sliding aggregate state.
+enum Kernel<'c> {
+    /// `count(*)`: the frame size is the answer.
+    CountStar,
+    /// `count(expr)`: running non-NULL count.
+    CountArg { col: &'c Column, nonnull: i64 },
+    /// Integer `sum`/`avg`: exact i128 running sum — wide enough that the
+    /// running value never wraps, with the i64 range enforced only on the
+    /// emitted frame total (matching the naive per-frame computation).
+    IntSum {
+        col: &'c Column,
+        avg: bool,
+        sum: i128,
+        nonnull: i64,
+    },
+    /// `min`/`max`: monotonic deque of candidate positions. The back is
+    /// popped only on *strict* domination, so among equal values the
+    /// earliest survives at the front — the same tie the naive scan keeps.
+    MinMax {
+        col: &'c Column,
+        is_max: bool,
+        deque: VecDeque<usize>,
+    },
+    /// Floating-point `sum`/`avg`: no state, handled by recomputation.
+    Recompute { func: WindowFuncKind },
+}
+
+impl<'c> Kernel<'c> {
+    fn for_expr(we: &WindowExpr, arg: Option<&'c Column>) -> Result<Kernel<'c>> {
+        Ok(match we.func {
+            WindowFuncKind::Count => match arg {
+                None => Kernel::CountStar,
+                Some(col) => Kernel::CountArg { col, nonnull: 0 },
+            },
+            WindowFuncKind::Max | WindowFuncKind::Min => Kernel::MinMax {
+                col: arg.ok_or_else(|| Error::Plan("max/min need an argument".into()))?,
+                is_max: we.func == WindowFuncKind::Max,
+                deque: VecDeque::new(),
+            },
+            WindowFuncKind::Sum | WindowFuncKind::Avg => {
+                let col = arg.ok_or_else(|| Error::Plan("sum/avg need an argument".into()))?;
+                if col.data_type() == DataType::Double {
+                    Kernel::Recompute { func: we.func }
+                } else {
+                    Kernel::IntSum {
+                        col,
+                        avg: we.func == WindowFuncKind::Avg,
+                        sum: 0,
+                        nonnull: 0,
+                    }
+                }
+            }
+        })
+    }
+
+    fn enter(&mut self, i: usize) -> Result<()> {
+        match self {
+            Kernel::CountStar | Kernel::Recompute { .. } => {}
+            Kernel::CountArg { col, nonnull } => {
+                if !col.is_null(i) {
+                    *nonnull += 1;
+                }
+            }
+            Kernel::IntSum {
+                col, sum, nonnull, ..
+            } => {
+                if !col.is_null(i) {
+                    match col.value(i) {
+                        Value::Int(v) => {
+                            *sum += v as i128;
+                            *nonnull += 1;
+                        }
+                        other => {
+                            return Err(Error::Execution(format!(
+                                "sum/avg over non-numeric value {other}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Kernel::MinMax { col, is_max, deque } => {
+                if !col.is_null(i) {
+                    let v = col.value(i);
+                    while let Some(&back) = deque.back() {
+                        let o = col.value(back).total_cmp(&v);
+                        let dominated = if *is_max { o.is_lt() } else { o.is_gt() };
+                        if dominated {
+                            deque.pop_back();
+                        } else {
+                            break;
+                        }
+                    }
+                    deque.push_back(i);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn evict(&mut self, i: usize) {
+        match self {
+            Kernel::CountStar | Kernel::Recompute { .. } => {}
+            Kernel::CountArg { col, nonnull } => {
+                if !col.is_null(i) {
+                    *nonnull -= 1;
+                }
+            }
+            Kernel::IntSum {
+                col, sum, nonnull, ..
+            } => {
+                if !col.is_null(i) {
+                    if let Value::Int(v) = col.value(i) {
+                        *sum -= v as i128;
+                        *nonnull -= 1;
+                    }
+                }
+            }
+            Kernel::MinMax { deque, .. } => {
+                if deque.front() == Some(&i) {
+                    deque.pop_front();
+                }
+            }
+        }
+    }
+
+    fn emit(&self, frame_len: usize) -> Result<Value> {
+        match self {
+            Kernel::CountStar => Ok(Value::Int(frame_len as i64)),
+            Kernel::CountArg { nonnull, .. } => Ok(Value::Int(*nonnull)),
+            Kernel::IntSum {
+                avg, sum, nonnull, ..
+            } => {
+                if *nonnull == 0 {
+                    Ok(Value::Null)
+                } else if *avg {
+                    Ok(Value::Double(*sum as f64 / *nonnull as f64))
+                } else {
+                    i64::try_from(*sum)
+                        .map(Value::Int)
+                        .map_err(|_| Error::Execution("sum overflow in window aggregate".into()))
+                }
+            }
+            Kernel::MinMax { col, deque, .. } => Ok(match deque.front() {
+                None => Value::Null,
+                Some(&i) => col.value(i),
+            }),
+            Kernel::Recompute { .. } => unreachable!("recompute kernels never reach emit"),
+        }
     }
 }
 
@@ -473,7 +986,11 @@ fn accumulate(func: WindowFuncKind, arg: Option<&Column>, lo: usize, hi: usize) 
         }
         WindowFuncKind::Sum | WindowFuncKind::Avg => {
             let col = arg.ok_or_else(|| Error::Plan("sum/avg need an argument".into()))?;
-            let mut sum_i: i64 = 0;
+            // i128 running sum: wide enough that it never wraps for any
+            // frame of i64 values, so only the frame *total* is range
+            // checked — the same rule the incremental kernel applies,
+            // keeping both paths identical on overflowing inputs.
+            let mut sum_i: i128 = 0;
             let mut sum_f: f64 = 0.0;
             let mut is_float = col.data_type() == DataType::Double;
             let mut count = 0i64;
@@ -483,9 +1000,7 @@ fn accumulate(func: WindowFuncKind, arg: Option<&Column>, lo: usize, hi: usize) 
                 }
                 match col.value(i) {
                     Value::Int(v) => {
-                        sum_i = sum_i.checked_add(v).ok_or_else(|| {
-                            Error::Execution("sum overflow in window aggregate".into())
-                        })?;
+                        sum_i += v as i128;
                     }
                     Value::Double(v) => {
                         is_float = true;
@@ -508,7 +1023,9 @@ fn accumulate(func: WindowFuncKind, arg: Option<&Column>, lo: usize, hi: usize) 
                     if is_float {
                         Ok(Value::Double(total))
                     } else {
-                        Ok(Value::Int(sum_i))
+                        i64::try_from(sum_i).map(Value::Int).map_err(|_| {
+                            Error::Execution("sum overflow in window aggregate".into())
+                        })
                     }
                 }
                 WindowFuncKind::Avg => Ok(Value::Double(total / count as f64)),
@@ -681,7 +1198,7 @@ mod tests {
     }
 
     #[test]
-    fn work_counter_counts_frame_rows() {
+    fn work_counter_counts_accumulator_ops() {
         let we = WindowExpr {
             func: WindowFuncKind::Count,
             arg: None,
@@ -698,8 +1215,10 @@ mod tests {
             &[we],
         )
         .unwrap();
-        // e1 partition: 3 rows x frame 3 = 9; e2: 2 x 2 = 4.
-        assert_eq!(work, 13);
+        // Whole-partition frame: every row enters the accumulator once and
+        // never leaves — e1: 3 ops, e2: 2 — independent of how many rows
+        // each frame spans (the naive path would visit 3x3 + 2x2 = 13).
+        assert_eq!(work, 5);
     }
 
     #[test]

@@ -121,6 +121,11 @@ fn load_tables(
     let full = Batch::from_rows(reads_schema(), &case_rows)?;
     let mut caser =
         Table::with_segment_rows("caser", Batch::empty(reads_schema()), config.segment_rows);
+    // Case rows are generated case-by-case with reads in time order, so the
+    // feed is (epc, rtime)-sorted; declaring that before ingest lets every
+    // sealed segment verify and record the order, which window sorts over
+    // caser later exploit as metadata-only run detection.
+    caser.set_sequence_order(&["epc", "rtime"])?;
     for col in ["epc", "rtime", "biz_loc", "biz_step"] {
         caser.create_index(col)?;
     }
@@ -595,6 +600,11 @@ mod tests {
         for col in ["epc", "rtime", "biz_loc", "biz_step"] {
             assert_eq!(caser.index(col).unwrap().covered_rows(), ds.case_reads);
         }
+        // The declared (epc, rtime) sequence order verified at every seal:
+        // one metadata run per segment, available without touching rows.
+        assert_eq!(caser.sequence_order(), &[0, 1]);
+        let runs = caser.segment_runs(caser.sequence_order()).unwrap();
+        assert_eq!(runs.len(), segs.len());
         // Segmented load returns exactly the same rows as a monolithic one.
         let mono_cat = Catalog::new();
         let mut cfg = GenConfig::tiny(2, 20.0, 7);

@@ -464,6 +464,12 @@ mod tests {
         let mut ex = Executor::new(&cat);
         ex.execute(&plan).unwrap();
         assert_eq!(ex.stats.sorts_performed, 1, "plan:\n{plan}");
+        // The two rows are already in (epc, rtime) order, so the one shared
+        // sort detects a single run and elides the merge entirely — an
+        // elided sort still counts as performed (order sharing is about
+        // plan shape, elision about data shape).
+        assert_eq!(ex.stats.sorts_elided, 1);
+        assert_eq!(ex.stats.merge_runs_used, 0);
     }
 
     #[test]

@@ -20,6 +20,16 @@ pub struct Segment<V: ZoneValue> {
     pub rows: usize,
     /// One zone map per table column, in schema order.
     pub zones: Vec<ZoneMap<V>>,
+    /// Column positions this segment's rows are verified non-descending on,
+    /// lexicographically, under [`ZoneValue::zcmp`] with NULLs ordered first
+    /// (the same total order zone maps and the engine's sorts use). Empty
+    /// means no order was verified.
+    ///
+    /// Like a zone map, this is *derived from the sealed rows themselves* at
+    /// seal time and segments are immutable, so trusting it later can never
+    /// change results — it only lets a sort treat the segment as one
+    /// pre-sorted run instead of re-discovering that by comparison.
+    pub sorted_by: Vec<usize>,
 }
 
 impl<V: ZoneValue> Segment<V> {
@@ -40,6 +50,13 @@ impl<V: ZoneValue> Segment<V> {
             .iter()
             .all(|p| self.zone(p.column).is_none_or(|z| p.may_match(z)))
     }
+
+    /// Whether the segment's verified order covers a requested lexicographic
+    /// key. Sortedness on `(a, b)` implies sortedness on `(a)`, so the
+    /// request is covered when it is a prefix of the verified columns.
+    pub fn covers_order(&self, columns: &[usize]) -> bool {
+        !columns.is_empty() && self.sorted_by.starts_with(columns)
+    }
 }
 
 #[cfg(test)]
@@ -57,6 +74,7 @@ mod tests {
             start,
             rows: vals.len(),
             zones: vec![z],
+            sorted_by: vec![],
         }
     }
 
@@ -68,6 +86,18 @@ mod tests {
         assert!(s.may_match_all(std::slice::from_ref(&admit)));
         assert!(!s.may_match_all(&[admit, reject]));
         assert!(s.may_match_all(&[]));
+    }
+
+    #[test]
+    fn covers_order_is_prefix_closed() {
+        let mut s = seg(0, 0, &[10, 20]);
+        assert!(!s.covers_order(&[0]), "no verified order");
+        s.sorted_by = vec![0, 1];
+        assert!(s.covers_order(&[0]));
+        assert!(s.covers_order(&[0, 1]));
+        assert!(!s.covers_order(&[1]));
+        assert!(!s.covers_order(&[0, 1, 2]));
+        assert!(!s.covers_order(&[]));
     }
 
     #[test]
