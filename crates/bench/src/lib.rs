@@ -20,6 +20,7 @@ pub mod gate;
 pub mod harness;
 pub mod microbench;
 pub mod report;
+pub mod service_bench;
 pub mod window_kernels;
 
 pub use experiments::*;

@@ -1,9 +1,13 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|storage|plans|ablations|eager]
+//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|storage|plans|ablations|eager|service]
 //!       [--scale N] [--seed S] [--threads N] [--json] [--explain]
 //! ```
+//!
+//! `service` measures the concurrent `QueryService` (readers + live
+//! append ingest). It is wall-clock-bound and intentionally **not** part
+//! of `all`, so the deterministic bench gate never sees it.
 //!
 //! Besides the console rendering, every run writes `BENCH_repro.json` — a
 //! machine-readable record of per-figure wall-clock, the deterministic work
@@ -205,6 +209,19 @@ fn run_one(args: &Args, what: &str) -> Vec<(String, Json)> {
                 .set("eager_query_ms", Json::Num(c.eager_query_ms))
                 .set("deferred_query_ms", Json::Num(c.deferred_query_ms));
             vec![("eager".into(), json)]
+        }
+        "service" => {
+            let rows = dc_bench::service_bench::service_throughput(
+                args.scale.min(8),
+                args.seed,
+                &[1, 2, 4],
+            );
+            println!("== Service: concurrent snapshot queries + live ingest ==");
+            for r in &rows {
+                println!("{}", r.render());
+            }
+            let json = Json::Arr(rows.iter().map(|r| r.to_json()).collect());
+            vec![("service".into(), json)]
         }
         other => panic!("unknown experiment '{other}'"),
     }

@@ -1,0 +1,169 @@
+//! `repro service` — throughput of the concurrent snapshot query service.
+//!
+//! Not part of the paper (the 2006 evaluation is single-client); this
+//! figure characterizes the PR-5 service layer: K client threads issuing
+//! cleansed queries through [`QueryService`] while one ingest thread
+//! publishes append epochs. Reported per worker count: wall clock,
+//! queries/second, mean queue wait and execution time, and the final
+//! epoch — demonstrating that readers never block on the writer.
+//!
+//! Wall-clock based and machine-dependent, so this figure is **not** in
+//! the `all` list and is never gated by `bench-gate`.
+
+use crate::harness::setup;
+use dc_json::Json;
+use dc_relational::batch::Batch;
+use dc_service::{QueryRequest, QueryService, ServiceConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured point of the service figure.
+#[derive(Debug, Clone)]
+pub struct ServiceBenchRow {
+    /// Worker-pool size (also the number of client threads).
+    pub workers: usize,
+    pub queries: u64,
+    pub appends: u64,
+    pub wall_ms: f64,
+    pub queries_per_sec: f64,
+    pub mean_queue_wait_us: f64,
+    pub mean_exec_us: f64,
+    pub final_epoch: u64,
+}
+
+impl ServiceBenchRow {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("workers", self.workers)
+            .set("queries", self.queries)
+            .set("appends", self.appends)
+            .set("wall_ms", Json::Num(self.wall_ms))
+            .set("queries_per_sec", Json::Num(self.queries_per_sec))
+            .set("mean_queue_wait_us", Json::Num(self.mean_queue_wait_us))
+            .set("mean_exec_us", Json::Num(self.mean_exec_us))
+            .set("final_epoch", self.final_epoch)
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "workers={:>2}  {:>4} queries + {:>2} appends in {:>8.1}ms  \
+             ({:>7.1} q/s, queue {:>7.1}us, exec {:>8.1}us, epoch {})",
+            self.workers,
+            self.queries,
+            self.appends,
+            self.wall_ms,
+            self.queries_per_sec,
+            self.mean_queue_wait_us,
+            self.mean_exec_us,
+            self.final_epoch
+        )
+    }
+}
+
+/// Measure the service at each worker count: `queries_per_client` cleansed
+/// queries per client thread under the 3-rule application, with one ingest
+/// thread publishing `appends` epochs concurrently.
+pub fn service_throughput(scale: usize, seed: u64, workers_list: &[usize]) -> Vec<ServiceBenchRow> {
+    let mut rows = Vec::new();
+    for &workers in workers_list {
+        rows.push(run_point(scale, seed, workers, 16, 8));
+    }
+    rows
+}
+
+fn run_point(
+    scale: usize,
+    seed: u64,
+    workers: usize,
+    queries_per_client: usize,
+    appends: usize,
+) -> ServiceBenchRow {
+    let env = setup(scale, 10.0, seed);
+    let t_low = env.dataset.rtime_quantile(0.10);
+    let t_high = env.dataset.rtime_quantile(0.90);
+    let pool = [env.dataset.q1(t_low), env.dataset.q2(t_high, 2)];
+
+    // A small schema-consistent batch for the ingest thread, cut from the
+    // generated reads themselves.
+    let seed_batch = {
+        let table = env.system.catalog().get("caser").expect("caser exists");
+        let data = table.data();
+        let rows: Vec<Vec<_>> = (0..5.min(data.num_rows())).map(|i| data.row(i)).collect();
+        Batch::from_rows(data.schema().clone(), &rows).expect("append batch")
+    };
+
+    let svc = Arc::new(QueryService::start(
+        env.system,
+        ServiceConfig {
+            workers,
+            queue_capacity: 2 * workers + 4,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    let start = Instant::now();
+    let appender = {
+        let svc = Arc::clone(&svc);
+        let batch = seed_batch;
+        std::thread::spawn(move || {
+            for _ in 0..appends {
+                svc.append("caser", batch.clone()).expect("append");
+                std::thread::yield_now();
+            }
+        })
+    };
+    let clients: Vec<_> = (0..workers)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            let pool: Vec<String> = pool.to_vec();
+            std::thread::spawn(move || {
+                let mut wait_us = 0.0f64;
+                let mut exec_us = 0.0f64;
+                for q in 0..queries_per_client {
+                    let sql = &pool[(c + q) % pool.len()];
+                    let resp = svc
+                        .execute(QueryRequest::new("rules-3", sql))
+                        .expect("service query");
+                    wait_us += resp.service.queue_wait.as_secs_f64() * 1e6;
+                    exec_us += resp.service.exec_time.as_secs_f64() * 1e6;
+                }
+                (wait_us, exec_us)
+            })
+        })
+        .collect();
+
+    appender.join().expect("appender");
+    let mut wait_us = 0.0;
+    let mut exec_us = 0.0;
+    for c in clients {
+        let (w, e) = c.join().expect("client");
+        wait_us += w;
+        exec_us += e;
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let queries = (workers * queries_per_client) as u64;
+    ServiceBenchRow {
+        workers,
+        queries,
+        appends: appends as u64,
+        wall_ms,
+        queries_per_sec: queries as f64 / (wall_ms / 1e3),
+        mean_queue_wait_us: wait_us / queries as f64,
+        mean_exec_us: exec_us / queries as f64,
+        final_epoch: svc.epoch(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_point_completes_and_publishes_all_epochs() {
+        let row = run_point(2, 7, 2, 3, 4);
+        assert_eq!(row.queries, 6);
+        assert_eq!(row.final_epoch, 4);
+        assert!(row.queries_per_sec > 0.0);
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod system;
 
-pub use dc_relational::physical::{ExecOptions, OperatorMetrics};
+pub use dc_relational::error::AbortReason;
+pub use dc_relational::physical::{ExecOptions, OperatorMetrics, QueryBudget};
 pub use dc_rewrite::{CacheStats, DecisionTrace, Strategy};
 pub use system::{CacheActivity, DeferredCleansingSystem, ExplainReport, QueryReport};

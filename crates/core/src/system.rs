@@ -12,7 +12,7 @@ use dc_relational::batch::Batch;
 use dc_relational::error::Result;
 use dc_relational::exec::{ExecStats, Executor};
 use dc_relational::explain::{logical_to_json, physical_to_json};
-use dc_relational::physical::{display_physical, lower, ExecOptions, OperatorMetrics};
+use dc_relational::physical::{display_physical, lower, ExecOptions, OperatorMetrics, QueryBudget};
 use dc_relational::plan::LogicalPlan;
 use dc_relational::sql::{parse_query, plan_query, plan_sql};
 use dc_relational::table::{Catalog, CatalogRef};
@@ -212,15 +212,24 @@ impl DeferredCleansingSystem {
         self.cleanse_cache.as_ref().map(CleanseCache::stats)
     }
 
-    /// Execute a rewritten plan, routing through the cleansed-sequence
-    /// cache when it is enabled and the rewrite produced a cacheable
-    /// join-back plan.
-    fn run_rewritten(&self, rewritten: &Rewritten) -> Result<Executed> {
+    /// Execute a rewritten plan against `catalog` under `budget`, routing
+    /// through the cleansed-sequence cache when it is enabled and the
+    /// rewrite produced a cacheable join-back plan. The cache is shared
+    /// across catalog snapshots: entries are validated against the covering
+    /// segments of the *probing* snapshot's reads table, so a query running
+    /// against an older epoch can never be served rows cleansed from a
+    /// newer one (and vice versa).
+    fn run_rewritten_at(
+        &self,
+        catalog: &Catalog,
+        rewritten: &Rewritten,
+        budget: QueryBudget,
+    ) -> Result<Executed> {
         match &self.cleanse_cache {
             Some(cache) if rewritten.cache_spec.is_some() => {
-                rewritten.execute_cached(&self.catalog, self.exec_options, cache)
+                rewritten.execute_cached_with_budget(catalog, self.exec_options, cache, budget)
             }
-            _ => rewritten.execute(&self.catalog, self.exec_options),
+            _ => rewritten.execute_with_budget(catalog, self.exec_options, budget),
         }
     }
 
@@ -278,14 +287,51 @@ impl DeferredCleansingSystem {
         sql: &str,
         strategy: Strategy,
     ) -> Result<(Batch, QueryReport)> {
+        self.query_snapshot(
+            &self.catalog,
+            application,
+            sql,
+            strategy,
+            QueryBudget::unlimited(),
+        )
+    }
+
+    /// [`DeferredCleansingSystem::query_with_strategy`] under a
+    /// [`QueryBudget`] (deadline, row budget, cooperative cancellation).
+    /// A tripped budget returns `Error::Aborted` and no partial rows.
+    pub fn query_with_budget(
+        &self,
+        application: &str,
+        sql: &str,
+        strategy: Strategy,
+        budget: QueryBudget,
+    ) -> Result<(Batch, QueryReport)> {
+        self.query_snapshot(&self.catalog, application, sql, strategy, budget)
+    }
+
+    /// Run an application query against an explicit catalog snapshot —
+    /// planning, rewriting, and executing all see `catalog`, not the
+    /// system's own. This is the service layer's entry point: the snapshot
+    /// is immutable for the duration of the call, so concurrent appends to
+    /// the live catalog never tear a running query. Rules, the rewrite
+    /// engine, and the cleansed-sequence cache are shared (all are
+    /// internally synchronized).
+    pub fn query_snapshot(
+        &self,
+        catalog: &Catalog,
+        application: &str,
+        sql: &str,
+        strategy: Strategy,
+        budget: QueryBudget,
+    ) -> Result<(Batch, QueryReport)> {
         let start = Instant::now();
-        let user_plan = plan_query(&parse_query(sql)?, &self.catalog)?;
+        let user_plan = plan_query(&parse_query(sql)?, catalog)?;
         let rules = self.rules.rules_for(application);
-        let rewritten =
-            self.engine
-                .read()
-                .rewrite_plan(&user_plan, &rules, &self.catalog, strategy)?;
-        let run = self.run_rewritten(&rewritten)?;
+        let rewritten = self
+            .engine
+            .read()
+            .rewrite_plan(&user_plan, &rules, catalog, strategy)?;
+        let run = self.run_rewritten_at(catalog, &rewritten, budget)?;
         let report = QueryReport {
             strategy: format!("{strategy:?}"),
             chosen: rewritten.chosen,
@@ -356,19 +402,41 @@ impl DeferredCleansingSystem {
         strategy: Strategy,
         analyze: bool,
     ) -> Result<ExplainReport> {
-        let user_plan = plan_query(&parse_query(sql)?, &self.catalog)?;
+        self.explain_snapshot(
+            &self.catalog,
+            application,
+            sql,
+            strategy,
+            analyze,
+            QueryBudget::unlimited(),
+        )
+    }
+
+    /// [`Self::explain_report`] against an explicit catalog snapshot and
+    /// under a [`QueryBudget`] — the service layer's EXPLAIN ANALYZE entry
+    /// point (analyze-mode execution is budget-checked like a real query).
+    pub fn explain_snapshot(
+        &self,
+        catalog: &Catalog,
+        application: &str,
+        sql: &str,
+        strategy: Strategy,
+        analyze: bool,
+        budget: QueryBudget,
+    ) -> Result<ExplainReport> {
+        let user_plan = plan_query(&parse_query(sql)?, catalog)?;
         let rules = self.rules.rules_for(application);
-        let rewritten =
-            self.engine
-                .read()
-                .rewrite_plan(&user_plan, &rules, &self.catalog, strategy)?;
+        let rewritten = self
+            .engine
+            .read()
+            .rewrite_plan(&user_plan, &rules, catalog, strategy)?;
         let trace = rewritten.decision_trace(strategy);
-        let physical = lower(&rewritten.plan, &self.catalog)?;
+        let physical = lower(&rewritten.plan, catalog)?;
         let physical_text = display_physical(physical.as_ref());
         let physical_json = physical_to_json(physical.as_ref());
         let (metrics, result_rows, cache) = if analyze {
             let cached = self.cleanse_cache.is_some() && rewritten.cache_spec.is_some();
-            let run = self.run_rewritten(&rewritten)?;
+            let run = self.run_rewritten_at(catalog, &rewritten, budget)?;
             let cache = cached.then_some(CacheActivity {
                 hits: run.stats.seq_cache_hits,
                 misses: run.stats.seq_cache_misses,

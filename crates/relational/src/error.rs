@@ -5,6 +5,37 @@ use std::fmt;
 /// Result alias used throughout the engine.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Why a query was aborted before producing a result (see
+/// [`crate::physical::QueryBudget`]). Aborts are cooperative: operators
+/// check the budget at batch boundaries and unwind with
+/// [`Error::Aborted`] — no partial rows ever escape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The caller flipped the cancellation token.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// More rows flowed through the plan than the budget allows.
+    RowLimitExceeded,
+}
+
+impl AbortReason {
+    /// Stable label used in stats, logs, and rendered reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AbortReason::Cancelled => "cancelled",
+            AbortReason::DeadlineExceeded => "deadline_exceeded",
+            AbortReason::RowLimitExceeded => "row_limit_exceeded",
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Engine-wide error type.
 ///
 /// The variants are deliberately coarse: callers dispatch on the broad class
@@ -23,6 +54,9 @@ pub enum Error {
     Execution(String),
     /// A schema mismatch between batches or between a batch and a table.
     Schema(String),
+    /// The query was cooperatively aborted (deadline, cancellation, or row
+    /// budget) before completing; no partial result was produced.
+    Aborted(AbortReason),
     /// Internal invariant violation — always a bug in the engine.
     Internal(String),
 }
@@ -36,6 +70,7 @@ impl Error {
             Error::Plan(_) => "plan",
             Error::Execution(_) => "execution",
             Error::Schema(_) => "schema",
+            Error::Aborted(_) => "aborted",
             Error::Internal(_) => "internal",
         }
     }
@@ -49,6 +84,15 @@ impl Error {
             | Error::Execution(m)
             | Error::Schema(m)
             | Error::Internal(m) => m,
+            Error::Aborted(r) => r.label(),
+        }
+    }
+
+    /// The abort reason, when this error is a cooperative query abort.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        match self {
+            Error::Aborted(r) => Some(*r),
+            _ => None,
         }
     }
 }
@@ -86,6 +130,16 @@ macro_rules! internal_err {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn aborted_kind_and_reason() {
+        let e = Error::Aborted(AbortReason::DeadlineExceeded);
+        assert_eq!(e.kind(), "aborted");
+        assert_eq!(e.message(), "deadline_exceeded");
+        assert_eq!(e.abort_reason(), Some(AbortReason::DeadlineExceeded));
+        assert_eq!(Error::Plan("x".into()).abort_reason(), None);
+        assert_eq!(AbortReason::Cancelled.to_string(), "cancelled");
+    }
 
     #[test]
     fn kind_and_message_roundtrip() {

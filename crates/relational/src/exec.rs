@@ -12,7 +12,7 @@
 
 use crate::batch::Batch;
 use crate::error::Result;
-use crate::physical::{lower, ExecContext, ExecOptions, OperatorMetrics};
+use crate::physical::{lower, ExecContext, ExecOptions, OperatorMetrics, QueryBudget};
 use crate::plan::LogicalPlan;
 use crate::table::Catalog;
 
@@ -111,6 +111,7 @@ impl ExecStats {
 pub struct Executor<'a> {
     catalog: &'a Catalog,
     options: ExecOptions,
+    budget: QueryBudget,
     pub stats: ExecStats,
     /// Wall-clock nanoseconds spent in window evaluation across all plans
     /// this executor ran. Not part of [`ExecStats`]: timings vary with
@@ -128,9 +129,17 @@ impl<'a> Executor<'a> {
     }
 
     pub fn with_options(catalog: &'a Catalog, options: ExecOptions) -> Self {
+        Self::with_budget(catalog, options, QueryBudget::unlimited())
+    }
+
+    /// An executor whose plans run under a [`QueryBudget`] (deadline, row
+    /// budget, cooperative cancellation). A tripped budget surfaces as
+    /// [`crate::error::Error::Aborted`] with no partial result.
+    pub fn with_budget(catalog: &'a Catalog, options: ExecOptions, budget: QueryBudget) -> Self {
         Executor {
             catalog,
             options,
+            budget,
             stats: ExecStats::default(),
             window_eval_nanos: 0,
             metrics: None,
@@ -141,7 +150,7 @@ impl<'a> Executor<'a> {
     /// operator tree, then run it.
     pub fn execute(&mut self, plan: &LogicalPlan) -> Result<Batch> {
         let physical = lower(plan, self.catalog)?;
-        let mut ctx = ExecContext::new(self.catalog, self.options);
+        let mut ctx = ExecContext::with_budget(self.catalog, self.options, self.budget.clone());
         let out = physical.execute(&mut ctx);
         self.stats.add(&ctx.stats);
         self.window_eval_nanos += ctx.window_eval_nanos;
@@ -437,6 +446,78 @@ mod tests {
             "{}",
             physical.label()
         );
+    }
+
+    #[test]
+    fn budget_aborts_cooperatively() {
+        use crate::error::{AbortReason, Error};
+        use crate::physical::QueryBudget;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let cat = catalog();
+        // A pre-set cancellation token aborts at the first checkpoint.
+        let token = Arc::new(AtomicBool::new(false));
+        token.store(true, Ordering::Relaxed);
+        let mut ex = Executor::with_budget(
+            &cat,
+            ExecOptions::default(),
+            QueryBudget::unlimited().with_cancel(Arc::clone(&token)),
+        );
+        assert!(matches!(
+            ex.execute(&count_window(false)),
+            Err(Error::Aborted(AbortReason::Cancelled))
+        ));
+
+        // An already-expired deadline aborts.
+        let mut ex = Executor::with_budget(
+            &cat,
+            ExecOptions::default(),
+            QueryBudget::unlimited().with_deadline(Duration::ZERO),
+        );
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(
+            ex.execute(&count_window(false)),
+            Err(Error::Aborted(AbortReason::DeadlineExceeded))
+        ));
+
+        // A row budget smaller than the scan output aborts; the same plan
+        // re-runs cleanly on an unlimited executor (no state was corrupted).
+        let mut ex = Executor::with_budget(
+            &cat,
+            ExecOptions::default(),
+            QueryBudget::unlimited().with_row_limit(5),
+        );
+        assert!(matches!(
+            ex.execute(&count_window(false)),
+            Err(Error::Aborted(AbortReason::RowLimitExceeded))
+        ));
+        let mut ok = Executor::new(&cat);
+        assert_eq!(ok.execute(&count_window(false)).unwrap().num_rows(), 100);
+
+        // A generous budget changes nothing: results and counters match an
+        // unbudgeted run, at serial and parallel execution alike.
+        for p in [1, 4] {
+            let mut budgeted = Executor::with_budget(
+                &cat,
+                ExecOptions::with_parallelism(p),
+                QueryBudget::unlimited()
+                    .with_row_limit(1_000_000)
+                    .with_deadline(Duration::from_secs(3600))
+                    .with_cancel(Arc::new(AtomicBool::new(false))),
+            );
+            let b = budgeted.execute(&count_window(false)).unwrap();
+            let mut plain = Executor::new(&cat);
+            let expect = plain.execute(&count_window(false)).unwrap();
+            assert_eq!(
+                (0..b.num_rows()).map(|i| b.row(i)).collect::<Vec<_>>(),
+                (0..expect.num_rows())
+                    .map(|i| expect.row(i))
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(budgeted.stats, plain.stats);
+        }
     }
 
     #[test]

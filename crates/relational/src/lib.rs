@@ -74,7 +74,7 @@ pub mod prelude {
         normalize_conjunct, CmpOp, ConstConstraint, DiffConstraint, Normalized,
     };
     pub use crate::cost::{estimate, Estimate};
-    pub use crate::error::{Error, Result};
+    pub use crate::error::{AbortReason, Error, Result};
     pub use crate::exec::{ExecStats, Executor};
     pub use crate::explain::{logical_to_json, physical_to_json};
     pub use crate::expr::{conjoin, disjoin, split_conjuncts, BinaryOp, ColumnRef, Expr};
@@ -82,7 +82,7 @@ pub mod prelude {
     pub use crate::optimizer::{optimize, optimize_default, OptimizerConfig};
     pub use crate::physical::{
         display_physical, lower, DeterministicMetrics, ExecContext, ExecOptions, MetricsCollector,
-        OperatorMetrics, PhysicalOperator,
+        OperatorMetrics, PhysicalOperator, QueryBudget,
     };
     pub use crate::plan::{ordering_satisfies, window_sort_keys, LogicalPlan};
     pub use crate::schema::{Field, Schema, SchemaRef};

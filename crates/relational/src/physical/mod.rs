@@ -41,11 +41,99 @@ pub use lower::lower;
 pub use metrics::{DeterministicMetrics, MetricsCollector, OperatorMetrics};
 
 use crate::batch::Batch;
-use crate::error::Result;
+use crate::error::{AbortReason, Error, Result};
 use crate::exec::ExecStats;
 use crate::table::Catalog;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-query robustness controls, checked cooperatively at operator batch
+/// boundaries (and per window partition on the Φ_C hot path).
+///
+/// A tripped budget aborts the query with a typed
+/// [`Error::Aborted`] — the plan unwinds without producing any partial
+/// rows, and shared state (catalog snapshots, the cleansed-sequence cache)
+/// is left exactly as consistent as before the run: an immediate re-run
+/// succeeds and matches an unbudgeted execution.
+///
+/// The default budget is unlimited; cloning shares the cancellation token.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBudget {
+    /// Abort once this wall-clock instant passes.
+    pub deadline: Option<Instant>,
+    /// Abort once more than this many rows have flowed out of operators
+    /// (cumulative over the whole plan — a work bound, not a LIMIT).
+    pub row_limit: Option<u64>,
+    /// Cooperative cancellation token; setting it to `true` aborts the
+    /// query at its next checkpoint.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl QueryBudget {
+    /// No limits at all (the default).
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// Abort when `timeout` from now has elapsed.
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Abort at the given absolute instant.
+    pub fn with_deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Abort once the plan has moved more than `rows` rows.
+    pub fn with_row_limit(mut self, rows: u64) -> Self {
+        self.row_limit = Some(rows);
+        self
+    }
+
+    /// Attach a shared cancellation token.
+    pub fn with_cancel(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Is any limit configured?
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.row_limit.is_some() || self.cancel.is_some()
+    }
+
+    /// Checkpoint: cancellation first (an explicit caller decision), then
+    /// the deadline. Called at every operator boundary and per window
+    /// partition; must stay cheap when unlimited.
+    pub fn check(&self) -> Result<()> {
+        if let Some(token) = &self.cancel {
+            if token.load(Ordering::Relaxed) {
+                return Err(Error::Aborted(AbortReason::Cancelled));
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(Error::Aborted(AbortReason::DeadlineExceeded));
+            }
+        }
+        Ok(())
+    }
+
+    /// Row-budget checkpoint against the cumulative rows the plan has
+    /// emitted so far.
+    pub fn check_rows(&self, rows_emitted: u64) -> Result<()> {
+        match self.row_limit {
+            Some(limit) if rows_emitted > limit => {
+                Err(Error::Aborted(AbortReason::RowLimitExceeded))
+            }
+            _ => Ok(()),
+        }
+    }
+}
 
 /// Execution knobs threaded from the system facade down to the operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,16 +172,29 @@ pub struct ExecContext<'a> {
     /// [`metrics::MetricsCollector`]); driven by the instrumented
     /// [`PhysicalOperator::execute`] wrapper around every operator.
     pub metrics: MetricsCollector,
+    /// Per-query robustness budget, checked by the instrumented
+    /// [`PhysicalOperator::execute`] wrapper at every operator boundary.
+    pub budget: QueryBudget,
+    /// Cumulative rows emitted by operators this execution — the quantity
+    /// [`QueryBudget::row_limit`] bounds.
+    pub rows_emitted: u64,
 }
 
 impl<'a> ExecContext<'a> {
     pub fn new(catalog: &'a Catalog, options: ExecOptions) -> Self {
+        Self::with_budget(catalog, options, QueryBudget::unlimited())
+    }
+
+    /// A context whose execution is bounded by `budget`.
+    pub fn with_budget(catalog: &'a Catalog, options: ExecOptions, budget: QueryBudget) -> Self {
         ExecContext {
             catalog,
             options,
             stats: ExecStats::default(),
             window_eval_nanos: 0,
             metrics: MetricsCollector::new(),
+            budget,
+            rows_emitted: 0,
         }
     }
 }
@@ -130,18 +231,27 @@ pub trait PhysicalOperator: std::fmt::Debug {
     /// recurse through the children's `execute`, never `execute_op`.
     fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch>;
 
-    /// Instrumented entry point: opens a [`metrics::MetricsCollector`]
-    /// frame, runs [`execute_op`](PhysicalOperator::execute_op), and closes
+    /// Instrumented entry point: checks the query budget (cancellation and
+    /// deadline) before running, opens a [`metrics::MetricsCollector`]
+    /// frame, runs [`execute_op`](PhysicalOperator::execute_op), closes
     /// the frame with the produced row count and the operator's inclusive
-    /// wall-clock. Callers (the executor and parent operators) always go
-    /// through this; operators implement `execute_op`.
+    /// wall-clock, and finally charges the produced rows against the row
+    /// budget. A tripped budget unwinds with [`Error::Aborted`]; parent
+    /// frames are closed on the way out, so metrics stay balanced and no
+    /// partial batch escapes. Callers (the executor and parent operators)
+    /// always go through this; operators implement `execute_op`.
     fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+        ctx.budget.check()?;
         ctx.metrics.enter(self.name(), self.label());
         let start = Instant::now();
         let result = self.execute_op(ctx);
         let nanos = start.elapsed().as_nanos() as u64;
         let rows_out = result.as_ref().map(|b| b.num_rows() as u64).unwrap_or(0);
         ctx.metrics.exit(rows_out, nanos);
+        ctx.rows_emitted += rows_out;
+        if result.is_ok() {
+            ctx.budget.check_rows(ctx.rows_emitted)?;
+        }
         result
     }
 }

@@ -79,6 +79,10 @@ impl PhysicalOperator for PhysicalWindow {
 
         if p <= 1 {
             for &range in &parts {
+                // Cancellation/deadline checkpoint per partition: the Φ_C
+                // hot path can dominate a query's runtime, so operator-entry
+                // checks alone would not be responsive.
+                ctx.budget.check()?;
                 let (vals, w) = ev.eval_partition(range)?;
                 work += w;
                 push_partition(&mut builders, &vals)?;
@@ -93,6 +97,7 @@ impl PhysicalOperator for PhysicalWindow {
             }
 
             type PartResult = (usize, Result<(Vec<Vec<Value>>, u64)>);
+            let budget = &ctx.budget;
             let shard_results: Vec<Vec<PartResult>> = std::thread::scope(|s| {
                 let handles: Vec<_> = shards
                     .iter()
@@ -102,7 +107,14 @@ impl PhysicalOperator for PhysicalWindow {
                         s.spawn(move || {
                             shard
                                 .iter()
-                                .map(|&pi| (pi, ev.eval_partition(parts[pi])))
+                                .map(|&pi| {
+                                    // Same per-partition checkpoint as the
+                                    // serial path; the abort surfaces through
+                                    // the earliest-partition error merge below.
+                                    let r =
+                                        budget.check().and_then(|()| ev.eval_partition(parts[pi]));
+                                    (pi, r)
+                                })
                                 .collect::<Vec<_>>()
                         })
                     })

@@ -1,0 +1,458 @@
+//! SQL pretty-printer: `Display` for the parsed AST.
+//!
+//! The printer is the inverse of the parser for every AST the parser can
+//! produce: `parse_query(&q.to_string()) == q`. That round-trip property is
+//! what the fuzz suite leans on, so the rules here mirror the grammar
+//! exactly:
+//!
+//! * operands are parenthesized **by precedence** — a child at a lower
+//!   binding level than its position requires is wrapped in `(...)`, so
+//!   re-parsing re-associates to the identical tree (the grammar is
+//!   left-associative, hence right operands demand one level more);
+//! * string literals re-escape `'` as `''`;
+//! * doubles print with a decimal point (`{:?}`), so `2.0` stays a
+//!   `Double` instead of re-lexing as an `Int`;
+//! * identifiers that would collide with a keyword or literal word
+//!   (`select`, `null`, `true`, …) print as quoted identifiers `"..."`.
+
+use super::ast::{
+    AstBinaryOp, AstExpr, FrameSpec, Query, Select, SelectItem, TableRef, WindowSpec,
+};
+use super::parser::is_reserved;
+use crate::value::Value;
+use crate::window::FrameUnits;
+use std::fmt;
+
+/// Words the factor grammar treats as literals, not column names.
+const LITERAL_WORDS: &[&str] = &["null", "true", "false"];
+
+/// Can `s` be printed as a bare identifier and re-lex to the same word?
+fn is_bare_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !is_reserved(s)
+        && !LITERAL_WORDS.iter().any(|w| s.eq_ignore_ascii_case(w))
+}
+
+fn fmt_ident(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    if is_bare_ident(s) {
+        f.write_str(s)
+    } else {
+        // Quoted identifier; the lexer has no escape for an inner quote.
+        write!(f, "\"{s}\"")
+    }
+}
+
+fn fmt_literal(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Int(i) => write!(f, "{i}"),
+        // `{:?}` keeps the decimal point (`2.0`, not `2`), so the literal
+        // re-lexes as a float. Non-finite values have no SQL spelling.
+        Value::Double(d) => write!(f, "{d:?}"),
+        Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+    }
+}
+
+/// Binding strength of an expression, mirroring the parser's descent:
+/// `or`(1) < `and`(2) < `not`(3) < predicate(4) < additive(5) < term(6)
+/// < factor(7).
+fn prec(e: &AstExpr) -> u8 {
+    match e {
+        AstExpr::Binary { op, .. } => match op {
+            AstBinaryOp::Or => 1,
+            AstBinaryOp::And => 2,
+            AstBinaryOp::Eq
+            | AstBinaryOp::NotEq
+            | AstBinaryOp::Lt
+            | AstBinaryOp::LtEq
+            | AstBinaryOp::Gt
+            | AstBinaryOp::GtEq => 4,
+            AstBinaryOp::Plus | AstBinaryOp::Minus => 5,
+            AstBinaryOp::Multiply | AstBinaryOp::Divide => 6,
+        },
+        AstExpr::Not(_) => 3,
+        AstExpr::IsNull { .. } | AstExpr::InList { .. } | AstExpr::Between { .. } => 4,
+        AstExpr::Column(..)
+        | AstExpr::Literal(_)
+        | AstExpr::Case { .. }
+        | AstExpr::Function { .. } => 7,
+    }
+}
+
+/// Print `e`, parenthesizing when it binds looser than `min` requires.
+fn fmt_expr(f: &mut fmt::Formatter<'_>, e: &AstExpr, min: u8) -> fmt::Result {
+    if prec(e) < min {
+        f.write_str("(")?;
+        fmt_expr(f, e, 0)?;
+        f.write_str(")")
+    } else {
+        fmt_expr_bare(f, e)
+    }
+}
+
+fn fmt_expr_bare(f: &mut fmt::Formatter<'_>, e: &AstExpr) -> fmt::Result {
+    match e {
+        AstExpr::Column(qualifier, name) => {
+            if let Some(q) = qualifier {
+                fmt_ident(f, q)?;
+                f.write_str(".")?;
+            }
+            fmt_ident(f, name)
+        }
+        AstExpr::Literal(v) => fmt_literal(f, v),
+        AstExpr::Binary { left, op, right } => {
+            // Left-associative grammar: the right operand needs one more
+            // level of binding than the left, or it re-associates.
+            let (lmin, rmin) = match op {
+                AstBinaryOp::Or => (1, 2),
+                AstBinaryOp::And => (2, 3),
+                // The predicate level admits exactly one comparison:
+                // a comparison operand must be parenthesized.
+                AstBinaryOp::Eq
+                | AstBinaryOp::NotEq
+                | AstBinaryOp::Lt
+                | AstBinaryOp::LtEq
+                | AstBinaryOp::Gt
+                | AstBinaryOp::GtEq => (5, 5),
+                AstBinaryOp::Plus | AstBinaryOp::Minus => (5, 6),
+                AstBinaryOp::Multiply | AstBinaryOp::Divide => (6, 7),
+            };
+            fmt_expr(f, left, lmin)?;
+            write!(f, " {op} ")?;
+            fmt_expr(f, right, rmin)
+        }
+        AstExpr::Not(inner) => {
+            f.write_str("not ")?;
+            fmt_expr(f, inner, 3)
+        }
+        AstExpr::IsNull { expr, negated } => {
+            fmt_expr(f, expr, 5)?;
+            f.write_str(if *negated { " is not null" } else { " is null" })
+        }
+        AstExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            fmt_expr(f, expr, 5)?;
+            f.write_str(if *negated { " not in (" } else { " in (" })?;
+            for (i, v) in list.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_literal(f, v)?;
+            }
+            f.write_str(")")
+        }
+        AstExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            fmt_expr(f, expr, 5)?;
+            f.write_str(if *negated {
+                " not between "
+            } else {
+                " between "
+            })?;
+            fmt_expr(f, low, 5)?;
+            f.write_str(" and ")?;
+            fmt_expr(f, high, 5)
+        }
+        AstExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            f.write_str("case")?;
+            for (cond, result) in branches {
+                f.write_str(" when ")?;
+                fmt_expr(f, cond, 0)?;
+                f.write_str(" then ")?;
+                fmt_expr(f, result, 0)?;
+            }
+            if let Some(e) = else_expr {
+                f.write_str(" else ")?;
+                fmt_expr(f, e, 0)?;
+            }
+            f.write_str(" end")
+        }
+        AstExpr::Function {
+            name,
+            args,
+            distinct,
+            over,
+        } => {
+            // A word followed by `(` always parses as a function call, so
+            // the name prints bare even when it collides with a keyword.
+            write!(f, "{name}(")?;
+            if *distinct {
+                f.write_str("distinct ")?;
+            }
+            match args {
+                None => f.write_str("*")?,
+                Some(args) => {
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        fmt_expr(f, a, 0)?;
+                    }
+                }
+            }
+            f.write_str(")")?;
+            if let Some(spec) = over {
+                write!(f, " over ({spec})")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for AstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(f, self, 0)
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut space = "";
+        if !self.partition_by.is_empty() {
+            f.write_str("partition by ")?;
+            for (i, e) in self.partition_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_expr(f, e, 0)?;
+            }
+            space = " ";
+        }
+        if !self.order_by.is_empty() {
+            write!(f, "{space}order by ")?;
+            for (i, (e, asc)) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_expr(f, e, 0)?;
+                f.write_str(if *asc { " asc" } else { " desc" })?;
+            }
+            space = " ";
+        }
+        if let Some(frame) = &self.frame {
+            write!(f, "{space}{frame}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FrameSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let units = match self.units {
+            FrameUnits::Rows => "rows",
+            FrameUnits::Range => "range",
+        };
+        // Always the explicit BETWEEN form; the shorthand is parse-only.
+        write!(f, "{units} between {} and {}", self.start, self.end)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ident(f, &self.name)?;
+        if let Some(a) = &self.alias {
+            f.write_str(" as ")?;
+            fmt_ident(f, a)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::Expr { expr, alias } => {
+                fmt_expr(f, expr, 0)?;
+                if let Some(a) = alias {
+                    f.write_str(" as ")?;
+                    fmt_ident(f, a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("select ")?;
+        if self.distinct {
+            f.write_str("distinct ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        f.write_str(" from ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            f.write_str(" where ")?;
+            fmt_expr(f, w, 0)?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" group by ")?;
+            for (i, e) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_expr(f, e, 0)?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" order by ")?;
+            for (i, (e, asc)) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_expr(f, e, 0)?;
+                f.write_str(if *asc { " asc" } else { " desc" })?;
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " limit {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.ctes.is_empty() {
+            f.write_str("with ")?;
+            for (i, (name, q)) in self.ctes.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_ident(f, name)?;
+                write!(f, " as ({q})")?;
+            }
+            f.write_str(" ")?;
+        }
+        write!(f, "{}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::{parse_expr, parse_query};
+
+    /// parse → print → parse must reproduce the AST byte-for-byte.
+    fn roundtrip_query(sql: &str) {
+        let q = parse_query(sql).unwrap();
+        let printed = q.to_string();
+        let q2 = parse_query(&printed).unwrap_or_else(|e| {
+            panic!("printed SQL failed to re-parse: {e}\n  input:   {sql}\n  printed: {printed}")
+        });
+        assert_eq!(
+            q, q2,
+            "round-trip diverged\n  input:   {sql}\n  printed: {printed}"
+        );
+    }
+
+    fn roundtrip_expr(sql: &str) {
+        let e = parse_expr(sql).unwrap();
+        let printed = e.to_string();
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| {
+            panic!("printed expr failed to re-parse: {err}\n  input:   {sql}\n  printed: {printed}")
+        });
+        assert_eq!(
+            e, e2,
+            "round-trip diverged\n  input:   {sql}\n  printed: {printed}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_basic_queries() {
+        roundtrip_query("select a, b as bb from t where a > 1 and b = 'x' limit 5");
+        roundtrip_query("select distinct * from t");
+        roundtrip_query("select c.epc from caser c, locs l1, locs l2 where c.biz_loc = l1.gln");
+        roundtrip_query("select epc, count(*) as n from r where rtime < 4 group by epc");
+        roundtrip_query("select a from t order by a desc, b asc limit 3");
+        roundtrip_query(
+            "with v1 as (select * from r where rtime < 10) select * from v1 where rtime > 5",
+        );
+    }
+
+    #[test]
+    fn roundtrip_windows() {
+        roundtrip_query(
+            "select max(biz_loc) over (partition by epc order by rtime asc \
+             rows between 1 preceding and 1 preceding) as prev_loc from r",
+        );
+        roundtrip_query(
+            "select max(x) over (partition by epc order by rtime \
+             range between 1 following and 300 following) as h from r",
+        );
+        roundtrip_query("select count(*) over () from r");
+        roundtrip_query("select sum(x) over (order by y rows 2 preceding) from r");
+    }
+
+    #[test]
+    fn roundtrip_predicates() {
+        roundtrip_expr("a in (1, 2, 3)");
+        roundtrip_expr("a not in ('x', 'it''s')");
+        roundtrip_expr("a between 1 and 5");
+        roundtrip_expr("a not between 1 + 1 and 5 * 2");
+        roundtrip_expr("a is not null");
+        roundtrip_expr("not a = 1");
+        roundtrip_expr("case when reader = 'rX' then 1 else 0 end");
+        roundtrip_expr("a = 1 or b = 2 and c = 3");
+        roundtrip_expr("1 + 2 * 3 - 4 / 5");
+        roundtrip_expr("a > -5");
+        roundtrip_expr("count(distinct x)");
+    }
+
+    #[test]
+    fn parenthesization_preserves_shape() {
+        // Forced right-association must survive the round trip.
+        roundtrip_expr("a - (b - c)");
+        roundtrip_expr("a / (b * c)");
+        roundtrip_expr("(a or b) and c");
+        roundtrip_expr("not (a and b)");
+        roundtrip_expr("(a = b) = (c = d)");
+        roundtrip_expr("(a + b) * c");
+    }
+
+    #[test]
+    fn literals_survive() {
+        // 2.0 must stay a Double (not collapse to Int 2).
+        roundtrip_expr("x = 2.0");
+        roundtrip_expr("x = 2.5");
+        roundtrip_expr("s = 'it''s'");
+        roundtrip_expr("x = null");
+        roundtrip_expr("x = true or x = false");
+        roundtrip_expr("x = -5");
+        roundtrip_expr("x - -5");
+    }
+
+    #[test]
+    fn reserved_identifiers_are_quoted() {
+        // A quoted identifier that collides with a keyword round-trips.
+        roundtrip_query("select \"select\" from t");
+        roundtrip_query("select \"null\", a from t as \"order\"");
+    }
+}

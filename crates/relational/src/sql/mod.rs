@@ -2,6 +2,7 @@
 //! paper's workloads (WITH, select-project-join, GROUP BY, OLAP windows).
 
 pub mod ast;
+pub mod display;
 pub mod lexer;
 pub mod parser;
 pub mod planner;

@@ -47,14 +47,23 @@ const RESERVED: &[&str] = &[
     "distinct",
 ];
 
-fn is_reserved(w: &str) -> bool {
+pub(crate) fn is_reserved(w: &str) -> bool {
     RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r))
 }
+
+/// Maximum expression nesting depth. The parser is recursive-descent, so
+/// pathological inputs like ten thousand open parens would otherwise blow
+/// the stack — a panic, where the contract is a parse *error*.
+pub(crate) const MAX_EXPR_DEPTH: usize = 64;
 
 /// Parse a SQL query string.
 pub fn parse_query(sql: &str) -> Result<Query> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let q = p.parse_query()?;
     p.expect_eof()?;
     Ok(q)
@@ -64,7 +73,11 @@ pub fn parse_query(sql: &str) -> Result<Query> {
 /// conditions re-expressed in SQL syntax).
 pub fn parse_expr(sql: &str) -> Result<AstExpr> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.parse_expr()?;
     p.expect_eof()?;
     Ok(e)
@@ -73,6 +86,7 @@ pub fn parse_expr(sql: &str) -> Result<AstExpr> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -150,7 +164,10 @@ impl Parser {
                 let name = self.expect_word()?;
                 self.expect_kw("as")?;
                 self.expect(&Token::LParen)?;
-                let q = self.parse_query()?;
+                // CTE bodies nest whole queries; charge the same depth
+                // budget as expressions so `with a as (with b as (…` can't
+                // recurse unboundedly.
+                let q = self.guarded(|p| p.parse_query())?;
                 self.expect(&Token::RParen)?;
                 ctes.push((name.to_ascii_lowercase(), q));
                 if !self.eat(&Token::Comma) {
@@ -262,7 +279,10 @@ impl Parser {
     }
 
     pub(crate) fn parse_expr(&mut self) -> Result<AstExpr> {
-        self.parse_or()
+        // Every nesting construct (parens, CASE, function args) funnels
+        // back through here, so one guard bounds the whole descent; NOT
+        // chains and unary minus carry their own charge below.
+        self.guarded(|p| p.parse_or())
     }
 
     fn parse_or(&mut self) -> Result<AstExpr> {
@@ -293,10 +313,26 @@ impl Parser {
 
     fn parse_not(&mut self) -> Result<AstExpr> {
         if self.eat_kw("not") {
-            Ok(AstExpr::Not(Box::new(self.parse_not()?)))
+            // Direct self-recursion (`not not …`) bypasses parse_expr, so
+            // it needs its own depth charge.
+            self.guarded(|p| Ok(AstExpr::Not(Box::new(p.parse_not()?))))
         } else {
             self.parse_predicate()
         }
+    }
+
+    /// Run `f` one nesting level deeper, erroring out past the bound.
+    fn guarded<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(Error::Parse(format!(
+                "expression nesting exceeds {MAX_EXPR_DEPTH} levels"
+            )));
+        }
+        let result = f(self);
+        self.depth -= 1;
+        result
     }
 
     fn parse_predicate(&mut self) -> Result<AstExpr> {
@@ -346,11 +382,14 @@ impl Parser {
             self.expect(&Token::LParen)?;
             let mut list = Vec::new();
             loop {
+                let negate = self.eat(&Token::Minus);
                 match self.next() {
-                    Token::Int(v) => list.push(Value::Int(v)),
-                    Token::Float(v) => list.push(Value::Double(v)),
-                    Token::Str(s) => list.push(Value::str(s)),
-                    Token::Word(w) if w.eq_ignore_ascii_case("null") => list.push(Value::Null),
+                    Token::Int(v) => list.push(Value::Int(if negate { -v } else { v })),
+                    Token::Float(v) => list.push(Value::Double(if negate { -v } else { v })),
+                    Token::Str(s) if !negate => list.push(Value::str(s)),
+                    Token::Word(w) if !negate && w.eq_ignore_ascii_case("null") => {
+                        list.push(Value::Null)
+                    }
                     other => {
                         return Err(Error::Parse(format!(
                             "IN list supports literals only, found {other}"
@@ -439,7 +478,7 @@ impl Parser {
             }
             Token::Minus => {
                 self.pos += 1;
-                let inner = self.parse_factor()?;
+                let inner = self.guarded(|p| p.parse_factor())?;
                 // Constant-fold negation of literals; otherwise 0 - x.
                 Ok(match inner {
                     AstExpr::Literal(Value::Int(v)) => AstExpr::Literal(Value::Int(-v)),

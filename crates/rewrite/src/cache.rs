@@ -28,7 +28,7 @@ use dc_relational::exec::{ExecStats, Executor};
 use dc_relational::expr::{ColumnRef, Expr};
 use dc_relational::index::IndexKey;
 use dc_relational::optimizer::optimize_default;
-use dc_relational::physical::{ExecOptions, OperatorMetrics};
+use dc_relational::physical::{ExecOptions, OperatorMetrics, QueryBudget};
 use dc_relational::plan::LogicalPlan;
 use dc_relational::table::{Catalog, Table};
 use dc_relational::value::Value;
@@ -153,8 +153,24 @@ impl Rewritten {
         options: ExecOptions,
         cache: &CleanseCache,
     ) -> Result<Executed> {
+        self.execute_cached_with_budget(catalog, options, cache, QueryBudget::unlimited())
+    }
+
+    /// [`Rewritten::execute_cached`] under a [`QueryBudget`]. Cache writes
+    /// happen only after the cleansing sub-plan for the missed sequences
+    /// completed in full, so an abort at any checkpoint leaves the cache
+    /// holding either pre-run entries or complete, valid new entries — an
+    /// immediate re-run succeeds and is byte-identical to an uncancelled
+    /// execution.
+    pub fn execute_cached_with_budget(
+        &self,
+        catalog: &Catalog,
+        options: ExecOptions,
+        cache: &CleanseCache,
+        budget: QueryBudget,
+    ) -> Result<Executed> {
         let Some(spec) = &self.cache_spec else {
-            return self.execute(catalog, options);
+            return self.execute_with_budget(catalog, options, budget);
         };
         let mut stats = ExecStats::default();
         let mut window_eval_nanos = 0u64;
@@ -163,7 +179,7 @@ impl Rewritten {
 
         // 1. The distinct sequence set, in the engine's total value order —
         // the same order the cleansing plan's (ckey, skey) sort yields.
-        let mut ex = Executor::with_options(catalog, options);
+        let mut ex = Executor::with_budget(catalog, options, budget.clone());
         let seq = ex.execute(&spec.seqset)?;
         stats.add(&ex.stats);
         window_eval_nanos += ex.window_eval_nanos;
@@ -223,7 +239,7 @@ impl Rewritten {
                 Some(&spec.alias),
             )?;
             let plan = optimize_default(plan, catalog);
-            let mut ex = Executor::with_options(catalog, options);
+            let mut ex = Executor::with_budget(catalog, options, budget.clone());
             let out = ex.execute(&plan)?;
             stats.add(&ex.stats);
             window_eval_nanos += ex.window_eval_nanos;
@@ -274,10 +290,13 @@ impl Rewritten {
         };
         let assembled_rows = assembled.num_rows() as u64;
 
+        // Phase checkpoint: probing and reassembly are pure in-memory work,
+        // but the tail can be expensive — re-check before starting it.
+        budget.check()?;
         let overlay = catalog.overlay();
         overlay.register(Table::new(&spec.placeholder, assembled));
         let tail = optimize_default(spec.tail.clone(), &overlay);
-        let mut ex = Executor::with_options(&overlay, options);
+        let mut ex = Executor::with_budget(&overlay, options, budget.clone());
         let batch = ex.execute(&tail)?;
         stats.add(&ex.stats);
         window_eval_nanos += ex.window_eval_nanos;

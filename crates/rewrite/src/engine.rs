@@ -25,7 +25,7 @@ use dc_relational::exec::Executor;
 use dc_relational::expr::{conjoin, disjoin, ColumnRef, Expr};
 use dc_relational::join::JoinType;
 use dc_relational::optimizer::optimize_default;
-use dc_relational::physical::ExecOptions;
+use dc_relational::physical::{ExecOptions, QueryBudget};
 use dc_relational::plan::LogicalPlan;
 use dc_relational::table::Catalog;
 use dc_rules::{cleansing_plan_qualified, validate_chain, RuleTemplate};
@@ -97,7 +97,20 @@ impl Rewritten {
     /// ranking) is unaffected by it, and results and work counters are
     /// identical at any parallelism.
     pub fn execute(&self, catalog: &Catalog, options: ExecOptions) -> Result<Executed> {
-        let mut ex = Executor::with_options(catalog, options);
+        self.execute_with_budget(catalog, options, QueryBudget::unlimited())
+    }
+
+    /// [`Rewritten::execute`] under a [`QueryBudget`]: the plan aborts with
+    /// `Error::Aborted` at the next operator (or window-partition)
+    /// checkpoint once the deadline passes, the cancellation token flips,
+    /// or the row budget is exhausted — never returning partial rows.
+    pub fn execute_with_budget(
+        &self,
+        catalog: &Catalog,
+        options: ExecOptions,
+        budget: QueryBudget,
+    ) -> Result<Executed> {
+        let mut ex = Executor::with_budget(catalog, options, budget);
         let batch = ex.execute(&self.plan)?;
         Ok(Executed {
             batch,

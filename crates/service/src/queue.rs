@@ -1,0 +1,145 @@
+//! A bounded multi-producer/multi-consumer admission queue.
+//!
+//! Backpressure policy: the queue **rejects** instead of blocking —
+//! [`Bounded::try_push`] on a full queue fails immediately so the caller
+//! can surface `Overloaded` to its client rather than stacking latency.
+//! Consumers block on a condvar; closing the queue wakes everyone and
+//! drains the remaining jobs before the `None` sentinel.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the value is handed back.
+    Full(T),
+    /// The queue was closed; the value is handed back.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue with reject-on-full semantics.
+#[derive(Debug)]
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` queued items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently queued items.
+    pub fn len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit an item, or reject immediately when full/closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.queue.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        g.queue.push_back(item);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available or the queue is closed *and*
+    /// drained; `None` means "no more work, ever".
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.queue.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue: further pushes fail, consumers drain what is
+    /// queued and then observe `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_drains_on_close() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.try_push(4), Err(PushError::Closed(4)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn consumers_wake_on_push_and_close() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for v in 0..4 {
+            while q.try_push(v).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

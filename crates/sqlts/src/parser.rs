@@ -13,7 +13,11 @@ use dc_relational::value::Value;
 /// Parse one rule definition.
 pub fn parse_rule(text: &str) -> Result<RuleDef> {
     let tokens = tokenize(text)?;
-    let mut p = RuleParser { tokens, pos: 0 };
+    let mut p = RuleParser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let rule = p.parse_rule()?;
     p.expect_eof()?;
     Ok(rule)
@@ -22,7 +26,11 @@ pub fn parse_rule(text: &str) -> Result<RuleDef> {
 /// Parse a rule condition on its own (useful for tests and tooling).
 pub fn parse_condition(text: &str) -> Result<Expr> {
     let tokens = tokenize(text)?;
-    let mut p = RuleParser { tokens, pos: 0 };
+    let mut p = RuleParser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.parse_expr()?;
     p.expect_eof()?;
     Ok(e)
@@ -39,9 +47,14 @@ fn time_unit_seconds(word: &str) -> Option<i64> {
     }
 }
 
+/// Maximum condition nesting depth; the descent is recursive, so wildly
+/// nested input must fail with a parse error, not a stack overflow.
+const MAX_EXPR_DEPTH: usize = 64;
+
 struct RuleParser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl RuleParser {
@@ -200,7 +213,21 @@ impl RuleParser {
     // --- condition expression grammar (subset of SQL + time units) ---
 
     fn parse_expr(&mut self) -> Result<Expr> {
-        self.parse_or()
+        self.guarded(|p| p.parse_or())
+    }
+
+    /// Run `f` one nesting level deeper, erroring out past the bound.
+    fn guarded<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(Error::Parse(format!(
+                "condition nesting exceeds {MAX_EXPR_DEPTH} levels"
+            )));
+        }
+        let result = f(self);
+        self.depth -= 1;
+        result
     }
 
     fn parse_or(&mut self) -> Result<Expr> {
@@ -221,7 +248,8 @@ impl RuleParser {
 
     fn parse_not(&mut self) -> Result<Expr> {
         if self.eat_kw("not") {
-            Ok(Expr::Not(Box::new(self.parse_not()?)))
+            // Direct self-recursion bypasses parse_expr's charge.
+            self.guarded(|p| Ok(Expr::Not(Box::new(p.parse_not()?))))
         } else {
             self.parse_predicate()
         }
@@ -349,7 +377,7 @@ impl RuleParser {
             }
             Token::Minus => {
                 self.pos += 1;
-                let inner = self.parse_factor()?;
+                let inner = self.guarded(|p| p.parse_factor())?;
                 Ok(match inner {
                     Expr::Literal(Value::Int(v)) => Expr::lit(-v),
                     Expr::Literal(Value::Double(v)) => Expr::lit(-v),

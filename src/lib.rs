@@ -14,7 +14,10 @@
 //! * [`rewrite`] — the expanded and join-back query rewrites,
 //! * [`rfidgen`] — the RFIDGen synthetic workload generator,
 //! * [`core`] — the [`core::DeferredCleansingSystem`] facade tying it all
-//!   together.
+//!   together,
+//! * [`service`] — the concurrent snapshot query service
+//!   ([`service::QueryService`]): worker pool over epoch-stamped catalog
+//!   snapshots, live append ingest, deadlines and cancellation.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -23,6 +26,7 @@ pub use dc_relational as relational;
 pub use dc_rewrite as rewrite;
 pub use dc_rfidgen as rfidgen;
 pub use dc_rules as rules;
+pub use dc_service as service;
 pub use dc_sqlts as sqlts;
 
 pub use dc_core::DeferredCleansingSystem;

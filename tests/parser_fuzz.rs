@@ -1,0 +1,525 @@
+//! Fuzz / property tests for the SQL and SQL-TS front ends.
+//!
+//! Two properties, both seeded and reproducible:
+//!
+//! 1. **Round-trip**: for generated ASTs (SQL) and generated rule texts
+//!    (SQL-TS), `parse(pretty_print(x)) == x`. The SQL side generates the
+//!    AST directly — every parser-producible shape, not just what example
+//!    queries happen to cover — and leans on the `Display` impls added in
+//!    `sql::display`.
+//! 2. **No panics**: for adversarial token soups and raw character noise,
+//!    the parsers must return `Err` (or `Ok`), never panic. Any panic found
+//!    by the generator gets pinned as an explicit regression case below.
+
+use deferred_cleansing::relational::sql::ast::*;
+use deferred_cleansing::relational::sql::lexer::tokenize;
+use deferred_cleansing::relational::sql::{parse_expr, parse_query};
+use deferred_cleansing::relational::value::Value;
+use deferred_cleansing::relational::window::{FrameBound, FrameUnits};
+use deferred_cleansing::sqlts::{parse_condition, parse_rule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Identifier pool. Only bare-printable, non-keyword words: identifiers
+/// that collide with keywords or literal words (`select`, `null`, …) are
+/// not parser-producible ASTs — the lexer strips identifier quoting, so
+/// `"null"` re-lexes as the NULL literal — and the quoting fallback is
+/// covered by the pinned display tests instead.
+const IDENTS: &[&str] = &["a", "b", "c", "epc", "rtime", "biz_loc", "t0", "x_1"];
+
+fn ident(rng: &mut StdRng) -> String {
+    IDENTS[rng.gen_range(0usize..IDENTS.len())].to_string()
+}
+
+/// Function-name pool (the grammar cannot quote these).
+fn bare_ident(rng: &mut StdRng) -> String {
+    IDENTS[rng.gen_range(0usize..IDENTS.len())].to_string()
+}
+
+/// A literal the parser can produce in expression position.
+fn literal(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0u8..6) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen_range(-1000i64..1000)),
+        3 => Value::Double(rng.gen_range(-4000i64..4000) as f64 / 8.0),
+        4 => Value::str(format!("s{}", rng.gen_range(0u16..100))),
+        // Strings with embedded quotes exercise the '' escape.
+        _ => Value::str(format!("it's {}", rng.gen_range(0u8..10))),
+    }
+}
+
+/// A literal valid inside an IN list (no booleans there, per the grammar).
+fn in_list_literal(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0u8..4) {
+        0 => Value::Null,
+        1 => Value::Int(rng.gen_range(-100i64..100)),
+        2 => Value::Double(rng.gen_range(-800i64..800) as f64 / 4.0),
+        _ => Value::str(format!("v'{}", rng.gen_range(0u8..20))),
+    }
+}
+
+fn column(rng: &mut StdRng) -> AstExpr {
+    let qualifier = rng.gen_bool(0.3).then(|| ident(rng));
+    AstExpr::Column(qualifier, ident(rng))
+}
+
+fn gen_expr(rng: &mut StdRng, depth: u32) -> AstExpr {
+    if depth == 0 {
+        return if rng.gen_bool(0.5) {
+            column(rng)
+        } else {
+            AstExpr::Literal(literal(rng))
+        };
+    }
+    match rng.gen_range(0u8..10) {
+        0 | 1 => column(rng),
+        2 => AstExpr::Literal(literal(rng)),
+        3 | 4 => {
+            use AstBinaryOp::*;
+            const OPS: &[AstBinaryOp] = &[
+                Eq, NotEq, Lt, LtEq, Gt, GtEq, Plus, Minus, Multiply, Divide, And, Or,
+            ];
+            AstExpr::Binary {
+                left: Box::new(gen_expr(rng, depth - 1)),
+                op: OPS[rng.gen_range(0usize..OPS.len())],
+                right: Box::new(gen_expr(rng, depth - 1)),
+            }
+        }
+        5 => AstExpr::Not(Box::new(gen_expr(rng, depth - 1))),
+        6 => AstExpr::IsNull {
+            expr: Box::new(gen_expr(rng, depth - 1)),
+            negated: rng.gen_bool(0.5),
+        },
+        7 => {
+            let n = rng.gen_range(1usize..4);
+            AstExpr::InList {
+                expr: Box::new(gen_expr(rng, depth - 1)),
+                list: (0..n).map(|_| in_list_literal(rng)).collect(),
+                negated: rng.gen_bool(0.5),
+            }
+        }
+        8 => AstExpr::Between {
+            expr: Box::new(gen_expr(rng, depth - 1)),
+            low: Box::new(gen_expr(rng, depth - 1)),
+            high: Box::new(gen_expr(rng, depth - 1)),
+            negated: rng.gen_bool(0.5),
+        },
+        _ => {
+            if rng.gen_bool(0.4) {
+                let n = rng.gen_range(1usize..3);
+                AstExpr::Case {
+                    branches: (0..n)
+                        .map(|_| (gen_expr(rng, depth - 1), gen_expr(rng, depth - 1)))
+                        .collect(),
+                    else_expr: rng
+                        .gen_bool(0.5)
+                        .then(|| Box::new(gen_expr(rng, depth - 1))),
+                }
+            } else {
+                gen_function(rng, depth)
+            }
+        }
+    }
+}
+
+fn gen_function(rng: &mut StdRng, depth: u32) -> AstExpr {
+    let star = rng.gen_bool(0.25);
+    let args = if star {
+        None
+    } else {
+        let n = rng.gen_range(0usize..3);
+        Some((0..n).map(|_| gen_expr(rng, depth - 1)).collect())
+    };
+    let over = rng.gen_bool(0.4).then(|| gen_window_spec(rng, depth));
+    AstExpr::Function {
+        name: bare_ident(rng),
+        args,
+        distinct: !star && rng.gen_bool(0.3),
+        over,
+    }
+}
+
+fn gen_window_spec(rng: &mut StdRng, depth: u32) -> WindowSpec {
+    let frame = rng.gen_bool(0.6).then(|| {
+        let bound = |rng: &mut StdRng| match rng.gen_range(0u8..5) {
+            0 => FrameBound::UnboundedPreceding,
+            1 => FrameBound::Preceding(rng.gen_range(0i64..100)),
+            2 => FrameBound::CurrentRow,
+            3 => FrameBound::Following(rng.gen_range(0i64..100)),
+            _ => FrameBound::UnboundedFollowing,
+        };
+        FrameSpec {
+            units: if rng.gen_bool(0.5) {
+                FrameUnits::Rows
+            } else {
+                FrameUnits::Range
+            },
+            start: bound(rng),
+            end: bound(rng),
+        }
+    });
+    WindowSpec {
+        partition_by: (0..rng.gen_range(0usize..3))
+            .map(|_| gen_expr(rng, depth.saturating_sub(1)))
+            .collect(),
+        order_by: (0..rng.gen_range(0usize..3))
+            .map(|_| (gen_expr(rng, depth.saturating_sub(1)), rng.gen_bool(0.5)))
+            .collect(),
+        frame,
+    }
+}
+
+fn gen_select(rng: &mut StdRng, depth: u32) -> Select {
+    let n_items = rng.gen_range(1usize..4);
+    let items = (0..n_items)
+        .map(|_| {
+            if rng.gen_bool(0.15) {
+                SelectItem::Wildcard
+            } else {
+                SelectItem::Expr {
+                    expr: gen_expr(rng, depth),
+                    alias: rng.gen_bool(0.4).then(|| ident(rng)),
+                }
+            }
+        })
+        .collect();
+    let from = (0..rng.gen_range(1usize..3))
+        .map(|_| TableRef {
+            name: ident(rng),
+            alias: rng.gen_bool(0.4).then(|| ident(rng)),
+        })
+        .collect();
+    Select {
+        distinct: rng.gen_bool(0.2),
+        items,
+        from,
+        where_clause: rng.gen_bool(0.6).then(|| gen_expr(rng, depth)),
+        group_by: (0..rng.gen_range(0usize..3))
+            .map(|_| gen_expr(rng, depth.saturating_sub(1)))
+            .collect(),
+        order_by: (0..rng.gen_range(0usize..3))
+            .map(|_| (gen_expr(rng, depth.saturating_sub(1)), rng.gen_bool(0.5)))
+            .collect(),
+        limit: rng.gen_bool(0.3).then(|| rng.gen_range(0usize..1000)),
+    }
+}
+
+fn gen_query(rng: &mut StdRng, depth: u32) -> Query {
+    // CTE bodies are whole queries; only nest while depth remains, or the
+    // expected branching factor makes unbounded recursion possible.
+    let n_ctes = if depth >= 2 {
+        rng.gen_range(0usize..3)
+    } else {
+        0
+    };
+    Query {
+        ctes: (0..n_ctes)
+            .map(|i| (format!("cte{i}"), gen_query(rng, depth - 2)))
+            .collect(),
+        body: gen_select(rng, depth),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip properties
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sql_query_roundtrip_generated() {
+    for case in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(0xF022_0000 + case);
+        let q = gen_query(&mut rng, 4);
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed).unwrap_or_else(|e| {
+            panic!("case {case}: printed query failed to parse: {e}\n  printed: {printed}")
+        });
+        assert_eq!(
+            q, reparsed,
+            "case {case}: round-trip diverged\n  printed: {printed}"
+        );
+    }
+}
+
+#[test]
+fn sql_expr_roundtrip_generated() {
+    for case in 0..600u64 {
+        let mut rng = StdRng::seed_from_u64(0xE022_0000 + case);
+        let e = gen_expr(&mut rng, 5);
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed).unwrap_or_else(|err| {
+            panic!("case {case}: printed expr failed to parse: {err}\n  printed: {printed}")
+        });
+        assert_eq!(
+            e, reparsed,
+            "case {case}: round-trip diverged\n  printed: {printed}"
+        );
+    }
+}
+
+/// Generated SQL-TS rules: random grammar pieces, then parse → Display →
+/// parse must reproduce the rule (names, pattern, folded condition,
+/// action — all of it).
+#[test]
+fn sqlts_rule_roundtrip_generated() {
+    let patterns = ["(A, B)", "(A, *B)", "(A, B, C)", "(*A, B)", "(A, *B, C)"];
+    let conditions = [
+        "A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins",
+        "B.rtime - A.rtime < 300",
+        "A.reader = 'rX' or B.rtime - A.rtime <= 2 hours",
+        "B.biz_loc != A.biz_loc and B.rtime - A.rtime < 1 day",
+        "A.rtime >= 100 and A.rtime <= 2000 and B.rtime - A.rtime < 90 secs",
+        "not (A.biz_loc = B.biz_loc) and B.rtime - A.rtime < 10 minutes",
+    ];
+    let actions = [
+        "DELETE B",
+        "KEEP A",
+        "MODIFY B.biz_loc = A.biz_loc",
+        "MODIFY B.rtime = A.rtime + 60, B.biz_loc = A.biz_loc",
+    ];
+    for case in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0x2517_0000 + case);
+        let from = if rng.gen_bool(0.3) {
+            "\nFROM palletr"
+        } else {
+            ""
+        };
+        let text = format!(
+            "DEFINE rule{case}\nON caser{from}\nCLUSTER BY epc\nSEQUENCE BY rtime\nAS {}\nWHERE {}\nACTION {}",
+            patterns[rng.gen_range(0usize..patterns.len())],
+            conditions[rng.gen_range(0usize..conditions.len())],
+            actions[rng.gen_range(0usize..actions.len())],
+        );
+        let rule = match parse_rule(&text) {
+            Ok(r) => r,
+            Err(e) => panic!("case {case}: generated rule rejected: {e}\n{text}"),
+        };
+        let printed = rule.to_string();
+        let reparsed = parse_rule(&printed).unwrap_or_else(|e| {
+            panic!("case {case}: printed rule failed to parse: {e}\n  printed:\n{printed}")
+        });
+        assert_eq!(
+            rule, reparsed,
+            "case {case}: rule round-trip diverged\n  printed:\n{printed}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// No-panic fuzzing
+// ---------------------------------------------------------------------------
+
+/// Vocabulary for token-soup inputs: valid fragments recombined invalidly.
+const SOUP: &[&str] = &[
+    "select",
+    "from",
+    "where",
+    "group",
+    "by",
+    "order",
+    "limit",
+    "and",
+    "or",
+    "not",
+    "in",
+    "between",
+    "is",
+    "null",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "over",
+    "partition",
+    "rows",
+    "range",
+    "preceding",
+    "following",
+    "unbounded",
+    "current",
+    "row",
+    "distinct",
+    "as",
+    "with",
+    "(",
+    ")",
+    ",",
+    ".",
+    "*",
+    "+",
+    "-",
+    "/",
+    "=",
+    "!=",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "<>",
+    "1",
+    "0",
+    "42",
+    "1.5",
+    "'x'",
+    "''",
+    "a",
+    "t",
+    "epc",
+    "count",
+    "max",
+    "define",
+    "on",
+    "cluster",
+    "sequence",
+    "action",
+    "delete",
+    "keep",
+    "modify",
+    "mins",
+    "hours",
+];
+
+fn soup_string(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(0usize..40);
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push_str(SOUP[rng.gen_range(0usize..SOUP.len())]);
+        if rng.gen_bool(0.8) {
+            s.push(' ');
+        }
+    }
+    s
+}
+
+fn noise_string(rng: &mut StdRng) -> String {
+    const CHARS: &[u8] = b"abcXYZ019 \t\n'\"().,*+-/=!<>_;%$#@[]{}\\`~?&|^";
+    let n = rng.gen_range(0usize..80);
+    (0..n)
+        .map(|_| CHARS[rng.gen_range(0usize..CHARS.len())] as char)
+        .collect()
+}
+
+/// Every front-end entry point must return Ok/Err on arbitrary input —
+/// a panic is a bug even when the input is garbage.
+fn assert_no_panic(input: &str) {
+    let owned = input.to_string();
+    let result = std::panic::catch_unwind(move || {
+        let _ = tokenize(&owned);
+        let _ = parse_query(&owned);
+        let _ = parse_expr(&owned);
+        let _ = parse_rule(&owned);
+        let _ = parse_condition(&owned);
+    });
+    assert!(result.is_ok(), "parser panicked on input: {input:?}");
+}
+
+#[test]
+fn parsers_never_panic_on_token_soup() {
+    for case in 0..1500u64 {
+        let mut rng = StdRng::seed_from_u64(0x50_0000 + case);
+        assert_no_panic(&soup_string(&mut rng));
+    }
+}
+
+#[test]
+fn parsers_never_panic_on_character_noise() {
+    for case in 0..1500u64 {
+        let mut rng = StdRng::seed_from_u64(0x401_5E00 + case);
+        assert_no_panic(&noise_string(&mut rng));
+    }
+}
+
+/// Pinned edge cases: inputs that target specific parser code paths
+/// (lookahead at EOF, unterminated literals, deep nesting, stray tokens).
+/// None may panic; parse failures are expected and fine.
+#[test]
+fn pinned_parser_regressions() {
+    let cases = [
+        "",
+        " ",
+        "--",
+        "-- only a comment",
+        "'",
+        "'unterminated",
+        "\"",
+        "\"unterminated ident",
+        "select",
+        "select from",
+        "select * from",
+        "select * from t where",
+        "select * from t limit",
+        "select * from t limit 99999999999999999999999",
+        "select a from t order by",
+        "select f( from t",
+        "select count(* from t",
+        "select a over from t",
+        "select max(x) over ( from t",
+        "select max(x) over (rows between 1 preceding and) from t",
+        "a between 1",
+        "a between 1 and",
+        "a not",
+        "not",
+        "a in ()",
+        "a in (select)",
+        "case",
+        "case end",
+        "case when a then",
+        "1 + ",
+        "1..2",
+        ".5",
+        "a.",
+        ".a",
+        "a . b . c",
+        "9223372036854775808",           // i64::MAX + 1
+        "-9223372036854775809",          // i64::MIN - 1
+        "select 1 from t, where a = 1",  // dangling comma before keyword
+        "with v as (select 1 from t)",   // CTE without body
+        "with v as select 1 from t select * from v", // missing parens
+        "DEFINE",
+        "DEFINE r ON",
+        "DEFINE r ON t CLUSTER BY",
+        "DEFINE r ON t CLUSTER BY k SEQUENCE BY s AS",
+        "DEFINE r ON t CLUSTER BY k SEQUENCE BY s AS (A WHERE 1 ACTION DELETE A",
+        "DEFINE r ON t CLUSTER BY k SEQUENCE BY s AS (A, B) WHERE ACTION DELETE B",
+        "DEFINE r ON t CLUSTER BY k SEQUENCE BY s AS (A, B) WHERE 1 ACTION",
+        "DEFINE r ON t CLUSTER BY k SEQUENCE BY s AS (A, B) WHERE 1 ACTION MODIFY",
+        "DEFINE r ON t CLUSTER BY k SEQUENCE BY s AS (A, B) WHERE a.rtime < 5 bogus_unit ACTION DELETE B",
+    ];
+    for c in cases {
+        assert_no_panic(c);
+    }
+    // Deep nesting must yield a parse error, not a stack overflow. Found
+    // by the generators above: each construct recurses in the descent.
+    let deep = format!("{}1{}", "(".repeat(5000), ")".repeat(5000));
+    assert_no_panic(&deep);
+    assert!(parse_expr(&deep).is_err());
+    let deep_not = format!("{}a", "not ".repeat(5000));
+    assert_no_panic(&deep_not);
+    assert!(parse_expr(&deep_not).is_err());
+    let deep_neg = format!("{}1", "- ".repeat(5000));
+    assert_no_panic(&deep_neg);
+    let deep_cte = format!(
+        "{}select a from t",
+        "with v as (".repeat(5000) // unbalanced on purpose: error either way
+    );
+    assert_no_panic(&deep_cte);
+    assert!(parse_query(&deep_cte).is_err());
+    let deep_case = format!(
+        "{}1{}",
+        "case when ".repeat(2000),
+        " then 1 else 0 end".repeat(2000)
+    );
+    assert_no_panic(&deep_case);
+    let deep_rule_cond = format!(
+        "DEFINE r ON t CLUSTER BY k SEQUENCE BY s AS (A, B) WHERE {}a.x = 1{} ACTION DELETE B",
+        "(".repeat(5000),
+        ")".repeat(5000)
+    );
+    assert_no_panic(&deep_rule_cond);
+    assert!(parse_rule(&deep_rule_cond).is_err());
+}

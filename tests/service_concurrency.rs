@@ -1,0 +1,273 @@
+//! Concurrency stress suite for the snapshot query service.
+//!
+//! K reader threads hammer a [`QueryService`] with seeded queries (mixed
+//! strategies, cleanse cache enabled) while one appender publishes new
+//! epochs. Every reply records the epoch it ran against; afterwards each
+//! reply is re-executed **serially** on a fresh, cache-free system built
+//! over that exact recorded snapshot, and the rows must match byte for
+//! byte. That single oracle covers the whole contract:
+//!
+//! * snapshot isolation — a query never sees a torn catalog or rows from a
+//!   different epoch;
+//! * cache-epoch safety — the shared cleanse cache never serves an entry
+//!   cleansed at another epoch (any cross-epoch pollution would diverge
+//!   from the uncached replay);
+//! * publication order — the final catalog equals the serial append order.
+
+use deferred_cleansing::relational::prelude::*;
+use deferred_cleansing::rewrite::Strategy;
+use deferred_cleansing::service::{QueryRequest, QueryService, ServiceConfig, Snapshot};
+use deferred_cleansing::DeferredCleansingSystem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+
+const DUP: &str = "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+    WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B";
+
+/// Query pool: cleansed threshold scans, an aggregate, and one rule-free
+/// application (no rewrite) — all deterministic for a fixed snapshot.
+const POOL: &[(&str, &str)] = &[
+    ("app", "select epc, rtime from caser"),
+    ("app", "select epc, rtime from caser where rtime < 900"),
+    (
+        "app",
+        "select epc, rtime, biz_loc from caser where rtime < 1500",
+    ),
+    (
+        "app",
+        "select epc, count(*) as n from caser group by epc order by epc",
+    ),
+    ("norules", "select epc, rtime from caser where rtime < 600"),
+];
+
+const STRATEGIES: &[Strategy] = &[Strategy::Auto, Strategy::Expanded, Strategy::JoinBack];
+
+fn reads_schema() -> SchemaRef {
+    schema_ref(Schema::new(vec![
+        Field::new("epc", DataType::Str),
+        Field::new("rtime", DataType::Int),
+        Field::new("biz_loc", DataType::Str),
+    ]))
+}
+
+fn seed_rows(rng: &mut StdRng, n: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|_| {
+            vec![
+                Value::str(format!("e{}", rng.gen_range(0u8..4))),
+                Value::Int(rng.gen_range(0i64..2000)),
+                Value::str(format!("loc{}", rng.gen_range(0u8..3))),
+            ]
+        })
+        .collect()
+}
+
+fn rows_of(batch: &Batch) -> Vec<Vec<Value>> {
+    (0..batch.num_rows()).map(|i| batch.row(i)).collect()
+}
+
+/// One observed reply: which query, which strategy, which epoch, what rows.
+struct Observation {
+    pool_idx: usize,
+    strategy: Strategy,
+    epoch: u64,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Serial oracle: a fresh, cache-free system over the recorded snapshot.
+fn serial_replay(snap: &Snapshot, pool_idx: usize, strategy: Strategy) -> Vec<Vec<Value>> {
+    let sys = DeferredCleansingSystem::with_catalog(Arc::clone(&snap.catalog));
+    sys.define_rule("app", DUP).unwrap();
+    let (app, sql) = POOL[pool_idx];
+    let (batch, _) = sys.query_with_strategy(app, sql, strategy).unwrap();
+    rows_of(&batch)
+}
+
+fn run_session(k: usize, seed: u64, total_rounds: usize, appends: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = Arc::new(Catalog::new());
+    catalog.register(Table::new(
+        "caser",
+        Batch::from_rows(reads_schema(), &seed_rows(&mut rng, 40)).unwrap(),
+    ));
+    let mut sys = DeferredCleansingSystem::with_catalog(catalog);
+    sys.define_rule("app", DUP).unwrap();
+    sys.enable_cleanse_cache(256);
+
+    let svc = Arc::new(QueryService::start(
+        sys,
+        ServiceConfig {
+            workers: k,
+            queue_capacity: 2 * k + appends,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    // Snapshot registry, epoch -> frozen snapshot. Epoch 0 is pre-append.
+    let snapshots = Arc::new(Mutex::new(vec![svc.snapshot()]));
+
+    // The appender: publishes `appends` epochs, recording each snapshot
+    // and the batch it appended (for the final serial-order check).
+    let appender = {
+        let svc = Arc::clone(&svc);
+        let snapshots = Arc::clone(&snapshots);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA11E_17D0);
+        std::thread::spawn(move || {
+            let mut appended = Vec::new();
+            for _ in 0..appends {
+                let n = rng.gen_range(1usize..6);
+                let rows = seed_rows(&mut rng, n);
+                let batch = Batch::from_rows(reads_schema(), &rows).unwrap();
+                let snap = svc.append("caser", batch).unwrap();
+                snapshots.lock().unwrap().push(Arc::clone(&snap));
+                appended.push(rows);
+                std::thread::yield_now();
+            }
+            appended
+        })
+    };
+
+    // K readers, each issuing its share of the seeded rounds.
+    let rounds_per_reader = total_rounds.div_ceil(k);
+    let readers: Vec<_> = (0..k)
+        .map(|r| {
+            let svc = Arc::clone(&svc);
+            let mut rng = StdRng::seed_from_u64(seed ^ (0xBEAD_0000 + r as u64));
+            std::thread::spawn(move || {
+                let mut observed = Vec::new();
+                for _ in 0..rounds_per_reader {
+                    let pool_idx = rng.gen_range(0usize..POOL.len());
+                    // The expanded rewrite needs a selective predicate to
+                    // derive a context condition; unfiltered queries only
+                    // run under Auto / JoinBack.
+                    let strategy = if POOL[pool_idx].1.contains("where") {
+                        STRATEGIES[rng.gen_range(0usize..STRATEGIES.len())]
+                    } else {
+                        [Strategy::Auto, Strategy::JoinBack][rng.gen_range(0usize..2)]
+                    };
+                    let (app, sql) = POOL[pool_idx];
+                    let resp = svc
+                        .execute(QueryRequest::new(app, sql).with_strategy(strategy))
+                        .unwrap();
+                    observed.push(Observation {
+                        pool_idx,
+                        strategy,
+                        epoch: resp.service.snapshot_epoch,
+                        rows: rows_of(&resp.batch),
+                    });
+                }
+                observed
+            })
+        })
+        .collect();
+
+    let appended = appender.join().unwrap();
+    let observations: Vec<Observation> = readers
+        .into_iter()
+        .flat_map(|r| r.join().unwrap())
+        .collect();
+    assert!(observations.len() >= total_rounds);
+    assert_eq!(svc.epoch(), appends as u64);
+    assert_eq!(svc.counters().appends, appends as u64);
+
+    // Epochs are dense and every observed epoch has a frozen snapshot.
+    let snapshots = snapshots.lock().unwrap();
+    assert_eq!(snapshots.len(), appends + 1);
+    for (i, s) in snapshots.iter().enumerate() {
+        assert_eq!(s.epoch, i as u64);
+    }
+
+    // The oracle: every concurrent reply must be byte-identical to a serial
+    // re-execution against its recorded epoch, uncached.
+    for (i, obs) in observations.iter().enumerate() {
+        let snap = &snapshots[obs.epoch as usize];
+        let expected = serial_replay(snap, obs.pool_idx, obs.strategy);
+        assert_eq!(
+            obs.rows, expected,
+            "reply {i} diverged from serial replay: k={k} seed={seed} \
+             epoch={} query={:?} strategy={:?}",
+            obs.epoch, POOL[obs.pool_idx], obs.strategy
+        );
+    }
+
+    // Final catalog equals the serial append order applied to epoch 0.
+    let expected_final = snapshots[0].catalog.overlay();
+    for rows in &appended {
+        expected_final
+            .append("caser", Batch::from_rows(reads_schema(), rows).unwrap())
+            .unwrap();
+    }
+    let got = svc.snapshot().catalog.get("caser").unwrap();
+    let want = expected_final.get("caser").unwrap();
+    assert_eq!(got.num_rows(), want.num_rows());
+    assert_eq!(rows_of(got.data()), rows_of(want.data()));
+}
+
+#[test]
+fn seeded_readers_match_serial_replay_k2() {
+    run_session(2, 0xDC05_0002, 100, 12);
+}
+
+#[test]
+fn seeded_readers_match_serial_replay_k4() {
+    run_session(4, 0xDC05_0004, 100, 12);
+}
+
+#[test]
+fn seeded_readers_match_serial_replay_k8() {
+    run_session(8, 0xDC05_0008, 100, 12);
+}
+
+/// The cleanse cache must keep epochs apart even when the *same* join-back
+/// query alternates between two snapshots — the ping-pong pattern that
+/// would expose a key collision across epochs.
+#[test]
+fn cache_epoch_ping_pong_stays_correct() {
+    let mut rng = StdRng::seed_from_u64(0xDC05_CAFE);
+    let catalog = Arc::new(Catalog::new());
+    catalog.register(Table::new(
+        "caser",
+        Batch::from_rows(reads_schema(), &seed_rows(&mut rng, 30)).unwrap(),
+    ));
+    let mut sys = DeferredCleansingSystem::with_catalog(catalog);
+    sys.define_rule("app", DUP).unwrap();
+    sys.enable_cleanse_cache(256);
+    let svc = QueryService::start(sys, ServiceConfig::default());
+
+    let old = svc.snapshot();
+    svc.append(
+        "caser",
+        Batch::from_rows(reads_schema(), &seed_rows(&mut rng, 5)).unwrap(),
+    )
+    .unwrap();
+    let new = svc.snapshot();
+    assert_eq!((old.epoch, new.epoch), (0, 1));
+
+    let sql = "select epc, rtime from caser where rtime < 1200";
+    let expect_at = |snap: &Snapshot| {
+        let fresh = DeferredCleansingSystem::with_catalog(Arc::clone(&snap.catalog));
+        fresh.define_rule("app", DUP).unwrap();
+        rows_of(&fresh.query("app", sql).unwrap())
+    };
+    let (want_old, want_new) = (expect_at(&old), expect_at(&new));
+    assert_ne!(want_old, want_new, "append must change the answer");
+
+    // Alternate epochs through the shared cache: each probe must validate
+    // against its own snapshot's segments and never serve the other's.
+    for _ in 0..4 {
+        for (snap, want) in [(&old, &want_old), (&new, &want_new)] {
+            let (batch, _) = svc
+                .system()
+                .query_snapshot(
+                    &snap.catalog,
+                    "app",
+                    sql,
+                    Strategy::JoinBack,
+                    deferred_cleansing::core::QueryBudget::unlimited(),
+                )
+                .unwrap();
+            assert_eq!(&rows_of(&batch), want);
+        }
+    }
+}
