@@ -16,6 +16,7 @@
 //! window work) so the *shapes* are auditable.
 
 pub mod experiments;
+pub mod expr_kernels;
 pub mod gate;
 pub mod harness;
 pub mod microbench;

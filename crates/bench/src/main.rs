@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|storage|plans|ablations|eager|service]
-//!       [--scale N] [--seed S] [--threads N] [--json] [--explain]
+//!       [--scale N] [--seed S] [--threads N] [--workers A,B,..] [--json] [--explain]
 //! ```
 //!
 //! `service` measures the concurrent `QueryService` (readers + live
@@ -35,6 +35,8 @@ struct Args {
     scale: usize,
     seed: u64,
     threads: usize,
+    /// Worker-pool sizes swept by the `service` figure.
+    workers: Vec<usize>,
     json: bool,
     explain: bool,
 }
@@ -45,6 +47,7 @@ fn parse_args() -> Args {
         scale: DEFAULT_SCALE,
         seed: DEFAULT_SEED,
         threads: 1,
+        workers: vec![1, 2, 4],
         json: false,
         explain: false,
     };
@@ -65,6 +68,20 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .map(|n: usize| n.max(1))
                     .expect("--threads N");
+            }
+            "--workers" => {
+                // Comma-separated worker-pool sizes for the service sweep,
+                // e.g. `--workers 1,2,4`. Zero-size pools are clamped to 1.
+                let list = it.next().expect("--workers A,B,..");
+                args.workers = list
+                    .split(',')
+                    .map(|v| v.trim().parse::<usize>().map(|n| n.max(1)))
+                    .collect::<Result<_, _>>()
+                    .expect("--workers takes comma-separated counts");
+                assert!(
+                    !args.workers.is_empty(),
+                    "--workers takes at least one count"
+                );
             }
             "--json" => args.json = true,
             "--explain" => args.explain = true,
@@ -214,7 +231,7 @@ fn run_one(args: &Args, what: &str) -> Vec<(String, Json)> {
             let rows = dc_bench::service_bench::service_throughput(
                 args.scale.min(8),
                 args.seed,
-                &[1, 2, 4],
+                &args.workers,
             );
             println!("== Service: concurrent snapshot queries + live ingest ==");
             for r in &rows {

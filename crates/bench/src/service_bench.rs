@@ -24,6 +24,9 @@ pub struct ServiceBenchRow {
     pub workers: usize,
     pub queries: u64,
     pub appends: u64,
+    /// Queries answered by coalescing onto an identical concurrent
+    /// execution (0 at one worker: coalescing needs overlap).
+    pub coalesced: u64,
     pub wall_ms: f64,
     pub queries_per_sec: f64,
     pub mean_queue_wait_us: f64,
@@ -37,6 +40,7 @@ impl ServiceBenchRow {
             .set("workers", self.workers)
             .set("queries", self.queries)
             .set("appends", self.appends)
+            .set("coalesced", self.coalesced)
             .set("wall_ms", Json::Num(self.wall_ms))
             .set("queries_per_sec", Json::Num(self.queries_per_sec))
             .set("mean_queue_wait_us", Json::Num(self.mean_queue_wait_us))
@@ -47,12 +51,13 @@ impl ServiceBenchRow {
     pub fn render(&self) -> String {
         format!(
             "workers={:>2}  {:>4} queries + {:>2} appends in {:>8.1}ms  \
-             ({:>7.1} q/s, queue {:>7.1}us, exec {:>8.1}us, epoch {})",
+             ({:>7.1} q/s, {:>3} coalesced, queue {:>7.1}us, exec {:>8.1}us, epoch {})",
             self.workers,
             self.queries,
             self.appends,
             self.wall_ms,
             self.queries_per_sec,
+            self.coalesced,
             self.mean_queue_wait_us,
             self.mean_exec_us,
             self.final_epoch
@@ -147,6 +152,7 @@ fn run_point(
         workers,
         queries,
         appends: appends as u64,
+        coalesced: svc.counters().coalesced,
         wall_ms,
         queries_per_sec: queries as f64 / (wall_ms / 1e3),
         mean_queue_wait_us: wait_us / queries as f64,

@@ -1,4 +1,12 @@
-//! `Batch`: a fully materialized relation — a schema plus equal-length columns.
+//! `Batch`: a relation fragment — a schema plus equal-length columns.
+//!
+//! Columns are Arc-backed windows, so cloning and slicing a batch is O(1).
+//! A batch may additionally carry a **selection vector**: a list of
+//! surviving physical row indices produced by a filter. Selection lets a
+//! filter mark survivors without gathering any column data; the logical row
+//! count (`num_rows`) and row accessors see only the selected rows.
+//! `flatten` compacts a selected batch back to a dense one; operators that
+//! index columns physically must flatten (or consume `selection()`) first.
 
 use crate::column::{Column, ColumnBuilder};
 use crate::error::{Error, Result};
@@ -6,13 +14,17 @@ use crate::schema::{Schema, SchemaRef};
 use crate::value::Value;
 use std::sync::Arc;
 
-/// A materialized table fragment: one column per schema field, all the same
-/// length. Operators consume and produce batches.
+/// A table fragment: one column per schema field, all the same physical
+/// length, with an optional selection vector choosing a subset of rows.
+/// Operators consume and produce batches.
 #[derive(Debug, Clone)]
 pub struct Batch {
     schema: SchemaRef,
     columns: Vec<Column>,
+    /// Physical rows in each column.
     rows: usize,
+    /// When present: logical row `k` is physical row `selection[k]`.
+    selection: Option<Arc<Vec<u32>>>,
 }
 
 impl Batch {
@@ -28,7 +40,8 @@ impl Batch {
         for (i, c) in columns.iter().enumerate() {
             if c.len() != rows {
                 return Err(Error::Schema(format!(
-                    "column {i} has {} rows, expected {rows}",
+                    "column {i} ('{}') has {} rows, expected {rows}",
+                    schema.field(i).name,
                     c.len()
                 )));
             }
@@ -45,6 +58,7 @@ impl Batch {
             schema,
             columns,
             rows,
+            selection: None,
         })
     }
 
@@ -59,6 +73,7 @@ impl Batch {
             schema,
             columns,
             rows: 0,
+            selection: None,
         }
     }
 
@@ -91,8 +106,13 @@ impl Batch {
         &self.schema
     }
 
+    /// Logical rows: the selection length when one is present, otherwise the
+    /// physical column length.
     pub fn num_rows(&self) -> usize {
-        self.rows
+        match &self.selection {
+            Some(sel) => sel.len(),
+            None => self.rows,
+        }
     }
 
     pub fn num_columns(&self) -> usize {
@@ -100,9 +120,12 @@ impl Batch {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows == 0
+        self.num_rows() == 0
     }
 
+    /// Column `i` — **physical** rows. When a selection vector is present the
+    /// column still holds every pre-filter row; map logical indices through
+    /// `selection()` or `flatten()` first.
     pub fn column(&self, i: usize) -> &Column {
         &self.columns[i]
     }
@@ -111,27 +134,101 @@ impl Batch {
         &self.columns
     }
 
-    /// Column by (possibly qualified) name.
+    /// Column by (possibly qualified) name. Physical rows — see [`Batch::column`].
     pub fn column_by_name(&self, name: &str) -> Result<&Column> {
         Ok(&self.columns[self.schema.index_of_name(name)?])
     }
 
-    /// Row `i` as scalar values.
-    pub fn row(&self, i: usize) -> Vec<Value> {
-        self.columns.iter().map(|c| c.value(i)).collect()
+    /// The selection vector, if this batch carries one.
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.selection.as_deref().map(Vec::as_slice)
     }
 
-    /// Gather rows by index into a new batch.
-    pub fn take(&self, indices: &[usize]) -> Batch {
+    /// True when there is no selection vector (logical rows == physical rows).
+    pub fn is_flat(&self) -> bool {
+        self.selection.is_none()
+    }
+
+    /// Attach a selection vector over this batch's physical rows without
+    /// copying any column data. Indices must be in-bounds and, when composing
+    /// with an existing selection, must already be resolved to physical rows.
+    pub fn with_selection(&self, selection: Vec<u32>) -> Batch {
+        debug_assert!(selection.iter().all(|&i| (i as usize) < self.rows));
         Batch {
             schema: self.schema.clone(),
-            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
-            rows: indices.len(),
+            columns: self.columns.clone(),
+            rows: self.rows,
+            selection: Some(Arc::new(selection)),
+        }
+    }
+
+    /// Compact to a dense batch: gathers the selected rows once. A flat
+    /// batch returns an O(1) clone.
+    pub fn flatten(&self) -> Batch {
+        match &self.selection {
+            None => self.clone(),
+            Some(sel) => {
+                let indices: Vec<usize> = sel.iter().map(|&i| i as usize).collect();
+                Batch {
+                    schema: self.schema.clone(),
+                    columns: self.columns.iter().map(|c| c.take(&indices)).collect(),
+                    rows: indices.len(),
+                    selection: None,
+                }
+            }
+        }
+    }
+
+    /// Zero-copy chunk view: logical rows `[offset, offset + len)`. O(1) for
+    /// flat batches (column windows are shared); for a selected batch only
+    /// the selection subrange is copied, never column data.
+    pub fn slice(&self, offset: usize, len: usize) -> Batch {
+        assert!(
+            offset + len <= self.num_rows(),
+            "slice [{offset}, {offset}+{len}) out of bounds for batch of {} rows",
+            self.num_rows()
+        );
+        match &self.selection {
+            None => Batch {
+                schema: self.schema.clone(),
+                columns: self.columns.iter().map(|c| c.slice(offset, len)).collect(),
+                rows: len,
+                selection: None,
+            },
+            Some(sel) => Batch {
+                schema: self.schema.clone(),
+                columns: self.columns.clone(),
+                rows: self.rows,
+                selection: Some(Arc::new(sel[offset..offset + len].to_vec())),
+            },
+        }
+    }
+
+    /// Row `i` (logical) as scalar values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        let phys = match &self.selection {
+            Some(sel) => sel[i] as usize,
+            None => i,
+        };
+        self.columns.iter().map(|c| c.value(phys)).collect()
+    }
+
+    /// Gather logical rows by index into a new (flat) batch.
+    pub fn take(&self, indices: &[usize]) -> Batch {
+        let phys: Vec<usize> = match &self.selection {
+            Some(sel) => indices.iter().map(|&i| sel[i] as usize).collect(),
+            None => indices.to_vec(),
+        };
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(&phys)).collect(),
+            rows: phys.len(),
+            selection: None,
         }
     }
 
     /// Replace the schema (must have identical types) — used to re-qualify
-    /// fields when a table is aliased.
+    /// fields when a table is aliased. Preserves any selection vector.
     pub fn with_schema(&self, schema: SchemaRef) -> Result<Batch> {
         if !self.schema.types_compatible(&schema) {
             return Err(Error::Schema(format!(
@@ -143,11 +240,12 @@ impl Batch {
             schema,
             columns: self.columns.clone(),
             rows: self.rows,
+            selection: self.selection.clone(),
         })
     }
 
     /// Vertically concatenate batches with type-compatible schemas; the
-    /// first batch's schema is kept.
+    /// first batch's schema is kept. Selected batches are compacted first.
     pub fn concat(parts: &[Batch]) -> Result<Batch> {
         let Some(first) = parts.first() else {
             return Err(Error::Internal("concat of zero batches".into()));
@@ -160,23 +258,25 @@ impl Batch {
                 )));
             }
         }
+        let flats: Vec<Batch> = parts.iter().map(Batch::flatten).collect();
         let mut columns = Vec::with_capacity(first.num_columns());
         for ci in 0..first.num_columns() {
-            let cols: Vec<&Column> = parts.iter().map(|p| p.column(ci)).collect();
+            let cols: Vec<&Column> = flats.iter().map(|p| p.column(ci)).collect();
             columns.push(Column::concat(&cols)?);
         }
-        let rows = parts.iter().map(Batch::num_rows).sum();
+        let rows = flats.iter().map(Batch::num_rows).sum();
         Ok(Batch {
             schema: first.schema.clone(),
             columns,
             rows,
+            selection: None,
         })
     }
 
     /// All rows as vectors of values, sorted with `Value::total_cmp` —
     /// the canonical multiset form used to compare query results in tests.
     pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
-        let mut rows: Vec<Vec<Value>> = (0..self.rows).map(|i| self.row(i)).collect();
+        let mut rows: Vec<Vec<Value>> = (0..self.num_rows()).map(|i| self.row(i)).collect();
         rows.sort_by(|a, b| {
             for (x, y) in a.iter().zip(b.iter()) {
                 let o = x.total_cmp(y);
@@ -198,15 +298,12 @@ impl Batch {
             .iter()
             .map(|f| f.qualified_name())
             .collect();
-        let shown = self.rows.min(max_rows);
+        let total = self.num_rows();
+        let shown = total.min(max_rows);
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
         for r in 0..shown {
-            let row: Vec<String> = self
-                .columns
-                .iter()
-                .map(|c| c.value(r).to_string())
-                .collect();
+            let row: Vec<String> = self.row(r).iter().map(Value::to_string).collect();
             for (w, cell) in widths.iter_mut().zip(&row) {
                 *w = (*w).max(cell.len());
             }
@@ -236,8 +333,8 @@ impl Batch {
             out.push('\n');
         }
         sep(&mut out);
-        if self.rows > shown {
-            let _ = writeln!(out, "... {} more rows", self.rows - shown);
+        if total > shown {
+            let _ = writeln!(out, "... {} more rows", total - shown);
         }
         out
     }
@@ -274,7 +371,21 @@ mod tests {
     fn construction_checks_lengths_and_types() {
         let schema = schema_ref(Schema::new(vec![Field::new("a", DataType::Int)]));
         let wrong = Column::from_values(DataType::Str, &[Value::str("x")]).unwrap();
-        assert!(Batch::new(schema, vec![wrong]).is_err());
+        let err = Batch::new(schema, vec![wrong]).unwrap_err().to_string();
+        assert!(err.contains("'a'"), "type error names the field: {err}");
+    }
+
+    #[test]
+    fn length_mismatch_error_names_the_field() {
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]));
+        let c0 = Column::from_values(DataType::Int, &[Value::Int(1), Value::Int(2)]).unwrap();
+        let c1 = Column::from_values(DataType::Int, &[Value::Int(1)]).unwrap();
+        let err = Batch::new(schema, vec![c0, c1]).unwrap_err().to_string();
+        assert!(err.contains("'b'"), "length error names the field: {err}");
+        assert!(err.contains("expected 2"), "{err}");
     }
 
     #[test]
@@ -310,5 +421,55 @@ mod tests {
         let s = sample().to_pretty_string(2);
         assert!(s.contains("epc"));
         assert!(s.contains("1 more rows"));
+    }
+
+    #[test]
+    fn selection_changes_logical_view_without_copying() {
+        let b = sample().with_selection(vec![2, 0]);
+        assert_eq!(b.num_rows(), 2);
+        assert!(!b.is_flat());
+        assert_eq!(b.row(0), vec![Value::str("e1"), Value::Int(30)]);
+        assert_eq!(b.row(1), vec![Value::str("e1"), Value::Int(10)]);
+        // Physical columns still hold all three rows.
+        assert_eq!(b.column(0).len(), 3);
+        // flatten() compacts to a dense batch with the same logical rows.
+        let flat = b.flatten();
+        assert!(flat.is_flat());
+        assert_eq!(flat.num_rows(), 2);
+        assert_eq!(flat.sorted_rows(), b.sorted_rows());
+        // take() through a selection resolves logical indices.
+        let t = b.take(&[1]);
+        assert_eq!(t.row(0), vec![Value::str("e1"), Value::Int(10)]);
+    }
+
+    #[test]
+    fn slice_of_flat_batch_shares_columns() {
+        let b = sample();
+        let s = b.slice(1, 2);
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.row(0), vec![Value::str("e2"), Value::Int(20)]);
+        assert_eq!(s.row(1), vec![Value::str("e1"), Value::Int(30)]);
+        // A slice of a slice stays consistent.
+        let s2 = s.slice(1, 1);
+        assert_eq!(s2.row(0), vec![Value::str("e1"), Value::Int(30)]);
+    }
+
+    #[test]
+    fn slice_of_selected_batch_slices_the_selection() {
+        let b = sample().with_selection(vec![2, 1, 0]);
+        let s = b.slice(1, 2);
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.row(0), vec![Value::str("e2"), Value::Int(20)]);
+        assert_eq!(s.row(1), vec![Value::str("e1"), Value::Int(10)]);
+    }
+
+    #[test]
+    fn concat_compacts_selections() {
+        let a = sample().with_selection(vec![0]);
+        let b = sample().with_selection(vec![2]);
+        let c = Batch::concat(&[a, b]).unwrap();
+        assert!(c.is_flat());
+        assert_eq!(c.num_rows(), 2);
+        assert_eq!(c.row(1), vec![Value::str("e1"), Value::Int(30)]);
     }
 }

@@ -3,6 +3,12 @@
 //! Operators exchange whole columns. Each `Column` is a typed vector plus an
 //! optional validity bitmap (absent means "no nulls"), so the common all-valid
 //! case pays nothing for null tracking.
+//!
+//! Payload and bitmap are held behind `Arc` together with an `(offset, len)`
+//! window, so slicing a column — and therefore slicing a `Batch` into
+//! execution chunks — is O(1) and never copies cell data. Builders still
+//! produce a full-width window over a freshly built vector, so the change is
+//! invisible to code that only constructs and reads columns.
 
 use crate::error::{Error, Result};
 use crate::value::{DataType, Value};
@@ -73,6 +79,30 @@ impl Bitmap {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Number of set bits in `[start, start + count)`, word-at-a-time.
+    pub fn count_set_in(&self, start: usize, count: usize) -> usize {
+        debug_assert!(start + count <= self.len);
+        let end = start + count;
+        let mut total = 0usize;
+        let mut i = start;
+        while i < end {
+            let word = i / 64;
+            let lo = i % 64;
+            let hi = if word == (end - 1) / 64 && !end.is_multiple_of(64) {
+                end % 64
+            } else {
+                64
+            };
+            let mut w = self.words[word] >> lo;
+            if hi - lo < 64 {
+                w &= (1u64 << (hi - lo)) - 1;
+            }
+            total += w.count_ones() as usize;
+            i += hi - lo;
+        }
+        total
+    }
+
     /// True if every bit is set.
     pub fn all_set(&self) -> bool {
         self.count_set() == self.len
@@ -121,11 +151,19 @@ impl ColumnData {
     }
 }
 
-/// A column: typed data + optional validity bitmap (`None` = all valid).
-#[derive(Debug, Clone, PartialEq)]
+/// A column: a shared typed payload plus an optional validity bitmap
+/// (`None` = all valid), viewed through an `(offset, len)` window.
+///
+/// Cloning and slicing only bump reference counts; the payload is immutable
+/// once built. Equality is *semantic* — two columns are equal when they have
+/// the same type, length, and per-row values, regardless of how their
+/// windows line up with the underlying buffers.
+#[derive(Debug, Clone)]
 pub struct Column {
-    data: ColumnData,
-    validity: Option<Bitmap>,
+    data: Arc<ColumnData>,
+    validity: Option<Arc<Bitmap>>,
+    offset: usize,
+    len: usize,
 }
 
 impl Column {
@@ -139,14 +177,23 @@ impl Column {
                 )));
             }
         }
-        Ok(Column { data, validity })
+        let len = data.len();
+        Ok(Column {
+            data: Arc::new(data),
+            validity: validity.map(Arc::new),
+            offset: 0,
+            len,
+        })
     }
 
     /// An all-valid column from raw data.
     pub fn from_data(data: ColumnData) -> Self {
+        let len = data.len();
         Column {
-            data,
+            data: Arc::new(data),
             validity: None,
+            offset: 0,
+            len,
         }
     }
 
@@ -160,32 +207,93 @@ impl Column {
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     pub fn data_type(&self) -> DataType {
         self.data.data_type()
     }
 
+    /// The underlying payload. The window may cover only part of it; use the
+    /// typed slice accessors (`int_values`, …) for window-relative access.
     pub fn data(&self) -> &ColumnData {
         &self.data
     }
 
+    /// Zero-copy sub-view: rows `[offset, offset + len)` of this column.
+    /// O(1) — shares the payload and bitmap.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        assert!(
+            offset + len <= self.len,
+            "slice [{offset}, {offset}+{len}) out of bounds for column of {} rows",
+            self.len
+        );
+        Column {
+            data: self.data.clone(),
+            validity: self.validity.clone(),
+            offset: self.offset + offset,
+            len,
+        }
+    }
+
+    /// The window as a native `&[i64]`, or `None` for non-int columns.
+    /// NULL slots hold an arbitrary placeholder — check `is_null` first.
+    #[inline]
+    pub fn int_values(&self) -> Option<&[i64]> {
+        match self.data.as_ref() {
+            ColumnData::Int(v) => Some(&v[self.offset..self.offset + self.len]),
+            _ => None,
+        }
+    }
+
+    /// The window as a native `&[f64]`, or `None` for non-double columns.
+    #[inline]
+    pub fn double_values(&self) -> Option<&[f64]> {
+        match self.data.as_ref() {
+            ColumnData::Double(v) => Some(&v[self.offset..self.offset + self.len]),
+            _ => None,
+        }
+    }
+
+    /// The window as `&[bool]`, or `None` for non-bool columns.
+    #[inline]
+    pub fn bool_values(&self) -> Option<&[bool]> {
+        match self.data.as_ref() {
+            ColumnData::Bool(v) => Some(&v[self.offset..self.offset + self.len]),
+            _ => None,
+        }
+    }
+
+    /// The window as `&[Arc<str>]`, or `None` for non-string columns.
+    #[inline]
+    pub fn str_values(&self) -> Option<&[Arc<str>]> {
+        match self.data.as_ref() {
+            ColumnData::Str(v) => Some(&v[self.offset..self.offset + self.len]),
+            _ => None,
+        }
+    }
+
     #[inline]
     pub fn is_null(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
         match &self.validity {
-            Some(b) => !b.get(i),
+            Some(b) => !b.get(self.offset + i),
             None => false,
         }
     }
 
+    /// Whether any row in the window is NULL — one popcount, not a scan.
+    pub fn has_nulls(&self) -> bool {
+        self.null_count() > 0
+    }
+
     pub fn null_count(&self) -> usize {
         match &self.validity {
-            Some(b) => b.len() - b.count_set(),
+            Some(b) => self.len - b.count_set_in(self.offset, self.len),
             None => 0,
         }
     }
@@ -196,11 +304,11 @@ impl Column {
         if self.is_null(i) {
             return Value::Null;
         }
-        match &self.data {
-            ColumnData::Bool(v) => Value::Bool(v[i]),
-            ColumnData::Int(v) => Value::Int(v[i]),
-            ColumnData::Double(v) => Value::Double(v[i]),
-            ColumnData::Str(v) => Value::Str(v[i].clone()),
+        match self.data.as_ref() {
+            ColumnData::Bool(v) => Value::Bool(v[self.offset + i]),
+            ColumnData::Int(v) => Value::Int(v[self.offset + i]),
+            ColumnData::Double(v) => Value::Double(v[self.offset + i]),
+            ColumnData::Str(v) => Value::Str(v[self.offset + i].clone()),
         }
     }
 
@@ -210,8 +318,8 @@ impl Column {
         if self.is_null(i) {
             return None;
         }
-        match &self.data {
-            ColumnData::Int(v) => Some(v[i]),
+        match self.data.as_ref() {
+            ColumnData::Int(v) => Some(v[self.offset + i]),
             _ => panic!("int_at on non-int column"),
         }
     }
@@ -222,8 +330,8 @@ impl Column {
         if self.is_null(i) {
             return None;
         }
-        match &self.data {
-            ColumnData::Str(v) => Some(&v[i]),
+        match self.data.as_ref() {
+            ColumnData::Str(v) => Some(&v[self.offset + i]),
             _ => panic!("str_at on non-str column"),
         }
     }
@@ -234,19 +342,30 @@ impl Column {
         let validity = self.validity.as_ref().map(|v| {
             let mut out = Bitmap::new(indices.len(), false);
             for (k, &i) in indices.iter().enumerate() {
-                if v.get(i) {
+                if v.get(self.offset + i) {
                     out.set(k, true);
                 }
             }
             out
         });
-        let data = match &self.data {
-            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Double(v) => ColumnData::Double(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Str(v) => ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+        let off = self.offset;
+        let data = match self.data.as_ref() {
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[off + i]).collect()),
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[off + i]).collect()),
+            ColumnData::Double(v) => {
+                ColumnData::Double(indices.iter().map(|&i| v[off + i]).collect())
+            }
+            ColumnData::Str(v) => {
+                ColumnData::Str(indices.iter().map(|&i| v[off + i].clone()).collect())
+            }
         };
-        Column { data, validity }
+        let len = data.len();
+        Column {
+            data: Arc::new(data),
+            validity: validity.map(Arc::new),
+            offset: 0,
+            len,
+        }
     }
 
     /// Concatenate columns of the same type.
@@ -274,6 +393,17 @@ impl Column {
     /// Iterate scalar values.
     pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
         (0..self.len()).map(move |i| self.value(i))
+    }
+}
+
+impl PartialEq for Column {
+    /// Semantic equality: same type, length, and per-row (structural) values.
+    /// Window offsets and buffer sharing are representation details.
+    fn eq(&self, other: &Column) -> bool {
+        if self.len != other.len || self.data_type() != other.data_type() {
+            return false;
+        }
+        (0..self.len).all(|i| self.value(i) == other.value(i))
     }
 }
 
@@ -346,13 +476,16 @@ impl ColumnBuilder {
     }
 
     pub fn finish(self) -> Column {
+        let len = self.data.len();
         Column {
-            data: self.data,
+            data: Arc::new(self.data),
             validity: if self.has_null {
-                Some(self.validity)
+                Some(Arc::new(self.validity))
             } else {
                 None
             },
+            offset: 0,
+            len,
         }
     }
 }
@@ -382,6 +515,18 @@ mod tests {
         }
         assert_eq!(b.len(), 200);
         assert_eq!(b.count_set(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn bitmap_ranged_popcount() {
+        let mut b = Bitmap::new(0, false);
+        for i in 0..300 {
+            b.push(i % 3 == 0);
+        }
+        for (start, count) in [(0, 300), (1, 299), (63, 66), (64, 64), (70, 1), (299, 0)] {
+            let expect = (start..start + count).filter(|i| b.get(*i)).count();
+            assert_eq!(b.count_set_in(start, count), expect, "[{start}, +{count})");
+        }
     }
 
     #[test]
@@ -441,5 +586,60 @@ mod tests {
         let c = Column::from_values(DataType::Int, &[Value::Int(1), Value::Int(2)]).unwrap();
         assert_eq!(c.null_count(), 0);
         assert!(!c.is_null(0));
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_window() {
+        let vals: Vec<Value> = (0..10)
+            .map(|i| {
+                if i % 4 == 3 {
+                    Value::Null
+                } else {
+                    Value::Int(i)
+                }
+            })
+            .collect();
+        let c = Column::from_values(DataType::Int, &vals).unwrap();
+        let s = c.slice(2, 5); // rows 2..7
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.value(0), Value::Int(2));
+        assert!(s.is_null(1)); // original row 3
+        let expect_nulls = (2..7).filter(|i| i % 4 == 3).count();
+        assert_eq!(s.null_count(), expect_nulls);
+        // Nested slices compose.
+        let s2 = s.slice(1, 3); // original rows 3..6
+        assert_eq!(s2.value(1), Value::Int(4));
+        assert!(s2.is_null(0));
+        // take() through a window gathers window-relative rows.
+        let t = s2.take(&[2, 0]);
+        assert_eq!(t.value(0), Value::Int(5));
+        assert!(t.is_null(1));
+    }
+
+    #[test]
+    fn equality_is_semantic_across_windows() {
+        let c = Column::from_values(
+            DataType::Int,
+            &[Value::Int(9), Value::Int(1), Value::Null, Value::Int(9)],
+        )
+        .unwrap();
+        let windowed = c.slice(1, 2);
+        let rebuilt = Column::from_values(DataType::Int, &[Value::Int(1), Value::Null]).unwrap();
+        assert_eq!(windowed, rebuilt);
+        assert_ne!(windowed, c.slice(0, 2));
+    }
+
+    #[test]
+    fn typed_slice_accessors_follow_the_window() {
+        let c = Column::from_values(
+            DataType::Int,
+            &[Value::Int(10), Value::Int(20), Value::Int(30)],
+        )
+        .unwrap();
+        assert_eq!(c.int_values().unwrap(), &[10, 20, 30]);
+        assert_eq!(c.slice(1, 2).int_values().unwrap(), &[20, 30]);
+        assert!(c.double_values().is_none());
+        let d = Column::from_values(DataType::Double, &[Value::Double(0.5)]).unwrap();
+        assert_eq!(d.double_values().unwrap(), &[0.5]);
     }
 }

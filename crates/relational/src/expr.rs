@@ -9,7 +9,7 @@
 //! separates row expressions from set-level computation.
 
 use crate::batch::Batch;
-use crate::column::{Column, ColumnBuilder};
+use crate::column::{Bitmap, Column, ColumnBuilder, ColumnData};
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::value::{DataType, Value};
@@ -286,8 +286,28 @@ impl Expr {
         }
     }
 
-    /// Evaluate over a batch, producing one value per row.
+    /// Evaluate over a batch, producing one value per logical row.
+    ///
+    /// This is the kernel-accelerated path: binary arithmetic, comparisons,
+    /// `AND`/`OR`, `IS NULL`, and `IN` dispatch once on the operand
+    /// `ColumnData` types and run tight loops over native slices, honoring
+    /// the batch's selection vector when one is present (only selected rows
+    /// are evaluated — so error behavior matches a pre-compacted batch).
+    /// Type combinations without a kernel fall back to the per-row `Value`
+    /// path with identical semantics. [`Expr::evaluate_rowwise`] is the
+    /// retained `Value`-boxed oracle the property suite compares against.
     pub fn evaluate(&self, batch: &Batch) -> Result<Column> {
+        let mut ks = KernelStats::default();
+        eval_vec(self, batch, batch.selection(), &mut ks)
+    }
+
+    /// The original per-row `Value`-boxing evaluator, kept verbatim as the
+    /// equivalence oracle for the typed kernels. Produces one value per
+    /// logical row (selected batches are compacted first).
+    pub fn evaluate_rowwise(&self, batch: &Batch) -> Result<Column> {
+        if !batch.is_flat() {
+            return self.evaluate_rowwise(&batch.flatten());
+        }
         let n = batch.num_rows();
         match self {
             Expr::Column(c) => {
@@ -303,12 +323,12 @@ impl Expr {
                 Ok(b.finish())
             }
             Expr::Binary { left, op, right } => {
-                let l = left.evaluate(batch)?;
-                let r = right.evaluate(batch)?;
-                eval_binary(&l, *op, &r, batch.schema().as_ref(), self)
+                let l = left.evaluate_rowwise(batch)?;
+                let r = right.evaluate_rowwise(batch)?;
+                eval_binary_rowwise(&l, *op, &r, self)
             }
             Expr::Not(inner) => {
-                let c = inner.evaluate(batch)?;
+                let c = inner.evaluate_rowwise(batch)?;
                 let mut b = ColumnBuilder::new(DataType::Bool, n);
                 for i in 0..n {
                     match c.value(i) {
@@ -324,7 +344,7 @@ impl Expr {
                 Ok(b.finish())
             }
             Expr::IsNull { expr, negated } => {
-                let c = expr.evaluate(batch)?;
+                let c = expr.evaluate_rowwise(batch)?;
                 let mut b = ColumnBuilder::new(DataType::Bool, n);
                 for i in 0..n {
                     let is_null = c.is_null(i);
@@ -338,11 +358,11 @@ impl Expr {
                 negated,
             } => {
                 let set: HashSet<Value> = list.iter().cloned().collect();
-                eval_in(&expr.evaluate(batch)?, &set, *negated)
+                eval_in_rowwise(&expr.evaluate_rowwise(batch)?, &set, *negated)
             }
             Expr::InSet {
                 expr, set, negated, ..
-            } => eval_in(&expr.evaluate(batch)?, set, *negated),
+            } => eval_in_rowwise(&expr.evaluate_rowwise(batch)?, set, *negated),
             Expr::CountIf(_) => Err(Error::Plan(
                 "count(<predicate>) is only valid inside a cleansing rule \
                  condition over a set reference"
@@ -355,13 +375,16 @@ impl Expr {
                 let dt = self.data_type(batch.schema())?;
                 let conds: Vec<Column> = branches
                     .iter()
-                    .map(|(c, _)| c.evaluate(batch))
+                    .map(|(c, _)| c.evaluate_rowwise(batch))
                     .collect::<Result<_>>()?;
                 let results: Vec<Column> = branches
                     .iter()
-                    .map(|(_, r)| r.evaluate(batch))
+                    .map(|(_, r)| r.evaluate_rowwise(batch))
                     .collect::<Result<_>>()?;
-                let else_col = else_expr.as_ref().map(|e| e.evaluate(batch)).transpose()?;
+                let else_col = else_expr
+                    .as_ref()
+                    .map(|e| e.evaluate_rowwise(batch))
+                    .transpose()?;
                 let mut b = ColumnBuilder::new(dt, n);
                 'row: for i in 0..n {
                     for (c, r) in conds.iter().zip(&results) {
@@ -476,7 +499,7 @@ impl Expr {
     }
 }
 
-fn eval_in(c: &Column, set: &HashSet<Value>, negated: bool) -> Result<Column> {
+fn eval_in_rowwise(c: &Column, set: &HashSet<Value>, negated: bool) -> Result<Column> {
     let mut b = ColumnBuilder::new(DataType::Bool, c.len());
     for i in 0..c.len() {
         if c.is_null(i) {
@@ -489,13 +512,7 @@ fn eval_in(c: &Column, set: &HashSet<Value>, negated: bool) -> Result<Column> {
     Ok(b.finish())
 }
 
-fn eval_binary(
-    l: &Column,
-    op: BinaryOp,
-    r: &Column,
-    _schema: &Schema,
-    ctx: &Expr,
-) -> Result<Column> {
+fn eval_binary_rowwise(l: &Column, op: BinaryOp, r: &Column, ctx: &Expr) -> Result<Column> {
     let n = l.len();
     if op.is_comparison() {
         let mut b = ColumnBuilder::new(DataType::Bool, n);
@@ -616,6 +633,594 @@ fn eval_binary(
             Ok(b.finish())
         }
         _ => Err(Error::Internal(format!("unhandled binary op {op}"))),
+    }
+}
+
+/// Work accounting for the typed kernels: `kernel_ops` counts one op per
+/// (compute node, evaluated row) on a typed fast path; `fallback_rows` counts
+/// rows that went through the per-row `Value` path instead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KernelStats {
+    pub kernel_ops: u64,
+    pub fallback_rows: u64,
+}
+
+impl KernelStats {
+    /// True when every compute node ran on a typed kernel.
+    pub fn all_kernel(&self) -> bool {
+        self.fallback_rows == 0
+    }
+}
+
+/// Result of [`filter_chunk`]: the surviving **physical** row indices of the
+/// chunk (a subset of its selection vector when it carried one), plus kernel
+/// work accounting.
+#[derive(Debug)]
+pub struct FilterOutcome {
+    pub selected: Vec<u32>,
+    pub stats: KernelStats,
+}
+
+/// Evaluate a predicate over a chunk and return the physical rows where it
+/// is TRUE, without gathering any column data.
+///
+/// Only the chunk's *selected* rows are evaluated (all of them when the
+/// chunk is flat), so a row removed by an upstream filter can never raise an
+/// evaluation error here — matching the materialized path, which compacts
+/// between filters.
+pub fn filter_chunk(pred: &Expr, chunk: &Batch) -> Result<FilterOutcome> {
+    let mut stats = KernelStats::default();
+    let sel = chunk.selection();
+    let c = eval_vec(pred, chunk, sel, &mut stats)?;
+    if c.data_type() != DataType::Bool {
+        return Err(Error::Execution(format!(
+            "filter predicate produced {} not BOOLEAN",
+            c.data_type()
+        )));
+    }
+    let mut selected = Vec::new();
+    for k in 0..c.len() {
+        if !c.is_null(k) && c.value(k).as_bool() == Some(true) {
+            let phys = match sel {
+                Some(rows) => rows[k],
+                None => k as u32,
+            };
+            selected.push(phys);
+        }
+    }
+    Ok(FilterOutcome { selected, stats })
+}
+
+/// A binary-kernel operand: either a physical leaf column (indexed through
+/// the selection map) or a dense intermediate (indexed positionally).
+enum Operand<'a> {
+    Leaf(&'a Column),
+    Owned(Column),
+}
+
+impl Operand<'_> {
+    #[inline]
+    fn col(&self) -> &Column {
+        match self {
+            Operand::Leaf(c) => c,
+            Operand::Owned(c) => c,
+        }
+    }
+
+    /// Physical index of logical position `k` for this operand.
+    #[inline]
+    fn map(&self, sel: Option<&[u32]>, k: usize) -> usize {
+        match (self, sel) {
+            (Operand::Leaf(_), Some(rows)) => rows[k] as usize,
+            _ => k,
+        }
+    }
+}
+
+fn operand<'a>(
+    e: &Expr,
+    batch: &'a Batch,
+    sel: Option<&[u32]>,
+    ks: &mut KernelStats,
+) -> Result<Operand<'a>> {
+    match e {
+        Expr::Column(c) => {
+            let i = batch.schema().index_of(c.qualifier.as_deref(), &c.name)?;
+            Ok(Operand::Leaf(batch.column(i)))
+        }
+        other => Ok(Operand::Owned(eval_vec(other, batch, sel, ks)?)),
+    }
+}
+
+/// Vectorized evaluation core: produce a dense column with one entry per
+/// evaluated row (`sel` when present, else every batch row). Semantics are
+/// identical to [`Expr::evaluate_rowwise`] restricted to those rows.
+fn eval_vec(
+    expr: &Expr,
+    batch: &Batch,
+    sel: Option<&[u32]>,
+    ks: &mut KernelStats,
+) -> Result<Column> {
+    let n = sel.map_or_else(|| batch.num_rows(), <[u32]>::len);
+    match expr {
+        Expr::Column(c) => {
+            let i = batch.schema().index_of(c.qualifier.as_deref(), &c.name)?;
+            match sel {
+                None => Ok(batch.column(i).clone()),
+                Some(rows) => {
+                    let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
+                    Ok(batch.column(i).take(&idx))
+                }
+            }
+        }
+        Expr::Literal(v) => {
+            let dt = v.data_type().unwrap_or(DataType::Int);
+            let mut b = ColumnBuilder::new(dt, n);
+            for _ in 0..n {
+                b.push(v)?;
+            }
+            Ok(b.finish())
+        }
+        Expr::Binary { left, op, right } => {
+            let l = operand(left, batch, sel, ks)?;
+            let r = operand(right, batch, sel, ks)?;
+            eval_binary_vec(&l, *op, &r, sel, n, expr, ks)
+        }
+        Expr::Not(inner) => {
+            let c = eval_vec(inner, batch, sel, ks)?;
+            if let Some(vals) = c.bool_values() {
+                ks.kernel_ops += n as u64;
+                let mut out = Vec::with_capacity(n);
+                let mut validity = Bitmap::new(n, true);
+                let mut has_null = false;
+                for (k, v) in vals.iter().enumerate() {
+                    if c.is_null(k) {
+                        validity.set(k, false);
+                        has_null = true;
+                        out.push(false);
+                    } else {
+                        out.push(!v);
+                    }
+                }
+                return finish_col(ColumnData::Bool(out), validity, has_null);
+            }
+            ks.fallback_rows += n as u64;
+            let mut b = ColumnBuilder::new(DataType::Bool, n);
+            for k in 0..n {
+                match c.value(k) {
+                    Value::Null => b.push_null(),
+                    Value::Bool(x) => b.push(&Value::Bool(!x))?,
+                    other => {
+                        return Err(Error::Execution(format!(
+                            "NOT applied to non-boolean {other}"
+                        )))
+                    }
+                }
+            }
+            Ok(b.finish())
+        }
+        Expr::IsNull { expr, negated } => {
+            let op = operand(expr, batch, sel, ks)?;
+            ks.kernel_ops += n as u64;
+            let mut out = Vec::with_capacity(n);
+            for k in 0..n {
+                out.push(op.col().is_null(op.map(sel, k)) != *negated);
+            }
+            Ok(Column::from_data(ColumnData::Bool(out)))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let set: HashSet<Value> = list.iter().cloned().collect();
+            let op = operand(expr, batch, sel, ks)?;
+            eval_in_vec(&op, &set, *negated, sel, n, ks)
+        }
+        Expr::InSet {
+            expr, set, negated, ..
+        } => {
+            let op = operand(expr, batch, sel, ks)?;
+            eval_in_vec(&op, set, *negated, sel, n, ks)
+        }
+        Expr::CountIf(_) => Err(Error::Plan(
+            "count(<predicate>) is only valid inside a cleansing rule \
+             condition over a set reference"
+                .into(),
+        )),
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            let dt = expr.data_type(batch.schema())?;
+            let conds: Vec<Column> = branches
+                .iter()
+                .map(|(c, _)| eval_vec(c, batch, sel, ks))
+                .collect::<Result<_>>()?;
+            let results: Vec<Column> = branches
+                .iter()
+                .map(|(_, r)| eval_vec(r, batch, sel, ks))
+                .collect::<Result<_>>()?;
+            let else_col = else_expr
+                .as_ref()
+                .map(|e| eval_vec(e, batch, sel, ks))
+                .transpose()?;
+            let mut b = ColumnBuilder::new(dt, n);
+            'row: for k in 0..n {
+                for (c, r) in conds.iter().zip(&results) {
+                    if c.value(k).as_bool() == Some(true) {
+                        b.push(&r.value(k))?;
+                        continue 'row;
+                    }
+                }
+                match &else_col {
+                    Some(e) => b.push(&e.value(k))?,
+                    None => b.push_null(),
+                }
+            }
+            Ok(b.finish())
+        }
+    }
+}
+
+#[inline]
+fn cmp_truth(op: BinaryOp, o: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        BinaryOp::Eq => o == Ordering::Equal,
+        BinaryOp::NotEq => o != Ordering::Equal,
+        BinaryOp::Lt => o == Ordering::Less,
+        BinaryOp::LtEq => o != Ordering::Greater,
+        BinaryOp::Gt => o == Ordering::Greater,
+        BinaryOp::GtEq => o != Ordering::Less,
+        _ => unreachable!("cmp_truth on non-comparison"),
+    }
+}
+
+fn finish_col(data: ColumnData, validity: Bitmap, has_null: bool) -> Result<Column> {
+    Column::new(data, if has_null { Some(validity) } else { None })
+}
+
+/// A numeric payload widened to f64 on read — used by the mixed Int/Double
+/// comparison and arithmetic kernels (`sql_cmp` compares those as f64).
+enum NumSlice<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+}
+
+impl NumSlice<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            NumSlice::I(v) => v[i] as f64,
+            NumSlice::F(v) => v[i],
+        }
+    }
+}
+
+fn num_slice(c: &Column) -> Option<NumSlice<'_>> {
+    if let Some(v) = c.int_values() {
+        return Some(NumSlice::I(v));
+    }
+    c.double_values().map(NumSlice::F)
+}
+
+fn eval_binary_vec(
+    l: &Operand<'_>,
+    op: BinaryOp,
+    r: &Operand<'_>,
+    sel: Option<&[u32]>,
+    n: usize,
+    ctx: &Expr,
+    ks: &mut KernelStats,
+) -> Result<Column> {
+    let (lc, rc) = (l.col(), r.col());
+    if op.is_comparison() {
+        let mut out = Vec::with_capacity(n);
+        let mut validity = Bitmap::new(n, true);
+        let mut has_null = false;
+        let null_at = |validity: &mut Bitmap, out: &mut Vec<bool>, k: usize| {
+            validity.set(k, false);
+            out.push(false);
+        };
+        // Int/Int compares exactly; any Double side compares as f64 (NaN
+        // compares as NULL) — both mirror `Value::sql_cmp`.
+        if let (Some(la), Some(ra)) = (lc.int_values(), rc.int_values()) {
+            ks.kernel_ops += n as u64;
+            for k in 0..n {
+                let (li, ri) = (l.map(sel, k), r.map(sel, k));
+                if lc.is_null(li) || rc.is_null(ri) {
+                    has_null = true;
+                    null_at(&mut validity, &mut out, k);
+                } else {
+                    out.push(cmp_truth(op, la[li].cmp(&ra[ri])));
+                }
+            }
+            return finish_col(ColumnData::Bool(out), validity, has_null);
+        }
+        if let (Some(ln), Some(rn)) = (num_slice(lc), num_slice(rc)) {
+            ks.kernel_ops += n as u64;
+            for k in 0..n {
+                let (li, ri) = (l.map(sel, k), r.map(sel, k));
+                if lc.is_null(li) || rc.is_null(ri) {
+                    has_null = true;
+                    null_at(&mut validity, &mut out, k);
+                } else {
+                    match ln.get(li).partial_cmp(&rn.get(ri)) {
+                        Some(o) => out.push(cmp_truth(op, o)),
+                        None => {
+                            has_null = true;
+                            null_at(&mut validity, &mut out, k);
+                        }
+                    }
+                }
+            }
+            return finish_col(ColumnData::Bool(out), validity, has_null);
+        }
+        if let (Some(la), Some(ra)) = (lc.str_values(), rc.str_values()) {
+            ks.kernel_ops += n as u64;
+            for k in 0..n {
+                let (li, ri) = (l.map(sel, k), r.map(sel, k));
+                if lc.is_null(li) || rc.is_null(ri) {
+                    has_null = true;
+                    null_at(&mut validity, &mut out, k);
+                } else {
+                    out.push(cmp_truth(op, la[li].as_ref().cmp(ra[ri].as_ref())));
+                }
+            }
+            return finish_col(ColumnData::Bool(out), validity, has_null);
+        }
+        if let (Some(la), Some(ra)) = (lc.bool_values(), rc.bool_values()) {
+            ks.kernel_ops += n as u64;
+            for k in 0..n {
+                let (li, ri) = (l.map(sel, k), r.map(sel, k));
+                if lc.is_null(li) || rc.is_null(ri) {
+                    has_null = true;
+                    null_at(&mut validity, &mut out, k);
+                } else {
+                    out.push(cmp_truth(op, la[li].cmp(&ra[ri])));
+                }
+            }
+            return finish_col(ColumnData::Bool(out), validity, has_null);
+        }
+        // Mixed incomparable types: `sql_cmp` yields NULL per row.
+        ks.fallback_rows += n as u64;
+        let mut b = ColumnBuilder::new(DataType::Bool, n);
+        for k in 0..n {
+            let (li, ri) = (l.map(sel, k), r.map(sel, k));
+            match lc.value(li).sql_cmp(&rc.value(ri)) {
+                None => b.push_null(),
+                Some(o) => b.push(&Value::Bool(cmp_truth(op, o)))?,
+            }
+        }
+        return Ok(b.finish());
+    }
+    match op {
+        BinaryOp::And | BinaryOp::Or => {
+            if let (Some(la), Some(ra)) = (lc.bool_values(), rc.bool_values()) {
+                ks.kernel_ops += n as u64;
+                let mut out = Vec::with_capacity(n);
+                let mut validity = Bitmap::new(n, true);
+                let mut has_null = false;
+                for k in 0..n {
+                    let (li, ri) = (l.map(sel, k), r.map(sel, k));
+                    let lv = (!lc.is_null(li)).then(|| la[li]);
+                    let rv = (!rc.is_null(ri)).then(|| ra[ri]);
+                    match kleene(op, lv, rv) {
+                        Some(v) => out.push(v),
+                        None => {
+                            validity.set(k, false);
+                            has_null = true;
+                            out.push(false);
+                        }
+                    }
+                }
+                return finish_col(ColumnData::Bool(out), validity, has_null);
+            }
+            ks.fallback_rows += n as u64;
+            let mut b = ColumnBuilder::new(DataType::Bool, n);
+            for k in 0..n {
+                let (li, ri) = (l.map(sel, k), r.map(sel, k));
+                let lv = if lc.is_null(li) {
+                    None
+                } else {
+                    lc.value(li).as_bool()
+                };
+                let rv = if rc.is_null(ri) {
+                    None
+                } else {
+                    rc.value(ri).as_bool()
+                };
+                match kleene(op, lv, rv) {
+                    Some(v) => b.push(&Value::Bool(v))?,
+                    None => b.push_null(),
+                }
+            }
+            Ok(b.finish())
+        }
+        BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide => {
+            let int_result = lc.data_type() == DataType::Int
+                && rc.data_type() == DataType::Int
+                && op != BinaryOp::Divide;
+            if int_result {
+                let (la, ra) = (lc.int_values().unwrap(), rc.int_values().unwrap());
+                ks.kernel_ops += n as u64;
+                let mut out = Vec::with_capacity(n);
+                let mut validity = Bitmap::new(n, true);
+                let mut has_null = false;
+                for k in 0..n {
+                    let (li, ri) = (l.map(sel, k), r.map(sel, k));
+                    if lc.is_null(li) || rc.is_null(ri) {
+                        validity.set(k, false);
+                        has_null = true;
+                        out.push(0);
+                        continue;
+                    }
+                    let (x, y) = (la[li], ra[ri]);
+                    let v = match op {
+                        BinaryOp::Plus => x.checked_add(y),
+                        BinaryOp::Minus => x.checked_sub(y),
+                        BinaryOp::Multiply => x.checked_mul(y),
+                        _ => unreachable!(),
+                    };
+                    match v {
+                        Some(v) => out.push(v),
+                        None => {
+                            return Err(Error::Execution(format!(
+                                "integer overflow evaluating {ctx}"
+                            )))
+                        }
+                    }
+                }
+                return finish_col(ColumnData::Int(out), validity, has_null);
+            }
+            if let (Some(ln), Some(rn)) = (num_slice(lc), num_slice(rc)) {
+                ks.kernel_ops += n as u64;
+                let mut out = Vec::with_capacity(n);
+                let mut validity = Bitmap::new(n, true);
+                let mut has_null = false;
+                for k in 0..n {
+                    let (li, ri) = (l.map(sel, k), r.map(sel, k));
+                    if lc.is_null(li) || rc.is_null(ri) {
+                        validity.set(k, false);
+                        has_null = true;
+                        out.push(0.0);
+                        continue;
+                    }
+                    let (x, y) = (ln.get(li), rn.get(ri));
+                    let v = match op {
+                        BinaryOp::Plus => x + y,
+                        BinaryOp::Minus => x - y,
+                        BinaryOp::Multiply => x * y,
+                        BinaryOp::Divide => {
+                            if y == 0.0 {
+                                validity.set(k, false);
+                                has_null = true;
+                                out.push(0.0);
+                                continue;
+                            }
+                            x / y
+                        }
+                        _ => unreachable!(),
+                    };
+                    out.push(v);
+                }
+                return finish_col(ColumnData::Double(out), validity, has_null);
+            }
+            // Non-numeric operand: reproduce the row-wise error behavior on
+            // the evaluated rows.
+            ks.fallback_rows += n as u64;
+            let mut b = ColumnBuilder::new(DataType::Double, n);
+            for k in 0..n {
+                let (li, ri) = (l.map(sel, k), r.map(sel, k));
+                let (lv, rv) = (lc.value(li), rc.value(ri));
+                if lv.is_null() || rv.is_null() {
+                    b.push_null();
+                    continue;
+                }
+                let x = lv.as_double().ok_or_else(|| {
+                    Error::Execution(format!("non-numeric operand {lv} in {ctx}"))
+                })?;
+                let y = rv.as_double().ok_or_else(|| {
+                    Error::Execution(format!("non-numeric operand {rv} in {ctx}"))
+                })?;
+                let v = match op {
+                    BinaryOp::Plus => x + y,
+                    BinaryOp::Minus => x - y,
+                    BinaryOp::Multiply => x * y,
+                    BinaryOp::Divide => {
+                        if y == 0.0 {
+                            b.push_null();
+                            continue;
+                        }
+                        x / y
+                    }
+                    _ => unreachable!(),
+                };
+                b.push(&Value::Double(v))?;
+            }
+            Ok(b.finish())
+        }
+        _ => Err(Error::Internal(format!("unhandled binary op {op}"))),
+    }
+}
+
+/// Kleene three-valued AND/OR.
+#[inline]
+fn kleene(op: BinaryOp, lv: Option<bool>, rv: Option<bool>) -> Option<bool> {
+    if op == BinaryOp::And {
+        match (lv, rv) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        }
+    } else {
+        match (lv, rv) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// Typed `IN` kernel: extract the set elements matching the probe column's
+/// type once (structural equality means cross-type elements can never hit),
+/// then probe native values.
+fn eval_in_vec(
+    op: &Operand<'_>,
+    set: &HashSet<Value>,
+    negated: bool,
+    sel: Option<&[u32]>,
+    n: usize,
+    ks: &mut KernelStats,
+) -> Result<Column> {
+    let c = op.col();
+    let mut out = Vec::with_capacity(n);
+    let mut validity = Bitmap::new(n, true);
+    let mut has_null = false;
+    macro_rules! probe {
+        ($vals:expr, $hit:expr) => {{
+            ks.kernel_ops += n as u64;
+            let vals = $vals;
+            for k in 0..n {
+                let i = op.map(sel, k);
+                if c.is_null(i) {
+                    validity.set(k, false);
+                    has_null = true;
+                    out.push(false);
+                } else {
+                    let hit: bool = $hit(&vals[i]);
+                    out.push(hit != negated);
+                }
+            }
+            finish_col(ColumnData::Bool(out), validity, has_null)
+        }};
+    }
+    match c.data_type() {
+        DataType::Int => {
+            let ints: HashSet<i64> = set.iter().filter_map(Value::as_int).collect();
+            probe!(c.int_values().unwrap(), |v: &i64| ints.contains(v))
+        }
+        DataType::Str => {
+            let strs: HashSet<&str> = set.iter().filter_map(Value::as_str).collect();
+            probe!(c.str_values().unwrap(), |v: &Arc<str>| strs
+                .contains(v.as_ref()))
+        }
+        DataType::Double => {
+            let bits: HashSet<u64> = set
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Double(d) => Some(d.to_bits()),
+                    _ => None,
+                })
+                .collect();
+            probe!(c.double_values().unwrap(), |v: &f64| bits
+                .contains(&v.to_bits()))
+        }
+        DataType::Bool => {
+            let bools: HashSet<bool> = set.iter().filter_map(Value::as_bool).collect();
+            probe!(c.bool_values().unwrap(), |v: &bool| bools.contains(v))
+        }
     }
 }
 

@@ -28,7 +28,7 @@ impl PhysicalOperator for PhysicalAggregate {
     }
 
     fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
-        let b = self.input.execute(ctx)?;
+        let b = super::collect_input(self.input.as_ref(), ctx)?;
         // Each input row is hashed into a group once.
         ctx.metrics.add_comparisons(b.num_rows() as u64);
         hash_aggregate(&b, &self.group_by, &self.aggs)

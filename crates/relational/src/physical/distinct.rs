@@ -20,7 +20,7 @@ impl PhysicalOperator for PhysicalDistinct {
     }
 
     fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
-        let b = self.input.execute(ctx)?;
+        let b = super::collect_input(self.input.as_ref(), ctx)?;
         // Each input row is hashed against the seen-set once.
         ctx.metrics.add_comparisons(b.num_rows() as u64);
         Ok(distinct(&b))

@@ -34,8 +34,8 @@ impl PhysicalOperator for PhysicalHashJoin {
     }
 
     fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
-        let l = self.left.execute(ctx)?;
-        let r = self.right.execute(ctx)?;
+        let l = super::collect_input(self.left.as_ref(), ctx)?;
+        let r = super::collect_input(self.right.as_ref(), ctx)?;
         let (out, probes) = hash_join(&l, &r, &self.left_keys, &self.right_keys, JoinType::Inner)?;
         ctx.stats.join_probes += probes;
         ctx.metrics.add_comparisons(probes);

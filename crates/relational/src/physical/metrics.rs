@@ -49,6 +49,14 @@ pub struct OperatorMetrics {
     pub segments_pruned: u64,
     /// Segments that survived pruning.
     pub segments_scanned: u64,
+    /// Chunks this operator emitted on the streaming path (0 when the
+    /// operator ran materialized). A pure function of plan + data +
+    /// chunk size: identical at any parallelism.
+    pub batches_processed: u64,
+    /// Column gathers skipped because a filter marked survivors with a
+    /// selection vector instead of copying column data (one per column per
+    /// selection-carrying chunk).
+    pub selection_avoided_copies: u64,
     /// Inclusive wall-clock (children included). Timing, not a counter:
     /// excluded from [`OperatorMetrics::deterministic`].
     pub wall_nanos: u64,
@@ -69,6 +77,8 @@ pub struct DeterministicMetrics {
     pub segments_total: u64,
     pub segments_pruned: u64,
     pub segments_scanned: u64,
+    pub batches_processed: u64,
+    pub selection_avoided_copies: u64,
     pub children: Vec<DeterministicMetrics>,
 }
 
@@ -85,6 +95,8 @@ impl OperatorMetrics {
             segments_total: self.segments_total,
             segments_pruned: self.segments_pruned,
             segments_scanned: self.segments_scanned,
+            batches_processed: self.batches_processed,
+            selection_avoided_copies: self.selection_avoided_copies,
             children: self.children.iter().map(Self::deterministic).collect(),
         }
     }
@@ -127,6 +139,16 @@ impl OperatorMetrics {
                     m.segments_total, m.segments_pruned, m.segments_scanned
                 );
             }
+            if m.batches_processed > 0 {
+                let _ = write!(out, " batches={}", m.batches_processed);
+            }
+            if m.selection_avoided_copies > 0 {
+                let _ = write!(
+                    out,
+                    " selection_avoided_copies={}",
+                    m.selection_avoided_copies
+                );
+            }
             if with_timing {
                 let _ = write!(out, " time={:.3}ms", m.wall_nanos as f64 / 1e6);
             }
@@ -152,7 +174,9 @@ impl OperatorMetrics {
             .set("partitions", self.partitions)
             .set("segments_total", self.segments_total)
             .set("segments_pruned", self.segments_pruned)
-            .set("segments_scanned", self.segments_scanned);
+            .set("segments_scanned", self.segments_scanned)
+            .set("batches_processed", self.batches_processed)
+            .set("selection_avoided_copies", self.selection_avoided_copies);
         if with_timing {
             obj = obj.set("time_ms", Json::Num(self.wall_nanos as f64 / 1e6));
         }
@@ -168,9 +192,19 @@ impl OperatorMetrics {
     }
 }
 
+/// Addressable handle for an open metrics frame, returned by
+/// [`MetricsCollector::enter`]. Streaming operators hold their frame's id so
+/// interleaved `next_chunk` calls can record work against the right node —
+/// the innermost-frame `add_*` methods would misattribute it (while a
+/// pipeline streams, the stack holds every operator in the pipeline, with
+/// the source on top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameId(u64);
+
 /// One operator frame while its `execute` is on the stack.
 #[derive(Debug)]
 struct PendingNode {
+    id: u64,
     name: &'static str,
     label: String,
     /// Explicitly recorded input rows (scans); defaults to the sum of the
@@ -181,6 +215,8 @@ struct PendingNode {
     segments_total: u64,
     segments_pruned: u64,
     segments_scanned: u64,
+    batches_processed: u64,
+    selection_avoided_copies: u64,
     children: Vec<OperatorMetrics>,
 }
 
@@ -193,6 +229,7 @@ struct PendingNode {
 pub struct MetricsCollector {
     stack: Vec<PendingNode>,
     root: Option<OperatorMetrics>,
+    next_id: u64,
 }
 
 impl MetricsCollector {
@@ -200,9 +237,13 @@ impl MetricsCollector {
         MetricsCollector::default()
     }
 
-    /// Open a frame for an operator about to execute.
-    pub fn enter(&mut self, name: &'static str, label: String) {
+    /// Open a frame for an operator about to execute (or stream). The
+    /// returned id addresses this frame until its matching `exit`.
+    pub fn enter(&mut self, name: &'static str, label: String) -> FrameId {
+        let id = self.next_id;
+        self.next_id += 1;
         self.stack.push(PendingNode {
+            id,
             name,
             label,
             rows_in: None,
@@ -211,8 +252,11 @@ impl MetricsCollector {
             segments_total: 0,
             segments_pruned: 0,
             segments_scanned: 0,
+            batches_processed: 0,
+            selection_avoided_copies: 0,
             children: Vec::new(),
         });
+        FrameId(id)
     }
 
     /// Close the innermost frame, attaching it to its parent (or making it
@@ -235,6 +279,8 @@ impl MetricsCollector {
             segments_total: node.segments_total,
             segments_pruned: node.segments_pruned,
             segments_scanned: node.segments_scanned,
+            batches_processed: node.batches_processed,
+            selection_avoided_copies: node.selection_avoided_copies,
             wall_nanos,
             children: node.children,
         };
@@ -273,6 +319,28 @@ impl MetricsCollector {
             top.segments_total += total;
             top.segments_pruned += pruned;
             top.segments_scanned += scanned;
+        }
+    }
+
+    fn frame_mut(&mut self, id: FrameId) -> Option<&mut PendingNode> {
+        self.stack.iter_mut().rev().find(|n| n.id == id.0)
+    }
+
+    /// Record elementary work units against a specific open frame — used by
+    /// streaming operators whose frames are not the innermost while the
+    /// pipeline runs.
+    pub fn add_comparisons_to(&mut self, id: FrameId, n: u64) {
+        if let Some(f) = self.frame_mut(id) {
+            f.comparisons += n;
+        }
+    }
+
+    /// Record one emitted chunk (and any column gathers it avoided by
+    /// carrying a selection vector) against a specific open frame.
+    pub fn record_chunk(&mut self, id: FrameId, avoided_copies: u64) {
+        if let Some(f) = self.frame_mut(id) {
+            f.batches_processed += 1;
+            f.selection_avoided_copies += avoided_copies;
         }
     }
 

@@ -23,7 +23,7 @@ impl PhysicalOperator for PhysicalUnion {
         let batches: Vec<Batch> = self
             .inputs
             .iter()
-            .map(|p| p.execute(ctx))
+            .map(|p| super::collect_input(p.as_ref(), ctx))
             .collect::<Result<_>>()?;
         let out = Batch::concat(&batches)?;
         // UNION output columns lose their source qualifiers.

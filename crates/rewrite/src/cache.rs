@@ -319,6 +319,8 @@ impl Rewritten {
             segments_total: 0,
             segments_pruned: 0,
             segments_scanned: 0,
+            batches_processed: 0,
+            selection_avoided_copies: 0,
             wall_nanos: children.iter().map(|c| c.wall_nanos).sum(),
             children,
         };

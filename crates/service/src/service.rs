@@ -17,16 +17,25 @@
 //! next catalog overlay *outside* the publication cell, appends into it, and
 //! publishes with a pointer swap. In-flight queries keep their epoch; the
 //! next dispatch sees the new one.
+//!
+//! Workers also **coalesce identical work**: queries with the same snapshot
+//! epoch, rule-set version, application, SQL, and strategy are guaranteed to
+//! produce byte-identical results, so concurrent duplicates share a single
+//! execution — the first dispatcher leads, the rest wait on its in-flight
+//! slot and clone the result (their own budgets are re-checked before the
+//! reply, so deadlines and cancellation still bite). A leader failure is
+//! never shared: followers fall back to executing independently.
 
 use crate::queue::{Bounded, PushError};
 use crate::snapshot::{Snapshot, SnapshotCell};
 use dc_core::{AbortReason, DeferredCleansingSystem, QueryBudget, QueryReport, Strategy};
 use dc_relational::batch::Batch;
 use dc_relational::error::Error;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -117,6 +126,9 @@ pub struct ServiceStats {
     pub worker: usize,
     /// Why the query aborted, when it did.
     pub abort_reason: Option<AbortReason>,
+    /// The reply was cloned from an identical concurrent query's execution
+    /// instead of being computed by this worker.
+    pub coalesced: bool,
 }
 
 impl ServiceStats {
@@ -130,6 +142,9 @@ impl ServiceStats {
             self.exec_time.as_micros(),
             self.worker
         );
+        if self.coalesced {
+            line.push_str(" coalesced");
+        }
         if let Some(r) = self.abort_reason {
             line.push_str(&format!(" aborted={r}"));
         }
@@ -204,6 +219,7 @@ impl From<Error> for ServiceError {
                     exec_time: Duration::ZERO,
                     worker: 0,
                     abort_reason: Some(reason),
+                    coalesced: false,
                 },
             },
             other => ServiceError::Engine(other),
@@ -236,6 +252,9 @@ pub struct ServiceCounters {
     pub failed: u64,
     /// Batches appended (== current epoch).
     pub appends: u64,
+    /// Queries answered by cloning an identical concurrent query's result
+    /// instead of executing (see the module docs on work coalescing).
+    pub coalesced: u64,
 }
 
 struct Job {
@@ -270,17 +289,90 @@ impl Ticket {
     }
 }
 
+/// Identity of an execution whose result is a pure function of service
+/// state: two jobs with equal keys must produce byte-identical batches, so
+/// their executions may be shared.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FlightKey {
+    epoch: u64,
+    rules_version: u64,
+    application: String,
+    sql: String,
+    strategy: &'static str,
+}
+
+fn strategy_tag(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Auto => "Auto",
+        Strategy::Expanded => "Expanded",
+        Strategy::JoinBack => "JoinBack",
+        _ => "Other",
+    }
+}
+
+/// One in-flight shared execution: the leader publishes, followers wait.
+struct Flight {
+    slot: Mutex<FlightState>,
+    done: Condvar,
+}
+
+enum FlightState {
+    Running,
+    /// The leader failed or aborted — never shared; followers re-execute
+    /// under their own budgets.
+    NotShared,
+    Done(Box<(Batch, QueryReport)>),
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            slot: Mutex::new(FlightState::Running),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Block until the leader publishes; `None` means run it yourself.
+    fn wait(&self) -> Option<(Batch, QueryReport)> {
+        let mut s = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        while matches!(*s, FlightState::Running) {
+            s = self.done.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        match &*s {
+            FlightState::Done(shared) => Some((**shared).clone()),
+            _ => None,
+        }
+    }
+
+    fn publish(&self, result: Option<(Batch, QueryReport)>) {
+        let mut s = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *s = match result {
+            Some(pair) => FlightState::Done(Box::new(pair)),
+            None => FlightState::NotShared,
+        };
+        self.done.notify_all();
+    }
+}
+
+enum Role {
+    Leader(Arc<Flight>),
+    Follower(Arc<Flight>),
+}
+
 struct Shared {
     system: DeferredCleansingSystem,
     snapshots: SnapshotCell,
     queue: Bounded<Job>,
     config: ServiceConfig,
+    inflight: Mutex<HashMap<FlightKey, Arc<Flight>>>,
+    rules_version: AtomicU64,
     admitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
     aborted: AtomicU64,
     failed: AtomicU64,
     appends: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl Shared {
@@ -295,6 +387,46 @@ impl Shared {
             budget = budget.with_row_limit(rows);
         }
         budget
+    }
+
+    /// Join an identical in-flight execution as a follower, or register a
+    /// new one and lead it.
+    fn join_or_lead(&self, key: &FlightKey) -> Role {
+        let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(key) {
+            Some(f) => Role::Follower(Arc::clone(f)),
+            None => {
+                let f = Arc::new(Flight::new());
+                map.insert(key.clone(), Arc::clone(&f));
+                Role::Leader(f)
+            }
+        }
+    }
+
+    /// Remove a led flight so later duplicates execute afresh (results are
+    /// only shared between *concurrent* queries; nothing is memoized across
+    /// time).
+    fn release(&self, key: &FlightKey) {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
+    }
+
+    /// The full rewrite + execute pipeline for one job against `snap`.
+    fn run(
+        &self,
+        snap: &Snapshot,
+        job: &Job,
+        budget: QueryBudget,
+    ) -> Result<(Batch, QueryReport), Error> {
+        self.system.query_snapshot(
+            &snap.catalog,
+            &job.req.application,
+            &job.req.sql,
+            job.req.strategy,
+            budget,
+        )
     }
 }
 
@@ -320,12 +452,15 @@ impl QueryService {
             snapshots: SnapshotCell::new(epoch0),
             queue: Bounded::new(config.queue_capacity),
             config,
+            inflight: Mutex::new(HashMap::new()),
+            rules_version: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             appends: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         });
         let workers = (0..shared.config.workers.max(1))
             .map(|w| {
@@ -405,9 +540,12 @@ impl QueryService {
 
     /// Define a cleansing rule (passes through to the system; rules are
     /// validated against the *live* catalog, which shares table schemas
-    /// with every snapshot).
+    /// with every snapshot). Bumps the rule-set version so in-flight work
+    /// coalescing never pairs queries across a rule change.
     pub fn define_rule(&self, application: &str, rule_text: &str) -> Result<u64, Error> {
-        self.shared.system.define_rule(application, rule_text)
+        let id = self.shared.system.define_rule(application, rule_text)?;
+        self.shared.rules_version.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
     }
 
     /// The wrapped system (rules table, cache stats, exec options).
@@ -425,6 +563,7 @@ impl QueryService {
             aborted: s.aborted.load(Ordering::Relaxed),
             failed: s.failed.load(Ordering::Relaxed),
             appends: s.appends.load(Ordering::Relaxed),
+            coalesced: s.coalesced.load(Ordering::Relaxed),
         }
     }
 
@@ -460,6 +599,7 @@ impl QueryService {
             exec_time: start.elapsed(),
             worker: usize::MAX, // inline, not a pool worker
             abort_reason: None,
+            coalesced: false,
         };
         Ok(format!("{}\n{}", stats.render_comment(), report.text()))
     }
@@ -490,23 +630,47 @@ fn worker_loop(shared: &Shared, worker: usize) {
         let snap = shared.snapshots.load();
         let budget = shared.budget_for(&job);
         let start = Instant::now();
+        let key = FlightKey {
+            epoch: snap.epoch,
+            rules_version: shared.rules_version.load(Ordering::Relaxed),
+            application: job.req.application.clone(),
+            sql: job.req.sql.clone(),
+            strategy: strategy_tag(job.req.strategy),
+        };
+        let mut coalesced = false;
         // Pre-check: queue wait alone may have blown the deadline, and a
         // cancelled job should never start executing.
-        let result = budget.check().and_then(|()| {
-            shared.system.query_snapshot(
-                &snap.catalog,
-                &job.req.application,
-                &job.req.sql,
-                job.req.strategy,
-                budget.clone(),
-            )
-        });
+        let result = budget
+            .check()
+            .and_then(|()| match shared.join_or_lead(&key) {
+                Role::Leader(flight) => {
+                    let res = shared.run(&snap, &job, budget.clone());
+                    flight.publish(res.as_ref().ok().cloned());
+                    shared.release(&key);
+                    res
+                }
+                Role::Follower(flight) => match flight.wait() {
+                    // The shared result is only handed out if this job's own
+                    // budget still allows a reply.
+                    Some(shared_result) => {
+                        coalesced = true;
+                        budget.check().map(|()| shared_result)
+                    }
+                    // Leader failed or aborted: outcomes of failures depend on
+                    // the failing job's budget, so run independently.
+                    None => shared.run(&snap, &job, budget.clone()),
+                },
+            });
+        if coalesced {
+            shared.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
         let stats = ServiceStats {
             snapshot_epoch: snap.epoch,
             queue_wait,
             exec_time: start.elapsed(),
             worker,
             abort_reason: None,
+            coalesced,
         };
         let reply = match result {
             Ok((batch, report)) => {
@@ -677,6 +841,54 @@ mod tests {
         }
         assert_eq!(svc.counters().rejected, rejected as u64);
         assert!(svc.counters().admitted >= 1);
+    }
+
+    #[test]
+    fn concurrent_duplicates_coalesce_and_match() {
+        let catalog = Arc::new(Catalog::new());
+        let rows: Vec<Vec<Value>> = (0..512)
+            .map(|i| {
+                row(
+                    &format!("e{}", i % 64),
+                    i,
+                    if i % 2 == 0 { "shelf" } else { "dock" },
+                )
+            })
+            .collect();
+        catalog.register(Table::new(
+            "caser",
+            Batch::from_rows(reads_schema(), &rows).unwrap(),
+        ));
+        let sys = DeferredCleansingSystem::with_catalog(catalog);
+        sys.define_rule("app", DUP).unwrap();
+        let svc = QueryService::start(
+            sys,
+            ServiceConfig {
+                workers: 4,
+                queue_capacity: 32,
+                ..ServiceConfig::default()
+            },
+        );
+        let tickets: Vec<_> = (0..16)
+            .map(|_| {
+                svc.submit(QueryRequest::new("app", "select epc, rtime from caser"))
+                    .unwrap()
+            })
+            .collect();
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        // Coalesced or not, every reply is byte-identical.
+        let expected = responses[0].batch.sorted_rows();
+        for r in &responses {
+            assert_eq!(r.batch.sorted_rows(), expected);
+        }
+        // With 4 workers draining 16 identical queued jobs, some must have
+        // overlapped with a leader's execution.
+        assert!(
+            svc.counters().coalesced > 0,
+            "expected at least one coalesced reply: {:?}",
+            svc.counters()
+        );
+        assert!(responses.iter().any(|r| r.service.coalesced));
     }
 
     #[test]
