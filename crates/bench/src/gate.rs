@@ -26,6 +26,10 @@ pub const GATING_KEYS: &[&str] = &[
     "eager_rows",
     "segments_scanned",
     "cache_misses",
+    // Partial rows the scatter-gather coordinator pulled from shard
+    // executors: growth means a shard stopped finishing its work locally
+    // (e.g. an aggregate no longer lowers to per-shard partials).
+    "shard_rows_merged",
 ];
 
 /// Deterministic keys that are reported when they drift but never gate:
@@ -52,7 +56,9 @@ pub const INFORMATIONAL_KEYS: &[&str] = &[
 
 /// Keys that must match exactly between baseline and current run —
 /// comparing counters from different configurations is meaningless.
-pub const EXACT_KEYS: &[&str] = &["scale", "seed", "parallelism"];
+/// `shards` appears per-row in the sharded figure (rows are positional),
+/// so a baseline row is only ever diffed against the same shard count.
+pub const EXACT_KEYS: &[&str] = &["scale", "seed", "parallelism", "shards"];
 
 /// Wall-clock keys: reported, never gating.
 fn is_timing_key(key: &str) -> bool {
@@ -530,6 +536,36 @@ mod tests {
         assert!(compare(&mk(9, 50), &mk(9, 50), DEFAULT_TOLERANCE)
             .notes
             .is_empty());
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_an_error_and_merge_counter_gates() {
+        let mk = |shards: u64, merged: u64| {
+            Json::obj()
+                .set("scale", 2usize)
+                .set("seed", 2006u64)
+                .set("parallelism", 1usize)
+                .set(
+                    "figures",
+                    Json::Arr(vec![Json::obj().set("name", "sharded").set(
+                        "rows",
+                        Json::Arr(vec![Json::obj()
+                            .set("shards", shards)
+                            .set("shard_rows_merged", merged)]),
+                    )]),
+                )
+        };
+        // Different shard count in the same row position: config error.
+        let rep = compare(&mk(4, 100), &mk(2, 100), DEFAULT_TOLERANCE);
+        assert!(!rep.passed());
+        assert!(rep.errors.iter().any(|e| e.contains("shards")));
+        // Merge-counter growth beyond tolerance gates.
+        let rep = compare(&mk(4, 100), &mk(4, 150), DEFAULT_TOLERANCE);
+        assert!(!rep.passed());
+        assert_eq!(rep.regressions.len(), 1);
+        assert_eq!(rep.regressions[0].key, "shard_rows_merged");
+        // Identical runs pass.
+        assert!(compare(&mk(4, 100), &mk(4, 100), DEFAULT_TOLERANCE).passed());
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|storage|plans|ablations|eager|service]
-//!       [--scale N] [--seed S] [--threads N] [--workers A,B,..] [--json] [--explain]
+//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|storage|plans|ablations|eager|sharded|service]
+//!       [--scale N] [--seed S] [--threads N] [--workers A,B,..] [--shards A,B,..]
+//!       [--json] [--explain]
 //! ```
 //!
+//! `sharded` runs the Figure-7 query pair through the scatter-gather
+//! coordinator at each `--shards` count and records the coordinator's
+//! deterministic work counters (`shard_rows_merged`, `segments_scanned`,
+//! `sort_comparisons`); it **is** part of `all` and gated by `bench-gate`.
+//!
 //! `service` measures the concurrent `QueryService` (readers + live
-//! append ingest). It is wall-clock-bound and intentionally **not** part
-//! of `all`, so the deterministic bench gate never sees it.
+//! append ingest), plus a wall-clock q/s sweep over `--shards` counts. It
+//! is wall-clock-bound and intentionally **not** part of `all`, so the
+//! deterministic bench gate never sees it.
 //!
 //! Besides the console rendering, every run writes `BENCH_repro.json` — a
 //! machine-readable record of per-figure wall-clock, the deterministic work
@@ -37,6 +44,9 @@ struct Args {
     threads: usize,
     /// Worker-pool sizes swept by the `service` figure.
     workers: Vec<usize>,
+    /// Shard counts swept by the `sharded` figure and the `service` q/s
+    /// sweep.
+    shards: Vec<usize>,
     json: bool,
     explain: bool,
 }
@@ -48,6 +58,7 @@ fn parse_args() -> Args {
         seed: DEFAULT_SEED,
         threads: 1,
         workers: vec![1, 2, 4],
+        shards: vec![1, 2, 4],
         json: false,
         explain: false,
     };
@@ -82,6 +93,17 @@ fn parse_args() -> Args {
                     !args.workers.is_empty(),
                     "--workers takes at least one count"
                 );
+            }
+            "--shards" => {
+                // Comma-separated shard counts for the sharded figures,
+                // e.g. `--shards 1,2,4`. Zero shards are clamped to 1.
+                let list = it.next().expect("--shards A,B,..");
+                args.shards = list
+                    .split(',')
+                    .map(|v| v.trim().parse::<usize>().map(|n| n.max(1)))
+                    .collect::<Result<_, _>>()
+                    .expect("--shards takes comma-separated counts");
+                assert!(!args.shards.is_empty(), "--shards takes at least one count");
             }
             "--json" => args.json = true,
             "--explain" => args.explain = true,
@@ -227,6 +249,16 @@ fn run_one(args: &Args, what: &str) -> Vec<(String, Json)> {
                 .set("deferred_query_ms", Json::Num(c.deferred_query_ms));
             vec![("eager".into(), json)]
         }
+        "sharded" => {
+            let rows =
+                dc_bench::service_bench::sharded_scatter(args.scale, args.seed, &args.shards);
+            println!("== Sharded: scatter-gather coordinator work counters ==");
+            for r in &rows {
+                println!("{}", r.render());
+            }
+            let json = Json::Arr(rows.iter().map(|r| r.to_json()).collect());
+            vec![("sharded".into(), json)]
+        }
         "service" => {
             let rows = dc_bench::service_bench::service_throughput(
                 args.scale.min(8),
@@ -237,8 +269,26 @@ fn run_one(args: &Args, what: &str) -> Vec<(String, Json)> {
             for r in &rows {
                 println!("{}", r.render());
             }
-            let json = Json::Arr(rows.iter().map(|r| r.to_json()).collect());
-            vec![("service".into(), json)]
+            let scaling = dc_bench::service_bench::shard_scaling(
+                args.scale.min(8),
+                args.seed,
+                &args.shards,
+                16,
+            );
+            println!("== Service: scatter-gather q/s vs shard count ==");
+            for r in &scaling {
+                println!("{}", r.render());
+            }
+            vec![
+                (
+                    "service".into(),
+                    Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+                ),
+                (
+                    "service_sharded".into(),
+                    Json::Arr(scaling.iter().map(|r| r.to_json()).collect()),
+                ),
+            ]
         }
         other => panic!("unknown experiment '{other}'"),
     }
@@ -291,6 +341,7 @@ fn main() {
             "storage",
             "ablations",
             "eager",
+            "sharded",
         ]
     } else {
         vec![args.what.as_str()]

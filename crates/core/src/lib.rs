@@ -36,5 +36,5 @@ pub mod system;
 
 pub use dc_relational::error::AbortReason;
 pub use dc_relational::physical::{ExecOptions, OperatorMetrics, QueryBudget};
-pub use dc_rewrite::{CacheStats, DecisionTrace, Strategy};
+pub use dc_rewrite::{CacheStats, DecisionTrace, Executed, Rewritten, Strategy};
 pub use system::{CacheActivity, DeferredCleansingSystem, ExplainReport, QueryReport};

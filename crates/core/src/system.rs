@@ -207,6 +207,13 @@ impl DeferredCleansingSystem {
         self.cleanse_cache = Some(CleanseCache::new(capacity));
     }
 
+    /// [`Self::enable_cleanse_cache`] for a shard-local system: the cache
+    /// key is salted with the shard id so entries can never alias across
+    /// shards that number their own segments independently from 0.
+    pub fn enable_cleanse_cache_for_shard(&mut self, capacity: usize, shard: u64) {
+        self.cleanse_cache = Some(CleanseCache::for_shard(capacity, shard));
+    }
+
     /// Lifetime counters of the cleansed-sequence cache, when enabled.
     pub fn cleanse_cache_stats(&self) -> Option<CacheStats> {
         self.cleanse_cache.as_ref().map(CleanseCache::stats)
@@ -348,6 +355,54 @@ impl DeferredCleansingSystem {
             metrics: run.metrics,
         };
         Ok((run.batch, report))
+    }
+
+    /// Parse, plan, and rewrite an application query against an explicit
+    /// catalog snapshot *without executing it*. The scatter-gather
+    /// coordinator uses this to rewrite once and fan the same rewritten
+    /// plan out to every shard (shard catalogs share one schema, so a plan
+    /// rewritten against any of them is valid on all).
+    pub fn rewrite_snapshot(
+        &self,
+        catalog: &Catalog,
+        application: &str,
+        sql: &str,
+        strategy: Strategy,
+    ) -> Result<Rewritten> {
+        let user_plan = plan_query(&parse_query(sql)?, catalog)?;
+        let rules = self.rules.rules_for(application);
+        self.engine
+            .read()
+            .rewrite_plan(&user_plan, &rules, catalog, strategy)
+    }
+
+    /// Execute an already-rewritten plan against an explicit catalog
+    /// snapshot under a budget, routing through this system's
+    /// cleansed-sequence cache when enabled and the rewrite is cacheable.
+    /// Pairs with [`Self::rewrite_snapshot`]: a shard executor runs the
+    /// coordinator's rewritten plan against its own shard snapshot while
+    /// keeping its own shard-local cache.
+    pub fn execute_rewritten_snapshot(
+        &self,
+        catalog: &Catalog,
+        rewritten: &Rewritten,
+        budget: QueryBudget,
+    ) -> Result<Executed> {
+        self.run_rewritten_at(catalog, rewritten, budget)
+    }
+
+    /// [`Self::execute_rewritten_snapshot`] with the cleansed-sequence
+    /// cache bypassed. Used when `catalog` is a transient merged view (the
+    /// coordinator's unshardable fallback): its tables are rebuilt per
+    /// call, so their segment ids could falsely validate against entries
+    /// cached from this system's own durable catalog.
+    pub fn execute_rewritten_snapshot_uncached(
+        &self,
+        catalog: &Catalog,
+        rewritten: &Rewritten,
+        budget: QueryBudget,
+    ) -> Result<Executed> {
+        rewritten.execute_with_budget(catalog, self.exec_options, budget)
     }
 
     /// Run a query directly on the (dirty) data — the paper's baseline `q`.

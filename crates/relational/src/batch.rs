@@ -181,14 +181,38 @@ impl Batch {
 
     /// Zero-copy chunk view: logical rows `[offset, offset + len)`. O(1) for
     /// flat batches (column windows are shared); for a selected batch only
-    /// the selection subrange is copied, never column data.
+    /// the selection subrange is copied, never column data — the slice of a
+    /// selected batch *is* the slice of its selection, so logical row `i`
+    /// of the result equals logical row `offset + i` of the input.
+    ///
+    /// Panics when the window falls outside the logical row range; use
+    /// [`Batch::try_slice`] for a recoverable, field-named error.
     pub fn slice(&self, offset: usize, len: usize) -> Batch {
-        assert!(
-            offset + len <= self.num_rows(),
-            "slice [{offset}, {offset}+{len}) out of bounds for batch of {} rows",
-            self.num_rows()
-        );
-        match &self.selection {
+        self.try_slice(offset, len)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`Batch::slice`]: `Err` names the offending fields
+    /// (`offset`, `len`, logical `rows`, selection length) instead of
+    /// panicking, so operator code can surface a typed error.
+    pub fn try_slice(&self, offset: usize, len: usize) -> Result<Batch> {
+        let end = offset.checked_add(len).ok_or_else(|| {
+            Error::Execution(format!(
+                "slice: offset={offset} + len={len} overflows usize"
+            ))
+        })?;
+        if end > self.num_rows() {
+            return Err(Error::Execution(format!(
+                "slice: window [offset={offset}, offset+len={end}) out of bounds for \
+                 batch with rows={}{}",
+                self.num_rows(),
+                match &self.selection {
+                    Some(sel) => format!(" (selection of {} entries)", sel.len()),
+                    None => String::new(),
+                }
+            )));
+        }
+        Ok(match &self.selection {
             None => Batch {
                 schema: self.schema.clone(),
                 columns: self.columns.iter().map(|c| c.slice(offset, len)).collect(),
@@ -199,9 +223,9 @@ impl Batch {
                 schema: self.schema.clone(),
                 columns: self.columns.clone(),
                 rows: self.rows,
-                selection: Some(Arc::new(sel[offset..offset + len].to_vec())),
+                selection: Some(Arc::new(sel[offset..end].to_vec())),
             },
-        }
+        })
     }
 
     /// Row `i` (logical) as scalar values.

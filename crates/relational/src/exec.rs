@@ -72,6 +72,9 @@ pub struct ExecStats {
     /// with a selection vector instead of copying column data (one per
     /// column per selection-carrying chunk).
     pub selection_avoided_copies: u64,
+    /// Partial rows received from shard executors and combined by the
+    /// scatter-gather coordinator (0 for unsharded execution).
+    pub shard_rows_merged: u64,
 }
 
 impl ExecStats {
@@ -98,6 +101,7 @@ impl ExecStats {
             seq_cache_invalidations,
             batches_processed,
             selection_avoided_copies,
+            shard_rows_merged,
         } = other;
         self.rows_scanned += rows_scanned;
         self.index_scans += index_scans;
@@ -118,6 +122,7 @@ impl ExecStats {
         self.seq_cache_invalidations += seq_cache_invalidations;
         self.batches_processed += batches_processed;
         self.selection_avoided_copies += selection_avoided_copies;
+        self.shard_rows_merged += shard_rows_merged;
     }
 }
 

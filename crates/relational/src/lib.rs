@@ -56,6 +56,7 @@ pub mod join;
 pub mod optimizer;
 pub mod physical;
 pub mod plan;
+pub mod scatter;
 pub mod schema;
 pub mod segment;
 pub mod sort;
@@ -85,6 +86,10 @@ pub mod prelude {
         OperatorMetrics, PhysicalOperator, QueryBudget,
     };
     pub use crate::plan::{ordering_satisfies, window_sort_keys, LogicalPlan};
+    pub use crate::scatter::{
+        gather, sharding_spec_for, split_scatter, GatherOutcome, GatherStep, ScatterPlan,
+        ShardingSpec,
+    };
     pub use crate::schema::{Field, Schema, SchemaRef};
     pub use crate::sort::SortKey;
     pub use crate::table::{Catalog, CatalogRef, Table};

@@ -101,6 +101,35 @@ impl OperatorMetrics {
         }
     }
 
+    /// Merge another shard's metrics tree into this one. The trees must
+    /// have the same shape (same operator names and child counts — which
+    /// holds whenever every shard executed the same plan): counters and
+    /// wall-clock add node by node, yielding the coordinator's combined
+    /// view. The deterministic projection of the merged tree equals the
+    /// per-shard sums regardless of shard execution order. Returns `false`
+    /// (leaving `self` partially merged) on a shape mismatch; callers
+    /// should then drop the combined tree rather than report a torn one.
+    #[must_use]
+    pub fn merge_same_shape(&mut self, other: &OperatorMetrics) -> bool {
+        if self.name != other.name || self.children.len() != other.children.len() {
+            return false;
+        }
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.comparisons += other.comparisons;
+        self.partitions += other.partitions;
+        self.segments_total += other.segments_total;
+        self.segments_pruned += other.segments_pruned;
+        self.segments_scanned += other.segments_scanned;
+        self.batches_processed += other.batches_processed;
+        self.selection_avoided_copies += other.selection_avoided_copies;
+        self.wall_nanos += other.wall_nanos;
+        self.children
+            .iter_mut()
+            .zip(&other.children)
+            .all(|(a, b)| a.merge_same_shape(b))
+    }
+
     /// Total comparisons across the whole tree.
     pub fn total_comparisons(&self) -> u64 {
         self.comparisons

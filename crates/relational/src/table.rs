@@ -233,6 +233,16 @@ impl Catalog {
         t
     }
 
+    /// Register an already-shared table handle, replacing any existing
+    /// table of the same name. Lets several catalogs (e.g. shard catalogs
+    /// replicating a dimension table) share one allocation.
+    pub fn register_shared(&self, table: Arc<Table>) -> Arc<Table> {
+        self.tables
+            .write()
+            .insert(table.name().to_string(), Arc::clone(&table));
+        table
+    }
+
     pub fn get(&self, name: &str) -> Result<Arc<Table>> {
         self.tables
             .read()

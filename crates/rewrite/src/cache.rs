@@ -85,6 +85,12 @@ struct CachedSeq {
 #[derive(Debug)]
 pub struct CleanseCache {
     inner: Mutex<SeqCache<(u64, IndexKey), CachedSeq>>,
+    /// Folded into every fingerprint. Non-zero for shard-local caches:
+    /// two shards hold *different* rows for overlapping segment-id spaces
+    /// (each shard numbers its own segments from 0), so without the salt a
+    /// shared or migrated cache could validate one shard's entry against
+    /// another shard's covering set and serve wrong rows.
+    salt: u64,
 }
 
 impl CleanseCache {
@@ -92,13 +98,30 @@ impl CleanseCache {
     pub fn new(capacity: usize) -> Self {
         CleanseCache {
             inner: Mutex::new(SeqCache::new(capacity)),
+            salt: 0,
         }
+    }
+
+    /// A shard-local cache: identical to [`CleanseCache::new`] except every
+    /// key is salted with the shard id, so entries can never alias entries
+    /// of another shard (or of an unsharded system) even if caches are
+    /// shared or snapshots migrate between services.
+    pub fn for_shard(capacity: usize, shard: u64) -> Self {
+        CleanseCache {
+            inner: Mutex::new(SeqCache::new(capacity)),
+            // splitmix64-style spread of (shard + 1); unsharded stays 0.
+            salt: (shard + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn salted(&self, fingerprint: u64) -> u64 {
+        fingerprint ^ self.salt
     }
 
     /// Validated lookup: a present entry whose covering-segment snapshot
     /// differs from `segments` is removed (stale).
     pub fn probe(&self, fingerprint: u64, ckey: &Value, segments: &[u64]) -> CacheLookup<Batch> {
-        let key = (fingerprint, IndexKey(ckey.clone()));
+        let key = (self.salted(fingerprint), IndexKey(ckey.clone()));
         match self
             .inner
             .lock()
@@ -113,7 +136,7 @@ impl CleanseCache {
     /// Store a freshly cleansed sequence.
     pub fn store(&self, fingerprint: u64, ckey: &Value, segments: Vec<u64>, rows: Batch) {
         self.inner.lock().insert(
-            (fingerprint, IndexKey(ckey.clone())),
+            (self.salted(fingerprint), IndexKey(ckey.clone())),
             CachedSeq { segments, rows },
         );
     }

@@ -50,14 +50,18 @@
 //! assert_eq!((r1.batch.num_rows(), r1.service.snapshot_epoch), (2, 1));
 //! ```
 
+pub mod partition;
 pub mod queue;
 pub mod service;
 pub mod snapshot;
 
 pub use dc_core::{AbortReason, QueryBudget};
+pub use partition::{
+    partition_catalog, split_batch, HashPartitioner, Partitioner, RangePartitioner,
+};
 pub use queue::{Bounded, PushError};
 pub use service::{
     QueryRequest, QueryResponse, QueryService, ServiceConfig, ServiceCounters, ServiceError,
-    ServiceStats, Ticket,
+    ServiceStats, ShardConfig, Ticket,
 };
-pub use snapshot::{Snapshot, SnapshotCell};
+pub use snapshot::{EpochVector, Snapshot, SnapshotCell};

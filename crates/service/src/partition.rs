@@ -1,0 +1,298 @@
+//! Catalog partitioning and the shard router.
+//!
+//! Cleansing rules cluster by one key (the paper's `CLUSTER BY`, in
+//! practice the EPC), and a rule only ever relates readings *within* one
+//! cluster sequence. Partitioning every key-bearing table on that key
+//! therefore never splits a sequence across shards: each shard cleanses
+//! its clusters exactly as an unsharded system would, and cleansing is
+//! embarrassingly parallel. Tables without the key column (dimension
+//! tables) are **replicated** — every shard holds the same `Arc<Table>`,
+//! so replication costs one map entry, not a copy.
+//!
+//! The [`Partitioner`] decides which shard owns a key value. It must be a
+//! pure function of the value (the router applies it at initial partition
+//! time *and* on every routed append), but is otherwise pluggable:
+//! [`HashPartitioner`] for uniform spread, [`RangePartitioner`] for
+//! locality-preserving splits.
+
+use dc_relational::batch::Batch;
+use dc_relational::error::{Error, Result};
+use dc_relational::scatter::ShardingSpec;
+use dc_relational::table::{Catalog, Table};
+use dc_relational::value::Value;
+
+/// Maps a cluster-key value to the shard that owns it. Implementations
+/// must be deterministic: the same value always routes to the same shard.
+pub trait Partitioner: Send + Sync {
+    /// The owning shard for `key`, in `0..shards`.
+    fn shard_of(&self, key: &Value, shards: usize) -> usize;
+
+    /// Short label for diagnostics (`"hash"`, `"range"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Canonical byte form of a value for hashing: a type tag followed by the
+/// value's natural encoding, so e.g. `Int(1)` and `Str("1")` never collide
+/// structurally.
+fn canonical_bytes(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            out.push(3);
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// FNV-1a over the key's canonical bytes, reduced modulo the shard count.
+/// Stable across processes and platforms (no per-process seed), so shard
+/// assignment survives restarts and is reproducible in tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn shard_of(&self, key: &Value, shards: usize) -> usize {
+        let mut buf = Vec::with_capacity(16);
+        canonical_bytes(key, &mut buf);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in &buf {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        (h % shards.max(1) as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Range partitioning over the key's total order (NULLs first, the same
+/// order sorts use): shard `i` owns keys strictly below `boundaries[i]`,
+/// the last shard owns the rest. `boundaries` must be sorted ascending and
+/// hold exactly `shards - 1` entries; extra boundaries are ignored and a
+/// short list funnels the tail into the last listed shard.
+#[derive(Debug, Clone)]
+pub struct RangePartitioner {
+    boundaries: Vec<Value>,
+}
+
+impl RangePartitioner {
+    /// A partitioner splitting at `boundaries` (ascending).
+    pub fn new(boundaries: Vec<Value>) -> Self {
+        RangePartitioner { boundaries }
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn shard_of(&self, key: &Value, shards: usize) -> usize {
+        let last = shards.max(1) - 1;
+        for (i, b) in self.boundaries.iter().take(last).enumerate() {
+            if key.total_cmp(b) == std::cmp::Ordering::Less {
+                return i;
+            }
+        }
+        self.boundaries.len().min(last)
+    }
+
+    fn name(&self) -> &'static str {
+        "range"
+    }
+}
+
+/// Split `batch` into `shards` batches by routing each row on its key
+/// column. Row order is preserved within every output batch (routing is a
+/// stable partition of the input), so per-shard append order matches the
+/// order the rows arrived in.
+pub fn split_batch(
+    batch: &Batch,
+    key_idx: usize,
+    partitioner: &dyn Partitioner,
+    shards: usize,
+) -> Result<Vec<Batch>> {
+    if key_idx >= batch.num_columns() {
+        return Err(Error::Execution(format!(
+            "split_batch: key column index {key_idx} out of bounds for batch with {} columns",
+            batch.num_columns()
+        )));
+    }
+    let key_col = batch.column(key_idx);
+    let mut rows: Vec<Vec<Vec<Value>>> = vec![Vec::new(); shards.max(1)];
+    for i in 0..batch.num_rows() {
+        let shard = partitioner.shard_of(&key_col.value(i), shards);
+        rows[shard].push(batch.row(i));
+    }
+    rows.into_iter()
+        .map(|r| {
+            if r.is_empty() {
+                Ok(Batch::empty(batch.schema().clone()))
+            } else {
+                Batch::from_rows(batch.schema().clone(), &r)
+            }
+        })
+        .collect()
+}
+
+/// Rebuild `table`'s data as a new table with the same name, secondary
+/// indexes, and sequence-order declaration.
+pub(crate) fn table_like(template: &Table, data: Batch) -> Result<Table> {
+    let mut t = Table::new(template.name(), data);
+    for col in template.indexed_columns() {
+        t.create_index(col)?;
+    }
+    let seq: Vec<&str> = template
+        .sequence_order()
+        .iter()
+        .map(|&i| template.schema().fields()[i].name.as_str())
+        .collect();
+    if !seq.is_empty() {
+        t.set_sequence_order(&seq)?;
+    }
+    Ok(t)
+}
+
+/// Partition `catalog` into `shards` shard catalogs per `spec`: tables in
+/// `spec.partitioned` are split row-wise on the key via `partitioner`
+/// (order-preserving, with the source table's indexes and sequence order
+/// rebuilt per shard); every other table is replicated by sharing its
+/// `Arc<Table>`. The union of the shard catalogs is exactly the input
+/// catalog's rows.
+pub fn partition_catalog(
+    catalog: &Catalog,
+    spec: &ShardingSpec,
+    partitioner: &dyn Partitioner,
+    shards: usize,
+) -> Result<Vec<Catalog>> {
+    let out: Vec<Catalog> = (0..shards.max(1)).map(|_| Catalog::new()).collect();
+    for name in catalog.table_names() {
+        let table = catalog.get(&name)?;
+        if spec.partitioned.contains(&name) {
+            let key_idx = table.schema().index_of_name(&spec.key)?;
+            let parts = split_batch(table.data(), key_idx, partitioner, out.len())?;
+            for (cat, part) in out.iter().zip(parts) {
+                cat.register(table_like(&table, part)?);
+            }
+        } else {
+            for cat in &out {
+                cat.register_shared(std::sync::Arc::clone(&table));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_relational::batch::schema_ref;
+    use dc_relational::schema::{Field, Schema};
+    use dc_relational::value::DataType;
+    use std::collections::BTreeSet;
+
+    fn reads(n: i64) -> Batch {
+        let schema = schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+        ]));
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::str(format!("e{}", i % 7)), Value::Int(i)])
+            .collect();
+        Batch::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn hash_partitioner_is_deterministic_and_total() {
+        let p = HashPartitioner;
+        for i in 0..100 {
+            let v = Value::str(format!("epc-{i}"));
+            let s = p.shard_of(&v, 4);
+            assert!(s < 4);
+            assert_eq!(s, p.shard_of(&v, 4));
+        }
+        // One shard swallows everything.
+        assert_eq!(p.shard_of(&Value::str("x"), 1), 0);
+    }
+
+    #[test]
+    fn range_partitioner_respects_boundaries() {
+        let p = RangePartitioner::new(vec![Value::Int(10), Value::Int(20)]);
+        assert_eq!(p.shard_of(&Value::Int(-5), 3), 0);
+        assert_eq!(p.shard_of(&Value::Int(10), 3), 1);
+        assert_eq!(p.shard_of(&Value::Int(19), 3), 1);
+        assert_eq!(p.shard_of(&Value::Int(20), 3), 2);
+        assert_eq!(p.shard_of(&Value::Int(1000), 3), 2);
+        // NULLs sort first: they land in shard 0.
+        assert_eq!(p.shard_of(&Value::Null, 3), 0);
+        // More shards than boundaries: the tail stops at the last boundary.
+        assert_eq!(p.shard_of(&Value::Int(1000), 5), 2);
+    }
+
+    #[test]
+    fn split_batch_preserves_order_and_loses_nothing() {
+        let batch = reads(50);
+        let parts = split_batch(&batch, 0, &HashPartitioner, 3).unwrap();
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(Batch::num_rows).sum();
+        assert_eq!(total, 50);
+        for part in &parts {
+            // rtime is monotone in the input, so order-preservation means
+            // it stays monotone in every split.
+            let col = part.column(1);
+            for i in 1..part.num_rows() {
+                assert!(col.value(i - 1).total_cmp(&col.value(i)).is_lt());
+            }
+        }
+    }
+
+    #[test]
+    fn split_batch_rejects_bad_key_index() {
+        let err = split_batch(&reads(3), 9, &HashPartitioner, 2).unwrap_err();
+        assert!(err.to_string().contains("key column index 9"));
+    }
+
+    #[test]
+    fn partition_catalog_splits_keyed_and_shares_dimension_tables() {
+        let catalog = Catalog::new();
+        let mut t = Table::new("caser", reads(40));
+        t.create_index("epc").unwrap();
+        catalog.register(t);
+        let dim_schema = schema_ref(Schema::new(vec![Field::new("loc", DataType::Str)]));
+        catalog.register(Table::new(
+            "dim",
+            Batch::from_rows(dim_schema, &[vec![Value::str("dock")]]).unwrap(),
+        ));
+
+        let spec = ShardingSpec {
+            key: "epc".into(),
+            partitioned: BTreeSet::from(["caser".to_string()]),
+        };
+        let shards = partition_catalog(&catalog, &spec, &HashPartitioner, 4).unwrap();
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards
+            .iter()
+            .map(|c| c.get("caser").unwrap().num_rows())
+            .sum();
+        assert_eq!(total, 40);
+        for shard in &shards {
+            // Indexes were rebuilt on the partitioned table.
+            assert!(shard.get("caser").unwrap().index("epc").is_some());
+            // The dimension table is the same allocation everywhere.
+            assert!(std::sync::Arc::ptr_eq(
+                &shard.get("dim").unwrap(),
+                &catalog.get("dim").unwrap()
+            ));
+        }
+    }
+}

@@ -1,4 +1,6 @@
-//! The query service: N workers over immutable snapshots, one ingest path.
+//! The query service: N workers over immutable snapshots, one ingest path,
+//! and — when sharded — a scatter-gather coordinator over per-shard
+//! catalogs.
 //!
 //! Life of a query:
 //!
@@ -6,34 +8,66 @@
 //!    time, and offers it to the bounded admission queue. A full queue is an
 //!    immediate [`ServiceError::Overloaded`] — the service sheds load instead
 //!    of stacking latency.
-//! 2. A worker pops the job, loads the *current* snapshot once, and runs the
-//!    full rewrite + execute pipeline against that frozen epoch under a
-//!    [`QueryBudget`]. Deadlines are anchored at submit time, so queue wait
-//!    counts against the budget.
+//! 2. A worker pops the job, loads the *current* snapshot of every shard
+//!    once (an [`EpochVector`]), and runs the rewrite + execute pipeline
+//!    against those frozen epochs under a [`QueryBudget`]. Deadlines are
+//!    anchored at submit time, so queue wait counts against the budget.
 //! 3. The reply — rows + rewrite report + [`ServiceStats`] — travels back
 //!    through the job's channel; [`Ticket::wait`] hands it to the caller.
 //!
 //! Ingest ([`QueryService::append`]) serializes on its own lock, builds the
 //! next catalog overlay *outside* the publication cell, appends into it, and
-//! publishes with a pointer swap. In-flight queries keep their epoch; the
-//! next dispatch sees the new one.
+//! publishes with a pointer swap. In-flight queries keep their epochs; the
+//! next dispatch sees the new ones. In a sharded service the append batch is
+//! first split on the cluster key, and only the shards that received rows
+//! publish a new epoch.
 //!
-//! Workers also **coalesce identical work**: queries with the same snapshot
-//! epoch, rule-set version, application, SQL, and strategy are guaranteed to
-//! produce byte-identical results, so concurrent duplicates share a single
-//! execution — the first dispatcher leads, the rest wait on its in-flight
-//! slot and clone the result (their own budgets are re-checked before the
-//! reply, so deadlines and cancellation still bite). A leader failure is
-//! never shared: followers fall back to executing independently.
+//! ## Scatter-gather
+//!
+//! [`QueryService::start_sharded`] partitions the catalog on the rules'
+//! cluster key ([`crate::partition`]): since a cleansing rule only relates
+//! readings within one cluster sequence, every shard cleanses its clusters
+//! exactly as an unsharded system would. A query is then:
+//!
+//! * **rewritten once** at the coordinator against shard 0's snapshot (all
+//!   shard catalogs share one schema, so the plan is valid everywhere),
+//! * **decomposed** by [`split_scatter`] — shard-complete plans fan out
+//!   unchanged, aggregates over non-key groups are lowered to partials,
+//! * **executed on every shard in parallel** under clones of the query's
+//!   budget (shared deadline + cancellation token; the row budget bounds
+//!   each shard's own work),
+//! * **gathered** at the coordinator: sorted-stream k-way merge for
+//!   ORDER BY, additive re-aggregation for partials, a final LIMIT cut.
+//!
+//! Plans touching no partitioned table run on shard 0 alone (every shard
+//! replicates dimension tables); plans with no sound decomposition fall
+//! back to executing at the coordinator over a merged view of the shards.
+//! A shard executor lost mid-query surfaces as the typed
+//! [`ServiceError::ShardUnavailable`], never a hang or a panic.
+//!
+//! Workers also **coalesce identical work**: queries with the same epoch
+//! vector, rule-set version, application, SQL, and strategy are guaranteed
+//! to produce byte-identical results, so concurrent duplicates share a
+//! single execution — the first dispatcher leads, the rest wait on its
+//! in-flight slot and clone the result (their own budgets are re-checked
+//! before the reply, so deadlines and cancellation still bite). A leader
+//! failure is never shared: followers fall back to executing independently.
 
+use crate::partition::{partition_catalog, split_batch, table_like, HashPartitioner, Partitioner};
 use crate::queue::{Bounded, PushError};
-use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::snapshot::{EpochVector, Snapshot, SnapshotCell};
 use dc_core::{AbortReason, DeferredCleansingSystem, QueryBudget, QueryReport, Strategy};
 use dc_relational::batch::Batch;
 use dc_relational::error::Error;
+use dc_relational::exec::{ExecStats, Executor};
+use dc_relational::physical::OperatorMetrics;
+use dc_relational::plan::LogicalPlan;
+use dc_relational::scatter::{gather, sharding_spec_for, split_scatter, ScatterPlan, ShardingSpec};
+use dc_relational::table::Catalog;
+use dc_rewrite::{Executed, Rewritten};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -61,6 +95,40 @@ impl Default for ServiceConfig {
             default_deadline: None,
             default_row_limit: None,
         }
+    }
+}
+
+/// How to shard a service: shard count, the cluster-key column that
+/// partitions every key-bearing table, and whether each shard keeps a
+/// (shard-salted) cleansed-sequence cache.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shards (minimum 1).
+    pub shards: usize,
+    /// The cluster-key column (the rules' `CLUSTER BY` key, e.g. `epc`).
+    /// Tables carrying this column are partitioned; all others are
+    /// replicated to every shard.
+    pub key: String,
+    /// When set, every shard runs its own cleansed-sequence cache of this
+    /// capacity, salted with the shard id so entries never alias across
+    /// shards (shards number their own segments independently from 0).
+    pub cleanse_cache_capacity: Option<usize>,
+}
+
+impl ShardConfig {
+    /// Shard on `key` across `shards` shards, no per-shard cache.
+    pub fn new(shards: usize, key: impl Into<String>) -> Self {
+        ShardConfig {
+            shards,
+            key: key.into(),
+            cleanse_cache_capacity: None,
+        }
+    }
+
+    /// Give every shard a cleansed-sequence cache of `capacity` entries.
+    pub fn with_cleanse_cache(mut self, capacity: usize) -> Self {
+        self.cleanse_cache_capacity = Some(capacity);
+        self
     }
 }
 
@@ -114,10 +182,15 @@ impl QueryRequest {
 /// Per-query service-side observations, attached to every reply (and to
 /// [`ServiceError::Aborted`], so a timed-out caller still learns where the
 /// time went).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Epoch of the snapshot the query ran against.
+    /// Total appends across all shards at dispatch — the dense epoch itself
+    /// for an unsharded service (one shard), [`EpochVector::total`]
+    /// otherwise.
     pub snapshot_epoch: u64,
+    /// Per-shard epochs the query ran against (one entry per shard; a
+    /// single entry for an unsharded service).
+    pub epochs: EpochVector,
     /// Time spent queued before a worker picked the job up.
     pub queue_wait: Duration,
     /// Time from dispatch to reply (rewrite + execution).
@@ -133,7 +206,8 @@ pub struct ServiceStats {
 
 impl ServiceStats {
     /// One SQL-comment line for EXPLAIN ANALYZE output, e.g.
-    /// `-- service: epoch=3 queue_wait_us=12 exec_us=480 worker=1`.
+    /// `-- service: epoch=3 queue_wait_us=12 exec_us=480 worker=1`
+    /// (plus ` epochs=1.0.2` when the service is sharded).
     pub fn render_comment(&self) -> String {
         let mut line = format!(
             "-- service: epoch={} queue_wait_us={} exec_us={} worker={}",
@@ -142,6 +216,9 @@ impl ServiceStats {
             self.exec_time.as_micros(),
             self.worker
         );
+        if self.epochs.shards() > 1 {
+            line.push_str(&format!(" epochs={}", self.epochs));
+        }
         if self.coalesced {
             line.push_str(" coalesced");
         }
@@ -160,7 +237,7 @@ pub struct QueryResponse {
     pub batch: Batch,
     /// Rewrite decision + executor counters (see [`QueryReport`]).
     pub report: QueryReport,
-    /// Queue wait, snapshot epoch, worker.
+    /// Queue wait, snapshot epochs, worker.
     pub service: ServiceStats,
 }
 
@@ -182,6 +259,12 @@ pub enum ServiceError {
     },
     /// The engine rejected or failed the query (parse, plan, execution).
     Engine(Error),
+    /// A shard executor was lost mid-query (its thread panicked). The
+    /// query returns no rows; other shards' work is discarded.
+    ShardUnavailable {
+        /// Index of the shard that died.
+        shard: usize,
+    },
     /// The service is shutting down; the queue no longer accepts work.
     ShutDown,
 }
@@ -201,6 +284,9 @@ impl fmt::Display for ServiceError {
                 )
             }
             ServiceError::Engine(e) => write!(f, "{e}"),
+            ServiceError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} unavailable: executor lost mid-query")
+            }
             ServiceError::ShutDown => write!(f, "service shut down"),
         }
     }
@@ -215,6 +301,7 @@ impl From<Error> for ServiceError {
                 reason,
                 service: ServiceStats {
                     snapshot_epoch: 0,
+                    epochs: EpochVector::default(),
                     queue_wait: Duration::ZERO,
                     exec_time: Duration::ZERO,
                     worker: 0,
@@ -250,7 +337,7 @@ pub struct ServiceCounters {
     pub aborted: u64,
     /// Queries that failed in the engine.
     pub failed: u64,
-    /// Batches appended (== current epoch).
+    /// Batches appended (each may publish epochs on several shards).
     pub appends: u64,
     /// Queries answered by cloning an identical concurrent query's result
     /// instead of executing (see the module docs on work coalescing).
@@ -278,7 +365,9 @@ impl Ticket {
 
     /// Request cooperative cancellation. The running query observes the
     /// flag at its next operator boundary and aborts with
-    /// [`AbortReason::Cancelled`]; a queued query aborts at dispatch.
+    /// [`AbortReason::Cancelled`]; a queued query aborts at dispatch. In a
+    /// sharded service the token is shared by every shard executor, so one
+    /// cancel stops the whole fan-out.
     pub fn cancel(&self) {
         self.cancel.store(true, Ordering::Relaxed);
     }
@@ -291,10 +380,11 @@ impl Ticket {
 
 /// Identity of an execution whose result is a pure function of service
 /// state: two jobs with equal keys must produce byte-identical batches, so
-/// their executions may be shared.
+/// their executions may be shared. Sharded services key on the full epoch
+/// vector — any shard advancing breaks the match.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct FlightKey {
-    epoch: u64,
+    epochs: EpochVector,
     rules_version: u64,
     application: String,
     sql: String,
@@ -359,13 +449,49 @@ enum Role {
     Follower(Arc<Flight>),
 }
 
-struct Shared {
+/// One shard: its own deferred-cleansing system (shard-local catalog,
+/// rules copy, shard-salted cleanse cache) and snapshot publication cell.
+struct ShardState {
     system: DeferredCleansingSystem,
     snapshots: SnapshotCell,
+}
+
+/// The ingest router of a sharded service.
+struct Router {
+    spec: ShardingSpec,
+    partitioner: Arc<dyn Partitioner>,
+}
+
+/// What one query execution looked like, shard by shard.
+struct ShardObservation {
+    shard: usize,
+    epoch: u64,
+    rows: u64,
+    segments_scanned: u64,
+    segments_pruned: u64,
+}
+
+/// A finished run with enough detail for both the reply path and
+/// EXPLAIN ANALYZE's `-- shards:` rendering.
+struct RunDetail {
+    batch: Batch,
+    report: QueryReport,
+    per_shard: Vec<ShardObservation>,
+    /// `"local"` (unsharded), `"single-shard"`, `"scatter"`, or
+    /// `"coordinator"` (unshardable fallback).
+    mode: &'static str,
+}
+
+struct Shared {
+    shards: Vec<ShardState>,
+    router: Option<Router>,
     queue: Bounded<Job>,
     config: ServiceConfig,
     inflight: Mutex<HashMap<FlightKey, Arc<Flight>>>,
     rules_version: AtomicU64,
+    /// Fault injection for tests: a shard index whose executor panics
+    /// mid-query (`usize::MAX` = none).
+    fail_shard: AtomicUsize,
     admitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
@@ -376,6 +502,17 @@ struct Shared {
 }
 
 impl Shared {
+    /// The system queries are rewritten against (shard 0; the only shard
+    /// of an unsharded service).
+    fn coordinator(&self) -> &DeferredCleansingSystem {
+        &self.shards[0].system
+    }
+
+    /// Load every shard's current snapshot, in shard order.
+    fn load_snapshots(&self) -> Vec<Arc<Snapshot>> {
+        self.shards.iter().map(|s| s.snapshots.load()).collect()
+    }
+
     /// The effective budget for a job: per-request overrides, else service
     /// defaults; deadline anchored at submit so queue wait is charged.
     fn budget_for(&self, job: &Job) -> QueryBudget {
@@ -413,28 +550,314 @@ impl Shared {
             .remove(key);
     }
 
-    /// The full rewrite + execute pipeline for one job against `snap`.
-    fn run(
+    /// The rewrite + execute pipeline for one query against the loaded
+    /// snapshots, via the legacy local path or scatter-gather.
+    fn run_detail(
         &self,
-        snap: &Snapshot,
-        job: &Job,
+        snaps: &[Arc<Snapshot>],
+        application: &str,
+        sql: &str,
+        strategy: Strategy,
         budget: QueryBudget,
-    ) -> Result<(Batch, QueryReport), Error> {
-        self.system.query_snapshot(
-            &snap.catalog,
-            &job.req.application,
-            &job.req.sql,
-            job.req.strategy,
-            budget,
-        )
+    ) -> Result<RunDetail, ServiceError> {
+        match &self.router {
+            None => {
+                let (batch, report) = self.shards[0].system.query_snapshot(
+                    &snaps[0].catalog,
+                    application,
+                    sql,
+                    strategy,
+                    budget,
+                )?;
+                Ok(RunDetail {
+                    batch,
+                    report,
+                    per_shard: Vec::new(),
+                    mode: "local",
+                })
+            }
+            Some(router) => self.run_scatter(router, snaps, application, sql, strategy, budget),
+        }
+    }
+
+    /// Scatter-gather execution: rewrite once at the coordinator, decompose,
+    /// fan out, merge.
+    fn run_scatter(
+        &self,
+        router: &Router,
+        snaps: &[Arc<Snapshot>],
+        application: &str,
+        sql: &str,
+        strategy: Strategy,
+        budget: QueryBudget,
+    ) -> Result<RunDetail, ServiceError> {
+        let start = Instant::now();
+        let coord = self.coordinator();
+        let rewritten = coord.rewrite_snapshot(&snaps[0].catalog, application, sql, strategy)?;
+        match split_scatter(&rewritten.plan, &router.spec) {
+            ScatterPlan::SingleShard => {
+                // Replicated inputs only: shard 0 holds the full answer.
+                let run =
+                    coord.execute_rewritten_snapshot(&snaps[0].catalog, &rewritten, budget)?;
+                let per = vec![ShardObservation {
+                    shard: 0,
+                    epoch: snaps[0].epoch,
+                    rows: run.batch.num_rows() as u64,
+                    segments_scanned: run.stats.segments_scanned,
+                    segments_pruned: run.stats.segments_pruned,
+                }];
+                let report = scatter_report(
+                    &rewritten,
+                    strategy,
+                    run.stats,
+                    run.window_eval_nanos,
+                    run.metrics,
+                    run.batch.num_rows(),
+                    start,
+                    coord.exec_options().parallelism,
+                    vec!["scatter: replicated-only plan, answered by shard 0".into()],
+                );
+                Ok(RunDetail {
+                    batch: run.batch,
+                    report,
+                    per_shard: per,
+                    mode: "single-shard",
+                })
+            }
+            ScatterPlan::Scatter {
+                shard_plan,
+                steps,
+                reuses_plan,
+            } => {
+                let parts =
+                    self.execute_on_shards(&rewritten, &shard_plan, reuses_plan, snaps, &budget)?;
+                let shard_batches: Vec<Batch> = parts.iter().map(|e| e.batch.clone()).collect();
+                let (batch, outcome) =
+                    gather(&shard_batches, &steps).map_err(ServiceError::from)?;
+                let mut stats = ExecStats::default();
+                let mut window_eval_nanos = 0u64;
+                for e in &parts {
+                    stats.add(&e.stats);
+                    window_eval_nanos += e.window_eval_nanos;
+                }
+                stats.shard_rows_merged += outcome.shard_rows_merged;
+                stats.sort_comparisons += outcome.sort_comparisons;
+                stats.merge_runs_used += outcome.merge_runs_used;
+                let metrics = combine_metrics(&parts);
+                let per = parts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| ShardObservation {
+                        shard: i,
+                        epoch: snaps[i].epoch,
+                        rows: e.batch.num_rows() as u64,
+                        segments_scanned: e.stats.segments_scanned,
+                        segments_pruned: e.stats.segments_pruned,
+                    })
+                    .collect();
+                let report = scatter_report(
+                    &rewritten,
+                    strategy,
+                    stats,
+                    window_eval_nanos,
+                    metrics,
+                    batch.num_rows(),
+                    start,
+                    coord.exec_options().parallelism,
+                    vec![format!(
+                        "scatter: {} shards, {} gather step(s){}",
+                        self.shards.len(),
+                        steps.len(),
+                        if reuses_plan {
+                            ", cached shard path"
+                        } else {
+                            ""
+                        }
+                    )],
+                );
+                Ok(RunDetail {
+                    batch,
+                    report,
+                    per_shard: per,
+                    mode: "scatter",
+                })
+            }
+            ScatterPlan::Unshardable => {
+                // No sound decomposition: merge the partitioned tables into
+                // a coordinator-side view and execute there, bypassing the
+                // shard caches (the merged tables are transient, so their
+                // segment ids must never validate cached entries).
+                let merged = merged_catalog(router, snaps).map_err(ServiceError::from)?;
+                let rewritten = coord.rewrite_snapshot(&merged, application, sql, strategy)?;
+                let run = coord.execute_rewritten_snapshot_uncached(&merged, &rewritten, budget)?;
+                let per = snaps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| ShardObservation {
+                        shard: i,
+                        epoch: s.epoch,
+                        rows: 0,
+                        segments_scanned: 0,
+                        segments_pruned: 0,
+                    })
+                    .collect();
+                let rows = run.batch.num_rows();
+                let report = scatter_report(
+                    &rewritten,
+                    strategy,
+                    run.stats,
+                    run.window_eval_nanos,
+                    run.metrics,
+                    rows,
+                    start,
+                    coord.exec_options().parallelism,
+                    vec![
+                        "scatter: unshardable plan, executed at coordinator over merged shards"
+                            .into(),
+                    ],
+                );
+                Ok(RunDetail {
+                    batch: run.batch,
+                    report,
+                    per_shard: per,
+                    mode: "coordinator",
+                })
+            }
+        }
+    }
+
+    /// Fan `shard_plan` out to every shard in parallel. With `reuses_plan`
+    /// the shard plan is byte-identical to the coordinator's rewritten
+    /// plan, so each shard runs it through its own system (and shard-local
+    /// cleanse cache); otherwise the decomposed plan executes directly. A
+    /// panicking shard thread becomes [`ServiceError::ShardUnavailable`].
+    fn execute_on_shards(
+        &self,
+        rewritten: &Rewritten,
+        shard_plan: &LogicalPlan,
+        reuses_plan: bool,
+        snaps: &[Arc<Snapshot>],
+        budget: &QueryBudget,
+    ) -> Result<Vec<Executed>, ServiceError> {
+        let fail = self.fail_shard.load(Ordering::Relaxed);
+        let joined: Vec<std::thread::Result<Result<Executed, Error>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, shard)| {
+                        let b = budget.clone();
+                        scope.spawn(move || {
+                            assert!(i != fail, "injected shard failure");
+                            if reuses_plan {
+                                shard.system.execute_rewritten_snapshot(
+                                    &snaps[i].catalog,
+                                    rewritten,
+                                    b,
+                                )
+                            } else {
+                                let mut ex = Executor::with_budget(
+                                    &snaps[i].catalog,
+                                    shard.system.exec_options(),
+                                    b,
+                                );
+                                let batch = ex.execute(shard_plan)?;
+                                Ok(Executed {
+                                    batch,
+                                    stats: ex.stats,
+                                    window_eval_nanos: ex.window_eval_nanos,
+                                    metrics: ex.metrics,
+                                })
+                            }
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+        let mut out = Vec::with_capacity(joined.len());
+        for (i, r) in joined.into_iter().enumerate() {
+            match r {
+                Ok(Ok(e)) => out.push(e),
+                Ok(Err(e)) => return Err(ServiceError::from(e)),
+                Err(_) => return Err(ServiceError::ShardUnavailable { shard: i }),
+            }
+        }
+        Ok(out)
     }
 }
 
-/// A concurrent query service over one [`DeferredCleansingSystem`].
+/// Build the coordinator's [`QueryReport`] for a scatter-gather run.
+#[allow(clippy::too_many_arguments)]
+fn scatter_report(
+    rewritten: &Rewritten,
+    strategy: Strategy,
+    stats: ExecStats,
+    window_eval_nanos: u64,
+    metrics: Option<OperatorMetrics>,
+    result_rows: usize,
+    start: Instant,
+    parallelism: usize,
+    extra_notes: Vec<String>,
+) -> QueryReport {
+    let mut notes = rewritten.notes.clone();
+    notes.extend(extra_notes);
+    QueryReport {
+        strategy: format!("{strategy:?}"),
+        chosen: rewritten.chosen.clone(),
+        candidates: rewritten.candidates.clone(),
+        expanded_condition: rewritten.expanded_condition.as_ref().map(|e| e.to_string()),
+        context_condition: rewritten.context_condition.as_ref().map(|e| e.to_string()),
+        notes,
+        stats,
+        elapsed: start.elapsed(),
+        plan: rewritten.plan.display_indent(),
+        result_rows,
+        window_eval_nanos,
+        parallelism,
+        metrics,
+    }
+}
+
+/// Merge per-shard metrics trees into one combined view when every shard
+/// executed the same operator shape; `None` otherwise (per-shard trees are
+/// not comparable, so no tree beats a wrong tree).
+fn combine_metrics(parts: &[Executed]) -> Option<OperatorMetrics> {
+    let mut iter = parts.iter();
+    let mut combined = iter.next()?.metrics.clone()?;
+    for e in iter {
+        match &e.metrics {
+            Some(m) if combined.merge_same_shape(m) => {}
+            _ => return None,
+        }
+    }
+    Some(combined)
+}
+
+/// A transient coordinator-side catalog where every partitioned table is
+/// the shard-order concatenation of its shard parts (replicated tables are
+/// shared from shard 0). Used for the unshardable fallback only.
+fn merged_catalog(router: &Router, snaps: &[Arc<Snapshot>]) -> Result<Catalog, Error> {
+    let merged = snaps[0].catalog.overlay();
+    for name in &router.spec.partitioned {
+        let mut parts = Vec::with_capacity(snaps.len());
+        let template = snaps[0].catalog.get(name)?;
+        for s in snaps {
+            parts.push(s.catalog.get(name)?.data().clone());
+        }
+        let all = Batch::concat(&parts)?;
+        merged.register(table_like(&template, all)?);
+    }
+    Ok(merged)
+}
+
+/// A concurrent query service over one or more [`DeferredCleansingSystem`]s.
 ///
 /// Readers (the worker pool) answer rewritten queries against immutable
 /// epoch-stamped snapshots; a single ingest path appends and publishes new
-/// epochs without ever blocking a reader on append work. Dropping the
+/// epochs without ever blocking a reader on append work. Sharded services
+/// ([`QueryService::start_sharded`]) scatter each query over per-shard
+/// catalogs and gather the partials at the coordinator. Dropping the
 /// service closes the queue, drains queued jobs, and joins the workers.
 pub struct QueryService {
     shared: Arc<Shared>,
@@ -444,16 +867,81 @@ pub struct QueryService {
 
 impl QueryService {
     /// Take ownership of `system`, freeze its current catalog as epoch 0,
-    /// and start the worker pool.
+    /// and start the worker pool (unsharded: one shard, no router).
     pub fn start(system: DeferredCleansingSystem, config: ServiceConfig) -> Self {
         let epoch0 = Arc::new(system.catalog().overlay());
-        let shared = Arc::new(Shared {
+        let shard = ShardState {
             system,
             snapshots: SnapshotCell::new(epoch0),
+        };
+        Self::start_inner(vec![shard], None, config)
+    }
+
+    /// [`QueryService::start`] with default sizing.
+    pub fn with_defaults(system: DeferredCleansingSystem) -> Self {
+        Self::start(system, ServiceConfig::default())
+    }
+
+    /// Partition `system`'s catalog on `shard.key` with the default
+    /// [`HashPartitioner`] and start a scatter-gather service. Each shard
+    /// gets its own system (shard catalog, copy of the rules, optional
+    /// shard-salted cleanse cache), ingest epoch history, and snapshot
+    /// cell. Results are byte-identical (up to row order, exact under
+    /// ORDER BY) to an unsharded service at the same epochs.
+    pub fn start_sharded(
+        system: DeferredCleansingSystem,
+        config: ServiceConfig,
+        shard: ShardConfig,
+    ) -> Result<Self, Error> {
+        Self::start_sharded_with(system, config, shard, Arc::new(HashPartitioner))
+    }
+
+    /// [`QueryService::start_sharded`] with a custom [`Partitioner`]
+    /// (e.g. [`crate::partition::RangePartitioner`]).
+    pub fn start_sharded_with(
+        system: DeferredCleansingSystem,
+        config: ServiceConfig,
+        shard: ShardConfig,
+        partitioner: Arc<dyn Partitioner>,
+    ) -> Result<Self, Error> {
+        let n = shard.shards.max(1);
+        let spec = sharding_spec_for(system.catalog(), &shard.key);
+        let catalogs = partition_catalog(system.catalog(), &spec, partitioner.as_ref(), n)?;
+        let rules_json = system.rules_to_json();
+        let parallelism = system.exec_options().parallelism;
+        let shards = catalogs
+            .into_iter()
+            .enumerate()
+            .map(|(i, cat)| {
+                let mut sys = DeferredCleansingSystem::with_catalog(Arc::new(cat));
+                sys.set_parallelism(parallelism);
+                sys.load_rules_from_json(&rules_json)?;
+                if let Some(cap) = shard.cleanse_cache_capacity {
+                    sys.enable_cleanse_cache_for_shard(cap, i as u64);
+                }
+                let epoch0 = Arc::new(sys.catalog().overlay());
+                Ok(ShardState {
+                    system: sys,
+                    snapshots: SnapshotCell::new(epoch0),
+                })
+            })
+            .collect::<Result<Vec<_>, Error>>()?;
+        Ok(Self::start_inner(
+            shards,
+            Some(Router { spec, partitioner }),
+            config,
+        ))
+    }
+
+    fn start_inner(shards: Vec<ShardState>, router: Option<Router>, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            shards,
+            router,
             queue: Bounded::new(config.queue_capacity),
             config,
             inflight: Mutex::new(HashMap::new()),
             rules_version: AtomicU64::new(0),
+            fail_shard: AtomicUsize::new(usize::MAX),
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -476,11 +964,6 @@ impl QueryService {
             ingest: Mutex::new(()),
             workers,
         }
-    }
-
-    /// [`QueryService::start`] with default sizing.
-    pub fn with_defaults(system: DeferredCleansingSystem) -> Self {
-        Self::start(system, ServiceConfig::default())
     }
 
     /// Submit a query for asynchronous execution. Rejects immediately when
@@ -514,43 +997,119 @@ impl QueryService {
         self.submit(req)?.wait()
     }
 
-    /// Append `batch` to `table` and publish the next epoch. All the append
-    /// work (row concatenation, segment sealing, index extension, cleanse
-    /// cache invalidation) happens on a private overlay outside the
-    /// publication cell — readers never wait on it. Returns the published
-    /// snapshot.
+    /// Append `batch` to `table` and publish the next epoch(s). All the
+    /// append work (key routing, row concatenation, segment sealing, index
+    /// extension, cleanse cache invalidation) happens on private overlays
+    /// outside the publication cells — readers never wait on it.
+    ///
+    /// Sharded services route the rows on the cluster key first: only the
+    /// shards that received rows publish a new epoch (appends to a
+    /// replicated table publish on every shard). Returns the last snapshot
+    /// published by this call (shard 0's current snapshot if the batch was
+    /// empty).
     pub fn append(&self, table: &str, batch: Batch) -> Result<Arc<Snapshot>, Error> {
         let _serial = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
-        let current = self.shared.snapshots.load();
-        let next = current.catalog.overlay();
-        next.append(table, batch)?;
         self.shared.appends.fetch_add(1, Ordering::Relaxed);
-        Ok(self.shared.snapshots.publish(next))
+        let lowered = table.to_ascii_lowercase();
+        match &self.shared.router {
+            Some(router) if router.spec.partitioned.contains(&lowered) => {
+                let key_idx = batch.schema().index_of_name(&router.spec.key)?;
+                let parts = split_batch(
+                    &batch,
+                    key_idx,
+                    router.partitioner.as_ref(),
+                    self.shared.shards.len(),
+                )?;
+                let mut last = None;
+                for (shard, part) in self.shared.shards.iter().zip(parts) {
+                    if part.num_rows() == 0 {
+                        continue;
+                    }
+                    let current = shard.snapshots.load();
+                    let next = current.catalog.overlay();
+                    next.append(table, part)?;
+                    last = Some(shard.snapshots.publish(next));
+                }
+                Ok(last.unwrap_or_else(|| self.shared.shards[0].snapshots.load()))
+            }
+            Some(_) => {
+                // Replicated table: every shard gets the same rows.
+                let mut last = None;
+                for shard in &self.shared.shards {
+                    let current = shard.snapshots.load();
+                    let next = current.catalog.overlay();
+                    next.append(table, batch.clone())?;
+                    last = Some(shard.snapshots.publish(next));
+                }
+                Ok(last.expect("service has at least one shard"))
+            }
+            None => {
+                let shard = &self.shared.shards[0];
+                let current = shard.snapshots.load();
+                let next = current.catalog.overlay();
+                next.append(table, batch)?;
+                Ok(shard.snapshots.publish(next))
+            }
+        }
     }
 
-    /// The snapshot new dispatches currently see.
+    /// The snapshot new dispatches currently see on shard 0 (the only
+    /// shard of an unsharded service). See [`QueryService::shard_snapshot`]
+    /// for the others.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        self.shared.snapshots.load()
+        self.shared.shards[0].snapshots.load()
     }
 
-    /// The current publication epoch.
+    /// The current snapshot of one shard.
+    pub fn shard_snapshot(&self, shard: usize) -> Arc<Snapshot> {
+        self.shared.shards[shard].snapshots.load()
+    }
+
+    /// Number of shards (1 for an unsharded service).
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The current per-shard epochs.
+    pub fn epoch_vector(&self) -> EpochVector {
+        EpochVector(
+            self.shared
+                .shards
+                .iter()
+                .map(|s| s.snapshots.epoch())
+                .collect(),
+        )
+    }
+
+    /// Total appends published across all shards — the dense publication
+    /// epoch itself for an unsharded service.
     pub fn epoch(&self) -> u64 {
-        self.shared.snapshots.epoch()
+        self.epoch_vector().total()
     }
 
-    /// Define a cleansing rule (passes through to the system; rules are
-    /// validated against the *live* catalog, which shares table schemas
-    /// with every snapshot). Bumps the rule-set version so in-flight work
-    /// coalescing never pairs queries across a rule change.
+    /// Define a cleansing rule on every shard (schemas are identical, so
+    /// validation agrees everywhere; a rule rejected on shard 0 is applied
+    /// nowhere). Bumps the rule-set version so in-flight work coalescing
+    /// never pairs queries across a rule change.
     pub fn define_rule(&self, application: &str, rule_text: &str) -> Result<u64, Error> {
-        let id = self.shared.system.define_rule(application, rule_text)?;
+        let mut id = 0;
+        for shard in &self.shared.shards {
+            id = shard.system.define_rule(application, rule_text)?;
+        }
         self.shared.rules_version.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
 
-    /// The wrapped system (rules table, cache stats, exec options).
+    /// The coordinator's system (shard 0; the only system of an unsharded
+    /// service): rules table, cache stats, exec options.
     pub fn system(&self) -> &DeferredCleansingSystem {
-        &self.shared.system
+        self.shared.coordinator()
+    }
+
+    /// One shard's system, for inspecting shard-local state (e.g. its
+    /// cleanse cache counters).
+    pub fn shard_system(&self, shard: usize) -> &DeferredCleansingSystem {
+        &self.shared.shards[shard].system
     }
 
     /// Lifetime counters so far.
@@ -567,12 +1126,29 @@ impl QueryService {
         }
     }
 
+    /// Fault injection for tests: make shard `shard`'s executor panic on
+    /// its next dispatch, exercising the
+    /// [`ServiceError::ShardUnavailable`] path.
+    #[doc(hidden)]
+    pub fn inject_shard_failure(&self, shard: usize) {
+        self.shared.fail_shard.store(shard, Ordering::Relaxed);
+    }
+
+    /// Clear [`QueryService::inject_shard_failure`].
+    #[doc(hidden)]
+    pub fn clear_shard_failure(&self) {
+        self.shared.fail_shard.store(usize::MAX, Ordering::Relaxed);
+    }
+
     /// EXPLAIN ANALYZE through the service: runs inline (not queued)
-    /// against the current snapshot under the request's budget, and
+    /// against the current snapshots under the request's budget, and
     /// prefixes the engine's report with the service comment line
-    /// (`-- service: epoch=… queue_wait_us=… …`).
+    /// (`-- service: epoch=… queue_wait_us=… …`). Sharded services add a
+    /// `-- shards:` header and one `-- shard i:` line per shard with its
+    /// epoch, partial rows, and segment-prune counters.
     pub fn explain_analyze(&self, req: &QueryRequest) -> Result<String, ServiceError> {
-        let snap = self.shared.snapshots.load();
+        let snaps = self.shared.load_snapshots();
+        let epochs = EpochVector(snaps.iter().map(|s| s.epoch).collect());
         let start = Instant::now();
         let mut budget = QueryBudget::unlimited();
         if let Some(d) = req.deadline.or(self.shared.config.default_deadline) {
@@ -581,27 +1157,84 @@ impl QueryService {
         if let Some(rows) = req.row_limit.or(self.shared.config.default_row_limit) {
             budget = budget.with_row_limit(rows);
         }
-        let report = self
-            .shared
-            .system
-            .explain_snapshot(
-                &snap.catalog,
-                &req.application,
-                &req.sql,
-                req.strategy,
-                true,
-                budget,
-            )
-            .map_err(ServiceError::from)?;
-        let stats = ServiceStats {
-            snapshot_epoch: snap.epoch,
-            queue_wait: Duration::ZERO,
-            exec_time: start.elapsed(),
-            worker: usize::MAX, // inline, not a pool worker
-            abort_reason: None,
-            coalesced: false,
-        };
-        Ok(format!("{}\n{}", stats.render_comment(), report.text()))
+        match &self.shared.router {
+            None => {
+                let report = self
+                    .shared
+                    .coordinator()
+                    .explain_snapshot(
+                        &snaps[0].catalog,
+                        &req.application,
+                        &req.sql,
+                        req.strategy,
+                        true,
+                        budget,
+                    )
+                    .map_err(ServiceError::from)?;
+                let stats = ServiceStats {
+                    snapshot_epoch: epochs.total(),
+                    epochs,
+                    queue_wait: Duration::ZERO,
+                    exec_time: start.elapsed(),
+                    worker: usize::MAX, // inline, not a pool worker
+                    abort_reason: None,
+                    coalesced: false,
+                };
+                Ok(format!("{}\n{}", stats.render_comment(), report.text()))
+            }
+            Some(router) => {
+                let detail = self.shared.run_detail(
+                    &snaps,
+                    &req.application,
+                    &req.sql,
+                    req.strategy,
+                    budget,
+                )?;
+                let stats = ServiceStats {
+                    snapshot_epoch: epochs.total(),
+                    epochs,
+                    queue_wait: Duration::ZERO,
+                    exec_time: start.elapsed(),
+                    worker: usize::MAX,
+                    abort_reason: None,
+                    coalesced: false,
+                };
+                let mut out = String::new();
+                out.push_str(&stats.render_comment());
+                out.push('\n');
+                out.push_str(&format!(
+                    "-- shards: n={} mode={} partitioner={} key={} rows_merged={}\n",
+                    self.shared.shards.len(),
+                    detail.mode,
+                    router.partitioner.name(),
+                    router.spec.key,
+                    detail.report.stats.shard_rows_merged,
+                ));
+                for o in &detail.per_shard {
+                    out.push_str(&format!(
+                        "-- shard {}: epoch={} rows={} segments_scanned={} segments_pruned={}\n",
+                        o.shard, o.epoch, o.rows, o.segments_scanned, o.segments_pruned,
+                    ));
+                }
+                // Decision trace + plans from a no-execute explain at the
+                // coordinator (the execution above already paid analyze).
+                let report = self
+                    .shared
+                    .coordinator()
+                    .explain_snapshot(
+                        &snaps[0].catalog,
+                        &req.application,
+                        &req.sql,
+                        req.strategy,
+                        false,
+                        QueryBudget::unlimited(),
+                    )
+                    .map_err(ServiceError::from)?;
+                out.push_str(&format!("-- result rows: {}\n", detail.batch.num_rows()));
+                out.push_str(&report.text());
+                Ok(out)
+            }
+        }
     }
 
     /// Close the queue, drain outstanding jobs, and join the workers.
@@ -627,11 +1260,12 @@ impl Drop for QueryService {
 fn worker_loop(shared: &Shared, worker: usize) {
     while let Some(job) = shared.queue.pop() {
         let queue_wait = job.submitted.elapsed();
-        let snap = shared.snapshots.load();
+        let snaps = shared.load_snapshots();
+        let epochs = EpochVector(snaps.iter().map(|s| s.epoch).collect());
         let budget = shared.budget_for(&job);
         let start = Instant::now();
         let key = FlightKey {
-            epoch: snap.epoch,
+            epochs: epochs.clone(),
             rules_version: shared.rules_version.load(Ordering::Relaxed),
             application: job.req.application.clone(),
             sql: job.req.sql.clone(),
@@ -640,11 +1274,18 @@ fn worker_loop(shared: &Shared, worker: usize) {
         let mut coalesced = false;
         // Pre-check: queue wait alone may have blown the deadline, and a
         // cancelled job should never start executing.
-        let result = budget
-            .check()
-            .and_then(|()| match shared.join_or_lead(&key) {
+        let result = budget.check().map_err(ServiceError::from).and_then(|()| {
+            match shared.join_or_lead(&key) {
                 Role::Leader(flight) => {
-                    let res = shared.run(&snap, &job, budget.clone());
+                    let res = shared
+                        .run_detail(
+                            &snaps,
+                            &job.req.application,
+                            &job.req.sql,
+                            job.req.strategy,
+                            budget.clone(),
+                        )
+                        .map(|d| (d.batch, d.report));
                     flight.publish(res.as_ref().ok().cloned());
                     shared.release(&key);
                     res
@@ -654,18 +1295,31 @@ fn worker_loop(shared: &Shared, worker: usize) {
                     // budget still allows a reply.
                     Some(shared_result) => {
                         coalesced = true;
-                        budget.check().map(|()| shared_result)
+                        budget
+                            .check()
+                            .map_err(ServiceError::from)
+                            .map(|()| shared_result)
                     }
                     // Leader failed or aborted: outcomes of failures depend on
                     // the failing job's budget, so run independently.
-                    None => shared.run(&snap, &job, budget.clone()),
+                    None => shared
+                        .run_detail(
+                            &snaps,
+                            &job.req.application,
+                            &job.req.sql,
+                            job.req.strategy,
+                            budget.clone(),
+                        )
+                        .map(|d| (d.batch, d.report)),
                 },
-            });
+            }
+        });
         if coalesced {
             shared.coalesced.fetch_add(1, Ordering::Relaxed);
         }
         let stats = ServiceStats {
-            snapshot_epoch: snap.epoch,
+            snapshot_epoch: epochs.total(),
+            epochs,
             queue_wait,
             exec_time: start.elapsed(),
             worker,
@@ -681,7 +1335,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
                     service: stats,
                 })
             }
-            Err(Error::Aborted(reason)) => {
+            Err(ServiceError::Aborted { reason, .. }) => {
                 shared.aborted.fetch_add(1, Ordering::Relaxed);
                 Err(ServiceError::Aborted {
                     reason,
@@ -691,9 +1345,9 @@ fn worker_loop(shared: &Shared, worker: usize) {
                     },
                 })
             }
-            Err(e) => {
+            Err(other) => {
                 shared.failed.fetch_add(1, Ordering::Relaxed);
-                Err(ServiceError::Engine(e))
+                Err(other)
             }
         };
         // The caller may have dropped its ticket; losing the reply is fine.
@@ -749,6 +1403,47 @@ mod tests {
         )
     }
 
+    /// A larger catalog and a sharded service over it, plus an unsharded
+    /// twin for equivalence checks.
+    fn sharded_pair(shards: usize) -> (QueryService, QueryService) {
+        let rows: Vec<Vec<Value>> = (0..240)
+            .map(|i| {
+                row(
+                    &format!("e{}", i % 24),
+                    i,
+                    if i % 3 == 0 { "shelf" } else { "dock" },
+                )
+            })
+            .collect();
+        let build = || {
+            let catalog = Arc::new(Catalog::new());
+            catalog.register(Table::new(
+                "caser",
+                Batch::from_rows(reads_schema(), &rows).unwrap(),
+            ));
+            let sys = DeferredCleansingSystem::with_catalog(catalog);
+            sys.define_rule("app", DUP).unwrap();
+            sys
+        };
+        let sharded = QueryService::start_sharded(
+            build(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            ShardConfig::new(shards, "epc"),
+        )
+        .unwrap();
+        let unsharded = QueryService::start(
+            build(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        (sharded, unsharded)
+    }
+
     #[test]
     fn execute_answers_cleansed_and_reports_epoch() {
         let svc = service();
@@ -757,6 +1452,7 @@ mod tests {
             .unwrap();
         assert_eq!(resp.batch.num_rows(), 2); // duplicate removed
         assert_eq!(resp.service.snapshot_epoch, 0);
+        assert_eq!(resp.service.epochs, EpochVector(vec![0]));
         assert!(resp.service.abort_reason.is_none());
         assert_eq!(svc.counters().completed, 1);
     }
@@ -916,5 +1612,146 @@ mod tests {
             }),
             Err(PushError::Closed(_))
         ));
+    }
+
+    #[test]
+    fn sharded_service_matches_unsharded() {
+        for shards in [1, 2, 4] {
+            let (sharded, unsharded) = sharded_pair(shards);
+            assert_eq!(sharded.shard_count(), shards);
+            for sql in [
+                "select epc, rtime from caser",
+                "select epc, count(*) as n from caser group by epc",
+                "select count(*) as n, sum(rtime) as s, avg(rtime) as a from caser",
+                "select epc, rtime from caser where rtime < 100 order by rtime, epc",
+            ] {
+                let a = sharded.execute(QueryRequest::new("app", sql)).unwrap();
+                let b = unsharded.execute(QueryRequest::new("app", sql)).unwrap();
+                assert_eq!(
+                    a.batch.sorted_rows(),
+                    b.batch.sorted_rows(),
+                    "shards={shards} sql={sql}"
+                );
+                assert_eq!(a.service.epochs.shards(), shards);
+            }
+            // ORDER BY reproduces the exact global order, not just the set.
+            let sql = "select epc, rtime from caser order by rtime, epc";
+            let a = sharded.execute(QueryRequest::new("app", sql)).unwrap();
+            let b = unsharded.execute(QueryRequest::new("app", sql)).unwrap();
+            let rows = |batch: &Batch| -> Vec<Vec<Value>> {
+                (0..batch.num_rows()).map(|i| batch.row(i)).collect()
+            };
+            assert_eq!(rows(&a.batch), rows(&b.batch), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_scatter_reports_merge_counters() {
+        let (sharded, _) = sharded_pair(4);
+        let resp = sharded
+            .execute(QueryRequest::new("app", "select epc, rtime from caser"))
+            .unwrap();
+        assert!(
+            resp.report.stats.shard_rows_merged > 0,
+            "scatter runs count merged partials: {:?}",
+            resp.report.stats
+        );
+        assert!(resp
+            .report
+            .notes
+            .iter()
+            .any(|n| n.starts_with("scatter: 4 shards")));
+    }
+
+    #[test]
+    fn sharded_append_routes_by_key() {
+        let (sharded, unsharded) = sharded_pair(3);
+        let extra: Vec<Vec<Value>> = (0..30)
+            .map(|i| row(&format!("e{}", i % 24), 1000 + i, "gate"))
+            .collect();
+        let batch = Batch::from_rows(reads_schema(), &extra).unwrap();
+        sharded.append("caser", batch.clone()).unwrap();
+        unsharded.append("caser", batch).unwrap();
+        // Epochs advanced on the shards that received rows; total rows match.
+        assert!(sharded.epoch() >= 1);
+        assert_eq!(sharded.counters().appends, 1);
+        let total: usize = (0..sharded.shard_count())
+            .map(|i| {
+                sharded
+                    .shard_snapshot(i)
+                    .catalog
+                    .get("caser")
+                    .unwrap()
+                    .num_rows()
+            })
+            .sum();
+        assert_eq!(total, 240 + 30);
+        let a = sharded
+            .execute(QueryRequest::new("app", "select epc, rtime from caser"))
+            .unwrap();
+        let b = unsharded
+            .execute(QueryRequest::new("app", "select epc, rtime from caser"))
+            .unwrap();
+        assert_eq!(a.batch.sorted_rows(), b.batch.sorted_rows());
+    }
+
+    #[test]
+    fn sharded_rule_definition_broadcasts() {
+        let (sharded, unsharded) = sharded_pair(2);
+        // A second rule tightens cleansing on both services identically.
+        const RULE2: &str = "DEFINE dup2 ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+            WHERE B.rtime - A.rtime < 1 mins ACTION DELETE B";
+        sharded.define_rule("app", RULE2).unwrap();
+        unsharded.define_rule("app", RULE2).unwrap();
+        let a = sharded
+            .execute(QueryRequest::new("app", "select epc, rtime from caser"))
+            .unwrap();
+        let b = unsharded
+            .execute(QueryRequest::new("app", "select epc, rtime from caser"))
+            .unwrap();
+        assert_eq!(a.batch.sorted_rows(), b.batch.sorted_rows());
+    }
+
+    #[test]
+    fn shard_failure_is_typed() {
+        let (sharded, _) = sharded_pair(3);
+        sharded.inject_shard_failure(1);
+        let err = sharded
+            .execute(QueryRequest::new("app", "select epc, rtime from caser"))
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::ShardUnavailable { shard: 1 }),
+            "got: {err}"
+        );
+        assert_eq!(sharded.counters().failed, 1);
+        // Recovery: clearing the fault restores service.
+        sharded.clear_shard_failure();
+        sharded
+            .execute(QueryRequest::new("app", "select epc, rtime from caser"))
+            .unwrap();
+    }
+
+    #[test]
+    fn sharded_explain_analyze_carries_shard_lines() {
+        let (sharded, _) = sharded_pair(2);
+        let text = sharded
+            .explain_analyze(&QueryRequest::new("app", "select epc, rtime from caser"))
+            .unwrap();
+        assert!(text.starts_with("-- service: epoch=0 "), "got: {text}");
+        assert!(
+            text.contains("-- shards: n=2 mode=scatter partitioner=hash key=epc"),
+            "got: {text}"
+        );
+        assert!(text.contains("-- shard 0: epoch=0 rows="), "got: {text}");
+        assert!(text.contains("-- shard 1: epoch=0 rows="), "got: {text}");
+        assert!(text.contains("-- chosen:"));
+    }
+
+    #[test]
+    fn epoch_vector_renders_and_totals() {
+        let v = EpochVector(vec![0, 3, 1, 2]);
+        assert_eq!(v.to_string(), "0.3.1.2");
+        assert_eq!(v.total(), 6);
+        assert_eq!(v.shards(), 4);
     }
 }

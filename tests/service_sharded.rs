@@ -1,0 +1,424 @@
+//! Scatter-gather equivalence suite for the sharded query service.
+//!
+//! K reader threads hammer a sharded [`QueryService`] (per-shard cleanse
+//! caches enabled, mixed strategies) while one appender publishes routed
+//! epochs. Every reply records the [`EpochVector`] it ran against;
+//! afterwards each reply is re-executed **serially and unsharded** on a
+//! fresh, cache-free system over the union of the shard snapshots at that
+//! exact epoch vector, and the rows must match — byte for byte under
+//! ORDER BY, as a canonical multiset otherwise (concatenation order across
+//! shards is explicitly unspecified). That single oracle covers the whole
+//! sharded contract:
+//!
+//! * per-shard snapshot isolation — no shard executor ever sees a torn
+//!   catalog;
+//! * scatter soundness — decomposed plans (partial aggregates, merge
+//!   sorts, limit pushdown) reproduce the unsharded answer;
+//! * shard-salted cache safety — a shard-local cleanse cache never serves
+//!   rows cleansed on another shard or another epoch;
+//! * routing totality — every appended row lands on exactly one shard and
+//!   the union of the shards is the unsharded catalog.
+//!
+//! The shard and worker counts are CI-matrix knobs: `DC_TEST_SHARDS`
+//! (comma list, default `1,2,4`) and `DC_TEST_WORKERS` (default `4`).
+
+use deferred_cleansing::relational::prelude::*;
+use deferred_cleansing::rewrite::Strategy;
+use deferred_cleansing::service::{
+    EpochVector, QueryRequest, QueryService, ServiceConfig, ShardConfig, Snapshot,
+};
+use deferred_cleansing::DeferredCleansingSystem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+
+const DUP: &str = "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+    WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B";
+
+/// Query pool spanning every scatter decomposition: shard-complete scans,
+/// key-grouped aggregates (shard-complete), global aggregates (partial
+/// lowering), ORDER BY (k-way merge), LIMIT pushdown, and a rule-free
+/// application.
+const POOL: &[(&str, &str)] = &[
+    ("app", "select epc, rtime from caser"),
+    ("app", "select epc, rtime from caser where rtime < 900"),
+    (
+        "app",
+        "select epc, count(*) as n from caser group by epc order by epc",
+    ),
+    ("app", "select epc, rtime from caser order by rtime, epc"),
+    (
+        "app",
+        "select count(*) as n, sum(rtime) as s, avg(rtime) as a from caser",
+    ),
+    (
+        "app",
+        "select epc, rtime from caser where rtime < 1500 order by rtime, epc limit 7",
+    ),
+    ("norules", "select epc, rtime from caser where rtime < 600"),
+];
+
+const STRATEGIES: &[Strategy] = &[Strategy::Auto, Strategy::Expanded, Strategy::JoinBack];
+
+fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn reads_schema() -> SchemaRef {
+    schema_ref(Schema::new(vec![
+        Field::new("epc", DataType::Str),
+        Field::new("rtime", DataType::Int),
+        Field::new("biz_loc", DataType::Str),
+    ]))
+}
+
+fn seed_rows(rng: &mut StdRng, n: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|_| {
+            vec![
+                Value::str(format!("e{}", rng.gen_range(0u8..8))),
+                Value::Int(rng.gen_range(0i64..2000)),
+                Value::str(format!("loc{}", rng.gen_range(0u8..3))),
+            ]
+        })
+        .collect()
+}
+
+fn rows_of(batch: &Batch) -> Vec<Vec<Value>> {
+    (0..batch.num_rows()).map(|i| batch.row(i)).collect()
+}
+
+/// One observed reply: which query, which strategy, which epoch vector,
+/// what rows.
+struct Observation {
+    pool_idx: usize,
+    strategy: Strategy,
+    epochs: EpochVector,
+    rows: Vec<Vec<Value>>,
+}
+
+/// The unsharded catalog equivalent to the shard snapshots at one epoch
+/// vector: shard-major concatenation of the partitioned table over shared
+/// dimension tables. This is exactly the data the scattered query saw.
+fn union_catalog(snaps: &[Arc<Snapshot>]) -> CatalogRef {
+    let cat = snaps[0].catalog.overlay();
+    let parts: Vec<Batch> = snaps
+        .iter()
+        .map(|s| s.catalog.get("caser").unwrap().data().clone())
+        .collect();
+    cat.register(Table::new("caser", Batch::concat(&parts).unwrap()));
+    Arc::new(cat)
+}
+
+/// Serial oracle: a fresh, cache-free, **unsharded** system over the union
+/// of the recorded shard snapshots.
+fn serial_replay(union: &CatalogRef, pool_idx: usize, strategy: Strategy) -> Vec<Vec<Value>> {
+    let sys = DeferredCleansingSystem::with_catalog(Arc::clone(union));
+    sys.define_rule("app", DUP).unwrap();
+    let (app, sql) = POOL[pool_idx];
+    let (batch, _) = sys.query_with_strategy(app, sql, strategy).unwrap();
+    rows_of(&batch)
+}
+
+fn canonical(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| !o.is_eq())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+fn run_session(shards: usize, workers: usize, seed: u64, total_rounds: usize, appends: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = Arc::new(Catalog::new());
+    catalog.register(Table::new(
+        "caser",
+        Batch::from_rows(reads_schema(), &seed_rows(&mut rng, 60)).unwrap(),
+    ));
+    let sys = DeferredCleansingSystem::with_catalog(catalog);
+    sys.define_rule("app", DUP).unwrap();
+
+    let svc = Arc::new(
+        QueryService::start_sharded(
+            sys,
+            ServiceConfig {
+                workers,
+                queue_capacity: 2 * workers + appends,
+                ..ServiceConfig::default()
+            },
+            ShardConfig::new(shards, "epc").with_cleanse_cache(256),
+        )
+        .unwrap(),
+    );
+    assert_eq!(svc.shard_count(), shards);
+
+    // Per-shard snapshot registries, epoch -> frozen snapshot. The
+    // appender is the only publisher, so after each append it can record
+    // every shard's current snapshot without missing an epoch.
+    let registries: Arc<Vec<Mutex<Vec<Arc<Snapshot>>>>> = Arc::new(
+        (0..shards)
+            .map(|i| Mutex::new(vec![svc.shard_snapshot(i)]))
+            .collect(),
+    );
+
+    // The appender: publishes `appends` routed batches, recording each
+    // shard's snapshot history and the rows it appended.
+    let appender = {
+        let svc = Arc::clone(&svc);
+        let registries = Arc::clone(&registries);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA11E_17D0);
+        std::thread::spawn(move || {
+            let mut appended = Vec::new();
+            for _ in 0..appends {
+                let n = rng.gen_range(1usize..6);
+                let rows = seed_rows(&mut rng, n);
+                let batch = Batch::from_rows(reads_schema(), &rows).unwrap();
+                svc.append("caser", batch).unwrap();
+                for (i, reg) in registries.iter().enumerate() {
+                    let snap = svc.shard_snapshot(i);
+                    let mut reg = reg.lock().unwrap();
+                    if reg.last().unwrap().epoch < snap.epoch {
+                        reg.push(snap);
+                    }
+                }
+                appended.push(rows);
+                std::thread::yield_now();
+            }
+            appended
+        })
+    };
+
+    // K readers, each issuing its share of the seeded rounds.
+    let rounds_per_reader = total_rounds.div_ceil(workers);
+    let readers: Vec<_> = (0..workers)
+        .map(|r| {
+            let svc = Arc::clone(&svc);
+            let mut rng = StdRng::seed_from_u64(seed ^ (0xBEAD_0000 + r as u64));
+            std::thread::spawn(move || {
+                let mut observed = Vec::new();
+                for _ in 0..rounds_per_reader {
+                    let pool_idx = rng.gen_range(0usize..POOL.len());
+                    // The expanded rewrite needs a selective predicate to
+                    // derive a context condition; unfiltered queries only
+                    // run under Auto / JoinBack.
+                    let strategy = if POOL[pool_idx].1.contains("where") {
+                        STRATEGIES[rng.gen_range(0usize..STRATEGIES.len())]
+                    } else {
+                        [Strategy::Auto, Strategy::JoinBack][rng.gen_range(0usize..2)]
+                    };
+                    let (app, sql) = POOL[pool_idx];
+                    let resp = svc
+                        .execute(QueryRequest::new(app, sql).with_strategy(strategy))
+                        .unwrap();
+                    assert_eq!(resp.service.epochs.shards(), svc.shard_count());
+                    observed.push(Observation {
+                        pool_idx,
+                        strategy,
+                        epochs: resp.service.epochs.clone(),
+                        rows: rows_of(&resp.batch),
+                    });
+                }
+                observed
+            })
+        })
+        .collect();
+
+    let appended = appender.join().unwrap();
+    let observations: Vec<Observation> = readers
+        .into_iter()
+        .flat_map(|r| r.join().unwrap())
+        .collect();
+    assert!(observations.len() >= total_rounds);
+    assert_eq!(svc.counters().appends, appends as u64);
+
+    // Per-shard epochs are dense and fully recorded.
+    for (i, reg) in registries.iter().enumerate() {
+        let reg = reg.lock().unwrap();
+        assert_eq!(reg.last().unwrap().epoch, svc.shard_snapshot(i).epoch);
+        for (e, s) in reg.iter().enumerate() {
+            assert_eq!(s.epoch, e as u64, "shard {i} epoch history not dense");
+        }
+    }
+
+    // The oracle: every concurrent reply must match a serial, unsharded,
+    // cache-free re-execution at its recorded epoch vector.
+    for (i, obs) in observations.iter().enumerate() {
+        let snaps: Vec<Arc<Snapshot>> = obs
+            .epochs
+            .0
+            .iter()
+            .enumerate()
+            .map(|(s, &e)| Arc::clone(&registries[s].lock().unwrap()[e as usize]))
+            .collect();
+        let union = union_catalog(&snaps);
+        let expected = serial_replay(&union, obs.pool_idx, obs.strategy);
+        let (_, sql) = POOL[obs.pool_idx];
+        if sql.contains("order by") {
+            assert_eq!(
+                obs.rows, expected,
+                "reply {i} diverged from serial replay (exact order): \
+                 shards={shards} workers={workers} seed={seed} epochs={} \
+                 query={:?} strategy={:?}",
+                obs.epochs, POOL[obs.pool_idx], obs.strategy
+            );
+        } else {
+            assert_eq!(
+                canonical(obs.rows.clone()),
+                canonical(expected),
+                "reply {i} diverged from serial replay (canonical): \
+                 shards={shards} workers={workers} seed={seed} epochs={} \
+                 query={:?} strategy={:?}",
+                obs.epochs,
+                POOL[obs.pool_idx],
+                obs.strategy
+            );
+        }
+    }
+
+    // Routing totality: the final union of the shards equals the seed rows
+    // plus every appended batch, as a canonical multiset.
+    let finals: Vec<Arc<Snapshot>> = (0..shards).map(|i| svc.shard_snapshot(i)).collect();
+    let union = union_catalog(&finals);
+    let got = canonical(rows_of(union.get("caser").unwrap().data()));
+    let mut want_rows = {
+        let mut rng = StdRng::seed_from_u64(seed);
+        seed_rows(&mut rng, 60)
+    };
+    for rows in &appended {
+        want_rows.extend(rows.iter().cloned());
+    }
+    assert_eq!(got, canonical(want_rows));
+}
+
+#[test]
+fn sharded_replay_matches_serial_oracle() {
+    let workers = env_usize("DC_TEST_WORKERS", 4);
+    for shards in env_usize_list("DC_TEST_SHARDS", &[1, 2, 4]) {
+        run_session(shards, workers, 0xDC07_0000 + shards as u64, 60, 10);
+    }
+}
+
+/// Live A/B: a sharded and an unsharded service fed identical appends must
+/// agree on every pool query at quiescence.
+#[test]
+fn sharded_and_unsharded_services_agree_live() {
+    let workers = env_usize("DC_TEST_WORKERS", 4);
+    for shards in env_usize_list("DC_TEST_SHARDS", &[1, 2, 4]) {
+        let seed = 0xDC07_AB00 + shards as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = seed_rows(&mut rng, 80);
+        let build = || {
+            let catalog = Arc::new(Catalog::new());
+            catalog.register(Table::new(
+                "caser",
+                Batch::from_rows(reads_schema(), &rows).unwrap(),
+            ));
+            let sys = DeferredCleansingSystem::with_catalog(catalog);
+            sys.define_rule("app", DUP).unwrap();
+            sys
+        };
+        let sharded = QueryService::start_sharded(
+            build(),
+            ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            },
+            ShardConfig::new(shards, "epc").with_cleanse_cache(128),
+        )
+        .unwrap();
+        let unsharded = QueryService::start(
+            build(),
+            ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            },
+        );
+        for _ in 0..4 {
+            let extra = seed_rows(&mut rng, 7);
+            let batch = Batch::from_rows(reads_schema(), &extra).unwrap();
+            sharded.append("caser", batch.clone()).unwrap();
+            unsharded.append("caser", batch).unwrap();
+        }
+        for (pool_idx, (app, sql)) in POOL.iter().enumerate() {
+            let a = sharded.execute(QueryRequest::new(*app, *sql)).unwrap();
+            let b = unsharded.execute(QueryRequest::new(*app, *sql)).unwrap();
+            if sql.contains("order by") {
+                assert_eq!(
+                    rows_of(&a.batch),
+                    rows_of(&b.batch),
+                    "shards={shards} pool={pool_idx}"
+                );
+            } else {
+                assert_eq!(
+                    canonical(rows_of(&a.batch)),
+                    canonical(rows_of(&b.batch)),
+                    "shards={shards} pool={pool_idx}"
+                );
+            }
+        }
+    }
+}
+
+/// Shard-local cleanse caches warm up and stay correct: the same join-back
+/// query twice must hit at least one shard cache the second time, and both
+/// replies must agree with an uncached run.
+#[test]
+fn shard_caches_warm_and_stay_correct() {
+    let mut rng = StdRng::seed_from_u64(0xDC07_CACE);
+    let rows = seed_rows(&mut rng, 60);
+    let catalog = Arc::new(Catalog::new());
+    catalog.register(Table::new(
+        "caser",
+        Batch::from_rows(reads_schema(), &rows).unwrap(),
+    ));
+    let sys = DeferredCleansingSystem::with_catalog(catalog);
+    sys.define_rule("app", DUP).unwrap();
+    let svc = QueryService::start_sharded(
+        sys,
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        ShardConfig::new(3, "epc").with_cleanse_cache(256),
+    )
+    .unwrap();
+
+    let req = || {
+        QueryRequest::new("app", "select epc, rtime from caser where rtime < 1200")
+            .with_strategy(Strategy::JoinBack)
+    };
+    let cold = svc.execute(req()).unwrap();
+    let warm = svc.execute(req()).unwrap();
+    assert_eq!(
+        canonical(rows_of(&cold.batch)),
+        canonical(rows_of(&warm.batch))
+    );
+    let hits: u64 = (0..svc.shard_count())
+        .map(|i| {
+            svc.shard_system(i)
+                .cleanse_cache_stats()
+                .map_or(0, |s| s.hits)
+        })
+        .sum();
+    assert!(hits > 0, "warm run should hit at least one shard cache");
+    // Warm replies agree with the hit counters' own run.
+    assert!(warm.report.stats.seq_cache_hits > 0);
+}
