@@ -30,6 +30,16 @@ pub const GATING_KEYS: &[&str] = &[
     // executors: growth means a shard stopped finishing its work locally
     // (e.g. an aggregate no longer lowers to per-shard partials).
     "shard_rows_merged",
+    // Standing-query maintenance (the `stream` figure): growth in any of
+    // these means incremental maintenance got more expensive — bigger
+    // deltas, more rows re-cleansed, more cleansing work relative to a
+    // cold recompute, or maintenance steps losing their incremental mode.
+    "notifications",
+    "delta_rows",
+    "recleansed_rows",
+    "fallbacks",
+    "recompute_window_ops",
+    "delta_work_pct",
 ];
 
 /// Deterministic keys that are reported when they drift but never gate:
@@ -58,7 +68,7 @@ pub const INFORMATIONAL_KEYS: &[&str] = &[
 /// comparing counters from different configurations is meaningless.
 /// `shards` appears per-row in the sharded figure (rows are positional),
 /// so a baseline row is only ever diffed against the same shard count.
-pub const EXACT_KEYS: &[&str] = &["scale", "seed", "parallelism", "shards"];
+pub const EXACT_KEYS: &[&str] = &["scale", "seed", "parallelism", "shards", "appends"];
 
 /// Wall-clock keys: reported, never gating.
 fn is_timing_key(key: &str) -> bool {

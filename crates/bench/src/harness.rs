@@ -121,6 +121,18 @@ pub fn setup_with_parallelism(
     seed: u64,
     parallelism: usize,
 ) -> BenchEnv {
+    build(scale, anomaly_pct, seed, parallelism, true)
+}
+
+/// [`setup`] without the cleansed-sequence cache. The `stream` figure
+/// compares incremental maintenance work against cold full recomputes;
+/// both sides must pay the full cleansing cost for the ratio to mean
+/// anything.
+pub fn setup_uncached(scale: usize, anomaly_pct: f64, seed: u64) -> BenchEnv {
+    build(scale, anomaly_pct, seed, 1, false)
+}
+
+fn build(scale: usize, anomaly_pct: f64, seed: u64, parallelism: usize, cache: bool) -> BenchEnv {
     let catalog = Arc::new(Catalog::new());
     let cfg = GenConfig {
         scale,
@@ -134,10 +146,12 @@ pub fn setup_with_parallelism(
         .expect("missing-input materialization");
     let mut system = DeferredCleansingSystem::with_catalog(catalog);
     system.set_parallelism(parallelism);
-    // The cleansed-sequence cache is on for every benchmark environment.
-    // Each environment runs an identical query sequence, so the hit/miss
-    // counters are deterministic and safe to gate on.
-    system.enable_cleanse_cache(4096);
+    // The cleansed-sequence cache is on for every standard benchmark
+    // environment. Each environment runs an identical query sequence, so
+    // the hit/miss counters are deterministic and safe to gate on.
+    if cache {
+        system.enable_cleanse_cache(4096);
+    }
     for n in 1..=5 {
         let app = format!("rules-{n}");
         for text in dataset.benchmark_rules(n) {

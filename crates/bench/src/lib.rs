@@ -22,6 +22,7 @@ pub mod harness;
 pub mod microbench;
 pub mod report;
 pub mod service_bench;
+pub mod stream_bench;
 pub mod window_kernels;
 
 pub use experiments::*;

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|storage|plans|ablations|eager|sharded|service]
+//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|storage|plans|ablations|eager|sharded|stream|service]
 //!       [--scale N] [--seed S] [--threads N] [--workers A,B,..] [--shards A,B,..]
 //!       [--json] [--explain]
 //! ```
@@ -10,6 +10,11 @@
 //! coordinator at each `--shards` count and records the coordinator's
 //! deterministic work counters (`shard_rows_merged`, `segments_scanned`,
 //! `sort_comparisons`); it **is** part of `all` and gated by `bench-gate`.
+//!
+//! `stream` subscribes one standing query per incremental maintenance mode
+//! and publishes an append-heavy suffix workload, comparing the scoped
+//! maintenance cleansing work against cold full recomputes
+//! (`delta_work_pct`). Deterministic, part of `all`, gated by `bench-gate`.
 //!
 //! `service` measures the concurrent `QueryService` (readers + live
 //! append ingest), plus a wall-clock q/s sweep over `--shards` counts. It
@@ -259,6 +264,15 @@ fn run_one(args: &Args, what: &str) -> Vec<(String, Json)> {
             let json = Json::Arr(rows.iter().map(|r| r.to_json()).collect());
             vec![("sharded".into(), json)]
         }
+        "stream" => {
+            let rows = dc_bench::stream_bench::stream_maintenance(args.scale, args.seed, 8);
+            println!("== Stream: standing-query maintenance vs cold recompute ==");
+            for r in &rows {
+                println!("{}", r.render());
+            }
+            let json = Json::Arr(rows.iter().map(|r| r.to_json()).collect());
+            vec![("stream".into(), json)]
+        }
         "service" => {
             let rows = dc_bench::service_bench::service_throughput(
                 args.scale.min(8),
@@ -342,6 +356,7 @@ fn main() {
             "ablations",
             "eager",
             "sharded",
+            "stream",
         ]
     } else {
         vec![args.what.as_str()]

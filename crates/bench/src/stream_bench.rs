@@ -1,0 +1,220 @@
+//! `repro stream` — incremental maintenance work of standing queries.
+//!
+//! Not in the paper (the 2006 evaluation is one-shot); this figure
+//! characterizes the continuous-cleansing subsystem (`dc-stream`): one
+//! standing query per maintenance mode (scoped / ordered / aggregate)
+//! subscribed over the benchmark database, then an append-heavy workload
+//! of suffix batches (existing reads replayed past the current time
+//! horizon, so each batch extends a handful of tag sequences). For every
+//! published epoch the figure accumulates the *maintenance* cleansing work
+//! — `window_accumulator_ops` of the ckey-scoped re-executions, taken from
+//! each [`ChangeSet`]'s stats — and, for comparison, the cleansing work of
+//! a cold full re-execution of the same query at the same epoch.
+//!
+//! `delta_work_pct` is the headline: maintenance ops as a percent of the
+//! cold-recompute ops. The figure asserts it stays **under 20%** — the
+//! point of scoped maintenance — and the counter is gated by `bench-gate`,
+//! so a rewrite or classifier change that silently degrades incrementality
+//! fails CI. Everything reported is a deterministic work counter (the
+//! cleansed-sequence cache is off on both sides, see
+//! [`crate::harness::setup_uncached`]); only figure-level wall-clock is
+//! machine-dependent.
+
+use crate::harness::setup_uncached;
+use dc_json::Json;
+use dc_relational::batch::Batch;
+use dc_relational::value::Value;
+use dc_service::{QueryRequest, QueryService, ServiceConfig, SubscribeOptions};
+use std::sync::Arc;
+
+/// One standing query measured over the whole append schedule.
+#[derive(Debug, Clone)]
+pub struct StreamBenchRow {
+    /// Maintenance mode the subscription classified into.
+    pub mode: &'static str,
+    /// Appends published (one notification each).
+    pub appends: u64,
+    /// Change sets delivered.
+    pub notifications: u64,
+    /// Total rows carried by the change sets.
+    pub delta_rows: u64,
+    /// Rows produced by the ckey-scoped maintenance re-executions.
+    pub recleansed_rows: u64,
+    /// Maintenance steps that fell back to recompute-and-diff.
+    pub fallbacks: u64,
+    /// Cleansing work (window accumulator ops) done by maintenance.
+    pub window_accumulator_ops: u64,
+    /// Cleansing work a cold full re-execution did at each epoch, summed.
+    pub recompute_window_ops: u64,
+    /// `100 * window_accumulator_ops / recompute_window_ops`, rounded.
+    pub delta_work_pct: u64,
+}
+
+impl StreamBenchRow {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("mode", self.mode)
+            .set("appends", self.appends)
+            .set("notifications", self.notifications)
+            .set("delta_rows", self.delta_rows)
+            .set("recleansed_rows", self.recleansed_rows)
+            .set("fallbacks", self.fallbacks)
+            .set("window_accumulator_ops", self.window_accumulator_ops)
+            .set("recompute_window_ops", self.recompute_window_ops)
+            .set("delta_work_pct", self.delta_work_pct)
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "mode={:<9} {:>2} appends  delta_rows={:>5} recleansed={:>6} \
+             maint_ops={:>8} recompute_ops={:>9}  ({:>2}% of cold)  fallbacks={}",
+            self.mode,
+            self.appends,
+            self.delta_rows,
+            self.recleansed_rows,
+            self.window_accumulator_ops,
+            self.recompute_window_ops,
+            self.delta_work_pct,
+            self.fallbacks
+        )
+    }
+}
+
+/// The append schedule: `appends` suffix batches of `rows_per_batch`
+/// consecutive reads, replayed with every `rtime` shifted past the current
+/// maximum. Consecutive generated reads belong to a handful of tags, so
+/// each batch touches few cluster keys — the append-heavy regime standing
+/// queries are built for.
+fn suffix_batches(data: &Batch, appends: usize, rows_per_batch: usize) -> Vec<Batch> {
+    let rtime_idx = data
+        .schema()
+        .index_of_name("rtime")
+        .expect("reads table has rtime");
+    let mut max_rtime = 0i64;
+    for i in 0..data.num_rows() {
+        if let Value::Int(t) = data.row(i)[rtime_idx] {
+            max_rtime = max_rtime.max(t);
+        }
+    }
+    (0..appends)
+        .map(|a| {
+            let rows: Vec<Vec<Value>> = (0..rows_per_batch)
+                .map(|r| {
+                    let mut row = data.row((a * rows_per_batch + r) % data.num_rows());
+                    if let Value::Int(t) = row[rtime_idx] {
+                        // Strictly increasing across batches so each append
+                        // extends the suffix rather than rewriting history.
+                        row[rtime_idx] = Value::Int(t + (a as i64 + 1) * (max_rtime + 1));
+                    }
+                    row
+                })
+                .collect();
+            Batch::from_rows(data.schema().clone(), &rows).expect("suffix batch")
+        })
+        .collect()
+}
+
+/// Run the figure: subscribe one query per incremental mode under the
+/// 3-rule application, publish `appends` suffix batches, and compare
+/// maintenance work against cold recomputes epoch by epoch.
+pub fn stream_maintenance(scale: usize, seed: u64, appends: usize) -> Vec<StreamBenchRow> {
+    let env = setup_uncached(scale, 10.0, seed);
+    let t_mid = env.dataset.rtime_quantile(0.5);
+    let subs: [(&'static str, String); 3] = [
+        (
+            "scoped",
+            format!("select epc, rtime, biz_loc from caser where rtime >= {t_mid}"),
+        ),
+        (
+            "ordered",
+            "select epc, rtime from caser order by rtime desc, epc limit 50".into(),
+        ),
+        (
+            "aggregate",
+            "select biz_loc, count(*) as n, avg(rtime) as a from caser group by biz_loc".into(),
+        ),
+    ];
+
+    let batches = {
+        let table = env.system.catalog().get("caser").expect("caser exists");
+        suffix_batches(table.data(), appends, 16)
+    };
+
+    let svc = Arc::new(QueryService::start(
+        env.system,
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    let handles: Vec<_> = subs
+        .iter()
+        .map(|(mode, sql)| {
+            let h = svc
+                .subscribe(
+                    "rules-3",
+                    sql,
+                    SubscribeOptions::default().with_queue_capacity(appends + 1),
+                )
+                .expect("subscribe");
+            assert_eq!(h.mode(), *mode, "classification of {sql:?}");
+            h
+        })
+        .collect();
+
+    let mut rows: Vec<StreamBenchRow> = subs
+        .iter()
+        .map(|(mode, _)| StreamBenchRow {
+            mode,
+            appends: appends as u64,
+            notifications: 0,
+            delta_rows: 0,
+            recleansed_rows: 0,
+            fallbacks: 0,
+            window_accumulator_ops: 0,
+            recompute_window_ops: 0,
+            delta_work_pct: 0,
+        })
+        .collect();
+
+    for batch in batches {
+        svc.append("caser", batch).expect("append");
+        for (i, h) in handles.iter().enumerate() {
+            let cs = h
+                .try_next()
+                .expect("healthy feed")
+                .expect("one change set per publish");
+            rows[i].notifications += 1;
+            rows[i].delta_rows += cs.delta_rows() as u64;
+            rows[i].recleansed_rows += cs.stats.exec.maintenance_scoped_rows;
+            rows[i].fallbacks += cs.stats.fallback as u64;
+            rows[i].window_accumulator_ops += cs.stats.exec.window_accumulator_ops;
+        }
+        // What the same epochs would have cost without incremental
+        // maintenance: a cold full re-execution of each standing query.
+        for (i, (_, sql)) in subs.iter().enumerate() {
+            let resp = svc
+                .execute(QueryRequest::new("rules-3", sql))
+                .expect("cold recompute");
+            rows[i].recompute_window_ops += resp.report.stats.window_accumulator_ops;
+        }
+    }
+
+    for row in &mut rows {
+        assert!(
+            row.recompute_window_ops > 0,
+            "cold recompute did no window work"
+        );
+        row.delta_work_pct = (100 * row.window_accumulator_ops + row.recompute_window_ops / 2)
+            / row.recompute_window_ops;
+        assert!(
+            row.delta_work_pct < 20,
+            "mode={} maintenance did {}% of the cold-recompute work (expected < 20%)",
+            row.mode,
+            row.delta_work_pct
+        );
+        assert_eq!(row.fallbacks, 0, "mode={} unexpectedly fell back", row.mode);
+    }
+    rows
+}

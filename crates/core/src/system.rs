@@ -9,6 +9,7 @@
 
 use dc_json::Json;
 use dc_relational::batch::Batch;
+use dc_relational::delta;
 use dc_relational::error::Result;
 use dc_relational::exec::{ExecStats, Executor};
 use dc_relational::explain::{logical_to_json, physical_to_json};
@@ -16,6 +17,7 @@ use dc_relational::physical::{display_physical, lower, ExecOptions, OperatorMetr
 use dc_relational::plan::LogicalPlan;
 use dc_relational::sql::{parse_query, plan_query, plan_sql};
 use dc_relational::table::{Catalog, CatalogRef};
+use dc_relational::value::Value;
 use dc_rewrite::{
     CacheStats, Candidate, CleanseCache, DecisionTrace, Executed, RewriteEngine, Rewritten,
     Strategy,
@@ -355,6 +357,68 @@ impl DeferredCleansingSystem {
             metrics: run.metrics,
         };
         Ok((run.batch, report))
+    }
+
+    /// [`Self::query_snapshot`] starting from an already-built user plan
+    /// instead of SQL. The standing-query maintainer uses this to run
+    /// *scoped* variants of a subscription's plan — the original plan with
+    /// each reads-table scan restricted to the cluster keys an append
+    /// touched — without round-tripping through the parser.
+    pub fn query_plan_snapshot(
+        &self,
+        catalog: &Catalog,
+        application: &str,
+        user_plan: &LogicalPlan,
+        strategy: Strategy,
+        budget: QueryBudget,
+    ) -> Result<(Batch, QueryReport)> {
+        let start = Instant::now();
+        let rules = self.rules.rules_for(application);
+        let rewritten = self
+            .engine
+            .read()
+            .rewrite_plan(user_plan, &rules, catalog, strategy)?;
+        let run = self.run_rewritten_at(catalog, &rewritten, budget)?;
+        let report = QueryReport {
+            strategy: format!("{strategy:?}"),
+            chosen: rewritten.chosen,
+            candidates: rewritten.candidates,
+            expanded_condition: rewritten.expanded_condition.map(|e| e.to_string()),
+            context_condition: rewritten.context_condition.map(|e| e.to_string()),
+            notes: rewritten.notes,
+            stats: run.stats,
+            elapsed: start.elapsed(),
+            plan: rewritten.plan.display_indent(),
+            result_rows: run.batch.num_rows(),
+            window_eval_nanos: run.window_eval_nanos,
+            parallelism: self.exec_options.parallelism,
+            metrics: run.metrics,
+        };
+        Ok((run.batch, report))
+    }
+
+    /// Re-cleanse-by-ckey entry point: run `sql` for `application` against
+    /// `catalog`, but with every scan of `table` restricted to rows whose
+    /// `column` value is in `keys`. Because cleansing rules partition
+    /// sequences by the cluster key, restricting the reads table to a key
+    /// set commutes with cleansing, so this computes exactly the slice of
+    /// the full answer owned by `keys` — the unit of work incremental
+    /// maintenance re-executes per append.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_snapshot_scoped(
+        &self,
+        catalog: &Catalog,
+        application: &str,
+        sql: &str,
+        table: &str,
+        column: &str,
+        keys: &[Value],
+        strategy: Strategy,
+        budget: QueryBudget,
+    ) -> Result<(Batch, QueryReport)> {
+        let user_plan = plan_query(&parse_query(sql)?, catalog)?;
+        let scoped = delta::scope_plan(&user_plan, table, column, keys);
+        self.query_plan_snapshot(catalog, application, &scoped, strategy, budget)
     }
 
     /// Parse, plan, and rewrite an application query against an explicit

@@ -76,6 +76,10 @@ enum AggState {
     Distinct(HashSet<Value>),
     SumInt(i64, bool), // (sum, saw_any)
     SumF64(f64, bool),
+    /// Integer-argument average: exact i128 sum, divided once at finish.
+    /// Order-independent, which is what lets incremental maintenance
+    /// reproduce it from add/subtract deltas bit-for-bit.
+    AvgInt(i128, i64),
     Avg(f64, i64),
     MinMax(Option<Value>),
 }
@@ -89,7 +93,10 @@ impl AggState {
                 Some(DataType::Double) => AggState::SumF64(0.0, false),
                 _ => AggState::SumInt(0, false),
             },
-            AggFunc::Avg(_) => AggState::Avg(0.0, 0),
+            AggFunc::Avg(_) => match arg_type {
+                Some(DataType::Int) => AggState::AvgInt(0, 0),
+                _ => AggState::Avg(0.0, 0),
+            },
             AggFunc::Min(_) | AggFunc::Max(_) => AggState::MinMax(None),
         }
     }
@@ -124,6 +131,14 @@ impl AggState {
                         Error::Execution(format!("sum over non-numeric value {v}"))
                     })?;
                     *any = true;
+                }
+            }
+            (AggState::AvgInt(s, n), AggFunc::Avg(_)) => {
+                if let Some(v) = v {
+                    *s += v.as_int().ok_or_else(|| {
+                        Error::Execution(format!("avg over non-integer value {v}"))
+                    })? as i128;
+                    *n += 1;
                 }
             }
             (AggState::Avg(s, n), AggFunc::Avg(_)) => {
@@ -171,6 +186,13 @@ impl AggState {
                     Value::Double(s)
                 } else {
                     Value::Null
+                }
+            }
+            AggState::AvgInt(s, n) => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(s as f64 / n as f64)
                 }
             }
             AggState::Avg(s, n) => {

@@ -75,6 +75,16 @@ pub struct ExecStats {
     /// Partial rows received from shard executors and combined by the
     /// scatter-gather coordinator (0 for unsharded execution).
     pub shard_rows_merged: u64,
+    /// Delta rows applied to standing-query state (inserted + deleted +
+    /// updated rows across incremental maintenance steps; 0 outside the
+    /// streaming subsystem).
+    pub maintenance_delta_rows: u64,
+    /// Rows scanned by ckey-scoped maintenance re-executions — the
+    /// incremental work a standing query pays per publish, compared by the
+    /// bench gate against the cost of full recomputation.
+    pub maintenance_scoped_rows: u64,
+    /// Maintenance steps that fell back to full recompute-and-diff.
+    pub maintenance_fallbacks: u64,
 }
 
 impl ExecStats {
@@ -102,6 +112,9 @@ impl ExecStats {
             batches_processed,
             selection_avoided_copies,
             shard_rows_merged,
+            maintenance_delta_rows,
+            maintenance_scoped_rows,
+            maintenance_fallbacks,
         } = other;
         self.rows_scanned += rows_scanned;
         self.index_scans += index_scans;
@@ -123,6 +136,9 @@ impl ExecStats {
         self.batches_processed += batches_processed;
         self.selection_avoided_copies += selection_avoided_copies;
         self.shard_rows_merged += shard_rows_merged;
+        self.maintenance_delta_rows += maintenance_delta_rows;
+        self.maintenance_scoped_rows += maintenance_scoped_rows;
+        self.maintenance_fallbacks += maintenance_fallbacks;
     }
 }
 

@@ -47,6 +47,7 @@ pub mod batch;
 pub mod column;
 pub mod constraint;
 pub mod cost;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod explain;

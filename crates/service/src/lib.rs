@@ -14,7 +14,12 @@
 //!   via [`Ticket::cancel`] — and aborts with a typed error, never a panic
 //!   or partial rows;
 //! * admission is a bounded queue with **reject-on-full** backpressure
-//!   ([`ServiceError::Overloaded`]).
+//!   ([`ServiceError::Overloaded`]);
+//! * [`QueryService::subscribe`] registers a **standing query**: the caller
+//!   gets the full result once, then one [`ChangeSet`] per published epoch,
+//!   maintained incrementally by re-cleansing only the cluster keys each
+//!   append touched (see the `dc-stream` crate). Slow consumers lag on a
+//!   bounded queue ([`StreamError::Lagged`]) instead of stalling ingest.
 //!
 //! ```
 //! use dc_core::DeferredCleansingSystem;
@@ -56,10 +61,12 @@ pub mod service;
 pub mod snapshot;
 
 pub use dc_core::{AbortReason, QueryBudget};
+pub use dc_stream::{ChangeChannel, ChangeSet, MaintenanceStats, PushOutcome, StreamError};
 pub use partition::{
     partition_catalog, split_batch, HashPartitioner, Partitioner, RangePartitioner,
 };
 pub use queue::{Bounded, PushError};
+pub use service::subscribe::{AppendOutcome, SubscribeOptions, SubscriptionHandle};
 pub use service::{
     QueryRequest, QueryResponse, QueryService, ServiceConfig, ServiceCounters, ServiceError,
     ServiceStats, ShardConfig, Ticket,

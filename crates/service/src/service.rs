@@ -53,6 +53,7 @@
 //! before the reply, so deadlines and cancellation still bite). A leader
 //! failure is never shared: followers fall back to executing independently.
 
+use self::subscribe::{distinct_keys, AppendOutcome, SubEntry};
 use crate::partition::{partition_catalog, split_batch, table_like, HashPartitioner, Partitioner};
 use crate::queue::{Bounded, PushError};
 use crate::snapshot::{EpochVector, Snapshot, SnapshotCell};
@@ -72,6 +73,8 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+pub mod subscribe;
 
 /// Sizing and default-budget knobs for a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -342,6 +345,22 @@ pub struct ServiceCounters {
     /// Queries answered by cloning an identical concurrent query's result
     /// instead of executing (see the module docs on work coalescing).
     pub coalesced: u64,
+    /// Standing-query subscriptions ever registered.
+    pub subscriptions: u64,
+    /// Change sets computed for subscribers (one per live subscription per
+    /// relevant publish).
+    pub notifications: u64,
+    /// Delta rows carried by those change sets (each update counts its old
+    /// and new row).
+    pub delta_rows: u64,
+    /// Maintenance steps that recomputed the full result: fallback-mode
+    /// subscriptions, forced re-seeds (e.g. a dimension-table append), and
+    /// incremental-error downgrades.
+    pub fallbacks: u64,
+    /// Notifications lost to subscriber lag: change sets dropped on a full
+    /// queue, steps skipped while a feed was already gapped, and failed
+    /// steps surfaced as lag.
+    pub dropped_for_lag: u64,
 }
 
 struct Job {
@@ -499,6 +518,15 @@ struct Shared {
     failed: AtomicU64,
     appends: AtomicU64,
     coalesced: AtomicU64,
+    /// Standing-query registry: advanced in publish order under the ingest
+    /// lock, reaped when a subscriber's channel closes.
+    pub(crate) subs: Mutex<Vec<Arc<SubEntry>>>,
+    pub(crate) next_sub_id: AtomicU64,
+    pub(crate) subscriptions: AtomicU64,
+    pub(crate) notifications: AtomicU64,
+    pub(crate) deltas: AtomicU64,
+    pub(crate) fallbacks: AtomicU64,
+    pub(crate) dropped_for_lag: AtomicU64,
 }
 
 impl Shared {
@@ -949,6 +977,13 @@ impl QueryService {
             failed: AtomicU64::new(0),
             appends: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            subs: Mutex::new(Vec::new()),
+            next_sub_id: AtomicU64::new(0),
+            subscriptions: AtomicU64::new(0),
+            notifications: AtomicU64::new(0),
+            deltas: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            dropped_for_lag: AtomicU64::new(0),
         });
         let workers = (0..shared.config.workers.max(1))
             .map(|w| {
@@ -1004,14 +1039,27 @@ impl QueryService {
     ///
     /// Sharded services route the rows on the cluster key first: only the
     /// shards that received rows publish a new epoch (appends to a
-    /// replicated table publish on every shard). Returns the last snapshot
-    /// published by this call (shard 0's current snapshot if the batch was
-    /// empty).
-    pub fn append(&self, table: &str, batch: Batch) -> Result<Arc<Snapshot>, Error> {
+    /// replicated table publish on every shard). Returns an
+    /// [`AppendOutcome`]: the last snapshot published by this call (shard
+    /// 0's current snapshot if the batch was empty), the epoch vector it
+    /// advanced to, and the cluster keys and shards the batch touched —
+    /// computed once here so standing-query maintenance never rescans the
+    /// batch.
+    ///
+    /// Before returning, every live subscription is advanced past the
+    /// publish (still under the ingest lock), pushing one change set per
+    /// relevant feed.
+    pub fn append(&self, table: &str, batch: Batch) -> Result<AppendOutcome, Error> {
         let _serial = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
         self.shared.appends.fetch_add(1, Ordering::Relaxed);
         let lowered = table.to_ascii_lowercase();
-        match &self.shared.router {
+        let rows = batch.num_rows();
+        let touched_keys = match self.cluster_key_column(&lowered) {
+            Some(col) => distinct_keys(&batch, &col),
+            None => Vec::new(),
+        };
+        let mut touched_shards = Vec::new();
+        let snapshot = match &self.shared.router {
             Some(router) if router.spec.partitioned.contains(&lowered) => {
                 let key_idx = batch.schema().index_of_name(&router.spec.key)?;
                 let parts = split_batch(
@@ -1021,7 +1069,7 @@ impl QueryService {
                     self.shared.shards.len(),
                 )?;
                 let mut last = None;
-                for (shard, part) in self.shared.shards.iter().zip(parts) {
+                for (i, (shard, part)) in self.shared.shards.iter().zip(parts).enumerate() {
                     if part.num_rows() == 0 {
                         continue;
                     }
@@ -1029,28 +1077,47 @@ impl QueryService {
                     let next = current.catalog.overlay();
                     next.append(table, part)?;
                     last = Some(shard.snapshots.publish(next));
+                    touched_shards.push(i);
                 }
-                Ok(last.unwrap_or_else(|| self.shared.shards[0].snapshots.load()))
+                last.unwrap_or_else(|| self.shared.shards[0].snapshots.load())
             }
             Some(_) => {
                 // Replicated table: every shard gets the same rows.
                 let mut last = None;
-                for shard in &self.shared.shards {
+                for (i, shard) in self.shared.shards.iter().enumerate() {
                     let current = shard.snapshots.load();
                     let next = current.catalog.overlay();
                     next.append(table, batch.clone())?;
                     last = Some(shard.snapshots.publish(next));
+                    touched_shards.push(i);
                 }
-                Ok(last.expect("service has at least one shard"))
+                last.expect("service has at least one shard")
             }
             None => {
                 let shard = &self.shared.shards[0];
                 let current = shard.snapshots.load();
                 let next = current.catalog.overlay();
                 next.append(table, batch)?;
-                Ok(shard.snapshots.publish(next))
+                touched_shards.push(0);
+                shard.snapshots.publish(next)
             }
-        }
+        };
+        let outcome = AppendOutcome {
+            snapshot,
+            epochs: EpochVector(
+                self.shared
+                    .shards
+                    .iter()
+                    .map(|s| s.snapshots.epoch())
+                    .collect(),
+            ),
+            table: lowered,
+            touched_keys,
+            touched_shards,
+            rows,
+        };
+        self.maintain_subscriptions(&outcome);
+        Ok(outcome)
     }
 
     /// The snapshot new dispatches currently see on shard 0 (the only
@@ -1123,6 +1190,11 @@ impl QueryService {
             failed: s.failed.load(Ordering::Relaxed),
             appends: s.appends.load(Ordering::Relaxed),
             coalesced: s.coalesced.load(Ordering::Relaxed),
+            subscriptions: s.subscriptions.load(Ordering::Relaxed),
+            notifications: s.notifications.load(Ordering::Relaxed),
+            delta_rows: s.deltas.load(Ordering::Relaxed),
+            fallbacks: s.fallbacks.load(Ordering::Relaxed),
+            dropped_for_lag: s.dropped_for_lag.load(Ordering::Relaxed),
         }
     }
 
@@ -1362,6 +1434,7 @@ mod tests {
     use dc_relational::schema::{Field, Schema};
     use dc_relational::table::{Catalog, Table};
     use dc_relational::value::{DataType, Value};
+    use dc_stream::StreamError;
 
     const DUP: &str = "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
         WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B";
@@ -1465,13 +1538,17 @@ mod tests {
             .unwrap();
         assert_eq!(before.service.snapshot_epoch, 0);
 
-        let snap = svc
+        let outcome = svc
             .append(
                 "caser",
                 Batch::from_rows(reads_schema(), &[row("e3", 700, "gate")]).unwrap(),
             )
             .unwrap();
-        assert_eq!(snap.epoch, 1);
+        assert_eq!(outcome.snapshot.epoch, 1);
+        assert_eq!(outcome.epochs.total(), 1);
+        assert_eq!(outcome.table, "caser");
+        assert_eq!(outcome.touched_keys, vec![Value::str("e3")]);
+        assert_eq!(outcome.touched_shards, vec![0]);
         assert_eq!(svc.epoch(), 1);
 
         let after = svc
@@ -1480,6 +1557,122 @@ mod tests {
         assert_eq!(after.service.snapshot_epoch, 1);
         assert_eq!(after.batch.num_rows(), before.batch.num_rows() + 1);
         assert_eq!(svc.counters().appends, 1);
+    }
+
+    fn rows_of(batch: &Batch) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = (0..batch.num_rows()).map(|i| batch.row(i)).collect();
+        rows.sort_by(|a, b| dc_relational::delta::cmp_rows(a, b));
+        rows
+    }
+
+    #[test]
+    fn subscribe_streams_incremental_deltas() {
+        let svc = service();
+        let sub = svc
+            .subscribe(
+                "app",
+                "select epc, rtime from caser",
+                crate::SubscribeOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(sub.mode(), "scoped");
+        assert_eq!(sub.initial().num_rows(), 2); // duplicate removed
+        assert_eq!(*sub.epochs(), EpochVector(vec![0]));
+
+        // A new reading for e1, far outside the duplicate window.
+        svc.append(
+            "caser",
+            Batch::from_rows(reads_schema(), &[row("e1", 700, "gate")]).unwrap(),
+        )
+        .unwrap();
+        let cs = sub.try_next().unwrap().expect("one change set");
+        assert_eq!(cs.epochs, EpochVector(vec![1]));
+        assert_eq!(cs.inserted, vec![vec![Value::str("e1"), Value::Int(700)]]);
+        assert!(cs.deleted.is_empty() && cs.updated.is_empty());
+        assert!(!cs.stats.fallback);
+        assert!(cs
+            .render_comment()
+            .starts_with("-- stream: epochs=1 mode=scoped ckeys=1"));
+
+        // Folding the delta over the initial result reproduces a cold run.
+        let mut folded: Vec<Vec<Value>> = (0..sub.initial().num_rows())
+            .map(|i| sub.initial().row(i))
+            .collect();
+        cs.apply(&mut folded).unwrap();
+        folded.sort_by(|a, b| dc_relational::delta::cmp_rows(a, b));
+        let cold = svc
+            .execute(QueryRequest::new("app", "select epc, rtime from caser"))
+            .unwrap();
+        assert_eq!(folded, rows_of(&cold.batch));
+
+        let c = svc.counters();
+        assert_eq!(c.subscriptions, 1);
+        assert_eq!(c.notifications, 1);
+        assert_eq!(c.delta_rows, 1);
+        assert_eq!(c.fallbacks, 0);
+        assert_eq!(c.dropped_for_lag, 0);
+    }
+
+    #[test]
+    fn lagged_subscription_resyncs_and_resumes() {
+        let svc = service();
+        let sub = svc
+            .subscribe(
+                "app",
+                "select epc, rtime from caser",
+                crate::SubscribeOptions::default().with_queue_capacity(1),
+            )
+            .unwrap();
+        for t in [700, 1400, 2100] {
+            svc.append(
+                "caser",
+                Batch::from_rows(reads_schema(), &[row("e9", t, "gate")]).unwrap(),
+            )
+            .unwrap();
+        }
+        // Queued prefix first, then the gap error.
+        assert!(sub.try_next().unwrap().is_some());
+        assert!(matches!(
+            sub.try_next().unwrap_err(),
+            StreamError::Lagged { missed } if missed >= 1
+        ));
+        assert!(svc.counters().dropped_for_lag >= 1);
+
+        // Resync restarts the feed from a fresh full result.
+        let (base, epochs) = svc.resync(&sub).unwrap();
+        assert_eq!(epochs, EpochVector(vec![3]));
+        let cold = svc
+            .execute(QueryRequest::new("app", "select epc, rtime from caser"))
+            .unwrap();
+        assert_eq!(rows_of(&base), rows_of(&cold.batch));
+        svc.append(
+            "caser",
+            Batch::from_rows(reads_schema(), &[row("e9", 2800, "gate")]).unwrap(),
+        )
+        .unwrap();
+        let cs = sub.try_next().unwrap().expect("feed resumed");
+        assert_eq!(cs.epochs, EpochVector(vec![4]));
+        assert_eq!(cs.inserted, vec![vec![Value::str("e9"), Value::Int(2800)]]);
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let svc = service();
+        let sub = svc
+            .subscribe(
+                "app",
+                "select epc from caser",
+                crate::SubscribeOptions::default(),
+            )
+            .unwrap();
+        svc.unsubscribe(&sub);
+        svc.append(
+            "caser",
+            Batch::from_rows(reads_schema(), &[row("e3", 700, "gate")]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(svc.counters().notifications, 0);
+        assert!(matches!(sub.try_next().unwrap_err(), StreamError::Closed));
     }
 
     #[test]

@@ -1,0 +1,587 @@
+//! Standing-query subscriptions: registration, the per-publish maintenance
+//! driver, and the snapshot-backed [`MaintenanceRunner`].
+//!
+//! A subscription is created under the ingest lock, so its initial result
+//! and the change feed tile the epoch line exactly: every publish after the
+//! subscribe produces one [`ChangeSet`] (or a counted lag drop), and folding
+//! the feed over the initial result reproduces a cold re-execution at each
+//! epoch vector. The maintenance step itself lives in `dc-stream`
+//! ([`StandingState::maintain`]); this module supplies what it cannot know —
+//! which snapshots to run plans against, which cluster keys an append
+//! touched (threaded through [`AppendOutcome`], so maintenance never
+//! rescans the batch), and where the resulting change sets go
+//! (backpressure-bounded [`ChangeChannel`]s).
+
+use super::{QueryService, RunDetail, Shared};
+use crate::snapshot::{EpochVector, Snapshot};
+use crate::ServiceError;
+use dc_core::{QueryBudget, Strategy};
+use dc_relational::batch::Batch;
+use dc_relational::delta;
+use dc_relational::error::{Error, Result};
+use dc_relational::exec::ExecStats;
+use dc_relational::plan::LogicalPlan;
+use dc_relational::sql::{parse_query, plan_query};
+use dc_relational::value::Value;
+use dc_stream::maintain::MaintenanceRunner;
+use dc_stream::{
+    classify, ChangeChannel, ChangeSet, Classified, RowKey, StandingState, StreamError,
+};
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What one [`QueryService::append`] did: the published snapshot, the
+/// epoch vector it advanced the service to, and — for the standing-query
+/// maintainer — exactly which cluster keys and shards the batch touched.
+#[derive(Debug, Clone)]
+pub struct AppendOutcome {
+    /// The last snapshot published by this call (shard 0's current
+    /// snapshot when the batch published nothing).
+    pub snapshot: Arc<Snapshot>,
+    /// Per-shard epochs after the publish.
+    pub epochs: EpochVector,
+    /// The appended table, lowercased.
+    pub table: String,
+    /// Distinct cluster-key values present in the batch, in first-seen
+    /// order. Empty when no single cluster-key column could be resolved
+    /// for the table (maintenance then falls back to recompute-and-diff).
+    pub touched_keys: Vec<Value>,
+    /// Shards that published a new epoch for this append.
+    pub touched_shards: Vec<usize>,
+    /// Rows in the appended batch.
+    pub rows: usize,
+}
+
+/// Knobs for [`QueryService::subscribe`].
+#[derive(Debug, Clone)]
+pub struct SubscribeOptions {
+    /// Rewrite strategy for the initial run and every maintenance
+    /// re-execution (default [`Strategy::Auto`]).
+    pub strategy: Strategy,
+    /// Bound on undelivered change sets before the feed lags
+    /// (default 16, minimum 1).
+    pub queue_capacity: usize,
+}
+
+impl Default for SubscribeOptions {
+    fn default() -> Self {
+        SubscribeOptions {
+            strategy: Strategy::Auto,
+            queue_capacity: 16,
+        }
+    }
+}
+
+impl SubscribeOptions {
+    /// Pin the rewrite strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the change-queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+/// A live subscription: the initial result plus a bounded change feed.
+/// Dropping the handle closes the feed; the service reaps the registration
+/// on its next publish.
+pub struct SubscriptionHandle {
+    pub(super) id: u64,
+    pub(super) initial: Batch,
+    pub(super) epochs: EpochVector,
+    pub(super) chan: Arc<ChangeChannel>,
+    pub(super) mode: &'static str,
+    pub(super) fallback_reason: Option<String>,
+}
+
+impl SubscriptionHandle {
+    /// Registration id (unique per service instance).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The full result at subscribe time — the base the change feed folds
+    /// over.
+    pub fn initial(&self) -> &Batch {
+        &self.initial
+    }
+
+    /// Epoch vector the initial result was computed at.
+    pub fn epochs(&self) -> &EpochVector {
+        &self.epochs
+    }
+
+    /// Maintenance mode the subscription was classified into (`scoped`,
+    /// `ordered`, `aggregate`, or `fallback`).
+    pub fn mode(&self) -> &'static str {
+        self.mode
+    }
+
+    /// Why the subscription maintains by recompute-and-diff, when it does.
+    pub fn fallback_reason(&self) -> Option<&str> {
+        self.fallback_reason.as_deref()
+    }
+
+    /// Non-blocking poll of the change feed. `Ok(None)` means healthy but
+    /// idle; [`StreamError::Lagged`] means the feed gapped and
+    /// [`QueryService::resync`] is required before further deltas.
+    pub fn try_next(&self) -> std::result::Result<Option<ChangeSet>, StreamError> {
+        self.chan.try_recv()
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn next_timeout(&self, timeout: Duration) -> std::result::Result<ChangeSet, StreamError> {
+        self.chan.recv_timeout(timeout)
+    }
+
+    /// Whether the feed has lagged (queue overflow) and needs a resync.
+    pub fn is_lagged(&self) -> bool {
+        self.chan.is_lagged()
+    }
+}
+
+impl Drop for SubscriptionHandle {
+    fn drop(&mut self) {
+        self.chan.close();
+    }
+}
+
+/// One registered subscription, shared between the registry and the
+/// maintenance driver.
+pub(super) struct SubEntry {
+    pub(super) id: u64,
+    application: String,
+    sql: String,
+    strategy: Strategy,
+    pub(super) chan: Arc<ChangeChannel>,
+    maint: Mutex<SubMaint>,
+}
+
+/// The mutable maintenance side of a subscription: retained standing state,
+/// the snapshots it was last maintained against, and the append-relevance
+/// metadata derived at subscribe time.
+struct SubMaint {
+    state: StandingState,
+    /// Per-shard snapshots the state is current as of (the `prev` side of
+    /// the next scoped run).
+    prev: Vec<Arc<Snapshot>>,
+    /// Lowercased tables whose appends can change this result: everything
+    /// the user plan reads plus the application's rule tables.
+    tables: BTreeSet<String>,
+    /// The cleansed reads table (lowercased; empty when unresolved).
+    table: String,
+    /// The rules' cluster key (lowercased; empty when unresolved).
+    ckey: String,
+}
+
+/// [`MaintenanceRunner`] over service snapshots: scoped plans run per shard
+/// through the full cleansing rewrite (`query_plan_snapshot`), the fallback
+/// recompute goes through the service's own scatter-gather path.
+struct SnapshotRunner<'a> {
+    shared: &'a Shared,
+    application: &'a str,
+    sql: &'a str,
+    strategy: Strategy,
+    prev: &'a [Arc<Snapshot>],
+    new: &'a [Arc<Snapshot>],
+}
+
+fn rows_of(batch: &Batch) -> Vec<Vec<Value>> {
+    (0..batch.num_rows()).map(|i| batch.row(i)).collect()
+}
+
+fn run_plan_on(
+    shared: &Shared,
+    shard: usize,
+    snap: &Snapshot,
+    application: &str,
+    plan: &LogicalPlan,
+    strategy: Strategy,
+) -> Result<(Vec<Vec<Value>>, ExecStats)> {
+    let (batch, report) = shared.shards[shard].system.query_plan_snapshot(
+        &snap.catalog,
+        application,
+        plan,
+        strategy,
+        QueryBudget::unlimited(),
+    )?;
+    Ok((rows_of(&batch), report.stats))
+}
+
+impl MaintenanceRunner for SnapshotRunner<'_> {
+    fn shard_count(&self) -> usize {
+        self.new.len()
+    }
+
+    fn run_prev(
+        &mut self,
+        shard: usize,
+        plan: &LogicalPlan,
+    ) -> Result<(Vec<Vec<Value>>, ExecStats)> {
+        run_plan_on(
+            self.shared,
+            shard,
+            &self.prev[shard],
+            self.application,
+            plan,
+            self.strategy,
+        )
+    }
+
+    fn run_new(
+        &mut self,
+        shard: usize,
+        plan: &LogicalPlan,
+    ) -> Result<(Vec<Vec<Value>>, ExecStats)> {
+        run_plan_on(
+            self.shared,
+            shard,
+            &self.new[shard],
+            self.application,
+            plan,
+            self.strategy,
+        )
+    }
+
+    fn run_full(&mut self) -> Result<(Vec<Vec<Value>>, ExecStats)> {
+        let detail: RunDetail = self
+            .shared
+            .run_detail(
+                self.new,
+                self.application,
+                self.sql,
+                self.strategy,
+                QueryBudget::unlimited(),
+            )
+            .map_err(|e| Error::Execution(format!("standing-query recompute failed: {e}")))?;
+        Ok((rows_of(&detail.batch), detail.report.stats))
+    }
+}
+
+/// Resolve the subscription's cleansing target: the single (reads table,
+/// cluster key) pair the application's rules agree on, or `None` when there
+/// are no rules or several targets (the subscription then maintains by
+/// recompute-and-diff, which is always sound).
+fn cleanse_target(shared: &Shared, application: &str) -> Option<(String, String)> {
+    let mut targets: BTreeSet<(String, String)> = BTreeSet::new();
+    for t in shared.coordinator().rules().rules_for(application) {
+        targets.insert((
+            t.def.on_table.to_ascii_lowercase(),
+            t.def.cluster_by.to_ascii_lowercase(),
+        ));
+    }
+    if targets.len() == 1 {
+        targets.into_iter().next()
+    } else {
+        None
+    }
+}
+
+/// Lowercased tables whose appends can change the subscription's result.
+fn relevant_tables(shared: &Shared, application: &str, plan: &LogicalPlan) -> BTreeSet<String> {
+    let mut tables = BTreeSet::new();
+    delta::plan_tables(plan, &mut tables);
+    for t in shared.coordinator().rules().rules_for(application) {
+        tables.insert(t.def.on_table.to_ascii_lowercase());
+        tables.insert(t.def.from_table.to_ascii_lowercase());
+    }
+    tables
+}
+
+impl QueryService {
+    /// Register a standing query: run it once against the current
+    /// snapshots, classify it into a maintenance mode, seed the retained
+    /// state, and return the initial result plus a change feed that emits
+    /// one [`ChangeSet`] per subsequent publish of a relevant table.
+    ///
+    /// Runs under the ingest lock, so the initial result and the feed tile
+    /// the epoch line with no gap and no overlap.
+    pub fn subscribe(
+        &self,
+        application: &str,
+        sql: &str,
+        opts: SubscribeOptions,
+    ) -> std::result::Result<SubscriptionHandle, ServiceError> {
+        let _serial = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        let shared = &self.shared;
+        let snaps = shared.load_snapshots();
+        let epochs = EpochVector(snaps.iter().map(|s| s.epoch).collect());
+        let detail = shared.run_detail(
+            &snaps,
+            application,
+            sql,
+            opts.strategy,
+            QueryBudget::unlimited(),
+        )?;
+        let initial_rows = rows_of(&detail.batch);
+        let user_plan = plan_query(
+            &parse_query(sql).map_err(ServiceError::from)?,
+            &snaps[0].catalog,
+        )
+        .map_err(ServiceError::from)?;
+        let tables = relevant_tables(shared, application, &user_plan);
+        let (table, ckey) = cleanse_target(shared, application).unwrap_or_default();
+        let classified = if table.is_empty() {
+            Classified::Fallback {
+                reason: "application has no single cleansing target".into(),
+            }
+        } else {
+            classify(&user_plan, &snaps[0].catalog, &table, &ckey)
+        };
+        // Seed with both runner sides at the subscribe snapshots: ordered
+        // and aggregate modes build their retained buffers from `run_new`.
+        let mut seed = SnapshotRunner {
+            shared,
+            application,
+            sql,
+            strategy: opts.strategy,
+            prev: &snaps,
+            new: &snaps,
+        };
+        let state = StandingState::new(
+            user_plan,
+            &table,
+            &ckey,
+            classified,
+            initial_rows,
+            &mut seed,
+        )
+        .map_err(ServiceError::from)?;
+        let id = shared.next_sub_id.fetch_add(1, Ordering::Relaxed);
+        let chan = Arc::new(ChangeChannel::new(opts.queue_capacity));
+        let mode = state.mode_name();
+        let fallback_reason = state.fallback_reason().map(str::to_string);
+        let entry = Arc::new(SubEntry {
+            id,
+            application: application.to_string(),
+            sql: sql.to_string(),
+            strategy: opts.strategy,
+            chan: Arc::clone(&chan),
+            maint: Mutex::new(SubMaint {
+                state,
+                prev: snaps,
+                tables,
+                table,
+                ckey,
+            }),
+        });
+        shared
+            .subs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(entry);
+        shared.subscriptions.fetch_add(1, Ordering::Relaxed);
+        Ok(SubscriptionHandle {
+            id,
+            initial: detail.batch,
+            epochs,
+            chan,
+            mode,
+            fallback_reason,
+        })
+    }
+
+    /// Close a subscription's feed and drop its registration immediately
+    /// (a dropped handle achieves the same lazily, at the next publish).
+    pub fn unsubscribe(&self, handle: &SubscriptionHandle) {
+        handle.chan.close();
+        self.shared
+            .subs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|s| s.id != handle.id);
+    }
+
+    /// Recover a lagged subscription: re-execute the query in full against
+    /// the current snapshots, rebuild the retained state, clear the lag
+    /// gap, and return the fresh base result and its epoch vector. The
+    /// feed resumes from exactly this point.
+    pub fn resync(
+        &self,
+        handle: &SubscriptionHandle,
+    ) -> std::result::Result<(Batch, EpochVector), ServiceError> {
+        let _serial = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        let shared = &self.shared;
+        let entry = shared
+            .subs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .find(|s| s.id == handle.id)
+            .cloned()
+            .ok_or_else(|| {
+                ServiceError::Engine(Error::Execution(format!(
+                    "no live subscription with id {}",
+                    handle.id
+                )))
+            })?;
+        let snaps = shared.load_snapshots();
+        let epochs = EpochVector(snaps.iter().map(|s| s.epoch).collect());
+        let detail = shared.run_detail(
+            &snaps,
+            &entry.application,
+            &entry.sql,
+            entry.strategy,
+            QueryBudget::unlimited(),
+        )?;
+        let user_plan = plan_query(
+            &parse_query(&entry.sql).map_err(ServiceError::from)?,
+            &snaps[0].catalog,
+        )
+        .map_err(ServiceError::from)?;
+        let mut m = entry.maint.lock().unwrap_or_else(|e| e.into_inner());
+        let classified = if m.table.is_empty() {
+            Classified::Fallback {
+                reason: "application has no single cleansing target".into(),
+            }
+        } else {
+            classify(&user_plan, &snaps[0].catalog, &m.table, &m.ckey)
+        };
+        let mut seed = SnapshotRunner {
+            shared,
+            application: &entry.application,
+            sql: &entry.sql,
+            strategy: entry.strategy,
+            prev: &snaps,
+            new: &snaps,
+        };
+        m.state = StandingState::new(
+            user_plan,
+            &m.table,
+            &m.ckey,
+            classified,
+            rows_of(&detail.batch),
+            &mut seed,
+        )
+        .map_err(ServiceError::from)?;
+        m.prev = snaps;
+        entry.chan.mark_resynced();
+        Ok((detail.batch, epochs))
+    }
+
+    /// The publish hook: advance every live subscription past `outcome`.
+    /// Runs under the ingest lock (called from [`QueryService::append`]),
+    /// so subscriptions observe publishes strictly in order.
+    pub(super) fn maintain_subscriptions(&self, outcome: &AppendOutcome) {
+        let shared = &self.shared;
+        let mut subs = shared.subs.lock().unwrap_or_else(|e| e.into_inner());
+        if subs.is_empty() || outcome.touched_shards.is_empty() {
+            // Nothing registered, or nothing published (an empty batch on
+            // a partitioned table): no epoch advanced, nothing to do.
+            subs.retain(|s| !s.chan.is_closed());
+            return;
+        }
+        let new_snaps = shared.load_snapshots();
+        let epochs = EpochVector(new_snaps.iter().map(|s| s.epoch).collect());
+        subs.retain(|sub| {
+            if sub.chan.is_closed() {
+                return false;
+            }
+            let mut m = sub.maint.lock().unwrap_or_else(|e| e.into_inner());
+            // Split the guard into disjoint field borrows: the runner reads
+            // `prev` while `state` is maintained mutably.
+            let m = &mut *m;
+            if !m.tables.contains(&outcome.table) {
+                // Irrelevant table: the result is unchanged, so sliding the
+                // prev snapshots forward is sound and keeps them current.
+                m.prev = new_snaps.clone();
+                return true;
+            }
+            if sub.chan.is_lagged() {
+                // Gap already open — don't burn maintenance work the
+                // consumer can never apply; count the skip.
+                shared.dropped_for_lag.fetch_add(1, Ordering::Relaxed);
+                m.prev = new_snaps.clone();
+                return true;
+            }
+            let reads_touched = outcome.table == m.table && !outcome.touched_keys.is_empty();
+            let mut runner = SnapshotRunner {
+                shared,
+                application: &sub.application,
+                sql: &sub.sql,
+                strategy: sub.strategy,
+                prev: &m.prev,
+                new: &new_snaps,
+            };
+            let step = m.state.maintain(
+                &mut runner,
+                epochs.clone(),
+                &outcome.touched_keys,
+                &outcome.touched_shards,
+                reads_touched,
+            );
+            match step {
+                Ok(cs) => {
+                    shared.notifications.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .deltas
+                        .fetch_add(cs.delta_rows() as u64, Ordering::Relaxed);
+                    if cs.stats.fallback {
+                        shared.fallbacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if sub.chan.push(cs) == dc_stream::PushOutcome::Dropped {
+                        shared.dropped_for_lag.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    // Even the recompute failed; the feed can no longer be
+                    // proven gapless. Surface it as a lag so the consumer
+                    // resyncs rather than silently diverging.
+                    sub.chan.force_lag();
+                    shared.dropped_for_lag.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            m.prev = new_snaps.clone();
+            true
+        });
+    }
+
+    /// The cluster-key column appends to `table` are keyed on, when one can
+    /// be resolved: the router's shard key in sharded mode, else the single
+    /// `CLUSTER BY` column the defined rules use for this table.
+    pub(super) fn cluster_key_column(&self, table: &str) -> Option<String> {
+        if let Some(router) = &self.shared.router {
+            return Some(router.spec.key.clone());
+        }
+        let rules = self.shared.coordinator().rules();
+        let mut keys: BTreeSet<String> = BTreeSet::new();
+        for app in rules.applications() {
+            for t in rules.rules_for(&app) {
+                if t.def.on_table.eq_ignore_ascii_case(table)
+                    || t.def.from_table.eq_ignore_ascii_case(table)
+                {
+                    keys.insert(t.def.cluster_by.to_ascii_lowercase());
+                }
+            }
+        }
+        if keys.len() == 1 {
+            keys.into_iter().next()
+        } else {
+            None
+        }
+    }
+}
+
+/// Distinct values of `col` in `batch`, in first-seen order. Empty when the
+/// batch has no such column (e.g. a dimension-table append).
+pub(super) fn distinct_keys(batch: &Batch, col: &str) -> Vec<Value> {
+    let Ok(idx) = batch.schema().index_of_name(col) else {
+        return Vec::new();
+    };
+    let column = batch.column(idx);
+    let mut seen: BTreeSet<RowKey> = BTreeSet::new();
+    let mut out = Vec::new();
+    for i in 0..batch.num_rows() {
+        let v = column.value(i);
+        if seen.insert(RowKey(vec![v.clone()])) {
+            out.push(v);
+        }
+    }
+    out
+}

@@ -23,43 +23,12 @@
 //!   append.
 
 use dc_relational::table::{Catalog, CatalogRef};
-use std::fmt;
 use std::sync::{Arc, RwLock};
 
-/// The per-shard epochs one dispatch observed — a vector clock over the
-/// shard snapshot cells. Component `i` is shard `i`'s publication epoch.
-/// Two queries with equal epoch vectors (and equal rules) see identical
-/// data and must produce identical results; the service keys its in-flight
-/// work coalescing on exactly this. An unsharded service has a one-entry
-/// vector.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
-pub struct EpochVector(pub Vec<u64>);
-
-impl EpochVector {
-    /// Sum of all components: the total number of appends applied across
-    /// the service, and the dense epoch itself when there is one shard.
-    pub fn total(&self) -> u64 {
-        self.0.iter().sum()
-    }
-
-    /// Number of shards the vector spans.
-    pub fn shards(&self) -> usize {
-        self.0.len()
-    }
-}
-
-impl fmt::Display for EpochVector {
-    /// Dot-joined components, e.g. `0.3.1.2`.
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, e) in self.0.iter().enumerate() {
-            if i > 0 {
-                f.write_str(".")?;
-            }
-            write!(f, "{e}")?;
-        }
-        Ok(())
-    }
-}
+// The epoch vector-clock now lives in `dc-stream` (every change set a
+// standing query emits is tagged with one); the service re-exports it so
+// existing callers keep their import path.
+pub use dc_stream::EpochVector;
 
 /// An immutable, epoch-stamped view of the whole catalog. Everything a
 /// query needs is reachable from here and guaranteed not to change.

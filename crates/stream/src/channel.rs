@@ -1,0 +1,236 @@
+//! Backpressure-bounded change queues.
+//!
+//! Each subscription owns one [`ChangeChannel`]: the maintenance side
+//! pushes a [`ChangeSet`] per relevant publish, the consumer drains it at
+//! its own pace. The queue is bounded; a consumer that falls behind does
+//! not block ingest and does not grow memory — the channel flips to
+//! **lagged**, keeps the already-queued prefix (so the consumer sees an
+//! uninterrupted in-order prefix of the feed), drops everything after it,
+//! and counts the drops. Once lagged the feed is gap-broken and folding it
+//! would silently diverge, so the channel reports
+//! [`StreamError::Lagged`] after the prefix drains and stays silent until
+//! the subscription is resynchronized with a fresh full result.
+
+use crate::{ChangeSet, StreamError};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What happened to a pushed change set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Queued for the consumer.
+    Delivered,
+    /// Dropped: the channel is (or just became) lagged.
+    Dropped,
+    /// The channel is closed; the subscription can be reaped.
+    Closed,
+}
+
+#[derive(Default)]
+struct State {
+    pending: VecDeque<ChangeSet>,
+    lagged: bool,
+    missed: u64,
+    closed: bool,
+}
+
+/// A bounded MPSC-ish queue of [`ChangeSet`]s with prefix-then-gap lag
+/// semantics. Push never blocks; receive can wait with a timeout.
+pub struct ChangeChannel {
+    capacity: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl ChangeChannel {
+    /// A channel holding at most `capacity` undelivered change sets
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ChangeChannel {
+            capacity: capacity.max(1),
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Maximum undelivered change sets before the channel lags.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue a change set. Never blocks: on a full queue the channel
+    /// becomes lagged and the set is dropped (the queued prefix survives);
+    /// while lagged every push is dropped and counted.
+    pub fn push(&self, cs: ChangeSet) -> PushOutcome {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            return PushOutcome::Closed;
+        }
+        if st.lagged {
+            st.missed += 1;
+            return PushOutcome::Dropped;
+        }
+        if st.pending.len() >= self.capacity {
+            st.lagged = true;
+            st.missed = 1;
+            self.cv.notify_all();
+            return PushOutcome::Dropped;
+        }
+        st.pending.push_back(cs);
+        self.cv.notify_all();
+        PushOutcome::Delivered
+    }
+
+    /// Non-blocking receive: `Ok(Some)` with the next queued change set,
+    /// `Ok(None)` when the feed is healthy but idle, [`StreamError::Lagged`]
+    /// once a lag gap is reached, [`StreamError::Closed`] after close.
+    /// The queued prefix is always delivered before the lag error.
+    pub fn try_recv(&self) -> Result<Option<ChangeSet>, StreamError> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cs) = st.pending.pop_front() {
+            return Ok(Some(cs));
+        }
+        if st.lagged {
+            return Err(StreamError::Lagged { missed: st.missed });
+        }
+        if st.closed {
+            return Err(StreamError::Closed);
+        }
+        Ok(None)
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<ChangeSet, StreamError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(cs) = st.pending.pop_front() {
+                return Ok(cs);
+            }
+            if st.lagged {
+                return Err(StreamError::Lagged { missed: st.missed });
+            }
+            if st.closed {
+                return Err(StreamError::Closed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(StreamError::Timeout);
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Force the channel into the lagged state. The maintenance driver uses
+    /// this when a step fails outright (the recompute itself errored): the
+    /// feed can no longer be proven gapless, so the consumer must resync.
+    pub fn force_lag(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !st.closed {
+            st.lagged = true;
+            st.missed += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Whether the channel has entered the lagged state.
+    pub fn is_lagged(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).lagged
+    }
+
+    /// Change sets dropped since the channel lagged.
+    pub fn missed(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).missed
+    }
+
+    /// Close the channel: consumers drain the queue then see
+    /// [`StreamError::Closed`]; pushes report [`PushOutcome::Closed`].
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether the channel has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed
+    }
+
+    /// Reset after a resynchronization: the pending (stale) prefix and the
+    /// lag gap are discarded; the feed restarts from the fresh full result
+    /// the resync produced.
+    pub fn mark_resynced(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.pending.clear();
+        st.lagged = false;
+        st.missed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EpochVector;
+
+    fn cs(epoch: u64) -> ChangeSet {
+        ChangeSet {
+            epochs: EpochVector(vec![epoch]),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn delivers_in_order_then_idle() {
+        let ch = ChangeChannel::new(4);
+        assert_eq!(ch.push(cs(1)), PushOutcome::Delivered);
+        assert_eq!(ch.push(cs(2)), PushOutcome::Delivered);
+        assert_eq!(ch.try_recv().unwrap().unwrap().epochs.0, vec![1]);
+        assert_eq!(ch.try_recv().unwrap().unwrap().epochs.0, vec![2]);
+        assert!(ch.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn overflow_keeps_prefix_then_reports_lag() {
+        let ch = ChangeChannel::new(2);
+        assert_eq!(ch.push(cs(1)), PushOutcome::Delivered);
+        assert_eq!(ch.push(cs(2)), PushOutcome::Delivered);
+        assert_eq!(ch.push(cs(3)), PushOutcome::Dropped);
+        assert_eq!(ch.push(cs(4)), PushOutcome::Dropped);
+        assert!(ch.is_lagged());
+        // In-order prefix survives, then the gap surfaces with a count.
+        assert_eq!(ch.try_recv().unwrap().unwrap().epochs.0, vec![1]);
+        assert_eq!(ch.try_recv().unwrap().unwrap().epochs.0, vec![2]);
+        assert_eq!(
+            ch.try_recv().unwrap_err(),
+            StreamError::Lagged { missed: 2 }
+        );
+        // Resync clears the gap.
+        ch.mark_resynced();
+        assert!(ch.try_recv().unwrap().is_none());
+        assert_eq!(ch.push(cs(5)), PushOutcome::Delivered);
+    }
+
+    #[test]
+    fn close_drains_then_errors_and_rejects_pushes() {
+        let ch = ChangeChannel::new(2);
+        ch.push(cs(1));
+        ch.close();
+        assert_eq!(ch.push(cs(2)), PushOutcome::Closed);
+        assert_eq!(ch.try_recv().unwrap().unwrap().epochs.0, vec![1]);
+        assert_eq!(ch.try_recv().unwrap_err(), StreamError::Closed);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let ch = ChangeChannel::new(1);
+        assert_eq!(
+            ch.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            StreamError::Timeout
+        );
+    }
+}

@@ -1,0 +1,794 @@
+//! Standing-query state and the per-epoch maintenance step.
+//!
+//! A [`StandingState`] retains whatever its maintenance mode needs to turn
+//! a publish into a [`ChangeSet`] without recomputing the full query:
+//!
+//! * **Scoped** — just the current result multiset; the delta is the diff
+//!   of the scoped plan run on the previous vs new snapshots;
+//! * **Ordered** — the sort input's rows in a key-sorted buffer; the
+//!   delta is the change to the visible prefix;
+//! * **Aggregate** — per-group integer accumulators; the delta is the
+//!   groups whose reconstructed row changed;
+//! * **Fallback** — the current result; every step recomputes and diffs.
+//!
+//! Execution is delegated through [`MaintenanceRunner`], which the service
+//! implements over its epoch-stamped snapshots: `run_prev`/`run_new`
+//! execute a (scoped) plan against one shard's previous/new snapshot
+//! through the full cleansing rewrite, and `run_full` re-executes the
+//! subscription's original query against the newly published snapshot
+//! vector (scatter-gather included). Any internal divergence or overflow
+//! downgrades the step to a counted fallback recompute — maintenance can
+//! be slow, never wrong.
+
+use crate::classify::{partial_plan, AggSpec, Classified, UserAgg};
+use crate::{ChangeSet, EpochVector, MaintenanceStats, RowKey};
+use dc_relational::batch::Batch;
+use dc_relational::delta::{
+    cmp_key_rows, cmp_rows, eval_key_rows, multiset_diff, remove_rows, scope_plan,
+};
+use dc_relational::error::{Error, Result};
+use dc_relational::exec::ExecStats;
+use dc_relational::plan::LogicalPlan;
+use dc_relational::schema::SchemaRef;
+use dc_relational::sort::SortKey;
+use dc_relational::value::Value;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A result multiset in execution form: one `Vec<Value>` per row.
+type RowSet = Vec<Vec<Value>>;
+
+/// Executes plans for maintenance. Implemented by the service layer over
+/// its snapshots; `shard` indexes the service's shard vector.
+pub trait MaintenanceRunner {
+    /// Number of shards (1 for an unsharded service).
+    fn shard_count(&self) -> usize;
+    /// Execute `plan` against shard `shard`'s **previous** (pre-publish)
+    /// snapshot, through the cleansing rewrite.
+    fn run_prev(
+        &mut self,
+        shard: usize,
+        plan: &LogicalPlan,
+    ) -> Result<(Vec<Vec<Value>>, ExecStats)>;
+    /// Execute `plan` against shard `shard`'s **new** (just-published)
+    /// snapshot.
+    fn run_new(&mut self, shard: usize, plan: &LogicalPlan)
+        -> Result<(Vec<Vec<Value>>, ExecStats)>;
+    /// Re-execute the subscription's original query against the new
+    /// snapshot vector (the fallback path; scatter-gather in sharded
+    /// mode). Returns the result rows in the query's own output order.
+    fn run_full(&mut self) -> Result<(Vec<Vec<Value>>, ExecStats)>;
+}
+
+/// Mode-specific retained state.
+enum ModeState {
+    Scoped,
+    Ordered {
+        inner: LogicalPlan,
+        keys: Vec<SortKey>,
+        fetch: Option<usize>,
+        inner_schema: SchemaRef,
+        /// `(sort key row, result row)` sorted by the key order; ties keep
+        /// insertion order (new rows land after equal keys).
+        buffer: Vec<(Vec<Value>, Vec<Value>)>,
+    },
+    Aggregate {
+        spec: AggSpec,
+        /// Per-group accumulators, one i128 per partial slot; the last
+        /// slot is the hidden liveness `count(*)`.
+        groups: BTreeMap<RowKey, Vec<i128>>,
+        /// Reconstructed final row per live group.
+        finals: BTreeMap<RowKey, Vec<Value>>,
+    },
+    Fallback,
+}
+
+/// The maintained state of one subscription.
+pub struct StandingState {
+    plan: LogicalPlan,
+    table: String,
+    ckey: String,
+    mode: ModeState,
+    mode_name: &'static str,
+    fallback_reason: Option<String>,
+    current: Vec<Vec<Value>>,
+}
+
+impl StandingState {
+    /// Build and seed the state for a freshly classified subscription.
+    /// `initial_rows` is the subscribe-time full execution (what the
+    /// client was handed); runner calls see the subscribe-time snapshots
+    /// on their `run_new` side.
+    pub fn new(
+        plan: LogicalPlan,
+        table: &str,
+        ckey: &str,
+        classified: Classified,
+        initial_rows: Vec<Vec<Value>>,
+        runner: &mut dyn MaintenanceRunner,
+    ) -> Result<Self> {
+        let mode_name = classified.mode_name();
+        let mut state = StandingState {
+            plan,
+            table: table.to_ascii_lowercase(),
+            ckey: ckey.to_ascii_lowercase(),
+            mode: ModeState::Fallback,
+            mode_name,
+            fallback_reason: None,
+            current: Vec::new(),
+        };
+        match classified {
+            Classified::Scoped => {
+                state.mode = ModeState::Scoped;
+                state.current = initial_rows;
+            }
+            Classified::Fallback { reason } => {
+                state.fallback_reason = Some(reason);
+                state.current = initial_rows;
+            }
+            Classified::Ordered {
+                inner,
+                keys,
+                fetch,
+                inner_schema,
+            } => {
+                state.mode = ModeState::Ordered {
+                    inner,
+                    keys,
+                    fetch,
+                    inner_schema,
+                    buffer: Vec::new(),
+                };
+                state.seed_ordered(runner)?;
+            }
+            Classified::Aggregate(spec) => {
+                state.mode = ModeState::Aggregate {
+                    spec,
+                    groups: BTreeMap::new(),
+                    finals: BTreeMap::new(),
+                };
+                state.seed_aggregate(runner)?;
+            }
+        }
+        Ok(state)
+    }
+
+    /// The maintenance mode's short name.
+    pub fn mode_name(&self) -> &'static str {
+        self.mode_name
+    }
+
+    /// Why the subscription fell back to recompute-and-diff, if it did.
+    pub fn fallback_reason(&self) -> Option<&str> {
+        self.fallback_reason.as_deref()
+    }
+
+    /// The maintained result. For `ordered` subscriptions this is the
+    /// visible prefix in exact sort order; for other modes it is the
+    /// result multiset (aggregate rows come out in group-key order, which
+    /// may differ from a cold run's first-seen group order).
+    pub fn current(&self) -> &[Vec<Value>] {
+        &self.current
+    }
+
+    /// One maintenance step for a publish that advanced to `epochs`.
+    /// `keys` are the cluster keys the append touched and `shards` the
+    /// shards that received rows; `reads_touched` is false when the append
+    /// went to some *other* table the plan reads (a dimension table), in
+    /// which case ckey scoping is unsound and the step recomputes.
+    ///
+    /// Always returns a change set that is exactly the difference between
+    /// the previous and new results: incremental errors (state divergence,
+    /// accumulator overflow) downgrade to a counted fallback recompute.
+    pub fn maintain(
+        &mut self,
+        runner: &mut dyn MaintenanceRunner,
+        epochs: EpochVector,
+        keys: &[Value],
+        shards: &[usize],
+        reads_touched: bool,
+    ) -> Result<ChangeSet> {
+        let mut stats = MaintenanceStats {
+            epochs: epochs.clone(),
+            ckeys: keys.len(),
+            mode: self.mode_name,
+            fallback: false,
+            exec: ExecStats::default(),
+        };
+        let before = self.current.clone();
+        let incremental = if !reads_touched || matches!(self.mode, ModeState::Fallback) {
+            None
+        } else {
+            // On divergence / overflow the partial step is discarded and
+            // recomputed. The fallback diff below is taken against the
+            // subscriber's view (`before`), so the feed stays exact.
+            self.maintain_incremental(runner, keys, shards, &mut stats)
+                .ok()
+        };
+        let (inserted, deleted, updated) = match incremental {
+            Some(delta) => delta,
+            None => {
+                stats.fallback = true;
+                stats.exec.maintenance_fallbacks += 1;
+                self.reseed(runner, &mut stats)?;
+                let (deleted, inserted) = multiset_diff(&before, &self.current, &mut stats.exec);
+                (inserted, deleted, Vec::new())
+            }
+        };
+        Ok(ChangeSet {
+            epochs,
+            inserted,
+            deleted,
+            updated,
+            stats,
+        })
+    }
+
+    /// Run `plan` scoped-style on the previous and new snapshots of every
+    /// touched shard, concatenating rows and accounting the work.
+    fn scoped_runs(
+        runner: &mut dyn MaintenanceRunner,
+        plan: &LogicalPlan,
+        shards: &[usize],
+        stats: &mut MaintenanceStats,
+    ) -> Result<(RowSet, RowSet)> {
+        let mut old_rows = Vec::new();
+        let mut new_rows = Vec::new();
+        for &s in shards {
+            let (rows, st) = runner.run_prev(s, plan)?;
+            stats.exec.maintenance_scoped_rows += st.rows_scanned;
+            stats.exec.add(&st);
+            old_rows.extend(rows);
+            let (rows, st) = runner.run_new(s, plan)?;
+            stats.exec.maintenance_scoped_rows += st.rows_scanned;
+            stats.exec.add(&st);
+            new_rows.extend(rows);
+        }
+        Ok((old_rows, new_rows))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn maintain_incremental(
+        &mut self,
+        runner: &mut dyn MaintenanceRunner,
+        keys: &[Value],
+        shards: &[usize],
+        stats: &mut MaintenanceStats,
+    ) -> Result<(
+        Vec<Vec<Value>>,
+        Vec<Vec<Value>>,
+        Vec<(Vec<Value>, Vec<Value>)>,
+    )> {
+        match &mut self.mode {
+            ModeState::Fallback => Err(Error::Internal("fallback mode is not incremental".into())),
+            ModeState::Scoped => {
+                let scoped = scope_plan(&self.plan, &self.table, &self.ckey, keys);
+                let (old_rows, new_rows) = Self::scoped_runs(runner, &scoped, shards, stats)?;
+                let (deleted, inserted) = multiset_diff(&old_rows, &new_rows, &mut stats.exec);
+                remove_rows(&mut self.current, &deleted)?;
+                self.current.extend(inserted.iter().cloned());
+                Ok((inserted, deleted, Vec::new()))
+            }
+            ModeState::Ordered {
+                inner,
+                keys: sort_keys,
+                fetch,
+                inner_schema,
+                buffer,
+            } => {
+                let scoped = scope_plan(inner, &self.table, &self.ckey, keys);
+                let (old_rows, new_rows) = Self::scoped_runs(runner, &scoped, shards, stats)?;
+                // Buffer-internal diff: not part of the visible delta, so
+                // it is not counted as delta rows.
+                let mut scratch = ExecStats::default();
+                let (deleted, inserted) = multiset_diff(&old_rows, &new_rows, &mut scratch);
+                for row in &deleted {
+                    let pos = buffer
+                        .iter()
+                        .position(|(_, r)| cmp_rows(r, row) == Ordering::Equal)
+                        .ok_or_else(|| {
+                            Error::Internal("ordered buffer diverged from scoped diff".into())
+                        })?;
+                    buffer.remove(pos);
+                }
+                if !inserted.is_empty() {
+                    let batch = Batch::from_rows(inner_schema.clone(), &inserted)?;
+                    let key_rows = eval_key_rows(&batch, sort_keys)?;
+                    for (key_row, row) in key_rows.into_iter().zip(inserted) {
+                        let pos = buffer.partition_point(|(k, _)| {
+                            cmp_key_rows(k, &key_row, sort_keys) != Ordering::Greater
+                        });
+                        buffer.insert(pos, (key_row, row));
+                    }
+                }
+                let visible: Vec<Vec<Value>> = match fetch {
+                    Some(n) => buffer.iter().take(*n).map(|(_, r)| r.clone()).collect(),
+                    None => buffer.iter().map(|(_, r)| r.clone()).collect(),
+                };
+                let (deleted, inserted) = multiset_diff(&self.current, &visible, &mut stats.exec);
+                self.current = visible;
+                Ok((inserted, deleted, Vec::new()))
+            }
+            ModeState::Aggregate {
+                spec,
+                groups,
+                finals,
+            } => {
+                let pplan = partial_plan(spec, &self.table, &self.ckey, Some(keys));
+                let (old_parts, new_parts) = Self::scoped_runs(runner, &pplan, shards, stats)?;
+                let mut affected: BTreeSet<RowKey> = BTreeSet::new();
+                apply_partials(groups, spec, &old_parts, -1, &mut affected)?;
+                apply_partials(groups, spec, &new_parts, 1, &mut affected)?;
+
+                let global = spec.group_by.is_empty();
+                let mut inserted = Vec::new();
+                let mut deleted = Vec::new();
+                let mut updated = Vec::new();
+                for g in affected {
+                    let acc = groups
+                        .get(&g)
+                        .ok_or_else(|| Error::Internal("affected group vanished".into()))?;
+                    let live = global || acc.last().copied().unwrap_or(0) > 0;
+                    let old_final = finals.get(&g).cloned();
+                    if !live {
+                        groups.remove(&g);
+                        finals.remove(&g);
+                        if let Some(of) = old_final {
+                            deleted.push(of);
+                        }
+                        continue;
+                    }
+                    let new_final = emit_group(spec, &g, acc)?;
+                    match old_final {
+                        None => inserted.push(new_final.clone()),
+                        Some(of) => {
+                            if cmp_rows(&of, &new_final) != Ordering::Equal {
+                                updated.push((of, new_final.clone()));
+                            }
+                        }
+                    }
+                    finals.insert(g, new_final);
+                }
+                self.current = finals.values().cloned().collect();
+                stats.exec.maintenance_delta_rows +=
+                    (inserted.len() + deleted.len() + 2 * updated.len()) as u64;
+                Ok((inserted, deleted, updated))
+            }
+        }
+    }
+
+    /// Rebuild the retained state from scratch against the new snapshots.
+    fn reseed(
+        &mut self,
+        runner: &mut dyn MaintenanceRunner,
+        stats: &mut MaintenanceStats,
+    ) -> Result<()> {
+        match &mut self.mode {
+            ModeState::Scoped | ModeState::Fallback => {
+                let (rows, st) = runner.run_full()?;
+                stats.exec.add(&st);
+                self.current = rows;
+            }
+            ModeState::Ordered { .. } => {
+                let st = self.seed_ordered(runner)?;
+                stats.exec.add(&st);
+            }
+            ModeState::Aggregate { .. } => {
+                let st = self.seed_aggregate(runner)?;
+                stats.exec.add(&st);
+            }
+        }
+        Ok(())
+    }
+
+    /// (Re)build the sorted buffer from unscoped runs of the sort input on
+    /// every shard's new-side snapshot.
+    fn seed_ordered(&mut self, runner: &mut dyn MaintenanceRunner) -> Result<ExecStats> {
+        let shard_count = runner.shard_count();
+        let ModeState::Ordered {
+            inner,
+            keys,
+            fetch,
+            inner_schema,
+            buffer,
+        } = &mut self.mode
+        else {
+            return Err(Error::Internal(
+                "seed_ordered on a non-ordered state".into(),
+            ));
+        };
+        let mut total = ExecStats::default();
+        let mut rows = Vec::new();
+        for s in 0..shard_count {
+            let (r, st) = runner.run_new(s, inner)?;
+            total.add(&st);
+            rows.extend(r);
+        }
+        let batch = Batch::from_rows(inner_schema.clone(), &rows)?;
+        let key_rows = eval_key_rows(&batch, keys)?;
+        *buffer = key_rows.into_iter().zip(rows).collect();
+        buffer.sort_by(|a, b| cmp_key_rows(&a.0, &b.0, keys));
+        self.current = match fetch {
+            Some(n) => buffer.iter().take(*n).map(|(_, r)| r.clone()).collect(),
+            None => buffer.iter().map(|(_, r)| r.clone()).collect(),
+        };
+        Ok(total)
+    }
+
+    /// (Re)build the accumulators from unscoped partial aggregates on
+    /// every shard's new-side snapshot.
+    fn seed_aggregate(&mut self, runner: &mut dyn MaintenanceRunner) -> Result<ExecStats> {
+        let shard_count = runner.shard_count();
+        let pplan = match &self.mode {
+            ModeState::Aggregate { spec, .. } => partial_plan(spec, &self.table, &self.ckey, None),
+            _ => {
+                return Err(Error::Internal(
+                    "seed_aggregate on a non-aggregate state".into(),
+                ))
+            }
+        };
+        let mut total = ExecStats::default();
+        let mut parts = Vec::new();
+        for s in 0..shard_count {
+            let (r, st) = runner.run_new(s, &pplan)?;
+            total.add(&st);
+            parts.extend(r);
+        }
+        let ModeState::Aggregate {
+            spec,
+            groups,
+            finals,
+        } = &mut self.mode
+        else {
+            unreachable!();
+        };
+        groups.clear();
+        finals.clear();
+        let mut affected = BTreeSet::new();
+        apply_partials(groups, spec, &parts, 1, &mut affected)?;
+        let global = spec.group_by.is_empty();
+        // Dead groups can appear when a sharded global aggregate returns
+        // all-default rows from empty shards; drop them (unless global).
+        let dead: Vec<RowKey> = groups
+            .iter()
+            .filter(|(_, acc)| !global && acc.last().copied().unwrap_or(0) <= 0)
+            .map(|(g, _)| g.clone())
+            .collect();
+        for g in dead {
+            groups.remove(&g);
+        }
+        for (g, acc) in groups.iter() {
+            finals.insert(g.clone(), emit_group(spec, g, acc)?);
+        }
+        self.current = finals.values().cloned().collect();
+        Ok(total)
+    }
+}
+
+/// Fold partial-aggregate rows into the accumulators with `sign` (+1 for
+/// the new snapshot's partials, −1 for the previous snapshot's).
+fn apply_partials(
+    groups: &mut BTreeMap<RowKey, Vec<i128>>,
+    spec: &AggSpec,
+    rows: &[Vec<Value>],
+    sign: i128,
+    affected: &mut BTreeSet<RowKey>,
+) -> Result<()> {
+    let g_len = spec.group_by.len();
+    let p_len = spec.partials.len();
+    for row in rows {
+        if row.len() != g_len + p_len {
+            return Err(Error::Internal(format!(
+                "partial aggregate row has {} columns, expected {}",
+                row.len(),
+                g_len + p_len
+            )));
+        }
+        let key = RowKey(row[..g_len].to_vec());
+        let acc = groups.entry(key.clone()).or_insert_with(|| vec![0; p_len]);
+        for (slot, v) in row[g_len..].iter().enumerate() {
+            let x = match v {
+                Value::Null => 0,
+                Value::Int(i) => *i as i128,
+                other => {
+                    return Err(Error::Internal(format!(
+                        "non-integer partial aggregate value {other}"
+                    )))
+                }
+            };
+            acc[slot] += sign * x;
+        }
+        affected.insert(key);
+    }
+    Ok(())
+}
+
+/// Reconstruct one group's final result row from its accumulators:
+/// aggregate values from the recipe, then the user projection (if any)
+/// evaluated over the aggregate-schema row.
+fn emit_group(spec: &AggSpec, group: &RowKey, acc: &[i128]) -> Result<Vec<Value>> {
+    let int = |x: i128| -> Result<Value> {
+        i64::try_from(x)
+            .map(Value::Int)
+            .map_err(|_| Error::Execution("aggregate accumulator overflow".into()))
+    };
+    let mut agg_row: Vec<Value> = group.0.clone();
+    for ua in &spec.user_aggs {
+        let v = match *ua {
+            UserAgg::CountStar { slot } | UserAgg::Count { slot } => int(acc[slot])?,
+            UserAgg::Sum { sum, cnt } => {
+                if acc[cnt] == 0 {
+                    Value::Null
+                } else {
+                    int(acc[sum])?
+                }
+            }
+            UserAgg::Avg { sum, cnt } => {
+                if acc[cnt] == 0 {
+                    Value::Null
+                } else {
+                    // Matches the engine's exact integer average: i128 sum
+                    // divided once at finish.
+                    Value::Double(acc[sum] as f64 / acc[cnt] as f64)
+                }
+            }
+        };
+        agg_row.push(v);
+    }
+    match &spec.project {
+        None => Ok(agg_row),
+        Some(exprs) => {
+            let batch = Batch::from_rows(spec.agg_schema.clone(), &[agg_row])?;
+            exprs
+                .iter()
+                .map(|(e, _)| e.evaluate(&batch).map(|c| c.value(0)))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use dc_relational::batch::{schema_ref, Batch};
+    use dc_relational::exec::Executor;
+    use dc_relational::schema::{Field, Schema};
+    use dc_relational::sql::plan_sql;
+    use dc_relational::table::{Catalog, Table};
+    use dc_relational::value::DataType;
+
+    /// A runner over plain catalogs (no cleansing rewrite): maintenance
+    /// logic is orthogonal to what Φ does to the rows.
+    struct CatRunner {
+        prev: Catalog,
+        new: Catalog,
+        full_plan: LogicalPlan,
+    }
+
+    impl MaintenanceRunner for CatRunner {
+        fn shard_count(&self) -> usize {
+            1
+        }
+        fn run_prev(
+            &mut self,
+            _shard: usize,
+            plan: &LogicalPlan,
+        ) -> Result<(Vec<Vec<Value>>, ExecStats)> {
+            run(&self.prev, plan)
+        }
+        fn run_new(
+            &mut self,
+            _shard: usize,
+            plan: &LogicalPlan,
+        ) -> Result<(Vec<Vec<Value>>, ExecStats)> {
+            run(&self.new, plan)
+        }
+        fn run_full(&mut self) -> Result<(Vec<Vec<Value>>, ExecStats)> {
+            run(&self.new, &self.full_plan.clone())
+        }
+    }
+
+    fn run(cat: &Catalog, plan: &LogicalPlan) -> Result<(Vec<Vec<Value>>, ExecStats)> {
+        let mut ex = Executor::new(cat);
+        let b = ex.execute(plan)?;
+        Ok(((0..b.num_rows()).map(|i| b.row(i)).collect(), ex.stats))
+    }
+
+    fn reads_schema() -> SchemaRef {
+        schema_ref(Schema::new(vec![
+            Field::new("epc", DataType::Str),
+            Field::new("rtime", DataType::Int),
+        ]))
+    }
+
+    fn catalog(rows: &[(&str, i64)]) -> Catalog {
+        let cat = Catalog::new();
+        let rows: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|(e, t)| vec![Value::str(*e), Value::Int(*t)])
+            .collect();
+        cat.register(Table::new(
+            "r",
+            Batch::from_rows(reads_schema(), &rows).unwrap(),
+        ));
+        cat
+    }
+
+    fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort_by(|a, b| cmp_rows(a, b));
+        rows
+    }
+
+    fn check_fold(
+        state: &mut StandingState,
+        runner: &mut CatRunner,
+        keys: &[Value],
+        initial: Vec<Vec<Value>>,
+    ) -> ChangeSet {
+        let cs = state
+            .maintain(runner, EpochVector(vec![1]), keys, &[0], true)
+            .unwrap();
+        let mut folded = initial;
+        cs.apply(&mut folded).unwrap();
+        let (cold, _) = run(&runner.new, &runner.full_plan.clone()).unwrap();
+        assert_eq!(sorted(folded), sorted(cold));
+        cs
+    }
+
+    #[test]
+    fn scoped_maintain_matches_cold() {
+        let prev = catalog(&[("e1", 1), ("e2", 2), ("e1", 7)]);
+        let new = catalog(&[("e1", 1), ("e2", 2), ("e1", 7), ("e1", 9)]);
+        let plan = plan_sql("SELECT epc, rtime FROM r WHERE rtime > 1", &prev).unwrap();
+        let classified = classify(&plan, &prev, "r", "epc");
+        assert!(matches!(classified, Classified::Scoped));
+        let (initial, _) = run(&prev, &plan).unwrap();
+        let mut runner = CatRunner {
+            prev,
+            new,
+            full_plan: plan.clone(),
+        };
+        let mut state =
+            StandingState::new(plan, "r", "epc", classified, initial.clone(), &mut runner).unwrap();
+        let cs = check_fold(&mut state, &mut runner, &[Value::str("e1")], initial);
+        assert_eq!(cs.inserted.len(), 1);
+        assert!(cs.deleted.is_empty());
+        assert!(!cs.stats.fallback);
+        assert!(cs.stats.exec.maintenance_scoped_rows > 0);
+        assert!(cs
+            .render_comment()
+            .starts_with("-- stream: epochs=1 mode=scoped"));
+    }
+
+    /// Seed against the subscribe-time catalog (the service's subscribe
+    /// adapter presents the subscribe snapshot on its `run_new` side).
+    fn seeded(
+        plan: &LogicalPlan,
+        prev_rows: &[(&str, i64)],
+        initial: Vec<Vec<Value>>,
+        classified: Classified,
+    ) -> StandingState {
+        let seed_cat = catalog(prev_rows);
+        let mut seed_runner = CatRunner {
+            prev: catalog(prev_rows),
+            new: seed_cat,
+            full_plan: plan.clone(),
+        };
+        StandingState::new(
+            plan.clone(),
+            "r",
+            "epc",
+            classified,
+            initial,
+            &mut seed_runner,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregate_maintain_emits_updates() {
+        let prev_rows: &[(&str, i64)] = &[("e1", 1), ("e2", 2)];
+        let prev = catalog(prev_rows);
+        let new = catalog(&[("e1", 1), ("e2", 2), ("e1", 9)]);
+        let plan = plan_sql("SELECT count(*), sum(rtime), avg(rtime) FROM r", &prev).unwrap();
+        let classified = classify(&plan, &prev, "r", "epc");
+        assert!(matches!(classified, Classified::Aggregate(_)));
+        let (initial, _) = run(&prev, &plan).unwrap();
+        let mut state = seeded(&plan, prev_rows, initial.clone(), classified);
+        let mut runner = CatRunner {
+            prev,
+            new,
+            full_plan: plan.clone(),
+        };
+        assert_eq!(sorted(state.current().to_vec()), sorted(initial.clone()));
+        let cs = check_fold(&mut state, &mut runner, &[Value::str("e1")], initial);
+        assert_eq!(cs.updated.len(), 1);
+        assert!(cs.inserted.is_empty() && cs.deleted.is_empty());
+    }
+
+    #[test]
+    fn grouped_aggregate_inserts_and_deletes_groups() {
+        let prev_rows: &[(&str, i64)] = &[("e1", 1)];
+        let prev = catalog(prev_rows);
+        let new = catalog(&[("e1", 1), ("e3", 5), ("e3", 6)]);
+        let plan = plan_sql("SELECT epc, count(*) AS n FROM r GROUP BY epc", &prev).unwrap();
+        // Grouped *by* the ckey is scoped; force a non-ckey group by
+        // grouping on rtime instead.
+        let plan2 = plan_sql("SELECT rtime, count(*) AS n FROM r GROUP BY rtime", &prev).unwrap();
+        assert!(matches!(
+            classify(&plan, &prev, "r", "epc"),
+            Classified::Scoped
+        ));
+        let classified = classify(&plan2, &prev, "r", "epc");
+        assert!(matches!(classified, Classified::Aggregate(_)));
+        let (initial, _) = run(&prev, &plan2).unwrap();
+        let mut state = seeded(&plan2, prev_rows, initial.clone(), classified);
+        let mut runner = CatRunner {
+            prev,
+            new,
+            full_plan: plan2.clone(),
+        };
+        let cs = check_fold(&mut state, &mut runner, &[Value::str("e3")], initial);
+        assert_eq!(cs.inserted.len(), 2, "{cs:?}");
+    }
+
+    #[test]
+    fn ordered_limit_maintains_visible_prefix() {
+        let prev_rows: &[(&str, i64)] = &[("e1", 10), ("e2", 20), ("e3", 30)];
+        let prev = catalog(prev_rows);
+        let new = catalog(&[("e1", 10), ("e2", 20), ("e3", 30), ("e1", 25)]);
+        let plan = plan_sql(
+            "SELECT epc, rtime FROM r ORDER BY rtime DESC LIMIT 2",
+            &prev,
+        )
+        .unwrap();
+        let classified = classify(&plan, &prev, "r", "epc");
+        assert!(matches!(classified, Classified::Ordered { .. }));
+        let (initial, _) = run(&prev, &plan).unwrap();
+        let mut state = seeded(&plan, prev_rows, initial.clone(), classified);
+        let mut runner = CatRunner {
+            prev,
+            new,
+            full_plan: plan.clone(),
+        };
+        assert_eq!(state.current().to_vec(), initial);
+        let cs = check_fold(&mut state, &mut runner, &[Value::str("e1")], initial);
+        // 25 enters the top-2, 20 leaves.
+        assert_eq!(cs.inserted, vec![vec![Value::str("e1"), Value::Int(25)]]);
+        assert_eq!(cs.deleted, vec![vec![Value::str("e2"), Value::Int(20)]]);
+        // The visible order is maintained exactly.
+        assert_eq!(
+            state.current().to_vec(),
+            vec![
+                vec![Value::str("e3"), Value::Int(30)],
+                vec![Value::str("e1"), Value::Int(25)],
+            ]
+        );
+    }
+
+    #[test]
+    fn dim_append_forces_counted_fallback() {
+        let prev = catalog(&[("e1", 1)]);
+        let new = catalog(&[("e1", 1), ("e1", 2)]);
+        let plan = plan_sql("SELECT epc, rtime FROM r", &prev).unwrap();
+        let classified = classify(&plan, &prev, "r", "epc");
+        let (initial, _) = run(&prev, &plan).unwrap();
+        let mut runner = CatRunner {
+            prev,
+            new,
+            full_plan: plan.clone(),
+        };
+        let mut state =
+            StandingState::new(plan, "r", "epc", classified, initial.clone(), &mut runner).unwrap();
+        let cs = state
+            .maintain(&mut runner, EpochVector(vec![1]), &[], &[0], false)
+            .unwrap();
+        assert!(cs.stats.fallback);
+        assert_eq!(cs.stats.exec.maintenance_fallbacks, 1);
+        let mut folded = initial;
+        cs.apply(&mut folded).unwrap();
+        let (cold, _) = run(&runner.new, &runner.full_plan.clone()).unwrap();
+        assert_eq!(sorted(folded), sorted(cold));
+    }
+}

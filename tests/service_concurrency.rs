@@ -119,7 +119,7 @@ fn run_session(k: usize, seed: u64, total_rounds: usize, appends: usize) {
                 let n = rng.gen_range(1usize..6);
                 let rows = seed_rows(&mut rng, n);
                 let batch = Batch::from_rows(reads_schema(), &rows).unwrap();
-                let snap = svc.append("caser", batch).unwrap();
+                let snap = svc.append("caser", batch).unwrap().snapshot;
                 snapshots.lock().unwrap().push(Arc::clone(&snap));
                 appended.push(rows);
                 std::thread::yield_now();

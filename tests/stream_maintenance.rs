@@ -1,0 +1,384 @@
+//! Seeded equivalence battery for standing queries (`dc-stream`).
+//!
+//! The subsystem's contract: folding a subscription's change feed over its
+//! initial result reproduces a cold full re-execution at every epoch
+//! vector. This suite drives K subscribers — covering all four maintenance
+//! modes (scoped, ordered, aggregate, fallback) — through seeded random
+//! append schedules on unsharded and sharded services, and after **every**
+//! publish folds each subscriber's [`ChangeSet`] into its running
+//! materialization and compares it against a cold re-execution of the same
+//! query at that epoch vector. Appends to an irrelevant dimension table
+//! must produce no notifications at all.
+//!
+//! Two failure-path cases ride along: a queue overflow must surface
+//! [`StreamError::Lagged`] after the in-order prefix and recover through
+//! [`QueryService::resync`]; unsubscribing mid-schedule must stop the feed
+//! with [`StreamError::Closed`] while other subscriptions keep streaming.
+
+use deferred_cleansing::relational::prelude::*;
+use deferred_cleansing::service::{
+    ChangeSet, EpochVector, QueryRequest, QueryService, ServiceConfig, ShardConfig, StreamError,
+    SubscribeOptions, SubscriptionHandle,
+};
+use deferred_cleansing::DeferredCleansingSystem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const DUP: &str = "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) \
+    WHERE A.biz_loc = B.biz_loc and B.rtime - A.rtime < 5 mins ACTION DELETE B";
+
+/// Subscription pool spanning every maintenance mode. `expect_mode` is
+/// asserted when `Some`; entries with `None` exercise shapes whose
+/// classification is an implementation choice — only equivalence matters.
+const SUBS: &[(&str, &str, Option<&str>)] = &[
+    ("app", "select epc, rtime from caser", Some("scoped")),
+    (
+        "app",
+        "select epc, rtime, biz_loc from caser where rtime < 900",
+        Some("scoped"),
+    ),
+    (
+        "app",
+        "select epc, rtime from caser order by rtime, epc limit 7",
+        Some("ordered"),
+    ),
+    ("app", "select count(*) as n from caser", Some("aggregate")),
+    (
+        "app",
+        "select biz_loc, count(*) as n, sum(rtime) as s from caser group by biz_loc",
+        Some("aggregate"),
+    ),
+    (
+        "app",
+        "select avg(rtime) as a from caser",
+        Some("aggregate"),
+    ),
+    ("app", "select distinct epc from caser", Some("fallback")),
+    (
+        "app",
+        "select epc, count(*) as n from caser group by epc order by epc",
+        None,
+    ),
+    // Rule-free application: no cleansing target, forced recompute-and-diff.
+    (
+        "norules",
+        "select epc, rtime from caser where rtime < 600",
+        Some("fallback"),
+    ),
+];
+
+fn reads_schema() -> SchemaRef {
+    schema_ref(Schema::new(vec![
+        Field::new("epc", DataType::Str),
+        Field::new("rtime", DataType::Int),
+        Field::new("biz_loc", DataType::Str),
+    ]))
+}
+
+fn dim_schema() -> SchemaRef {
+    schema_ref(Schema::new(vec![
+        Field::new("loc", DataType::Str),
+        Field::new("site", DataType::Str),
+    ]))
+}
+
+fn seed_rows(rng: &mut StdRng, n: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|_| {
+            vec![
+                Value::str(format!("e{}", rng.gen_range(0u8..8))),
+                Value::Int(rng.gen_range(0i64..2000)),
+                Value::str(format!("loc{}", rng.gen_range(0u8..3))),
+            ]
+        })
+        .collect()
+}
+
+fn rows_of(batch: &Batch) -> Vec<Vec<Value>> {
+    (0..batch.num_rows()).map(|i| batch.row(i)).collect()
+}
+
+fn canonical(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| !o.is_eq())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+/// Which service topology a battery run drives.
+#[derive(Clone, Copy)]
+enum Topology {
+    Unsharded,
+    Sharded(usize),
+}
+
+fn start_service(topology: Topology, rng: &mut StdRng) -> Arc<QueryService> {
+    let catalog = Arc::new(Catalog::new());
+    catalog.register(Table::new(
+        "caser",
+        Batch::from_rows(reads_schema(), &seed_rows(rng, 60)).unwrap(),
+    ));
+    catalog.register(Table::new(
+        "dim",
+        Batch::from_rows(
+            dim_schema(),
+            &[vec![Value::str("loc0"), Value::str("siteA")]],
+        )
+        .unwrap(),
+    ));
+    let sys = DeferredCleansingSystem::with_catalog(catalog);
+    sys.define_rule("app", DUP).unwrap();
+    let config = ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    };
+    Arc::new(match topology {
+        Topology::Unsharded => QueryService::start(sys, config),
+        Topology::Sharded(shards) => {
+            QueryService::start_sharded(sys, config, ShardConfig::new(shards, "epc")).unwrap()
+        }
+    })
+}
+
+fn cold(svc: &QueryService, app: &str, sql: &str) -> Vec<Vec<Value>> {
+    rows_of(&svc.execute(QueryRequest::new(app, sql)).unwrap().batch)
+}
+
+/// Drain exactly one change set (the publish just happened synchronously
+/// under the ingest lock, so it is already queued) and verify the feed is
+/// then idle.
+fn take_one(handle: &SubscriptionHandle, ctx: &str) -> ChangeSet {
+    let cs = handle
+        .try_next()
+        .unwrap_or_else(|e| panic!("{ctx}: feed errored: {e}"))
+        .unwrap_or_else(|| panic!("{ctx}: expected one change set, feed idle"));
+    assert!(
+        handle.try_next().unwrap().is_none(),
+        "{ctx}: more than one change set for a single publish"
+    );
+    cs
+}
+
+/// The battery: subscribe the whole pool, run a seeded append schedule
+/// (mostly reads, occasionally the irrelevant dimension table), and check
+/// fold-equals-cold for every subscriber after every publish.
+fn run_battery(topology: Topology, seed: u64, appends: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let svc = start_service(topology, &mut rng);
+
+    let mut handles = Vec::new();
+    let mut folds: Vec<Vec<Vec<Value>>> = Vec::new();
+    for (app, sql, expect_mode) in SUBS {
+        let h = svc
+            .subscribe(
+                app,
+                sql,
+                SubscribeOptions::default().with_queue_capacity(appends + 4),
+            )
+            .unwrap();
+        if let Some(mode) = expect_mode {
+            assert_eq!(h.mode(), *mode, "classification of {sql:?}");
+        }
+        assert_eq!(
+            canonical(rows_of(h.initial())),
+            canonical(cold(&svc, app, sql)),
+            "initial result of {sql:?} diverges from cold execution"
+        );
+        folds.push(rows_of(h.initial()));
+        handles.push(h);
+    }
+    assert_eq!(svc.counters().subscriptions, SUBS.len() as u64);
+
+    let mut reads_appends = 0u64;
+    for step in 0..appends {
+        if rng.gen_range(0u8..5) == 0 {
+            // Dimension-table publish: irrelevant to every subscription —
+            // epochs advance, no notifications.
+            let batch = Batch::from_rows(
+                dim_schema(),
+                &[vec![
+                    Value::str(format!("loc{}", rng.gen_range(0u8..3))),
+                    Value::str(format!("site{step}")),
+                ]],
+            )
+            .unwrap();
+            svc.append("dim", batch).unwrap();
+            for (i, h) in handles.iter().enumerate() {
+                assert!(
+                    h.try_next().unwrap().is_none(),
+                    "step {step}: sub {i} notified for an irrelevant table"
+                );
+            }
+            continue;
+        }
+
+        let n = rng.gen_range(1usize..6);
+        let batch = Batch::from_rows(reads_schema(), &seed_rows(&mut rng, n)).unwrap();
+        let outcome = svc.append("caser", batch).unwrap();
+        reads_appends += 1;
+
+        for (i, h) in handles.iter().enumerate() {
+            let (app, sql, _) = SUBS[i];
+            let ctx = format!("step {step} sub {i} ({sql})");
+            let cs = take_one(h, &ctx);
+            assert_eq!(cs.epochs, outcome.epochs, "{ctx}: epoch vector");
+            let comment = cs.render_comment();
+            assert!(
+                comment.starts_with(&format!(
+                    "-- stream: epochs={} mode={}",
+                    outcome.epochs,
+                    h.mode()
+                )),
+                "{ctx}: bad observability line: {comment}"
+            );
+            cs.apply(&mut folds[i])
+                .unwrap_or_else(|e| panic!("{ctx}: fold diverged: {e}"));
+            assert_eq!(
+                canonical(folds[i].clone()),
+                canonical(cold(&svc, app, sql)),
+                "{ctx}: folded feed diverges from cold re-execution at {}",
+                outcome.epochs
+            );
+        }
+    }
+
+    let counters = svc.counters();
+    assert_eq!(counters.notifications, reads_appends * SUBS.len() as u64);
+    assert_eq!(counters.dropped_for_lag, 0);
+    // Fallback-mode subscriptions recompute on every relevant publish.
+    assert!(counters.fallbacks >= 2 * reads_appends);
+}
+
+#[test]
+fn fold_matches_cold_unsharded() {
+    run_battery(Topology::Unsharded, 0xDC08_0001, 14);
+}
+
+#[test]
+fn fold_matches_cold_sharded_1() {
+    run_battery(Topology::Sharded(1), 0xDC08_0002, 12);
+}
+
+#[test]
+fn fold_matches_cold_sharded_4() {
+    run_battery(Topology::Sharded(4), 0xDC08_0004, 14);
+}
+
+/// Queue overflow: the in-order prefix is delivered, the gap surfaces as
+/// [`StreamError::Lagged`], further maintenance is skipped (and counted)
+/// while lagged, and a [`QueryService::resync`] restores the feed from a
+/// fresh full result.
+#[test]
+fn lag_overflow_surfaces_then_resync_resumes() {
+    let mut rng = StdRng::seed_from_u64(0x0DC0_81A6);
+    let svc = start_service(Topology::Unsharded, &mut rng);
+    let h = svc
+        .subscribe(
+            "app",
+            "select epc, rtime from caser",
+            SubscribeOptions::default().with_queue_capacity(1),
+        )
+        .unwrap();
+
+    for _ in 0..4 {
+        let batch = Batch::from_rows(reads_schema(), &seed_rows(&mut rng, 3)).unwrap();
+        svc.append("caser", batch).unwrap();
+    }
+
+    // Capacity-1 queue: exactly one queued prefix survives, then the gap.
+    let mut fold = rows_of(h.initial());
+    let cs = h
+        .try_next()
+        .unwrap()
+        .expect("queued prefix survives the lag");
+    cs.apply(&mut fold).unwrap();
+    assert!(matches!(h.try_next(), Err(StreamError::Lagged { missed }) if missed >= 1));
+    assert!(h.is_lagged());
+    assert!(svc.counters().dropped_for_lag >= 1);
+
+    // Resync: fresh base equals a cold run at the current epoch vector.
+    let (base, epochs) = svc.resync(&h).unwrap();
+    assert_eq!(epochs, EpochVector(vec![4]));
+    assert_eq!(
+        canonical(rows_of(&base)),
+        canonical(cold(&svc, "app", "select epc, rtime from caser"))
+    );
+    assert!(!h.is_lagged());
+
+    // The feed resumes: the next publish delivers a change set that folds
+    // the resynced base to the new cold result.
+    let mut fold = rows_of(&base);
+    let batch = Batch::from_rows(reads_schema(), &seed_rows(&mut rng, 2)).unwrap();
+    let outcome = svc.append("caser", batch).unwrap();
+    let cs = take_one(&h, "post-resync");
+    assert_eq!(cs.epochs, outcome.epochs);
+    cs.apply(&mut fold).unwrap();
+    assert_eq!(
+        canonical(fold),
+        canonical(cold(&svc, "app", "select epc, rtime from caser"))
+    );
+}
+
+/// Unsubscribing mid-schedule stops that feed with [`StreamError::Closed`]
+/// while the surviving subscription keeps streaming correct deltas.
+#[test]
+fn unsubscribe_under_fire_stops_one_feed() {
+    let mut rng = StdRng::seed_from_u64(0x0DC0_8F1E);
+    let svc = start_service(Topology::Sharded(4), &mut rng);
+    let keep = svc
+        .subscribe(
+            "app",
+            "select biz_loc, count(*) as n from caser group by biz_loc",
+            SubscribeOptions::default(),
+        )
+        .unwrap();
+    let drop_me = svc
+        .subscribe(
+            "app",
+            "select epc, rtime from caser",
+            SubscribeOptions::default(),
+        )
+        .unwrap();
+
+    let mut keep_fold = rows_of(keep.initial());
+    let mut drop_fold = rows_of(drop_me.initial());
+    for _ in 0..3 {
+        let batch = Batch::from_rows(reads_schema(), &seed_rows(&mut rng, 4)).unwrap();
+        svc.append("caser", batch).unwrap();
+        take_one(&keep, "keep pre").apply(&mut keep_fold).unwrap();
+        take_one(&drop_me, "drop pre")
+            .apply(&mut drop_fold)
+            .unwrap();
+    }
+    assert_eq!(
+        canonical(drop_fold),
+        canonical(cold(&svc, "app", "select epc, rtime from caser"))
+    );
+
+    svc.unsubscribe(&drop_me);
+    let notifications_at_cut = svc.counters().notifications;
+
+    for step in 0..3 {
+        let batch = Batch::from_rows(reads_schema(), &seed_rows(&mut rng, 4)).unwrap();
+        svc.append("caser", batch).unwrap();
+        take_one(&keep, &format!("keep post {step}"))
+            .apply(&mut keep_fold)
+            .unwrap();
+        assert!(matches!(drop_me.try_next(), Err(StreamError::Closed)));
+    }
+    assert_eq!(
+        canonical(keep_fold),
+        canonical(cold(
+            &svc,
+            "app",
+            "select biz_loc, count(*) as n from caser group by biz_loc"
+        ))
+    );
+    // Only the surviving subscription was notified after the cut.
+    assert_eq!(svc.counters().notifications, notifications_at_cut + 3);
+}
