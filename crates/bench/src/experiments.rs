@@ -341,6 +341,10 @@ pub fn ablation_order_sharing(scale: usize, seed: u64) -> (Measurement, Measurem
             merge_runs_used: ex.stats.merge_runs_used,
             window_accumulator_ops: ex.stats.window_accumulator_ops,
             join_probes: ex.stats.join_probes,
+            hash_ops: ex.stats.hash_ops,
+            hash_collisions: ex.stats.hash_collisions,
+            probe_memcmps: ex.stats.probe_memcmps,
+            key_bytes_encoded: ex.stats.key_bytes_encoded,
             partitions: ex.stats.partitions_executed,
             window_eval_ms: ex.window_eval_nanos as f64 / 1e6,
             parallelism: 1,
@@ -395,6 +399,10 @@ pub fn ablation_joinback(scale: usize, seed: u64) -> (Measurement, Measurement) 
             merge_runs_used: ex.stats.merge_runs_used,
             window_accumulator_ops: ex.stats.window_accumulator_ops,
             join_probes: ex.stats.join_probes,
+            hash_ops: ex.stats.hash_ops,
+            hash_collisions: ex.stats.hash_collisions,
+            probe_memcmps: ex.stats.probe_memcmps,
+            key_bytes_encoded: ex.stats.key_bytes_encoded,
             partitions: ex.stats.partitions_executed,
             window_eval_ms: ex.window_eval_nanos as f64 / 1e6,
             parallelism: 1,

@@ -40,6 +40,10 @@ pub const GATING_KEYS: &[&str] = &[
     "fallbacks",
     "recompute_window_ops",
     "delta_work_pct",
+    // Per-value hash computations spent by the normalized-key machinery
+    // (join build/probe, GROUP BY, DISTINCT, coordinator merge): growth
+    // means more rows or more key columns reached a hash operator.
+    "hash_ops",
 ];
 
 /// Deterministic keys that are reported when they drift but never gate:
@@ -62,6 +66,12 @@ pub const INFORMATIONAL_KEYS: &[&str] = &[
     "selection_avoided_copies",
     // Worker-sweep throughput: wall-clock derived, machine-dependent.
     "queries_per_sec",
+    // Hash-machinery observability: collisions depend on data, memcmps
+    // and encoded bytes track table sizes — the costly sibling that gates
+    // is `hash_ops`.
+    "hash_collisions",
+    "probe_memcmps",
+    "key_bytes_encoded",
 ];
 
 /// Keys that must match exactly between baseline and current run —

@@ -53,6 +53,15 @@ pub struct Measurement {
     /// aggregate state. Frame-width independent for incremental kernels.
     pub window_accumulator_ops: u64,
     pub join_probes: u64,
+    /// Per-value hash computations by the normalized-key machinery (join
+    /// build/probe, GROUP BY, DISTINCT, coordinator merge).
+    pub hash_ops: u64,
+    /// Hash-equal, byte-unequal table probes (disambiguated by memcmp).
+    pub hash_collisions: u64,
+    /// Key byte comparisons spent resolving table probes.
+    pub probe_memcmps: u64,
+    /// Normalized key bytes written by the batch encoders.
+    pub key_bytes_encoded: u64,
     /// Window partitions evaluated (identical at any parallelism).
     pub partitions: u64,
     /// Wall-clock spent in window evaluation — the Φ_C hot path, and the
@@ -86,6 +95,10 @@ impl Measurement {
             .set("merge_runs_used", self.merge_runs_used)
             .set("window_accumulator_ops", self.window_accumulator_ops)
             .set("join_probes", self.join_probes)
+            .set("hash_ops", self.hash_ops)
+            .set("hash_collisions", self.hash_collisions)
+            .set("probe_memcmps", self.probe_memcmps)
+            .set("key_bytes_encoded", self.key_bytes_encoded)
             .set("partitions", self.partitions)
             .set("window_eval_ms", Json::Num(self.window_eval_ms))
             .set("parallelism", self.parallelism)
@@ -185,6 +198,10 @@ pub fn run_variant(
         merge_runs_used: report.stats.merge_runs_used,
         window_accumulator_ops: report.stats.window_accumulator_ops,
         join_probes: report.stats.join_probes,
+        hash_ops: report.stats.hash_ops,
+        hash_collisions: report.stats.hash_collisions,
+        probe_memcmps: report.stats.probe_memcmps,
+        key_bytes_encoded: report.stats.key_bytes_encoded,
         partitions: report.stats.partitions_executed,
         window_eval_ms: report.window_eval_nanos as f64 / 1e6,
         parallelism: report.parallelism,

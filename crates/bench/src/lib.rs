@@ -19,6 +19,7 @@ pub mod experiments;
 pub mod expr_kernels;
 pub mod gate;
 pub mod harness;
+pub mod hash_kernels;
 pub mod microbench;
 pub mod report;
 pub mod service_bench;

@@ -113,6 +113,10 @@ mod tests {
                 merge_runs_used: 0,
                 window_accumulator_ops: 2,
                 join_probes: 0,
+                hash_ops: 0,
+                hash_collisions: 0,
+                probe_memcmps: 0,
+                key_bytes_encoded: 0,
                 partitions: 3,
                 window_eval_ms: 0.1,
                 parallelism: 1,

@@ -177,6 +177,9 @@ pub struct ShardedScatterRow {
     pub shard_rows_merged: u64,
     pub segments_scanned: u64,
     pub sort_comparisons: u64,
+    /// Hash-kernel work across shard executors plus the coordinator's
+    /// partial-aggregate / DISTINCT merge.
+    pub hash_ops: u64,
     pub millis: f64,
 }
 
@@ -189,19 +192,21 @@ impl ShardedScatterRow {
             .set("shard_rows_merged", self.shard_rows_merged)
             .set("segments_scanned", self.segments_scanned)
             .set("sort_comparisons", self.sort_comparisons)
+            .set("hash_ops", self.hash_ops)
             .set("millis", Json::Num(self.millis))
     }
 
     pub fn render(&self) -> String {
         format!(
-            "shards={}  {:<3} {:>8.1}ms  rows={:>6} merged={:>6} segments={:>4} sort_cmp={:>8}",
+            "shards={}  {:<3} {:>8.1}ms  rows={:>6} merged={:>6} segments={:>4} sort_cmp={:>8} hash_ops={:>8}",
             self.shards,
             self.variant,
             self.millis,
             self.result_rows,
             self.shard_rows_merged,
             self.segments_scanned,
-            self.sort_comparisons
+            self.sort_comparisons,
+            self.hash_ops
         )
     }
 }
@@ -241,6 +246,7 @@ pub fn sharded_scatter(scale: usize, seed: u64, shards_list: &[usize]) -> Vec<Sh
                 shard_rows_merged: stats.shard_rows_merged,
                 segments_scanned: stats.segments_scanned,
                 sort_comparisons: stats.sort_comparisons,
+                hash_ops: stats.hash_ops,
                 millis: start.elapsed().as_secs_f64() * 1e3,
             });
         }

@@ -9,6 +9,7 @@ use crate::batch::Batch;
 use crate::column::{Column, ColumnBuilder};
 use crate::error::{Error, Result};
 use crate::expr::Expr;
+use crate::hash::{encode_keys, HashStats, NullKeys, RawKeyTable};
 use crate::schema::{Field, Schema};
 use crate::value::{DataType, Value};
 use std::collections::{HashMap, HashSet};
@@ -209,10 +210,27 @@ impl AggState {
 
 /// Execute a hash aggregation. Output columns are the group expressions
 /// (named by `group_aliases`) followed by the aggregates.
+///
+/// Convenience wrapper over [`hash_aggregate_with`] (vectorized hash path,
+/// counters discarded).
 pub fn hash_aggregate(
     input: &Batch,
     group_by: &[(Expr, String)],
     aggs: &[AggExpr],
+) -> Result<Batch> {
+    let mut hash = HashStats::default();
+    hash_aggregate_with(input, group_by, aggs, false, &mut hash)
+}
+
+/// [`hash_aggregate`] with an explicit path selector and hash-work counters.
+/// `rowwise` runs the retained `HashMap<Vec<Value>, _>` oracle; otherwise
+/// group lookup goes through the normalized-key table of [`crate::hash`].
+pub fn hash_aggregate_with(
+    input: &Batch,
+    group_by: &[(Expr, String)],
+    aggs: &[AggExpr],
+    rowwise: bool,
+    hash: &mut HashStats,
 ) -> Result<Batch> {
     let n = input.num_rows();
     let group_cols: Vec<Column> = group_by
@@ -227,22 +245,21 @@ pub fn hash_aggregate(
         .iter()
         .map(|c| c.as_ref().map(Column::data_type))
         .collect();
+    let new_states = || -> Vec<AggState> {
+        aggs.iter()
+            .zip(&arg_types)
+            .map(|(a, t)| AggState::new(&a.func, *t))
+            .collect()
+    };
 
-    // group key -> (first-seen order, accumulator per aggregate)
-    let mut groups: HashMap<Vec<Value>, (usize, Vec<AggState>)> = HashMap::new();
-    let mut order = 0usize;
-    for i in 0..n {
-        let key: Vec<Value> = group_cols.iter().map(|c| c.value(i)).collect();
-        let entry = groups.entry(key).or_insert_with(|| {
-            let states = aggs
-                .iter()
-                .zip(&arg_types)
-                .map(|(a, t)| AggState::new(&a.func, *t))
-                .collect();
-            order += 1;
-            (order - 1, states)
-        });
-        for ((state, agg), arg) in entry.1.iter_mut().zip(aggs).zip(&arg_cols) {
+    // Group lookup: slot index = first-seen order on both paths.
+    // `rep_rows[slot]` is the first input row of each group — the group-key
+    // output columns gather straight from the evaluated key columns, so key
+    // values are never re-materialized from the table.
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    let mut rep_rows: Vec<usize> = Vec::new();
+    let update = |slot: usize, states: &mut Vec<Vec<AggState>>, i: usize| -> Result<()> {
+        for ((state, agg), arg) in states[slot].iter_mut().zip(aggs).zip(&arg_cols) {
             let v = match arg {
                 None => None,
                 Some(c) => {
@@ -255,16 +272,36 @@ pub fn hash_aggregate(
             };
             state.update(&agg.func, v)?;
         }
+        Ok(())
+    };
+    if rowwise {
+        let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+        for i in 0..n {
+            let key: Vec<Value> = group_cols.iter().map(|c| c.value(i)).collect();
+            let next = states.len();
+            let slot = *groups.entry(key).or_insert(next);
+            if slot == next {
+                states.push(new_states());
+                rep_rows.push(i);
+            }
+            update(slot, &mut states, i)?;
+        }
+    } else {
+        let keys = encode_keys(&group_cols, None, n, NullKeys::Match, hash)?;
+        let mut table = RawKeyTable::with_capacity(n.min(1024));
+        for i in 0..n {
+            let (slot, fresh) = table.insert(keys.hash(i), keys.key(i), hash);
+            if fresh {
+                states.push(new_states());
+                rep_rows.push(i);
+            }
+            update(slot, &mut states, i)?;
+        }
     }
 
     // Global aggregation over an empty input yields one all-default row.
-    if groups.is_empty() && group_by.is_empty() {
-        let states: Vec<AggState> = aggs
-            .iter()
-            .zip(&arg_types)
-            .map(|(a, t)| AggState::new(&a.func, *t))
-            .collect();
-        groups.insert(vec![], (0, states));
+    if states.is_empty() && group_by.is_empty() {
+        states.push(new_states());
     }
 
     // Output schema.
@@ -285,40 +322,59 @@ pub fn hash_aggregate(
     }
     let schema = Arc::new(Schema::new(fields));
 
-    // Emit groups in first-seen order for determinism.
-    #[allow(clippy::type_complexity)]
-    let mut entries: Vec<(Vec<Value>, (usize, Vec<AggState>))> = groups.into_iter().collect();
-    entries.sort_by_key(|(_, (ord, _))| *ord);
-
-    let mut builders: Vec<ColumnBuilder> = schema
-        .fields()
-        .iter()
-        .map(|f| ColumnBuilder::new(f.data_type, entries.len()))
-        .collect();
-    for (key, (_, states)) in entries {
-        for (b, v) in builders.iter_mut().zip(key.iter()) {
-            b.push(v)?;
-        }
-        for (b, s) in builders[group_by.len()..].iter_mut().zip(states) {
-            b.push(&s.finish())?;
+    // Group-key columns gather from the evaluated key columns (empty inputs
+    // fall back to an empty column of the schema type); aggregate columns
+    // are built from the finished accumulators, slots in first-seen order.
+    let mut cols: Vec<Column> = Vec::with_capacity(schema.fields().len());
+    for (c, f) in group_cols.iter().zip(schema.fields()) {
+        if n == 0 {
+            cols.push(ColumnBuilder::new(f.data_type, 0).finish());
+        } else {
+            cols.push(c.take(&rep_rows));
         }
     }
-    Batch::new(
-        schema,
-        builders.into_iter().map(ColumnBuilder::finish).collect(),
-    )
+    for (a, f) in (0..aggs.len()).zip(&schema.fields()[group_by.len()..]) {
+        let mut b = ColumnBuilder::new(f.data_type, states.len());
+        for slot_states in &mut states {
+            // `finish` consumes; replace with a placeholder we never read.
+            let s = std::mem::replace(&mut slot_states[a], AggState::Count(0));
+            b.push(&s.finish())?;
+        }
+        cols.push(b.finish());
+    }
+    Batch::new(schema, cols)
 }
 
 /// DISTINCT over whole rows.
+///
+/// Convenience wrapper over [`distinct_with`] (vectorized hash path,
+/// counters discarded).
 pub fn distinct(input: &Batch) -> Batch {
-    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    let mut hash = HashStats::default();
+    distinct_with(input, false, &mut hash).expect("distinct encoding cannot fail")
+}
+
+/// [`distinct`] with an explicit path selector and hash-work counters.
+pub fn distinct_with(input: &Batch, rowwise: bool, hash: &mut HashStats) -> Result<Batch> {
+    let n = input.num_rows();
     let mut keep = Vec::new();
-    for i in 0..input.num_rows() {
-        if seen.insert(input.row(i)) {
-            keep.push(i);
+    if rowwise {
+        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        for i in 0..n {
+            if seen.insert(input.row(i)) {
+                keep.push(i);
+            }
+        }
+    } else {
+        let keys = encode_keys(input.columns(), input.selection(), n, NullKeys::Match, hash)?;
+        let mut table = RawKeyTable::with_capacity(n.min(1024));
+        for i in 0..n {
+            if table.insert(keys.hash(i), keys.key(i), hash).1 {
+                keep.push(i);
+            }
         }
     }
-    input.take(&keep)
+    Ok(input.take(&keep))
 }
 
 #[cfg(test)]

@@ -85,6 +85,17 @@ pub struct ExecStats {
     pub maintenance_scoped_rows: u64,
     /// Maintenance steps that fell back to full recompute-and-diff.
     pub maintenance_fallbacks: u64,
+    /// Per-value hash computations by the vectorized hash kernels (rows ×
+    /// key columns across join build/probe, aggregation, DISTINCT, and
+    /// scatter merge). 0 on the row-wise oracle path.
+    pub hash_ops: u64,
+    /// Full 64-bit hash matches whose normalized keys compared unequal —
+    /// genuine collisions resolved by memcmp.
+    pub hash_collisions: u64,
+    /// Normalized-key memcmps on candidate (hash-equal) table entries.
+    pub probe_memcmps: u64,
+    /// Bytes written into normalized-key arenas.
+    pub key_bytes_encoded: u64,
 }
 
 impl ExecStats {
@@ -115,6 +126,10 @@ impl ExecStats {
             maintenance_delta_rows,
             maintenance_scoped_rows,
             maintenance_fallbacks,
+            hash_ops,
+            hash_collisions,
+            probe_memcmps,
+            key_bytes_encoded,
         } = other;
         self.rows_scanned += rows_scanned;
         self.index_scans += index_scans;
@@ -139,6 +154,18 @@ impl ExecStats {
         self.maintenance_delta_rows += maintenance_delta_rows;
         self.maintenance_scoped_rows += maintenance_scoped_rows;
         self.maintenance_fallbacks += maintenance_fallbacks;
+        self.hash_ops += hash_ops;
+        self.hash_collisions += hash_collisions;
+        self.probe_memcmps += probe_memcmps;
+        self.key_bytes_encoded += key_bytes_encoded;
+    }
+
+    /// Fold hash-kernel counters into the executor-level statistics.
+    pub fn add_hash(&mut self, h: &crate::hash::HashStats) {
+        self.hash_ops += h.hash_ops;
+        self.hash_collisions += h.hash_collisions;
+        self.probe_memcmps += h.probe_memcmps;
+        self.key_bytes_encoded += h.key_bytes_encoded;
     }
 }
 

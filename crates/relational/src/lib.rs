@@ -52,6 +52,7 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod expr;
+pub mod hash;
 pub mod index;
 pub mod join;
 pub mod optimizer;
@@ -80,6 +81,7 @@ pub mod prelude {
     pub use crate::exec::{ExecStats, Executor};
     pub use crate::explain::{logical_to_json, physical_to_json};
     pub use crate::expr::{conjoin, disjoin, split_conjuncts, BinaryOp, ColumnRef, Expr};
+    pub use crate::hash::{encode_keys, EncodedKeys, HashStats, NullKeys, RawKeyTable};
     pub use crate::join::JoinType;
     pub use crate::optimizer::{optimize, optimize_default, OptimizerConfig};
     pub use crate::physical::{

@@ -1,10 +1,11 @@
 //! Hash aggregation with GROUP BY.
 
 use super::{ExecContext, PhysicalOperator};
-use crate::agg::{hash_aggregate, AggExpr};
+use crate::agg::{hash_aggregate_with, AggExpr};
 use crate::batch::Batch;
 use crate::error::Result;
 use crate::expr::Expr;
+use crate::hash::HashStats;
 
 #[derive(Debug)]
 pub struct PhysicalAggregate {
@@ -31,6 +32,16 @@ impl PhysicalOperator for PhysicalAggregate {
         let b = super::collect_input(self.input.as_ref(), ctx)?;
         // Each input row is hashed into a group once.
         ctx.metrics.add_comparisons(b.num_rows() as u64);
-        hash_aggregate(&b, &self.group_by, &self.aggs)
+        let mut hash = HashStats::default();
+        let out = hash_aggregate_with(
+            &b,
+            &self.group_by,
+            &self.aggs,
+            ctx.options.rowwise_hash,
+            &mut hash,
+        )?;
+        ctx.stats.add_hash(&hash);
+        ctx.metrics.add_hash(&hash);
+        Ok(out)
     }
 }

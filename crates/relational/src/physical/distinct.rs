@@ -1,9 +1,10 @@
 //! Duplicate-row elimination.
 
 use super::{ExecContext, PhysicalOperator};
-use crate::agg::distinct;
+use crate::agg::distinct_with;
 use crate::batch::Batch;
 use crate::error::Result;
+use crate::hash::HashStats;
 
 #[derive(Debug)]
 pub struct PhysicalDistinct {
@@ -23,6 +24,10 @@ impl PhysicalOperator for PhysicalDistinct {
         let b = super::collect_input(self.input.as_ref(), ctx)?;
         // Each input row is hashed against the seen-set once.
         ctx.metrics.add_comparisons(b.num_rows() as u64);
-        Ok(distinct(&b))
+        let mut hash = HashStats::default();
+        let out = distinct_with(&b, ctx.options.rowwise_hash, &mut hash)?;
+        ctx.stats.add_hash(&hash);
+        ctx.metrics.add_hash(&hash);
+        Ok(out)
     }
 }

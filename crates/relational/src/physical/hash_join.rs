@@ -4,7 +4,7 @@ use super::{ExecContext, PhysicalOperator};
 use crate::batch::Batch;
 use crate::error::Result;
 use crate::expr::Expr;
-use crate::join::{hash_join, JoinType};
+use crate::join::{hash_join_with, JoinType};
 
 #[derive(Debug)]
 pub struct PhysicalHashJoin {
@@ -36,9 +36,19 @@ impl PhysicalOperator for PhysicalHashJoin {
     fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let l = super::collect_input(self.left.as_ref(), ctx)?;
         let r = super::collect_input(self.right.as_ref(), ctx)?;
-        let (out, probes) = hash_join(&l, &r, &self.left_keys, &self.right_keys, JoinType::Inner)?;
-        ctx.stats.join_probes += probes;
-        ctx.metrics.add_comparisons(probes);
+        let (out, work) = hash_join_with(
+            &l,
+            &r,
+            &self.left_keys,
+            &self.right_keys,
+            JoinType::Inner,
+            &ctx.budget,
+            ctx.options.rowwise_hash,
+        )?;
+        ctx.stats.join_probes += work.probes;
+        ctx.stats.add_hash(&work.hash);
+        ctx.metrics.add_comparisons(work.probes);
+        ctx.metrics.add_hash(&work.hash);
         Ok(out)
     }
 }

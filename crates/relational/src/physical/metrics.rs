@@ -19,6 +19,7 @@
 //! [`OperatorMetrics::deterministic`] projects a node tree onto only the
 //! former, which is what tests compare across parallelism levels.
 
+use crate::hash::HashStats;
 use dc_json::Json;
 use std::fmt::Write as _;
 
@@ -57,6 +58,16 @@ pub struct OperatorMetrics {
     /// selection vector instead of copying column data (one per column per
     /// selection-carrying chunk).
     pub selection_avoided_copies: u64,
+    /// Per-value hash computations by the vectorized hash kernels (rows ×
+    /// key columns for joins, aggregation, and DISTINCT). 0 for operators
+    /// that never hash.
+    pub hash_ops: u64,
+    /// Full 64-bit hash matches whose normalized keys compared unequal.
+    pub hash_collisions: u64,
+    /// Normalized-key memcmps on candidate (hash-equal) table entries.
+    pub probe_memcmps: u64,
+    /// Bytes written into normalized-key arenas.
+    pub key_bytes_encoded: u64,
     /// Inclusive wall-clock (children included). Timing, not a counter:
     /// excluded from [`OperatorMetrics::deterministic`].
     pub wall_nanos: u64,
@@ -79,6 +90,10 @@ pub struct DeterministicMetrics {
     pub segments_scanned: u64,
     pub batches_processed: u64,
     pub selection_avoided_copies: u64,
+    pub hash_ops: u64,
+    pub hash_collisions: u64,
+    pub probe_memcmps: u64,
+    pub key_bytes_encoded: u64,
     pub children: Vec<DeterministicMetrics>,
 }
 
@@ -97,6 +112,10 @@ impl OperatorMetrics {
             segments_scanned: self.segments_scanned,
             batches_processed: self.batches_processed,
             selection_avoided_copies: self.selection_avoided_copies,
+            hash_ops: self.hash_ops,
+            hash_collisions: self.hash_collisions,
+            probe_memcmps: self.probe_memcmps,
+            key_bytes_encoded: self.key_bytes_encoded,
             children: self.children.iter().map(Self::deterministic).collect(),
         }
     }
@@ -123,6 +142,10 @@ impl OperatorMetrics {
         self.segments_scanned += other.segments_scanned;
         self.batches_processed += other.batches_processed;
         self.selection_avoided_copies += other.selection_avoided_copies;
+        self.hash_ops += other.hash_ops;
+        self.hash_collisions += other.hash_collisions;
+        self.probe_memcmps += other.probe_memcmps;
+        self.key_bytes_encoded += other.key_bytes_encoded;
         self.wall_nanos += other.wall_nanos;
         self.children
             .iter_mut()
@@ -178,6 +201,13 @@ impl OperatorMetrics {
                     m.selection_avoided_copies
                 );
             }
+            if m.hash_ops > 0 {
+                let _ = write!(
+                    out,
+                    " hash_ops={} hash_collisions={} probe_memcmps={} key_bytes={}",
+                    m.hash_ops, m.hash_collisions, m.probe_memcmps, m.key_bytes_encoded
+                );
+            }
             if with_timing {
                 let _ = write!(out, " time={:.3}ms", m.wall_nanos as f64 / 1e6);
             }
@@ -205,7 +235,11 @@ impl OperatorMetrics {
             .set("segments_pruned", self.segments_pruned)
             .set("segments_scanned", self.segments_scanned)
             .set("batches_processed", self.batches_processed)
-            .set("selection_avoided_copies", self.selection_avoided_copies);
+            .set("selection_avoided_copies", self.selection_avoided_copies)
+            .set("hash_ops", self.hash_ops)
+            .set("hash_collisions", self.hash_collisions)
+            .set("probe_memcmps", self.probe_memcmps)
+            .set("key_bytes_encoded", self.key_bytes_encoded);
         if with_timing {
             obj = obj.set("time_ms", Json::Num(self.wall_nanos as f64 / 1e6));
         }
@@ -246,6 +280,7 @@ struct PendingNode {
     segments_scanned: u64,
     batches_processed: u64,
     selection_avoided_copies: u64,
+    hash: HashStats,
     children: Vec<OperatorMetrics>,
 }
 
@@ -283,6 +318,7 @@ impl MetricsCollector {
             segments_scanned: 0,
             batches_processed: 0,
             selection_avoided_copies: 0,
+            hash: HashStats::default(),
             children: Vec::new(),
         });
         FrameId(id)
@@ -310,6 +346,10 @@ impl MetricsCollector {
             segments_scanned: node.segments_scanned,
             batches_processed: node.batches_processed,
             selection_avoided_copies: node.selection_avoided_copies,
+            hash_ops: node.hash.hash_ops,
+            hash_collisions: node.hash.hash_collisions,
+            probe_memcmps: node.hash.probe_memcmps,
+            key_bytes_encoded: node.hash.key_bytes_encoded,
             wall_nanos,
             children: node.children,
         };
@@ -323,6 +363,13 @@ impl MetricsCollector {
     pub fn add_comparisons(&mut self, n: u64) {
         if let Some(top) = self.stack.last_mut() {
             top.comparisons += n;
+        }
+    }
+
+    /// Record hash-kernel work against the operator currently executing.
+    pub fn add_hash(&mut self, h: &HashStats) {
+        if let Some(top) = self.stack.last_mut() {
+            top.hash.merge(h);
         }
     }
 

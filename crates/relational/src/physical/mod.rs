@@ -150,6 +150,11 @@ pub struct ExecOptions {
     /// or deterministic counters other than `batches_processed` /
     /// `selection_avoided_copies` (which count chunks, not rows).
     pub chunk_rows: usize,
+    /// Run hash-keyed operators (join, aggregation, DISTINCT) on the
+    /// retained row-wise `Vec<Value>` path instead of the vectorized hash
+    /// kernels. The equivalence oracle for the property suite — results are
+    /// identical; the hash-kernel counters simply stay 0.
+    pub rowwise_hash: bool,
 }
 
 /// Default morsel size for the streaming pipeline (rows per chunk).
@@ -160,6 +165,7 @@ impl Default for ExecOptions {
         ExecOptions {
             parallelism: 1,
             chunk_rows: DEFAULT_CHUNK_ROWS,
+            rowwise_hash: false,
         }
     }
 }
@@ -175,6 +181,12 @@ impl ExecOptions {
     /// Override the streaming morsel size (`0` = fully materialized).
     pub fn with_chunk_rows(mut self, chunk_rows: usize) -> Self {
         self.chunk_rows = chunk_rows;
+        self
+    }
+
+    /// Select the row-wise `Vec<Value>` hash path (the equivalence oracle).
+    pub fn with_rowwise_hash(mut self, rowwise: bool) -> Self {
+        self.rowwise_hash = rowwise;
         self
     }
 }

@@ -5,7 +5,7 @@ use super::{ExecContext, PhysicalOperator};
 use crate::batch::Batch;
 use crate::error::Result;
 use crate::expr::Expr;
-use crate::join::{hash_join, JoinType};
+use crate::join::{hash_join_with, JoinType};
 
 #[derive(Debug)]
 pub struct PhysicalSemiJoin {
@@ -37,15 +37,19 @@ impl PhysicalOperator for PhysicalSemiJoin {
     fn execute_op(&self, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         let l = super::collect_input(self.left.as_ref(), ctx)?;
         let r = super::collect_input(self.right.as_ref(), ctx)?;
-        let (out, probes) = hash_join(
+        let (out, work) = hash_join_with(
             &l,
             &r,
             &self.left_keys,
             &self.right_keys,
             JoinType::LeftSemi,
+            &ctx.budget,
+            ctx.options.rowwise_hash,
         )?;
-        ctx.stats.join_probes += probes;
-        ctx.metrics.add_comparisons(probes);
+        ctx.stats.join_probes += work.probes;
+        ctx.stats.add_hash(&work.hash);
+        ctx.metrics.add_comparisons(work.probes);
+        ctx.metrics.add_hash(&work.hash);
         Ok(out)
     }
 }

@@ -31,11 +31,12 @@
 //! exact for integer-valued inputs and associative-up-to-rounding
 //! otherwise.
 
-use crate::agg::{distinct, AggExpr, AggFunc};
+use crate::agg::{distinct_with, AggExpr, AggFunc};
 use crate::batch::{schema_ref, Batch};
-use crate::column::ColumnBuilder;
+use crate::column::{Column, ColumnBuilder};
 use crate::error::{Error, Result};
 use crate::expr::Expr;
+use crate::hash::{encode_keys, HashStats, NullKeys, RawKeyTable};
 use crate::plan::LogicalPlan;
 use crate::schema::{Field, Schema};
 use crate::sort::{sort_batch, sort_batch_runs, SortKey};
@@ -403,10 +404,26 @@ pub struct GatherOutcome {
     pub sort_comparisons: u64,
     /// Sorted runs consumed by the k-way merge steps.
     pub merge_runs_used: u64,
+    /// Hash-kernel work spent merging partials (reaggregation + DISTINCT
+    /// group lookups at the coordinator).
+    pub hash: HashStats,
 }
 
 /// Execute the gather pipeline over per-shard partial batches.
+///
+/// Convenience wrapper over [`gather_with`] (vectorized hash path).
 pub fn gather(parts: &[Batch], steps: &[GatherStep]) -> Result<(Batch, GatherOutcome)> {
+    gather_with(parts, steps, false)
+}
+
+/// [`gather`] with an explicit hash-path selector: `rowwise` routes the
+/// reaggregation and DISTINCT steps through the retained
+/// `HashMap<Vec<Value>, _>` oracle instead of the normalized-key encoder.
+pub fn gather_with(
+    parts: &[Batch],
+    steps: &[GatherStep],
+    rowwise: bool,
+) -> Result<(Batch, GatherOutcome)> {
     let mut outcome = GatherOutcome {
         shard_rows_merged: parts.iter().map(|b| b.num_rows() as u64).sum(),
         ..GatherOutcome::default()
@@ -428,8 +445,8 @@ pub fn gather(parts: &[Batch], steps: &[GatherStep]) -> Result<(Batch, GatherOut
                 outcome.merge_runs_used += effort.runs;
                 merged
             }
-            GatherStep::Reaggregate(spec) => reaggregate(&batch, spec)?,
-            GatherStep::Distinct => distinct(&batch),
+            GatherStep::Reaggregate(spec) => reaggregate(&batch, spec, rowwise, &mut outcome.hash)?,
+            GatherStep::Distinct => distinct_with(&batch, rowwise, &mut outcome.hash)?,
             GatherStep::Project { exprs } => {
                 let cols: Vec<_> = exprs
                     .iter()
@@ -464,8 +481,15 @@ pub fn gather(parts: &[Batch], steps: &[GatherStep]) -> Result<(Batch, GatherOut
 
 /// Merge partial-aggregate rows: group on the leading key columns and
 /// combine each partial column per its [`PartialMerge`]. Emits groups in
-/// first-seen order over the concatenated partials.
-fn reaggregate(batch: &Batch, spec: &Reaggregate) -> Result<Batch> {
+/// first-seen order over the concatenated partials. Group lookup runs on
+/// the shared normalized-key encoder (so coordinator merge cost is counted
+/// under `hash_ops`), unless `rowwise` selects the `Vec<Value>` oracle.
+fn reaggregate(
+    batch: &Batch,
+    spec: &Reaggregate,
+    rowwise: bool,
+    hash: &mut HashStats,
+) -> Result<Batch> {
     let consumed: usize = spec.merges.iter().map(|(m, _)| m.arity()).sum();
     if batch.num_columns() != spec.group_cols + consumed {
         return Err(Error::Execution(format!(
@@ -505,19 +529,38 @@ fn reaggregate(batch: &Batch, spec: &Reaggregate) -> Result<Batch> {
     };
 
     let n = batch.num_rows();
-    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
-    let mut keys: Vec<Vec<Value>> = Vec::new();
+    let mut rep_rows: Vec<usize> = Vec::new();
     let mut accs: Vec<Vec<Acc>> = Vec::new();
-    for i in 0..n {
-        let key: Vec<Value> = (0..spec.group_cols)
-            .map(|c| batch.column(c).value(i))
-            .collect();
-        let slot = *groups.entry(key.clone()).or_insert_with(|| {
-            keys.push(key);
-            accs.push(new_accs(batch.schema()));
-            accs.len() - 1
-        });
-        let row_accs = &mut accs[slot];
+    let mut slot_of_row: Vec<u32> = Vec::with_capacity(n);
+    if rowwise {
+        let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+        for i in 0..n {
+            let key: Vec<Value> = (0..spec.group_cols)
+                .map(|c| batch.column(c).value(i))
+                .collect();
+            let next = accs.len();
+            let slot = *groups.entry(key).or_insert(next);
+            if slot == next {
+                accs.push(new_accs(batch.schema()));
+                rep_rows.push(i);
+            }
+            slot_of_row.push(slot as u32);
+        }
+    } else {
+        let gcols: Vec<Column> = batch.columns()[..spec.group_cols].to_vec();
+        let keys = encode_keys(&gcols, batch.selection(), n, NullKeys::Match, hash)?;
+        let mut table = RawKeyTable::with_capacity(n.min(1024));
+        for i in 0..n {
+            let (slot, fresh) = table.insert(keys.hash(i), keys.key(i), hash);
+            if fresh {
+                accs.push(new_accs(batch.schema()));
+                rep_rows.push(i);
+            }
+            slot_of_row.push(slot as u32);
+        }
+    }
+    for (i, &slot) in slot_of_row.iter().enumerate() {
+        let row_accs = &mut accs[slot as usize];
         let mut col = spec.group_cols;
         for (acc, (m, _)) in row_accs.iter_mut().zip(&spec.merges) {
             let v = batch.column(col).value(i);
@@ -587,16 +630,17 @@ fn reaggregate(batch: &Batch, spec: &Reaggregate) -> Result<Batch> {
     }
     let schema = schema_ref(Schema::new(fields));
 
-    let mut builders: Vec<ColumnBuilder> = schema
-        .fields()
-        .iter()
-        .map(|f| ColumnBuilder::new(f.data_type, keys.len()))
+    // Group-key columns gather straight from the input (first row of each
+    // group); aggregate columns are built from the merged accumulators.
+    let mut cols: Vec<Column> = (0..spec.group_cols)
+        .map(|c| batch.column(c).take(&rep_rows))
         .collect();
-    for (key, row_accs) in keys.iter().zip(accs) {
-        for (b, v) in builders.iter_mut().zip(key) {
-            b.push(v)?;
-        }
-        for (b, acc) in builders[spec.group_cols..].iter_mut().zip(row_accs) {
+    let mut builders: Vec<ColumnBuilder> = schema.fields()[spec.group_cols..]
+        .iter()
+        .map(|f| ColumnBuilder::new(f.data_type, accs.len()))
+        .collect();
+    for row_accs in accs {
+        for (b, acc) in builders.iter_mut().zip(row_accs) {
             let v = match acc {
                 Acc::CountSum(c) => Value::Int(c),
                 Acc::SumInt(s, any) => {
@@ -625,10 +669,8 @@ fn reaggregate(batch: &Batch, spec: &Reaggregate) -> Result<Batch> {
             b.push(&v)?;
         }
     }
-    Batch::new(
-        schema,
-        builders.into_iter().map(ColumnBuilder::finish).collect(),
-    )
+    cols.extend(builders.into_iter().map(ColumnBuilder::finish));
+    Batch::new(schema, cols)
 }
 
 /// Build the sharding spec for `catalog`: every table carrying the `key`

@@ -344,6 +344,10 @@ impl Rewritten {
             segments_scanned: 0,
             batches_processed: 0,
             selection_avoided_copies: 0,
+            hash_ops: 0,
+            hash_collisions: 0,
+            probe_memcmps: 0,
+            key_bytes_encoded: 0,
             wall_nanos: children.iter().map(|c| c.wall_nanos).sum(),
             children,
         };

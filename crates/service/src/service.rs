@@ -671,6 +671,7 @@ impl Shared {
                 stats.shard_rows_merged += outcome.shard_rows_merged;
                 stats.sort_comparisons += outcome.sort_comparisons;
                 stats.merge_runs_used += outcome.merge_runs_used;
+                stats.add_hash(&outcome.hash);
                 let metrics = combine_metrics(&parts);
                 let per = parts
                     .iter()

@@ -168,6 +168,10 @@ impl MaintenanceStats {
             segments_scanned: 0,
             batches_processed: 0,
             selection_avoided_copies: 0,
+            hash_ops: self.exec.hash_ops,
+            hash_collisions: self.exec.hash_collisions,
+            probe_memcmps: self.exec.probe_memcmps,
+            key_bytes_encoded: self.exec.key_bytes_encoded,
             wall_nanos: 0,
             children: vec![],
         }

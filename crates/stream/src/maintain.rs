@@ -28,6 +28,7 @@ use dc_relational::delta::{
 };
 use dc_relational::error::{Error, Result};
 use dc_relational::exec::ExecStats;
+use dc_relational::hash::{encode_value_row, HashStats, RawKeyTable};
 use dc_relational::plan::LogicalPlan;
 use dc_relational::schema::SchemaRef;
 use dc_relational::sort::SortKey;
@@ -37,6 +38,101 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// A result multiset in execution form: one `Vec<Value>` per row.
 type RowSet = Vec<Vec<Value>>;
+
+/// Per-group accumulator store for aggregate-mode maintenance. Group
+/// lookup runs on the shared normalized-key machinery ([`RawKeyTable`]
+/// plus the single-row encoder) so the standing-query hot path carries no
+/// `BTreeMap<RowKey, _>` comparisons; the hash work it spends is drained
+/// into the step's [`ExecStats`] via [`GroupTable::take_stats`].
+///
+/// Slots are never removed: a dead group keeps its slot with zeroed
+/// accumulators, which is indistinguishable from a never-seen group to
+/// the fold (fresh slots start at zero too).
+struct GroupTable {
+    table: RawKeyTable,
+    /// Slot → group key, in first-seen order.
+    keys: Vec<RowKey>,
+    /// Slot → accumulators, one i128 per partial slot.
+    accs: Vec<Vec<i128>>,
+    /// Reusable normalized-key encode buffer.
+    key_buf: Vec<u8>,
+    stats: HashStats,
+}
+
+impl GroupTable {
+    fn new() -> Self {
+        GroupTable {
+            table: RawKeyTable::with_capacity(0),
+            keys: Vec::new(),
+            accs: Vec::new(),
+            key_buf: Vec::new(),
+            stats: HashStats::default(),
+        }
+    }
+
+    /// Encode `key` into the reusable buffer and account the work the
+    /// same way the columnar encoder does (per-value hashes + bytes).
+    fn encode(&mut self, key: &RowKey) -> u64 {
+        let h = encode_value_row(&key.0, &mut self.key_buf);
+        self.stats.hash_ops += key.0.len() as u64;
+        self.stats.key_bytes_encoded += self.key_buf.len() as u64;
+        h
+    }
+
+    /// Accumulators for `key`, inserting a zeroed slot if unseen.
+    fn upsert(&mut self, key: &RowKey, p_len: usize) -> &mut [i128] {
+        let h = self.encode(key);
+        let (slot, fresh) = self.table.insert(h, &self.key_buf, &mut self.stats);
+        if fresh {
+            self.keys.push(key.clone());
+            self.accs.push(vec![0; p_len]);
+        }
+        &mut self.accs[slot]
+    }
+
+    fn get(&mut self, key: &RowKey) -> Option<&[i128]> {
+        let h = self.encode(key);
+        let slot = self.table.get(h, &self.key_buf, &mut self.stats)?;
+        Some(&self.accs[slot])
+    }
+
+    /// Drop a group by zeroing its accumulators; the slot is retained so
+    /// a later re-entry behaves exactly like a fresh group.
+    fn kill(&mut self, key: &RowKey) {
+        let h = self.encode(key);
+        if let Some(slot) = self.table.get(h, &self.key_buf, &mut self.stats) {
+            self.accs[slot].fill(0);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn key_at(&self, slot: usize) -> &RowKey {
+        &self.keys[slot]
+    }
+
+    fn acc_at(&self, slot: usize) -> &[i128] {
+        &self.accs[slot]
+    }
+
+    fn zero_at(&mut self, slot: usize) {
+        self.accs[slot].fill(0);
+    }
+
+    /// Forget every group (reseed); retained hash counters survive.
+    fn clear(&mut self) {
+        self.table = RawKeyTable::with_capacity(0);
+        self.keys.clear();
+        self.accs.clear();
+    }
+
+    /// Drain the hash work spent since the last call.
+    fn take_stats(&mut self) -> HashStats {
+        std::mem::take(&mut self.stats)
+    }
+}
 
 /// Executes plans for maintenance. Implemented by the service layer over
 /// its snapshots; `shard` indexes the service's shard vector.
@@ -76,7 +172,7 @@ enum ModeState {
         spec: AggSpec,
         /// Per-group accumulators, one i128 per partial slot; the last
         /// slot is the hidden liveness `count(*)`.
-        groups: BTreeMap<RowKey, Vec<i128>>,
+        groups: Box<GroupTable>,
         /// Reconstructed final row per live group.
         finals: BTreeMap<RowKey, Vec<Value>>,
     },
@@ -144,7 +240,7 @@ impl StandingState {
             Classified::Aggregate(spec) => {
                 state.mode = ModeState::Aggregate {
                     spec,
-                    groups: BTreeMap::new(),
+                    groups: Box::new(GroupTable::new()),
                     finals: BTreeMap::new(),
                 };
                 state.seed_aggregate(runner)?;
@@ -331,7 +427,7 @@ impl StandingState {
                     let live = global || acc.last().copied().unwrap_or(0) > 0;
                     let old_final = finals.get(&g).cloned();
                     if !live {
-                        groups.remove(&g);
+                        groups.kill(&g);
                         finals.remove(&g);
                         if let Some(of) = old_final {
                             deleted.push(of);
@@ -349,6 +445,7 @@ impl StandingState {
                     }
                     finals.insert(g, new_final);
                 }
+                stats.exec.add_hash(&groups.take_stats());
                 self.current = finals.values().cloned().collect();
                 stats.exec.maintenance_delta_rows +=
                     (inserted.len() + deleted.len() + 2 * updated.len()) as u64;
@@ -448,18 +545,18 @@ impl StandingState {
         apply_partials(groups, spec, &parts, 1, &mut affected)?;
         let global = spec.group_by.is_empty();
         // Dead groups can appear when a sharded global aggregate returns
-        // all-default rows from empty shards; drop them (unless global).
-        let dead: Vec<RowKey> = groups
-            .iter()
-            .filter(|(_, acc)| !global && acc.last().copied().unwrap_or(0) <= 0)
-            .map(|(g, _)| g.clone())
-            .collect();
-        for g in dead {
-            groups.remove(&g);
+        // all-default rows from empty shards; zero their slots (unless
+        // global) so they read as never-seen.
+        for slot in 0..groups.len() {
+            if !global && groups.acc_at(slot).last().copied().unwrap_or(0) <= 0 {
+                groups.zero_at(slot);
+                continue;
+            }
+            let g = groups.key_at(slot);
+            let row = emit_group(spec, g, groups.acc_at(slot))?;
+            finals.insert(g.clone(), row);
         }
-        for (g, acc) in groups.iter() {
-            finals.insert(g.clone(), emit_group(spec, g, acc)?);
-        }
+        total.add_hash(&groups.take_stats());
         self.current = finals.values().cloned().collect();
         Ok(total)
     }
@@ -468,7 +565,7 @@ impl StandingState {
 /// Fold partial-aggregate rows into the accumulators with `sign` (+1 for
 /// the new snapshot's partials, −1 for the previous snapshot's).
 fn apply_partials(
-    groups: &mut BTreeMap<RowKey, Vec<i128>>,
+    groups: &mut GroupTable,
     spec: &AggSpec,
     rows: &[Vec<Value>],
     sign: i128,
@@ -485,7 +582,7 @@ fn apply_partials(
             )));
         }
         let key = RowKey(row[..g_len].to_vec());
-        let acc = groups.entry(key.clone()).or_insert_with(|| vec![0; p_len]);
+        let acc = groups.upsert(&key, p_len);
         for (slot, v) in row[g_len..].iter().enumerate() {
             let x = match v {
                 Value::Null => 0,
