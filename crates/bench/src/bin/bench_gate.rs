@@ -4,8 +4,9 @@
 //! bench-gate [BASELINE] [CURRENT] [--tolerance PCT]
 //! ```
 //!
-//! Defaults to `BENCH_baseline.json` (committed) vs `BENCH_repro.json`
-//! (produced by the `repro` binary). Exits non-zero when any gated counter
+//! Defaults to `BENCH_baseline.json` (committed) vs
+//! `target/repro/BENCH_repro.json` (the `repro` binary's default
+//! `--out-dir`). Exits non-zero when any gated counter
 //! grew beyond the tolerance or the two runs are not comparable. When
 //! `$GITHUB_STEP_SUMMARY` is set, a markdown verdict — with the worst
 //! regressions ranked first — is appended to it.
@@ -21,7 +22,7 @@ fn load(path: &str) -> dc_json::Json {
 
 fn main() {
     let mut baseline = "BENCH_baseline.json".to_string();
-    let mut current = "BENCH_repro.json".to_string();
+    let mut current = "target/repro/BENCH_repro.json".to_string();
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut positional = Vec::new();
     let mut it = std::env::args().skip(1);

@@ -44,6 +44,13 @@ pub const GATING_KEYS: &[&str] = &[
     // (join build/probe, GROUP BY, DISTINCT, coordinator merge): growth
     // means more rows or more key columns reached a hash operator.
     "hash_ops",
+    // Durable-log recovery (the `recovery` figure): more replayed records
+    // means the log got chattier for the same epochs; more loaded or
+    // cold-opened segment files means lazy materialization or zone-map
+    // pruning stopped skipping work.
+    "log_records_replayed",
+    "segments_loaded_lazy",
+    "segments_opened_cold",
 ];
 
 /// Deterministic keys that are reported when they drift but never gate:
@@ -72,13 +79,27 @@ pub const INFORMATIONAL_KEYS: &[&str] = &[
     "hash_collisions",
     "probe_memcmps",
     "key_bytes_encoded",
+    // More zone-refuted segment files is better; the costly sibling that
+    // gates is `segments_opened_cold`.
+    "segments_pruned_unopened",
 ];
 
 /// Keys that must match exactly between baseline and current run —
 /// comparing counters from different configurations is meaningless.
 /// `shards` appears per-row in the sharded figure (rows are positional),
 /// so a baseline row is only ever diffed against the same shard count.
-pub const EXACT_KEYS: &[&str] = &["scale", "seed", "parallelism", "shards", "appends"];
+/// `epochs_recovered` and `as_of_rows` are answer stability: recovering a
+/// different epoch count or a different historical answer from the same
+/// logs is a correctness bug, not a perf drift.
+pub const EXACT_KEYS: &[&str] = &[
+    "scale",
+    "seed",
+    "parallelism",
+    "shards",
+    "appends",
+    "epochs_recovered",
+    "as_of_rows",
+];
 
 /// Wall-clock keys: reported, never gating.
 fn is_timing_key(key: &str) -> bool {

@@ -21,6 +21,7 @@ pub mod gate;
 pub mod harness;
 pub mod hash_kernels;
 pub mod microbench;
+pub mod recovery_bench;
 pub mod report;
 pub mod service_bench;
 pub mod stream_bench;

@@ -1,9 +1,9 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|storage|plans|ablations|eager|sharded|stream|service]
+//! repro [all|table1|fig7a|fig7d|fig8|fig9ab|fig9cd|storage|plans|ablations|eager|sharded|stream|recovery|service]
 //!       [--scale N] [--seed S] [--threads N] [--workers A,B,..] [--shards A,B,..]
-//!       [--json] [--explain]
+//!       [--out-dir DIR] [--json] [--explain]
 //! ```
 //!
 //! `sharded` runs the Figure-7 query pair through the scatter-gather
@@ -16,12 +16,18 @@
 //! maintenance cleansing work against cold full recomputes
 //! (`delta_work_pct`). Deterministic, part of `all`, gated by `bench-gate`.
 //!
+//! `recovery` bootstraps a durable service, publishes append epochs, and
+//! restarts from the logs alone, recording replayed records, lazily loaded
+//! segment files, and zone-map pruning of a cold historical scan. Its work
+//! counters are deterministic, so it **is** part of `all` and gated.
+//!
 //! `service` measures the concurrent `QueryService` (readers + live
 //! append ingest), plus a wall-clock q/s sweep over `--shards` counts. It
 //! is wall-clock-bound and intentionally **not** part of `all`, so the
 //! deterministic bench gate never sees it.
 //!
-//! Besides the console rendering, every run writes `BENCH_repro.json` — a
+//! Besides the console rendering, every run writes `BENCH_repro.json` into
+//! `--out-dir` (default `target/repro`, also the recovery scratch root) — a
 //! machine-readable record of per-figure wall-clock, the deterministic work
 //! counters of every measurement, and the parallelism used. `--threads N`
 //! enables partition-parallel Φ_C cleansing: window wall-clock improves with
@@ -52,6 +58,8 @@ struct Args {
     /// Shard counts swept by the `sharded` figure and the `service` q/s
     /// sweep.
     shards: Vec<usize>,
+    /// Directory for machine-readable outputs and recovery scratch state.
+    out_dir: std::path::PathBuf,
     json: bool,
     explain: bool,
 }
@@ -64,6 +72,7 @@ fn parse_args() -> Args {
         threads: 1,
         workers: vec![1, 2, 4],
         shards: vec![1, 2, 4],
+        out_dir: std::path::PathBuf::from("target/repro"),
         json: false,
         explain: false,
     };
@@ -109,6 +118,12 @@ fn parse_args() -> Args {
                     .collect::<Result<_, _>>()
                     .expect("--shards takes comma-separated counts");
                 assert!(!args.shards.is_empty(), "--shards takes at least one count");
+            }
+            "--out-dir" => {
+                args.out_dir = it
+                    .next()
+                    .map(std::path::PathBuf::from)
+                    .expect("--out-dir DIR");
             }
             "--json" => args.json = true,
             "--explain" => args.explain = true,
@@ -273,6 +288,22 @@ fn run_one(args: &Args, what: &str) -> Vec<(String, Json)> {
             let json = Json::Arr(rows.iter().map(|r| r.to_json()).collect());
             vec![("stream".into(), json)]
         }
+        "recovery" => {
+            let scratch = args.out_dir.join("recovery-scratch");
+            let rows = dc_bench::recovery_bench::recovery_figure(
+                args.scale,
+                args.seed,
+                &[2, 4, 8],
+                &scratch,
+            );
+            let _ = std::fs::remove_dir_all(&scratch);
+            println!("== Recovery: durable log replay + time travel ==");
+            for r in &rows {
+                println!("{}", r.render());
+            }
+            let json = Json::Arr(rows.iter().map(|r| r.to_json()).collect());
+            vec![("recovery".into(), json)]
+        }
         "service" => {
             let rows = dc_bench::service_bench::service_throughput(
                 args.scale.min(8),
@@ -330,10 +361,19 @@ fn run_explain(args: &Args) {
         .set("seed", args.seed)
         .set("parallelism", args.threads)
         .set("explains", Json::Arr(arr));
-    let path = "EXPLAIN_repro.json";
-    match std::fs::write(path, record.pretty()) {
-        Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    write_record(args, "EXPLAIN_repro.json", &record);
+}
+
+/// Write one machine-readable record into `--out-dir` (created if absent).
+fn write_record(args: &Args, name: &str, record: &Json) {
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+        eprintln!("could not create {}: {e}", args.out_dir.display());
+        return;
+    }
+    let path = args.out_dir.join(name);
+    match std::fs::write(&path, record.pretty()) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }
 
@@ -357,6 +397,7 @@ fn main() {
             "eager",
             "sharded",
             "stream",
+            "recovery",
         ]
     } else {
         vec![args.what.as_str()]
@@ -382,9 +423,5 @@ fn main() {
         .set("seed", args.seed)
         .set("parallelism", args.threads)
         .set("figures", Json::Arr(figures));
-    let path = "BENCH_repro.json";
-    match std::fs::write(path, record.pretty()) {
-        Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    write_record(&args, "BENCH_repro.json", &record);
 }

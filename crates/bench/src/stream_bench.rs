@@ -8,7 +8,7 @@
 //! horizon, so each batch extends a handful of tag sequences). For every
 //! published epoch the figure accumulates the *maintenance* cleansing work
 //! — `window_accumulator_ops` of the ckey-scoped re-executions, taken from
-//! each [`ChangeSet`]'s stats — and, for comparison, the cleansing work of
+//! each [`dc_service::ChangeSet`]'s stats — and, for comparison, the cleansing work of
 //! a cold full re-execution of the same query at the same epoch.
 //!
 //! `delta_work_pct` is the headline: maintenance ops as a percent of the

@@ -32,9 +32,11 @@
 //! assert_eq!(clean.num_rows(), 1); // the duplicate is gone — at query time
 //! ```
 
+pub mod durable;
 pub mod system;
 
 pub use dc_relational::error::AbortReason;
 pub use dc_relational::physical::{ExecOptions, OperatorMetrics, QueryBudget};
 pub use dc_rewrite::{CacheStats, DecisionTrace, Executed, Rewritten, Strategy};
+pub use durable::{recover_system, RecoveryReport, SegmentStore, ShardLog};
 pub use system::{CacheActivity, DeferredCleansingSystem, ExplainReport, QueryReport};

@@ -1,0 +1,120 @@
+//! Tick-budgeted fault injection for the durable write path.
+//!
+//! Same shape as the service layer's shard fault injection (an atomic
+//! consulted on the hot path, zero cost when disarmed), but budgeted in
+//! *ticks* so a sweep can place a crash at every interesting boundary:
+//! each byte written costs one tick, and each fsync, rename, and
+//! directory sync costs one tick of its own. A budget of `n` lets the
+//! first `n` ticks through and kills the operation that needs tick
+//! `n + 1`; once tripped, every later operation fails too — the process
+//! is "dead" until the fail point is replaced.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const UNLIMITED: u64 = u64::MAX;
+
+/// Shared crash switch threaded through [`crate::LogDir`] /
+/// [`crate::LogWriter`] operations.
+#[derive(Debug)]
+pub struct FailPoint {
+    budget: AtomicU64,
+    tripped: AtomicBool,
+    consumed: AtomicU64,
+}
+
+impl FailPoint {
+    /// Never fires. Also counts ticks, so an uninjected run measures the
+    /// total tick count a sweep should cover.
+    pub fn unlimited() -> Arc<Self> {
+        Arc::new(FailPoint {
+            budget: AtomicU64::new(UNLIMITED),
+            tripped: AtomicBool::new(false),
+            consumed: AtomicU64::new(0),
+        })
+    }
+
+    /// Allows exactly `ticks` ticks, then fails every operation.
+    pub fn after_ticks(ticks: u64) -> Arc<Self> {
+        Arc::new(FailPoint {
+            budget: AtomicU64::new(ticks),
+            tripped: AtomicBool::new(false),
+            consumed: AtomicU64::new(0),
+        })
+    }
+
+    /// Consume up to `want` ticks; returns how many were granted. A
+    /// short grant trips the fail point permanently.
+    pub(crate) fn consume(&self, want: u64) -> u64 {
+        self.consumed.fetch_add(want, Ordering::Relaxed);
+        if self.tripped.load(Ordering::Acquire) {
+            return 0;
+        }
+        let mut cur = self.budget.load(Ordering::Acquire);
+        loop {
+            if cur == UNLIMITED {
+                return want;
+            }
+            let grant = cur.min(want);
+            match self.budget.compare_exchange_weak(
+                cur,
+                cur - grant,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if grant < want {
+                        self.tripped.store(true, Ordering::Release);
+                    }
+                    return grant;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Whether an injected crash has fired.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Acquire)
+    }
+
+    /// Total ticks requested so far (bytes written + 1 per fsync/rename).
+    /// On an unlimited run this is the sweep domain for crash points.
+    pub fn ticks_requested(&self) -> u64 {
+        self.consumed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_grants_everything_and_counts() {
+        let fp = FailPoint::unlimited();
+        assert_eq!(fp.consume(10), 10);
+        assert_eq!(fp.consume(3), 3);
+        assert_eq!(fp.ticks_requested(), 13);
+        assert!(!fp.is_tripped());
+    }
+
+    #[test]
+    fn budget_grants_partially_then_trips_forever() {
+        let fp = FailPoint::after_ticks(5);
+        assert_eq!(fp.consume(3), 3);
+        assert!(!fp.is_tripped());
+        // 2 ticks left: a 4-tick request gets a partial grant and trips.
+        assert_eq!(fp.consume(4), 2);
+        assert!(fp.is_tripped());
+        // Dead from here on, even for affordable requests.
+        assert_eq!(fp.consume(0), 0);
+        assert_eq!(fp.consume(1), 0);
+    }
+
+    #[test]
+    fn zero_budget_fails_first_op() {
+        let fp = FailPoint::after_ticks(0);
+        assert_eq!(fp.consume(1), 0);
+        assert!(fp.is_tripped());
+    }
+}

@@ -1,0 +1,160 @@
+//! Guarded filesystem primitives: a rooted directory handle, atomic
+//! whole-file writes, and an append-only log writer.
+//!
+//! Every mutating operation routes through the directory's
+//! [`FailPoint`]: byte writes consume one tick per byte, and each
+//! fsync / rename / directory-sync consumes one tick, so an injected
+//! crash can land mid-write, between a write and its fsync, or between
+//! an fsync and the rename that makes the file visible.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::{FailPoint, LogError};
+
+/// A directory all durable state lives under, with fault-injected IO.
+#[derive(Debug, Clone)]
+pub struct LogDir {
+    root: PathBuf,
+    fp: Arc<FailPoint>,
+}
+
+impl LogDir {
+    /// Open (creating if needed) a durable directory with no injection.
+    pub fn create(root: impl AsRef<Path>) -> Result<Self, LogError> {
+        Self::with_failpoint(root, FailPoint::unlimited())
+    }
+
+    /// Open (creating if needed) a durable directory whose writes are
+    /// guarded by `fp`.
+    pub fn with_failpoint(root: impl AsRef<Path>, fp: Arc<FailPoint>) -> Result<Self, LogError> {
+        let root = root.as_ref().to_path_buf();
+        check(&fp, "create_dir")?;
+        fs::create_dir_all(&root).map_err(|e| LogError::io("create_dir", &e))?;
+        Ok(LogDir { root, fp })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    pub fn failpoint(&self) -> &Arc<FailPoint> {
+        &self.fp
+    }
+
+    /// A child directory sharing this directory's fail point.
+    pub fn subdir(&self, rel: &str) -> Result<LogDir, LogError> {
+        Self::with_failpoint(self.root.join(rel), Arc::clone(&self.fp))
+    }
+
+    pub fn path(&self, rel: &str) -> PathBuf {
+        self.root.join(rel)
+    }
+
+    pub fn exists(&self, rel: &str) -> bool {
+        self.root.join(rel).exists()
+    }
+
+    /// Read a whole file. Reads are never fault-injected: crash
+    /// injection models process death during writes, and recovery (all
+    /// reads) runs in the next process.
+    pub fn read(&self, rel: &str) -> Result<Vec<u8>, LogError> {
+        fs::read(self.root.join(rel)).map_err(|e| LogError::io("read", &e))
+    }
+
+    /// Atomically replace `rel` with `bytes`: write to a temp file,
+    /// fsync it, rename over the target, fsync the directory. After a
+    /// crash the target holds either the old content or the new — never
+    /// a mix — though the rename may not itself be durable until the
+    /// directory sync completes.
+    pub fn write_atomic(&self, rel: &str, bytes: &[u8]) -> Result<(), LogError> {
+        let target = self.root.join(rel);
+        let tmp = self.root.join(format!("{rel}.tmp"));
+        check(&self.fp, "create")?;
+        let mut file = File::create(&tmp).map_err(|e| LogError::io("create", &e))?;
+        write_guarded(&self.fp, &mut file, bytes)?;
+        tick(&self.fp, "fsync")?;
+        file.sync_data().map_err(|e| LogError::io("fsync", &e))?;
+        drop(file);
+        tick(&self.fp, "rename")?;
+        fs::rename(&tmp, &target).map_err(|e| LogError::io("rename", &e))?;
+        tick(&self.fp, "dir_fsync")?;
+        File::open(&self.root)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| LogError::io("dir_fsync", &e))?;
+        Ok(())
+    }
+}
+
+/// Fail immediately if the fail point has already fired.
+fn check(fp: &FailPoint, op: &str) -> Result<(), LogError> {
+    if fp.is_tripped() {
+        return Err(LogError::Injected { op: op.to_string() });
+    }
+    Ok(())
+}
+
+/// Consume one tick for a non-byte operation (fsync, rename, ...).
+fn tick(fp: &FailPoint, op: &str) -> Result<(), LogError> {
+    check(fp, op)?;
+    if fp.consume(1) < 1 {
+        return Err(LogError::Injected { op: op.to_string() });
+    }
+    Ok(())
+}
+
+/// Write `bytes`, consuming one tick per byte; a short grant writes the
+/// granted prefix (the torn write a crash would leave) and fails.
+fn write_guarded(fp: &FailPoint, file: &mut File, bytes: &[u8]) -> Result<(), LogError> {
+    let granted = fp.consume(bytes.len() as u64) as usize;
+    file.write_all(&bytes[..granted])
+        .map_err(|e| LogError::io("write", &e))?;
+    if granted < bytes.len() {
+        // Flush the torn prefix so recovery sees exactly what a real
+        // crash could have left behind.
+        let _ = file.sync_data();
+        return Err(LogError::Injected {
+            op: "write".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Append-only writer over one log file.
+#[derive(Debug)]
+pub struct LogWriter {
+    file: File,
+    fp: Arc<FailPoint>,
+}
+
+impl LogWriter {
+    /// Open `rel` under `dir` for appending, creating it if absent.
+    pub fn open(dir: &LogDir, rel: &str) -> Result<Self, LogError> {
+        check(dir.failpoint(), "open")?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.path(rel))
+            .map_err(|e| LogError::io("open", &e))?;
+        Ok(LogWriter {
+            file,
+            fp: Arc::clone(dir.failpoint()),
+        })
+    }
+
+    /// Append one framed record (length + checksum + payload). Not
+    /// durable until [`LogWriter::sync`] returns.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), LogError> {
+        check(&self.fp, "append")?;
+        let frame = crate::record::frame_record(payload);
+        write_guarded(&self.fp, &mut self.file, &frame)
+    }
+
+    /// Fsync all appended records: the durability barrier.
+    pub fn sync(&mut self) -> Result<(), LogError> {
+        tick(&self.fp, "fsync")?;
+        self.file.sync_data().map_err(|e| LogError::io("fsync", &e))
+    }
+}

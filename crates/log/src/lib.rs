@@ -1,0 +1,107 @@
+//! `dc-log` — append-only durable commit log primitives.
+//!
+//! Sits directly above `dc-storage`: it knows about bytes, files, and
+//! checksums, not about tables or epochs. The layers above compose it
+//! into a durability story:
+//!
+//! * [`LogError`] — every failure mode is typed; nothing in this crate
+//!   panics on corrupt or torn input;
+//! * [`FailPoint`] — a tick-budgeted fault injector threaded through all
+//!   mutating file operations, so tests can kill the writer at any byte
+//!   boundary and between an fsync and its rename;
+//! * [`LogDir`] — a rooted directory handle with atomic file writes
+//!   (`tmp` + fsync + rename + directory fsync);
+//! * [`LogWriter`] — appends length-prefixed, FNV-1a-checksummed records
+//!   to a log file and fsyncs on commit;
+//! * [`decode_records`] / [`read_log`] — replay: return the longest
+//!   well-formed record prefix plus a typed description of the tail.
+//!
+//! Crash-safety contract: a record is durable once [`LogWriter::sync`]
+//! returns. After a crash, replay recovers *at least* every synced
+//! record and *at most* a prefix extended by records that were written
+//! but not yet synced — never a torn or corrupt record, which the
+//! per-record checksum rejects.
+
+mod failpoint;
+mod io;
+mod record;
+
+pub use failpoint::FailPoint;
+pub use io::{LogDir, LogWriter};
+pub use record::{decode_records, frame_record, read_log, RECORD_HEADER_BYTES};
+
+use std::fmt;
+
+/// Typed failure for log IO, framing, and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// Underlying filesystem error (message-only so the type stays `Eq`).
+    Io { op: String, message: String },
+    /// A [`FailPoint`] killed the operation (simulated crash).
+    Injected { op: String },
+    /// The log ends mid-record: a torn write. `offset` is where the
+    /// record started; the bytes before it are a valid prefix.
+    TruncatedRecord {
+        offset: usize,
+        need: usize,
+        have: usize,
+    },
+    /// A record frame whose payload does not match its checksum.
+    BadChecksum { offset: usize },
+    /// A length field beyond the sanity cap — framing garbage, not a
+    /// plausible record.
+    OversizedRecord { offset: usize, len: u32 },
+    /// A checksummed payload that does not decode as any known record.
+    Malformed { context: String },
+    /// An unknown record kind byte inside a valid frame.
+    BadKind { kind: u8 },
+    /// A referenced data file (e.g. a columnar segment) failed to load
+    /// or validate.
+    Corrupt { file: String, detail: String },
+}
+
+impl LogError {
+    pub(crate) fn io(op: &str, err: &std::io::Error) -> Self {
+        LogError::Io {
+            op: op.to_string(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Wrap a lower-level wire decode failure with context.
+    pub fn malformed(context: impl Into<String>) -> Self {
+        LogError::Malformed {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io { op, message } => write!(f, "io error during {op}: {message}"),
+            LogError::Injected { op } => write!(f, "injected fault during {op}"),
+            LogError::TruncatedRecord { offset, need, have } => write!(
+                f,
+                "torn record at offset {offset}: need {need} bytes, have {have}"
+            ),
+            LogError::BadChecksum { offset } => {
+                write!(f, "checksum mismatch for record at offset {offset}")
+            }
+            LogError::OversizedRecord { offset, len } => {
+                write!(f, "implausible record length {len} at offset {offset}")
+            }
+            LogError::Malformed { context } => write!(f, "malformed record: {context}"),
+            LogError::BadKind { kind } => write!(f, "unknown record kind {kind}"),
+            LogError::Corrupt { file, detail } => write!(f, "corrupt file {file}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<dc_storage::WireError> for LogError {
+    fn from(e: dc_storage::WireError) -> Self {
+        LogError::malformed(e.to_string())
+    }
+}

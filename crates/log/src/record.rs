@@ -1,0 +1,235 @@
+//! Record framing and replay.
+//!
+//! Frame layout: `[len: u32 LE] [checksum: u64 LE] [payload: len bytes]`
+//! where `checksum = fnv1a64(payload)`. Replay scans frames in order and
+//! stops at the first frame that is torn (runs past end of file) or
+//! fails its checksum; everything before it is the valid prefix, and the
+//! reason for stopping is reported as a typed [`LogError`] so callers
+//! can distinguish a clean end from a torn tail from corruption.
+
+use dc_storage::fnv1a64;
+
+use crate::{LogDir, LogError};
+
+/// Bytes of framing before each payload: `u32` length + `u64` checksum.
+pub const RECORD_HEADER_BYTES: usize = 12;
+
+/// Sanity cap on a single record's payload. Anything larger is framing
+/// garbage (a torn or corrupt length field), not a plausible record.
+const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// Frame one payload for appending to a log.
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Scan `bytes` as a sequence of framed records. Returns the longest
+/// valid record prefix, plus `Some(error)` describing why the scan
+/// stopped early (`None` = the buffer ends exactly on a record
+/// boundary). Never panics and never allocates based on unvalidated
+/// lengths.
+pub fn decode_records(bytes: &[u8]) -> (Vec<&[u8]>, Option<LogError>) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let have = bytes.len() - pos;
+        if have < RECORD_HEADER_BYTES {
+            return (
+                records,
+                Some(LogError::TruncatedRecord {
+                    offset: pos,
+                    need: RECORD_HEADER_BYTES,
+                    have,
+                }),
+            );
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        if len > MAX_RECORD_LEN {
+            return (
+                records,
+                Some(LogError::OversizedRecord { offset: pos, len }),
+            );
+        }
+        let need = RECORD_HEADER_BYTES + len as usize;
+        if have < need {
+            return (
+                records,
+                Some(LogError::TruncatedRecord {
+                    offset: pos,
+                    need,
+                    have,
+                }),
+            );
+        }
+        let checksum = u64::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+            bytes[pos + 8],
+            bytes[pos + 9],
+            bytes[pos + 10],
+            bytes[pos + 11],
+        ]);
+        let payload = &bytes[pos + RECORD_HEADER_BYTES..pos + need];
+        if fnv1a64(payload) != checksum {
+            return (records, Some(LogError::BadChecksum { offset: pos }));
+        }
+        records.push(payload);
+        pos += need;
+    }
+    (records, None)
+}
+
+/// Read and decode a log file. A missing file is an empty log (the
+/// writer creates it lazily); any other IO failure is an error. The
+/// tail error, if any, is returned for the caller to judge — recovery
+/// treats a torn tail as the crash it is and keeps the prefix.
+#[allow(clippy::type_complexity)]
+pub fn read_log(dir: &LogDir, rel: &str) -> Result<(Vec<Vec<u8>>, Option<LogError>), LogError> {
+    if !dir.exists(rel) {
+        return Ok((Vec::new(), None));
+    }
+    let bytes = dir.read(rel)?;
+    let (records, tail) = decode_records(&bytes);
+    Ok((records.into_iter().map(|r| r.to_vec()).collect(), tail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailPoint, LogWriter};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dc-log-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let root = tmp_dir("roundtrip");
+        let dir = LogDir::create(&root).unwrap();
+        let payloads: Vec<Vec<u8>> = vec![b"alpha".to_vec(), vec![], vec![0xFF; 300]];
+        let mut w = LogWriter::open(&dir, "commit.log").unwrap();
+        for p in &payloads {
+            w.append(p).unwrap();
+        }
+        w.sync().unwrap();
+        let (records, tail) = read_log(&dir, "commit.log").unwrap();
+        assert_eq!(records, payloads);
+        assert!(tail.is_none());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_log_is_empty() {
+        let root = tmp_dir("missing");
+        let dir = LogDir::create(&root).unwrap();
+        let (records, tail) = read_log(&dir, "absent.log").unwrap();
+        assert!(records.is_empty());
+        assert!(tail.is_none());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_keeps_prefix() {
+        let mut bytes = frame_record(b"first");
+        let second = frame_record(b"second-record");
+        bytes.extend_from_slice(&second[..second.len() - 4]);
+        let (records, tail) = decode_records(&bytes);
+        assert_eq!(records, vec![b"first".as_slice()]);
+        assert!(matches!(tail, Some(LogError::TruncatedRecord { .. })));
+    }
+
+    #[test]
+    fn checksum_rejects_flipped_byte() {
+        let mut bytes = frame_record(b"first");
+        let offset_second = bytes.len();
+        bytes.extend_from_slice(&frame_record(b"second"));
+        bytes.extend_from_slice(&frame_record(b"third"));
+        // Flip one payload byte of the second record.
+        bytes[offset_second + RECORD_HEADER_BYTES] ^= 0x40;
+        let (records, tail) = decode_records(&bytes);
+        assert_eq!(records, vec![b"first".as_slice()]);
+        assert_eq!(
+            tail,
+            Some(LogError::BadChecksum {
+                offset: offset_second
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_length_is_typed_not_allocated() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        let (records, tail) = decode_records(&bytes);
+        assert!(records.is_empty());
+        assert!(matches!(tail, Some(LogError::OversizedRecord { .. })));
+    }
+
+    #[test]
+    fn failpoint_tears_writes_and_stays_tripped() {
+        let root = tmp_dir("failpoint");
+        // Count ticks on a clean run first.
+        let dir = LogDir::create(&root).unwrap();
+        let mut w = LogWriter::open(&dir, "a.log").unwrap();
+        w.append(b"hello world").unwrap();
+        w.sync().unwrap();
+        let total = dir.failpoint().ticks_requested();
+        assert!(total > RECORD_HEADER_BYTES as u64);
+
+        // Now kill the write mid-record.
+        let root2 = tmp_dir("failpoint2");
+        let fp = FailPoint::after_ticks(5);
+        let dir2 = LogDir::with_failpoint(&root2, std::sync::Arc::clone(&fp)).unwrap();
+        let mut w2 = LogWriter::open(&dir2, "a.log").unwrap();
+        assert!(matches!(
+            w2.append(b"hello world"),
+            Err(LogError::Injected { .. })
+        ));
+        assert!(fp.is_tripped());
+        assert!(matches!(w2.sync(), Err(LogError::Injected { .. })));
+        // The torn 5-byte prefix is on disk and replay reports it torn.
+        let (records, tail) = read_log(&dir2, "a.log").unwrap();
+        assert!(records.is_empty());
+        assert!(matches!(tail, Some(LogError::TruncatedRecord { .. })));
+        std::fs::remove_dir_all(&root).unwrap();
+        std::fs::remove_dir_all(&root2).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_is_all_or_nothing_under_injection() {
+        let root = tmp_dir("atomic");
+        let dir = LogDir::create(&root).unwrap();
+        dir.write_atomic("seg.bin", b"old-content").unwrap();
+        let total = dir.failpoint().ticks_requested();
+        // Re-write with a budget that dies before the rename tick.
+        for budget in 0..total {
+            let fp = FailPoint::after_ticks(budget);
+            let dir2 = LogDir::with_failpoint(&root, fp).unwrap();
+            let result = dir2.write_atomic("seg.bin", b"new-content!");
+            let content = std::fs::read(root.join("seg.bin")).unwrap();
+            if result.is_ok() {
+                assert_eq!(content, b"new-content!");
+            } else {
+                assert!(
+                    content == b"old-content" || content == b"new-content!",
+                    "target must hold old or new content, never a mix"
+                );
+            }
+            // Reset for the next iteration.
+            LogDir::create(&root)
+                .unwrap()
+                .write_atomic("seg.bin", b"old-content")
+                .unwrap();
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -672,7 +672,14 @@ mod tests {
         let ints = col(DataType::Int, &[Value::Int(7), Value::Int(-1)]);
         let strs = col(DataType::Str, &[Value::str("a"), Value::str("b")]);
         let mut st = HashStats::default();
-        let fixed = encode_keys(std::slice::from_ref(&ints), None, 2, NullKeys::Match, &mut st).unwrap();
+        let fixed = encode_keys(
+            std::slice::from_ref(&ints),
+            None,
+            2,
+            NullKeys::Match,
+            &mut st,
+        )
+        .unwrap();
         let var = encode_keys(&[ints, strs], None, 2, NullKeys::Match, &mut st).unwrap();
         // Int part of the var-layout key equals the whole fixed-layout key.
         assert_eq!(&var.key(0)[..9], fixed.key(0));

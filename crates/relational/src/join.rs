@@ -95,7 +95,7 @@ pub fn hash_join(
 }
 
 /// [`hash_join`] with a cooperative budget (checked every
-/// [`BUDGET_CHECK_INTERVAL`] rows inside both the build and probe loops) and
+/// `BUDGET_CHECK_INTERVAL` rows inside both the build and probe loops) and
 /// an explicit path selector: `rowwise` runs the retained
 /// `HashMap<Vec<Value>, _>` oracle the property suite compares against,
 /// otherwise build and probe run on the vectorized kernels of

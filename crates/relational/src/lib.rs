@@ -56,6 +56,7 @@ pub mod hash;
 pub mod index;
 pub mod join;
 pub mod optimizer;
+pub mod persist;
 pub mod physical;
 pub mod plan;
 pub mod scatter;
@@ -84,6 +85,7 @@ pub mod prelude {
     pub use crate::hash::{encode_keys, EncodedKeys, HashStats, NullKeys, RawKeyTable};
     pub use crate::join::JoinType;
     pub use crate::optimizer::{optimize, optimize_default, OptimizerConfig};
+    pub use crate::persist::{decode_segment_file, encode_segment_file, ValueWire};
     pub use crate::physical::{
         display_physical, lower, DeterministicMetrics, ExecContext, ExecOptions, MetricsCollector,
         OperatorMetrics, PhysicalOperator, QueryBudget,

@@ -2,11 +2,17 @@
 
 use crate::value::Value;
 
-/// A parsed query: optional CTEs plus a select body.
+/// A parsed query: optional CTEs plus a select body, optionally pinned
+/// to a historical epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     pub ctes: Vec<(String, Query)>,
     pub body: Select,
+    /// `AS OF EPOCH <n>`: run against the snapshot as of global epoch
+    /// `n`. Only a durable query service can satisfy this — it strips
+    /// the clause and materializes the historical snapshot; the planner
+    /// rejects any query that still carries it.
+    pub as_of: Option<u64>,
 }
 
 /// A SELECT block.

@@ -352,7 +352,11 @@ impl fmt::Display for Query {
             }
             f.write_str(" ")?;
         }
-        write!(f, "{}", self.body)
+        write!(f, "{}", self.body)?;
+        if let Some(epoch) = self.as_of {
+            write!(f, " as of epoch {epoch}")?;
+        }
+        Ok(())
     }
 }
 

@@ -176,7 +176,25 @@ impl Parser {
             }
         }
         let body = self.parse_select()?;
-        Ok(Query { ctes, body })
+        let as_of = self.parse_as_of()?;
+        Ok(Query { ctes, body, as_of })
+    }
+
+    /// Optional `AS OF EPOCH <n>` suffix. Grammatically allowed on any
+    /// query (including CTE bodies) so display round-trips; the planner
+    /// enforces where it is actually supported.
+    fn parse_as_of(&mut self) -> Result<Option<u64>> {
+        if !self.eat_kw("as") {
+            return Ok(None);
+        }
+        self.expect_kw("of")?;
+        self.expect_kw("epoch")?;
+        match self.next() {
+            Token::Int(v) if v >= 0 => Ok(Some(v as u64)),
+            t => Err(Error::Parse(format!(
+                "expected a non-negative epoch number after AS OF EPOCH, found {t}"
+            ))),
+        }
     }
 
     fn parse_select(&mut self) -> Result<Select> {
@@ -262,7 +280,21 @@ impl Parser {
         })
     }
 
+    /// True when the tokens at the cursor spell `AS OF EPOCH <int>` — the
+    /// time-travel suffix, which must never be mistaken for an `AS of`
+    /// alias on the last FROM table.
+    fn at_as_of(&self) -> bool {
+        let tok = |i: usize| self.tokens.get(self.pos + i);
+        self.peek().is_kw("as")
+            && matches!(tok(1), Some(Token::Word(w)) if w.eq_ignore_ascii_case("of"))
+            && matches!(tok(2), Some(Token::Word(w)) if w.eq_ignore_ascii_case("epoch"))
+            && matches!(tok(3), Some(Token::Int(v)) if *v >= 0)
+    }
+
     fn parse_optional_alias(&mut self) -> Option<String> {
+        if self.at_as_of() {
+            return None;
+        }
         if self.eat_kw("as") {
             if let Token::Word(w) = self.peek().clone() {
                 self.pos += 1;

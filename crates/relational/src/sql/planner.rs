@@ -17,6 +17,7 @@ use std::collections::HashMap;
 
 /// Plan a parsed query against a catalog.
 pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
+    reject_as_of(query)?;
     let mut ctes: HashMap<String, LogicalPlan> = HashMap::new();
     for (name, q) in &query.ctes {
         let plan = plan_query_with_ctes(q, catalog, &ctes)?;
@@ -25,11 +26,29 @@ pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
     plan_select(&query.body, catalog, &ctes)
 }
 
+/// `AS OF EPOCH` never reaches the planner: the durable query service
+/// resolves it by materializing a historical snapshot and stripping the
+/// clause. Anywhere else (direct engine execution, CTE bodies) it would
+/// silently run against current data, so fail loudly instead.
+fn reject_as_of(query: &Query) -> Result<()> {
+    if let Some(epoch) = query.as_of {
+        return Err(Error::Plan(format!(
+            "as of epoch {epoch} is only supported on the top-level query \
+             of a durable query service"
+        )));
+    }
+    for (_, q) in &query.ctes {
+        reject_as_of(q)?;
+    }
+    Ok(())
+}
+
 fn plan_query_with_ctes(
     query: &Query,
     catalog: &Catalog,
     outer_ctes: &HashMap<String, LogicalPlan>,
 ) -> Result<LogicalPlan> {
+    reject_as_of(query)?;
     let mut ctes = outer_ctes.clone();
     for (name, q) in &query.ctes {
         let plan = plan_query_with_ctes(q, catalog, &ctes)?;

@@ -74,6 +74,74 @@ impl Table {
         }
     }
 
+    /// Reassemble a table from recovered durable state: `data` is the
+    /// concatenation of decoded segment files in id order and `segments` is
+    /// the metadata recorded in the commit log. The metadata is trusted —
+    /// segments are immutable and it was derived from the sealed rows — but
+    /// its row accounting is validated against the data so a corrupt log
+    /// cannot misdescribe row ranges. Statistics are recomputed and indexes
+    /// rebuilt (equivalent to the incremental builds the live table did).
+    pub fn from_recovered(
+        name: impl Into<String>,
+        data: Batch,
+        segments: Vec<Segment<Value>>,
+        segment_rows: Option<usize>,
+        seq_order: Vec<usize>,
+        indexes: &[String],
+    ) -> Result<Self> {
+        let ncols = data.schema().len();
+        let mut expected_start = 0usize;
+        for s in &segments {
+            if s.start != expected_start {
+                return Err(Error::Catalog(format!(
+                    "recovered segment {} starts at row {}, expected {}",
+                    s.id, s.start, expected_start
+                )));
+            }
+            if s.zones.len() != ncols {
+                return Err(Error::Catalog(format!(
+                    "recovered segment {} has {} zone maps for {} columns",
+                    s.id,
+                    s.zones.len(),
+                    ncols
+                )));
+            }
+            expected_start = s.end();
+        }
+        if expected_start != data.num_rows() {
+            return Err(Error::Catalog(format!(
+                "recovered segments cover {} rows, data has {}",
+                expected_start,
+                data.num_rows()
+            )));
+        }
+        if seq_order.iter().any(|&c| c >= ncols) {
+            return Err(Error::Catalog(format!(
+                "recovered sequence order references column beyond {ncols}"
+            )));
+        }
+        let stats = TableStats::compute(&data);
+        let mut t = Table {
+            name: name.into().to_ascii_lowercase(),
+            data,
+            indexes: HashMap::new(),
+            stats,
+            segments,
+            segment_rows,
+            seq_order,
+        };
+        for column in indexes {
+            t.create_index(column)?;
+        }
+        Ok(t)
+    }
+
+    /// The configured target rows per sealed segment (`None` = one segment
+    /// per creation/append).
+    pub fn segment_target_rows(&self) -> Option<usize> {
+        self.segment_rows
+    }
+
     /// Declare the table's sequence order (e.g. `("epc", "rtime")` for RFID
     /// reads). Already-sealed segments are re-verified against the new
     /// order; future appends verify it at seal time, making sortedness a

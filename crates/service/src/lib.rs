@@ -55,13 +55,16 @@
 //! assert_eq!((r1.batch.num_rows(), r1.service.snapshot_epoch), (2, 1));
 //! ```
 
+pub mod durable;
 pub mod partition;
 pub mod queue;
 pub mod service;
 pub mod snapshot;
 
 pub use dc_core::{AbortReason, QueryBudget};
+pub use dc_log::{FailPoint, LogError};
 pub use dc_stream::{ChangeChannel, ChangeSet, MaintenanceStats, PushOutcome, StreamError};
+pub use durable::{DurableOptions, DurableStats, MANIFEST_LOG};
 pub use partition::{
     partition_catalog, split_batch, HashPartitioner, Partitioner, RangePartitioner,
 };

@@ -54,6 +54,9 @@
 //! failure is never shared: followers fall back to executing independently.
 
 use self::subscribe::{distinct_keys, AppendOutcome, SubEntry};
+use crate::durable::{
+    log_err, split_as_of, DurableOptions, DurableState, DurableStats, StagedAppend,
+};
 use crate::partition::{partition_catalog, split_batch, table_like, HashPartitioner, Partitioner};
 use crate::queue::{Bounded, PushError};
 use crate::snapshot::{EpochVector, Snapshot, SnapshotCell};
@@ -270,6 +273,11 @@ pub enum ServiceError {
     },
     /// The service is shutting down; the queue no longer accepts work.
     ShutDown,
+    /// A time-travel request (`AS OF epoch E` or
+    /// [`QueryService::query_as_of`]) could not be served: the service has
+    /// no durable log, the epoch is outside the committed history, or the
+    /// historical snapshot failed to materialize.
+    TimeTravel(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -291,6 +299,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "shard {shard} unavailable: executor lost mid-query")
             }
             ServiceError::ShutDown => write!(f, "service shut down"),
+            ServiceError::TimeTravel(msg) => write!(f, "time travel: {msg}"),
         }
     }
 }
@@ -504,6 +513,9 @@ struct RunDetail {
 struct Shared {
     shards: Vec<ShardState>,
     router: Option<Router>,
+    /// WAL + epoch history when the service is durable; `None` for a
+    /// purely in-memory service.
+    durable: Option<DurableState>,
     queue: Bounded<Job>,
     config: ServiceConfig,
     inflight: Mutex<HashMap<FlightKey, Arc<Flight>>>,
@@ -539,6 +551,37 @@ impl Shared {
     /// Load every shard's current snapshot, in shard order.
     fn load_snapshots(&self) -> Vec<Arc<Snapshot>> {
         self.shards.iter().map(|s| s.snapshots.load()).collect()
+    }
+
+    /// Per-shard snapshots as of global epoch `global`, materialized from
+    /// the durable log (shards already at the requested epoch reuse their
+    /// live snapshot). Historical tables carry the same segment ids as the
+    /// live prefix, so shard cleanse caches stay sound across time travel.
+    fn historical_snapshots(&self, global: u64) -> Result<Vec<Arc<Snapshot>>, ServiceError> {
+        let durable = self.durable.as_ref().ok_or_else(|| {
+            ServiceError::TimeTravel(
+                "as of epoch requires a durable service (see QueryService::start_durable)".into(),
+            )
+        })?;
+        let vector = durable.resolve_vector(global).ok_or_else(|| {
+            ServiceError::TimeTravel(format!(
+                "epoch {global} outside the committed history (0..={})",
+                durable.latest_global()
+            ))
+        })?;
+        let mut snaps = Vec::with_capacity(vector.0.len());
+        for (i, &epoch) in vector.0.iter().enumerate() {
+            let live = self.shards[i].snapshots.load();
+            if live.epoch == epoch {
+                snaps.push(live);
+                continue;
+            }
+            let catalog = durable.historical_catalog(i, epoch).map_err(|e| {
+                ServiceError::TimeTravel(format!("materialize shard {i} at epoch {epoch}: {e}"))
+            })?;
+            snaps.push(Arc::new(Snapshot { epoch, catalog }));
+        }
+        Ok(snaps)
     }
 
     /// The effective budget for a job: per-request overrides, else service
@@ -903,7 +946,29 @@ impl QueryService {
             system,
             snapshots: SnapshotCell::new(epoch0),
         };
-        Self::start_inner(vec![shard], None, config)
+        Self::start_inner(vec![shard], None, config, None)
+    }
+
+    /// [`QueryService::start`] with a durable commit log under
+    /// `opts.dir`: the initial catalog and rules are persisted as epoch 0,
+    /// every append is logged and fsynced **before** its snapshot
+    /// publishes, and the full epoch history stays queryable with
+    /// `AS OF epoch E` (or [`QueryService::query_as_of`]). Restart with
+    /// [`QueryService::recover`].
+    pub fn start_durable(
+        system: DeferredCleansingSystem,
+        config: ServiceConfig,
+        opts: DurableOptions,
+    ) -> Result<Self, Error> {
+        let rules_json = system.rules_to_json();
+        let state = DurableState::bootstrap(&opts, &[system.catalog()], "", 0, &rules_json)
+            .map_err(log_err)?;
+        let epoch0 = Arc::new(system.catalog().overlay());
+        let shard = ShardState {
+            system,
+            snapshots: SnapshotCell::new(epoch0),
+        };
+        Ok(Self::start_inner(vec![shard], None, config, Some(state)))
     }
 
     /// [`QueryService::start`] with default sizing.
@@ -933,6 +998,79 @@ impl QueryService {
         shard: ShardConfig,
         partitioner: Arc<dyn Partitioner>,
     ) -> Result<Self, Error> {
+        let (shards, router) = Self::build_shards(system, shard, partitioner)?;
+        Ok(Self::start_inner(shards, Some(router), config, None))
+    }
+
+    /// [`QueryService::start_sharded`] with a durable root: the manifest
+    /// records the topology, each shard keeps its own commit log + segment
+    /// files, and every append commits on all touched shard logs *and* the
+    /// manifest before any shard publishes. Restart with
+    /// [`QueryService::recover`], which rebuilds the same topology.
+    pub fn start_sharded_durable(
+        system: DeferredCleansingSystem,
+        config: ServiceConfig,
+        shard: ShardConfig,
+        opts: DurableOptions,
+    ) -> Result<Self, Error> {
+        let cache_capacity = shard.cleanse_cache_capacity.unwrap_or(0) as u64;
+        let key = shard.key.clone();
+        let rules_json = system.rules_to_json();
+        let (shards, router) = Self::build_shards(system, shard, Arc::new(HashPartitioner))?;
+        let catalogs: Vec<&Catalog> = shards.iter().map(|s| s.system.catalog()).collect();
+        let state = DurableState::bootstrap(&opts, &catalogs, &key, cache_capacity, &rules_json)
+            .map_err(log_err)?;
+        Ok(Self::start_inner(shards, Some(router), config, Some(state)))
+    }
+
+    /// Reopen a durable root written by [`QueryService::start_durable`] /
+    /// [`QueryService::start_sharded_durable`]: replay the manifest and
+    /// every shard log, roll back to the newest globally committed epoch,
+    /// compact away crash debris, and resume serving (and appending) right
+    /// where the durable history ends. The entire history remains
+    /// addressable through `AS OF epoch E`.
+    pub fn recover(opts: DurableOptions, config: ServiceConfig) -> Result<Self, Error> {
+        let rec = crate::durable::recover_state(&opts).map_err(log_err)?;
+        let sharded = !rec.key.is_empty();
+        let mut shards = Vec::with_capacity(rec.catalogs.len());
+        for (i, catalog) in rec.catalogs.iter().enumerate() {
+            let mut sys = DeferredCleansingSystem::with_catalog(Arc::clone(catalog));
+            if let Some((_, json)) = &rec.rules {
+                sys.load_rules_from_json(json)?;
+            }
+            if rec.cache_capacity > 0 {
+                sys.enable_cleanse_cache_for_shard(rec.cache_capacity as usize, i as u64);
+            }
+            let frozen = Arc::new(sys.catalog().overlay());
+            shards.push(ShardState {
+                system: sys,
+                snapshots: SnapshotCell::at_epoch(frozen, rec.shard_epochs[i]),
+            });
+        }
+        let router = if sharded {
+            let spec = sharding_spec_for(shards[0].system.catalog(), &rec.key);
+            Some(Router {
+                spec,
+                partitioner: Arc::new(HashPartitioner) as Arc<dyn Partitioner>,
+            })
+        } else {
+            None
+        };
+        let rules_version = rec.rules.as_ref().map_or(0, |(v, _)| *v);
+        let svc = Self::start_inner(shards, router, config, Some(rec.state));
+        svc.shared
+            .rules_version
+            .store(rules_version, Ordering::Relaxed);
+        Ok(svc)
+    }
+
+    /// Partition `system` into shard states plus the ingest router (shared
+    /// by the in-memory and durable sharded constructors).
+    fn build_shards(
+        system: DeferredCleansingSystem,
+        shard: ShardConfig,
+        partitioner: Arc<dyn Partitioner>,
+    ) -> Result<(Vec<ShardState>, Router), Error> {
         let n = shard.shards.max(1);
         let spec = sharding_spec_for(system.catalog(), &shard.key);
         let catalogs = partition_catalog(system.catalog(), &spec, partitioner.as_ref(), n)?;
@@ -955,17 +1093,19 @@ impl QueryService {
                 })
             })
             .collect::<Result<Vec<_>, Error>>()?;
-        Ok(Self::start_inner(
-            shards,
-            Some(Router { spec, partitioner }),
-            config,
-        ))
+        Ok((shards, Router { spec, partitioner }))
     }
 
-    fn start_inner(shards: Vec<ShardState>, router: Option<Router>, config: ServiceConfig) -> Self {
+    fn start_inner(
+        shards: Vec<ShardState>,
+        router: Option<Router>,
+        config: ServiceConfig,
+        durable: Option<DurableState>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             shards,
             router,
+            durable,
             queue: Bounded::new(config.queue_capacity),
             config,
             inflight: Mutex::new(HashMap::new()),
@@ -1059,8 +1199,33 @@ impl QueryService {
             Some(col) => distinct_keys(&batch, &col),
             None => Vec::new(),
         };
-        let mut touched_shards = Vec::new();
-        let snapshot = match &self.shared.router {
+        // Stage every touched shard's next overlay first, publishing
+        // nothing: a durable service must land the whole append in the
+        // write-ahead logs (all shard commits, then the manifest's global
+        // commit) before any reader can observe it.
+        struct Staged {
+            shard: usize,
+            next: Catalog,
+            table: Arc<dc_relational::table::Table>,
+            prev_segments: usize,
+            epoch: u64,
+        }
+        let mut staged: Vec<Staged> = Vec::new();
+        let mut stage = |shard: usize, part: Batch| -> Result<(), Error> {
+            let current = self.shared.shards[shard].snapshots.load();
+            let prev_segments = current.catalog.get(&lowered)?.segments().len();
+            let next = current.catalog.overlay();
+            let appended = next.append(table, part)?;
+            staged.push(Staged {
+                shard,
+                next,
+                table: appended,
+                prev_segments,
+                epoch: current.epoch + 1,
+            });
+            Ok(())
+        };
+        match &self.shared.router {
             Some(router) if router.spec.partitioned.contains(&lowered) => {
                 let key_idx = batch.schema().index_of_name(&router.spec.key)?;
                 let parts = split_batch(
@@ -1069,40 +1234,47 @@ impl QueryService {
                     router.partitioner.as_ref(),
                     self.shared.shards.len(),
                 )?;
-                let mut last = None;
-                for (i, (shard, part)) in self.shared.shards.iter().zip(parts).enumerate() {
-                    if part.num_rows() == 0 {
-                        continue;
+                for (i, part) in parts.into_iter().enumerate() {
+                    if part.num_rows() > 0 {
+                        stage(i, part)?;
                     }
-                    let current = shard.snapshots.load();
-                    let next = current.catalog.overlay();
-                    next.append(table, part)?;
-                    last = Some(shard.snapshots.publish(next));
-                    touched_shards.push(i);
                 }
-                last.unwrap_or_else(|| self.shared.shards[0].snapshots.load())
             }
             Some(_) => {
                 // Replicated table: every shard gets the same rows.
-                let mut last = None;
-                for (i, shard) in self.shared.shards.iter().enumerate() {
-                    let current = shard.snapshots.load();
-                    let next = current.catalog.overlay();
-                    next.append(table, batch.clone())?;
-                    last = Some(shard.snapshots.publish(next));
-                    touched_shards.push(i);
+                for i in 0..self.shared.shards.len() {
+                    stage(i, batch.clone())?;
                 }
-                last.expect("service has at least one shard")
             }
-            None => {
-                let shard = &self.shared.shards[0];
-                let current = shard.snapshots.load();
-                let next = current.catalog.overlay();
-                next.append(table, batch)?;
-                touched_shards.push(0);
-                shard.snapshots.publish(next)
+            None => stage(0, batch)?,
+        }
+        if let Some(durable) = &self.shared.durable {
+            if !staged.is_empty() {
+                let mut vector = self.epoch_vector();
+                for s in &staged {
+                    vector.0[s.shard] = s.epoch;
+                }
+                let entries: Vec<StagedAppend<'_>> = staged
+                    .iter()
+                    .map(|s| StagedAppend {
+                        shard: s.shard,
+                        table: &s.table,
+                        prev_segments: s.prev_segments,
+                        epoch: s.epoch,
+                    })
+                    .collect();
+                // On failure nothing publishes: readers keep the last
+                // durable epoch, exactly what a restart would recover.
+                durable.commit_append(&entries, &vector).map_err(log_err)?;
             }
-        };
+        }
+        let mut touched_shards = Vec::with_capacity(staged.len());
+        let mut last = None;
+        for s in staged {
+            last = Some(self.shared.shards[s.shard].snapshots.publish(s.next));
+            touched_shards.push(s.shard);
+        }
+        let snapshot = last.unwrap_or_else(|| self.shared.shards[0].snapshots.load());
         let outcome = AppendOutcome {
             snapshot,
             epochs: EpochVector(
@@ -1159,12 +1331,22 @@ impl QueryService {
     /// validation agrees everywhere; a rule rejected on shard 0 is applied
     /// nowhere). Bumps the rule-set version so in-flight work coalescing
     /// never pairs queries across a rule change.
+    /// On a durable service the new rules version is logged (and fsynced)
+    /// to every shard's commit log before this returns, so a restart
+    /// restores the same rule set.
     pub fn define_rule(&self, application: &str, rule_text: &str) -> Result<u64, Error> {
+        // Serialize with appends so logged rules versions interleave with
+        // epoch commits in a single order.
+        let _serial = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
         let mut id = 0;
         for shard in &self.shared.shards {
             id = shard.system.define_rule(application, rule_text)?;
         }
-        self.shared.rules_version.fetch_add(1, Ordering::Relaxed);
+        let version = self.shared.rules_version.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(durable) = &self.shared.durable {
+            let json = self.shared.coordinator().rules_to_json();
+            durable.log_rules(version, &json).map_err(log_err)?;
+        }
         Ok(id)
     }
 
@@ -1220,7 +1402,12 @@ impl QueryService {
     /// `-- shards:` header and one `-- shard i:` line per shard with its
     /// epoch, partial rows, and segment-prune counters.
     pub fn explain_analyze(&self, req: &QueryRequest) -> Result<String, ServiceError> {
-        let snaps = self.shared.load_snapshots();
+        // `AS OF epoch E` runs the analysis against the historical
+        // snapshots of global epoch E instead of the live ones.
+        let (sql, snaps) = match split_as_of(&req.sql) {
+            Some((stripped, epoch)) => (stripped, self.shared.historical_snapshots(epoch)?),
+            None => (req.sql.clone(), self.shared.load_snapshots()),
+        };
         let epochs = EpochVector(snaps.iter().map(|s| s.epoch).collect());
         let start = Instant::now();
         let mut budget = QueryBudget::unlimited();
@@ -1238,7 +1425,7 @@ impl QueryService {
                     .explain_snapshot(
                         &snaps[0].catalog,
                         &req.application,
-                        &req.sql,
+                        &sql,
                         req.strategy,
                         true,
                         budget,
@@ -1256,13 +1443,9 @@ impl QueryService {
                 Ok(format!("{}\n{}", stats.render_comment(), report.text()))
             }
             Some(router) => {
-                let detail = self.shared.run_detail(
-                    &snaps,
-                    &req.application,
-                    &req.sql,
-                    req.strategy,
-                    budget,
-                )?;
+                let detail =
+                    self.shared
+                        .run_detail(&snaps, &req.application, &sql, req.strategy, budget)?;
                 let stats = ServiceStats {
                     snapshot_epoch: epochs.total(),
                     epochs,
@@ -1297,7 +1480,7 @@ impl QueryService {
                     .explain_snapshot(
                         &snaps[0].catalog,
                         &req.application,
-                        &req.sql,
+                        &sql,
                         req.strategy,
                         false,
                         QueryBudget::unlimited(),
@@ -1308,6 +1491,58 @@ impl QueryService {
                 Ok(out)
             }
         }
+    }
+
+    /// Run one query against the service as of global epoch `epoch`,
+    /// reconstructed from the durable log: shard snapshots materialize at
+    /// the per-shard epoch vector that global epoch committed, opening
+    /// only the segment files those epochs contain. Runs inline (not
+    /// queued) under the request's budget. Requires a durable service;
+    /// the equivalent SQL form is an `AS OF epoch E` suffix on any
+    /// submitted query.
+    pub fn query_as_of(
+        &self,
+        req: &QueryRequest,
+        epoch: u64,
+    ) -> Result<QueryResponse, ServiceError> {
+        // An AS OF clause in the SQL itself is stripped; the explicit
+        // `epoch` argument wins.
+        let sql = match split_as_of(&req.sql) {
+            Some((stripped, _)) => stripped,
+            None => req.sql.clone(),
+        };
+        let snaps = self.shared.historical_snapshots(epoch)?;
+        let epochs = EpochVector(snaps.iter().map(|s| s.epoch).collect());
+        let start = Instant::now();
+        let mut budget = QueryBudget::unlimited();
+        if let Some(d) = req.deadline.or(self.shared.config.default_deadline) {
+            budget = budget.with_deadline(d);
+        }
+        if let Some(rows) = req.row_limit.or(self.shared.config.default_row_limit) {
+            budget = budget.with_row_limit(rows);
+        }
+        let detail =
+            self.shared
+                .run_detail(&snaps, &req.application, &sql, req.strategy, budget)?;
+        self.shared.completed.fetch_add(1, Ordering::Relaxed);
+        Ok(QueryResponse {
+            batch: detail.batch,
+            report: detail.report,
+            service: ServiceStats {
+                snapshot_epoch: epochs.total(),
+                epochs,
+                queue_wait: Duration::ZERO,
+                exec_time: start.elapsed(),
+                worker: usize::MAX, // inline, not a pool worker
+                abort_reason: None,
+                coalesced: false,
+            },
+        })
+    }
+
+    /// Durability counters — `None` for a purely in-memory service.
+    pub fn durable_stats(&self) -> Option<DurableStats> {
+        self.shared.durable.as_ref().map(|d| d.stats())
     }
 
     /// Close the queue, drain outstanding jobs, and join the workers.
@@ -1333,7 +1568,20 @@ impl Drop for QueryService {
 fn worker_loop(shared: &Shared, worker: usize) {
     while let Some(job) = shared.queue.pop() {
         let queue_wait = job.submitted.elapsed();
-        let snaps = shared.load_snapshots();
+        // A top-level `AS OF epoch E` clause redirects the job to the
+        // historical snapshots of global epoch E (durable services only);
+        // everything else — budgets, coalescing, stats — is unchanged.
+        let (sql, snaps) = match split_as_of(&job.req.sql) {
+            Some((stripped, epoch)) => match shared.historical_snapshots(epoch) {
+                Ok(snaps) => (stripped, snaps),
+                Err(e) => {
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Err(e));
+                    continue;
+                }
+            },
+            None => (job.req.sql.clone(), shared.load_snapshots()),
+        };
         let epochs = EpochVector(snaps.iter().map(|s| s.epoch).collect());
         let budget = shared.budget_for(&job);
         let start = Instant::now();
@@ -1341,7 +1589,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
             epochs: epochs.clone(),
             rules_version: shared.rules_version.load(Ordering::Relaxed),
             application: job.req.application.clone(),
-            sql: job.req.sql.clone(),
+            sql: sql.clone(),
             strategy: strategy_tag(job.req.strategy),
         };
         let mut coalesced = false;
@@ -1354,7 +1602,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
                         .run_detail(
                             &snaps,
                             &job.req.application,
-                            &job.req.sql,
+                            &sql,
                             job.req.strategy,
                             budget.clone(),
                         )
@@ -1379,7 +1627,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
                         .run_detail(
                             &snaps,
                             &job.req.application,
-                            &job.req.sql,
+                            &sql,
                             job.req.strategy,
                             budget.clone(),
                         )

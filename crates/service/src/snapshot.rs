@@ -50,8 +50,15 @@ pub struct SnapshotCell {
 impl SnapshotCell {
     /// Seal `catalog` as epoch 0.
     pub fn new(catalog: CatalogRef) -> Self {
+        Self::at_epoch(catalog, 0)
+    }
+
+    /// Seal `catalog` as a specific starting epoch. Recovery uses this to
+    /// resume publication exactly where the durable log left off, so
+    /// post-restart epochs continue the same dense history.
+    pub fn at_epoch(catalog: CatalogRef, epoch: u64) -> Self {
         SnapshotCell {
-            current: RwLock::new(Arc::new(Snapshot { epoch: 0, catalog })),
+            current: RwLock::new(Arc::new(Snapshot { epoch, catalog })),
         }
     }
 

@@ -12,18 +12,27 @@
 //!   a table (contiguous row range + one zone map per column);
 //! * [`cache`] — a size-bounded, deterministically evicting [`SeqCache`]
 //!   used to memoize Φ_C output per cleansing sequence, with hit/miss/
-//!   invalidation/eviction counters.
+//!   invalidation/eviction counters;
+//! * [`wire`] — a little-endian, length-prefixed byte format with a
+//!   non-panicking reader, shared by the durable commit log (`dc-log`)
+//!   and the columnar segment files;
+//! * [`persist`] — [`ZoneMap`]/[`Segment`] (de)serialization over any
+//!   value type that supplies a [`ValueCodec`].
 //!
 //! Everything is generic over the value type through [`ZoneValue`] (a total
 //! order), so `dc-relational` can plug its `Value` in without this crate
 //! knowing about it.
 
 pub mod cache;
+pub mod persist;
 pub mod segment;
+pub mod wire;
 pub mod zone;
 
 pub use cache::{CacheLookup, CacheStats, SeqCache};
+pub use persist::ValueCodec;
 pub use segment::Segment;
+pub use wire::{ByteReader, ByteWriter, WireError};
 pub use zone::{ZoneBound, ZoneMap, ZonePredicate, ZoneValue};
 
 /// A 64-bit FNV-1a hasher with a stable, documented algorithm.

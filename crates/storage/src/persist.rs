@@ -1,0 +1,207 @@
+//! Wire (de)serialization for segment metadata and zone maps.
+//!
+//! The storage layer is generic over the summarized value type through
+//! [`ZoneValue`]; persistence adds one more capability — encoding a value
+//! to bytes and back — expressed by [`ValueCodec`]. `dc-relational`
+//! implements it for its `Value` type; this module then serializes
+//! [`ZoneMap`]s and [`Segment`] metadata without knowing what the values
+//! are. Decoding trusts nothing: every length and tag is validated and
+//! failures surface as typed [`WireError`]s.
+
+use crate::segment::Segment;
+use crate::wire::{ByteReader, ByteWriter, WireError};
+use crate::zone::{ZoneMap, ZoneValue};
+
+/// Encode/decode for one zone-summarizable value type.
+pub trait ValueCodec {
+    type Value: ZoneValue;
+
+    fn encode_value(&self, v: &Self::Value, w: &mut ByteWriter);
+    fn decode_value(&self, r: &mut ByteReader<'_>) -> Result<Self::Value, WireError>;
+}
+
+fn put_opt<C: ValueCodec>(codec: &C, v: &Option<C::Value>, w: &mut ByteWriter) {
+    match v {
+        None => w.put_u8(0),
+        Some(v) => {
+            w.put_u8(1);
+            codec.encode_value(v, w);
+        }
+    }
+}
+
+fn get_opt<C: ValueCodec>(
+    codec: &C,
+    r: &mut ByteReader<'_>,
+) -> Result<Option<C::Value>, WireError> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(codec.decode_value(r)?)),
+        other => Err(WireError::Malformed(format!("bad option tag {other}"))),
+    }
+}
+
+/// Serialize one zone map.
+pub fn encode_zone_map<C: ValueCodec>(codec: &C, zone: &ZoneMap<C::Value>, w: &mut ByteWriter) {
+    put_opt(codec, &zone.min, w);
+    put_opt(codec, &zone.max, w);
+    w.put_u64(zone.null_count);
+    w.put_u64(zone.row_count);
+}
+
+/// Deserialize one zone map.
+pub fn decode_zone_map<C: ValueCodec>(
+    codec: &C,
+    r: &mut ByteReader<'_>,
+) -> Result<ZoneMap<C::Value>, WireError> {
+    let min = get_opt(codec, r)?;
+    let max = get_opt(codec, r)?;
+    let null_count = r.get_u64()?;
+    let row_count = r.get_u64()?;
+    if null_count > row_count {
+        return Err(WireError::Malformed(format!(
+            "zone map null_count {null_count} exceeds row_count {row_count}"
+        )));
+    }
+    Ok(ZoneMap {
+        min,
+        max,
+        null_count,
+        row_count,
+    })
+}
+
+/// Serialize one segment's metadata (id, row range, verified order, zones).
+pub fn encode_segment_meta<C: ValueCodec>(codec: &C, seg: &Segment<C::Value>, w: &mut ByteWriter) {
+    w.put_u64(seg.id);
+    w.put_u64(seg.start as u64);
+    w.put_u64(seg.rows as u64);
+    w.put_u32(seg.sorted_by.len() as u32);
+    for &c in &seg.sorted_by {
+        w.put_u32(c as u32);
+    }
+    w.put_u32(seg.zones.len() as u32);
+    for z in &seg.zones {
+        encode_zone_map(codec, z, w);
+    }
+}
+
+/// Deserialize one segment's metadata.
+pub fn decode_segment_meta<C: ValueCodec>(
+    codec: &C,
+    r: &mut ByteReader<'_>,
+) -> Result<Segment<C::Value>, WireError> {
+    let id = r.get_u64()?;
+    let start = r.get_u64()? as usize;
+    let rows = r.get_u64()? as usize;
+    let n_sorted = r.get_count(4)?;
+    let mut sorted_by = Vec::with_capacity(n_sorted);
+    for _ in 0..n_sorted {
+        sorted_by.push(r.get_u32()? as usize);
+    }
+    let n_zones = r.get_count(18)?; // min tag + max tag + two u64 counts
+    let mut zones = Vec::with_capacity(n_zones);
+    for _ in 0..n_zones {
+        let z = decode_zone_map(codec, r)?;
+        if z.row_count != rows as u64 {
+            return Err(WireError::Malformed(format!(
+                "zone map covers {} rows, segment has {rows}",
+                z.row_count
+            )));
+        }
+        zones.push(z);
+    }
+    Ok(Segment {
+        id,
+        start,
+        rows,
+        zones,
+        sorted_by,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct I64Codec;
+
+    impl ValueCodec for I64Codec {
+        type Value = i64;
+
+        fn encode_value(&self, v: &i64, w: &mut ByteWriter) {
+            w.put_i64(*v);
+        }
+
+        fn decode_value(&self, r: &mut ByteReader<'_>) -> Result<i64, WireError> {
+            r.get_i64()
+        }
+    }
+
+    fn sample_segment() -> Segment<i64> {
+        let mut dense = ZoneMap::new();
+        for v in [5i64, -2, 9] {
+            dense.observe(&v);
+        }
+        dense.observe_null();
+        let mut empty = ZoneMap::new();
+        for _ in 0..4 {
+            empty.observe_null();
+        }
+        Segment {
+            id: 7,
+            start: 128,
+            rows: 4,
+            zones: vec![dense, empty],
+            sorted_by: vec![1, 0],
+        }
+    }
+
+    #[test]
+    fn segment_meta_roundtrip() {
+        let seg = sample_segment();
+        let mut w = ByteWriter::new();
+        encode_segment_meta(&I64Codec, &seg, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_segment_meta(&I64Codec, &mut r).unwrap();
+        assert_eq!(back, seg);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let seg = sample_segment();
+        let mut w = ByteWriter::new();
+        encode_segment_meta(&I64Codec, &seg, &mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                decode_segment_meta(&I64Codec, &mut r).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn inconsistent_counts_are_malformed() {
+        let mut z = ZoneMap::<i64>::new();
+        z.observe(&1);
+        let seg = Segment {
+            id: 0,
+            start: 0,
+            rows: 2, // zone says 1 row
+            zones: vec![z],
+            sorted_by: vec![],
+        };
+        let mut w = ByteWriter::new();
+        encode_segment_meta(&I64Codec, &seg, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            decode_segment_meta(&I64Codec, &mut r),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

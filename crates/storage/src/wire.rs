@@ -1,0 +1,249 @@
+//! Minimal byte-level wire format shared by the durable log and the
+//! columnar segment files.
+//!
+//! Everything is little-endian and length-prefixed; strings are UTF-8
+//! with a `u32` byte length. The reader never panics on malformed
+//! input — every accessor returns a typed [`WireError`] so callers can
+//! surface corruption instead of crashing mid-recovery.
+
+use std::fmt;
+
+/// Typed decode failure for the wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the requested number of bytes.
+    Truncated { need: usize, have: usize },
+    /// Structurally invalid payload (bad UTF-8, impossible length, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated input: need {need} bytes, have {have}")
+            }
+            WireError::Malformed(msg) => write!(f, "malformed input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only byte buffer builder.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Raw append without a length prefix (caller frames it).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor over a byte slice with typed, non-panicking accessors.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::Malformed(format!("bad bool byte {other}"))),
+        }
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    pub fn get_str(&mut self) -> Result<&'a str, WireError> {
+        let bytes = self.get_bytes()?;
+        std::str::from_utf8(bytes).map_err(|e| WireError::Malformed(format!("bad utf-8: {e}")))
+    }
+
+    /// Reads a `u32` count and sanity-checks it against the bytes left,
+    /// assuming each element takes at least `min_elem_bytes`. Prevents
+    /// huge-allocation attacks from corrupt length fields.
+    pub fn get_count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.get_u32()? as usize;
+        let floor = n.saturating_mul(min_elem_bytes.max(1));
+        if floor > self.remaining() {
+            return Err(WireError::Malformed(format!(
+                "count {n} needs at least {floor} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_i64(-42);
+        w.put_f64(2.5);
+        w.put_str("reader-λ");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), 2.5);
+        assert_eq!(r.get_str().unwrap(), "reader-λ");
+        assert_eq!(r.get_bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut w = ByteWriter::new();
+        w.put_u64(9);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert!(matches!(r.get_u64(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_utf8_and_bool_are_malformed() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_str(), Err(WireError::Malformed(_))));
+        let mut r = ByteReader::new(&[9u8]);
+        assert!(matches!(r.get_bool(), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn count_guard_rejects_absurd_lengths() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_count(8), Err(WireError::Malformed(_))));
+    }
+}

@@ -17,11 +17,15 @@
 //!   together,
 //! * [`service`] — the concurrent snapshot query service
 //!   ([`service::QueryService`]): worker pool over epoch-stamped catalog
-//!   snapshots, live append ingest, deadlines and cancellation.
+//!   snapshots, live append ingest, deadlines and cancellation,
+//! * [`log`] — the fault-injectable durable log primitives backing
+//!   [`service::QueryService::start_durable`]: crash-safe appends,
+//!   recovery, and `AS OF epoch` time travel.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use dc_core as core;
+pub use dc_log as log;
 pub use dc_relational as relational;
 pub use dc_rewrite as rewrite;
 pub use dc_rfidgen as rfidgen;

@@ -222,6 +222,7 @@ fn gen_query(rng: &mut StdRng, depth: u32) -> Query {
             .map(|i| (format!("cte{i}"), gen_query(rng, depth - 2)))
             .collect(),
         body: gen_select(rng, depth),
+        as_of: rng.gen_bool(0.2).then(|| rng.gen_range(0u64..10_000)),
     }
 }
 

@@ -25,7 +25,7 @@
 use deferred_cleansing::relational::prelude::*;
 use deferred_cleansing::rewrite::Strategy;
 use deferred_cleansing::service::{
-    EpochVector, QueryRequest, QueryService, ServiceConfig, ShardConfig, Snapshot,
+    DurableOptions, EpochVector, QueryRequest, QueryService, ServiceConfig, ShardConfig, Snapshot,
 };
 use deferred_cleansing::DeferredCleansingSystem;
 use rand::rngs::StdRng;
@@ -421,4 +421,113 @@ fn shard_caches_warm_and_stay_correct() {
     assert!(hits > 0, "warm run should hit at least one shard cache");
     // Warm replies agree with the hit counters' own run.
     assert!(warm.report.stats.seq_cache_hits > 0);
+}
+
+/// Time-travel equivalence on a durable service: for **every** committed
+/// global epoch `E` — unsharded and 4-way sharded, per-shard cleanse
+/// caches on — `query_as_of(E)` and the SQL `... AS OF EPOCH E` form must
+/// both equal the serial, unsharded, cache-free oracle over the union of
+/// the shard snapshots recorded at `E`'s epoch vector. The same holds
+/// after the service restarts via [`QueryService::recover`], whose
+/// historical catalogs are rebuilt from segment files instead of live
+/// memory.
+#[test]
+fn as_of_queries_match_serial_replay_at_every_epoch() {
+    for shards in [1usize, 4] {
+        let seed = 0xDC07_A50F + shards as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = Arc::new(Catalog::new());
+        catalog.register(Table::new(
+            "caser",
+            Batch::from_rows(reads_schema(), &seed_rows(&mut rng, 40)).unwrap(),
+        ));
+        let sys = DeferredCleansingSystem::with_catalog(catalog);
+        sys.define_rule("app", DUP).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("dc-asof-{shards}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        };
+        let svc = if shards == 1 {
+            QueryService::start_durable(sys, config(), DurableOptions::new(&dir)).unwrap()
+        } else {
+            QueryService::start_sharded_durable(
+                sys,
+                config(),
+                ShardConfig::new(shards, "epc").with_cleanse_cache(64),
+                DurableOptions::new(&dir),
+            )
+            .unwrap()
+        };
+
+        // Record each shard's dense snapshot history plus the epoch
+        // vector bound to every global commit — the appender is the only
+        // publisher, so nothing is missed.
+        let mut registries: Vec<Vec<Arc<Snapshot>>> =
+            (0..shards).map(|i| vec![svc.shard_snapshot(i)]).collect();
+        let mut vectors: Vec<EpochVector> = vec![svc.epoch_vector()];
+        for _ in 0..6 {
+            let rows = seed_rows(&mut rng, 3);
+            svc.append("caser", Batch::from_rows(reads_schema(), &rows).unwrap())
+                .unwrap();
+            for (i, reg) in registries.iter_mut().enumerate() {
+                let snap = svc.shard_snapshot(i);
+                if reg.last().unwrap().epoch < snap.epoch {
+                    reg.push(snap);
+                }
+            }
+            vectors.push(svc.epoch_vector());
+        }
+
+        let check = |svc: &QueryService, phase: &str| {
+            for (e, vector) in vectors.iter().enumerate() {
+                let snaps: Vec<Arc<Snapshot>> = vector
+                    .0
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &se)| Arc::clone(&registries[s][se as usize]))
+                    .collect();
+                let union = union_catalog(&snaps);
+                for (pool_idx, (app, sql)) in POOL.iter().enumerate() {
+                    let expected = serial_replay(&union, pool_idx, Strategy::Auto);
+                    let via_api = svc
+                        .query_as_of(&QueryRequest::new(*app, *sql), e as u64)
+                        .unwrap();
+                    let via_sql = svc
+                        .execute(QueryRequest::new(*app, format!("{sql} as of epoch {e}")))
+                        .unwrap();
+                    for (form, rows) in [
+                        ("query_as_of", rows_of(&via_api.batch)),
+                        ("AS OF sql", rows_of(&via_sql.batch)),
+                    ] {
+                        let ctx =
+                            format!("{phase} {form}: shards={shards} epoch={e} pool={pool_idx}");
+                        if sql.contains("order by") {
+                            assert_eq!(rows, expected, "{ctx}");
+                        } else {
+                            assert_eq!(canonical(rows), canonical(expected.clone()), "{ctx}");
+                        }
+                    }
+                }
+            }
+            // One past the committed history is a typed refusal.
+            let beyond = vectors.len() as u64;
+            assert!(svc
+                .query_as_of(&QueryRequest::new("app", POOL[0].1), beyond)
+                .is_err());
+        };
+        check(&svc, "live");
+        drop(svc);
+
+        let recovered = QueryService::recover(DurableOptions::new(&dir), config()).unwrap();
+        assert_eq!(recovered.shard_count(), shards);
+        assert_eq!(
+            recovered.durable_stats().unwrap().epochs_recovered,
+            vectors.len() as u64
+        );
+        check(&recovered, "recovered");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
